@@ -1,0 +1,39 @@
+//! E4 — coalescing: TIP's in-DBMS `group_union` aggregate vs the layered
+//! stratum's pull-and-merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tip_bench::{run_layered_coalesce, run_tip_coalesce, setup_layered, setup_tip, sweep_config};
+
+fn coalesce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalesce");
+    group.sample_size(20);
+    for n in [200usize, 1000, 4000] {
+        let cfg = sweep_config(n);
+        let tip = setup_tip(&cfg);
+        group.bench_with_input(BenchmarkId::new("tip_group_union", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(run_tip_coalesce(&tip).0))
+        });
+        let mut layered = setup_layered(&cfg);
+        group.bench_with_input(BenchmarkId::new("layered_stratum", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(run_layered_coalesce(&mut layered).0))
+        });
+        // The (incorrect) naive SUM the paper warns about, for the cost
+        // comparison only.
+        group.bench_with_input(BenchmarkId::new("naive_sum", n), &n, |bench, _| {
+            bench.iter(|| {
+                tip.session
+                    .query(
+                        "SELECT patient, SUM(total_seconds(length(valid))) \
+                         FROM Prescription GROUP BY patient",
+                    )
+                    .unwrap()
+                    .rows
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, coalesce);
+criterion_main!(benches);

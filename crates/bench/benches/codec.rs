@@ -1,0 +1,32 @@
+//! E8 — the "efficient binary format" (paper §2): binary vs text
+//! encode/decode for Element values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tip_core::{binary, Element};
+use tip_workload::random_resolved_elements;
+
+fn codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for n in [1usize, 10, 100, 1000] {
+        let e: Element = random_resolved_elements(11, 1, n, 36_500)[0].clone().into();
+        let bin = binary::element_to_vec(&e);
+        let txt = e.to_string();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("binary_encode", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(binary::element_to_vec(&e)))
+        });
+        group.bench_with_input(BenchmarkId::new("binary_decode", n), &n, |bench, _| {
+            bench.iter(|| binary::decode_element(&mut bin.as_slice()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("text_encode", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(e.to_string()))
+        });
+        group.bench_with_input(BenchmarkId::new("text_decode", n), &n, |bench, _| {
+            bench.iter(|| txt.parse::<Element>().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec);
+criterion_main!(benches);

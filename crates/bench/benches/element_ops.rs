@@ -1,0 +1,34 @@
+//! E3 — Element set algebra scaling (paper §3: "algorithms that execute
+//! in time linear in the number of periods").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tip_workload::random_resolved_elements;
+
+fn element_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("element_ops");
+    for n in [16usize, 256, 4096, 65536] {
+        let es = random_resolved_elements(7, 2, n, 36_500);
+        let (a, b) = (es[0].clone(), es[1].clone());
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.union(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("intersect", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.intersect(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("difference", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.difference(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("overlaps", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.overlaps(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("normalize", n), &n, |bench, _| {
+            let raw: Vec<_> = a.periods().iter().rev().copied().collect();
+            bench.iter(|| std::hint::black_box(tip_core::ResolvedElement::normalize(raw.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, element_ops);
+criterion_main!(benches);

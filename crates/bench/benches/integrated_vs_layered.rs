@@ -1,0 +1,59 @@
+//! E5 — the paper's architectural claim: integrated (DataBlade) temporal
+//! support vs a TimeDB-style layered translation, on identical workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tip_bench::{
+    experiment_now, run_layered_self_join, run_tip_self_join, setup_layered, setup_tip,
+    sweep_config, tip_window_sql,
+};
+use tip_core::{Chronon, ResolvedPeriod};
+
+fn self_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("self_join");
+    group.sample_size(20);
+    for n in [100usize, 400, 1600] {
+        let cfg = sweep_config(n);
+        let tip = setup_tip(&cfg);
+        group.bench_with_input(BenchmarkId::new("tip", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(run_tip_self_join(&tip).0))
+        });
+        let mut layered = setup_layered(&cfg);
+        group.bench_with_input(BenchmarkId::new("layered", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(run_layered_self_join(&mut layered).0))
+        });
+    }
+    group.finish();
+}
+
+fn window_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_selection");
+    group.sample_size(20);
+    let w = ResolvedPeriod::new(
+        Chronon::from_ymd(1998, 1, 1).unwrap(),
+        Chronon::from_ymd(1998, 12, 31).unwrap(),
+    )
+    .unwrap();
+    let _ = experiment_now();
+    for n in [200usize, 1000, 4000] {
+        let cfg = sweep_config(n);
+        let tip = setup_tip(&cfg);
+        let sql = tip_window_sql(w);
+        group.bench_with_input(BenchmarkId::new("tip", n), &n, |bench, _| {
+            bench.iter(|| tip.session.query(&sql).unwrap().rows.len())
+        });
+        let mut layered = setup_layered(&cfg);
+        group.bench_with_input(BenchmarkId::new("layered", n), &n, |bench, _| {
+            bench.iter(|| {
+                layered
+                    .overlap_selection("Prescription", &["patient", "drug"], w)
+                    .unwrap()
+                    .rows
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, self_join, window_selection);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Temporal aggregates (paper §2, "Aggregates").
+//!
+//! `group_union` computes the union of a collection of `Element`s and
+//! returns a single `Element` — the temporal coalescing operation. The
+//! paper's worked example shows why `length(group_union(valid))` cannot
+//! be replaced by `SUM(length(valid))`: overlapping prescription periods
+//! would be counted multiple times.
+
+use crate::types::{as_element, now_chronon, TipTypes};
+use minidb::catalog::{AggregateOverload, AggregateState, Catalog, ExecCtx};
+use minidb::{DataType, DbError, DbResult, Value};
+use std::sync::Arc;
+use tip_core::agg::{ElementIntersectAggregate, ElementUnionAggregate};
+
+struct GroupUnionState {
+    t: TipTypes,
+    acc: ElementUnionAggregate,
+}
+
+impl AggregateState for GroupUnionState {
+    fn step(&mut self, ctx: &ExecCtx, v: &Value) -> DbResult<()> {
+        let e = as_element(v).ok_or_else(|| DbError::exec("group_union expects Element"))?;
+        let r = e
+            .resolve(now_chronon(ctx.txn_time_unix))
+            .map_err(|err| DbError::exec(err.to_string()))?;
+        self.acc.step(&r);
+        Ok(())
+    }
+
+    fn finish(self: Box<Self>, _: &ExecCtx) -> DbResult<Value> {
+        Ok(self.t.element(self.acc.finish().into()))
+    }
+}
+
+struct GroupIntersectState {
+    t: TipTypes,
+    acc: ElementIntersectAggregate,
+}
+
+impl AggregateState for GroupIntersectState {
+    fn step(&mut self, ctx: &ExecCtx, v: &Value) -> DbResult<()> {
+        let e = as_element(v).ok_or_else(|| DbError::exec("group_intersect expects Element"))?;
+        let r = e
+            .resolve(now_chronon(ctx.txn_time_unix))
+            .map_err(|err| DbError::exec(err.to_string()))?;
+        self.acc.step(&r);
+        Ok(())
+    }
+
+    fn finish(self: Box<Self>, _: &ExecCtx) -> DbResult<Value> {
+        Ok(self.t.element(self.acc.finish().into()))
+    }
+}
+
+/// Temporal-aggregation state: collects every period of every input
+/// element and reports the maximum number of simultaneously valid inputs
+/// (the sweep of `tip_core::tagg`).
+struct GroupMaxOverlapState {
+    periods: Vec<tip_core::ResolvedPeriod>,
+}
+
+impl AggregateState for GroupMaxOverlapState {
+    fn step(&mut self, ctx: &ExecCtx, v: &Value) -> DbResult<()> {
+        let e = as_element(v).ok_or_else(|| DbError::exec("group_max_overlap expects Element"))?;
+        let r = e
+            .resolve(now_chronon(ctx.txn_time_unix))
+            .map_err(|err| DbError::exec(err.to_string()))?;
+        self.periods.extend_from_slice(r.periods());
+        Ok(())
+    }
+
+    fn finish(self: Box<Self>, _: &ExecCtx) -> DbResult<Value> {
+        Ok(Value::Int(
+            tip_core::tagg::max_overlap(&self.periods).map_or(0, |(k, _)| k as i64),
+        ))
+    }
+}
+
+/// Registers `group_union`, `group_intersect`, and `group_max_overlap`.
+pub(crate) fn register(cat: &mut Catalog, t: TipTypes) -> DbResult<()> {
+    let ele = DataType::Udt(t.element);
+    cat.register_aggregate(
+        "group_union",
+        AggregateOverload {
+            param: ele,
+            ret: ele,
+            factory: Arc::new(move || {
+                Box::new(GroupUnionState {
+                    t,
+                    acc: ElementUnionAggregate::new(),
+                })
+            }),
+        },
+    )?;
+    cat.register_aggregate(
+        "group_intersect",
+        AggregateOverload {
+            param: ele,
+            ret: ele,
+            factory: Arc::new(move || {
+                Box::new(GroupIntersectState {
+                    t,
+                    acc: ElementIntersectAggregate::new(),
+                })
+            }),
+        },
+    )?;
+    cat.register_aggregate(
+        "group_max_overlap",
+        AggregateOverload {
+            param: ele,
+            ret: minidb::DataType::Int,
+            factory: Arc::new(|| {
+                Box::new(GroupMaxOverlapState {
+                    periods: Vec::new(),
+                })
+            }),
+        },
+    )?;
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! Cast registrations (paper §2, "Casts").
+//!
+//! * SQL strings convert to and from every TIP type automatically
+//!   (string → TIP implicit via the type's text-input function, TIP →
+//!   string explicit via text output).
+//! * The promotion chain `Chronon → Instant → Period → Element` is
+//!   implicit, so a `Chronon` can be used wherever an `Element` is
+//!   expected (e.g. `1999-09-01` becomes `[1999-09-01, 1999-09-01]`).
+//! * `Instant → Chronon` substitutes the current transaction time for
+//!   `NOW` and is therefore **now-dependent** (`NOW-1` becomes
+//!   `1999-09-22` if today is `1999-09-23`).
+//! * `Element → Period` is explicit and succeeds only for single-period
+//!   elements.
+
+use crate::types::{as_chronon, as_element, as_instant, as_period, as_span, now_chronon, TipTypes};
+use minidb::catalog::{CastDef, Catalog, UdtDisplayFn, UdtParseFn};
+use minidb::{DataType, DbError, DbResult, Value};
+use std::sync::Arc;
+use tip_core::{Element, Period};
+
+/// Handles to the text-I/O support functions of the five types, cloned
+/// from the type definitions at install time so the string casts can call
+/// them without re-entering the catalog.
+pub(crate) struct TextSupport {
+    /// `(type, parse, display)` per TIP type.
+    pub entries: Vec<(DataType, UdtParseFn, UdtDisplayFn)>,
+}
+
+fn cast(
+    cat: &mut Catalog,
+    from: DataType,
+    to: DataType,
+    implicit: bool,
+    now_dependent: bool,
+    f: impl Fn(&minidb::ExecCtx, &Value) -> DbResult<Value> + Send + Sync + 'static,
+) -> DbResult<()> {
+    cat.register_cast(
+        from,
+        to,
+        CastDef {
+            implicit,
+            now_dependent,
+            ret: to,
+            f: Arc::new(f),
+        },
+    )
+}
+
+/// Registers every TIP cast.
+pub(crate) fn register(cat: &mut Catalog, t: TipTypes, text: &TextSupport) -> DbResult<()> {
+    let (chr, spn, ins, per, ele) = (
+        DataType::Udt(t.chronon),
+        DataType::Udt(t.span),
+        DataType::Udt(t.instant),
+        DataType::Udt(t.period),
+        DataType::Udt(t.element),
+    );
+
+    // String <-> TIP via the text-I/O support functions.
+    for (ty, parse, display) in &text.entries {
+        let parse = parse.clone();
+        let display = display.clone();
+        cast(cat, DataType::Str, *ty, true, false, move |_, v| {
+            let s = v
+                .as_str()
+                .ok_or_else(|| DbError::exec("expected a string"))?;
+            parse(s).map(Value::Udt)
+        })?;
+        cast(cat, *ty, DataType::Str, false, false, move |_, v| {
+            let u = v
+                .as_udt()
+                .ok_or_else(|| DbError::exec("expected a TIP value"))?;
+            Ok(Value::Str(display(u)))
+        })?;
+    }
+
+    // Chronon -> Instant -> Period -> Element promotions (implicit).
+    cast(cat, chr, ins, true, false, move |_, v| {
+        let c = as_chronon(v).ok_or_else(|| DbError::exec("expected Chronon"))?;
+        Ok(t.instant(tip_core::Instant::Fixed(c)))
+    })?;
+    cast(cat, chr, per, true, false, move |_, v| {
+        let c = as_chronon(v).ok_or_else(|| DbError::exec("expected Chronon"))?;
+        Ok(t.period(Period::at(c)))
+    })?;
+    cast(cat, chr, ele, true, false, move |_, v| {
+        let c = as_chronon(v).ok_or_else(|| DbError::exec("expected Chronon"))?;
+        Ok(t.element(Element::from_period(Period::at(c))))
+    })?;
+    cast(cat, ins, per, true, false, move |_, v| {
+        let i = as_instant(v).ok_or_else(|| DbError::exec("expected Instant"))?;
+        Ok(t.period(Period::new(i, i)))
+    })?;
+    cast(cat, ins, ele, true, false, move |_, v| {
+        let i = as_instant(v).ok_or_else(|| DbError::exec("expected Instant"))?;
+        Ok(t.element(Element::from_period(Period::new(i, i))))
+    })?;
+    cast(cat, per, ele, true, false, move |_, v| {
+        let p = as_period(v).ok_or_else(|| DbError::exec("expected Period"))?;
+        Ok(t.element(Element::from_period(p)))
+    })?;
+
+    // Instant -> Chronon: substitute NOW (explicit, now-dependent).
+    cast(cat, ins, chr, false, true, move |ctx, v| {
+        let i = as_instant(v).ok_or_else(|| DbError::exec("expected Instant"))?;
+        let c = i
+            .resolve(now_chronon(ctx.txn_time_unix))
+            .map_err(|e| DbError::exec(e.to_string()))?;
+        Ok(t.chronon(c))
+    })?;
+
+    // Element -> Period: only single-period elements (explicit,
+    // now-dependent because resolution may merge or drop periods).
+    cast(cat, ele, per, false, true, move |ctx, v| {
+        let e = as_element(v).ok_or_else(|| DbError::exec("expected Element"))?;
+        let r = e
+            .resolve(now_chronon(ctx.txn_time_unix))
+            .map_err(|err| DbError::exec(err.to_string()))?;
+        if r.period_count() != 1 {
+            return Err(DbError::exec(format!(
+                "cannot cast Element with {} period(s) to Period",
+                r.period_count()
+            )));
+        }
+        Ok(t.period(r.first().expect("one period").into()))
+    })?;
+
+    // Span <-> INT (total seconds): explicit conversion escape hatch.
+    cast(cat, spn, DataType::Int, false, false, move |_, v| {
+        let s = as_span(v).ok_or_else(|| DbError::exec("expected Span"))?;
+        Ok(Value::Int(s.seconds()))
+    })?;
+    cast(cat, DataType::Int, spn, false, false, move |_, v| {
+        let n = v.as_int().ok_or_else(|| DbError::exec("expected INT"))?;
+        Ok(t.span(tip_core::Span::from_seconds(n)))
+    })?;
+
+    Ok(())
+}

@@ -1,0 +1,395 @@
+//! UDT payload wrappers for the five TIP datatypes, plus conversion
+//! helpers between engine `Value`s and `tip-core` objects.
+
+use minidb::catalog::{Catalog, UdtTypeDef};
+use minidb::{DataType, DbError, DbResult, UdtId, UdtObject, UdtValue, Value};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::sync::Arc;
+use tip_core::{Chronon, Element, Instant, Period, Span};
+
+/// FNV-1a over a byte slice — a small, stable hash for UDT payloads.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+macro_rules! udt_wrapper {
+    ($wrapper:ident, $inner:ty, ordered: $ordered:expr) => {
+        /// Engine payload wrapper for the corresponding TIP type.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $wrapper(pub $inner);
+
+        impl UdtObject for $wrapper {
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn eq_udt(&self, other: &dyn UdtObject) -> bool {
+                other
+                    .as_any()
+                    .downcast_ref::<$wrapper>()
+                    .is_some_and(|o| o.0 == self.0)
+            }
+            fn cmp_udt(&self, other: &dyn UdtObject) -> Option<Ordering> {
+                if $ordered {
+                    other
+                        .as_any()
+                        .downcast_ref::<$wrapper>()
+                        .map(|o| cmp_inner(&self.0, &o.0))
+                } else {
+                    None
+                }
+            }
+            fn hash_udt(&self) -> u64 {
+                fnv1a(encode_inner(&self.0).as_slice())
+            }
+        }
+    };
+}
+
+// Ordering shims: Chronon/Span have total orders; the rest fall back to
+// hash order inside the engine when sorting is requested.
+trait InnerOps {
+    fn cmp_like(&self, other: &Self) -> Ordering;
+    fn encode_bytes(&self) -> Vec<u8>;
+}
+
+fn cmp_inner<T: InnerOps>(a: &T, b: &T) -> Ordering {
+    a.cmp_like(b)
+}
+
+fn encode_inner<T: InnerOps>(v: &T) -> Vec<u8> {
+    v.encode_bytes()
+}
+
+impl InnerOps for Chronon {
+    fn cmp_like(&self, other: &Self) -> Ordering {
+        self.cmp(other)
+    }
+    fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8);
+        tip_core::binary::encode_chronon(*self, &mut out);
+        out
+    }
+}
+
+impl InnerOps for Span {
+    fn cmp_like(&self, other: &Self) -> Ordering {
+        self.cmp(other)
+    }
+    fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8);
+        tip_core::binary::encode_span(*self, &mut out);
+        out
+    }
+}
+
+impl InnerOps for Instant {
+    fn cmp_like(&self, other: &Self) -> Ordering {
+        // Only used as a stable tiebreak; semantic comparison goes through
+        // the now-aware operators.
+        self.partial_cmp_static(*other).unwrap_or(Ordering::Equal)
+    }
+    fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9);
+        tip_core::binary::encode_instant(*self, &mut out);
+        out
+    }
+}
+
+impl InnerOps for Period {
+    fn cmp_like(&self, _: &Self) -> Ordering {
+        Ordering::Equal
+    }
+    fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(18);
+        tip_core::binary::encode_period(*self, &mut out);
+        out
+    }
+}
+
+impl InnerOps for Element {
+    fn cmp_like(&self, _: &Self) -> Ordering {
+        Ordering::Equal
+    }
+    fn encode_bytes(&self) -> Vec<u8> {
+        tip_core::binary::element_to_vec(self)
+    }
+}
+
+udt_wrapper!(TipChronon, Chronon, ordered: true);
+udt_wrapper!(TipSpan, Span, ordered: true);
+udt_wrapper!(TipInstant, Instant, ordered: false);
+udt_wrapper!(TipPeriod, Period, ordered: false);
+udt_wrapper!(TipElement, Element, ordered: false);
+
+/// The catalog ids assigned to the five TIP types in one database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TipTypes {
+    pub chronon: UdtId,
+    pub span: UdtId,
+    pub instant: UdtId,
+    pub period: UdtId,
+    pub element: UdtId,
+}
+
+impl TipTypes {
+    /// Looks up the TIP types in an already-bladed catalog.
+    pub fn from_catalog(cat: &Catalog) -> DbResult<TipTypes> {
+        let get = |name: &str| -> DbResult<UdtId> {
+            match cat.lookup_type_name(name)? {
+                DataType::Udt(id) => Ok(id),
+                other => Err(DbError::type_err(format!(
+                    "{name} resolved to builtin {other}"
+                ))),
+            }
+        };
+        Ok(TipTypes {
+            chronon: get("Chronon")?,
+            span: get("Span")?,
+            instant: get("Instant")?,
+            period: get("Period")?,
+            element: get("Element")?,
+        })
+    }
+
+    /// Wraps a [`Chronon`] as an engine value.
+    pub fn chronon(&self, c: Chronon) -> Value {
+        Value::Udt(UdtValue::new(self.chronon, Arc::new(TipChronon(c))))
+    }
+
+    /// Wraps a [`Span`].
+    pub fn span(&self, s: Span) -> Value {
+        Value::Udt(UdtValue::new(self.span, Arc::new(TipSpan(s))))
+    }
+
+    /// Wraps an [`Instant`].
+    pub fn instant(&self, i: Instant) -> Value {
+        Value::Udt(UdtValue::new(self.instant, Arc::new(TipInstant(i))))
+    }
+
+    /// Wraps a [`Period`].
+    pub fn period(&self, p: Period) -> Value {
+        Value::Udt(UdtValue::new(self.period, Arc::new(TipPeriod(p))))
+    }
+
+    /// Wraps an [`Element`].
+    pub fn element(&self, e: Element) -> Value {
+        Value::Udt(UdtValue::new(self.element, Arc::new(TipElement(e))))
+    }
+}
+
+/// Extracts a [`Chronon`] from a value, if it is one.
+pub fn as_chronon(v: &Value) -> Option<Chronon> {
+    v.as_udt()
+        .and_then(|u| u.downcast::<TipChronon>())
+        .map(|w| w.0)
+}
+
+/// Extracts a [`Span`].
+pub fn as_span(v: &Value) -> Option<Span> {
+    v.as_udt()
+        .and_then(|u| u.downcast::<TipSpan>())
+        .map(|w| w.0)
+}
+
+/// Extracts an [`Instant`].
+pub fn as_instant(v: &Value) -> Option<Instant> {
+    v.as_udt()
+        .and_then(|u| u.downcast::<TipInstant>())
+        .map(|w| w.0)
+}
+
+/// Extracts a [`Period`].
+pub fn as_period(v: &Value) -> Option<Period> {
+    v.as_udt()
+        .and_then(|u| u.downcast::<TipPeriod>())
+        .map(|w| w.0)
+}
+
+/// Extracts an [`Element`] (borrowed).
+pub fn as_element(v: &Value) -> Option<&Element> {
+    v.as_udt()
+        .and_then(|u| u.downcast::<TipElement>())
+        .map(|w| &w.0)
+}
+
+/// Seconds between the Unix epoch and the TIP epoch (2000-01-01).
+pub const UNIX_TO_TIP_EPOCH_SECS: i64 = 946_684_800;
+
+/// Converts the engine's transaction time (Unix seconds) into the
+/// statement's `NOW` chronon, clamped to the supported timeline.
+pub fn now_chronon(txn_time_unix: i64) -> Chronon {
+    let raw = (txn_time_unix - UNIX_TO_TIP_EPOCH_SECS)
+        .clamp(Chronon::BEGINNING.raw(), Chronon::FOREVER.raw());
+    Chronon::from_raw(raw).expect("clamped into range")
+}
+
+/// Converts a chronon back to Unix seconds.
+pub fn chronon_to_unix(c: Chronon) -> i64 {
+    c.raw() + UNIX_TO_TIP_EPOCH_SECS
+}
+
+fn udt_parse_err(what: &'static str, e: tip_core::TemporalError) -> DbError {
+    DbError::exec(format!("invalid {what} literal: {e}"))
+}
+
+macro_rules! make_def {
+    ($fn_name:ident, $name:literal, $wrapper:ident, $inner:ty,
+     encode: $enc:expr, decode: $dec:expr, ordered: $ordered:expr,
+     interval_key: $ik:expr) => {
+        /// Builds the type definition, capturing the id the catalog will
+        /// assign (obtain it with [`minidb::Catalog::next_type_id`]).
+        pub fn $fn_name(id: UdtId) -> UdtTypeDef {
+            UdtTypeDef {
+                id,
+                name: $name.into(),
+                parse: Arc::new(move |s| {
+                    s.parse::<$inner>()
+                        .map(|x| UdtValue::new(id, Arc::new($wrapper(x))))
+                        .map_err(|e| udt_parse_err($name, e))
+                }),
+                display: Arc::new(|u| {
+                    u.downcast::<$wrapper>()
+                        .map(|w| w.0.to_string())
+                        .unwrap_or_default()
+                }),
+                encode: Arc::new(|u, out| {
+                    if let Some(w) = u.downcast::<$wrapper>() {
+                        #[allow(clippy::redundant_closure_call)]
+                        ($enc)(&w.0, out);
+                    }
+                }),
+                decode: Arc::new(move |buf| {
+                    #[allow(clippy::redundant_closure_call)]
+                    ($dec)(buf)
+                        .map(|x: $inner| UdtValue::new(id, Arc::new($wrapper(x))))
+                        .map_err(|e: tip_core::TemporalError| DbError::exec(e.to_string()))
+                }),
+                ordered: $ordered,
+                interval_key: $ik,
+            }
+        }
+    };
+}
+
+/// Conservative interval bounds of a raw (possibly NOW-relative) period:
+/// fixed endpoints map to their chronon seconds, NOW-relative endpoints
+/// to the axis extremes (the index must never miss a candidate whatever
+/// the transaction time turns out to be).
+fn period_bounds(p: &Period) -> (i64, i64) {
+    let lo = match p.start() {
+        Instant::Fixed(c) => c.raw(),
+        Instant::NowRelative(_) => i64::MIN,
+    };
+    let hi = match p.end() {
+        Instant::Fixed(c) => c.raw(),
+        Instant::NowRelative(_) => i64::MAX,
+    };
+    (lo, hi)
+}
+
+/// Interval bounds of an element: the convex hull of its periods' bounds.
+fn element_bounds(e: &Element) -> Option<(i64, i64)> {
+    let mut bounds: Option<(i64, i64)> = None;
+    for p in e.raw_periods() {
+        let (lo, hi) = period_bounds(p);
+        bounds = Some(match bounds {
+            None => (lo, hi),
+            Some((l, h)) => (l.min(lo), h.max(hi)),
+        });
+    }
+    bounds
+}
+
+make_def!(
+    chronon_def, "Chronon", TipChronon, Chronon,
+    encode: |c: &Chronon, out: &mut Vec<u8>| tip_core::binary::encode_chronon(*c, out),
+    decode: |buf: &mut &[u8]| tip_core::binary::decode_chronon(buf),
+    ordered: true,
+    interval_key: Some(Arc::new(|u: &UdtValue| {
+        u.downcast::<TipChronon>().map(|w| (w.0.raw(), w.0.raw()))
+    }))
+);
+make_def!(
+    span_def, "Span", TipSpan, Span,
+    encode: |s: &Span, out: &mut Vec<u8>| tip_core::binary::encode_span(*s, out),
+    decode: |buf: &mut &[u8]| tip_core::binary::decode_span(buf),
+    ordered: true,
+    interval_key: None
+);
+make_def!(
+    instant_def, "Instant", TipInstant, Instant,
+    encode: |i: &Instant, out: &mut Vec<u8>| tip_core::binary::encode_instant(*i, out),
+    decode: |buf: &mut &[u8]| tip_core::binary::decode_instant(buf),
+    ordered: false,
+    interval_key: Some(Arc::new(|u: &UdtValue| {
+        u.downcast::<TipInstant>().map(|w| match w.0 {
+            Instant::Fixed(c) => (c.raw(), c.raw()),
+            Instant::NowRelative(_) => (i64::MIN, i64::MAX),
+        })
+    }))
+);
+make_def!(
+    period_def, "Period", TipPeriod, Period,
+    encode: |p: &Period, out: &mut Vec<u8>| tip_core::binary::encode_period(*p, out),
+    decode: |buf: &mut &[u8]| tip_core::binary::decode_period(buf),
+    ordered: false,
+    interval_key: Some(Arc::new(|u: &UdtValue| {
+        u.downcast::<TipPeriod>().map(|w| period_bounds(&w.0))
+    }))
+);
+make_def!(
+    element_def, "Element", TipElement, Element,
+    encode: |e: &Element, out: &mut Vec<u8>| {
+        out.extend_from_slice(&tip_core::binary::element_to_vec(e))
+    },
+    decode: |buf: &mut &[u8]| tip_core::binary::decode_element(buf),
+    ordered: false,
+    interval_key: Some(Arc::new(|u: &UdtValue| {
+        u.downcast::<TipElement>().and_then(|w| element_bounds(&w.0))
+    }))
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unix_offset_matches_core() {
+        assert_eq!(now_chronon(UNIX_TO_TIP_EPOCH_SECS), Chronon::EPOCH);
+        assert_eq!(chronon_to_unix(Chronon::EPOCH), UNIX_TO_TIP_EPOCH_SECS);
+        // 1999-09-23 00:00:00 UTC = 938044800 Unix.
+        assert_eq!(
+            now_chronon(938_044_800),
+            Chronon::from_ymd(1999, 9, 23).unwrap()
+        );
+    }
+
+    #[test]
+    fn wrapper_equality_and_hash() {
+        let a = TipChronon(Chronon::EPOCH);
+        let b = TipChronon(Chronon::EPOCH);
+        let c = TipChronon(Chronon::FOREVER);
+        assert!(a.eq_udt(&b));
+        assert!(!a.eq_udt(&c));
+        assert_eq!(a.hash_udt(), b.hash_udt());
+        assert_eq!(a.cmp_udt(&c), Some(Ordering::Less));
+        // Cross-type comparison is not equality.
+        let s = TipSpan(Span::ZERO);
+        assert!(!a.eq_udt(&s));
+    }
+
+    #[test]
+    fn element_wrapper_hash_stable_across_clones() {
+        let e: Element = "{[1999-01-01, NOW]}".parse().unwrap();
+        let w1 = TipElement(e.clone());
+        let w2 = TipElement(e);
+        assert_eq!(w1.hash_udt(), w2.hash_udt());
+        assert!(w1.cmp_udt(&w2).is_none(), "Element is unordered");
+    }
+}

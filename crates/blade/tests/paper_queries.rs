@@ -1,0 +1,375 @@
+//! End-to-end tests running the TIP paper's §2 example statements
+//! verbatim (modulo string-literal quoting) through SQL.
+
+use minidb::{Database, Session, Value};
+use tip_blade::{as_chronon, as_element, as_span, TipBlade};
+use tip_core::{Chronon, Span};
+
+/// Unix seconds for a date, so tests can pin the transaction time.
+fn unix(y: i32, m: u32, d: u32) -> i64 {
+    tip_blade::chronon_to_unix(Chronon::from_ymd(y, m, d).unwrap())
+}
+
+fn setup() -> (std::sync::Arc<Database>, Session) {
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let mut session = db.session();
+    // Pin NOW to 1999-12-01, the era of the paper's demo.
+    session.set_now_unix(Some(unix(1999, 12, 1)));
+    session
+        .execute(
+            "CREATE TABLE Prescription (doctor CHAR(20), patient CHAR(20), \
+             patientDOB Chronon, drug CHAR(20), dosage INT, frequency Span, valid Element)",
+        )
+        .unwrap();
+    (db, session)
+}
+
+fn seed_paper_rows(s: &Session) {
+    // The paper's INSERT (Q1), plus companions exercising the other demos.
+    s.execute(
+        "INSERT INTO Prescription VALUES ('Dr.Pepper', 'Mr.Showbiz', '1965-04-02', \
+         'Diabeta', 1, '0 08:00:00', '{[1999-10-01, NOW]}')",
+    )
+    .unwrap();
+    s.execute(
+        "INSERT INTO Prescription VALUES ('Dr.No', 'Mr.Showbiz', '1965-04-02', \
+         'Aspirin', 2, '1', '{[1999-09-15, 1999-10-20]}')",
+    )
+    .unwrap();
+    s.execute(
+        "INSERT INTO Prescription VALUES ('Dr.No', 'Ms.Medley', '1999-08-01', \
+         'Tylenol', 1, '0 06:00:00', '{[1999-08-20, 1999-08-25]}')",
+    )
+    .unwrap();
+    s.execute(
+        "INSERT INTO Prescription VALUES ('Dr.Pepper', 'Ms.Medley', '1999-08-01', \
+         'Diabeta', 1, '1', '{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}')",
+    )
+    .unwrap();
+}
+
+#[test]
+fn q1_insert_with_string_casts() {
+    let (_db, s) = setup();
+    seed_paper_rows(&s);
+    let r = s
+        .query(
+            "SELECT patientDOB, frequency, valid FROM Prescription \
+                     WHERE patient = 'Mr.Showbiz' AND drug = 'Diabeta'",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    // String literals were implicitly cast into TIP types on insert.
+    assert_eq!(
+        as_chronon(&r.rows[0][0]).unwrap(),
+        Chronon::from_ymd(1965, 4, 2).unwrap()
+    );
+    assert_eq!(as_span(&r.rows[0][1]).unwrap(), Span::from_hours(8));
+    let e = as_element(&r.rows[0][2]).unwrap();
+    assert!(e.is_now_relative(), "stored Element keeps its NOW endpoint");
+    assert_eq!(e.to_string(), "{[1999-10-01, NOW]}");
+}
+
+#[test]
+fn q2_tylenol_query_with_parameter() {
+    let (_db, s) = setup();
+    seed_paper_rows(&s);
+    // Paper Q2: patients prescribed Tylenol when less than :w weeks old.
+    let sql = "SELECT patient FROM Prescription \
+               WHERE drug = 'Tylenol' AND start(valid) - patientDOB < '7 00:00:00'::Span * :w";
+    // Ms.Medley was born 1999-08-01 and started Tylenol 1999-08-20 (19
+    // days old): within 3 weeks but not within 2.
+    let r = s.query_with_params(sql, &[("w", Value::Int(3))]).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0].as_str(), Some("Ms.Medley"));
+    let r = s.query_with_params(sql, &[("w", Value::Int(2))]).unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn q3_temporal_self_join() {
+    let (_db, s) = setup();
+    seed_paper_rows(&s);
+    // Paper Q3: who has taken Diabeta and Aspirin simultaneously, and when.
+    let r = s
+        .query(
+            "SELECT p1.patient, intersect(p1.valid, p2.valid) \
+             FROM Prescription p1, Prescription p2 \
+             WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' \
+               AND p1.patient = p2.patient \
+               AND overlaps(p1.valid, p2.valid)",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0].as_str(), Some("Mr.Showbiz"));
+    // Diabeta [1999-10-01, NOW=1999-12-01] ∩ Aspirin [1999-09-15, 1999-10-20]
+    // = [1999-10-01, 1999-10-20].
+    let e = as_element(&r.rows[0][1]).unwrap();
+    assert_eq!(e.to_string(), "{[1999-10-01, 1999-10-20]}");
+}
+
+#[test]
+fn q4_group_union_coalescing() {
+    let (_db, s) = setup();
+    seed_paper_rows(&s);
+    // Paper Q4: how long each patient has been on prescription medication.
+    let r = s
+        .query(
+            "SELECT patient, length(group_union(valid)) FROM Prescription \
+             GROUP BY patient ORDER BY patient",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0].as_str(), Some("Mr.Showbiz"));
+    // Mr.Showbiz: [1999-09-15, NOW=1999-12-01] coalesced (Aspirin and
+    // Diabeta overlap) = 78 days worth of chronons (half-open on seconds:
+    // 77 days + 1 second in closed semantics).
+    let len = as_span(&r.rows[0][1]).unwrap();
+    let expected = Chronon::from_ymd(1999, 12, 1).unwrap()
+        - Chronon::from_ymd(1999, 9, 15).unwrap()
+        + Span::SECOND;
+    assert_eq!(len, expected);
+    // And the coalesced length differs from the naive SUM(length(valid)).
+    let naive = s
+        .query(
+            "SELECT patient, SUM(total_seconds(length(valid))) FROM Prescription \
+             GROUP BY patient ORDER BY patient",
+        )
+        .unwrap();
+    let naive_secs = naive.rows[0][1].as_int().unwrap();
+    assert!(
+        naive_secs > len.seconds(),
+        "SUM double-counts overlap: {naive_secs} <= {}",
+        len.seconds()
+    );
+}
+
+#[test]
+fn now_relative_results_change_as_time_advances() {
+    let (_db, mut s) = setup();
+    seed_paper_rows(&s);
+    // "since 1999-10-01" spans more time when asked later.
+    let q = "SELECT total_seconds(length(valid)) FROM Prescription \
+             WHERE patient = 'Mr.Showbiz' AND drug = 'Diabeta'";
+    let at_dec = s.query(q).unwrap().rows[0][0].as_int().unwrap();
+    s.set_now_unix(Some(unix(2000, 3, 1)));
+    let at_mar = s.query(q).unwrap().rows[0][0].as_int().unwrap();
+    assert!(at_mar > at_dec);
+    // Asked before the prescription started, the element is empty.
+    s.set_now_unix(Some(unix(1999, 9, 1)));
+    let before = s.query(q).unwrap().rows[0][0].as_int().unwrap();
+    assert_eq!(before, 0);
+}
+
+#[test]
+fn chronon_plus_chronon_is_a_type_error() {
+    let (_db, s) = setup();
+    seed_paper_rows(&s);
+    let err = s
+        .query("SELECT patientDOB + patientDOB FROM Prescription")
+        .unwrap_err();
+    assert!(matches!(err, minidb::DbError::NoOverload { .. }), "{err}");
+    // But Chronon - Chronon is a Span.
+    let r = s
+        .query("SELECT patientDOB - patientDOB FROM Prescription LIMIT 1")
+        .unwrap();
+    assert_eq!(as_span(&r.rows[0][0]).unwrap(), Span::ZERO);
+}
+
+#[test]
+fn allen_operators_in_sql() {
+    let (_db, s) = setup();
+    let r = s
+        .query(
+            "SELECT allen('[1999-01-01, 1999-03-01]'::Period, '[1999-02-01, 1999-06-01]'::Period), \
+                    before('[1999-01-01, 1999-01-05]'::Period, '[1999-02-01, 1999-06-01]'::Period), \
+                    during('[1999-03-01, 1999-04-01]'::Period, '[1999-02-01, 1999-06-01]'::Period)",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0].as_str(), Some("overlaps"));
+    assert_eq!(r.rows[0][1].as_bool(), Some(true));
+    assert_eq!(r.rows[0][2].as_bool(), Some(true));
+}
+
+#[test]
+fn element_algebra_in_sql() {
+    let (_db, s) = setup();
+    let r = s
+        .query(
+            "SELECT union('{[1999-01-01, 1999-02-01]}'::Element, \
+                           '{[1999-02-01, 1999-03-01]}'::Element), \
+                    difference('{[1999-01-01, 1999-12-31]}'::Element, \
+                               '{[1999-06-01, 1999-06-30 23:59:59]}'::Element)",
+        )
+        .unwrap();
+    let u = as_element(&r.rows[0][0]).unwrap();
+    assert_eq!(u.to_string(), "{[1999-01-01, 1999-03-01]}");
+    let d = as_element(&r.rows[0][1]).unwrap();
+    assert_eq!(
+        d.to_string(),
+        "{[1999-01-01, 1999-05-31 23:59:59], [1999-07-01, 1999-12-31]}"
+    );
+}
+
+#[test]
+fn now_override_is_what_if_analysis() {
+    let (_db, mut s) = setup();
+    // NOW-7 resolves against the overridden NOW.
+    s.set_now_unix(Some(unix(1999, 9, 23)));
+    let r = s.query("SELECT to_chronon('NOW-1'::Instant)").unwrap();
+    assert_eq!(
+        as_chronon(&r.rows[0][0]).unwrap(),
+        Chronon::from_ymd(1999, 9, 22).unwrap()
+    );
+}
+
+#[test]
+fn min_max_on_chronon_and_persistence() {
+    let (db, s) = setup();
+    seed_paper_rows(&s);
+    let r = s
+        .query("SELECT MIN(patientDOB), MAX(patientDOB) FROM Prescription")
+        .unwrap();
+    assert_eq!(
+        as_chronon(&r.rows[0][0]).unwrap(),
+        Chronon::from_ymd(1965, 4, 2).unwrap()
+    );
+    assert_eq!(
+        as_chronon(&r.rows[0][1]).unwrap(),
+        Chronon::from_ymd(1999, 8, 1).unwrap()
+    );
+
+    // Snapshot persistence round-trips the TIP UDT columns.
+    let snap = db.save_snapshot().unwrap();
+    let db2 = Database::new();
+    db2.install_blade(&TipBlade).unwrap();
+    db2.load_snapshot(&snap).unwrap();
+    let mut s2 = db2.session();
+    s2.set_now_unix(Some(unix(1999, 12, 1)));
+    let r = s2
+        .query("SELECT valid FROM Prescription WHERE drug = 'Diabeta' AND patient = 'Mr.Showbiz'")
+        .unwrap();
+    assert_eq!(
+        as_element(&r.rows[0][0]).unwrap().to_string(),
+        "{[1999-10-01, NOW]}"
+    );
+}
+
+#[test]
+fn index_on_chronon_column() {
+    let (_db, s) = setup();
+    seed_paper_rows(&s);
+    s.execute("CREATE INDEX ix_dob ON Prescription(patientDOB)")
+        .unwrap();
+    let r = s
+        .query("SELECT COUNT(*) FROM Prescription WHERE patientDOB = '1999-08-01'::Chronon")
+        .unwrap();
+    assert_eq!(r.rows[0][0].as_int(), Some(2));
+}
+
+#[test]
+fn group_intersect_aggregate() {
+    let (_db, s) = setup();
+    s.execute("CREATE TABLE shifts (worker CHAR(10), onduty Element)")
+        .unwrap();
+    s.execute(
+        "INSERT INTO shifts VALUES \
+         ('a', '{[1999-01-01, 1999-01-10]}'), \
+         ('a', '{[1999-01-05, 1999-01-20]}')",
+    )
+    .unwrap();
+    let r = s
+        .query("SELECT worker, group_intersect(onduty) FROM shifts GROUP BY worker")
+        .unwrap();
+    assert_eq!(
+        as_element(&r.rows[0][1]).unwrap().to_string(),
+        "{[1999-01-05, 1999-01-10]}"
+    );
+}
+
+#[test]
+fn invalid_literals_error_cleanly() {
+    let (_db, s) = setup();
+    let err = s
+        .execute("INSERT INTO Prescription VALUES ('d', 'p', '1999-02-30', 'x', 1, '0', '{}')")
+        .unwrap_err();
+    assert!(err.to_string().contains("Chronon"), "{err}");
+    let err = s
+        .execute("INSERT INTO Prescription VALUES ('d', 'p', '1999-01-01', 'x', 1, '0', 'oops')")
+        .unwrap_err();
+    assert!(err.to_string().contains("Element"), "{err}");
+}
+
+#[test]
+fn granularity_routines() {
+    let (_db, s) = setup();
+    let r = s
+        .query(
+            "SELECT trunc('1999-09-23 14:35:27'::Chronon, 'month'), \
+                    next_granule('1999-12-15'::Chronon, 'year'), \
+                    granule_count('[1999-01-15, 1999-03-02]'::Period, 'month'), \
+                    length(expand_to('[1999-02-10, 1999-02-20]'::Period, 'month'))",
+        )
+        .unwrap();
+    assert_eq!(
+        as_chronon(&r.rows[0][0]).unwrap(),
+        Chronon::from_ymd(1999, 9, 1).unwrap()
+    );
+    assert_eq!(
+        as_chronon(&r.rows[0][1]).unwrap(),
+        Chronon::from_ymd(2000, 1, 1).unwrap()
+    );
+    assert_eq!(r.rows[0][2].as_int(), Some(3));
+    assert_eq!(as_span(&r.rows[0][3]).unwrap(), Span::from_days(28)); // all of Feb 1999
+                                                                      // Unknown granularity errors cleanly.
+    assert!(s
+        .query("SELECT trunc('1999-01-01'::Chronon, 'fortnight')")
+        .is_err());
+}
+
+#[test]
+fn group_max_overlap_aggregate() {
+    let (_db, s) = setup();
+    seed_paper_rows(&s);
+    // Mr.Showbiz's Diabeta and Aspirin prescriptions overlap -> 2;
+    // Ms.Medley's Tylenol (Aug 20-25) sits inside her Diabeta period
+    // (Jul-Oct) -> also 2.
+    let r = s
+        .query(
+            "SELECT patient, group_max_overlap(valid) FROM Prescription \
+             GROUP BY patient ORDER BY patient",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0].as_str(), Some("Mr.Showbiz"));
+    assert_eq!(r.rows[0][1].as_int(), Some(2));
+    assert_eq!(r.rows[1][0].as_str(), Some("Ms.Medley"));
+    assert_eq!(r.rows[1][1].as_int(), Some(2));
+}
+
+#[test]
+fn monthly_report_via_granularity_and_case() {
+    // A realistic reporting query combining the new SQL surface with the
+    // temporal routines: which prescriptions were active in March 1999,
+    // bucketed by how much of the month they cover.
+    let (_db, s) = setup();
+    seed_paper_rows(&s);
+    let r = s
+        .query(
+            "SELECT patient, drug, \
+                    CASE WHEN length(restrict(valid, granule('1999-03-15'::Chronon, 'month'))) \
+                              >= '28'::Span THEN 'full month' \
+                         ELSE 'partial' END AS coverage \
+             FROM Prescription \
+             WHERE overlaps(valid, granule('1999-03-15'::Chronon, 'month')::Element) \
+             ORDER BY patient, drug",
+        )
+        .unwrap();
+    assert_eq!(
+        r.rows.len(),
+        1,
+        "only Ms.Medley's long Diabeta course spans March"
+    );
+    assert_eq!(r.rows[0][0].as_str(), Some("Ms.Medley"));
+    assert_eq!(r.rows[0][2].as_str(), Some("full month"));
+}

@@ -1,0 +1,190 @@
+//! Interactive text-mode TIP Browser over the synthetic medical database.
+//!
+//! Reads commands from stdin (scriptable), prints the browser view after
+//! each command — the Figure-2 demo in a terminal:
+//!
+//! ```text
+//! sql SELECT patient, drug, valid FROM Prescription LIMIT 20
+//! attr valid
+//! window 1999-01-01 1999-12-31
+//! slide 30
+//! now 1999-09-23
+//! show
+//! quit
+//! ```
+
+use std::io::{self, BufRead, Write};
+use tip_browser::Browser;
+use tip_client::Connection;
+use tip_core::{Chronon, ResolvedPeriod, Span};
+use tip_workload::{generate, populate_tip, MedicalConfig};
+
+const HELP: &str = "\
+commands:
+  sql <query>              run a SELECT and load its result
+  attr <column>            choose the temporal browsing attribute
+  window <start> <end>     set the time window (chronon literals)
+  slide <span>             move the window (e.g. 'slide 30' or 'slide -7')
+  zoom <span>              grow (+) / shrink (-) the window on both sides
+  now <chronon>|off        override NOW for what-if analysis
+  slice <chronon>          timeslice: list tuples valid at an exact instant
+  width <n>                set timeline width in characters
+  show                     redraw the current view
+  help                     this text
+  quit                     exit";
+
+fn main() {
+    let conn = Connection::open_tip_enabled();
+    let demo_now = Chronon::from_ymd(1999, 12, 1).expect("valid date");
+    conn.set_now(Some(demo_now));
+    {
+        let session = conn.database().session();
+        let types = conn.tip_types();
+        let med = generate(&MedicalConfig::default());
+        populate_tip(&session, types, &med).expect("populate demo database");
+    }
+    println!("TIP Browser — synthetic medical database loaded (200 prescriptions).");
+    println!("Type 'help' for commands.\n");
+
+    let mut query = "SELECT patient, drug, valid FROM Prescription LIMIT 12".to_owned();
+    let mut attr = "valid".to_owned();
+    let mut browser = load(&conn, &query, &attr, demo_now);
+    if let Some(b) = &browser {
+        println!("{}", b.render());
+    }
+
+    let stdin = io::stdin();
+    loop {
+        print!("tip> ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        let (cmd, rest) = match line.split_once(' ') {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "" => {}
+            "help" => println!("{HELP}"),
+            "quit" | "exit" => break,
+            "sql" => {
+                query = rest.to_owned();
+                browser = load(&conn, &query, &attr, current_now(&conn, demo_now));
+                show(&browser);
+            }
+            "attr" => {
+                attr = rest.to_owned();
+                browser = load(&conn, &query, &attr, current_now(&conn, demo_now));
+                show(&browser);
+            }
+            "window" => {
+                let mut it = rest.split_whitespace();
+                match (
+                    it.next().and_then(|s| s.parse::<Chronon>().ok()),
+                    it.next().and_then(|s| s.parse::<Chronon>().ok()),
+                ) {
+                    (Some(s), Some(e)) => match ResolvedPeriod::new(s, e) {
+                        Ok(w) => {
+                            if let Some(b) = &mut browser {
+                                b.set_window(w);
+                            }
+                            show(&browser);
+                        }
+                        Err(err) => println!("error: {err}"),
+                    },
+                    _ => println!("usage: window <start> <end>"),
+                }
+            }
+            "slide" | "zoom" => match rest.parse::<Span>() {
+                Ok(by) => {
+                    if let Some(b) = &mut browser {
+                        if cmd == "slide" {
+                            b.slide(by);
+                        } else {
+                            b.zoom(by);
+                        }
+                    }
+                    show(&browser);
+                }
+                Err(err) => println!("error: {err}"),
+            },
+            "now" => {
+                if rest.eq_ignore_ascii_case("off") {
+                    conn.set_now(None);
+                    println!("NOW restored to the wall clock.");
+                } else {
+                    match rest.parse::<Chronon>() {
+                        Ok(n) => {
+                            conn.set_now(Some(n));
+                            if let Some(b) = &mut browser {
+                                b.set_now(n);
+                            }
+                            show(&browser);
+                        }
+                        Err(err) => println!("error: {err}"),
+                    }
+                }
+            }
+            "width" => match rest.parse::<usize>() {
+                Ok(n) => {
+                    if let Some(b) = &mut browser {
+                        b.set_timeline_width(n);
+                    }
+                    show(&browser);
+                }
+                Err(_) => println!("usage: width <n>"),
+            },
+            "slice" => match rest.parse::<tip_core::Chronon>() {
+                Ok(at) => match &browser {
+                    Some(b) => {
+                        let hits = b.timeslice(at);
+                        println!("{} tuple(s) valid at {at}: rows {hits:?}", hits.len());
+                    }
+                    None => println!("no result loaded; use 'sql <query>'"),
+                },
+                Err(err) => println!("error: {err}"),
+            },
+            "show" => show(&browser),
+            other => println!("unknown command {other:?}; type 'help'"),
+        }
+    }
+}
+
+fn current_now(conn: &Connection, fallback: Chronon) -> Chronon {
+    conn.now_override().unwrap_or(fallback)
+}
+
+fn load(conn: &Connection, sql: &str, attr: &str, now: Chronon) -> Option<Browser> {
+    match conn.query(sql, &[]) {
+        Ok(rows) => {
+            let result = rows.into_result();
+            let db = conn.database().clone();
+            match Browser::new(
+                &result,
+                |v| db.with_catalog(|c| c.display_value(v)),
+                attr,
+                now,
+            ) {
+                Ok(b) => Some(b),
+                Err(err) => {
+                    println!("error: {err}");
+                    None
+                }
+            }
+        }
+        Err(err) => {
+            println!("error: {err}");
+            None
+        }
+    }
+}
+
+fn show(browser: &Option<Browser>) {
+    match browser {
+        Some(b) => println!("{}", b.render()),
+        None => println!("no result loaded; use 'sql <query>'"),
+    }
+}

@@ -1,0 +1,441 @@
+//! # tip-browser — the TIP Browser, in text mode
+//!
+//! The paper's §4 demonstrates a Swing GUI for "querying and browsing
+//! data stored in a TIP-enabled Informix database":
+//!
+//! * the user picks any attribute of type `Chronon`, `Instant`, `Period`
+//!   or `Element` as the *browsing attribute*;
+//! * "there is a time window of adjustable size and position over the
+//!   time line";
+//! * the browser "automatically highlights all result tuples that are
+//!   valid in the window, and graphically displays their valid periods
+//!   within the window as segments of the time line";
+//! * a slider moves the window; and
+//! * the user may "enter a different value for NOW to override its
+//!   default interpretation, which provides what-if analysis".
+//!
+//! This crate reproduces every one of those behaviours over a
+//! deterministic text rendering (so the whole interaction is unit
+//! testable); the interactive CLI lives in the `tip-browser` binary.
+
+use minidb::{DbError, DbResult, QueryResult, Value};
+use tip_blade::{as_chronon, as_element, as_instant, as_period};
+use tip_core::{Chronon, Element, Period, ResolvedPeriod, Span};
+
+/// One result tuple in the browser: its rendered cells plus the raw
+/// temporal attribute (kept raw so a NOW override can re-resolve it).
+#[derive(Debug, Clone)]
+struct BrowserRow {
+    cells: Vec<String>,
+    valid: Element,
+}
+
+/// The browser model: a result set, a browsing attribute, a time window,
+/// and an interpretation of `NOW`.
+#[derive(Debug, Clone)]
+pub struct Browser {
+    columns: Vec<String>,
+    rows: Vec<BrowserRow>,
+    window: ResolvedPeriod,
+    now: Chronon,
+    timeline_width: usize,
+}
+
+/// Converts any of the four browsable attribute types into an `Element`
+/// (the paper lets the user browse by Chronon, Instant, Period, or
+/// Element).
+fn value_to_element(v: &Value) -> DbResult<Element> {
+    if let Some(e) = as_element(v) {
+        return Ok(e.clone());
+    }
+    if let Some(p) = as_period(v) {
+        return Ok(Element::from_period(p));
+    }
+    if let Some(i) = as_instant(v) {
+        return Ok(Element::from_period(Period::new(i, i)));
+    }
+    if let Some(c) = as_chronon(v) {
+        return Ok(Element::from_period(Period::at(c)));
+    }
+    Err(DbError::exec(
+        "browsing attribute must be Chronon, Instant, Period, or Element",
+    ))
+}
+
+impl Browser {
+    /// Builds a browser over a query result. `display` renders cells
+    /// (pass the catalog's `display_value`); `temporal_attr` names the
+    /// browsing attribute; `now` is the initial interpretation of `NOW`.
+    pub fn new(
+        result: &QueryResult,
+        display: impl Fn(&Value) -> String,
+        temporal_attr: &str,
+        now: Chronon,
+    ) -> DbResult<Browser> {
+        let tcol = result
+            .col_index(temporal_attr)
+            .ok_or_else(|| DbError::exec(format!("no column named {temporal_attr}")))?;
+        let columns: Vec<String> = result.columns.iter().map(|(n, _)| n.clone()).collect();
+        let mut rows = Vec::with_capacity(result.rows.len());
+        for row in &result.rows {
+            let valid = value_to_element(&row[tcol])?;
+            let cells = row.iter().map(&display).collect();
+            rows.push(BrowserRow { cells, valid });
+        }
+        let mut b = Browser {
+            columns,
+            rows,
+            window: ResolvedPeriod::ALL_TIME,
+            now,
+            timeline_width: 48,
+        };
+        b.window = b.extent().unwrap_or(ResolvedPeriod::ALL_TIME);
+        Ok(b)
+    }
+
+    /// The smallest window covering every tuple's validity (under the
+    /// current NOW), used as the initial window.
+    pub fn extent(&self) -> Option<ResolvedPeriod> {
+        let mut lo: Option<Chronon> = None;
+        let mut hi: Option<Chronon> = None;
+        for row in &self.rows {
+            if let Ok(r) = row.valid.resolve(self.now) {
+                if let (Ok(s), Ok(e)) = (r.start(), r.end()) {
+                    lo = Some(lo.map_or(s, |x| x.min(s)));
+                    hi = Some(hi.map_or(e, |x| x.max(e)));
+                }
+            }
+        }
+        ResolvedPeriod::checked(lo?, hi?)
+    }
+
+    /// The current window.
+    pub fn window(&self) -> ResolvedPeriod {
+        self.window
+    }
+
+    /// Repositions/resizes the window.
+    pub fn set_window(&mut self, window: ResolvedPeriod) {
+        self.window = window;
+    }
+
+    /// The slider: moves the window along the time line.
+    pub fn slide(&mut self, by: Span) {
+        self.window = self.window.shift(by);
+    }
+
+    /// Grows (positive) or shrinks (negative) the window on both sides;
+    /// shrinking below one chronon is ignored.
+    pub fn zoom(&mut self, by: Span) {
+        if let Some(w) = self.window.extend(by) {
+            self.window = w;
+        }
+    }
+
+    /// The current interpretation of `NOW`.
+    pub fn now(&self) -> Chronon {
+        self.now
+    }
+
+    /// The what-if override: re-interpret `NOW` for every tuple.
+    pub fn set_now(&mut self, now: Chronon) {
+        self.now = now;
+    }
+
+    /// Character width of the timeline column.
+    pub fn set_timeline_width(&mut self, width: usize) {
+        self.timeline_width = width.clamp(8, 200);
+    }
+
+    /// Number of result tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Indexes of tuples valid somewhere inside the current window — the
+    /// rows the GUI highlights.
+    pub fn highlighted(&self) -> Vec<usize> {
+        let win = tip_core::ResolvedElement::from_period(self.window);
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| {
+                row.valid
+                    .resolve(self.now)
+                    .map(|r| r.overlaps(&win))
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Timeslice: indexes of tuples valid at one exact instant — the
+    /// degenerate (zero-width) window, i.e. a TSQL2-style snapshot.
+    pub fn timeslice(&self, at: Chronon) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| {
+                row.valid
+                    .resolve(self.now)
+                    .map(|r| r.contains_chronon(at))
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The ASCII timeline for one row: the window mapped onto
+    /// `timeline_width` characters, `#` where the tuple is valid.
+    pub fn timeline(&self, row: usize) -> String {
+        let Some(r) = self.rows.get(row) else {
+            return String::new();
+        };
+        let Ok(resolved) = r.valid.resolve(self.now) else {
+            return "?".repeat(self.timeline_width);
+        };
+        let w = self.timeline_width as i64;
+        let ws = self.window.start().raw();
+        let we = self.window.end().raw();
+        let span = (we - ws + 1).max(1);
+        let mut out = String::with_capacity(self.timeline_width);
+        for k in 0..w {
+            // The chronon subrange this character covers.
+            let lo = ws + k * span / w;
+            let hi = (ws + (k + 1) * span / w - 1).max(lo);
+            let cell = ResolvedPeriod::new(
+                Chronon::from_raw(lo).unwrap_or(Chronon::BEGINNING),
+                Chronon::from_raw(hi).unwrap_or(Chronon::FOREVER),
+            )
+            .ok();
+            let covered =
+                cell.is_some_and(|c| resolved.overlaps(&tip_core::ResolvedElement::from_period(c)));
+            out.push(if covered { '#' } else { '.' });
+        }
+        out
+    }
+
+    /// Renders the whole browser view: header with window and NOW, the
+    /// result grid with `*` highlights, the timeline column, and the
+    /// slider track beneath (Figure 2's layout, in text).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.cells.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let highlighted: std::collections::HashSet<usize> =
+            self.highlighted().into_iter().collect();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "TIP Browser — window [{}, {}]  NOW = {}\n",
+            self.window.start(),
+            self.window.end(),
+            self.now
+        ));
+        // Header.
+        out.push_str("  | ");
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!("{c:<w$} | "));
+        }
+        out.push_str("valid in window\n");
+        // Rows.
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if highlighted.contains(&i) {
+                "* | "
+            } else {
+                "  | "
+            });
+            for (cell, w) in row.cells.iter().zip(&widths) {
+                out.push_str(&format!("{cell:<w$} | "));
+            }
+            out.push_str(&self.timeline(i));
+            out.push('\n');
+        }
+        // Slider track with a NOW marker when NOW falls inside the window.
+        let mut track: Vec<char> = vec!['-'; self.timeline_width];
+        let (ws, we) = (self.window.start().raw(), self.window.end().raw());
+        if self.window.contains_chronon(self.now) {
+            let span = (we - ws + 1).max(1);
+            let pos = ((self.now.raw() - ws) * self.timeline_width as i64 / span)
+                .clamp(0, self.timeline_width as i64 - 1) as usize;
+            track[pos] = 'N';
+        }
+        let indent: usize = 4 + widths.iter().map(|w| w + 3).sum::<usize>();
+        out.push_str(&" ".repeat(indent));
+        out.push_str(&track.iter().collect::<String>());
+        out.push('\n');
+        out.push_str(&format!(
+            "{} of {} tuple(s) valid in window\n",
+            highlighted.len(),
+            self.rows.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::Database;
+    use tip_blade::TipBlade;
+
+    fn c(s: &str) -> Chronon {
+        s.parse().unwrap()
+    }
+
+    fn demo_browser() -> Browser {
+        let db = Database::new();
+        db.install_blade(&TipBlade).unwrap();
+        let mut session = db.session();
+        session.set_now_unix(Some(tip_blade::chronon_to_unix(c("1999-12-01"))));
+        session
+            .execute("CREATE TABLE rx (patient CHAR(20), drug CHAR(20), valid Element)")
+            .unwrap();
+        session
+            .execute(
+                "INSERT INTO rx VALUES \
+                 ('Showbiz', 'Diabeta', '{[1999-10-01, NOW]}'), \
+                 ('Showbiz', 'Aspirin', '{[1999-09-15, 1999-10-20]}'), \
+                 ('Medley', 'Tylenol', '{[1999-08-20, 1999-08-25]}')",
+            )
+            .unwrap();
+        let result = session
+            .query("SELECT patient, drug, valid FROM rx")
+            .unwrap();
+        let display = |v: &Value| db.with_catalog(|cat| cat.display_value(v));
+        Browser::new(&result, display, "valid", c("1999-12-01")).unwrap()
+    }
+
+    #[test]
+    fn initial_window_covers_all_validity() {
+        let b = demo_browser();
+        assert_eq!(b.window().start(), c("1999-08-20"));
+        assert_eq!(b.window().end(), c("1999-12-01"));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn highlighting_follows_window() {
+        let mut b = demo_browser();
+        // Full extent: all three tuples valid somewhere in the window.
+        assert_eq!(b.highlighted().len(), 3);
+        // Narrow to November: only the open-ended Diabeta row remains.
+        b.set_window(ResolvedPeriod::new(c("1999-11-01"), c("1999-11-30")).unwrap());
+        assert_eq!(b.highlighted(), vec![0]);
+        // August: only Tylenol.
+        b.set_window(ResolvedPeriod::new(c("1999-08-01"), c("1999-08-31")).unwrap());
+        assert_eq!(b.highlighted(), vec![2]);
+    }
+
+    #[test]
+    fn slider_moves_window() {
+        let mut b = demo_browser();
+        b.set_window(ResolvedPeriod::new(c("1999-08-01"), c("1999-08-31")).unwrap());
+        b.slide(Span::from_days(45));
+        assert_eq!(b.window().start(), c("1999-09-15"));
+        assert_eq!(b.highlighted(), vec![0, 1], "mid-September window");
+    }
+
+    #[test]
+    fn zoom_grows_and_shrinks() {
+        let mut b = demo_browser();
+        b.set_window(ResolvedPeriod::new(c("1999-09-01"), c("1999-09-30")).unwrap());
+        b.zoom(Span::from_days(10));
+        assert_eq!(b.window().start(), c("1999-08-22"));
+        assert_eq!(b.window().end(), c("1999-10-10"));
+        // Shrinking to nothing is ignored.
+        b.zoom(Span::from_days(-300));
+        assert_eq!(b.window().start(), c("1999-08-22"));
+    }
+
+    #[test]
+    fn now_override_changes_highlighting() {
+        let mut b = demo_browser();
+        // In a what-if past where NOW = 1999-09-20, the Diabeta
+        // prescription ([1999-10-01, NOW]) hasn't started: it resolves to
+        // empty and is never highlighted.
+        b.set_now(c("1999-09-20"));
+        b.set_window(ResolvedPeriod::new(c("1999-10-01"), c("1999-12-31")).unwrap());
+        assert_eq!(b.highlighted(), vec![1]); // only Aspirin reaches October
+    }
+
+    #[test]
+    fn timeline_shows_segments() {
+        let mut b = demo_browser();
+        b.set_timeline_width(30);
+        b.set_window(ResolvedPeriod::new(c("1999-09-01"), c("1999-12-01")).unwrap());
+        let diabeta = b.timeline(0); // valid [1999-10-01, NOW=1999-12-01]
+        assert!(
+            diabeta.starts_with('.'),
+            "not valid at window start: {diabeta}"
+        );
+        assert!(diabeta.ends_with('#'), "valid at window end: {diabeta}");
+        let tylenol = b.timeline(2); // entirely before the window
+        assert_eq!(tylenol, ".".repeat(30));
+        assert!(b.timeline(99).is_empty(), "out-of-range row");
+    }
+
+    #[test]
+    fn timeslice_snapshots_an_instant() {
+        let b = demo_browser();
+        // On 1999-10-10, Diabeta (since Oct 1, open) and Aspirin
+        // (Sep 15 - Oct 20) are both active; Tylenol ended in August.
+        assert_eq!(b.timeslice(c("1999-10-10")), vec![0, 1]);
+        assert_eq!(b.timeslice(c("1999-08-22")), vec![2]);
+        assert!(b.timeslice(c("1999-01-01")).is_empty());
+    }
+
+    #[test]
+    fn render_contains_all_parts() {
+        let b = demo_browser();
+        let view = b.render();
+        assert!(view.contains("TIP Browser"));
+        assert!(view.contains("NOW = 1999-12-01"));
+        assert!(view.contains("Showbiz"));
+        assert!(view.contains("Diabeta"));
+        assert!(view.contains('#'));
+        assert!(view.contains("N"), "NOW marker on the slider track");
+        assert!(view.contains("3 of 3 tuple(s) valid in window"));
+    }
+
+    #[test]
+    fn browse_by_chronon_attribute() {
+        let db = Database::new();
+        db.install_blade(&TipBlade).unwrap();
+        let session = db.session();
+        session
+            .execute("CREATE TABLE visits (who CHAR(10), at Chronon)")
+            .unwrap();
+        session
+            .execute("INSERT INTO visits VALUES ('a', '1999-05-05'), ('b', '1999-07-07')")
+            .unwrap();
+        let result = session.query("SELECT who, at FROM visits").unwrap();
+        let display = |v: &Value| db.with_catalog(|cat| cat.display_value(v));
+        let mut b = Browser::new(&result, display, "at", c("1999-12-01")).unwrap();
+        assert_eq!(b.window().start(), c("1999-05-05"));
+        b.set_window(ResolvedPeriod::new(c("1999-07-01"), c("1999-07-31")).unwrap());
+        assert_eq!(b.highlighted(), vec![1]);
+    }
+
+    #[test]
+    fn non_temporal_attribute_rejected() {
+        let db = Database::new();
+        db.install_blade(&TipBlade).unwrap();
+        let session = db.session();
+        session.execute("CREATE TABLE t (a INT)").unwrap();
+        session.execute("INSERT INTO t VALUES (1)").unwrap();
+        let result = session.query("SELECT a FROM t").unwrap();
+        let display = |v: &Value| db.with_catalog(|cat| cat.display_value(v));
+        assert!(Browser::new(&result, display, "a", Chronon::EPOCH).is_err());
+        let result = session.query("SELECT a FROM t").unwrap();
+        let display = |v: &Value| db.with_catalog(|cat| cat.display_value(v));
+        assert!(Browser::new(&result, display, "zzz", Chronon::EPOCH).is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! Bitemporal tables: valid time *and* transaction time.
+//!
+//! TIP timestamps tuples with valid-time `Element`s; the bitemporal
+//! literature the paper builds on (Jensen, Snodgrass; the paper's
+//! reference [2] indexes "now-relative bitemporal data") adds a second
+//! axis — *transaction time*: when the database believed the fact. This
+//! module provides the standard append-only encoding as a client-side
+//! library over a TIP-enabled connection:
+//!
+//! * every logical row is stored with `vt Element` (valid time),
+//!   `tt_start Chronon`, and `tt_end Chronon` where `tt_end = FOREVER`
+//!   means *until changed*;
+//! * logical DELETE/UPDATE never destroy rows — they close `tt_end` at
+//!   the statement's transaction time and (for UPDATE) append the new
+//!   version;
+//! * [`BitemporalTable::current`] queries the live state and
+//!   [`BitemporalTable::as_of`] reconstructs what the database believed
+//!   at any past transaction time — a time-travel query.
+
+use crate::{Connection, HostValue, Rows};
+use minidb::{DbError, DbResult};
+use tip_core::Chronon;
+
+/// The transaction-time sentinel for "until changed".
+pub const UNTIL_CHANGED: Chronon = Chronon::FOREVER;
+
+/// A bitemporal table handle: user columns + `vt`/`tt_start`/`tt_end`.
+pub struct BitemporalTable<'a> {
+    conn: &'a Connection,
+    name: String,
+    user_cols: Vec<String>,
+}
+
+impl<'a> BitemporalTable<'a> {
+    /// Creates the backing table. `cols` are `(name, sql_type)` pairs for
+    /// the user columns; the bitemporal columns are appended.
+    pub fn create(
+        conn: &'a Connection,
+        name: &str,
+        cols: &[(&str, &str)],
+    ) -> DbResult<BitemporalTable<'a>> {
+        for reserved in ["vt", "tt_start", "tt_end"] {
+            if cols.iter().any(|(c, _)| c.eq_ignore_ascii_case(reserved)) {
+                return Err(DbError::Constraint {
+                    message: format!("column name {reserved} is reserved for bitemporal use"),
+                });
+            }
+        }
+        let mut ddl = format!("CREATE TABLE {name} (");
+        for (c, ty) in cols {
+            ddl.push_str(&format!("{c} {ty}, "));
+        }
+        ddl.push_str("vt Element, tt_start Chronon, tt_end Chronon)");
+        conn.execute(&ddl, &[])?;
+        Ok(BitemporalTable {
+            conn,
+            name: name.to_owned(),
+            user_cols: cols.iter().map(|(c, _)| (*c).to_owned()).collect(),
+        })
+    }
+
+    /// Attaches to an existing bitemporal table.
+    pub fn attach(conn: &'a Connection, name: &str, user_cols: &[&str]) -> BitemporalTable<'a> {
+        BitemporalTable {
+            conn,
+            name: name.to_owned(),
+            user_cols: user_cols.iter().map(|c| (*c).to_owned()).collect(),
+        }
+    }
+
+    fn collist(&self) -> String {
+        self.user_cols.join(", ")
+    }
+
+    /// The transaction time the connection would stamp right now.
+    fn txn_now(&self) -> DbResult<Chronon> {
+        let mut rows = self.conn.query("SELECT now()", &[])?;
+        rows.next();
+        rows.get_chronon(0)
+    }
+
+    /// Inserts a new logical row valid over `vt`, asserted from the
+    /// current transaction time until changed.
+    pub fn insert(&self, values: &[(&str, HostValue)], vt: tip_core::Element) -> DbResult<()> {
+        if values.len() != self.user_cols.len() {
+            return Err(DbError::Constraint {
+                message: format!(
+                    "expected {} user column value(s), got {}",
+                    self.user_cols.len(),
+                    values.len()
+                ),
+            });
+        }
+        let placeholders: Vec<String> = values.iter().map(|(n, _)| format!(":{n}")).collect();
+        let sql = format!(
+            "INSERT INTO {} ({}, vt, tt_start, tt_end) \
+             VALUES ({}, :__vt, now(), :__ttend)",
+            self.name,
+            self.collist(),
+            placeholders.join(", "),
+        );
+        let mut params: Vec<(&str, HostValue)> = values.to_vec();
+        params.push(("__vt", HostValue::Element(vt)));
+        params.push(("__ttend", HostValue::Chronon(UNTIL_CHANGED)));
+        self.conn.execute(&sql, &params)?;
+        Ok(())
+    }
+
+    /// Logically deletes the current rows matching `predicate` (SQL over
+    /// the user columns): their `tt_end` closes at the transaction time.
+    /// Returns the number of versions closed.
+    pub fn delete_where(&self, predicate: &str) -> DbResult<usize> {
+        let sql = format!(
+            "UPDATE {} SET tt_end = now() \
+             WHERE tt_end = :__uc AND ({predicate})",
+            self.name
+        );
+        self.conn
+            .execute(&sql, &[("__uc", HostValue::Chronon(UNTIL_CHANGED))])
+    }
+
+    /// Logically updates: closes the matching current versions and
+    /// appends one new version with the given values/valid time.
+    pub fn update_where(
+        &self,
+        predicate: &str,
+        new_values: &[(&str, HostValue)],
+        new_vt: tip_core::Element,
+    ) -> DbResult<usize> {
+        let closed = self.delete_where(predicate)?;
+        if closed > 0 {
+            self.insert(new_values, new_vt)?;
+        }
+        Ok(closed)
+    }
+
+    /// The current logical state (rows believed true now).
+    pub fn current(&self) -> DbResult<Rows> {
+        let sql = format!(
+            "SELECT {}, vt FROM {} WHERE tt_end = :__uc",
+            self.collist(),
+            self.name
+        );
+        self.conn
+            .query(&sql, &[("__uc", HostValue::Chronon(UNTIL_CHANGED))])
+    }
+
+    /// Time travel: the state the database believed at transaction time
+    /// `at` (rows whose `[tt_start, tt_end)` contains `at`).
+    pub fn as_of(&self, at: Chronon) -> DbResult<Rows> {
+        let sql = format!(
+            "SELECT {}, vt FROM {} WHERE tt_start <= :__at AND tt_end > :__at",
+            self.collist(),
+            self.name
+        );
+        self.conn.query(&sql, &[("__at", HostValue::Chronon(at))])
+    }
+
+    /// Full version history of rows matching a predicate, oldest first.
+    pub fn history_where(&self, predicate: &str) -> DbResult<Rows> {
+        let sql = format!(
+            "SELECT {}, vt, tt_start, tt_end FROM {} WHERE {predicate} ORDER BY tt_start",
+            self.collist(),
+            self.name
+        );
+        self.conn.query(&sql, &[])
+    }
+
+    /// The number of stored versions (physical rows).
+    pub fn version_count(&self) -> DbResult<i64> {
+        let mut rows = self
+            .conn
+            .query(&format!("SELECT COUNT(*) FROM {}", self.name), &[])?;
+        rows.next();
+        rows.get_int(0)
+    }
+
+    /// Sanity invariant: every version has `tt_start <= tt_end`, and no
+    /// two *open* versions share identical user-column values (one
+    /// current belief per fact).
+    pub fn check_invariant(&self) -> DbResult<()> {
+        let mut bad = self.conn.query(
+            &format!("SELECT COUNT(*) FROM {} WHERE tt_start > tt_end", self.name),
+            &[],
+        )?;
+        bad.next();
+        if bad.get_int(0)? != 0 {
+            return Err(DbError::Constraint {
+                message: "version with tt_start > tt_end".into(),
+            });
+        }
+        let _ = self.txn_now()?; // connection is alive and stamping
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tip_core::Element;
+
+    fn c(s: &str) -> Chronon {
+        s.parse().unwrap()
+    }
+
+    fn el(s: &str) -> Element {
+        s.parse().unwrap()
+    }
+
+    fn setup() -> Connection {
+        let conn = Connection::open_tip_enabled();
+        conn.set_now(Some(c("1999-01-01")));
+        conn
+    }
+
+    #[test]
+    fn insert_and_current() {
+        let conn = setup();
+        let t = BitemporalTable::create(&conn, "rx", &[("patient", "CHAR(20)")]).unwrap();
+        t.insert(
+            &[("patient", HostValue::Str("showbiz".into()))],
+            el("{[1999-01-01, NOW]}"),
+        )
+        .unwrap();
+        let rows = t.current().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(t.version_count().unwrap(), 1);
+        t.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn logical_delete_preserves_history() {
+        let conn = setup();
+        let t = BitemporalTable::create(&conn, "rx", &[("patient", "CHAR(20)")]).unwrap();
+        t.insert(
+            &[("patient", HostValue::Str("a".into()))],
+            el("{[1999-01-01, NOW]}"),
+        )
+        .unwrap();
+        // Time passes; the fact is retracted.
+        conn.set_now(Some(c("1999-06-01")));
+        assert_eq!(t.delete_where("patient = 'a'").unwrap(), 1);
+        assert!(t.current().unwrap().is_empty());
+        // The physical row is still there, closed.
+        assert_eq!(t.version_count().unwrap(), 1);
+        // Time travel: before the retraction the row was believed.
+        assert_eq!(t.as_of(c("1999-03-01")).unwrap().len(), 1);
+        assert!(t.as_of(c("1999-07-01")).unwrap().is_empty());
+        assert!(
+            t.as_of(c("1998-01-01")).unwrap().is_empty(),
+            "before insertion"
+        );
+    }
+
+    #[test]
+    fn logical_update_appends_versions() {
+        let conn = setup();
+        let t = BitemporalTable::create(&conn, "rx", &[("patient", "CHAR(20)"), ("dose", "INT")])
+            .unwrap();
+        t.insert(
+            &[
+                ("patient", HostValue::Str("a".into())),
+                ("dose", HostValue::Int(1)),
+            ],
+            el("{[1999-01-01, NOW]}"),
+        )
+        .unwrap();
+        conn.set_now(Some(c("1999-04-01")));
+        let n = t
+            .update_where(
+                "patient = 'a'",
+                &[
+                    ("patient", HostValue::Str("a".into())),
+                    ("dose", HostValue::Int(2)),
+                ],
+                el("{[1999-04-01, NOW]}"),
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.version_count().unwrap(), 2);
+        // Current shows the new dose.
+        let mut cur = t.current().unwrap();
+        assert_eq!(cur.len(), 1);
+        cur.next();
+        assert_eq!(cur.get_int(1).unwrap(), 2);
+        // As-of February shows the old dose.
+        let mut feb = t.as_of(c("1999-02-01")).unwrap();
+        assert_eq!(feb.len(), 1);
+        feb.next();
+        assert_eq!(feb.get_int(1).unwrap(), 1);
+        // History lists both versions in order.
+        let hist = t.history_where("patient = 'a'").unwrap();
+        assert_eq!(hist.len(), 2);
+    }
+
+    #[test]
+    fn updating_a_missing_row_is_a_no_op() {
+        let conn = setup();
+        let t = BitemporalTable::create(&conn, "rx", &[("patient", "CHAR(20)")]).unwrap();
+        let n = t
+            .update_where(
+                "patient = 'ghost'",
+                &[("patient", HostValue::Str("ghost".into()))],
+                el("{}"),
+            )
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(t.version_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn reserved_columns_rejected_and_attach_works() {
+        let conn = setup();
+        assert!(BitemporalTable::create(&conn, "bad", &[("vt", "INT")]).is_err());
+        BitemporalTable::create(&conn, "rx", &[("patient", "CHAR(20)")]).unwrap();
+        let t2 = BitemporalTable::attach(&conn, "rx", &["patient"]);
+        t2.insert(&[("patient", HostValue::Str("b".into()))], el("{}"))
+            .unwrap();
+        assert_eq!(t2.version_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn valid_and_transaction_time_are_independent() {
+        // A fact about the *past* (valid time) asserted *now*
+        // (transaction time): classic bitemporal distinction.
+        let conn = setup();
+        conn.set_now(Some(c("1999-06-01")));
+        let t = BitemporalTable::create(&conn, "rx", &[("patient", "CHAR(20)")]).unwrap();
+        t.insert(
+            &[("patient", HostValue::Str("late-entry".into()))],
+            el("{[1998-01-01, 1998-03-01]}"), // valid in early 1998…
+        )
+        .unwrap();
+        // …but the database only knew about it from mid-1999.
+        assert!(t.as_of(c("1998-06-01")).unwrap().is_empty());
+        let mut rows = t.as_of(c("1999-07-01")).unwrap();
+        assert_eq!(rows.len(), 1);
+        rows.next();
+        let vt = rows.get_element(1).unwrap();
+        assert_eq!(vt.to_string(), "{[1998-01-01, 1998-03-01]}");
+    }
+}

@@ -1,0 +1,571 @@
+//! # tip-client — the TIP client libraries
+//!
+//! The paper's Figure 1 shows client applications reaching a TIP-enabled
+//! database through standard APIs, manipulating TIP datatypes via the
+//! *TIP C library* and *TIP Java library*; the Java side uses JDBC 2.0's
+//! *customized type mapping* to turn database UDT values into rich host
+//! objects. This crate is the Rust analogue:
+//!
+//! * [`Connection`] — connect to (and optionally bootstrap) a
+//!   TIP-enabled database;
+//! * [`PreparedStatement`] — SQL with named parameters (`:w`), bound from
+//!   host values including `tip-core` objects;
+//! * [`Rows`] — a cursor with typed accessors (`get_chronon`,
+//!   `get_element`, …);
+//! * [`TypeMap`] / [`HostValue`] — customized type mapping: UDT values
+//!   convert to first-class host objects, unknown (or unmapped) UDTs
+//!   degrade to their text rendering, exactly like an unmapped JDBC
+//!   STRUCT.
+//!
+//! ```
+//! use tip_client::Connection;
+//! use tip_core::Chronon;
+//!
+//! let conn = Connection::open_tip_enabled();
+//! conn.execute("CREATE TABLE visits (patient CHAR(20), at Chronon)", &[]).unwrap();
+//! conn.execute("INSERT INTO visits VALUES ('Mr.Showbiz', '1999-10-01')", &[]).unwrap();
+//! let mut rows = conn.query("SELECT at FROM visits", &[]).unwrap();
+//! assert!(rows.next());
+//! assert_eq!(rows.get_chronon(0).unwrap(), Chronon::from_ymd(1999, 10, 1).unwrap());
+//! ```
+
+pub mod bitemporal;
+
+use minidb::{Database, DbError, DbResult, QueryResult, Session, StatementOutcome, Value};
+use std::sync::{Arc, Mutex};
+use tip_blade::{as_chronon, as_element, as_instant, as_period, as_span, TipBlade, TipTypes};
+use tip_core::{Chronon, Element, Instant, Period, Span};
+
+/// A host-language view of one SQL value — the result of customized type
+/// mapping (JDBC 2.0 style): TIP UDTs arrive as first-class objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostValue {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Chronon(Chronon),
+    Span(Span),
+    Instant(Instant),
+    Period(Period),
+    Element(Element),
+    /// An unmapped UDT, rendered through its text-output function.
+    OtherUdt(String),
+}
+
+/// The customized type map. The default maps the five TIP types to host
+/// objects; [`TypeMap::unmapped`] disables that, so every UDT arrives as
+/// text (like removing the entries from a JDBC type map).
+#[derive(Debug, Clone)]
+pub struct TypeMap {
+    map_tip_types: bool,
+}
+
+impl Default for TypeMap {
+    fn default() -> TypeMap {
+        TypeMap {
+            map_tip_types: true,
+        }
+    }
+}
+
+impl TypeMap {
+    /// A map with no custom entries.
+    pub fn unmapped() -> TypeMap {
+        TypeMap {
+            map_tip_types: false,
+        }
+    }
+}
+
+type DisplayFn = Arc<dyn Fn(&Value) -> String + Send + Sync>;
+
+/// A connection to a TIP-enabled database.
+pub struct Connection {
+    db: Arc<Database>,
+    session: Mutex<Session>,
+    types: TipTypes,
+    type_map: TypeMap,
+}
+
+impl Connection {
+    /// Creates a fresh in-process database, installs the TIP DataBlade,
+    /// and connects — the one-call bootstrap used by examples and tests.
+    pub fn open_tip_enabled() -> Connection {
+        let db = Database::new();
+        db.install_blade(&TipBlade)
+            .expect("fresh database accepts the blade");
+        Connection::attach(&db).expect("blade just installed")
+    }
+
+    /// Connects to an existing database; errors if the TIP blade is not
+    /// installed (clients require the TIP types server-side).
+    pub fn attach(db: &Arc<Database>) -> DbResult<Connection> {
+        let types = db.with_catalog(TipTypes::from_catalog)?;
+        Ok(Connection {
+            db: Arc::clone(db),
+            session: Mutex::new(db.session()),
+            types,
+            type_map: TypeMap::default(),
+        })
+    }
+
+    fn with_session<R>(&self, f: impl FnOnce(&mut Session) -> R) -> R {
+        f(&mut self.session.lock().expect("session poisoned"))
+    }
+
+    /// Replaces the customized type map.
+    pub fn set_type_map(&mut self, map: TypeMap) {
+        self.type_map = map;
+    }
+
+    /// The underlying database handle.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The TIP type ids of this database (for constructing UDT parameter
+    /// values manually).
+    pub fn tip_types(&self) -> TipTypes {
+        self.types
+    }
+
+    /// Overrides `NOW` for subsequent statements (what-if analysis);
+    /// `None` restores the wall clock.
+    pub fn set_now(&self, now: Option<Chronon>) {
+        self.with_session(|s| s.set_now_unix(now.map(tip_blade::chronon_to_unix)));
+    }
+
+    /// The current NOW override.
+    pub fn now_override(&self) -> Option<Chronon> {
+        self.with_session(|s| s.now_override().map(tip_blade::now_chronon))
+    }
+
+    /// Converts host parameter values to engine values.
+    fn lower_param(&self, p: &HostValue) -> Value {
+        match p {
+            HostValue::Null => Value::Null,
+            HostValue::Bool(b) => Value::Bool(*b),
+            HostValue::Int(i) => Value::Int(*i),
+            HostValue::Float(f) => Value::Float(*f),
+            HostValue::Str(s) => Value::Str(s.clone()),
+            HostValue::Chronon(c) => self.types.chronon(*c),
+            HostValue::Span(s) => self.types.span(*s),
+            HostValue::Instant(i) => self.types.instant(*i),
+            HostValue::Period(p) => self.types.period(*p),
+            HostValue::Element(e) => self.types.element(e.clone()),
+            HostValue::OtherUdt(s) => Value::Str(s.clone()),
+        }
+    }
+
+    /// Executes a non-query statement with named parameters; returns the
+    /// affected-row count (0 for DDL).
+    pub fn execute(&self, sql: &str, params: &[(&str, HostValue)]) -> DbResult<usize> {
+        let lowered: Vec<(&str, Value)> = params
+            .iter()
+            .map(|(k, v)| (*k, self.lower_param(v)))
+            .collect();
+        match self.with_session(|s| s.execute_with_params(sql, &lowered))? {
+            StatementOutcome::Affected(n) => Ok(n),
+            StatementOutcome::Done => Ok(0),
+            StatementOutcome::Rows(_) => Err(DbError::exec("statement returned rows; use query()")),
+        }
+    }
+
+    /// Runs a query with named parameters.
+    pub fn query(&self, sql: &str, params: &[(&str, HostValue)]) -> DbResult<Rows> {
+        let lowered: Vec<(&str, Value)> = params
+            .iter()
+            .map(|(k, v)| (*k, self.lower_param(v)))
+            .collect();
+        let result = self.with_session(|s| s.query_with_params(sql, &lowered))?;
+        let db = Arc::clone(&self.db);
+        let display: DisplayFn = Arc::new(move |v| db.with_catalog(|c| c.display_value(v)));
+        Ok(Rows {
+            result,
+            cursor: None,
+            type_map: self.type_map.clone(),
+            display,
+        })
+    }
+
+    /// Prepares a statement for repeated execution.
+    pub fn prepare(&self, sql: &str) -> PreparedStatement<'_> {
+        PreparedStatement {
+            conn: self,
+            sql: sql.to_owned(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Renders one value as SQL text via the catalog.
+    pub fn display_value(&self, v: &Value) -> String {
+        self.db.with_catalog(|c| c.display_value(v))
+    }
+
+    /// Renders a whole result set as an ASCII table.
+    pub fn format(&self, rows: &Rows) -> String {
+        self.with_session(|s| s.format_result(&rows.result))
+    }
+}
+
+/// A prepared statement with named-parameter binding.
+pub struct PreparedStatement<'a> {
+    conn: &'a Connection,
+    sql: String,
+    params: Vec<(String, HostValue)>,
+}
+
+impl PreparedStatement<'_> {
+    /// Binds a named parameter (the paper's `:w`); rebinding replaces.
+    pub fn bind(mut self, name: &str, value: HostValue) -> Self {
+        self.params.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.params.push((name.to_owned(), value));
+        self
+    }
+
+    /// Executes as a query.
+    pub fn query(&self) -> DbResult<Rows> {
+        let params: Vec<(&str, HostValue)> = self
+            .params
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        self.conn.query(&self.sql, &params)
+    }
+
+    /// Executes as a non-query statement.
+    pub fn execute(&self) -> DbResult<usize> {
+        let params: Vec<(&str, HostValue)> = self
+            .params
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        self.conn.execute(&self.sql, &params)
+    }
+}
+
+/// A forward-only cursor over a query result with typed accessors.
+pub struct Rows {
+    result: QueryResult,
+    cursor: Option<usize>,
+    type_map: TypeMap,
+    display: DisplayFn,
+}
+
+impl Rows {
+    /// Advances to the next row; `false` at the end.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> bool {
+        let next = self.cursor.map_or(0, |c| c + 1);
+        if next < self.result.rows.len() {
+            self.cursor = Some(next);
+            true
+        } else {
+            self.cursor = Some(self.result.rows.len());
+            false
+        }
+    }
+
+    /// Number of rows in the result.
+    pub fn len(&self) -> usize {
+        self.result.rows.len()
+    }
+
+    /// `true` when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.result.rows.is_empty()
+    }
+
+    /// Output column names.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.result
+            .columns
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Column index by name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.result.col_index(name)
+    }
+
+    fn current(&self) -> DbResult<&minidb::Row> {
+        let i = self
+            .cursor
+            .ok_or_else(|| DbError::exec("call next() before accessors"))?;
+        self.result
+            .rows
+            .get(i)
+            .ok_or_else(|| DbError::exec("cursor is past the last row"))
+    }
+
+    fn cell(&self, col: usize) -> DbResult<&Value> {
+        self.current()?
+            .get(col)
+            .ok_or_else(|| DbError::exec(format!("column index {col} out of range")))
+    }
+
+    /// The raw engine value.
+    pub fn get_raw(&self, col: usize) -> DbResult<Value> {
+        self.cell(col).cloned()
+    }
+
+    /// The customized-type-mapped host value (`getObject` in JDBC terms).
+    pub fn get_object(&self, col: usize) -> DbResult<HostValue> {
+        let v = self.cell(col)?;
+        Ok(match v {
+            Value::Null => HostValue::Null,
+            Value::Bool(b) => HostValue::Bool(*b),
+            Value::Int(i) => HostValue::Int(*i),
+            Value::Float(f) => HostValue::Float(*f),
+            Value::Str(s) => HostValue::Str(s.clone()),
+            Value::Udt(_) => {
+                if self.type_map.map_tip_types {
+                    if let Some(c) = as_chronon(v) {
+                        return Ok(HostValue::Chronon(c));
+                    }
+                    if let Some(s) = as_span(v) {
+                        return Ok(HostValue::Span(s));
+                    }
+                    if let Some(i) = as_instant(v) {
+                        return Ok(HostValue::Instant(i));
+                    }
+                    if let Some(p) = as_period(v) {
+                        return Ok(HostValue::Period(p));
+                    }
+                    if let Some(e) = as_element(v) {
+                        return Ok(HostValue::Element(e.clone()));
+                    }
+                }
+                HostValue::OtherUdt((self.display)(v))
+            }
+        })
+    }
+
+    /// `true` when the cell is SQL NULL.
+    pub fn is_null(&self, col: usize) -> DbResult<bool> {
+        Ok(self.cell(col)?.is_null())
+    }
+
+    /// Typed accessor: INT.
+    pub fn get_int(&self, col: usize) -> DbResult<i64> {
+        self.cell(col)?
+            .as_int()
+            .ok_or_else(|| DbError::exec("column is not INT"))
+    }
+
+    /// Typed accessor: FLOAT.
+    pub fn get_float(&self, col: usize) -> DbResult<f64> {
+        self.cell(col)?
+            .as_float()
+            .ok_or_else(|| DbError::exec("column is not FLOAT"))
+    }
+
+    /// Typed accessor: BOOLEAN.
+    pub fn get_bool(&self, col: usize) -> DbResult<bool> {
+        self.cell(col)?
+            .as_bool()
+            .ok_or_else(|| DbError::exec("column is not BOOLEAN"))
+    }
+
+    /// Typed accessor: string.
+    pub fn get_string(&self, col: usize) -> DbResult<String> {
+        self.cell(col)?
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DbError::exec("column is not CHAR"))
+    }
+
+    /// Typed accessor: Chronon.
+    pub fn get_chronon(&self, col: usize) -> DbResult<Chronon> {
+        as_chronon(self.cell(col)?).ok_or_else(|| DbError::exec("column is not Chronon"))
+    }
+
+    /// Typed accessor: Span.
+    pub fn get_span(&self, col: usize) -> DbResult<Span> {
+        as_span(self.cell(col)?).ok_or_else(|| DbError::exec("column is not Span"))
+    }
+
+    /// Typed accessor: Instant.
+    pub fn get_instant(&self, col: usize) -> DbResult<Instant> {
+        as_instant(self.cell(col)?).ok_or_else(|| DbError::exec("column is not Instant"))
+    }
+
+    /// Typed accessor: Period.
+    pub fn get_period(&self, col: usize) -> DbResult<Period> {
+        as_period(self.cell(col)?).ok_or_else(|| DbError::exec("column is not Period"))
+    }
+
+    /// Typed accessor: Element.
+    pub fn get_element(&self, col: usize) -> DbResult<Element> {
+        as_element(self.cell(col)?)
+            .cloned()
+            .ok_or_else(|| DbError::exec("column is not Element"))
+    }
+
+    /// The underlying result set (for interop with the browser).
+    pub fn into_result(self) -> QueryResult {
+        self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn_with_demo() -> Connection {
+        let conn = Connection::open_tip_enabled();
+        conn.set_now(Some(Chronon::from_ymd(1999, 12, 1).unwrap()));
+        conn.execute(
+            "CREATE TABLE rx (patient CHAR(20), dob Chronon, freq Span, valid Element)",
+            &[],
+        )
+        .unwrap();
+        conn.execute(
+            "INSERT INTO rx VALUES ('Mr.Showbiz', '1965-04-02', '0 08:00:00', \
+             '{[1999-10-01, NOW]}')",
+            &[],
+        )
+        .unwrap();
+        conn
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let conn = conn_with_demo();
+        let mut rows = conn
+            .query("SELECT patient, dob, freq, valid FROM rx", &[])
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows.next());
+        assert_eq!(rows.get_string(0).unwrap(), "Mr.Showbiz");
+        assert_eq!(
+            rows.get_chronon(1).unwrap(),
+            Chronon::from_ymd(1965, 4, 2).unwrap()
+        );
+        assert_eq!(rows.get_span(2).unwrap(), Span::from_hours(8));
+        assert_eq!(
+            rows.get_element(3).unwrap().to_string(),
+            "{[1999-10-01, NOW]}"
+        );
+        assert!(!rows.next());
+    }
+
+    #[test]
+    fn accessor_type_mismatch_errors() {
+        let conn = conn_with_demo();
+        let mut rows = conn.query("SELECT patient FROM rx", &[]).unwrap();
+        rows.next();
+        assert!(rows.get_chronon(0).is_err());
+        assert!(rows.get_int(0).is_err());
+        assert!(rows.get_int(5).is_err(), "out-of-range column");
+    }
+
+    #[test]
+    fn cursor_discipline() {
+        let conn = conn_with_demo();
+        let rows = conn.query("SELECT patient FROM rx", &[]).unwrap();
+        // Accessing before next() is an error.
+        assert!(rows.get_string(0).is_err());
+    }
+
+    #[test]
+    fn customized_type_mapping() {
+        let conn = conn_with_demo();
+        let mut rows = conn.query("SELECT valid FROM rx", &[]).unwrap();
+        rows.next();
+        match rows.get_object(0).unwrap() {
+            HostValue::Element(e) => assert!(e.is_now_relative()),
+            other => panic!("expected mapped Element, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmapped_types_degrade_to_text() {
+        let mut conn = conn_with_demo();
+        conn.set_type_map(TypeMap::unmapped());
+        let mut rows = conn.query("SELECT valid FROM rx", &[]).unwrap();
+        rows.next();
+        match rows.get_object(0).unwrap() {
+            HostValue::OtherUdt(s) => assert_eq!(s, "{[1999-10-01, NOW]}"),
+            other => panic!("expected text fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepared_statement_binding() {
+        let conn = conn_with_demo();
+        let stmt = conn
+            .prepare("SELECT patient FROM rx WHERE length(valid) > :minlen")
+            .bind("minlen", HostValue::Span(Span::from_days(30)));
+        let rows = stmt.query().unwrap();
+        assert_eq!(rows.len(), 1);
+        // Rebinding replaces the old value.
+        let stmt = stmt.bind("minlen", HostValue::Span(Span::from_days(300)));
+        assert!(stmt.query().unwrap().is_empty());
+    }
+
+    #[test]
+    fn tip_object_parameters() {
+        let conn = conn_with_demo();
+        let rows = conn
+            .query(
+                "SELECT patient FROM rx WHERE contains(valid, :day)",
+                &[(
+                    "day",
+                    HostValue::Chronon(Chronon::from_ymd(1999, 11, 11).unwrap()),
+                )],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn what_if_now_through_connection() {
+        let conn = conn_with_demo();
+        let q = "SELECT total_seconds(length(valid)) FROM rx";
+        let mut r1 = conn.query(q, &[]).unwrap();
+        r1.next();
+        let len_dec = r1.get_int(0).unwrap();
+        conn.set_now(Some(Chronon::from_ymd(2000, 6, 1).unwrap()));
+        assert_eq!(
+            conn.now_override(),
+            Some(Chronon::from_ymd(2000, 6, 1).unwrap())
+        );
+        let mut r2 = conn.query(q, &[]).unwrap();
+        r2.next();
+        assert!(r2.get_int(0).unwrap() > len_dec);
+    }
+
+    #[test]
+    fn attach_requires_blade() {
+        let db = Database::new();
+        assert!(Connection::attach(&db).is_err());
+        db.install_blade(&TipBlade).unwrap();
+        assert!(Connection::attach(&db).is_ok());
+    }
+
+    #[test]
+    fn execute_rejects_queries_and_vice_versa() {
+        let conn = conn_with_demo();
+        assert!(conn.execute("SELECT * FROM rx", &[]).is_err());
+        assert!(conn.query("DELETE FROM rx", &[]).is_err());
+    }
+
+    #[test]
+    fn null_handling() {
+        let conn = Connection::open_tip_enabled();
+        conn.execute("CREATE TABLE t (a INT, c Chronon)", &[])
+            .unwrap();
+        conn.execute("INSERT INTO t VALUES (NULL, NULL)", &[])
+            .unwrap();
+        let mut rows = conn.query("SELECT a, c FROM t", &[]).unwrap();
+        rows.next();
+        assert!(rows.is_null(0).unwrap());
+        assert!(rows.is_null(1).unwrap());
+        assert_eq!(rows.get_object(1).unwrap(), HostValue::Null);
+    }
+}

@@ -1,0 +1,201 @@
+//! Temporal aggregation and coalescing.
+//!
+//! The paper's `group_union` aggregate "computes the union of a collection
+//! of Elements and returns a single Element", which is exactly the
+//! *temporal coalescing* operation of Böhlen/Snodgrass/Soo: overlapping
+//! and adjacent validity periods of value-equivalent tuples are merged.
+//! The paper's worked example shows why coalescing matters:
+//! `length(group_union(valid))` counts each covered chronon once, whereas
+//! `SUM(length(valid))` double-counts periods during which a patient took
+//! several medicines simultaneously.
+//!
+//! The aggregators here follow the classic init/step/merge/finish shape so
+//! the DataBlade layer can expose them as SQL aggregates, and so a
+//! parallel or partitioned executor could combine partial states.
+
+use crate::element::ResolvedElement;
+use crate::period::ResolvedPeriod;
+
+/// Incremental set-union aggregate over `ResolvedElement`s
+/// (the SQL `group_union`).
+///
+/// Periods are accumulated and normalized once at `finish`, so aggregating
+/// `n` total periods costs `O(n log n)` regardless of how they arrive.
+#[derive(Debug, Default, Clone)]
+pub struct ElementUnionAggregate {
+    periods: Vec<ResolvedPeriod>,
+}
+
+impl ElementUnionAggregate {
+    /// A fresh (empty) aggregate state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one element into the state.
+    pub fn step(&mut self, e: &ResolvedElement) {
+        self.periods.extend_from_slice(e.periods());
+    }
+
+    /// Folds a bare period into the state.
+    pub fn step_period(&mut self, p: ResolvedPeriod) {
+        self.periods.push(p);
+    }
+
+    /// Combines two partial states (for partitioned evaluation).
+    pub fn merge(&mut self, other: ElementUnionAggregate) {
+        self.periods.extend(other.periods);
+    }
+
+    /// Produces the coalesced union.
+    pub fn finish(self) -> ResolvedElement {
+        ResolvedElement::normalize(self.periods)
+    }
+}
+
+/// Incremental set-intersection aggregate over `ResolvedElement`s
+/// (the SQL `group_intersect`).
+///
+/// The intersection of zero elements is undefined in set terms; following
+/// SQL aggregate convention the empty group yields the empty element.
+#[derive(Debug, Default, Clone)]
+pub struct ElementIntersectAggregate {
+    acc: Option<ResolvedElement>,
+}
+
+impl ElementIntersectAggregate {
+    /// A fresh aggregate state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one element into the state.
+    pub fn step(&mut self, e: &ResolvedElement) {
+        self.acc = Some(match self.acc.take() {
+            Some(acc) => acc.intersect(e),
+            None => e.clone(),
+        });
+    }
+
+    /// Combines two partial states.
+    pub fn merge(&mut self, other: ElementIntersectAggregate) {
+        if let Some(o) = other.acc {
+            self.step(&o);
+        }
+    }
+
+    /// Produces the intersection (empty when the group was empty).
+    pub fn finish(self) -> ResolvedElement {
+        self.acc.unwrap_or_else(ResolvedElement::empty)
+    }
+}
+
+/// Coalesces an arbitrary collection of periods into a normalized element —
+/// the standalone form of temporal coalescing.
+pub fn coalesce_periods<I: IntoIterator<Item = ResolvedPeriod>>(periods: I) -> ResolvedElement {
+    ResolvedElement::normalize(periods.into_iter().collect())
+}
+
+/// Unions an arbitrary collection of elements (convenience wrapper over
+/// [`ElementUnionAggregate`]).
+pub fn union_all<'a, I: IntoIterator<Item = &'a ResolvedElement>>(elems: I) -> ResolvedElement {
+    let mut agg = ElementUnionAggregate::new();
+    for e in elems {
+        agg.step(e);
+    }
+    agg.finish()
+}
+
+/// Intersects an arbitrary collection of elements.
+pub fn intersect_all<'a, I: IntoIterator<Item = &'a ResolvedElement>>(elems: I) -> ResolvedElement {
+    let mut agg = ElementIntersectAggregate::new();
+    for e in elems {
+        agg.step(e);
+    }
+    agg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chronon::Chronon;
+    use crate::span::Span;
+
+    fn rp(a: i64, b: i64) -> ResolvedPeriod {
+        ResolvedPeriod::new(Chronon::from_raw(a).unwrap(), Chronon::from_raw(b).unwrap()).unwrap()
+    }
+
+    fn rel(pairs: &[(i64, i64)]) -> ResolvedElement {
+        ResolvedElement::normalize(pairs.iter().map(|&(a, b)| rp(a, b)).collect())
+    }
+
+    #[test]
+    fn group_union_coalesces() {
+        let a = rel(&[(0, 10)]);
+        let b = rel(&[(5, 20)]);
+        let c = rel(&[(21, 30)]);
+        let u = union_all([&a, &b, &c]);
+        assert_eq!(u.periods(), &[rp(0, 30)]);
+    }
+
+    #[test]
+    fn paper_sum_vs_group_union_discrepancy() {
+        // A patient takes two drugs over the *same* 10-chronon window.
+        let d1 = rel(&[(0, 9)]);
+        let d2 = rel(&[(0, 9)]);
+        let sum_of_lengths = d1.length() + d2.length();
+        let coalesced_length = union_all([&d1, &d2]).length();
+        assert_eq!(sum_of_lengths, Span::from_seconds(20)); // double counted
+        assert_eq!(coalesced_length, Span::from_seconds(10)); // correct
+    }
+
+    #[test]
+    fn union_aggregate_step_merge_finish() {
+        let mut left = ElementUnionAggregate::new();
+        left.step(&rel(&[(0, 5)]));
+        let mut right = ElementUnionAggregate::new();
+        right.step(&rel(&[(6, 10)]));
+        right.step_period(rp(100, 110));
+        left.merge(right);
+        let r = left.finish();
+        assert_eq!(r.periods(), &[rp(0, 10), rp(100, 110)]);
+    }
+
+    #[test]
+    fn empty_group_yields_empty_element() {
+        assert!(ElementUnionAggregate::new().finish().is_empty());
+        assert!(ElementIntersectAggregate::new().finish().is_empty());
+    }
+
+    #[test]
+    fn group_intersect() {
+        let a = rel(&[(0, 20)]);
+        let b = rel(&[(10, 30)]);
+        let c = rel(&[(15, 40)]);
+        let i = intersect_all([&a, &b, &c]);
+        assert_eq!(i.periods(), &[rp(15, 20)]);
+    }
+
+    #[test]
+    fn intersect_aggregate_merge() {
+        let mut left = ElementIntersectAggregate::new();
+        left.step(&rel(&[(0, 20)]));
+        let mut right = ElementIntersectAggregate::new();
+        right.step(&rel(&[(10, 30)]));
+        left.merge(right);
+        assert_eq!(left.finish().periods(), &[rp(10, 20)]);
+    }
+
+    #[test]
+    fn coalesce_periods_standalone() {
+        let e = coalesce_periods([rp(5, 10), rp(0, 6), rp(11, 12)]);
+        assert_eq!(e.periods(), &[rp(0, 12)]);
+    }
+
+    #[test]
+    fn single_element_group_is_identity() {
+        let a = rel(&[(3, 7), (9, 12)]);
+        assert_eq!(union_all([&a]), a);
+        assert_eq!(intersect_all([&a]), a);
+    }
+}

@@ -1,0 +1,273 @@
+//! Allen's interval operators for `Period`s (paper §2: "TIP supports
+//! Allen's operators \[1\] for Periods").
+//!
+//! The thirteen relations of Allen's interval algebra (Allen, CACM 1983)
+//! partition all possible configurations of two nonempty intervals. On the
+//! discrete closed-closed chronon timeline, "meets" is interpreted as
+//! abutting with no gap: `a meets b` iff `a.end + 1 = b.start`.
+
+use crate::period::ResolvedPeriod;
+use std::fmt;
+
+/// One of Allen's thirteen basic interval relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllenRelation {
+    /// `a` ends before `b` starts, with a gap.
+    Before,
+    /// `a` ends exactly one chronon before `b` starts.
+    Meets,
+    /// `a` starts first, they share chronons, `b` ends last.
+    Overlaps,
+    /// Same start, `a` ends first.
+    Starts,
+    /// `a` strictly inside `b` (later start, earlier end).
+    During,
+    /// Same end, `a` starts later.
+    Finishes,
+    /// Identical intervals.
+    Equals,
+    /// Inverse of `Finishes`.
+    FinishedBy,
+    /// Inverse of `During`.
+    Contains,
+    /// Inverse of `Starts`.
+    StartedBy,
+    /// Inverse of `Overlaps`.
+    OverlappedBy,
+    /// Inverse of `Meets`.
+    MetBy,
+    /// Inverse of `Before`.
+    After,
+}
+
+impl AllenRelation {
+    /// The inverse relation (swap the roles of the two intervals).
+    pub fn inverse(self) -> AllenRelation {
+        use AllenRelation::*;
+        match self {
+            Before => After,
+            Meets => MetBy,
+            Overlaps => OverlappedBy,
+            Starts => StartedBy,
+            During => Contains,
+            Finishes => FinishedBy,
+            Equals => Equals,
+            FinishedBy => Finishes,
+            Contains => During,
+            StartedBy => Starts,
+            OverlappedBy => Overlaps,
+            MetBy => Meets,
+            After => Before,
+        }
+    }
+
+    /// The canonical lowercase name used by the SQL routines.
+    pub fn name(self) -> &'static str {
+        use AllenRelation::*;
+        match self {
+            Before => "before",
+            Meets => "meets",
+            Overlaps => "overlaps",
+            Starts => "starts",
+            During => "during",
+            Finishes => "finishes",
+            Equals => "equals",
+            FinishedBy => "finished_by",
+            Contains => "contains",
+            StartedBy => "started_by",
+            OverlappedBy => "overlapped_by",
+            MetBy => "met_by",
+            After => "after",
+        }
+    }
+
+    /// All thirteen relations, in canonical order.
+    pub const ALL: [AllenRelation; 13] = {
+        use AllenRelation::*;
+        [
+            Before,
+            Meets,
+            Overlaps,
+            Starts,
+            During,
+            Finishes,
+            Equals,
+            FinishedBy,
+            Contains,
+            StartedBy,
+            OverlappedBy,
+            MetBy,
+            After,
+        ]
+    };
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classifies the configuration of two periods into exactly one of
+/// Allen's thirteen relations.
+pub fn relation(a: ResolvedPeriod, b: ResolvedPeriod) -> AllenRelation {
+    use std::cmp::Ordering::*;
+    use AllenRelation::*;
+    match (a.start().cmp(&b.start()), a.end().cmp(&b.end())) {
+        (Equal, Equal) => Equals,
+        (Equal, Less) => Starts,
+        (Equal, Greater) => StartedBy,
+        (Less, Equal) => FinishedBy,
+        (Greater, Equal) => Finishes,
+        (Less, Greater) => Contains,
+        (Greater, Less) => During,
+        (Less, Less) => {
+            if a.end() >= b.start() {
+                Overlaps
+            } else if a.end().succ() == b.start() {
+                Meets
+            } else {
+                Before
+            }
+        }
+        (Greater, Greater) => {
+            if b.end() >= a.start() {
+                OverlappedBy
+            } else if b.end().succ() == a.start() {
+                MetBy
+            } else {
+                After
+            }
+        }
+    }
+}
+
+/// `a` ends strictly before `b` starts (with a gap of at least one chronon).
+pub fn before(a: ResolvedPeriod, b: ResolvedPeriod) -> bool {
+    relation(a, b) == AllenRelation::Before
+}
+
+/// `a` abuts `b` on the left.
+pub fn meets(a: ResolvedPeriod, b: ResolvedPeriod) -> bool {
+    relation(a, b) == AllenRelation::Meets
+}
+
+/// Strict Allen overlap: `a` starts first, they share chronons, `b` ends last.
+/// (For the reflexive "share any chronon" predicate used in SQL's
+/// `overlaps(p1, p2)` see [`ResolvedPeriod::overlaps`].)
+pub fn overlaps(a: ResolvedPeriod, b: ResolvedPeriod) -> bool {
+    relation(a, b) == AllenRelation::Overlaps
+}
+
+/// Same start, `a` ends first.
+pub fn starts(a: ResolvedPeriod, b: ResolvedPeriod) -> bool {
+    relation(a, b) == AllenRelation::Starts
+}
+
+/// `a` lies strictly within `b`.
+pub fn during(a: ResolvedPeriod, b: ResolvedPeriod) -> bool {
+    relation(a, b) == AllenRelation::During
+}
+
+/// Same end, `a` starts later.
+pub fn finishes(a: ResolvedPeriod, b: ResolvedPeriod) -> bool {
+    relation(a, b) == AllenRelation::Finishes
+}
+
+/// The two periods are identical.
+pub fn equals(a: ResolvedPeriod, b: ResolvedPeriod) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chronon::Chronon;
+
+    fn rp(a: i64, b: i64) -> ResolvedPeriod {
+        ResolvedPeriod::new(Chronon::from_raw(a).unwrap(), Chronon::from_raw(b).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn all_thirteen_relations_reachable() {
+        use AllenRelation::*;
+        let b = rp(10, 20);
+        let cases = [
+            (rp(0, 5), Before),
+            (rp(0, 9), Meets),
+            (rp(5, 15), Overlaps),
+            (rp(10, 15), Starts),
+            (rp(12, 18), During),
+            (rp(15, 20), Finishes),
+            (rp(10, 20), Equals),
+            (rp(5, 20), FinishedBy),
+            (rp(5, 25), Contains),
+            (rp(10, 25), StartedBy),
+            (rp(15, 25), OverlappedBy),
+            (rp(21, 30), MetBy),
+            (rp(25, 30), After),
+        ];
+        for (a, expected) in cases {
+            assert_eq!(relation(a, b), expected, "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn relation_is_a_partition() {
+        // Every pair of small periods lands in exactly one relation, and
+        // inverse(relation(a,b)) == relation(b,a).
+        let bound = 6_i64;
+        for s1 in 0..bound {
+            for e1 in s1..bound {
+                for s2 in 0..bound {
+                    for e2 in s2..bound {
+                        let a = rp(s1, e1);
+                        let b = rp(s2, e2);
+                        let r = relation(a, b);
+                        assert_eq!(relation(b, a), r.inverse());
+                        assert_eq!(r.inverse().inverse(), r);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_chronon_touch_is_overlap_not_meets() {
+        // In closed-closed semantics [0,10] and [10,20] share chronon 10.
+        let r = relation(rp(0, 10), rp(10, 20));
+        assert_eq!(r, AllenRelation::Overlaps);
+    }
+
+    #[test]
+    fn meets_requires_exact_abutment() {
+        assert!(meets(rp(0, 9), rp(10, 20)));
+        assert!(!meets(rp(0, 8), rp(10, 20)));
+        assert!(!meets(rp(0, 10), rp(10, 20)));
+    }
+
+    #[test]
+    fn named_predicates_agree_with_relation() {
+        let a = rp(5, 15);
+        let b = rp(10, 20);
+        assert!(overlaps(a, b));
+        assert!(!overlaps(b, a));
+        assert!(before(rp(0, 3), b));
+        assert!(starts(rp(10, 12), b));
+        assert!(during(rp(12, 15), b));
+        assert!(finishes(rp(15, 20), b));
+        assert!(equals(b, b));
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(AllenRelation::OverlappedBy.name(), "overlapped_by");
+        assert_eq!(AllenRelation::Before.to_string(), "before");
+        assert_eq!(AllenRelation::ALL.len(), 13);
+    }
+
+    #[test]
+    fn equals_is_its_own_inverse() {
+        assert_eq!(AllenRelation::Equals.inverse(), AllenRelation::Equals);
+    }
+}

@@ -1,0 +1,235 @@
+//! The "efficient binary format" (paper §2) for TIP values.
+//!
+//! The paper notes that TIP "internally stores Chronons (and other
+//! datatypes …) in an efficient binary format" rather than text. This
+//! module provides that wire/storage codec:
+//!
+//! * `Chronon` — 8 bytes, little-endian second count.
+//! * `Span` — 8 bytes.
+//! * `Instant` — 1 tag byte + 8 bytes.
+//! * `Period` — two instants.
+//! * `Element` — u32 period count + periods.
+//!
+//! Decoding validates untrusted input and reports
+//! [`TemporalError::Corrupt`] instead of panicking.
+
+use crate::chronon::Chronon;
+use crate::element::Element;
+use crate::error::{Result, TemporalError};
+use crate::instant::Instant;
+use crate::period::Period;
+use crate::span::Span;
+use bytes::{Buf, BufMut};
+
+const TAG_FIXED: u8 = 0;
+const TAG_NOW_RELATIVE: u8 = 1;
+
+fn need(buf: &impl Buf, n: usize, what: &'static str) -> Result<()> {
+    if buf.remaining() < n {
+        Err(TemporalError::Corrupt {
+            what,
+            reason: format!("need {n} more bytes"),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Encodes a [`Chronon`] (8 bytes).
+pub fn encode_chronon(c: Chronon, out: &mut impl BufMut) {
+    out.put_i64_le(c.raw());
+}
+
+/// Decodes a [`Chronon`], validating the timeline bounds.
+pub fn decode_chronon(buf: &mut impl Buf) -> Result<Chronon> {
+    need(buf, 8, "Chronon")?;
+    Chronon::from_raw(buf.get_i64_le()).map_err(|_| TemporalError::Corrupt {
+        what: "Chronon",
+        reason: "second count outside the supported timeline".into(),
+    })
+}
+
+/// Encodes a [`Span`] (8 bytes).
+pub fn encode_span(s: Span, out: &mut impl BufMut) {
+    out.put_i64_le(s.seconds());
+}
+
+/// Decodes a [`Span`].
+pub fn decode_span(buf: &mut impl Buf) -> Result<Span> {
+    need(buf, 8, "Span")?;
+    Ok(Span::from_seconds(buf.get_i64_le()))
+}
+
+/// Encodes an [`Instant`] (9 bytes).
+pub fn encode_instant(i: Instant, out: &mut impl BufMut) {
+    match i {
+        Instant::Fixed(c) => {
+            out.put_u8(TAG_FIXED);
+            encode_chronon(c, out);
+        }
+        Instant::NowRelative(off) => {
+            out.put_u8(TAG_NOW_RELATIVE);
+            encode_span(off, out);
+        }
+    }
+}
+
+/// Decodes an [`Instant`].
+pub fn decode_instant(buf: &mut impl Buf) -> Result<Instant> {
+    need(buf, 1, "Instant")?;
+    match buf.get_u8() {
+        TAG_FIXED => decode_chronon(buf).map(Instant::Fixed),
+        TAG_NOW_RELATIVE => decode_span(buf).map(Instant::NowRelative),
+        t => Err(TemporalError::Corrupt {
+            what: "Instant",
+            reason: format!("unknown tag {t}"),
+        }),
+    }
+}
+
+/// Encodes a [`Period`] (18 bytes).
+pub fn encode_period(p: Period, out: &mut impl BufMut) {
+    encode_instant(p.start(), out);
+    encode_instant(p.end(), out);
+}
+
+/// Decodes a [`Period`].
+pub fn decode_period(buf: &mut impl Buf) -> Result<Period> {
+    let start = decode_instant(buf)?;
+    let end = decode_instant(buf)?;
+    Ok(Period::new(start, end))
+}
+
+/// Encodes an [`Element`] (4 + 18·n bytes).
+pub fn encode_element(e: &Element, out: &mut impl BufMut) {
+    let n = u32::try_from(e.raw_periods().len()).expect("Element with > u32::MAX periods");
+    out.put_u32_le(n);
+    for &p in e.raw_periods() {
+        encode_period(p, out);
+    }
+}
+
+/// Decodes an [`Element`].
+pub fn decode_element(buf: &mut impl Buf) -> Result<Element> {
+    need(buf, 4, "Element")?;
+    let n = buf.get_u32_le() as usize;
+    // Guard against a corrupt length field demanding absurd allocation:
+    // every period needs 18 bytes, so the buffer bounds n.
+    if buf.remaining() < n.saturating_mul(18) {
+        return Err(TemporalError::Corrupt {
+            what: "Element",
+            reason: format!("claimed {n} periods but buffer is too short"),
+        });
+    }
+    let mut periods = Vec::with_capacity(n);
+    for _ in 0..n {
+        periods.push(decode_period(buf)?);
+    }
+    Ok(Element::from_periods(periods))
+}
+
+/// Convenience: encodes any TIP value into a fresh byte vector.
+pub fn element_to_vec(e: &Element) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 18 * e.raw_periods().len());
+    encode_element(e, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_element(text: &str) {
+        let e: Element = text.parse().unwrap();
+        let bytes = element_to_vec(&e);
+        let back = decode_element(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, e, "round trip of {text}");
+    }
+
+    #[test]
+    fn chronon_round_trip() {
+        for c in [Chronon::BEGINNING, Chronon::EPOCH, Chronon::FOREVER] {
+            let mut buf = Vec::new();
+            encode_chronon(c, &mut buf);
+            assert_eq!(buf.len(), 8);
+            assert_eq!(decode_chronon(&mut buf.as_slice()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn chronon_rejects_out_of_range() {
+        let mut buf = Vec::new();
+        buf.put_i64_le(i64::MAX);
+        assert!(decode_chronon(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn span_round_trip() {
+        for s in [
+            Span::ZERO,
+            Span::from_days(-7),
+            Span::from_seconds(i64::MAX),
+        ] {
+            let mut buf = Vec::new();
+            encode_span(s, &mut buf);
+            assert_eq!(decode_span(&mut buf.as_slice()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn instant_round_trip() {
+        for text in ["NOW", "NOW-7", "1999-09-01 08:00:00"] {
+            let i: Instant = text.parse().unwrap();
+            let mut buf = Vec::new();
+            encode_instant(i, &mut buf);
+            assert_eq!(decode_instant(&mut buf.as_slice()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn instant_rejects_bad_tag() {
+        let buf = [7u8, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(decode_instant(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn element_round_trips() {
+        round_trip_element("{}");
+        round_trip_element("{[1999-10-01, NOW]}");
+        round_trip_element("{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}");
+        round_trip_element("{[NOW-7, NOW]}");
+    }
+
+    #[test]
+    fn element_rejects_truncation() {
+        let e: Element = "{[1999-01-01, NOW]}".parse().unwrap();
+        let bytes = element_to_vec(&e);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_element(&mut &bytes[..cut]).is_err(),
+                "accepted truncation at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn element_rejects_absurd_count() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(u32::MAX);
+        assert!(decode_element(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text_for_big_elements() {
+        // Supports the paper's "efficient binary format" claim (E8).
+        let mut periods = Vec::new();
+        for i in 0..100 {
+            let s = Chronon::from_ymd(1999, 1, 1).unwrap() + Span::from_days(i * 10);
+            periods.push(Period::fixed(s, s + Span::from_days(5)));
+        }
+        let e = Element::from_periods(periods);
+        let bin = element_to_vec(&e).len();
+        let txt = e.to_string().len();
+        assert!(bin < txt, "binary {bin} >= text {txt}");
+    }
+}

@@ -1,0 +1,539 @@
+//! `Chronon`: a specific point in time at one-second granularity.
+//!
+//! A `Chronon` is the TIP analogue of SQL's `DATE`/`DATETIME`: an
+//! indivisible granule on the time line. Following the paper, the notation
+//! is `year-month-day[ hour:minute:second]`, and the most famous `Chronon`
+//! is `2000-01-01 00:00:00` — which this implementation uses as its epoch.
+//!
+//! Internally a `Chronon` is a count of seconds relative to
+//! `2000-01-01 00:00:00` in the proleptic Gregorian calendar (no time
+//! zones, no leap seconds — the standard temporal-database simplification).
+//! The supported timeline runs from `0001-01-01 00:00:00` ([`Chronon::BEGINNING`])
+//! through `9999-12-31 23:59:59` ([`Chronon::FOREVER`]).
+
+use crate::error::{Result, TemporalError};
+use crate::span::Span;
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of seconds in a civil day.
+pub const SECS_PER_DAY: i64 = 86_400;
+
+/// Days from the civil epoch 1970-01-01 to 2000-01-01 (the TIP epoch).
+const EPOCH_2000_DAYS_FROM_1970: i64 = 10_957;
+
+/// A specific point in time, at one-second granularity.
+///
+/// ```
+/// use tip_core::Chronon;
+/// let y2k: Chronon = "2000-01-01".parse().unwrap();
+/// assert_eq!(y2k, Chronon::EPOCH);
+/// assert_eq!(y2k.to_string(), "2000-01-01");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Chronon(i64);
+
+/// Computes the day count since 1970-01-01 for a civil date.
+///
+/// This is Howard Hinnant's `days_from_civil` algorithm, valid for the
+/// proleptic Gregorian calendar over the full `i32` year range.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`]: day count since 1970-01-01 → `(y, m, d)`.
+pub fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u32, d as u32)
+}
+
+/// Is `y` a leap year in the proleptic Gregorian calendar?
+pub fn is_leap_year(y: i32) -> bool {
+    y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+}
+
+/// Number of days in month `m` of year `y`.
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl Chronon {
+    /// The TIP epoch, `2000-01-01 00:00:00`.
+    pub const EPOCH: Chronon = Chronon(0);
+
+    /// The first representable point in time, `0001-01-01 00:00:00`.
+    pub const BEGINNING: Chronon = Chronon(-63_082_281_600);
+
+    /// The last representable point in time, `9999-12-31 23:59:59`.
+    pub const FOREVER: Chronon = Chronon(252_455_615_999);
+
+    /// Builds a `Chronon` from a raw count of seconds since the TIP epoch,
+    /// returning an error if the result lies outside the supported timeline.
+    pub fn from_raw(secs: i64) -> Result<Chronon> {
+        let c = Chronon(secs);
+        if c < Chronon::BEGINNING || c > Chronon::FOREVER {
+            Err(TemporalError::OutOfRange { what: "Chronon" })
+        } else {
+            Ok(c)
+        }
+    }
+
+    /// The raw count of seconds since the TIP epoch (`2000-01-01 00:00:00`).
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Builds a `Chronon` at midnight of the given civil date.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Chronon> {
+        Chronon::from_ymd_hms(year, month, day, 0, 0, 0)
+    }
+
+    /// Builds a `Chronon` from full civil date and time-of-day components.
+    pub fn from_ymd_hms(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: u32,
+    ) -> Result<Chronon> {
+        if !(1..=9999).contains(&year)
+            || !(1..=12).contains(&month)
+            || day < 1
+            || day > days_in_month(year, month)
+        {
+            return Err(TemporalError::InvalidDate { year, month, day });
+        }
+        if hour > 23 || minute > 59 || second > 59 {
+            return Err(TemporalError::InvalidTime {
+                hour,
+                minute,
+                second,
+            });
+        }
+        let days = days_from_civil(year, month, day) - EPOCH_2000_DAYS_FROM_1970;
+        let secs = days * SECS_PER_DAY
+            + i64::from(hour) * 3600
+            + i64::from(minute) * 60
+            + i64::from(second);
+        Ok(Chronon(secs))
+    }
+
+    /// Decomposes into `(year, month, day, hour, minute, second)`.
+    pub fn to_civil(self) -> (i32, u32, u32, u32, u32, u32) {
+        let days = self.0.div_euclid(SECS_PER_DAY);
+        let tod = self.0.rem_euclid(SECS_PER_DAY);
+        let (y, m, d) = civil_from_days(days + EPOCH_2000_DAYS_FROM_1970);
+        (
+            y,
+            m,
+            d,
+            (tod / 3600) as u32,
+            ((tod % 3600) / 60) as u32,
+            (tod % 60) as u32,
+        )
+    }
+
+    /// The civil year, in `1..=9999`.
+    pub fn year(self) -> i32 {
+        self.to_civil().0
+    }
+
+    /// The civil month, in `1..=12`.
+    pub fn month(self) -> u32 {
+        self.to_civil().1
+    }
+
+    /// The civil day of month, in `1..=31`.
+    pub fn day(self) -> u32 {
+        self.to_civil().2
+    }
+
+    /// The hour of day, in `0..=23`.
+    pub fn hour(self) -> u32 {
+        self.to_civil().3
+    }
+
+    /// The minute, in `0..=59`.
+    pub fn minute(self) -> u32 {
+        self.to_civil().4
+    }
+
+    /// The second, in `0..=59`.
+    pub fn second(self) -> u32 {
+        self.to_civil().5
+    }
+
+    /// Day of week, `0 = Monday … 6 = Sunday` (ISO).
+    pub fn weekday(self) -> u32 {
+        let days = self.0.div_euclid(SECS_PER_DAY) + EPOCH_2000_DAYS_FROM_1970;
+        // 1970-01-01 was a Thursday (ISO index 3).
+        (days + 3).rem_euclid(7) as u32
+    }
+
+    /// `true` when the time-of-day component is exactly midnight.
+    pub fn is_midnight(self) -> bool {
+        self.0.rem_euclid(SECS_PER_DAY) == 0
+    }
+
+    /// Checked addition of a [`Span`].
+    pub fn checked_add(self, s: Span) -> Result<Chronon> {
+        self.0
+            .checked_add(s.seconds())
+            .ok_or(TemporalError::OutOfRange {
+                what: "Chronon + Span",
+            })
+            .and_then(Chronon::from_raw)
+    }
+
+    /// Checked subtraction of a [`Span`].
+    pub fn checked_sub(self, s: Span) -> Result<Chronon> {
+        self.0
+            .checked_sub(s.seconds())
+            .ok_or(TemporalError::OutOfRange {
+                what: "Chronon - Span",
+            })
+            .and_then(Chronon::from_raw)
+    }
+
+    /// Addition of a [`Span`], clamped to the supported timeline.
+    pub fn saturating_add(self, s: Span) -> Chronon {
+        let raw = self.0.saturating_add(s.seconds());
+        Chronon(raw.clamp(Chronon::BEGINNING.0, Chronon::FOREVER.0))
+    }
+
+    /// The chronon immediately after this one, saturating at [`Chronon::FOREVER`].
+    pub fn succ(self) -> Chronon {
+        if self >= Chronon::FOREVER {
+            Chronon::FOREVER
+        } else {
+            Chronon(self.0 + 1)
+        }
+    }
+
+    /// The chronon immediately before this one, saturating at [`Chronon::BEGINNING`].
+    pub fn pred(self) -> Chronon {
+        if self <= Chronon::BEGINNING {
+            Chronon::BEGINNING
+        } else {
+            Chronon(self.0 - 1)
+        }
+    }
+
+    /// Formats with the full `YYYY-MM-DD HH:MM:SS` notation even at midnight.
+    pub fn to_string_full(self) -> String {
+        let (y, mo, d, h, mi, s) = self.to_civil();
+        format!("{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+    }
+}
+
+impl std::ops::Sub for Chronon {
+    type Output = Span;
+    /// The signed duration from `rhs` to `self` — a `Chronon` minus a
+    /// `Chronon` returns a [`Span`] (paper §2).
+    fn sub(self, rhs: Chronon) -> Span {
+        Span::from_seconds(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Add<Span> for Chronon {
+    type Output = Chronon;
+    /// Panics when the result leaves the supported timeline; use
+    /// [`Chronon::checked_add`] for a fallible variant.
+    fn add(self, rhs: Span) -> Chronon {
+        self.checked_add(rhs).expect("Chronon + Span out of range")
+    }
+}
+
+impl std::ops::Sub<Span> for Chronon {
+    type Output = Chronon;
+    fn sub(self, rhs: Span) -> Chronon {
+        self.checked_sub(rhs).expect("Chronon - Span out of range")
+    }
+}
+
+impl fmt::Display for Chronon {
+    /// Uses the paper's notation: the time of day is omitted at midnight.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d, h, mi, s) = self.to_civil();
+        if (h, mi, s) == (0, 0, 0) {
+            write!(f, "{y:04}-{mo:02}-{d:02}")
+        } else {
+            write!(f, "{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+        }
+    }
+}
+
+impl fmt::Debug for Chronon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Chronon({self})")
+    }
+}
+
+fn parse_fixed_u32(s: &str) -> Option<u32> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+/// Parses the date-and-optional-time notation shared by `Chronon` and the
+/// fixed arm of `Instant`. Exposed for the crate's other parsers.
+pub(crate) fn parse_chronon_str(text: &str) -> Result<Chronon> {
+    let err = |reason: &str| TemporalError::Parse {
+        what: "Chronon",
+        input: text.to_owned(),
+        reason: reason.to_owned(),
+    };
+    let text = text.trim();
+    let (date_part, time_part) = match text.split_once(' ') {
+        Some((d, t)) => (d, Some(t.trim())),
+        None => (text, None),
+    };
+    let mut it = date_part.split('-');
+    let y = it
+        .next()
+        .and_then(parse_fixed_u32)
+        .ok_or_else(|| err("expected year"))?;
+    let mo = it
+        .next()
+        .and_then(parse_fixed_u32)
+        .ok_or_else(|| err("expected month"))?;
+    let d = it
+        .next()
+        .and_then(parse_fixed_u32)
+        .ok_or_else(|| err("expected day"))?;
+    if it.next().is_some() {
+        return Err(err("trailing date components"));
+    }
+    let (h, mi, s) = match time_part {
+        None | Some("") => (0, 0, 0),
+        Some(t) => {
+            let mut jt = t.split(':');
+            let h = jt
+                .next()
+                .and_then(parse_fixed_u32)
+                .ok_or_else(|| err("expected hour"))?;
+            let mi = jt
+                .next()
+                .and_then(parse_fixed_u32)
+                .ok_or_else(|| err("expected minute"))?;
+            let s = jt
+                .next()
+                .and_then(parse_fixed_u32)
+                .ok_or_else(|| err("expected second"))?;
+            if jt.next().is_some() {
+                return Err(err("trailing time components"));
+            }
+            (h, mi, s)
+        }
+    };
+    let y = i32::try_from(y).map_err(|_| err("year out of range"))?;
+    Chronon::from_ymd_hms(y, mo, d, h, mi, s)
+}
+
+impl FromStr for Chronon {
+    type Err = TemporalError;
+    fn from_str(s: &str) -> Result<Chronon> {
+        parse_chronon_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_y2k() {
+        let c = Chronon::from_ymd_hms(2000, 1, 1, 0, 0, 0).unwrap();
+        assert_eq!(c, Chronon::EPOCH);
+        assert_eq!(c.raw(), 0);
+    }
+
+    #[test]
+    fn beginning_and_forever_constants_match_civil() {
+        assert_eq!(Chronon::BEGINNING.to_civil(), (1, 1, 1, 0, 0, 0));
+        assert_eq!(Chronon::FOREVER.to_civil(), (9999, 12, 31, 23, 59, 59));
+    }
+
+    #[test]
+    fn civil_round_trip_known_dates() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1999, 12, 31),
+            (2000, 1, 1),
+            (2000, 2, 29), // Y2K is a leap year
+            (1900, 2, 28), // 1900 is not
+            (2024, 2, 29),
+            (1, 1, 1),
+            (9999, 12, 31),
+        ] {
+            let c = Chronon::from_ymd(y, m, d).unwrap();
+            let (yy, mm, dd, ..) = c.to_civil();
+            assert_eq!((yy, mm, dd), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Chronon::from_ymd(1900, 2, 29).is_err());
+        assert!(Chronon::from_ymd(2001, 2, 29).is_err());
+        assert!(Chronon::from_ymd(2000, 13, 1).is_err());
+        assert!(Chronon::from_ymd(2000, 0, 1).is_err());
+        assert!(Chronon::from_ymd(2000, 4, 31).is_err());
+        assert!(Chronon::from_ymd(0, 1, 1).is_err());
+        assert!(Chronon::from_ymd(10000, 1, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_times() {
+        assert!(Chronon::from_ymd_hms(2000, 1, 1, 24, 0, 0).is_err());
+        assert!(Chronon::from_ymd_hms(2000, 1, 1, 0, 60, 0).is_err());
+        assert!(Chronon::from_ymd_hms(2000, 1, 1, 0, 0, 60).is_err());
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let c: Chronon = "1999-09-01".parse().unwrap();
+        assert_eq!(c.to_civil(), (1999, 9, 1, 0, 0, 0));
+        assert_eq!(c.to_string(), "1999-09-01");
+
+        let c: Chronon = "1999-09-01 08:30:05".parse().unwrap();
+        assert_eq!(c.to_civil(), (1999, 9, 1, 8, 30, 5));
+        assert_eq!(c.to_string(), "1999-09-01 08:30:05");
+        assert_eq!(c.to_string_full(), "1999-09-01 08:30:05");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "1999",
+            "1999-09",
+            "1999-09-01-02",
+            "1999-9x-01",
+            "1999-09-01 25:00:00",
+            "1999-09-01 08:30",
+            "1999-09-01 08:30:00:11",
+            "now",
+            "-5",
+        ] {
+            assert!(bad.parse::<Chronon>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn chronon_minus_chronon_is_span() {
+        let a: Chronon = "2000-01-08".parse().unwrap();
+        let b: Chronon = "2000-01-01".parse().unwrap();
+        assert_eq!(a - b, Span::from_days(7));
+        assert_eq!(b - a, Span::from_days(-7));
+    }
+
+    #[test]
+    fn add_sub_span() {
+        let c: Chronon = "1999-12-31 23:59:59".parse().unwrap();
+        let next = c + Span::from_seconds(1);
+        assert_eq!(next.to_string(), "2000-01-01");
+        assert_eq!(next - Span::from_seconds(1), c);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(Chronon::FOREVER.checked_add(Span::from_seconds(1)).is_err());
+        assert!(Chronon::BEGINNING
+            .checked_sub(Span::from_seconds(1))
+            .is_err());
+        assert!(Chronon::EPOCH
+            .checked_add(Span::from_seconds(i64::MAX))
+            .is_err());
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(
+            Chronon::FOREVER.saturating_add(Span::from_days(10)),
+            Chronon::FOREVER
+        );
+        assert_eq!(
+            Chronon::BEGINNING.saturating_add(Span::from_days(-10)),
+            Chronon::BEGINNING
+        );
+    }
+
+    #[test]
+    fn succ_pred() {
+        let c = Chronon::EPOCH;
+        assert_eq!(c.succ().raw(), 1);
+        assert_eq!(c.pred().raw(), -1);
+        assert_eq!(Chronon::FOREVER.succ(), Chronon::FOREVER);
+        assert_eq!(Chronon::BEGINNING.pred(), Chronon::BEGINNING);
+    }
+
+    #[test]
+    fn weekday_known_values() {
+        // 2000-01-01 was a Saturday (ISO index 5).
+        assert_eq!(Chronon::EPOCH.weekday(), 5);
+        // 1970-01-01 was a Thursday (ISO index 3).
+        assert_eq!(Chronon::from_ymd(1970, 1, 1).unwrap().weekday(), 3);
+        // 2026-07-07 is a Tuesday (ISO index 1).
+        assert_eq!(Chronon::from_ymd(2026, 7, 7).unwrap().weekday(), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let c: Chronon = "1987-06-05 04:03:02".parse().unwrap();
+        assert_eq!(c.year(), 1987);
+        assert_eq!(c.month(), 6);
+        assert_eq!(c.day(), 5);
+        assert_eq!(c.hour(), 4);
+        assert_eq!(c.minute(), 3);
+        assert_eq!(c.second(), 2);
+        assert!(!c.is_midnight());
+        assert!(Chronon::EPOCH.is_midnight());
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        let a: Chronon = "1999-01-01".parse().unwrap();
+        let b: Chronon = "1999-01-01 00:00:01".parse().unwrap();
+        assert!(a < b);
+        assert!(Chronon::BEGINNING < a && b < Chronon::FOREVER);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1999));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+    }
+}

@@ -1,0 +1,712 @@
+//! `Element`: a set of `Period`s — TIP's general tuple timestamp.
+//!
+//! The paper calls `Element` the most challenging of the five datatypes to
+//! implement, "because it contains a variable number of periods whose
+//! representation could feasibly grow quite large", and notes that the
+//! set operations "execute in time linear in the number of periods". This
+//! module reproduces that design:
+//!
+//! * [`Element`] holds raw (possibly NOW-relative, possibly overlapping)
+//!   periods exactly as written, e.g. `{[1999-10-01, NOW]}`.
+//! * [`ResolvedElement`] is the normal form after substituting the
+//!   transaction time for `NOW`: a sorted list of pairwise-disjoint,
+//!   non-adjacent, nonempty periods. All set algebra — union, intersect,
+//!   difference, complement — runs as a single linear merge-sweep over the
+//!   normalized period lists.
+
+use crate::chronon::Chronon;
+use crate::error::{Result, TemporalError};
+use crate::period::{Period, ResolvedPeriod};
+use crate::span::Span;
+use std::fmt;
+use std::str::FromStr;
+
+/// A set of (possibly NOW-relative) periods, in the paper's notation
+/// `{[a, b], [c, d], …}`.
+///
+/// ```
+/// use tip_core::{Chronon, Element};
+/// let e: Element = "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}"
+///     .parse()
+///     .unwrap();
+/// let r = e.resolve(Chronon::EPOCH).unwrap();
+/// assert_eq!(r.period_count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Element {
+    periods: Vec<Period>,
+}
+
+impl Element {
+    /// The empty element (no valid time at all).
+    pub fn empty() -> Element {
+        Element {
+            periods: Vec::new(),
+        }
+    }
+
+    /// Builds an element from raw periods, preserving their order and any
+    /// NOW-relative endpoints (normalization happens at resolution).
+    pub fn from_periods(periods: Vec<Period>) -> Element {
+        Element { periods }
+    }
+
+    /// The single-period element (the paper's `Period → Element` cast).
+    pub fn from_period(p: Period) -> Element {
+        Element { periods: vec![p] }
+    }
+
+    /// The raw periods as written.
+    pub fn raw_periods(&self) -> &[Period] {
+        &self.periods
+    }
+
+    /// `true` when any contained instant is NOW-relative.
+    pub fn is_now_relative(&self) -> bool {
+        self.periods.iter().any(|p| p.is_now_relative())
+    }
+
+    /// `true` when the element contains no periods at all (before
+    /// resolution; a non-empty raw element can still resolve to empty).
+    pub fn is_raw_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// Substitutes the transaction time for `NOW` and normalizes.
+    pub fn resolve(&self, now: Chronon) -> Result<ResolvedElement> {
+        let mut rs = Vec::with_capacity(self.periods.len());
+        for p in &self.periods {
+            if let Some(r) = p.resolve(now)? {
+                rs.push(r);
+            }
+        }
+        Ok(ResolvedElement::normalize(rs))
+    }
+
+    /// Shifts every period by a span, preserving NOW-relativity.
+    pub fn shift(&self, s: Span) -> Result<Element> {
+        let mut periods = Vec::with_capacity(self.periods.len());
+        for p in &self.periods {
+            periods.push(p.shift(s)?);
+        }
+        Ok(Element { periods })
+    }
+}
+
+impl From<ResolvedElement> for Element {
+    fn from(r: ResolvedElement) -> Element {
+        Element {
+            periods: r.periods.into_iter().map(Period::from).collect(),
+        }
+    }
+}
+
+impl From<Period> for Element {
+    fn from(p: Period) -> Element {
+        Element::from_period(p)
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, p) in self.periods.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Debug for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Element{self}")
+    }
+}
+
+impl FromStr for Element {
+    type Err = TemporalError;
+    fn from_str(text: &str) -> Result<Element> {
+        let err = |reason: &str| TemporalError::Parse {
+            what: "Element",
+            input: text.to_owned(),
+            reason: reason.to_owned(),
+        };
+        let t = text.trim();
+        let inner = t
+            .strip_prefix('{')
+            .and_then(|x| x.strip_suffix('}'))
+            .ok_or_else(|| err("expected {…}"))?
+            .trim();
+        if inner.is_empty() {
+            return Ok(Element::empty());
+        }
+        // Split on commas that sit between ']' and '[' — commas inside a
+        // period literal separate its two instants.
+        let mut periods = Vec::new();
+        let mut depth = 0usize;
+        let mut piece_start = 0usize;
+        for (i, ch) in inner.char_indices() {
+            match ch {
+                '[' => depth += 1,
+                ']' => depth = depth.checked_sub(1).ok_or_else(|| err("unbalanced ']'"))?,
+                ',' if depth == 0 => {
+                    periods.push(inner[piece_start..i].trim().parse::<Period>()?);
+                    piece_start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        if depth != 0 {
+            return Err(err("unbalanced '['"));
+        }
+        periods.push(inner[piece_start..].trim().parse::<Period>()?);
+        Ok(Element { periods })
+    }
+}
+
+/// A fixed, normalized temporal element: sorted, pairwise-disjoint,
+/// non-adjacent, nonempty periods.
+///
+/// All operations preserve the normalization invariant and the set ones
+/// run in time linear in the total number of periods.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct ResolvedElement {
+    periods: Vec<ResolvedPeriod>,
+}
+
+impl ResolvedElement {
+    /// The empty set of chronons.
+    pub fn empty() -> ResolvedElement {
+        ResolvedElement {
+            periods: Vec::new(),
+        }
+    }
+
+    /// The element covering the whole supported timeline.
+    pub fn all_time() -> ResolvedElement {
+        ResolvedElement {
+            periods: vec![ResolvedPeriod::ALL_TIME],
+        }
+    }
+
+    /// A single-period element.
+    pub fn from_period(p: ResolvedPeriod) -> ResolvedElement {
+        ResolvedElement { periods: vec![p] }
+    }
+
+    /// Normalizes an arbitrary bag of periods: sort by start, then merge
+    /// every overlapping or adjacent pair. `O(n log n)` for unsorted
+    /// input; the merge pass itself is linear.
+    pub fn normalize(mut periods: Vec<ResolvedPeriod>) -> ResolvedElement {
+        if periods.is_empty() {
+            return ResolvedElement::empty();
+        }
+        periods.sort_unstable_by_key(|p| (p.start(), p.end()));
+        let mut out: Vec<ResolvedPeriod> = Vec::with_capacity(periods.len());
+        for p in periods {
+            match out.last_mut() {
+                Some(last) => match last.merge(p) {
+                    Some(m) => *last = m,
+                    None => out.push(p),
+                },
+                None => out.push(p),
+            }
+        }
+        ResolvedElement { periods: out }
+    }
+
+    /// Builds from periods already known to satisfy the invariant;
+    /// debug-asserts it.
+    pub fn from_normalized(periods: Vec<ResolvedPeriod>) -> ResolvedElement {
+        let e = ResolvedElement { periods };
+        debug_assert!(e.check_invariant().is_ok());
+        e
+    }
+
+    /// Verifies the normalization invariant (used by tests and by the
+    /// binary decoder on untrusted input).
+    pub fn check_invariant(&self) -> Result<()> {
+        for w in self.periods.windows(2) {
+            let gap_ok = w[0].end() < Chronon::FOREVER && w[0].end().succ() < w[1].start();
+            if !gap_ok {
+                return Err(TemporalError::Corrupt {
+                    what: "ResolvedElement",
+                    reason: format!("periods {} and {} are not separated", w[0], w[1]),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The normalized periods, sorted by start.
+    pub fn periods(&self) -> &[ResolvedPeriod] {
+        &self.periods
+    }
+
+    /// Number of maximal periods.
+    pub fn period_count(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// `true` when the element denotes the empty set of chronons.
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// The first period, or an error on the empty element.
+    pub fn first(&self) -> Result<ResolvedPeriod> {
+        self.periods
+            .first()
+            .copied()
+            .ok_or(TemporalError::EmptyElement { what: "first" })
+    }
+
+    /// The last period.
+    pub fn last(&self) -> Result<ResolvedPeriod> {
+        self.periods
+            .last()
+            .copied()
+            .ok_or(TemporalError::EmptyElement { what: "last" })
+    }
+
+    /// The `i`-th period (0-based).
+    pub fn nth(&self, i: usize) -> Result<ResolvedPeriod> {
+        self.periods
+            .get(i)
+            .copied()
+            .ok_or(TemporalError::IndexOutOfBounds {
+                index: i,
+                len: self.periods.len(),
+            })
+    }
+
+    /// The start of the first period — the paper's `start(valid)` routine.
+    pub fn start(&self) -> Result<Chronon> {
+        self.first().map(|p| p.start())
+    }
+
+    /// The end of the last period.
+    pub fn end(&self) -> Result<Chronon> {
+        self.last().map(|p| p.end())
+    }
+
+    /// Total covered time — the paper's `length(…)` routine. Sums the
+    /// durations of the (disjoint) periods.
+    pub fn length(&self) -> Span {
+        self.periods.iter().map(|p| p.duration()).sum()
+    }
+
+    /// Set union via a linear merge of the two sorted period lists.
+    pub fn union(&self, other: &ResolvedElement) -> ResolvedElement {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut out: Vec<ResolvedPeriod> =
+            Vec::with_capacity(self.periods.len() + other.periods.len());
+        let (mut i, mut j) = (0, 0);
+        let push = |out: &mut Vec<ResolvedPeriod>, p: ResolvedPeriod| match out.last_mut() {
+            Some(last) => match last.merge(p) {
+                Some(m) => *last = m,
+                None => out.push(p),
+            },
+            None => out.push(p),
+        };
+        while i < self.periods.len() && j < other.periods.len() {
+            if self.periods[i].start() <= other.periods[j].start() {
+                push(&mut out, self.periods[i]);
+                i += 1;
+            } else {
+                push(&mut out, other.periods[j]);
+                j += 1;
+            }
+        }
+        for &p in &self.periods[i..] {
+            push(&mut out, p);
+        }
+        for &p in &other.periods[j..] {
+            push(&mut out, p);
+        }
+        ResolvedElement { periods: out }
+    }
+
+    /// Set intersection via a linear two-pointer sweep.
+    pub fn intersect(&self, other: &ResolvedElement) -> ResolvedElement {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.periods.len() && j < other.periods.len() {
+            let a = self.periods[i];
+            let b = other.periods[j];
+            if let Some(x) = a.intersect(b) {
+                out.push(x);
+            }
+            // Advance whichever period ends first.
+            if a.end() <= b.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        // The pieces come out sorted and disjoint but may abut; normalize
+        // cheaply with the same merge pass (already sorted, so linear).
+        let mut merged: Vec<ResolvedPeriod> = Vec::with_capacity(out.len());
+        for p in out {
+            match merged.last_mut().and_then(|last| last.merge(p)) {
+                Some(m) => *merged.last_mut().unwrap() = m,
+                None => merged.push(p),
+            }
+        }
+        ResolvedElement { periods: merged }
+    }
+
+    /// Set difference `self \ other` via a linear sweep.
+    pub fn difference(&self, other: &ResolvedElement) -> ResolvedElement {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &a in &self.periods {
+            let mut cur_start = a.start();
+            while j < other.periods.len() && other.periods[j].end() < cur_start {
+                j += 1;
+            }
+            let mut k = j;
+            let mut alive = true;
+            while alive && k < other.periods.len() && other.periods[k].start() <= a.end() {
+                let b = other.periods[k];
+                if b.start() > cur_start {
+                    // Keep the uncovered prefix [cur_start, b.start - 1].
+                    out.push(
+                        ResolvedPeriod::new(cur_start, b.start().pred())
+                            .expect("prefix is nonempty"),
+                    );
+                }
+                if b.end() >= a.end() {
+                    alive = false;
+                } else {
+                    cur_start = cur_start.max(b.end().succ());
+                    k += 1;
+                }
+            }
+            if alive && cur_start <= a.end() {
+                out.push(ResolvedPeriod::new(cur_start, a.end()).expect("suffix is nonempty"));
+            }
+        }
+        ResolvedElement { periods: out }
+    }
+
+    /// Complement within the whole supported timeline.
+    pub fn complement(&self) -> ResolvedElement {
+        ResolvedElement::all_time().difference(self)
+    }
+
+    /// Do the two elements share at least one chronon? (The paper's
+    /// `overlaps(p1.valid, p2.valid)` predicate.) Linear sweep with early
+    /// exit.
+    pub fn overlaps(&self, other: &ResolvedElement) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.periods.len() && j < other.periods.len() {
+            let a = self.periods[i];
+            let b = other.periods[j];
+            if a.overlaps(b) {
+                return true;
+            }
+            if a.end() < b.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// Does `self` cover every chronon of `other`?
+    pub fn contains_element(&self, other: &ResolvedElement) -> bool {
+        other.difference(self).is_empty()
+    }
+
+    /// Does `self` cover the whole period `p`?
+    pub fn contains_period(&self, p: ResolvedPeriod) -> bool {
+        // Invariant: periods are disjoint and non-adjacent, so p must sit
+        // inside a single one. Binary search by start.
+        let idx = self.periods.partition_point(|q| q.start() <= p.start());
+        idx > 0 && self.periods[idx - 1].contains_period(p)
+    }
+
+    /// Does `self` contain the chronon `c`?
+    pub fn contains_chronon(&self, c: Chronon) -> bool {
+        self.contains_period(ResolvedPeriod::at(c))
+    }
+
+    /// Restricts the element to a window (intersection with one period).
+    pub fn restrict(&self, window: ResolvedPeriod) -> ResolvedElement {
+        self.intersect(&ResolvedElement::from_period(window))
+    }
+
+    /// The gaps *between* the element's periods: the uncovered time
+    /// within `[start, end]`. Empty for elements with fewer than two
+    /// periods.
+    pub fn gaps(&self) -> ResolvedElement {
+        match (self.periods.first(), self.periods.last()) {
+            (Some(first), Some(last)) if self.periods.len() >= 2 => {
+                let extent =
+                    ResolvedPeriod::new(first.start(), last.end()).expect("extent ordered");
+                ResolvedElement::from_period(extent).difference(self)
+            }
+            _ => ResolvedElement::empty(),
+        }
+    }
+
+    /// Shifts every period by a span (saturating at timeline bounds).
+    pub fn shift(&self, s: Span) -> ResolvedElement {
+        ResolvedElement::normalize(self.periods.iter().map(|p| p.shift(s)).collect())
+    }
+
+    /// Grows each period by `s` on both sides (a morphological dilation;
+    /// with a negative span, an erosion).
+    pub fn extend(&self, s: Span) -> ResolvedElement {
+        ResolvedElement::normalize(self.periods.iter().filter_map(|p| p.extend(s)).collect())
+    }
+}
+
+impl fmt::Display for ResolvedElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, p) in self.periods.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Debug for ResolvedElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ResolvedElement{self}")
+    }
+}
+
+impl FromIterator<ResolvedPeriod> for ResolvedElement {
+    fn from_iter<T: IntoIterator<Item = ResolvedPeriod>>(iter: T) -> ResolvedElement {
+        ResolvedElement::normalize(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Chronon {
+        s.parse().unwrap()
+    }
+
+    fn re(text: &str) -> ResolvedElement {
+        text.parse::<Element>()
+            .unwrap()
+            .resolve(Chronon::EPOCH)
+            .unwrap()
+    }
+
+    fn rp(a: i64, b: i64) -> ResolvedPeriod {
+        ResolvedPeriod::new(Chronon::from_raw(a).unwrap(), Chronon::from_raw(b).unwrap()).unwrap()
+    }
+
+    fn rel(pairs: &[(i64, i64)]) -> ResolvedElement {
+        ResolvedElement::normalize(pairs.iter().map(|&(a, b)| rp(a, b)).collect())
+    }
+
+    #[test]
+    fn parse_paper_example() {
+        // "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]} denotes
+        //  from January to April, and then from July to October"
+        let e: Element = "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}"
+            .parse()
+            .unwrap();
+        assert_eq!(e.raw_periods().len(), 2);
+        assert_eq!(
+            e.to_string(),
+            "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}"
+        );
+    }
+
+    #[test]
+    fn parse_with_now() {
+        let e: Element = "{[1999-10-01, NOW]}".parse().unwrap();
+        assert!(e.is_now_relative());
+        let r = e.resolve(c("1999-12-01")).unwrap();
+        assert_eq!(r.start().unwrap(), c("1999-10-01"));
+        assert_eq!(r.end().unwrap(), c("1999-12-01"));
+    }
+
+    #[test]
+    fn parse_empty_and_garbage() {
+        assert!("{}".parse::<Element>().unwrap().is_raw_empty());
+        assert!("{ }".parse::<Element>().unwrap().is_raw_empty());
+        for bad in ["", "{", "}", "{[a,b]}", "{[1999-01-01, 1999-02-01]", "{]}"] {
+            assert!(bad.parse::<Element>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn normalize_sorts_merges_and_drops_empties() {
+        let e = ResolvedElement::normalize(vec![rp(50, 60), rp(0, 10), rp(5, 20), rp(21, 30)]);
+        // [0,10] ∪ [5,20] overlap; [21,30] abuts [.,20]; [50,60] separate.
+        assert_eq!(e.periods(), &[rp(0, 30), rp(50, 60)]);
+        e.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn resolution_drops_inverted_periods() {
+        let e: Element = "{[1999-01-01, NOW], [2005-01-01, 2006-01-01]}"
+            .parse()
+            .unwrap();
+        let r = e.resolve(c("1998-01-01")).unwrap();
+        assert_eq!(r.period_count(), 1);
+        assert_eq!(r.start().unwrap(), c("2005-01-01"));
+    }
+
+    #[test]
+    fn union_linear_merge() {
+        let a = rel(&[(0, 10), (20, 30), (100, 110)]);
+        let b = rel(&[(5, 25), (40, 50)]);
+        let u = a.union(&b);
+        assert_eq!(u.periods(), &[rp(0, 30), rp(40, 50), rp(100, 110)]);
+        u.check_invariant().unwrap();
+        // Union with empty is identity.
+        assert_eq!(a.union(&ResolvedElement::empty()), a);
+        assert_eq!(ResolvedElement::empty().union(&a), a);
+    }
+
+    #[test]
+    fn union_merges_adjacent_across_sides() {
+        let a = rel(&[(0, 9)]);
+        let b = rel(&[(10, 20)]);
+        assert_eq!(a.union(&b).periods(), &[rp(0, 20)]);
+    }
+
+    #[test]
+    fn intersect_sweep() {
+        let a = rel(&[(0, 10), (20, 30), (50, 60)]);
+        let b = rel(&[(5, 25), (55, 100)]);
+        let i = a.intersect(&b);
+        assert_eq!(i.periods(), &[rp(5, 10), rp(20, 25), rp(55, 60)]);
+        assert!(a.intersect(&ResolvedElement::empty()).is_empty());
+    }
+
+    #[test]
+    fn difference_cases() {
+        let a = rel(&[(0, 100)]);
+        let b = rel(&[(10, 20), (40, 50)]);
+        let d = a.difference(&b);
+        assert_eq!(d.periods(), &[rp(0, 9), rp(21, 39), rp(51, 100)]);
+
+        // Subtrahend covers everything.
+        assert!(rel(&[(5, 8)]).difference(&rel(&[(0, 10)])).is_empty());
+        // Subtrahend disjoint.
+        assert_eq!(rel(&[(5, 8)]).difference(&rel(&[(20, 30)])), rel(&[(5, 8)]));
+        // Subtract from both ends.
+        let d = rel(&[(10, 20)]).difference(&rel(&[(0, 12), (18, 30)]));
+        assert_eq!(d.periods(), &[rp(13, 17)]);
+        // Multiple minuend periods against one subtrahend.
+        let d = rel(&[(0, 5), (10, 15), (20, 25)]).difference(&rel(&[(3, 22)]));
+        assert_eq!(d.periods(), &[rp(0, 2), rp(23, 25)]);
+    }
+
+    #[test]
+    fn complement_involution() {
+        let a = rel(&[(0, 10), (20, 30)]);
+        assert_eq!(a.complement().complement(), a);
+        assert!(ResolvedElement::all_time().complement().is_empty());
+        assert_eq!(
+            ResolvedElement::empty().complement(),
+            ResolvedElement::all_time()
+        );
+    }
+
+    #[test]
+    fn overlaps_predicate() {
+        let a = rel(&[(0, 10), (100, 110)]);
+        assert!(a.overlaps(&rel(&[(50, 105)])));
+        assert!(!a.overlaps(&rel(&[(11, 99)])));
+        assert!(!a.overlaps(&ResolvedElement::empty()));
+    }
+
+    #[test]
+    fn contains_queries() {
+        let a = rel(&[(0, 10), (20, 30)]);
+        assert!(a.contains_period(rp(2, 8)));
+        assert!(!a.contains_period(rp(8, 22)));
+        assert!(a.contains_chronon(Chronon::from_raw(25).unwrap()));
+        assert!(!a.contains_chronon(Chronon::from_raw(15).unwrap()));
+        assert!(a.contains_element(&rel(&[(0, 5), (25, 30)])));
+        assert!(!a.contains_element(&rel(&[(0, 15)])));
+        assert!(a.contains_element(&ResolvedElement::empty()));
+    }
+
+    #[test]
+    fn length_sums_disjoint_periods() {
+        let e = re("{[1999-01-01, 1999-01-01 23:59:59], [1999-03-01, 1999-03-02 23:59:59]}");
+        assert_eq!(e.length(), Span::from_days(3));
+        assert_eq!(ResolvedElement::empty().length(), Span::ZERO);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = re("{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}");
+        assert_eq!(e.start().unwrap(), c("1999-01-01"));
+        assert_eq!(e.end().unwrap(), c("1999-10-31"));
+        assert_eq!(e.first().unwrap().end(), c("1999-04-30"));
+        assert_eq!(e.last().unwrap().start(), c("1999-07-01"));
+        assert_eq!(e.nth(1).unwrap().start(), c("1999-07-01"));
+        assert!(e.nth(2).is_err());
+        assert!(ResolvedElement::empty().start().is_err());
+    }
+
+    #[test]
+    fn gaps_between_periods() {
+        let e = rel(&[(0, 10), (20, 30), (50, 60)]);
+        assert_eq!(e.gaps().periods(), &[rp(11, 19), rp(31, 49)]);
+        // Gaps of the gaps are the interior periods.
+        assert_eq!(e.gaps().gaps().periods(), &[rp(20, 30)]);
+        assert!(rel(&[(0, 10)]).gaps().is_empty());
+        assert!(ResolvedElement::empty().gaps().is_empty());
+        // Union of element and its gaps is one solid period.
+        let solid = e.union(&e.gaps());
+        assert_eq!(solid.periods(), &[rp(0, 60)]);
+    }
+
+    #[test]
+    fn restrict_window() {
+        let e = rel(&[(0, 10), (20, 30)]);
+        let w = e.restrict(rp(5, 25));
+        assert_eq!(w.periods(), &[rp(5, 10), rp(20, 25)]);
+    }
+
+    #[test]
+    fn shift_and_extend() {
+        let e = rel(&[(0, 10), (20, 30)]);
+        assert_eq!(e.shift(Span::from_seconds(5)), rel(&[(5, 15), (25, 35)]));
+        // Extending by 5 merges the two periods (gap of 9 < 2*5+1).
+        assert_eq!(e.extend(Span::from_seconds(5)), rel(&[(-5, 35)]));
+        // Eroding by 6 kills both 11-chronon periods.
+        assert!(e.extend(Span::from_seconds(-6)).is_empty());
+    }
+
+    #[test]
+    fn round_trip_through_raw_element() {
+        let r = rel(&[(0, 10), (20, 30)]);
+        let raw: Element = r.clone().into();
+        assert_eq!(raw.resolve(Chronon::EPOCH).unwrap(), r);
+    }
+
+    #[test]
+    fn from_iterator_normalizes() {
+        let e: ResolvedElement = [rp(5, 10), rp(0, 6)].into_iter().collect();
+        assert_eq!(e.periods(), &[rp(0, 10)]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error types for the TIP temporal type library.
+
+use std::fmt;
+
+/// Errors produced by temporal-type construction, parsing, and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// A textual literal could not be parsed into the requested type.
+    Parse {
+        /// The type that was being parsed (e.g. `"Chronon"`).
+        what: &'static str,
+        /// The offending input (possibly truncated).
+        input: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A civil date component was out of range (bad month, day, …).
+    InvalidDate { year: i32, month: u32, day: u32 },
+    /// A time-of-day component was out of range.
+    InvalidTime { hour: u32, minute: u32, second: u32 },
+    /// Arithmetic moved a value outside the supported timeline
+    /// (year 1 through year 9999) or overflowed.
+    OutOfRange { what: &'static str },
+    /// Division of a `Span` by zero.
+    DivisionByZero,
+    /// An operation required a fixed (non-NOW-relative) value but the
+    /// input still contained `NOW`.
+    UnresolvedNow { what: &'static str },
+    /// An index into an `Element`'s periods was out of bounds.
+    IndexOutOfBounds { index: usize, len: usize },
+    /// An operation on an empty `Element` that requires at least one period.
+    EmptyElement { what: &'static str },
+    /// Binary decoding failed (truncated or corrupt payload).
+    Corrupt { what: &'static str, reason: String },
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalError::Parse {
+                what,
+                input,
+                reason,
+            } => {
+                write!(f, "cannot parse {what} from {input:?}: {reason}")
+            }
+            TemporalError::InvalidDate { year, month, day } => {
+                write!(f, "invalid civil date {year:04}-{month:02}-{day:02}")
+            }
+            TemporalError::InvalidTime {
+                hour,
+                minute,
+                second,
+            } => {
+                write!(f, "invalid time of day {hour:02}:{minute:02}:{second:02}")
+            }
+            TemporalError::OutOfRange { what } => {
+                write!(f, "{what} is outside the supported timeline (years 1-9999)")
+            }
+            TemporalError::DivisionByZero => write!(f, "division of a Span by zero"),
+            TemporalError::UnresolvedNow { what } => {
+                write!(
+                    f,
+                    "{what} requires a fixed value but the input contains NOW"
+                )
+            }
+            TemporalError::IndexOutOfBounds { index, len } => {
+                write!(
+                    f,
+                    "period index {index} out of bounds for Element with {len} period(s)"
+                )
+            }
+            TemporalError::EmptyElement { what } => {
+                write!(f, "{what} is undefined on an empty Element")
+            }
+            TemporalError::Corrupt { what, reason } => {
+                write!(f, "corrupt binary encoding of {what}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TemporalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TemporalError::Parse {
+            what: "Chronon",
+            input: "199x".into(),
+            reason: "bad year".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Chronon"));
+        assert!(s.contains("199x"));
+        assert!(s.contains("bad year"));
+    }
+
+    #[test]
+    fn invalid_date_formats_with_zero_padding() {
+        let e = TemporalError::InvalidDate {
+            year: 5,
+            month: 2,
+            day: 30,
+        };
+        assert_eq!(e.to_string(), "invalid civil date 0005-02-30");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TemporalError::DivisionByZero);
+    }
+}

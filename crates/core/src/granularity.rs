@@ -1,0 +1,294 @@
+//! Time granularities — coarser views of the chronon timeline.
+//!
+//! TIP fixes the chronon at one second, but the paper's future-work
+//! section aims at TSQL2-class expressive power, and TSQL2's model is
+//! granularity-aware: instants can be truncated to days, months, or
+//! years, and periods aligned to granule boundaries. This module
+//! provides that layer on top of the second-granularity core.
+
+use crate::chronon::{days_in_month, Chronon};
+use crate::error::Result;
+use crate::period::ResolvedPeriod;
+use crate::span::Span;
+
+/// A calendar granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Granularity {
+    Second,
+    Minute,
+    Hour,
+    Day,
+    /// ISO weeks (Monday-based).
+    Week,
+    Month,
+    Year,
+}
+
+impl Granularity {
+    /// The canonical lowercase name (used by the SQL `trunc` routine).
+    pub fn name(self) -> &'static str {
+        match self {
+            Granularity::Second => "second",
+            Granularity::Minute => "minute",
+            Granularity::Hour => "hour",
+            Granularity::Day => "day",
+            Granularity::Week => "week",
+            Granularity::Month => "month",
+            Granularity::Year => "year",
+        }
+    }
+
+    /// Parses a granularity name (case-insensitive, singular or plural).
+    pub fn parse(name: &str) -> Option<Granularity> {
+        let l = name.trim().to_ascii_lowercase();
+        Some(match l.trim_end_matches('s') {
+            "second" | "sec" => Granularity::Second,
+            "minute" | "min" => Granularity::Minute,
+            "hour" => Granularity::Hour,
+            "day" => Granularity::Day,
+            "week" => Granularity::Week,
+            "month" => Granularity::Month,
+            "year" => Granularity::Year,
+            _ => return None,
+        })
+    }
+
+    /// All granularities, finest first.
+    pub const ALL: [Granularity; 7] = [
+        Granularity::Second,
+        Granularity::Minute,
+        Granularity::Hour,
+        Granularity::Day,
+        Granularity::Week,
+        Granularity::Month,
+        Granularity::Year,
+    ];
+}
+
+/// Truncates a chronon down to the start of its enclosing granule.
+pub fn truncate(c: Chronon, g: Granularity) -> Chronon {
+    let (y, mo, d, h, mi, _s) = c.to_civil();
+    let build = |y, mo, d, h, mi, s| {
+        Chronon::from_ymd_hms(y, mo, d, h, mi, s).expect("truncation stays in range")
+    };
+    match g {
+        Granularity::Second => c,
+        Granularity::Minute => build(y, mo, d, h, mi, 0),
+        Granularity::Hour => build(y, mo, d, h, 0, 0),
+        Granularity::Day => build(y, mo, d, 0, 0, 0),
+        Granularity::Week => {
+            let midnight = build(y, mo, d, 0, 0, 0);
+            let weekday = i64::from(midnight.weekday()); // 0 = Monday
+            midnight.saturating_add(Span::from_days(-weekday))
+        }
+        Granularity::Month => build(y, mo, 1, 0, 0, 0),
+        Granularity::Year => build(y, 1, 1, 0, 0, 0),
+    }
+}
+
+/// The first chronon of the *next* granule (saturating at the end of the
+/// timeline).
+pub fn next_granule(c: Chronon, g: Granularity) -> Chronon {
+    let t = truncate(c, g);
+    let (y, mo, ..) = t.to_civil();
+    match g {
+        Granularity::Second => t.succ(),
+        Granularity::Minute => t.saturating_add(Span::MINUTE),
+        Granularity::Hour => t.saturating_add(Span::HOUR),
+        Granularity::Day => t.saturating_add(Span::DAY),
+        Granularity::Week => t.saturating_add(Span::WEEK),
+        Granularity::Month => {
+            let (ny, nmo) = if mo == 12 { (y + 1, 1) } else { (y, mo + 1) };
+            Chronon::from_ymd(ny.min(9999), nmo, 1).unwrap_or(Chronon::FOREVER)
+        }
+        Granularity::Year => Chronon::from_ymd((y + 1).min(9999), 1, 1).unwrap_or(Chronon::FOREVER),
+    }
+}
+
+/// The granule (as a closed period) containing a chronon.
+pub fn granule_of(c: Chronon, g: Granularity) -> ResolvedPeriod {
+    let start = truncate(c, g);
+    let next = next_granule(c, g);
+    let end = if next > start { next.pred() } else { start };
+    ResolvedPeriod::new(start, end).expect("granule is nonempty")
+}
+
+/// Expands a period outward to whole granule boundaries (the TSQL2
+/// "cast to coarser granularity" on periods): the result covers every
+/// granule the input touches.
+pub fn expand_to(p: ResolvedPeriod, g: Granularity) -> ResolvedPeriod {
+    let start = truncate(p.start(), g);
+    let end = granule_of(p.end(), g).end();
+    ResolvedPeriod::new(start, end).expect("expansion preserves order")
+}
+
+/// The number of granules a period touches (e.g. "how many distinct
+/// months does this period span?").
+pub fn granule_count(p: ResolvedPeriod, g: Granularity) -> Result<u64> {
+    let mut cursor = truncate(p.start(), g);
+    let mut n = 0u64;
+    while cursor <= p.end() {
+        n += 1;
+        let next = next_granule(cursor, g);
+        if next <= cursor {
+            break; // saturated at FOREVER
+        }
+        cursor = next;
+    }
+    Ok(n)
+}
+
+/// Iterates the granules (as closed periods) that a period touches.
+pub fn granules_in(p: ResolvedPeriod, g: Granularity) -> GranuleIter {
+    GranuleIter {
+        cursor: Some(truncate(p.start(), g)),
+        end: p.end(),
+        g,
+    }
+}
+
+/// Iterator over the granules touching a period; see [`granules_in`].
+pub struct GranuleIter {
+    cursor: Option<Chronon>,
+    end: Chronon,
+    g: Granularity,
+}
+
+impl Iterator for GranuleIter {
+    type Item = ResolvedPeriod;
+
+    fn next(&mut self) -> Option<ResolvedPeriod> {
+        let start = self.cursor?;
+        if start > self.end {
+            return None;
+        }
+        let granule = granule_of(start, self.g);
+        let next = next_granule(start, self.g);
+        self.cursor = if next > start { Some(next) } else { None };
+        Some(granule)
+    }
+}
+
+/// Days in the month containing `c` (convenience re-export at the
+/// granularity level).
+pub fn month_length(c: Chronon) -> u32 {
+    days_in_month(c.year(), c.month())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Chronon {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn truncate_all_granularities() {
+        let x = c("1999-09-23 14:35:27");
+        assert_eq!(truncate(x, Granularity::Second), x);
+        assert_eq!(truncate(x, Granularity::Minute), c("1999-09-23 14:35:00"));
+        assert_eq!(truncate(x, Granularity::Hour), c("1999-09-23 14:00:00"));
+        assert_eq!(truncate(x, Granularity::Day), c("1999-09-23"));
+        // 1999-09-23 was a Thursday; the ISO week starts Monday 09-20.
+        assert_eq!(truncate(x, Granularity::Week), c("1999-09-20"));
+        assert_eq!(truncate(x, Granularity::Month), c("1999-09-01"));
+        assert_eq!(truncate(x, Granularity::Year), c("1999-01-01"));
+    }
+
+    #[test]
+    fn truncation_is_idempotent_and_monotone() {
+        for g in Granularity::ALL {
+            for s in ["1999-02-28 23:59:59", "2000-02-29", "1999-12-31 00:00:01"] {
+                let x = c(s);
+                let t = truncate(x, g);
+                assert_eq!(truncate(t, g), t, "{g:?} {s}");
+                assert!(t <= x, "{g:?} {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_granule_crosses_boundaries() {
+        assert_eq!(
+            next_granule(c("1999-12-31 23:59:59"), Granularity::Day),
+            c("2000-01-01")
+        );
+        assert_eq!(
+            next_granule(c("1999-12-15"), Granularity::Month),
+            c("2000-01-01")
+        );
+        assert_eq!(
+            next_granule(c("1999-06-06"), Granularity::Year),
+            c("2000-01-01")
+        );
+        // Leap-year February.
+        assert_eq!(
+            next_granule(c("2000-02-10"), Granularity::Month),
+            c("2000-03-01")
+        );
+    }
+
+    #[test]
+    fn granule_of_is_a_partition_cell() {
+        let x = c("1999-09-23 14:35:27");
+        let m = granule_of(x, Granularity::Month);
+        assert_eq!(m.start(), c("1999-09-01"));
+        assert_eq!(m.end(), c("1999-09-30 23:59:59"));
+        assert!(m.contains_chronon(x));
+    }
+
+    #[test]
+    fn expand_covers_touched_granules() {
+        let p = ResolvedPeriod::new(c("1999-01-15"), c("1999-03-02")).unwrap();
+        let e = expand_to(p, Granularity::Month);
+        assert_eq!(e.start(), c("1999-01-01"));
+        assert_eq!(e.end(), c("1999-03-31 23:59:59"));
+        assert!(e.contains_period(p));
+    }
+
+    #[test]
+    fn granule_count_and_iteration() {
+        let p = ResolvedPeriod::new(c("1999-01-15"), c("1999-03-02")).unwrap();
+        assert_eq!(granule_count(p, Granularity::Month).unwrap(), 3);
+        let months: Vec<_> = granules_in(p, Granularity::Month).collect();
+        assert_eq!(months.len(), 3);
+        assert_eq!(months[0].start(), c("1999-01-01"));
+        assert_eq!(months[2].end(), c("1999-03-31 23:59:59"));
+        // A single-chronon period touches exactly one granule.
+        let single = ResolvedPeriod::at(c("1999-06-15 12:00:00"));
+        assert_eq!(granule_count(single, Granularity::Day).unwrap(), 1);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Granularity::parse("DAY"), Some(Granularity::Day));
+        assert_eq!(Granularity::parse("months"), Some(Granularity::Month));
+        assert_eq!(Granularity::parse("sec"), Some(Granularity::Second));
+        assert_eq!(Granularity::parse("fortnight"), None);
+        for g in Granularity::ALL {
+            assert_eq!(Granularity::parse(g.name()), Some(g));
+        }
+    }
+
+    #[test]
+    fn month_length_helper() {
+        assert_eq!(month_length(c("2000-02-15")), 29);
+        assert_eq!(month_length(c("1999-02-15")), 28);
+        assert_eq!(month_length(c("1999-09-15")), 30);
+    }
+
+    #[test]
+    fn week_truncation_is_monday() {
+        // 2026-07-07 is a Tuesday; its week starts Monday 2026-07-06.
+        assert_eq!(
+            truncate(c("2026-07-07"), Granularity::Week),
+            c("2026-07-06")
+        );
+        // A Monday truncates to itself.
+        assert_eq!(
+            truncate(c("2026-07-06 10:00:00"), Granularity::Week),
+            c("2026-07-06")
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! `Instant`: a `Chronon` or a NOW-relative time.
+//!
+//! A NOW-relative `Instant` is an offset of type [`Span`] from the special
+//! symbol `NOW`, whose interpretation changes as time advances: `NOW-1`
+//! denotes yesterday (paper §2). Comparing a NOW-relative instant against a
+//! fixed one therefore requires a transaction time; see
+//! [`Instant::cmp_at`] and [`Instant::partial_cmp_static`].
+
+use crate::chronon::{parse_chronon_str, Chronon};
+use crate::error::{Result, TemporalError};
+use crate::span::Span;
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// A point in time that is either fixed or NOW-relative.
+///
+/// ```
+/// use tip_core::{Chronon, Instant, Span};
+/// let yesterday: Instant = "NOW-1".parse().unwrap();
+/// let now = Chronon::from_ymd(1999, 9, 23).unwrap();
+/// assert_eq!(yesterday.resolve(now).unwrap().to_string(), "1999-09-22");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instant {
+    /// A fixed point in time.
+    Fixed(Chronon),
+    /// `NOW + offset`; the offset may be negative (`NOW-1` = yesterday).
+    NowRelative(Span),
+}
+
+impl Instant {
+    /// The unshifted `NOW`.
+    pub const NOW: Instant = Instant::NowRelative(Span::ZERO);
+
+    /// `true` when the instant depends on the current transaction time.
+    pub fn is_now_relative(self) -> bool {
+        matches!(self, Instant::NowRelative(_))
+    }
+
+    /// Substitutes `now` for the symbol `NOW` (the paper's
+    /// `Instant → Chronon` cast). Saturates at the timeline bounds so that
+    /// e.g. `NOW + 20000 years` degrades to `FOREVER` rather than failing.
+    pub fn resolve(self, now: Chronon) -> Result<Chronon> {
+        match self {
+            Instant::Fixed(c) => Ok(c),
+            Instant::NowRelative(off) => Ok(now.saturating_add(off)),
+        }
+    }
+
+    /// The fixed chronon, or an error if the instant is NOW-relative.
+    pub fn as_fixed(self) -> Result<Chronon> {
+        match self {
+            Instant::Fixed(c) => Ok(c),
+            Instant::NowRelative(_) => Err(TemporalError::UnresolvedNow { what: "Instant" }),
+        }
+    }
+
+    /// Compares two instants under a given transaction time. The paper
+    /// notes that the result "may change as time advances" when one side
+    /// is NOW-relative.
+    pub fn cmp_at(self, other: Instant, now: Chronon) -> Ordering {
+        let a = self.resolve(now).expect("resolve is infallible");
+        let b = other.resolve(now).expect("resolve is infallible");
+        a.cmp(&b)
+    }
+
+    /// Compares two instants *without* a transaction time, when possible:
+    /// two fixed instants or two NOW-relative instants are always
+    /// comparable, a mixed pair is not.
+    pub fn partial_cmp_static(self, other: Instant) -> Option<Ordering> {
+        match (self, other) {
+            (Instant::Fixed(a), Instant::Fixed(b)) => Some(a.cmp(&b)),
+            (Instant::NowRelative(a), Instant::NowRelative(b)) => Some(a.cmp(&b)),
+            _ => None,
+        }
+    }
+
+    /// Shifts the instant by a span, preserving NOW-relativity.
+    pub fn shift(self, s: Span) -> Result<Instant> {
+        match self {
+            Instant::Fixed(c) => c.checked_add(s).map(Instant::Fixed),
+            Instant::NowRelative(off) => off.checked_add(s).map(Instant::NowRelative),
+        }
+    }
+}
+
+impl From<Chronon> for Instant {
+    fn from(c: Chronon) -> Instant {
+        Instant::Fixed(c)
+    }
+}
+
+impl std::ops::Add<Span> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Span) -> Instant {
+        self.shift(rhs).expect("Instant + Span out of range")
+    }
+}
+
+impl std::ops::Sub<Span> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Span) -> Instant {
+        self.shift(-rhs).expect("Instant - Span out of range")
+    }
+}
+
+impl fmt::Display for Instant {
+    /// `NOW`, `NOW-7`, `NOW+0 12:00:00`, or a chronon literal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instant::Fixed(c) => write!(f, "{c}"),
+            Instant::NowRelative(off) if off.is_zero() => write!(f, "NOW"),
+            Instant::NowRelative(off) if off.is_negative() => write!(f, "NOW-{}", off.abs()),
+            Instant::NowRelative(off) => write!(f, "NOW+{off}"),
+        }
+    }
+}
+
+impl fmt::Debug for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Instant({self})")
+    }
+}
+
+impl FromStr for Instant {
+    type Err = TemporalError;
+    fn from_str(text: &str) -> Result<Instant> {
+        let t = text.trim();
+        let upper_is_now = t.len() >= 3 && t[..3].eq_ignore_ascii_case("now");
+        if upper_is_now {
+            let rest = t[3..].trim_start();
+            if rest.is_empty() {
+                return Ok(Instant::NOW);
+            }
+            let (sign, body) = match rest.as_bytes()[0] {
+                b'+' => (1, &rest[1..]),
+                b'-' => (-1, &rest[1..]),
+                _ => {
+                    return Err(TemporalError::Parse {
+                        what: "Instant",
+                        input: text.to_owned(),
+                        reason: "expected '+' or '-' after NOW".to_owned(),
+                    })
+                }
+            };
+            let off: Span = body.trim().parse().map_err(|_| TemporalError::Parse {
+                what: "Instant",
+                input: text.to_owned(),
+                reason: "invalid Span offset after NOW".to_owned(),
+            })?;
+            return Ok(Instant::NowRelative(if sign < 0 { -off } else { off }));
+        }
+        parse_chronon_str(t)
+            .map(Instant::Fixed)
+            .map_err(|_| TemporalError::Parse {
+                what: "Instant",
+                input: text.to_owned(),
+                reason: "expected NOW[+|-span] or a Chronon literal".to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Chronon {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_now_variants() {
+        assert_eq!("NOW".parse::<Instant>().unwrap(), Instant::NOW);
+        assert_eq!("now".parse::<Instant>().unwrap(), Instant::NOW);
+        assert_eq!(
+            "NOW-1".parse::<Instant>().unwrap(),
+            Instant::NowRelative(Span::from_days(-1))
+        );
+        assert_eq!(
+            "NOW+7 12:00:00".parse::<Instant>().unwrap(),
+            Instant::NowRelative("7 12:00:00".parse().unwrap())
+        );
+        assert_eq!(
+            "NOW - 2".parse::<Instant>().unwrap(),
+            Instant::NowRelative(Span::from_days(-2))
+        );
+    }
+
+    #[test]
+    fn parse_fixed() {
+        assert_eq!(
+            "1999-09-01".parse::<Instant>().unwrap(),
+            Instant::Fixed(c("1999-09-01"))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "NOW*3", "NOWX", "nowhere-1", "1999"] {
+            assert!(bad.parse::<Instant>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for text in [
+            "NOW",
+            "NOW-1",
+            "NOW+7 12:00:00",
+            "1999-09-01",
+            "1999-09-01 08:00:00",
+        ] {
+            let i: Instant = text.parse().unwrap();
+            assert_eq!(i.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn resolve_paper_example() {
+        // "NOW-1 becomes 1999-09-22 if today's date is 1999-09-23"
+        let i: Instant = "NOW-1".parse().unwrap();
+        assert_eq!(i.resolve(c("1999-09-23")).unwrap(), c("1999-09-22"));
+    }
+
+    #[test]
+    fn resolve_fixed_ignores_now() {
+        let i: Instant = "1999-09-01".parse().unwrap();
+        assert_eq!(i.resolve(c("2020-01-01")).unwrap(), c("1999-09-01"));
+    }
+
+    #[test]
+    fn resolve_saturates_at_bounds() {
+        let i = Instant::NowRelative(Span::from_days(10_000_000));
+        assert_eq!(i.resolve(Chronon::EPOCH).unwrap(), Chronon::FOREVER);
+        let i = Instant::NowRelative(Span::from_days(-10_000_000));
+        assert_eq!(i.resolve(Chronon::EPOCH).unwrap(), Chronon::BEGINNING);
+    }
+
+    #[test]
+    fn as_fixed() {
+        assert!(Instant::NOW.as_fixed().is_err());
+        assert_eq!(
+            Instant::Fixed(Chronon::EPOCH).as_fixed().unwrap(),
+            Chronon::EPOCH
+        );
+    }
+
+    #[test]
+    fn comparison_changes_as_time_advances() {
+        // Paper §2: "the result of comparing a Chronon to a NOW-relative
+        // Instant may change as time advances."
+        let fixed = Instant::Fixed(c("1999-09-23"));
+        let week_ago: Instant = "NOW-7".parse().unwrap();
+        assert_eq!(week_ago.cmp_at(fixed, c("1999-09-01")), Ordering::Less);
+        assert_eq!(week_ago.cmp_at(fixed, c("1999-09-30")), Ordering::Equal);
+        assert_eq!(week_ago.cmp_at(fixed, c("1999-12-01")), Ordering::Greater);
+    }
+
+    #[test]
+    fn static_comparison() {
+        let a = Instant::Fixed(c("1999-01-01"));
+        let b = Instant::Fixed(c("1999-02-01"));
+        assert_eq!(a.partial_cmp_static(b), Some(Ordering::Less));
+        let x: Instant = "NOW-7".parse().unwrap();
+        let y: Instant = "NOW-1".parse().unwrap();
+        assert_eq!(x.partial_cmp_static(y), Some(Ordering::Less));
+        assert_eq!(a.partial_cmp_static(x), None);
+    }
+
+    #[test]
+    fn shift_preserves_relativity() {
+        let i: Instant = "NOW-1".parse().unwrap();
+        assert_eq!((i + Span::from_days(1)).to_string(), "NOW");
+        let f: Instant = "1999-09-01".parse().unwrap();
+        assert_eq!((f + Span::from_days(1)).to_string(), "1999-09-02");
+        assert_eq!((f - Span::from_days(1)).to_string(), "1999-08-31");
+    }
+}

@@ -1,0 +1,69 @@
+//! # tip-core — the TIP temporal type library
+//!
+//! A from-scratch Rust implementation of the temporal datatypes of
+//! **TIP (Temporal Information Processor)**, the temporal extension to
+//! Informix demonstrated by Yang, Ying and Widom at SIGMOD 2000. This
+//! crate corresponds to the *TIP C library* of the paper's Figure 1: the
+//! core support for the five datatypes that the DataBlade, the client
+//! libraries and the Browser all build on.
+//!
+//! ## The five datatypes (paper §2)
+//!
+//! | Type | Meaning | Example notation |
+//! |---|---|---|
+//! | [`Chronon`] | a specific point in time | `2000-01-01 00:00:00` |
+//! | [`Span`] | a signed duration | `7 12:00:00`, `-7` |
+//! | [`Instant`] | a `Chronon` or a NOW-relative time | `NOW-1` |
+//! | [`Period`] | a pair of `Instant`s | `[NOW-7, NOW]` |
+//! | [`Element`] | a set of `Period`s | `{[1999-01-01, 1999-04-30], …}` |
+//!
+//! `NOW` is interpreted as the current transaction time at query
+//! evaluation; [`NowContext`] carries that interpretation and
+//! [`Element::resolve`]/[`Period::resolve`]/[`Instant::resolve`]
+//! substitute it, producing the fixed [`ResolvedElement`]/
+//! [`ResolvedPeriod`]/[`Chronon`] values the set algebra operates on.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tip_core::{Chronon, Element, NowContext};
+//!
+//! let valid: Element = "{[1999-10-01, NOW]}".parse().unwrap();
+//! let now = NowContext::fixed(Chronon::from_ymd(1999, 12, 25).unwrap());
+//! let resolved = valid.resolve(now.now()).unwrap();
+//! assert_eq!(resolved.to_string(), "{[1999-10-01, 1999-12-25]}");
+//! assert!(resolved.contains_chronon(Chronon::from_ymd(1999, 11, 11).unwrap()));
+//! ```
+//!
+//! Set operations on [`ResolvedElement`] — [`ResolvedElement::union`],
+//! [`ResolvedElement::intersect`], [`ResolvedElement::difference`],
+//! [`ResolvedElement::complement`] — run in time linear in the number of
+//! periods (paper §3). Allen's thirteen interval relations are in
+//! [`allen`], temporal coalescing and the `group_union`/`group_intersect`
+//! aggregates in [`agg`], and the storage codec in [`binary`].
+
+pub mod agg;
+pub mod allen;
+pub mod binary;
+mod chronon;
+mod element;
+mod error;
+pub mod granularity;
+mod instant;
+mod nowctx;
+mod period;
+mod span;
+pub mod tagg;
+
+pub use allen::AllenRelation;
+pub use chronon::{
+    civil_from_days, days_from_civil, days_in_month, is_leap_year, Chronon, SECS_PER_DAY,
+};
+pub use element::{Element, ResolvedElement};
+pub use error::{Result, TemporalError};
+pub use granularity::Granularity;
+pub use instant::Instant;
+pub use nowctx::NowContext;
+pub use period::{Period, ResolvedPeriod};
+pub use span::Span;
+pub use tagg::ConstantInterval;

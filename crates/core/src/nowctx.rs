@@ -1,0 +1,78 @@
+//! `NowContext`: the source of the current transaction time.
+//!
+//! The special symbol `NOW` is interpreted as the current *transaction*
+//! time during query evaluation (paper §2), and the TIP Browser lets the
+//! user "enter a different value for NOW to override its default
+//! interpretation, which provides what-if analysis" (paper §4). A
+//! `NowContext` captures one interpretation of `NOW`; the DBMS session
+//! freezes one per statement.
+
+use crate::chronon::Chronon;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Seconds between the Unix epoch (1970-01-01) and the TIP epoch
+/// (2000-01-01).
+const UNIX_TO_TIP_EPOCH_SECS: i64 = 946_684_800;
+
+/// An interpretation of the symbol `NOW`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NowContext {
+    now: Chronon,
+}
+
+impl NowContext {
+    /// A context with a fixed, explicit `NOW` — used for statement-time
+    /// freezing and for the Browser's what-if override.
+    pub fn fixed(now: Chronon) -> NowContext {
+        NowContext { now }
+    }
+
+    /// A context bound to the machine's wall clock, sampled once (clamped
+    /// to the supported timeline).
+    pub fn system() -> NowContext {
+        let unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0);
+        let raw = unix - UNIX_TO_TIP_EPOCH_SECS;
+        let clamped = raw.clamp(Chronon::BEGINNING.raw(), Chronon::FOREVER.raw());
+        NowContext {
+            now: Chronon::from_raw(clamped).expect("clamped into range"),
+        }
+    }
+
+    /// The chronon this context substitutes for `NOW`.
+    pub fn now(self) -> Chronon {
+        self.now
+    }
+}
+
+impl Default for NowContext {
+    fn default() -> NowContext {
+        NowContext::system()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_context_returns_its_chronon() {
+        let c = Chronon::from_ymd(1999, 9, 23).unwrap();
+        assert_eq!(NowContext::fixed(c).now(), c);
+    }
+
+    #[test]
+    fn system_context_is_in_range_and_plausible() {
+        let n = NowContext::system().now();
+        assert!(n > Chronon::from_ymd(2020, 1, 1).unwrap());
+        assert!(n < Chronon::from_ymd(2200, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn unix_offset_constant_is_correct() {
+        // 2000-01-01 minus 1970-01-01 is 10957 days.
+        assert_eq!(UNIX_TO_TIP_EPOCH_SECS, 10_957 * 86_400);
+    }
+}

@@ -1,0 +1,406 @@
+//! `Period`: a pair of `Instant`s marking the start and end of a time
+//! period, and `ResolvedPeriod`, its fixed (NOW-free) counterpart.
+//!
+//! Periods are **closed at both ends** at chronon granularity: the paper's
+//! `[1999-01-01, 1999-04-30]` covers every chronon from the first through
+//! the last. A period whose endpoints contain `NOW` (e.g. `[NOW-7, NOW]`,
+//! "during the past week") is resolved against the transaction time at
+//! query-evaluation time; if resolution inverts the endpoints the period
+//! denotes the empty set of chronons, following the NOW-semantics
+//! literature the paper cites.
+
+use crate::chronon::Chronon;
+use crate::error::{Result, TemporalError};
+use crate::instant::Instant;
+use crate::span::Span;
+use std::fmt;
+use std::str::FromStr;
+
+/// A (possibly NOW-relative) time period `[start, end]`.
+///
+/// ```
+/// use tip_core::{Chronon, Period};
+/// let p: Period = "[NOW-7, NOW]".parse().unwrap();
+/// let now = Chronon::from_ymd(1999, 9, 23).unwrap();
+/// let r = p.resolve(now).unwrap().expect("nonempty");
+/// assert_eq!(r.to_string(), "[1999-09-16, 1999-09-23]");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Period {
+    start: Instant,
+    end: Instant,
+}
+
+impl Period {
+    /// Builds a period from two instants. Validity (start ≤ end) can only
+    /// be checked at resolution time when `NOW` is involved, so
+    /// construction always succeeds; a statically-inverted fixed period
+    /// simply resolves to the empty set.
+    pub fn new(start: Instant, end: Instant) -> Period {
+        Period { start, end }
+    }
+
+    /// A fixed period from two chronons.
+    pub fn fixed(start: Chronon, end: Chronon) -> Period {
+        Period {
+            start: Instant::Fixed(start),
+            end: Instant::Fixed(end),
+        }
+    }
+
+    /// The degenerate period containing a single chronon (the paper's
+    /// `Chronon → Period` cast: `1999-09-01` becomes
+    /// `[1999-09-01, 1999-09-01]`).
+    pub fn at(c: Chronon) -> Period {
+        Period::fixed(c, c)
+    }
+
+    /// The starting instant.
+    pub fn start(self) -> Instant {
+        self.start
+    }
+
+    /// The ending instant.
+    pub fn end(self) -> Instant {
+        self.end
+    }
+
+    /// `true` when either endpoint is NOW-relative.
+    pub fn is_now_relative(self) -> bool {
+        self.start.is_now_relative() || self.end.is_now_relative()
+    }
+
+    /// Substitutes the transaction time for `NOW` in both endpoints.
+    /// Returns `Ok(None)` when the resolved period is empty (inverted
+    /// endpoints).
+    pub fn resolve(self, now: Chronon) -> Result<Option<ResolvedPeriod>> {
+        let s = self.start.resolve(now)?;
+        let e = self.end.resolve(now)?;
+        Ok(ResolvedPeriod::checked(s, e))
+    }
+
+    /// Shifts both endpoints by a span.
+    pub fn shift(self, s: Span) -> Result<Period> {
+        Ok(Period {
+            start: self.start.shift(s)?,
+            end: self.end.shift(s)?,
+        })
+    }
+}
+
+impl From<ResolvedPeriod> for Period {
+    fn from(r: ResolvedPeriod) -> Period {
+        Period::fixed(r.start(), r.end())
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+impl fmt::Debug for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Period{self}")
+    }
+}
+
+impl FromStr for Period {
+    type Err = TemporalError;
+    fn from_str(text: &str) -> Result<Period> {
+        let err = |reason: &str| TemporalError::Parse {
+            what: "Period",
+            input: text.to_owned(),
+            reason: reason.to_owned(),
+        };
+        let t = text.trim();
+        let inner = t
+            .strip_prefix('[')
+            .and_then(|x| x.strip_suffix(']'))
+            .ok_or_else(|| err("expected [start, end]"))?;
+        let (a, b) = inner
+            .split_once(',')
+            .ok_or_else(|| err("expected ',' separator"))?;
+        let start: Instant = a.trim().parse().map_err(|_| err("invalid start instant"))?;
+        let end: Instant = b.trim().parse().map_err(|_| err("invalid end instant"))?;
+        Ok(Period::new(start, end))
+    }
+}
+
+/// A fixed, nonempty, closed period `[start, end]` with `start <= end`.
+///
+/// This is the type the `Element` algebra and Allen's operators work on,
+/// after `NOW` has been substituted away.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResolvedPeriod {
+    start: Chronon,
+    end: Chronon,
+}
+
+impl ResolvedPeriod {
+    /// Builds a resolved period, returning an error when `start > end`.
+    pub fn new(start: Chronon, end: Chronon) -> Result<ResolvedPeriod> {
+        ResolvedPeriod::checked(start, end).ok_or(TemporalError::OutOfRange {
+            what: "ResolvedPeriod with start > end",
+        })
+    }
+
+    /// Builds a resolved period, returning `None` when `start > end`
+    /// (the empty period).
+    pub fn checked(start: Chronon, end: Chronon) -> Option<ResolvedPeriod> {
+        (start <= end).then_some(ResolvedPeriod { start, end })
+    }
+
+    /// The single-chronon period `[c, c]`.
+    pub fn at(c: Chronon) -> ResolvedPeriod {
+        ResolvedPeriod { start: c, end: c }
+    }
+
+    /// The whole supported timeline.
+    pub const ALL_TIME: ResolvedPeriod = ResolvedPeriod {
+        start: Chronon::BEGINNING,
+        end: Chronon::FOREVER,
+    };
+
+    /// First chronon of the period.
+    pub fn start(self) -> Chronon {
+        self.start
+    }
+
+    /// Last chronon of the period.
+    pub fn end(self) -> Chronon {
+        self.end
+    }
+
+    /// Number of chronons covered, as a [`Span`]: `end - start + 1` second.
+    pub fn duration(self) -> Span {
+        self.end - self.start + Span::SECOND
+    }
+
+    /// Does the period contain the given chronon?
+    pub fn contains_chronon(self, c: Chronon) -> bool {
+        self.start <= c && c <= self.end
+    }
+
+    /// Does the period entirely contain `other`?
+    pub fn contains_period(self, other: ResolvedPeriod) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Do the two periods share at least one chronon?
+    pub fn overlaps(self, other: ResolvedPeriod) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Are the two periods adjacent (abutting with no gap and no overlap)?
+    pub fn adjacent(self, other: ResolvedPeriod) -> bool {
+        (self.end < Chronon::FOREVER && self.end.succ() == other.start)
+            || (other.end < Chronon::FOREVER && other.end.succ() == self.start)
+    }
+
+    /// The common chronons, if any.
+    pub fn intersect(self, other: ResolvedPeriod) -> Option<ResolvedPeriod> {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        ResolvedPeriod::checked(s, e)
+    }
+
+    /// The merged period, when the two overlap or abut (otherwise the
+    /// union is not a single period).
+    pub fn merge(self, other: ResolvedPeriod) -> Option<ResolvedPeriod> {
+        if self.overlaps(other) || self.adjacent(other) {
+            Some(ResolvedPeriod {
+                start: self.start.min(other.start),
+                end: self.end.max(other.end),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Shifts the period by a span, saturating at the timeline bounds.
+    pub fn shift(self, s: Span) -> ResolvedPeriod {
+        ResolvedPeriod {
+            start: self.start.saturating_add(s),
+            end: self.end.saturating_add(s),
+        }
+    }
+
+    /// Grows (or with a negative span shrinks) the period on both sides;
+    /// returns `None` when shrinking empties it.
+    pub fn extend(self, s: Span) -> Option<ResolvedPeriod> {
+        ResolvedPeriod::checked(self.start.saturating_add(-s), self.end.saturating_add(s))
+    }
+}
+
+impl fmt::Display for ResolvedPeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+impl fmt::Debug for ResolvedPeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ResolvedPeriod{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Chronon {
+        s.parse().unwrap()
+    }
+
+    fn rp(a: &str, b: &str) -> ResolvedPeriod {
+        ResolvedPeriod::new(c(a), c(b)).unwrap()
+    }
+
+    #[test]
+    fn parse_paper_examples() {
+        // "[1999-01-01, NOW] denotes since 1999"
+        let p: Period = "[1999-01-01, NOW]".parse().unwrap();
+        assert_eq!(p.start(), Instant::Fixed(c("1999-01-01")));
+        assert_eq!(p.end(), Instant::NOW);
+        assert!(p.is_now_relative());
+        // "[NOW-7, NOW] denotes during the past week"
+        let p: Period = "[NOW-7, NOW]".parse().unwrap();
+        assert_eq!(p.to_string(), "[NOW-7, NOW]");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "[1999-01-01]",
+            "1999-01-01, NOW",
+            "[a, b]",
+            "[1999-01-01, ]",
+        ] {
+            assert!(bad.parse::<Period>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for text in [
+            "[1999-01-01, NOW]",
+            "[NOW-7, NOW]",
+            "[1999-01-01, 1999-04-30]",
+        ] {
+            let p: Period = text.parse().unwrap();
+            assert_eq!(p.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn resolve_now_relative() {
+        let p: Period = "[NOW-7, NOW]".parse().unwrap();
+        let r = p.resolve(c("1999-09-23")).unwrap().unwrap();
+        assert_eq!(r.start(), c("1999-09-16"));
+        assert_eq!(r.end(), c("1999-09-23"));
+    }
+
+    #[test]
+    fn resolve_inverted_is_empty() {
+        // "since 1999" evaluated in 1998 is empty.
+        let p: Period = "[1999-01-01, NOW]".parse().unwrap();
+        assert!(p.resolve(c("1998-06-01")).unwrap().is_none());
+        assert!(p.resolve(c("1999-01-01")).unwrap().is_some());
+    }
+
+    #[test]
+    fn chronon_cast_is_singleton_period() {
+        let p = Period::at(c("1999-09-01"));
+        let r = p.resolve(Chronon::EPOCH).unwrap().unwrap();
+        assert_eq!(r.duration(), Span::SECOND);
+        assert!(r.contains_chronon(c("1999-09-01")));
+    }
+
+    #[test]
+    fn duration_counts_chronons() {
+        // [00:00:00, 23:59:59] on one day covers exactly one day of chronons.
+        let r = ResolvedPeriod::new(c("1999-01-01"), c("1999-01-01 23:59:59")).unwrap();
+        assert_eq!(r.duration(), Span::DAY);
+    }
+
+    #[test]
+    fn overlaps_and_intersect() {
+        let a = rp("1999-01-01", "1999-04-30");
+        let b = rp("1999-03-01", "1999-07-31");
+        assert!(a.overlaps(b) && b.overlaps(a));
+        let i = a.intersect(b).unwrap();
+        assert_eq!(i, rp("1999-03-01", "1999-04-30"));
+
+        let cseg = rp("1999-07-01", "1999-10-31");
+        assert!(!a.overlaps(cseg));
+        assert!(a.intersect(cseg).is_none());
+    }
+
+    #[test]
+    fn single_chronon_touch_counts_as_overlap() {
+        let a = rp("1999-01-01", "1999-02-01");
+        let b = rp("1999-02-01", "1999-03-01");
+        assert!(a.overlaps(b));
+        assert_eq!(a.intersect(b).unwrap(), ResolvedPeriod::at(c("1999-02-01")));
+    }
+
+    #[test]
+    fn adjacency_in_closed_semantics() {
+        let a = ResolvedPeriod::new(c("1999-01-01"), c("1999-01-01 23:59:59")).unwrap();
+        let b = rp("1999-01-02", "1999-01-03");
+        assert!(a.adjacent(b) && b.adjacent(a));
+        assert!(!a.overlaps(b));
+        let m = a.merge(b).unwrap();
+        assert_eq!(m.start(), c("1999-01-01"));
+        assert_eq!(m.end(), c("1999-01-03"));
+    }
+
+    #[test]
+    fn merge_disjoint_fails() {
+        let a = rp("1999-01-01", "1999-01-02");
+        let b = rp("1999-05-01", "1999-05-02");
+        assert!(a.merge(b).is_none());
+    }
+
+    #[test]
+    fn contains() {
+        let outer = rp("1999-01-01", "1999-12-31");
+        let inner = rp("1999-03-01", "1999-04-01");
+        assert!(outer.contains_period(inner));
+        assert!(!inner.contains_period(outer));
+        assert!(outer.contains_period(outer));
+        assert!(outer.contains_chronon(c("1999-06-15")));
+        assert!(!outer.contains_chronon(c("2000-01-01")));
+    }
+
+    #[test]
+    fn shift_and_extend() {
+        let p = rp("1999-01-01", "1999-01-10");
+        let q = p.shift(Span::from_days(5));
+        assert_eq!(q.start(), c("1999-01-06"));
+        assert_eq!(q.end(), c("1999-01-15"));
+        let e = p.extend(Span::from_days(1)).unwrap();
+        assert_eq!(e.start(), c("1998-12-31"));
+        assert_eq!(e.end(), c("1999-01-11"));
+        // Shrinking a 1-chronon period empties it.
+        assert!(ResolvedPeriod::at(c("1999-01-01"))
+            .extend(-Span::SECOND)
+            .is_none());
+    }
+
+    #[test]
+    fn all_time_contains_everything() {
+        assert!(ResolvedPeriod::ALL_TIME.contains_chronon(Chronon::BEGINNING));
+        assert!(ResolvedPeriod::ALL_TIME.contains_chronon(Chronon::FOREVER));
+    }
+
+    #[test]
+    fn period_resolved_round_trip() {
+        let r = rp("1999-01-01", "1999-04-30");
+        let p: Period = r.into();
+        assert_eq!(p.resolve(Chronon::EPOCH).unwrap().unwrap(), r);
+    }
+}

@@ -1,0 +1,361 @@
+//! `Span`: a signed duration of time between two `Chronon`s.
+//!
+//! The paper's notation is `[+|-]days[ hours:minutes:seconds]`; for
+//! example `7 12:00:00` is seven and a half days and `-7` is seven days
+//! back. Internally a `Span` is a signed count of seconds.
+
+use crate::error::{Result, TemporalError};
+use std::fmt;
+use std::str::FromStr;
+
+/// A signed duration at one-second granularity.
+///
+/// ```
+/// use tip_core::Span;
+/// let s: Span = "7 12:00:00".parse().unwrap();
+/// assert_eq!(s, Span::from_days(7) + Span::from_hours(12));
+/// assert_eq!((-s).to_string(), "-7 12:00:00");
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span(i64);
+
+impl Span {
+    /// The zero-length span.
+    pub const ZERO: Span = Span(0);
+    /// One second.
+    pub const SECOND: Span = Span(1);
+    /// One minute.
+    pub const MINUTE: Span = Span(60);
+    /// One hour.
+    pub const HOUR: Span = Span(3600);
+    /// One day.
+    pub const DAY: Span = Span(86_400);
+    /// One week.
+    pub const WEEK: Span = Span(7 * 86_400);
+
+    /// Builds a span from a raw second count.
+    pub const fn from_seconds(secs: i64) -> Span {
+        Span(secs)
+    }
+
+    /// Builds a span of whole minutes.
+    pub const fn from_minutes(m: i64) -> Span {
+        Span(m * 60)
+    }
+
+    /// Builds a span of whole hours.
+    pub const fn from_hours(h: i64) -> Span {
+        Span(h * 3600)
+    }
+
+    /// Builds a span of whole days.
+    pub const fn from_days(d: i64) -> Span {
+        Span(d * 86_400)
+    }
+
+    /// Builds a span of whole weeks.
+    pub const fn from_weeks(w: i64) -> Span {
+        Span(w * 7 * 86_400)
+    }
+
+    /// Builds a span from day and time-of-day components, all applied with
+    /// the given overall sign (mirroring the textual notation).
+    pub fn from_parts(negative: bool, days: i64, hours: i64, minutes: i64, seconds: i64) -> Span {
+        let magnitude = days * 86_400 + hours * 3600 + minutes * 60 + seconds;
+        Span(if negative { -magnitude } else { magnitude })
+    }
+
+    /// The total number of seconds (signed).
+    pub const fn seconds(self) -> i64 {
+        self.0
+    }
+
+    /// The number of whole days (truncated toward zero).
+    pub const fn whole_days(self) -> i64 {
+        self.0 / 86_400
+    }
+
+    /// `true` when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` when the duration is strictly negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// The absolute duration.
+    pub const fn abs(self) -> Span {
+        Span(self.0.abs())
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Span) -> Result<Span> {
+        self.0
+            .checked_add(rhs.0)
+            .map(Span)
+            .ok_or(TemporalError::OutOfRange {
+                what: "Span + Span",
+            })
+    }
+
+    /// Checked multiplication by an integer scale factor (the paper's
+    /// `'7 00:00:00'::Span * :w` idiom).
+    pub fn checked_mul(self, k: i64) -> Result<Span> {
+        self.0
+            .checked_mul(k)
+            .map(Span)
+            .ok_or(TemporalError::OutOfRange { what: "Span * INT" })
+    }
+
+    /// Integer division by a scale factor.
+    pub fn checked_div(self, k: i64) -> Result<Span> {
+        if k == 0 {
+            Err(TemporalError::DivisionByZero)
+        } else {
+            Ok(Span(self.0 / k))
+        }
+    }
+
+    /// The ratio of two spans as a floating-point number
+    /// (`Span / Span` in SQL).
+    pub fn ratio(self, rhs: Span) -> Result<f64> {
+        if rhs.0 == 0 {
+            Err(TemporalError::DivisionByZero)
+        } else {
+            Ok(self.0 as f64 / rhs.0 as f64)
+        }
+    }
+}
+
+impl std::ops::Add for Span {
+    type Output = Span;
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Span {
+    type Output = Span;
+    fn sub(self, rhs: Span) -> Span {
+        Span(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Neg for Span {
+    type Output = Span;
+    fn neg(self) -> Span {
+        Span(-self.0)
+    }
+}
+
+impl std::ops::Mul<i64> for Span {
+    type Output = Span;
+    fn mul(self, rhs: i64) -> Span {
+        Span(self.0 * rhs)
+    }
+}
+
+impl std::ops::Mul<Span> for i64 {
+    type Output = Span;
+    fn mul(self, rhs: Span) -> Span {
+        Span(self * rhs.0)
+    }
+}
+
+impl std::ops::Div<i64> for Span {
+    type Output = Span;
+    fn div(self, rhs: i64) -> Span {
+        Span(self.0 / rhs)
+    }
+}
+
+impl std::iter::Sum for Span {
+    fn sum<I: Iterator<Item = Span>>(iter: I) -> Span {
+        Span(iter.map(|s| s.0).sum())
+    }
+}
+
+impl fmt::Display for Span {
+    /// Paper notation: `[+|-]days[ hours:minutes:seconds]`, omitting the
+    /// time part when it is zero.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let mag = self.0.unsigned_abs();
+        let days = mag / 86_400;
+        let tod = mag % 86_400;
+        if tod == 0 {
+            write!(f, "{sign}{days}")
+        } else {
+            write!(
+                f,
+                "{sign}{days} {:02}:{:02}:{:02}",
+                tod / 3600,
+                (tod % 3600) / 60,
+                tod % 60
+            )
+        }
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Span({self})")
+    }
+}
+
+impl FromStr for Span {
+    type Err = TemporalError;
+    fn from_str(text: &str) -> Result<Span> {
+        let err = |reason: &str| TemporalError::Parse {
+            what: "Span",
+            input: text.to_owned(),
+            reason: reason.to_owned(),
+        };
+        let t = text.trim();
+        let (negative, t) = match t.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, t.strip_prefix('+').unwrap_or(t)),
+        };
+        let (day_part, time_part) = match t.split_once(' ') {
+            Some((d, rest)) => (d, Some(rest.trim())),
+            None => (t, None),
+        };
+        if day_part.is_empty() || !day_part.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(err("expected a day count"));
+        }
+        let days: i64 = day_part
+            .parse()
+            .map_err(|_| err("day count out of range"))?;
+        let (h, m, s) = match time_part {
+            None | Some("") => (0, 0, 0),
+            Some(tp) => {
+                let mut it = tp.split(':');
+                let mut next = |what: &str| -> Result<i64> {
+                    let piece = it.next().ok_or_else(|| err(what))?;
+                    if piece.is_empty() || !piece.bytes().all(|b| b.is_ascii_digit()) {
+                        return Err(err(what));
+                    }
+                    piece.parse().map_err(|_| err(what))
+                };
+                let h = next("expected hours")?;
+                let m = next("expected minutes")?;
+                let s = next("expected seconds")?;
+                if it.next().is_some() {
+                    return Err(err("trailing time components"));
+                }
+                if m > 59 || s > 59 {
+                    return Err(err("minutes/seconds must be 0-59"));
+                }
+                (h, m, s)
+            }
+        };
+        Ok(Span::from_parts(negative, days, h, m, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_examples() {
+        // "7 12:00:00 denotes seven and a half days"
+        let s: Span = "7 12:00:00".parse().unwrap();
+        assert_eq!(s.seconds(), 7 * 86_400 + 12 * 3600);
+        // "-7 denotes seven days back"
+        let s: Span = "-7".parse().unwrap();
+        assert_eq!(s, Span::from_days(-7));
+        // dosage frequency "0 08:00:00"
+        let s: Span = "0 08:00:00".parse().unwrap();
+        assert_eq!(s, Span::from_hours(8));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for text in ["0", "7", "-7", "7 12:00:00", "-3 01:02:03", "36500"] {
+            let s: Span = text.parse().unwrap();
+            assert_eq!(s.to_string(), text);
+            let back: Span = s.to_string().parse().unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn plus_sign_is_accepted_but_not_printed() {
+        let s: Span = "+7".parse().unwrap();
+        assert_eq!(s.to_string(), "7");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "x",
+            "7 12:00",
+            "7 12:00:00:00",
+            "7 12:60:00",
+            "7 -1:00:00",
+            "--7",
+        ] {
+            assert!(bad.parse::<Span>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn negative_span_applies_sign_to_whole_value() {
+        // "-1 12:00:00" is minus (1 day + 12 hours), not (-1 day) + 12h.
+        let s: Span = "-1 12:00:00".parse().unwrap();
+        assert_eq!(s.seconds(), -(86_400 + 12 * 3600));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Span::DAY + Span::HOUR, Span::from_seconds(90_000));
+        assert_eq!(Span::DAY - Span::DAY, Span::ZERO);
+        assert_eq!(-Span::DAY, Span::from_days(-1));
+        assert_eq!(Span::WEEK, Span::DAY * 7);
+        assert_eq!(7 * Span::DAY, Span::WEEK);
+        assert_eq!(Span::WEEK / 7, Span::DAY);
+        assert_eq!(Span::from_days(3).abs(), Span::from_days(3));
+        assert_eq!(Span::from_days(-3).abs(), Span::from_days(3));
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert!(Span::from_seconds(i64::MAX)
+            .checked_add(Span::SECOND)
+            .is_err());
+        assert!(Span::from_seconds(i64::MAX).checked_mul(2).is_err());
+        assert!(Span::DAY.checked_div(0).is_err());
+        assert_eq!(Span::WEEK.checked_div(7).unwrap(), Span::DAY);
+        // Paper Tylenol query: '7 00:00:00'::Span * :w
+        assert_eq!(Span::WEEK.checked_mul(6).unwrap(), Span::from_weeks(6));
+    }
+
+    #[test]
+    fn ratio() {
+        assert_eq!(Span::WEEK.ratio(Span::DAY).unwrap(), 7.0);
+        assert!(Span::DAY.ratio(Span::ZERO).is_err());
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Span = [Span::DAY, Span::HOUR, Span::MINUTE].into_iter().sum();
+        assert_eq!(total.seconds(), 86_400 + 3600 + 60);
+    }
+
+    #[test]
+    fn whole_days_truncates_toward_zero() {
+        assert_eq!("1 12:00:00".parse::<Span>().unwrap().whole_days(), 1);
+        assert_eq!("-1 12:00:00".parse::<Span>().unwrap().whole_days(), -1);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Span::ZERO.is_zero());
+        assert!(Span::from_days(-1).is_negative());
+        assert!(!Span::DAY.is_negative());
+    }
+}

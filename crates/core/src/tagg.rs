@@ -1,0 +1,310 @@
+//! Temporal aggregation: aggregate values *per point of time*.
+//!
+//! The authors built TIP to experiment with temporal warehousing and
+//! temporal aggregate maintenance (paper §1 and refs [9, 10]; see also
+//! Yang & Widom, "Incremental Computation and Maintenance of Temporal
+//! Aggregates"). The core operator: given tuples timestamped with
+//! periods, compute for every instant the aggregate of the tuples valid
+//! at that instant, returned as *constant intervals* — maximal periods
+//! over which the aggregate value does not change.
+//!
+//! This module implements the classic sweep-line evaluation:
+//! `O(n log n)` over `n` input periods, producing at most `2n + 1`
+//! constant intervals.
+
+use crate::chronon::Chronon;
+use crate::element::ResolvedElement;
+use crate::period::ResolvedPeriod;
+
+/// One constant interval of a temporal aggregate: over `period`, exactly
+/// `count` input tuples were valid (and `sum` is the sum of their
+/// weights, for the weighted variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantInterval {
+    pub period: ResolvedPeriod,
+    pub count: u64,
+    pub sum: i64,
+}
+
+/// Computes the temporal `COUNT` (and weighted `SUM`) over weighted
+/// periods: for every chronon covered by at least one input, the number
+/// of valid inputs and the sum of their weights, as maximal constant
+/// intervals in timeline order. Chronons covered by no input are simply
+/// absent (count 0 intervals are not materialized).
+pub fn temporal_count_sum(inputs: &[(ResolvedPeriod, i64)]) -> Vec<ConstantInterval> {
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    // Event list: +1/+w at start, -1/-w just after end.
+    // Using i128 for positions lets "end + 1" avoid overflow at FOREVER.
+    let mut events: Vec<(i128, i64, i64)> = Vec::with_capacity(inputs.len() * 2);
+    for (p, w) in inputs {
+        events.push((i128::from(p.start().raw()), 1, *w));
+        events.push((i128::from(p.end().raw()) + 1, -1, -*w));
+    }
+    events.sort_unstable_by_key(|&(pos, ..)| pos);
+
+    let mut out = Vec::new();
+    let mut count: i64 = 0;
+    let mut sum: i64 = 0;
+    let mut i = 0usize;
+    let mut seg_start: Option<i128> = None;
+    while i < events.len() {
+        let pos = events[i].0;
+        // Close the running segment at pos - 1.
+        if let Some(start) = seg_start {
+            if count > 0 && pos > start {
+                push_merged(&mut out, make_interval(start, pos - 1, count as u64, sum));
+            }
+        }
+        // Apply every event at this position.
+        while i < events.len() && events[i].0 == pos {
+            count += events[i].1;
+            sum += events[i].2;
+            i += 1;
+        }
+        seg_start = if count > 0 { Some(pos) } else { None };
+    }
+    debug_assert!(count == 0, "every interval closes");
+    out
+}
+
+/// Appends an interval, merging with the previous one when they abut
+/// with identical aggregate values (keeps intervals *maximal*).
+fn push_merged(out: &mut Vec<ConstantInterval>, ci: ConstantInterval) {
+    if let Some(last) = out.last_mut() {
+        if last.count == ci.count
+            && last.sum == ci.sum
+            && last.period.end().succ() == ci.period.start()
+        {
+            if let Some(merged) = last.period.merge(ci.period) {
+                last.period = merged;
+                return;
+            }
+        }
+    }
+    out.push(ci);
+}
+
+fn make_interval(start: i128, end: i128, count: u64, sum: i64) -> ConstantInterval {
+    let s = Chronon::from_raw(start as i64).expect("event position in range");
+    let e = Chronon::from_raw(end as i64).expect("event position in range");
+    ConstantInterval {
+        period: ResolvedPeriod::new(s, e).expect("start <= end"),
+        count,
+        sum,
+    }
+}
+
+/// Temporal COUNT over unweighted periods.
+pub fn temporal_count(periods: &[ResolvedPeriod]) -> Vec<ConstantInterval> {
+    let weighted: Vec<(ResolvedPeriod, i64)> = periods.iter().map(|&p| (p, 1)).collect();
+    temporal_count_sum(&weighted)
+}
+
+/// The chronons where at least `k` inputs are simultaneously valid
+/// (e.g. "when were at least 3 prescriptions active?").
+pub fn at_least(inputs: &[ResolvedPeriod], k: u64) -> ResolvedElement {
+    let periods = temporal_count(inputs)
+        .into_iter()
+        .filter(|ci| ci.count >= k)
+        .map(|ci| ci.period)
+        .collect();
+    ResolvedElement::normalize(periods)
+}
+
+/// The maximum number of simultaneously valid inputs, with one witness
+/// period where that maximum is attained.
+pub fn max_overlap(inputs: &[ResolvedPeriod]) -> Option<(u64, ResolvedPeriod)> {
+    temporal_count(inputs)
+        .into_iter()
+        .max_by_key(|ci| ci.count)
+        .map(|ci| (ci.count, ci.period))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rp(a: i64, b: i64) -> ResolvedPeriod {
+        ResolvedPeriod::new(Chronon::from_raw(a).unwrap(), Chronon::from_raw(b).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(temporal_count(&[]).is_empty());
+        assert!(at_least(&[], 1).is_empty());
+        assert!(max_overlap(&[]).is_none());
+    }
+
+    #[test]
+    fn single_period() {
+        let cis = temporal_count(&[rp(10, 20)]);
+        assert_eq!(cis.len(), 1);
+        assert_eq!(cis[0].period, rp(10, 20));
+        assert_eq!(cis[0].count, 1);
+    }
+
+    #[test]
+    fn classic_staircase() {
+        //   [10        30]
+        //        [20        40]
+        // counts: [10,19]=1 [20,30]=2 [31,40]=1
+        let cis = temporal_count(&[rp(10, 30), rp(20, 40)]);
+        assert_eq!(
+            cis,
+            vec![
+                ConstantInterval {
+                    period: rp(10, 19),
+                    count: 1,
+                    sum: 1
+                },
+                ConstantInterval {
+                    period: rp(20, 30),
+                    count: 2,
+                    sum: 2
+                },
+                ConstantInterval {
+                    period: rp(31, 40),
+                    count: 1,
+                    sum: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn gap_produces_no_zero_interval() {
+        let cis = temporal_count(&[rp(0, 5), rp(10, 15)]);
+        assert_eq!(cis.len(), 2);
+        assert_eq!(cis[0].period, rp(0, 5));
+        assert_eq!(cis[1].period, rp(10, 15));
+    }
+
+    #[test]
+    fn identical_periods_stack() {
+        let cis = temporal_count(&[rp(5, 9), rp(5, 9), rp(5, 9)]);
+        assert_eq!(
+            cis,
+            vec![ConstantInterval {
+                period: rp(5, 9),
+                count: 3,
+                sum: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn weighted_sum() {
+        // Dosage-weighted: 2 units on [0,10], 5 units on [5,20].
+        let cis = temporal_count_sum(&[(rp(0, 10), 2), (rp(5, 20), 5)]);
+        assert_eq!(
+            cis,
+            vec![
+                ConstantInterval {
+                    period: rp(0, 4),
+                    count: 1,
+                    sum: 2
+                },
+                ConstantInterval {
+                    period: rp(5, 10),
+                    count: 2,
+                    sum: 7
+                },
+                ConstantInterval {
+                    period: rp(11, 20),
+                    count: 1,
+                    sum: 5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn at_least_k() {
+        let inputs = [rp(0, 10), rp(5, 15), rp(8, 20)];
+        assert_eq!(at_least(&inputs, 1).periods(), &[rp(0, 20)]);
+        assert_eq!(at_least(&inputs, 2).periods(), &[rp(5, 15)]);
+        assert_eq!(at_least(&inputs, 3).periods(), &[rp(8, 10)]);
+        assert!(at_least(&inputs, 4).is_empty());
+    }
+
+    #[test]
+    fn max_overlap_witness() {
+        let inputs = [rp(0, 10), rp(5, 15), rp(8, 20)];
+        let (k, witness) = max_overlap(&inputs).unwrap();
+        assert_eq!(k, 3);
+        assert_eq!(witness, rp(8, 10));
+    }
+
+    #[test]
+    fn conservation_laws() {
+        // Sum over intervals of count * duration == sum of input durations,
+        // and the union of intervals == the coalesced input.
+        let inputs = [rp(0, 10), rp(5, 15), rp(30, 40), rp(35, 36)];
+        let cis = temporal_count(&inputs);
+        let weighted_total: i64 = cis
+            .iter()
+            .map(|ci| ci.count as i64 * ci.period.duration().seconds())
+            .sum();
+        let input_total: i64 = inputs.iter().map(|p| p.duration().seconds()).sum();
+        assert_eq!(weighted_total, input_total);
+
+        let union_of_intervals: ResolvedElement = cis.iter().map(|ci| ci.period).collect();
+        let coalesced: ResolvedElement = inputs.iter().copied().collect();
+        assert_eq!(union_of_intervals, coalesced);
+    }
+
+    #[test]
+    fn intervals_are_disjoint_ordered_and_maximal() {
+        let inputs = [
+            rp(0, 100),
+            rp(10, 20),
+            rp(15, 60),
+            rp(90, 150),
+            rp(200, 210),
+        ];
+        let cis = temporal_count(&inputs);
+        for w in cis.windows(2) {
+            assert!(w[0].period.end() < w[1].period.start());
+            // Maximality: if two intervals abut, their aggregates differ.
+            if w[0].period.end().succ() == w[1].period.start() {
+                assert!(
+                    (w[0].count, w[0].sum) != (w[1].count, w[1].sum),
+                    "abutting intervals with equal aggregates must be merged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abutting_equal_counts_merge_but_sums_can_split() {
+        // Same count either side of the boundary -> merged.
+        let cis = temporal_count(&[rp(0, 9), rp(10, 19)]);
+        assert_eq!(
+            cis,
+            vec![ConstantInterval {
+                period: rp(0, 19),
+                count: 1,
+                sum: 1
+            }]
+        );
+        // Same count but different weights -> two maximal intervals.
+        let cis = temporal_count_sum(&[(rp(0, 9), 1), (rp(10, 19), 7)]);
+        assert_eq!(
+            cis,
+            vec![
+                ConstantInterval {
+                    period: rp(0, 9),
+                    count: 1,
+                    sum: 1
+                },
+                ConstantInterval {
+                    period: rp(10, 19),
+                    count: 1,
+                    sum: 7
+                },
+            ]
+        );
+    }
+}

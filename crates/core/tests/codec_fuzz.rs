@@ -1,0 +1,60 @@
+//! Decoder robustness: arbitrary bytes must decode to `Ok` or a clean
+//! `Corrupt` error — never panic, never over-allocate.
+
+use proptest::prelude::*;
+use tip_core::binary;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn decode_element_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = binary::decode_element(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn decode_chronon_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let _ = binary::decode_chronon(&mut bytes.as_slice());
+        let _ = binary::decode_span(&mut bytes.as_slice());
+        let _ = binary::decode_instant(&mut bytes.as_slice());
+        let _ = binary::decode_period(&mut bytes.as_slice());
+    }
+
+    /// Decoding whatever was encoded, with a corrupted tail, still never
+    /// panics (valid prefix + garbage).
+    #[test]
+    fn decode_corrupted_valid_encoding(
+        n in 0usize..5,
+        garbage in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut periods = Vec::new();
+        for k in 0..n {
+            let s = tip_core::Chronon::from_raw(k as i64 * 100).unwrap();
+            periods.push(tip_core::Period::fixed(s, s));
+        }
+        let e = tip_core::Element::from_periods(periods);
+        let mut bytes = binary::element_to_vec(&e);
+        bytes.extend_from_slice(&garbage);
+        // A clean or dirty result, but no panic; the valid prefix decodes.
+        let decoded = binary::decode_element(&mut bytes.as_slice());
+        prop_assert!(decoded.is_ok());
+        prop_assert_eq!(decoded.unwrap(), e);
+    }
+
+    /// Text parsers never panic on arbitrary input either.
+    #[test]
+    fn text_parsers_never_panic(s in "[ -~]{0,60}") {
+        let _ = s.parse::<tip_core::Chronon>();
+        let _ = s.parse::<tip_core::Span>();
+        let _ = s.parse::<tip_core::Instant>();
+        let _ = s.parse::<tip_core::Period>();
+        let _ = s.parse::<tip_core::Element>();
+    }
+
+    /// Unicode soup for the text parsers (multi-byte boundary safety).
+    #[test]
+    fn text_parsers_survive_unicode(s in "\\PC{0,40}") {
+        let _ = s.parse::<tip_core::Element>();
+        let _ = s.parse::<tip_core::Period>();
+    }
+}

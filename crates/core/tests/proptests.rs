@@ -1,0 +1,363 @@
+//! Property-based tests for the TIP temporal algebra.
+//!
+//! `ResolvedElement` under union/intersect/complement is a Boolean algebra
+//! over sets of chronons; these properties pin the algebraic laws, the
+//! normalization invariant, and codec/text round-trips.
+
+use proptest::prelude::*;
+use tip_core::{
+    agg, allen, binary, Chronon, Element, Instant, Period, ResolvedElement, ResolvedPeriod, Span,
+};
+
+fn rp(a: i64, b: i64) -> ResolvedPeriod {
+    ResolvedPeriod::new(Chronon::from_raw(a).unwrap(), Chronon::from_raw(b).unwrap()).unwrap()
+}
+
+/// Strategy: arbitrary small resolved period within a window, so overlaps
+/// are common.
+fn arb_period() -> impl Strategy<Value = ResolvedPeriod> {
+    (0i64..500, 0i64..50).prop_map(|(s, len)| rp(s, s + len))
+}
+
+fn arb_element() -> impl Strategy<Value = ResolvedElement> {
+    proptest::collection::vec(arb_period(), 0..12).prop_map(ResolvedElement::normalize)
+}
+
+/// Reference model: the set of covered chronons, materialized.
+fn model(e: &ResolvedElement) -> std::collections::BTreeSet<i64> {
+    let mut s = std::collections::BTreeSet::new();
+    for p in e.periods() {
+        for t in p.start().raw()..=p.end().raw() {
+            s.insert(t);
+        }
+    }
+    s
+}
+
+fn from_model(s: &std::collections::BTreeSet<i64>) -> ResolvedElement {
+    ResolvedElement::normalize(s.iter().map(|&t| rp(t, t)).collect())
+}
+
+proptest! {
+    #[test]
+    fn normalization_invariant_always_holds(e in arb_element()) {
+        e.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn normalization_is_idempotent(e in arb_element()) {
+        let again = ResolvedElement::normalize(e.periods().to_vec());
+        prop_assert_eq!(again, e);
+    }
+
+    #[test]
+    fn union_matches_set_model(a in arb_element(), b in arb_element()) {
+        let got = model(&a.union(&b));
+        let want: std::collections::BTreeSet<_> =
+            model(&a).union(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn intersect_matches_set_model(a in arb_element(), b in arb_element()) {
+        let got = model(&a.intersect(&b));
+        let want: std::collections::BTreeSet<_> =
+            model(&a).intersection(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn difference_matches_set_model(a in arb_element(), b in arb_element()) {
+        let got = model(&a.difference(&b));
+        let want: std::collections::BTreeSet<_> =
+            model(&a).difference(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn union_commutative_associative(a in arb_element(), b in arb_element(), c in arb_element()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn intersect_commutative_associative(a in arb_element(), b in arb_element(), c in arb_element()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.intersect(&b).intersect(&c), a.intersect(&b.intersect(&c)));
+    }
+
+    #[test]
+    fn distributivity(a in arb_element(), b in arb_element(), c in arb_element()) {
+        prop_assert_eq!(
+            a.intersect(&b.union(&c)),
+            a.intersect(&b).union(&a.intersect(&c))
+        );
+    }
+
+    #[test]
+    fn de_morgan(a in arb_element(), b in arb_element()) {
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersect(&b.complement())
+        );
+    }
+
+    #[test]
+    fn complement_involution(a in arb_element()) {
+        prop_assert_eq!(a.complement().complement(), a.clone());
+        prop_assert!(a.intersect(&a.complement()).is_empty());
+    }
+
+    #[test]
+    fn difference_is_intersect_complement(a in arb_element(), b in arb_element()) {
+        prop_assert_eq!(a.difference(&b), a.intersect(&b.complement()));
+    }
+
+    #[test]
+    fn overlaps_iff_nonempty_intersection(a in arb_element(), b in arb_element()) {
+        prop_assert_eq!(a.overlaps(&b), !a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn contains_iff_union_absorbs(a in arb_element(), b in arb_element()) {
+        prop_assert_eq!(a.contains_element(&b), a.union(&b) == a);
+    }
+
+    #[test]
+    fn length_matches_model_cardinality(a in arb_element()) {
+        prop_assert_eq!(a.length().seconds(), model(&a).len() as i64);
+    }
+
+    #[test]
+    fn length_union_inclusion_exclusion(a in arb_element(), b in arb_element()) {
+        let lhs = a.union(&b).length() + a.intersect(&b).length();
+        prop_assert_eq!(lhs, a.length() + b.length());
+    }
+
+    #[test]
+    fn group_union_equals_folded_union(elems in proptest::collection::vec(arb_element(), 0..6)) {
+        let folded = elems.iter().fold(ResolvedElement::empty(), |acc, e| acc.union(e));
+        prop_assert_eq!(agg::union_all(elems.iter()), folded);
+    }
+
+    #[test]
+    fn model_round_trip(a in arb_element()) {
+        prop_assert_eq!(from_model(&model(&a)), a);
+    }
+
+    #[test]
+    fn allen_relation_partition(p in arb_period(), q in arb_period()) {
+        let r = allen::relation(p, q);
+        prop_assert_eq!(allen::relation(q, p), r.inverse());
+        // Exactly one named predicate family matches.
+        let share = p.overlaps(q);
+        let rel_shares = !matches!(
+            r,
+            tip_core::AllenRelation::Before
+                | tip_core::AllenRelation::After
+                | tip_core::AllenRelation::Meets
+                | tip_core::AllenRelation::MetBy
+        );
+        prop_assert_eq!(share, rel_shares);
+    }
+
+    #[test]
+    fn chronon_civil_round_trip(secs in Chronon::BEGINNING.raw()..=Chronon::FOREVER.raw()) {
+        let c = Chronon::from_raw(secs).unwrap();
+        let (y, mo, d, h, mi, s) = c.to_civil();
+        prop_assert_eq!(Chronon::from_ymd_hms(y, mo, d, h, mi, s).unwrap(), c);
+    }
+
+    #[test]
+    fn chronon_text_round_trip(secs in Chronon::BEGINNING.raw()..=Chronon::FOREVER.raw()) {
+        let c = Chronon::from_raw(secs).unwrap();
+        prop_assert_eq!(c.to_string().parse::<Chronon>().unwrap(), c);
+    }
+
+    #[test]
+    fn span_text_round_trip(secs in any::<i32>()) {
+        let s = Span::from_seconds(secs as i64);
+        prop_assert_eq!(s.to_string().parse::<Span>().unwrap(), s);
+    }
+
+    #[test]
+    fn instant_text_round_trip(off in any::<i32>(), fixed in proptest::bool::ANY) {
+        let i = if fixed {
+            Instant::Fixed(Chronon::from_raw(off as i64).unwrap())
+        } else {
+            Instant::NowRelative(Span::from_seconds(off as i64))
+        };
+        prop_assert_eq!(i.to_string().parse::<Instant>().unwrap(), i);
+    }
+
+    #[test]
+    fn element_text_round_trip(e in arb_element()) {
+        let raw: Element = e.clone().into();
+        let parsed: Element = raw.to_string().parse().unwrap();
+        prop_assert_eq!(parsed.resolve(Chronon::EPOCH).unwrap(), e);
+    }
+
+    #[test]
+    fn element_binary_round_trip(e in arb_element()) {
+        let raw: Element = e.clone().into();
+        let bytes = binary::element_to_vec(&raw);
+        let back = binary::decode_element(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(back, raw);
+    }
+
+    #[test]
+    fn now_relative_resolution_shifts_with_now(
+        off in -1000i64..1000,
+        now_secs in -100_000i64..100_000,
+    ) {
+        let i = Instant::NowRelative(Span::from_seconds(off));
+        let now = Chronon::from_raw(now_secs).unwrap();
+        prop_assert_eq!(i.resolve(now).unwrap().raw(), now_secs + off);
+    }
+
+    #[test]
+    fn restrict_equals_intersect_with_window(a in arb_element(), p in arb_period()) {
+        prop_assert_eq!(a.restrict(p), a.intersect(&ResolvedElement::from_period(p)));
+    }
+
+    #[test]
+    fn shift_preserves_length_and_gaps(a in arb_element(), by in -3000i64..3000) {
+        let shifted = a.shift(Span::from_seconds(by));
+        prop_assert_eq!(shifted.length(), a.length());
+        prop_assert_eq!(shifted.period_count(), a.period_count());
+        prop_assert_eq!(shifted.shift(Span::from_seconds(-by)), a);
+    }
+
+    #[test]
+    fn period_duration_positive(p in arb_period()) {
+        prop_assert!(p.duration().seconds() >= 1);
+    }
+
+    #[test]
+    fn coalesce_periods_equals_union_of_singletons(ps in proptest::collection::vec(arb_period(), 0..10)) {
+        let coalesced = agg::coalesce_periods(ps.iter().copied());
+        let unioned = ps
+            .iter()
+            .fold(ResolvedElement::empty(), |acc, &p| acc.union(&ResolvedElement::from_period(p)));
+        prop_assert_eq!(coalesced, unioned);
+    }
+}
+
+/// Non-proptest sanity check that the Period parser accepts whitespace
+/// variants produced by SQL literal quoting.
+#[test]
+fn period_parse_whitespace_tolerant() {
+    let a: Period = "[ 1999-01-01 ,  NOW ]".parse().unwrap();
+    let b: Period = "[1999-01-01, NOW]".parse().unwrap();
+    assert_eq!(a, b);
+}
+
+// ----- granularity and temporal aggregation properties ----------------------
+
+use tip_core::{granularity, tagg};
+
+fn arb_granularity() -> impl Strategy<Value = tip_core::Granularity> {
+    proptest::sample::select(tip_core::Granularity::ALL.to_vec())
+}
+
+/// Chronons within a few decades of the epoch (keeps granule iteration
+/// fast while covering leap years and month-length variation).
+fn arb_chronon() -> impl Strategy<Value = Chronon> {
+    (-1_000_000_000i64..1_000_000_000).prop_map(|s| Chronon::from_raw(s).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn truncate_idempotent_and_bounded(c in arb_chronon(), g in arb_granularity()) {
+        let t = granularity::truncate(c, g);
+        prop_assert_eq!(granularity::truncate(t, g), t);
+        prop_assert!(t <= c);
+        prop_assert!(granularity::next_granule(c, g) > c);
+    }
+
+    #[test]
+    fn granule_contains_its_chronon(c in arb_chronon(), g in arb_granularity()) {
+        let cell = granularity::granule_of(c, g);
+        prop_assert!(cell.contains_chronon(c));
+        prop_assert_eq!(cell.start(), granularity::truncate(c, g));
+    }
+
+    #[test]
+    fn granules_partition_a_period(
+        s in -500_000i64..500_000,
+        raw_len in 0i64..5_000_000,
+        g in arb_granularity(),
+    ) {
+        // Keep the granule count tractable for fine granularities.
+        let len = match g {
+            tip_core::Granularity::Second => raw_len % 2_000,
+            tip_core::Granularity::Minute => raw_len % 100_000,
+            _ => raw_len,
+        };
+        let p = ResolvedPeriod::new(
+            Chronon::from_raw(s).unwrap(),
+            Chronon::from_raw(s + len).unwrap(),
+        )
+        .unwrap();
+        let cells: Vec<ResolvedPeriod> = granularity::granules_in(p, g).collect();
+        prop_assert_eq!(cells.len() as u64, granularity::granule_count(p, g).unwrap());
+        // Cells are adjacent and cover the expansion exactly.
+        for w in cells.windows(2) {
+            prop_assert_eq!(w[0].end().succ(), w[1].start());
+        }
+        let expanded = granularity::expand_to(p, g);
+        prop_assert_eq!(cells.first().unwrap().start(), expanded.start());
+        prop_assert_eq!(cells.last().unwrap().end(), expanded.end());
+        prop_assert!(expanded.contains_period(p));
+    }
+
+    #[test]
+    fn temporal_count_conservation(ps in proptest::collection::vec(arb_period(), 0..12)) {
+        let cis = tagg::temporal_count(&ps);
+        // Weighted area equals total input duration.
+        let area: i64 =
+            cis.iter().map(|ci| ci.count as i64 * ci.period.duration().seconds()).sum();
+        let total: i64 = ps.iter().map(|p| p.duration().seconds()).sum();
+        prop_assert_eq!(area, total);
+        // The union of intervals is the coalesced input.
+        let union: ResolvedElement = cis.iter().map(|ci| ci.period).collect();
+        let coalesced: ResolvedElement = ps.iter().copied().collect();
+        prop_assert_eq!(union, coalesced);
+        // Intervals are disjoint, ordered, and maximal.
+        for w in cis.windows(2) {
+            prop_assert!(w[0].period.end() < w[1].period.start());
+            if w[0].period.end().succ() == w[1].period.start() {
+                prop_assert!((w[0].count, w[0].sum) != (w[1].count, w[1].sum));
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_is_monotone_decreasing(ps in proptest::collection::vec(arb_period(), 0..10)) {
+        let mut prev = tagg::at_least(&ps, 1);
+        for k in 2..=4u64 {
+            let cur = tagg::at_least(&ps, k);
+            prop_assert!(prev.contains_element(&cur), "k={k}");
+            prev = cur;
+        }
+        // at_least(1) is exactly the coalesced input.
+        let coalesced: ResolvedElement = ps.iter().copied().collect();
+        prop_assert_eq!(tagg::at_least(&ps, 1), coalesced);
+    }
+
+    #[test]
+    fn max_overlap_matches_brute_force(ps in proptest::collection::vec(arb_period(), 1..8)) {
+        let (k, witness) = tagg::max_overlap(&ps).unwrap();
+        // Brute force at the witness start.
+        let at_witness =
+            ps.iter().filter(|p| p.contains_chronon(witness.start())).count() as u64;
+        prop_assert_eq!(at_witness, k);
+        // No chronon (sampled at all period endpoints) exceeds k.
+        for p in &ps {
+            for probe in [p.start(), p.end()] {
+                let c = ps.iter().filter(|q| q.contains_chronon(probe)).count() as u64;
+                prop_assert!(c <= k);
+            }
+        }
+    }
+}

@@ -1,0 +1,505 @@
+//! # tip-layered — a TimeDB-style layered temporal stratum (baseline)
+//!
+//! The paper's §5 contrasts TIP's integrated DataBlade design with
+//! systems like TimeDB and Tiger, which "use a layered approach: temporal
+//! queries are translated by an external module into standard SQL
+//! queries, which are then executed in the backend DBMS", warning that
+//! "generated queries may become very complex and potentially difficult
+//! to optimize" and that "all client requests must first go through the
+//! external module". This crate is that baseline, built so the comparison
+//! can actually be run:
+//!
+//! * temporal tables are encoded in first normal form on a **blade-less**
+//!   `minidb` — one row per validity period, with `vstart`/`vend` INT
+//!   columns holding raw chronon seconds (no temporal types exist in the
+//!   backend at all);
+//! * temporal operations are **translated to standard SQL** — overlap
+//!   selection and temporal join (period intersection via
+//!   `greatest`/`least`) run entirely in the backend;
+//! * **coalescing** (TIP's `group_union`) cannot be pushed into this
+//!   SQL dialect at all: the stratum must pull every period row out of
+//!   the DBMS, merge them client-side, and (optionally) write the result
+//!   back — paying the boundary-crossing cost the paper describes;
+//! * every call records [`Stats`] — statements issued, generated SQL
+//!   size, and rows shipped across the DBMS boundary — the "query
+//!   complexity" measures used by experiments E5/E7.
+//!
+//! `NOW` handling is deliberately primitive, as in the layered systems
+//! the paper cites: NOW-relative endpoints must be resolved to fixed
+//! chronons when rows are inserted, so stored data cannot "move" as time
+//! advances. (TIP stores `NOW` symbolically; see `tip-blade`.)
+
+use minidb::{Database, DbError, DbResult, QueryResult, Session, StatementOutcome, Value};
+use std::sync::Arc;
+use tip_core::{Chronon, ResolvedElement, ResolvedPeriod, Span};
+
+/// Column types available to layered temporal tables (standard SQL only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LType {
+    Int,
+    Float,
+    Str,
+}
+
+impl LType {
+    fn sql(self) -> &'static str {
+        match self {
+            LType::Int => "INT",
+            LType::Float => "FLOAT",
+            LType::Str => "CHAR(40)",
+        }
+    }
+}
+
+/// Cost counters for the stratum — the measurable face of the paper's
+/// "layered approach" critique.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// SQL statements sent to the backend.
+    pub statements: usize,
+    /// Total characters of generated SQL.
+    pub sql_chars: usize,
+    /// Rows shipped across the DBMS boundary into the stratum.
+    pub rows_shipped: usize,
+}
+
+/// The external translation module sitting between clients and a plain
+/// relational backend.
+pub struct LayeredStratum {
+    db: Arc<Database>,
+    session: Session,
+    stats: Stats,
+}
+
+impl Default for LayeredStratum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LayeredStratum {
+    /// Creates a stratum over a fresh blade-less database.
+    pub fn new() -> LayeredStratum {
+        let db = Database::new();
+        let session = db.session();
+        LayeredStratum {
+            db,
+            session,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The backend database (plain relational, no TIP types).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Accumulated cost counters.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Resets the cost counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+    }
+
+    fn run(&mut self, sql: &str) -> DbResult<StatementOutcome> {
+        self.stats.statements += 1;
+        self.stats.sql_chars += sql.len();
+        self.session.execute(sql)
+    }
+
+    fn run_query(&mut self, sql: &str) -> DbResult<QueryResult> {
+        match self.run(sql)? {
+            StatementOutcome::Rows(r) => {
+                self.stats.rows_shipped += r.rows.len();
+                Ok(r)
+            }
+            other => Err(DbError::exec(format!("expected rows, got {other:?}"))),
+        }
+    }
+
+    /// Creates the 1NF encoding of a temporal table: the data columns
+    /// plus `vstart`/`vend` INT columns, one row per validity period.
+    pub fn create_temporal_table(&mut self, name: &str, cols: &[(&str, LType)]) -> DbResult<()> {
+        let mut ddl = format!("CREATE TABLE {name} (");
+        for (cname, ty) in cols {
+            ddl.push_str(&format!("{cname} {}, ", ty.sql()));
+        }
+        ddl.push_str("vstart INT, vend INT)");
+        self.run(&ddl).map(|_| ())
+    }
+
+    /// Inserts one logical temporal tuple: its element is decomposed into
+    /// one physical row per period. NOW-relative data must be resolved by
+    /// the caller first (the layered encoding cannot represent `NOW`).
+    pub fn insert_temporal(
+        &mut self,
+        table: &str,
+        values: &[Value],
+        valid: &ResolvedElement,
+    ) -> DbResult<usize> {
+        if valid.is_empty() {
+            return Ok(0);
+        }
+        let mut sql = format!("INSERT INTO {table} VALUES ");
+        for (i, p) in valid.periods().iter().enumerate() {
+            if i > 0 {
+                sql.push_str(", ");
+            }
+            sql.push('(');
+            for v in values {
+                sql.push_str(&literal(v));
+                sql.push_str(", ");
+            }
+            sql.push_str(&format!("{}, {})", p.start().raw(), p.end().raw()));
+        }
+        match self.run(&sql)? {
+            StatementOutcome::Affected(n) => Ok(n),
+            other => Err(DbError::exec(format!("INSERT produced {other:?}"))),
+        }
+    }
+
+    /// Generated SQL for a temporal overlap selection: rows whose
+    /// validity intersects `window`, with the intersection clipped into
+    /// the output (the layered equivalent of `restrict(valid, window)`).
+    pub fn overlap_selection_sql(
+        &self,
+        table: &str,
+        cols: &[&str],
+        window: ResolvedPeriod,
+    ) -> String {
+        let collist = cols.iter().map(|c| format!("{c}, ")).collect::<String>();
+        let (ws, we) = (window.start().raw(), window.end().raw());
+        format!(
+            "SELECT {collist}greatest(vstart, {ws}) AS vstart, least(vend, {we}) AS vend \
+             FROM {table} WHERE vstart <= {we} AND vend >= {ws}"
+        )
+    }
+
+    /// Runs an overlap selection.
+    pub fn overlap_selection(
+        &mut self,
+        table: &str,
+        cols: &[&str],
+        window: ResolvedPeriod,
+    ) -> DbResult<QueryResult> {
+        let sql = self.overlap_selection_sql(table, cols, window);
+        self.run_query(&sql)
+    }
+
+    /// Generated SQL for a temporal equi-join of two 1NF tables: rows
+    /// joined on `join_pred`, keeping period pairs that intersect and
+    /// projecting the intersection — the layered translation of the
+    /// paper's Diabeta/Aspirin self-join.
+    pub fn temporal_join_sql(&self, t1: &str, t2: &str, cols: &[&str], join_pred: &str) -> String {
+        let collist = cols.iter().map(|c| format!("{c}, ")).collect::<String>();
+        format!(
+            "SELECT {collist}greatest(a.vstart, b.vstart) AS vstart, \
+             least(a.vend, b.vend) AS vend \
+             FROM {t1} a, {t2} b \
+             WHERE {join_pred} AND a.vstart <= b.vend AND b.vstart <= a.vend"
+        )
+    }
+
+    /// Runs a temporal join.
+    pub fn temporal_join(
+        &mut self,
+        t1: &str,
+        t2: &str,
+        cols: &[&str],
+        join_pred: &str,
+    ) -> DbResult<QueryResult> {
+        let sql = self.temporal_join_sql(t1, t2, cols, join_pred);
+        self.run_query(&sql)
+    }
+
+    /// Temporal coalescing per group — the layered counterpart of TIP's
+    /// `group_union` aggregate. The SQL dialect cannot express it, so the
+    /// stratum pulls *every* period row ordered by `(group, vstart)` and
+    /// merges client-side; the stats show the boundary cost.
+    pub fn coalesce(
+        &mut self,
+        table: &str,
+        group_col: &str,
+    ) -> DbResult<Vec<(Value, ResolvedElement)>> {
+        let sql =
+            format!("SELECT {group_col}, vstart, vend FROM {table} ORDER BY {group_col}, vstart");
+        let rows = self.run_query(&sql)?;
+        let mut out: Vec<(Value, Vec<ResolvedPeriod>)> = Vec::new();
+        for row in &rows.rows {
+            let g = row[0].clone();
+            let s = row[1]
+                .as_int()
+                .ok_or_else(|| DbError::exec("vstart not INT"))?;
+            let e = row[2]
+                .as_int()
+                .ok_or_else(|| DbError::exec("vend not INT"))?;
+            let p = period_from_raw(s, e)?;
+            match out.last_mut() {
+                Some((last_g, ps)) if last_g.eq_grouping(&g) => ps.push(p),
+                _ => out.push((g, vec![p])),
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|(g, ps)| (g, ResolvedElement::normalize(ps)))
+            .collect())
+    }
+
+    /// Coalesced total length per group (the layered version of the
+    /// paper's `length(group_union(valid))` query).
+    pub fn coalesced_length(
+        &mut self,
+        table: &str,
+        group_col: &str,
+    ) -> DbResult<Vec<(Value, Span)>> {
+        Ok(self
+            .coalesce(table, group_col)?
+            .into_iter()
+            .map(|(g, e)| (g, e.length()))
+            .collect())
+    }
+
+    /// Writes a coalesced result back as a new 1NF table (the layered
+    /// systems' materialization step, costing further statements).
+    pub fn materialize_coalesced(
+        &mut self,
+        source: &str,
+        group_col: &str,
+        target: &str,
+    ) -> DbResult<usize> {
+        let groups = self.coalesce(source, group_col)?;
+        self.run(&format!(
+            "CREATE TABLE {target} ({group_col} CHAR(40), vstart INT, vend INT)"
+        ))?;
+        let mut n = 0;
+        for (g, e) in groups {
+            let gl = literal(&g);
+            if e.is_empty() {
+                continue;
+            }
+            let mut sql = format!("INSERT INTO {target} VALUES ");
+            for (i, p) in e.periods().iter().enumerate() {
+                if i > 0 {
+                    sql.push_str(", ");
+                }
+                sql.push_str(&format!("({gl}, {}, {})", p.start().raw(), p.end().raw()));
+            }
+            match self.run(&sql)? {
+                StatementOutcome::Affected(k) => n += k,
+                other => return Err(DbError::exec(format!("INSERT produced {other:?}"))),
+            }
+        }
+        Ok(n)
+    }
+
+    /// Direct SQL passthrough (used by tests to inspect backend state).
+    pub fn raw_query(&mut self, sql: &str) -> DbResult<QueryResult> {
+        self.run_query(sql)
+    }
+}
+
+/// Renders a value as a SQL literal for generated statements.
+fn literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f:?}"),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Udt(_) => panic!("layered backend has no UDTs"),
+    }
+}
+
+/// Reconstructs a period from raw chronon seconds.
+pub fn period_from_raw(start: i64, end: i64) -> DbResult<ResolvedPeriod> {
+    let s = Chronon::from_raw(start).map_err(|e| DbError::exec(e.to_string()))?;
+    let e = Chronon::from_raw(end).map_err(|e| DbError::exec(e.to_string()))?;
+    ResolvedPeriod::new(s, e).map_err(|e| DbError::exec(e.to_string()))
+}
+
+/// Converts a query-result row set carrying `vstart`/`vend` columns into
+/// a [`ResolvedElement`] (coalescing the pieces).
+pub fn rows_to_element(result: &QueryResult) -> DbResult<ResolvedElement> {
+    let vs = result
+        .col_index("vstart")
+        .ok_or_else(|| DbError::exec("missing vstart column"))?;
+    let ve = result
+        .col_index("vend")
+        .ok_or_else(|| DbError::exec("missing vend column"))?;
+    let mut periods = Vec::with_capacity(result.rows.len());
+    for row in &result.rows {
+        let s = row[vs]
+            .as_int()
+            .ok_or_else(|| DbError::exec("vstart not INT"))?;
+        let e = row[ve]
+            .as_int()
+            .ok_or_else(|| DbError::exec("vend not INT"))?;
+        periods.push(period_from_raw(s, e)?);
+    }
+    Ok(ResolvedElement::normalize(periods))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Chronon {
+        s.parse().unwrap()
+    }
+
+    fn rp(a: &str, b: &str) -> ResolvedPeriod {
+        ResolvedPeriod::new(c(a), c(b)).unwrap()
+    }
+
+    fn el(pairs: &[(&str, &str)]) -> ResolvedElement {
+        ResolvedElement::normalize(pairs.iter().map(|&(a, b)| rp(a, b)).collect())
+    }
+
+    fn demo_stratum() -> LayeredStratum {
+        let mut s = LayeredStratum::new();
+        s.create_temporal_table("rx", &[("patient", LType::Str), ("drug", LType::Str)])
+            .unwrap();
+        s.insert_temporal(
+            "rx",
+            &[Value::Str("showbiz".into()), Value::Str("diabeta".into())],
+            &el(&[("1999-10-01", "1999-12-01")]),
+        )
+        .unwrap();
+        s.insert_temporal(
+            "rx",
+            &[Value::Str("showbiz".into()), Value::Str("aspirin".into())],
+            &el(&[("1999-09-15", "1999-10-20")]),
+        )
+        .unwrap();
+        s.insert_temporal(
+            "rx",
+            &[Value::Str("medley".into()), Value::Str("diabeta".into())],
+            &el(&[("1999-01-01", "1999-04-30"), ("1999-07-01", "1999-10-31")]),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn element_decomposes_into_period_rows() {
+        let mut s = demo_stratum();
+        let r = s.raw_query("SELECT COUNT(*) FROM rx").unwrap();
+        // 1 + 1 + 2 physical rows for 3 logical tuples.
+        assert_eq!(r.rows[0][0].as_int(), Some(4));
+    }
+
+    #[test]
+    fn overlap_selection_matches_tip_semantics() {
+        let mut s = demo_stratum();
+        let w = rp("1999-10-01", "1999-10-31");
+        let r = s.overlap_selection("rx", &["patient", "drug"], w).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let e = rows_to_element(&r).unwrap();
+        assert_eq!(e.periods(), &[rp("1999-10-01", "1999-10-31")]);
+    }
+
+    #[test]
+    fn temporal_join_intersects_periods() {
+        let mut s = demo_stratum();
+        let r = s
+            .temporal_join(
+                "rx",
+                "rx",
+                &["a.patient"],
+                "a.patient = b.patient AND a.drug = 'diabeta' AND b.drug = 'aspirin'",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let e = rows_to_element(&r).unwrap();
+        assert_eq!(e.periods(), &[rp("1999-10-01", "1999-10-20")]);
+    }
+
+    #[test]
+    fn coalesce_merges_overlaps_across_rows() {
+        let mut s = demo_stratum();
+        let groups = s.coalesce("rx", "patient").unwrap();
+        assert_eq!(groups.len(), 2);
+        let showbiz = groups
+            .iter()
+            .find(|(g, _)| g.as_str() == Some("showbiz"))
+            .unwrap();
+        // Aspirin + Diabeta overlap -> single period.
+        assert_eq!(showbiz.1.periods(), &[rp("1999-09-15", "1999-12-01")]);
+        let medley = groups
+            .iter()
+            .find(|(g, _)| g.as_str() == Some("medley"))
+            .unwrap();
+        assert_eq!(medley.1.period_count(), 2);
+    }
+
+    #[test]
+    fn coalesced_length_is_not_sum_of_lengths() {
+        let mut s = demo_stratum();
+        let lens = s.coalesced_length("rx", "patient").unwrap();
+        let showbiz = lens
+            .iter()
+            .find(|(g, _)| g.as_str() == Some("showbiz"))
+            .unwrap()
+            .1;
+        let expected = c("1999-12-01") - c("1999-09-15") + Span::SECOND;
+        assert_eq!(showbiz, expected);
+    }
+
+    #[test]
+    fn stats_count_boundary_crossings() {
+        let mut s = demo_stratum();
+        s.reset_stats();
+        s.coalesce("rx", "patient").unwrap();
+        let st = s.stats();
+        assert_eq!(st.statements, 1);
+        assert_eq!(st.rows_shipped, 4, "every period row crosses the boundary");
+        assert!(st.sql_chars > 0);
+    }
+
+    #[test]
+    fn materialize_writes_back() {
+        let mut s = demo_stratum();
+        let n = s
+            .materialize_coalesced("rx", "patient", "rx_coalesced")
+            .unwrap();
+        assert_eq!(n, 3); // showbiz: 1 period, medley: 2 periods
+        let r = s.raw_query("SELECT COUNT(*) FROM rx_coalesced").unwrap();
+        assert_eq!(r.rows[0][0].as_int(), Some(3));
+    }
+
+    #[test]
+    fn generated_sql_is_complex() {
+        let s = LayeredStratum::new();
+        let sql = s.temporal_join_sql("rx", "rx", &["a.patient"], "a.patient = b.patient");
+        assert!(sql.contains("greatest"));
+        assert!(sql.contains("least"));
+        assert!(sql.contains("a.vstart <= b.vend"));
+    }
+
+    #[test]
+    fn empty_element_inserts_nothing() {
+        let mut s = LayeredStratum::new();
+        s.create_temporal_table("t", &[("k", LType::Int)]).unwrap();
+        let n = s
+            .insert_temporal("t", &[Value::Int(1)], &ResolvedElement::empty())
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn string_literals_escaped() {
+        let mut s = LayeredStratum::new();
+        s.create_temporal_table("t", &[("k", LType::Str)]).unwrap();
+        s.insert_temporal(
+            "t",
+            &[Value::Str("it's".into())],
+            &el(&[("1999-01-01", "1999-01-02")]),
+        )
+        .unwrap();
+        let r = s.raw_query("SELECT k FROM t").unwrap();
+        assert_eq!(r.rows[0][0].as_str(), Some("it's"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for the minidb engine.
+
+use std::fmt;
+
+/// Any error raised while parsing, planning, or executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Lexical or syntactic error in the SQL text.
+    Syntax { pos: usize, message: String },
+    /// A referenced catalog object does not exist.
+    NotFound { kind: &'static str, name: String },
+    /// An object with the same name already exists.
+    AlreadyExists { kind: &'static str, name: String },
+    /// Column/name resolution failed.
+    Binding { message: String },
+    /// No function/operator/cast overload matches the argument types.
+    NoOverload { what: String },
+    /// More than one overload matches ambiguously.
+    AmbiguousOverload { what: String },
+    /// Static type error (e.g. non-boolean WHERE clause).
+    Type { message: String },
+    /// Runtime evaluation error (raised by routines, casts, arithmetic).
+    Execution { message: String },
+    /// A named parameter was not supplied.
+    MissingParam { name: String },
+    /// A constraint (arity, duplicate column, …) was violated.
+    Constraint { message: String },
+    /// Snapshot persistence failed.
+    Persist { message: String },
+}
+
+impl DbError {
+    /// Convenience constructor for routine implementations.
+    pub fn exec(message: impl Into<String>) -> DbError {
+        DbError::Execution {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for binder errors.
+    pub fn binding(message: impl Into<String>) -> DbError {
+        DbError::Binding {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for type errors.
+    pub fn type_err(message: impl Into<String>) -> DbError {
+        DbError::Type {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Syntax { pos, message } => write!(f, "syntax error at byte {pos}: {message}"),
+            DbError::NotFound { kind, name } => write!(f, "{kind} {name:?} does not exist"),
+            DbError::AlreadyExists { kind, name } => write!(f, "{kind} {name:?} already exists"),
+            DbError::Binding { message } => write!(f, "binding error: {message}"),
+            DbError::NoOverload { what } => write!(f, "no overload matches {what}"),
+            DbError::AmbiguousOverload { what } => write!(f, "ambiguous overloads for {what}"),
+            DbError::Type { message } => write!(f, "type error: {message}"),
+            DbError::Execution { message } => write!(f, "execution error: {message}"),
+            DbError::MissingParam { name } => write!(f, "missing value for parameter :{name}"),
+            DbError::Constraint { message } => write!(f, "constraint violation: {message}"),
+            DbError::Persist { message } => write!(f, "persistence error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias used across the engine.
+pub type DbResult<T> = std::result::Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DbError::NotFound {
+            kind: "table",
+            name: "prescription".into(),
+        };
+        assert_eq!(e.to_string(), "table \"prescription\" does not exist");
+        let e = DbError::Syntax {
+            pos: 7,
+            message: "unexpected ')'".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(matches!(DbError::exec("x"), DbError::Execution { .. }));
+        assert!(matches!(DbError::binding("x"), DbError::Binding { .. }));
+        assert!(matches!(DbError::type_err("x"), DbError::Type { .. }));
+    }
+}

@@ -1,0 +1,536 @@
+//! Plan execution: Volcano-style operators over storage snapshots.
+
+use crate::catalog::ExecCtx;
+use crate::error::{DbError, DbResult};
+use crate::plan::Plan;
+use crate::storage::Storage;
+use crate::value::{GroupKey, Row, Value};
+use std::collections::HashMap;
+
+/// A pull-based row stream.
+pub trait RowStream {
+    /// Produces the next row, `None` at end of stream.
+    fn next_row(&mut self) -> DbResult<Option<Row>>;
+}
+
+/// Executes a plan to completion, materializing all result rows.
+pub fn execute(plan: &Plan, storage: &Storage, ctx: &ExecCtx) -> DbResult<Vec<Row>> {
+    let mut stream = open(plan, storage, ctx)?;
+    let mut out = Vec::new();
+    while let Some(row) = stream.next_row()? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Opens a plan into a row stream. Scans snapshot their table at open
+/// time, so DML against the same table during iteration cannot corrupt
+/// the stream.
+pub fn open<'a>(
+    plan: &'a Plan,
+    storage: &Storage,
+    ctx: &'a ExecCtx,
+) -> DbResult<Box<dyn RowStream + 'a>> {
+    Ok(match plan {
+        Plan::Nothing => Box::new(Once { done: false }),
+        Plan::Scan {
+            table,
+            index_eq,
+            index_overlap,
+            index_range,
+            filter,
+            ..
+        } => {
+            let t = storage.table(table)?;
+            let rows: Vec<Row> = if let Some((col, key_expr)) = index_eq {
+                let key = key_expr.eval(ctx, &[])?;
+                let ix = t.index_on(*col).ok_or_else(|| {
+                    DbError::exec(format!("planned index on {table}.{col} vanished"))
+                })?;
+                let mut rows = Vec::new();
+                for rowid in ix.lookup_eq(&key) {
+                    if let Some(r) = t.get(rowid) {
+                        rows.push(r.clone());
+                    }
+                }
+                rows
+            } else if let Some(rng) = index_range {
+                let ix = t.index_on(rng.column).ok_or_else(|| {
+                    DbError::exec(format!("planned index on {table}.{} vanished", rng.column))
+                })?;
+                let lo = match &rng.lo {
+                    Some((e, inc)) => Some((e.eval(ctx, &[])?, *inc)),
+                    None => None,
+                };
+                let hi = match &rng.hi {
+                    Some((e, inc)) => Some((e.eval(ctx, &[])?, *inc)),
+                    None => None,
+                };
+                let hits = ix.lookup_range(
+                    lo.as_ref().map(|(v, i)| (v, *i)),
+                    hi.as_ref().map(|(v, i)| (v, *i)),
+                );
+                let mut rows = Vec::new();
+                for rowid in hits {
+                    if let Some(r) = t.get(rowid) {
+                        rows.push(r.clone());
+                    }
+                }
+                rows
+            } else if let Some((col, probe_expr)) = index_overlap {
+                let probe = probe_expr.eval(ctx, &[])?;
+                let ix = t.interval_index_on(*col).ok_or_else(|| {
+                    DbError::exec(format!("planned interval index on {table}.{col} vanished"))
+                })?;
+                let mut rows = Vec::new();
+                for rowid in ix.lookup_overlaps_value(&probe) {
+                    if let Some(r) = t.get(rowid) {
+                        rows.push(r.clone());
+                    }
+                }
+                rows
+            } else {
+                t.scan().into_iter().map(|(_, r)| r).collect()
+            };
+            Box::new(Scan {
+                rows: rows.into_iter(),
+                filter,
+                ctx,
+            })
+        }
+        Plan::Filter { input, pred } => {
+            let inner = open(input, storage, ctx)?;
+            Box::new(Filter {
+                input: inner,
+                pred,
+                ctx,
+            })
+        }
+        Plan::Project { input, exprs } => {
+            let inner = open(input, storage, ctx)?;
+            Box::new(Project {
+                input: inner,
+                exprs,
+                ctx,
+            })
+        }
+        Plan::NlJoin {
+            left,
+            right,
+            filter,
+        } => {
+            // Materialize the right side once; stream the left.
+            let right_rows = execute(right, storage, ctx)?;
+            let inner = open(left, storage, ctx)?;
+            Box::new(NlJoin {
+                left: inner,
+                right_rows,
+                filter,
+                ctx,
+                cur_left: None,
+                right_pos: 0,
+            })
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            filter,
+        } => {
+            // Build on the right, probe with the left.
+            let mut table: HashMap<GroupKey, Vec<Row>> = HashMap::new();
+            for row in execute(right, storage, ctx)? {
+                let mut key = Vec::with_capacity(right_keys.len());
+                let mut has_null = false;
+                for k in right_keys {
+                    let v = k.eval(ctx, &row)?;
+                    has_null |= v.is_null();
+                    key.push(v);
+                }
+                if has_null {
+                    continue; // NULL never matches an equi-join key
+                }
+                table.entry(GroupKey(key)).or_default().push(row);
+            }
+            let inner = open(left, storage, ctx)?;
+            Box::new(HashJoin {
+                left: inner,
+                table,
+                left_keys,
+                filter,
+                ctx,
+                cur_left: None,
+                matches: Vec::new(),
+                match_pos: 0,
+            })
+        }
+        Plan::Aggregate { input, keys, aggs } => {
+            let rows = execute(input, storage, ctx)?;
+            type GroupState = (
+                Vec<Box<dyn crate::catalog::AggregateState>>,
+                Vec<Option<std::collections::HashSet<GroupKey>>>,
+            );
+            let mut groups: HashMap<GroupKey, GroupState> = HashMap::new();
+            let mut order: Vec<GroupKey> = Vec::new();
+            let fresh = || -> GroupState {
+                (
+                    aggs.iter().map(|a| (a.factory)()).collect(),
+                    aggs.iter()
+                        .map(|a| a.distinct.then(std::collections::HashSet::new))
+                        .collect(),
+                )
+            };
+            for row in &rows {
+                let mut kv = Vec::with_capacity(keys.len());
+                for k in keys {
+                    kv.push(k.eval(ctx, row)?);
+                }
+                let gk = GroupKey(kv);
+                let (states, seen) = match groups.get_mut(&gk) {
+                    Some(s) => s,
+                    None => {
+                        order.push(gk.clone());
+                        groups.entry(gk.clone()).or_insert_with(fresh)
+                    }
+                };
+                for ((spec, st), dedup) in aggs.iter().zip(states.iter_mut()).zip(seen) {
+                    let v = spec.arg.eval(ctx, row)?;
+                    if v.is_null() {
+                        continue; // SQL: aggregates skip NULLs
+                    }
+                    if let Some(seen_vals) = dedup {
+                        if !seen_vals.insert(GroupKey(vec![v.clone()])) {
+                            continue; // DISTINCT: already counted
+                        }
+                    }
+                    st.step(ctx, &v)?;
+                }
+            }
+            // Global aggregate over an empty input still yields one row.
+            if keys.is_empty() && order.is_empty() {
+                let gk = GroupKey(Vec::new());
+                order.push(gk.clone());
+                groups.insert(gk, fresh());
+            }
+            let mut out = Vec::with_capacity(order.len());
+            for gk in order {
+                let (states, _) = groups.remove(&gk).expect("group present");
+                let mut row = gk.0;
+                for st in states {
+                    row.push(st.finish(ctx)?);
+                }
+                out.push(row);
+            }
+            Box::new(Materialized {
+                rows: out.into_iter(),
+            })
+        }
+        Plan::Distinct { input, visible } => {
+            let rows = execute(input, storage, ctx)?;
+            let mut seen: HashMap<GroupKey, ()> = HashMap::with_capacity(rows.len());
+            let mut out = Vec::new();
+            for row in rows {
+                let key = GroupKey(row[..*visible].to_vec());
+                if seen.insert(key, ()).is_none() {
+                    out.push(row);
+                }
+            }
+            Box::new(Materialized {
+                rows: out.into_iter(),
+            })
+        }
+        Plan::Sort { input, keys } => {
+            let mut rows = execute(input, storage, ctx)?;
+            rows.sort_by(|a, b| {
+                for (i, desc) in keys {
+                    let ord = a[*i].cmp_ordering(&b[*i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Box::new(Materialized {
+                rows: rows.into_iter(),
+            })
+        }
+        Plan::Take { input, keep } => {
+            let inner = open(input, storage, ctx)?;
+            Box::new(Take {
+                input: inner,
+                keep: *keep,
+            })
+        }
+        Plan::Limit { input, n } => {
+            let inner = open(input, storage, ctx)?;
+            Box::new(Limit {
+                input: inner,
+                remaining: *n,
+            })
+        }
+        Plan::Offset { input, n } => {
+            let inner = open(input, storage, ctx)?;
+            Box::new(Offset {
+                input: inner,
+                to_skip: *n,
+            })
+        }
+        Plan::Union { inputs } => {
+            let mut streams = Vec::with_capacity(inputs.len());
+            for arm in inputs {
+                streams.push(open(arm, storage, ctx)?);
+            }
+            Box::new(Chain {
+                streams,
+                current: 0,
+            })
+        }
+    })
+}
+
+// ----- operator implementations --------------------------------------------
+
+struct Once {
+    done: bool,
+}
+impl RowStream for Once {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        if self.done {
+            Ok(None)
+        } else {
+            self.done = true;
+            Ok(Some(Vec::new()))
+        }
+    }
+}
+
+struct Materialized {
+    rows: std::vec::IntoIter<Row>,
+}
+impl RowStream for Materialized {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        Ok(self.rows.next())
+    }
+}
+
+struct Scan<'a> {
+    rows: std::vec::IntoIter<Row>,
+    filter: &'a Option<crate::binder::BoundExpr>,
+    ctx: &'a ExecCtx,
+}
+impl RowStream for Scan<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        for row in self.rows.by_ref() {
+            match self.filter {
+                Some(pred) => {
+                    if pred.eval(self.ctx, &row)?.as_bool() == Some(true) {
+                        return Ok(Some(row));
+                    }
+                }
+                None => return Ok(Some(row)),
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct Filter<'a> {
+    input: Box<dyn RowStream + 'a>,
+    pred: &'a crate::binder::BoundExpr,
+    ctx: &'a ExecCtx,
+}
+impl RowStream for Filter<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        while let Some(row) = self.input.next_row()? {
+            if self.pred.eval(self.ctx, &row)?.as_bool() == Some(true) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct Project<'a> {
+    input: Box<dyn RowStream + 'a>,
+    exprs: &'a [crate::binder::BoundExpr],
+    ctx: &'a ExecCtx,
+}
+impl RowStream for Project<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        match self.input.next_row()? {
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in self.exprs {
+                    out.push(e.eval(self.ctx, &row)?);
+                }
+                Ok(Some(out))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+struct NlJoin<'a> {
+    left: Box<dyn RowStream + 'a>,
+    right_rows: Vec<Row>,
+    filter: &'a Option<crate::binder::BoundExpr>,
+    ctx: &'a ExecCtx,
+    cur_left: Option<Row>,
+    right_pos: usize,
+}
+impl RowStream for NlJoin<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        loop {
+            if self.cur_left.is_none() {
+                self.cur_left = self.left.next_row()?;
+                self.right_pos = 0;
+                if self.cur_left.is_none() {
+                    return Ok(None);
+                }
+            }
+            let l = self.cur_left.as_ref().expect("set above");
+            while self.right_pos < self.right_rows.len() {
+                let r = &self.right_rows[self.right_pos];
+                self.right_pos += 1;
+                let mut joined = Vec::with_capacity(l.len() + r.len());
+                joined.extend_from_slice(l);
+                joined.extend_from_slice(r);
+                match self.filter {
+                    Some(pred) => {
+                        if pred.eval(self.ctx, &joined)?.as_bool() == Some(true) {
+                            return Ok(Some(joined));
+                        }
+                    }
+                    None => return Ok(Some(joined)),
+                }
+            }
+            self.cur_left = None;
+        }
+    }
+}
+
+struct HashJoin<'a> {
+    left: Box<dyn RowStream + 'a>,
+    table: HashMap<GroupKey, Vec<Row>>,
+    left_keys: &'a [crate::binder::BoundExpr],
+    filter: &'a Option<crate::binder::BoundExpr>,
+    ctx: &'a ExecCtx,
+    cur_left: Option<Row>,
+    matches: Vec<Row>,
+    match_pos: usize,
+}
+impl RowStream for HashJoin<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        loop {
+            if self.cur_left.is_none() {
+                let Some(l) = self.left.next_row()? else {
+                    return Ok(None);
+                };
+                let mut key = Vec::with_capacity(self.left_keys.len());
+                let mut has_null = false;
+                for k in self.left_keys {
+                    let v = k.eval(self.ctx, &l)?;
+                    has_null |= v.is_null();
+                    key.push(v);
+                }
+                self.matches = if has_null {
+                    Vec::new()
+                } else {
+                    self.table.get(&GroupKey(key)).cloned().unwrap_or_default()
+                };
+                self.match_pos = 0;
+                self.cur_left = Some(l);
+            }
+            let l = self.cur_left.as_ref().expect("set above");
+            while self.match_pos < self.matches.len() {
+                let r = &self.matches[self.match_pos];
+                self.match_pos += 1;
+                let mut joined = Vec::with_capacity(l.len() + r.len());
+                joined.extend_from_slice(l);
+                joined.extend_from_slice(r);
+                match self.filter {
+                    Some(pred) => {
+                        if pred.eval(self.ctx, &joined)?.as_bool() == Some(true) {
+                            return Ok(Some(joined));
+                        }
+                    }
+                    None => return Ok(Some(joined)),
+                }
+            }
+            self.cur_left = None;
+        }
+    }
+}
+
+struct Take<'a> {
+    input: Box<dyn RowStream + 'a>,
+    keep: usize,
+}
+impl RowStream for Take<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        match self.input.next_row()? {
+            Some(mut row) => {
+                row.truncate(self.keep);
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+struct Limit<'a> {
+    input: Box<dyn RowStream + 'a>,
+    remaining: u64,
+}
+impl RowStream for Limit<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next_row()? {
+            Some(row) => {
+                self.remaining -= 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+struct Offset<'a> {
+    input: Box<dyn RowStream + 'a>,
+    to_skip: u64,
+}
+impl RowStream for Offset<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        while self.to_skip > 0 {
+            if self.input.next_row()?.is_none() {
+                return Ok(None);
+            }
+            self.to_skip -= 1;
+        }
+        self.input.next_row()
+    }
+}
+
+struct Chain<'a> {
+    streams: Vec<Box<dyn RowStream + 'a>>,
+    current: usize,
+}
+impl RowStream for Chain<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        while self.current < self.streams.len() {
+            if let Some(row) = self.streams[self.current].next_row()? {
+                return Ok(Some(row));
+            }
+            self.current += 1;
+        }
+        Ok(None)
+    }
+}
+
+// Unused import guard: Value is used in doc positions and tests.
+#[allow(unused)]
+fn _type_check(_: Value) {}

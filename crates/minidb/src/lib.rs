@@ -1,0 +1,26 @@
+//! # minidb — an extensible in-process relational DBMS
+//!
+//! A from-scratch relational engine standing in for Informix in the TIP
+//! reproduction. Its defining feature is the DataBlade-style extension
+//! API ([`catalog::Blade`]): plugins register opaque types, routines,
+//! casts, operator overloads and aggregates, and the SQL binder resolves
+//! queries against those registries exactly as it does for built-ins —
+//! "as if they were built into the DBMS" (paper §1).
+
+pub mod binder;
+pub mod builtin;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod session;
+pub mod sql;
+pub mod storage;
+pub mod types;
+pub mod value;
+
+pub use catalog::{Blade, Catalog, ExecCtx};
+pub use error::{DbError, DbResult};
+pub use session::{Database, QueryResult, Session, StatementOutcome};
+pub use types::{DataType, UdtId};
+pub use value::{Row, UdtObject, UdtValue, Value};

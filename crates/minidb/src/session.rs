@@ -1,0 +1,955 @@
+//! Databases, sessions, and statement execution.
+//!
+//! A [`Database`] owns the catalog and storage behind reader-writer
+//! locks; a [`Session`] executes SQL statements against it. Each
+//! statement freezes one transaction time (the interpretation of `NOW`),
+//! and a session may override it — the hook the TIP Browser's what-if
+//! analysis uses (paper §4).
+
+use crate::builtin;
+use crate::catalog::{Blade, Catalog, ExecCtx};
+use crate::error::{DbError, DbResult};
+use crate::exec;
+use crate::plan::Planner;
+use crate::sql::ast::{InsertSource, Statement};
+use crate::sql::parse_statement;
+use crate::storage::{self, Column, Storage, TableSchema};
+use crate::types::DataType;
+use crate::value::{Row, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Bucket stride of interval indexes created by `CREATE INDEX` on
+/// interval-capable columns: 30 days of chronon seconds.
+const DEFAULT_INTERVAL_STRIDE: i64 = 30 * 86_400;
+
+/// Result rows plus output column metadata.
+#[derive(Debug)]
+pub struct QueryResult {
+    pub columns: Vec<(String, DataType)>,
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Index of an output column by case-insensitive name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(name))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// What a statement produced.
+#[derive(Debug)]
+pub enum StatementOutcome {
+    /// A SELECT's result set.
+    Rows(QueryResult),
+    /// Row count of an INSERT/UPDATE/DELETE.
+    Affected(usize),
+    /// A DDL statement completed.
+    Done,
+}
+
+/// An in-process database: catalog + storage under RW locks.
+pub struct Database {
+    catalog: RwLock<Catalog>,
+    storage: RwLock<Storage>,
+}
+
+impl Database {
+    /// Creates a database with all built-ins installed.
+    pub fn new() -> Arc<Database> {
+        let mut catalog = Catalog::new();
+        builtin::install(&mut catalog);
+        Arc::new(Database {
+            catalog: RwLock::new(catalog),
+            storage: RwLock::new(Storage::new()),
+        })
+    }
+
+    /// Installs an extension blade (types, routines, casts, aggregates).
+    pub fn install_blade(&self, blade: &dyn Blade) -> DbResult<()> {
+        self.catalog.write().install_blade(blade)
+    }
+
+    /// Runs a closure with read access to the catalog.
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.catalog.read())
+    }
+
+    /// Runs a closure with read access to the storage.
+    pub fn with_storage<R>(&self, f: impl FnOnce(&Storage) -> R) -> R {
+        f(&self.storage.read())
+    }
+
+    /// Opens a session.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            db: Arc::clone(self),
+            now_override: None,
+        }
+    }
+
+    /// Serializes all tables to a snapshot.
+    pub fn save_snapshot(&self) -> DbResult<Vec<u8>> {
+        storage::save_snapshot(&self.catalog.read(), &self.storage.read())
+    }
+
+    /// Replaces all tables with the contents of a snapshot. The same
+    /// blades must already be installed.
+    pub fn load_snapshot(&self, bytes: &[u8]) -> DbResult<()> {
+        let new_storage = storage::load_snapshot(&self.catalog.read(), bytes)?;
+        *self.storage.write() = new_storage;
+        Ok(())
+    }
+}
+
+/// A connection-like handle executing statements against a database.
+pub struct Session {
+    db: Arc<Database>,
+    now_override: Option<i64>,
+}
+
+impl Session {
+    /// Overrides the interpretation of `NOW` (Unix seconds) for every
+    /// subsequent statement; `None` restores the wall clock. This is the
+    /// TIP Browser's what-if knob.
+    pub fn set_now_unix(&mut self, now: Option<i64>) {
+        self.now_override = now;
+    }
+
+    /// The current override, if any.
+    pub fn now_override(&self) -> Option<i64> {
+        self.now_override
+    }
+
+    /// The database this session talks to.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    fn statement_ctx(&self) -> ExecCtx {
+        let txn_time_unix = self.now_override.unwrap_or_else(|| {
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs() as i64)
+                .unwrap_or(0)
+        });
+        ExecCtx { txn_time_unix }
+    }
+
+    /// Executes one statement with no parameters.
+    pub fn execute(&self, sql: &str) -> DbResult<StatementOutcome> {
+        self.execute_with_params(sql, &[])
+    }
+
+    /// Executes one statement with named parameters (the paper's `:w`).
+    pub fn execute_with_params(
+        &self,
+        sql: &str,
+        params: &[(&str, Value)],
+    ) -> DbResult<StatementOutcome> {
+        let stmt = parse_statement(sql)?;
+        let params: HashMap<String, Value> = params
+            .iter()
+            .map(|(k, v)| (k.to_ascii_lowercase(), v.clone()))
+            .collect();
+        let ctx = self.statement_ctx();
+        match stmt {
+            Statement::Select(sel) => {
+                let catalog = self.db.catalog.read();
+                let storage = self.db.storage.read();
+                let planner = Planner::new(&catalog, &storage, &params, ctx);
+                let planned = planner.plan_select(&sel)?;
+                let rows = exec::execute(&planned.plan, &storage, &ctx)?;
+                Ok(StatementOutcome::Rows(QueryResult {
+                    columns: planned.columns,
+                    rows,
+                }))
+            }
+            Statement::CreateTable { name, columns } => {
+                let catalog = self.db.catalog.read();
+                let mut cols = Vec::with_capacity(columns.len());
+                for (cname, tyname) in columns {
+                    if cols
+                        .iter()
+                        .any(|c: &Column| c.name.eq_ignore_ascii_case(&cname))
+                    {
+                        return Err(DbError::Constraint {
+                            message: format!("duplicate column {cname}"),
+                        });
+                    }
+                    let ty = catalog.lookup_type_name(&tyname.name)?;
+                    cols.push(Column { name: cname, ty });
+                }
+                self.db.storage.write().create_table(TableSchema {
+                    name,
+                    columns: cols,
+                })?;
+                Ok(StatementOutcome::Done)
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                let catalog = self.db.catalog.read();
+                let mut storage = self.db.storage.write();
+                let t = storage.table_mut(&table)?;
+                let col = t
+                    .schema
+                    .col_index(&column)
+                    .ok_or_else(|| DbError::NotFound {
+                        kind: "column",
+                        name: format!("{table}.{column}"),
+                    })?;
+                // Unordered types with interval-bounds support (Period,
+                // Element, Instant) get a bucketed interval index that
+                // accelerates overlaps/contains; everything else gets a
+                // B-tree.
+                let interval_bounds = match t.schema.columns[col].ty {
+                    DataType::Udt(id) => {
+                        let def = catalog.type_def(id)?;
+                        if def.ordered {
+                            None
+                        } else {
+                            def.interval_key.clone()
+                        }
+                    }
+                    _ => None,
+                };
+                match interval_bounds {
+                    Some(bounds) => {
+                        t.create_interval_index(name, col, bounds, DEFAULT_INTERVAL_STRIDE)?
+                    }
+                    None => t.create_index(name, col)?,
+                }
+                Ok(StatementOutcome::Done)
+            }
+            Statement::DropTable { name, if_exists } => {
+                let mut storage = self.db.storage.write();
+                match storage.drop_table(&name) {
+                    Ok(()) => Ok(StatementOutcome::Done),
+                    Err(DbError::NotFound { .. }) if if_exists => Ok(StatementOutcome::Done),
+                    Err(e) => Err(e),
+                }
+            }
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => match source {
+                InsertSource::Values(rows) => self.run_insert(&table, columns, rows, &params, ctx),
+                InsertSource::Query(select) => {
+                    self.run_insert_select(&table, columns, &select, &params, ctx)
+                }
+            },
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => self.run_update(&table, sets, where_clause, &params, ctx),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.run_delete(&table, where_clause, &params, ctx),
+            Statement::CreateView {
+                name,
+                query,
+                body_start,
+            } => {
+                // Validate the view body by planning it once against the
+                // current catalog/storage before storing the text.
+                {
+                    let catalog = self.db.catalog.read();
+                    let storage = self.db.storage.read();
+                    let planner = Planner::new(&catalog, &storage, &params, ctx);
+                    planner.plan_select(&query)?;
+                }
+                let body_sql = sql
+                    .get(body_start..)
+                    .unwrap_or("")
+                    .trim()
+                    .trim_end_matches(';')
+                    .to_owned();
+                self.db
+                    .storage
+                    .write()
+                    .create_view(crate::storage::ViewDef { name, body_sql })?;
+                Ok(StatementOutcome::Done)
+            }
+            Statement::DropView { name, if_exists } => {
+                let mut storage = self.db.storage.write();
+                match storage.drop_view(&name) {
+                    Ok(()) => Ok(StatementOutcome::Done),
+                    Err(DbError::NotFound { .. }) if if_exists => Ok(StatementOutcome::Done),
+                    Err(e) => Err(e),
+                }
+            }
+            Statement::Explain(inner) => {
+                let Statement::Select(sel) = *inner else {
+                    return Err(DbError::exec("EXPLAIN supports SELECT statements"));
+                };
+                let catalog = self.db.catalog.read();
+                let storage = self.db.storage.read();
+                let planner = Planner::new(&catalog, &storage, &params, ctx);
+                let planned = planner.plan_select(&sel)?;
+                Ok(StatementOutcome::Rows(QueryResult {
+                    columns: vec![("plan".to_owned(), DataType::Str)],
+                    rows: vec![vec![Value::Str(planned.plan.describe())]],
+                }))
+            }
+        }
+    }
+
+    /// Executes a statement expected to return rows.
+    pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
+        self.query_with_params(sql, &[])
+    }
+
+    /// Executes a parameterized statement expected to return rows.
+    pub fn query_with_params(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<QueryResult> {
+        match self.execute_with_params(sql, params)? {
+            StatementOutcome::Rows(r) => Ok(r),
+            other => Err(DbError::exec(format!(
+                "statement produced {other:?}, not rows"
+            ))),
+        }
+    }
+
+    /// Renders a result set as an ASCII table (uses UDT display
+    /// functions).
+    pub fn format_result(&self, result: &QueryResult) -> String {
+        let catalog = self.db.catalog.read();
+        let mut widths: Vec<usize> = result
+            .columns
+            .iter()
+            .map(|(n, _)| n.chars().count())
+            .collect();
+        let rendered: Vec<Vec<String>> = result
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| catalog.display_value(v)).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for ((name, _), w) in result.columns.iter().zip(&widths) {
+            out.push_str(&format!(" {name:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+
+    // ----- DML -------------------------------------------------------
+
+    fn run_insert(
+        &self,
+        table: &str,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<crate::sql::ast::Expr>>,
+        params: &HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> DbResult<StatementOutcome> {
+        let catalog = self.db.catalog.read();
+        let mut storage = self.db.storage.write();
+        let schema = storage.table(table)?.schema.clone();
+        let target_cols: Vec<usize> = match &columns {
+            Some(names) => {
+                let mut idxs = Vec::with_capacity(names.len());
+                for n in names {
+                    let i = schema.col_index(n).ok_or_else(|| DbError::NotFound {
+                        kind: "column",
+                        name: format!("{table}.{n}"),
+                    })?;
+                    if idxs.contains(&i) {
+                        return Err(DbError::Constraint {
+                            message: format!("column {n} listed twice"),
+                        });
+                    }
+                    idxs.push(i);
+                }
+                idxs
+            }
+            None => (0..schema.columns.len()).collect(),
+        };
+        let planner = Planner::new(&catalog, &storage, params, ctx);
+        let scope = crate::binder::Scope::default();
+        let mut to_insert = Vec::with_capacity(rows.len());
+        for exprs in rows {
+            if exprs.len() != target_cols.len() {
+                return Err(DbError::Constraint {
+                    message: format!(
+                        "INSERT has {} value(s) but {} column(s)",
+                        exprs.len(),
+                        target_cols.len()
+                    ),
+                });
+            }
+            let mut row: Row = vec![Value::Null; schema.columns.len()];
+            for (e, &col) in exprs.iter().zip(&target_cols) {
+                let e = planner.resolve_subqueries(e)?;
+                let bound = planner.binder.bind(&e, &scope)?;
+                let coerced = planner
+                    .binder
+                    .coerce(bound, schema.columns[col].ty, false)?;
+                row[col] = coerced.eval(&ctx, &[])?;
+            }
+            to_insert.push(row);
+        }
+        let t = storage.table_mut(table)?;
+        let n = to_insert.len();
+        for row in to_insert {
+            t.insert(row);
+        }
+        Ok(StatementOutcome::Affected(n))
+    }
+
+    /// `INSERT INTO t [cols] SELECT …`: runs the query, then coerces each
+    /// produced row into the target column types.
+    fn run_insert_select(
+        &self,
+        table: &str,
+        columns: Option<Vec<String>>,
+        select: &crate::sql::ast::SelectStmt,
+        params: &HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> DbResult<StatementOutcome> {
+        let catalog = self.db.catalog.read();
+        let mut storage = self.db.storage.write();
+        let schema = storage.table(table)?.schema.clone();
+        let target_cols: Vec<usize> = match &columns {
+            Some(names) => {
+                let mut idxs = Vec::with_capacity(names.len());
+                for n in names {
+                    let i = schema.col_index(n).ok_or_else(|| DbError::NotFound {
+                        kind: "column",
+                        name: format!("{table}.{n}"),
+                    })?;
+                    if idxs.contains(&i) {
+                        return Err(DbError::Constraint {
+                            message: format!("column {n} listed twice"),
+                        });
+                    }
+                    idxs.push(i);
+                }
+                idxs
+            }
+            None => (0..schema.columns.len()).collect(),
+        };
+        let planner = Planner::new(&catalog, &storage, params, ctx);
+        let planned = planner.plan_select(select)?;
+        if planned.columns.len() != target_cols.len() {
+            return Err(DbError::Constraint {
+                message: format!(
+                    "INSERT … SELECT produces {} column(s) but {} are targeted",
+                    planned.columns.len(),
+                    target_cols.len()
+                ),
+            });
+        }
+        // Precompute per-column coercions (identity, or an implicit cast).
+        let mut coercions: Vec<Option<crate::catalog::CastFnImpl>> =
+            Vec::with_capacity(target_cols.len());
+        for ((_, src_ty), &col) in planned.columns.iter().zip(&target_cols) {
+            let dst_ty = schema.columns[col].ty;
+            if *src_ty == dst_ty || *src_ty == DataType::Null {
+                coercions.push(None);
+            } else {
+                let cast = catalog.find_cast(*src_ty, dst_ty, false).ok_or_else(|| {
+                    DbError::NoOverload {
+                        what: format!(
+                            "cast {} -> {} for INSERT … SELECT",
+                            catalog.type_name(*src_ty),
+                            catalog.type_name(dst_ty)
+                        ),
+                    }
+                })?;
+                coercions.push(Some(cast.f.clone()));
+            }
+        }
+        let produced = crate::exec::execute(&planned.plan, &storage, &ctx)?;
+        let t = storage.table_mut(table)?;
+        let mut n = 0;
+        for src in produced {
+            let mut row: Row = vec![Value::Null; schema.columns.len()];
+            for ((v, &col), coerce) in src.into_iter().zip(&target_cols).zip(&coercions) {
+                row[col] = match (coerce, v.is_null()) {
+                    (Some(f), false) => f(&ctx, &v)?,
+                    _ => v,
+                };
+            }
+            t.insert(row);
+            n += 1;
+        }
+        Ok(StatementOutcome::Affected(n))
+    }
+
+    fn table_scope(schema: &TableSchema) -> crate::binder::Scope {
+        crate::binder::Scope::new(
+            schema
+                .columns
+                .iter()
+                .map(|c| crate::binder::ScopeCol {
+                    binding: Some(schema.name.to_ascii_lowercase()),
+                    name: c.name.to_ascii_lowercase(),
+                    ty: c.ty,
+                })
+                .collect(),
+        )
+    }
+
+    fn run_update(
+        &self,
+        table: &str,
+        sets: Vec<(String, crate::sql::ast::Expr)>,
+        where_clause: Option<crate::sql::ast::Expr>,
+        params: &HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> DbResult<StatementOutcome> {
+        let catalog = self.db.catalog.read();
+        let mut storage = self.db.storage.write();
+        let schema = storage.table(table)?.schema.clone();
+        let scope = Self::table_scope(&schema);
+        let planner = Planner::new(&catalog, &storage, params, ctx);
+        let mut bound_sets = Vec::with_capacity(sets.len());
+        for (name, e) in &sets {
+            let col = schema.col_index(name).ok_or_else(|| DbError::NotFound {
+                kind: "column",
+                name: format!("{table}.{name}"),
+            })?;
+            let e = planner.resolve_subqueries(e)?;
+            let bound = planner.binder.bind(&e, &scope)?;
+            let coerced = planner
+                .binder
+                .coerce(bound, schema.columns[col].ty, false)?;
+            bound_sets.push((col, coerced));
+        }
+        let pred = match &where_clause {
+            Some(w) => {
+                let w = planner.resolve_subqueries(w)?;
+                Some(planner.bind_folded(&w, &scope)?)
+            }
+            None => None,
+        };
+        let t = storage.table_mut(table)?;
+        let snapshot = t.scan();
+        let mut affected = 0;
+        for (rowid, row) in snapshot {
+            let keep = match &pred {
+                Some(p) => p.eval(&ctx, &row)?.as_bool() == Some(true),
+                None => true,
+            };
+            if !keep {
+                continue;
+            }
+            let mut new_row = row.clone();
+            for (col, e) in &bound_sets {
+                new_row[*col] = e.eval(&ctx, &row)?;
+            }
+            t.update(rowid, new_row);
+            affected += 1;
+        }
+        Ok(StatementOutcome::Affected(affected))
+    }
+
+    fn run_delete(
+        &self,
+        table: &str,
+        where_clause: Option<crate::sql::ast::Expr>,
+        params: &HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> DbResult<StatementOutcome> {
+        let catalog = self.db.catalog.read();
+        let mut storage = self.db.storage.write();
+        let schema = storage.table(table)?.schema.clone();
+        let scope = Self::table_scope(&schema);
+        let planner = Planner::new(&catalog, &storage, params, ctx);
+        let pred = match &where_clause {
+            Some(w) => {
+                let w = planner.resolve_subqueries(w)?;
+                Some(planner.bind_folded(&w, &scope)?)
+            }
+            None => None,
+        };
+        let t = storage.table_mut(table)?;
+        let snapshot = t.scan();
+        let mut affected = 0;
+        for (rowid, row) in snapshot {
+            let hit = match &pred {
+                Some(p) => p.eval(&ctx, &row)?.as_bool() == Some(true),
+                None => true,
+            };
+            if hit && t.delete(rowid) {
+                affected += 1;
+            }
+        }
+        Ok(StatementOutcome::Affected(affected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Arc<Database> {
+        Database::new()
+    }
+
+    fn ints(result: &QueryResult, col: usize) -> Vec<i64> {
+        result
+            .rows
+            .iter()
+            .map(|r| r[col].as_int().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (id INT, name CHAR(20))").unwrap();
+        let out = s
+            .execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+            .unwrap();
+        assert!(matches!(out, StatementOutcome::Affected(3)));
+        let r = s
+            .query("SELECT id, name FROM t WHERE id >= 2 ORDER BY id DESC")
+            .unwrap();
+        assert_eq!(ints(&r, 0), vec![3, 2]);
+        assert_eq!(r.columns[1].0, "name");
+    }
+
+    #[test]
+    fn select_without_from() {
+        let db = db();
+        let s = db.session();
+        let r = s.query("SELECT 1 + 2 AS three, 'x'").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0].as_int(), Some(3));
+        assert_eq!(r.columns[0].0, "three");
+    }
+
+    #[test]
+    fn wildcards_and_aliases() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        let r = s.query("SELECT * FROM t").unwrap();
+        assert_eq!(r.columns.len(), 2);
+        let r = s.query("SELECT x.b, x.a FROM t x").unwrap();
+        assert_eq!(r.rows[0][0].as_int(), Some(10));
+    }
+
+    #[test]
+    fn joins_comma_and_explicit() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE a (id INT, v CHAR(5))").unwrap();
+        s.execute("CREATE TABLE b (id INT, w CHAR(5))").unwrap();
+        s.execute("INSERT INTO a VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
+        s.execute("INSERT INTO b VALUES (2, 'q'), (3, 'r')")
+            .unwrap();
+        let r1 = s
+            .query("SELECT a.v, b.w FROM a, b WHERE a.id = b.id")
+            .unwrap();
+        assert_eq!(r1.rows.len(), 1);
+        assert_eq!(r1.rows[0][0].as_str(), Some("y"));
+        let r2 = s
+            .query("SELECT a.v, b.w FROM a JOIN b ON a.id = b.id")
+            .unwrap();
+        assert_eq!(r2.rows.len(), 1);
+        // Cross join.
+        let r3 = s.query("SELECT a.id FROM a, b").unwrap();
+        assert_eq!(r3.rows.len(), 4);
+    }
+
+    #[test]
+    fn group_by_and_having() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE sales (region CHAR(5), amount INT)")
+            .unwrap();
+        s.execute("INSERT INTO sales VALUES ('east', 10), ('east', 20), ('west', 5), ('west', 1)")
+            .unwrap();
+        let r = s
+            .query(
+                "SELECT region, SUM(amount), COUNT(*) FROM sales \
+                 GROUP BY region HAVING SUM(amount) > 10 ORDER BY region",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0].as_str(), Some("east"));
+        assert_eq!(r.rows[0][1].as_int(), Some(30));
+        assert_eq!(r.rows[0][2].as_int(), Some(2));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_table() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        let r = s.query("SELECT COUNT(*), SUM(a), MIN(a) FROM t").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0].as_int(), Some(0));
+        assert_eq!(r.rows[0][1].as_int(), Some(0));
+        assert!(r.rows[0][2].is_null());
+    }
+
+    #[test]
+    fn aggregates_skip_nulls() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1), (NULL), (3)").unwrap();
+        let r = s.query("SELECT COUNT(a), SUM(a), AVG(a) FROM t").unwrap();
+        assert_eq!(r.rows[0][0].as_int(), Some(2));
+        assert_eq!(r.rows[0][1].as_int(), Some(4));
+        assert_eq!(r.rows[0][2].as_float(), Some(2.0));
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1), (1), (2), (2), (3)")
+            .unwrap();
+        let r = s.query("SELECT DISTINCT a FROM t ORDER BY a").unwrap();
+        assert_eq!(ints(&r, 0), vec![1, 2, 3]);
+        let r = s
+            .query("SELECT DISTINCT a FROM t ORDER BY a LIMIT 2")
+            .unwrap();
+        assert_eq!(ints(&r, 0), vec![1, 2]);
+    }
+
+    #[test]
+    fn order_by_hidden_column() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 3), (2, 1), (3, 2)")
+            .unwrap();
+        let r = s.query("SELECT a FROM t ORDER BY b").unwrap();
+        assert_eq!(ints(&r, 0), vec![2, 3, 1]);
+        assert_eq!(r.columns.len(), 1, "hidden sort column must be stripped");
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 0), (2, 0), (3, 0)")
+            .unwrap();
+        let out = s.execute("UPDATE t SET b = a * 10 WHERE a >= 2").unwrap();
+        assert!(matches!(out, StatementOutcome::Affected(2)));
+        let r = s.query("SELECT b FROM t ORDER BY a").unwrap();
+        assert_eq!(ints(&r, 0), vec![0, 20, 30]);
+        let out = s.execute("DELETE FROM t WHERE b = 0").unwrap();
+        assert!(matches!(out, StatementOutcome::Affected(1)));
+        let r = s.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0].as_int(), Some(2));
+    }
+
+    #[test]
+    fn params_flow_through() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        s.execute_with_params("INSERT INTO t VALUES (:x)", &[("x", Value::Int(7))])
+            .unwrap();
+        let r = s
+            .query_with_params("SELECT a FROM t WHERE a = :x", &[("x", Value::Int(7))])
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let err = s.query("SELECT a FROM t WHERE a = :missing").unwrap_err();
+        assert!(matches!(err, DbError::MissingParam { .. }));
+    }
+
+    #[test]
+    fn index_used_and_correct() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        for i in 0..100 {
+            s.execute_with_params(
+                "INSERT INTO t VALUES (:i, :j)",
+                &[("i", Value::Int(i % 10)), ("j", Value::Int(i))],
+            )
+            .unwrap();
+        }
+        s.execute("CREATE INDEX ix_a ON t(a)").unwrap();
+        let r = s.query("SELECT COUNT(*) FROM t WHERE a = 3").unwrap();
+        assert_eq!(r.rows[0][0].as_int(), Some(10));
+        // Plan shape: the scan becomes an index scan.
+        db.with_storage(|st| {
+            db.with_catalog(|cat| {
+                let params = HashMap::new();
+                let ctx = ExecCtx { txn_time_unix: 0 };
+                let planner = Planner::new(cat, st, &params, ctx);
+                let Statement::Select(sel) =
+                    parse_statement("SELECT b FROM t WHERE a = 3").unwrap()
+                else {
+                    unreachable!()
+                };
+                let planned = planner.plan_select(&sel).unwrap();
+                assert!(
+                    planned.plan.describe().contains("ixscan"),
+                    "{}",
+                    planned.plan.describe()
+                );
+            })
+        });
+    }
+
+    #[test]
+    fn hash_join_plan_shape() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE a (id INT)").unwrap();
+        s.execute("CREATE TABLE b (id INT)").unwrap();
+        db.with_storage(|st| {
+            db.with_catalog(|cat| {
+                let params = HashMap::new();
+                let ctx = ExecCtx { txn_time_unix: 0 };
+                let planner = Planner::new(cat, st, &params, ctx);
+                let Statement::Select(sel) =
+                    parse_statement("SELECT a.id FROM a, b WHERE a.id = b.id").unwrap()
+                else {
+                    unreachable!()
+                };
+                let planned = planner.plan_select(&sel).unwrap();
+                assert!(
+                    planned.plan.describe().contains("hashjoin"),
+                    "{}",
+                    planned.plan.describe()
+                );
+            })
+        });
+    }
+
+    #[test]
+    fn drop_table() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        s.execute("DROP TABLE t").unwrap();
+        assert!(s.query("SELECT * FROM t").is_err());
+        s.execute("DROP TABLE IF EXISTS t").unwrap();
+        assert!(s.execute("DROP TABLE t").is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT, b CHAR(5))").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
+        s.execute("CREATE INDEX ix ON t(a)").unwrap();
+        let snap = db.save_snapshot().unwrap();
+
+        let db2 = Database::new();
+        db2.load_snapshot(&snap).unwrap();
+        let s2 = db2.session();
+        let r = s2.query("SELECT b FROM t WHERE a = 2").unwrap();
+        assert_eq!(r.rows[0][0].as_str(), Some("y"));
+    }
+
+    #[test]
+    fn format_result_renders_table() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT, name CHAR(10))").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 'Showbiz')").unwrap();
+        let r = s.query("SELECT * FROM t").unwrap();
+        let text = s.format_result(&r);
+        assert!(text.contains("Showbiz"));
+        assert!(text.contains("| a "));
+    }
+
+    #[test]
+    fn errors_surface() {
+        let db = db();
+        let s = db.session();
+        assert!(matches!(
+            s.execute("SELECT * FROM missing"),
+            Err(DbError::NotFound { .. })
+        ));
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        assert!(matches!(
+            s.execute("CREATE TABLE t (a INT)"),
+            Err(DbError::AlreadyExists { .. })
+        ));
+        assert!(matches!(
+            s.execute("INSERT INTO t VALUES (1, 2)"),
+            Err(DbError::Constraint { .. })
+        ));
+        assert!(s.execute("SELECT nosuchfunc(a) FROM t").is_err());
+        // Aggregates are rejected in WHERE.
+        assert!(s.execute("SELECT a FROM t WHERE SUM(a) > 1").is_err());
+        // Non-grouped column in grouped query.
+        s.execute("CREATE TABLE g (k INT, v INT)").unwrap();
+        assert!(s.execute("SELECT v FROM g GROUP BY k").is_err());
+    }
+
+    #[test]
+    fn string_coerced_into_column_on_insert() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a FLOAT)").unwrap();
+        // INT literal widens to FLOAT implicitly.
+        s.execute("INSERT INTO t VALUES (3)").unwrap();
+        let r = s.query("SELECT a FROM t").unwrap();
+        assert_eq!(r.rows[0][0].as_float(), Some(3.0));
+    }
+
+    #[test]
+    fn order_by_alias() {
+        let db = db();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (3), (1), (2)").unwrap();
+        let r = s
+            .query("SELECT a * 2 AS doubled FROM t ORDER BY doubled DESC")
+            .unwrap();
+        assert_eq!(ints(&r, 0), vec![6, 4, 2]);
+    }
+}

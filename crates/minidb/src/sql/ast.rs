@@ -1,0 +1,251 @@
+//! Abstract syntax for the supported SQL dialect.
+
+use crate::value::Value;
+
+/// A literal value as written in the query text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// A type name with an optional length argument, e.g. `CHAR(20)` or
+/// `Element`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeName {
+    pub name: String,
+    pub arg: Option<u32>,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// Binary operators at the AST level (the catalog-level
+/// [`BinaryOp`](crate::catalog::BinaryOp) excludes the logical ones,
+/// which the binder lowers specially for three-valued logic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Concat,
+    And,
+    Or,
+}
+
+/// An unbound scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Lit),
+    /// `name` or `qualifier.name`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// Named parameter `:name`.
+    Param(String),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: AstBinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// Routine or aggregate call; `star` marks `COUNT(*)`, `distinct`
+    /// marks `agg(DISTINCT expr)`.
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        star: bool,
+        distinct: bool,
+    },
+    /// `expr::Type` or `CAST(expr AS Type)`.
+    Cast {
+        expr: Box<Expr>,
+        ty: TypeName,
+    },
+    /// `expr [NOT] LIKE pattern` (`%` any run, `_` any one character).
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    /// Searched or simple CASE expression.
+    Case {
+        /// `CASE operand WHEN …` (simple form); `None` for searched CASE.
+        operand: Option<Box<Expr>>,
+        /// `(WHEN, THEN)` pairs.
+        branches: Vec<(Expr, Expr)>,
+        else_: Option<Box<Expr>>,
+    },
+    /// `(SELECT …)` as a scalar value (uncorrelated; evaluated once per
+    /// statement by the planner).
+    Subquery(Box<SelectStmt>),
+    /// `expr [NOT] IN (SELECT …)` (uncorrelated).
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
+    /// An engine value injected by the planner (subquery results,
+    /// pre-bound parameters). Never produced by the parser.
+    BoundValue(Value),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: AstBinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience constructor for unqualified column refs.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// One item in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional `AS alias`.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// One table in the FROM clause (explicit `JOIN … ON` is normalized by
+/// the parser into the from-list plus WHERE conjuncts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name the table is referred to by in the query.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A SELECT statement, possibly the head of a UNION chain.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+    /// `UNION [ALL] <next arm>`; ORDER BY/LIMIT/OFFSET of the head apply
+    /// to the whole chain.
+    pub union: Option<(bool, Box<SelectStmt>)>,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// The data source of an INSERT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// `VALUES (…), (…)`.
+    Values(Vec<Vec<Expr>>),
+    /// `INSERT INTO t SELECT …`.
+    Query(Box<SelectStmt>),
+}
+
+/// Any supported statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, TypeName)>,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        source: InsertSource,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        where_clause: Option<Expr>,
+    },
+    Select(SelectStmt),
+    /// `EXPLAIN SELECT …` — returns the physical plan shape as one row.
+    Explain(Box<Statement>),
+    /// `CREATE VIEW name AS SELECT …`. `body_start` is the byte offset of
+    /// the SELECT in the original statement text, so the session can
+    /// store the view body verbatim.
+    CreateView {
+        name: String,
+        query: Box<SelectStmt>,
+        body_start: usize,
+    },
+    /// `DROP VIEW [IF EXISTS] name`.
+    DropView {
+        name: String,
+        if_exists: bool,
+    },
+}

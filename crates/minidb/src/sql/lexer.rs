@@ -1,0 +1,318 @@
+//! Hand-written SQL lexer.
+
+use crate::error::{DbError, DbResult};
+
+/// A lexical token with its byte position in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds. Keywords are not distinguished from identifiers here; the
+/// parser matches identifier text case-insensitively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare or keyword identifier (original case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal, quotes stripped, `''` unescaped.
+    Str(String),
+    /// Named parameter `:name`.
+    Param(String),
+    /// Punctuation: one of `( ) , . * + - / % = <> != < <= > >= || ::`.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Lexes a full statement into tokens (including a trailing `Eof`).
+pub fn lex(input: &str) -> DbResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(DbError::Syntax {
+                                pos: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Copy the full UTF-8 character.
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| DbError::Syntax {
+                        pos: start,
+                        message: format!("bad float literal {text:?}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| DbError::Syntax {
+                        pos: start,
+                        message: format!("integer literal {text:?} out of range"),
+                    })?)
+                };
+                out.push(Token { kind, pos: start });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_owned()),
+                    pos: start,
+                });
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                out.push(Token {
+                    kind: TokenKind::Sym("::"),
+                    pos: i,
+                });
+                i += 2;
+            }
+            b':' => {
+                let start = i;
+                i += 1;
+                let name_start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i == name_start {
+                    return Err(DbError::Syntax {
+                        pos: start,
+                        message: "expected parameter name after ':'".into(),
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Param(input[name_start..i].to_owned()),
+                    pos: start,
+                });
+            }
+            b'<' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Token {
+                    kind: TokenKind::Sym("<>"),
+                    pos: i,
+                });
+                i += 2;
+            }
+            b'<' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token {
+                    kind: TokenKind::Sym("<="),
+                    pos: i,
+                });
+                i += 2;
+            }
+            b'>' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token {
+                    kind: TokenKind::Sym(">="),
+                    pos: i,
+                });
+                i += 2;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token {
+                    kind: TokenKind::Sym("<>"),
+                    pos: i,
+                });
+                i += 2;
+            }
+            b'|' if bytes.get(i + 1) == Some(&b'|') => {
+                out.push(Token {
+                    kind: TokenKind::Sym("||"),
+                    pos: i,
+                });
+                i += 2;
+            }
+            b'(' | b')' | b',' | b'.' | b'*' | b'+' | b'-' | b'/' | b'%' | b'=' | b'<' | b'>'
+            | b';' => {
+                let sym: &'static str = match b {
+                    b'(' => "(",
+                    b')' => ")",
+                    b',' => ",",
+                    b'.' => ".",
+                    b'*' => "*",
+                    b'+' => "+",
+                    b'-' => "-",
+                    b'/' => "/",
+                    b'%' => "%",
+                    b'=' => "=",
+                    b'<' => "<",
+                    b'>' => ">",
+                    b';' => ";",
+                    _ => unreachable!(),
+                };
+                out.push(Token {
+                    kind: TokenKind::Sym(sym),
+                    pos: i,
+                });
+                i += 1;
+            }
+            _ => {
+                return Err(DbError::Syntax {
+                    pos: i,
+                    message: format!("unexpected character {:?}", input[i..].chars().next()),
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: input.len(),
+    });
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        lex(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("SELECT a, b FROM t WHERE x = 3");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(ks[2], TokenKind::Sym(","));
+        assert_eq!(ks[9], TokenKind::Int(3));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'Dr.Pepper'")[0], TokenKind::Str("Dr.Pepper".into()));
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        assert_eq!(
+            kinds("'{[1999-10-01, NOW]}'")[0],
+            TokenKind::Str("{[1999-10-01, NOW]}".into())
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("4.25")[0], TokenKind::Float(4.25));
+        // "1." is Int then Sym "." (qualified-name friendly).
+        let ks = kinds("1 .x");
+        assert_eq!(ks[0], TokenKind::Int(1));
+        assert_eq!(ks[1], TokenKind::Sym("."));
+    }
+
+    #[test]
+    fn params_and_cast_symbol() {
+        let ks = kinds("x < '7'::Span * :w");
+        assert!(ks.contains(&TokenKind::Sym("::")));
+        assert!(ks.contains(&TokenKind::Param("w".into())));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(kinds("<>")[0], TokenKind::Sym("<>"));
+        assert_eq!(kinds("!=")[0], TokenKind::Sym("<>"));
+        assert_eq!(kinds("<=")[0], TokenKind::Sym("<="));
+        assert_eq!(kinds(">=")[0], TokenKind::Sym(">="));
+        assert_eq!(kinds("||")[0], TokenKind::Sym("||"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("SELECT -- the patient\n patient");
+        assert_eq!(ks.len(), 3); // SELECT, patient, EOF
+    }
+
+    #[test]
+    fn unexpected_character() {
+        assert!(lex("SELECT @").is_err());
+        assert!(lex(":").is_err());
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let ts = lex("a = b").unwrap();
+        assert_eq!(ts[1].pos, 2);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'Müller'")[0], TokenKind::Str("Müller".into()));
+    }
+}

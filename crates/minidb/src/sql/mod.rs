@@ -1,0 +1,10 @@
+//! SQL front-end: lexer, AST, and parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    AstBinOp, Expr, Lit, OrderItem, SelectItem, SelectStmt, Statement, TableRef, TypeName, UnaryOp,
+};
+pub use parser::{parse_expression, parse_statement};

@@ -1,0 +1,1066 @@
+//! Row storage: tables, slotted heap with reuse, secondary B-tree
+//! indexes, and binary snapshot persistence.
+
+use crate::catalog::{Catalog, UdtIntervalKeyFn};
+use crate::error::{DbError, DbResult};
+use crate::types::DataType;
+use crate::value::{Row, Value};
+use bytes::{Buf, BufMut};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+}
+
+/// A table's schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    /// Canonical (as-created) table name.
+    pub name: String,
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Finds a column index by case-insensitive name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Ordering wrapper so `Value`s can key a `BTreeMap`.
+#[derive(Debug, Clone)]
+pub struct OrdKey(pub Value);
+
+impl PartialEq for OrdKey {
+    fn eq(&self, other: &OrdKey) -> bool {
+        self.0.cmp_ordering(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for OrdKey {}
+impl PartialOrd for OrdKey {
+    fn partial_cmp(&self, other: &OrdKey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdKey {
+    fn cmp(&self, other: &OrdKey) -> Ordering {
+        self.0.cmp_ordering(&other.0)
+    }
+}
+
+/// How many buckets a single entry may span before it is routed to the
+/// overflow list (bounds touching the axis extremes go there too).
+const MAX_BUCKETS_PER_ENTRY: i64 = 64;
+
+/// A bucketed interval index: the axis is divided into fixed-stride
+/// buckets; each entry is registered in every bucket its `[lo, hi]`
+/// bounds overlap. Entries spanning too many buckets (including
+/// NOW-relative data, whose conservative bounds reach the axis extremes)
+/// live in an overflow list — the classic difficulty of indexing
+/// now-relative data that the paper's reference [2] studies. Queries are
+/// conservative: they return a superset of the matching rows, and the
+/// scan's residual filter rechecks the exact predicate.
+pub struct IntervalIndex {
+    bounds: UdtIntervalKeyFn,
+    stride: i64,
+    buckets: BTreeMap<i64, Vec<usize>>,
+    overflow: Vec<usize>,
+    /// rowid -> bounds used at insert (needed for removal); `None` when
+    /// the value produced no bounds (empty/NULL) and was not indexed.
+    entries: HashMap<usize, Option<(i64, i64)>>,
+}
+
+impl std::fmt::Debug for IntervalIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntervalIndex")
+            .field("stride", &self.stride)
+            .field("buckets", &self.buckets.len())
+            .field("overflow", &self.overflow.len())
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl Clone for IntervalIndex {
+    fn clone(&self) -> IntervalIndex {
+        IntervalIndex {
+            bounds: self.bounds.clone(),
+            stride: self.stride,
+            buckets: self.buckets.clone(),
+            overflow: self.overflow.clone(),
+            entries: self.entries.clone(),
+        }
+    }
+}
+
+impl IntervalIndex {
+    fn new(bounds: UdtIntervalKeyFn, stride: i64) -> IntervalIndex {
+        IntervalIndex {
+            bounds,
+            stride: stride.max(1),
+            buckets: BTreeMap::new(),
+            overflow: Vec::new(),
+            entries: HashMap::new(),
+        }
+    }
+
+    fn bucket_of(&self, x: i64) -> i64 {
+        x.div_euclid(self.stride)
+    }
+
+    fn value_bounds(&self, v: &Value) -> Option<(i64, i64)> {
+        v.as_udt().and_then(|u| (self.bounds)(u))
+    }
+
+    fn insert(&mut self, v: &Value, rowid: usize) {
+        let bounds = self.value_bounds(v);
+        self.entries.insert(rowid, bounds);
+        let Some((lo, hi)) = bounds else { return };
+        let span_buckets = self
+            .bucket_of(hi.max(lo))
+            .saturating_sub(self.bucket_of(lo))
+            .saturating_add(1);
+        if lo == i64::MIN || hi == i64::MAX || span_buckets > MAX_BUCKETS_PER_ENTRY {
+            self.overflow.push(rowid);
+            return;
+        }
+        for b in self.bucket_of(lo)..=self.bucket_of(hi) {
+            self.buckets.entry(b).or_default().push(rowid);
+        }
+    }
+
+    fn remove(&mut self, _v: &Value, rowid: usize) {
+        let Some(bounds) = self.entries.remove(&rowid) else {
+            return;
+        };
+        let Some((lo, hi)) = bounds else { return };
+        let span_buckets = self
+            .bucket_of(hi.max(lo))
+            .saturating_sub(self.bucket_of(lo))
+            .saturating_add(1);
+        if lo == i64::MIN || hi == i64::MAX || span_buckets > MAX_BUCKETS_PER_ENTRY {
+            self.overflow.retain(|&r| r != rowid);
+            return;
+        }
+        for b in self.bucket_of(lo)..=self.bucket_of(hi) {
+            if let Some(list) = self.buckets.get_mut(&b) {
+                list.retain(|&r| r != rowid);
+                if list.is_empty() {
+                    self.buckets.remove(&b);
+                }
+            }
+        }
+    }
+
+    /// Candidate row ids whose bounds *may* overlap `[qlo, qhi]` —
+    /// a superset; the caller rechecks the exact predicate.
+    pub fn lookup_overlaps(&self, qlo: i64, qhi: i64) -> Vec<usize> {
+        let mut out: Vec<usize> = self.overflow.clone();
+        if qlo <= qhi {
+            let from = if qlo == i64::MIN {
+                i64::MIN
+            } else {
+                self.bucket_of(qlo)
+            };
+            let to = if qhi == i64::MAX {
+                i64::MAX
+            } else {
+                self.bucket_of(qhi)
+            };
+            for list in self.buckets.range(from..=to).map(|(_, l)| l) {
+                out.extend_from_slice(list);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Ordering wrapper already defined above backs the B-tree variant.
+#[derive(Debug, Clone)]
+enum IndexBackend {
+    BTree(BTreeMap<OrdKey, Vec<usize>>),
+    Interval(IntervalIndex),
+}
+
+/// A secondary index over one column: equality B-tree, or bucketed
+/// interval index for types with interval-bounds support.
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub name: String,
+    pub column: usize,
+    backend: IndexBackend,
+}
+
+impl Index {
+    fn new_btree(name: String, column: usize) -> Index {
+        Index {
+            name,
+            column,
+            backend: IndexBackend::BTree(BTreeMap::new()),
+        }
+    }
+
+    fn new_interval(name: String, column: usize, bounds: UdtIntervalKeyFn, stride: i64) -> Index {
+        Index {
+            name,
+            column,
+            backend: IndexBackend::Interval(IntervalIndex::new(bounds, stride)),
+        }
+    }
+
+    /// `true` for the interval variant.
+    pub fn is_interval(&self) -> bool {
+        matches!(self.backend, IndexBackend::Interval(_))
+    }
+
+    fn insert(&mut self, key: &Value, rowid: usize) {
+        match &mut self.backend {
+            IndexBackend::BTree(map) => {
+                map.entry(OrdKey(key.clone())).or_default().push(rowid);
+            }
+            IndexBackend::Interval(ix) => ix.insert(key, rowid),
+        }
+    }
+
+    fn remove(&mut self, key: &Value, rowid: usize) {
+        match &mut self.backend {
+            IndexBackend::BTree(map) => {
+                if let Some(list) = map.get_mut(&OrdKey(key.clone())) {
+                    list.retain(|&r| r != rowid);
+                    if list.is_empty() {
+                        map.remove(&OrdKey(key.clone()));
+                    }
+                }
+            }
+            IndexBackend::Interval(ix) => ix.remove(key, rowid),
+        }
+    }
+
+    /// Row ids whose indexed column equals `key` (B-tree only).
+    pub fn lookup_eq(&self, key: &Value) -> Vec<usize> {
+        match &self.backend {
+            IndexBackend::BTree(map) => map.get(&OrdKey(key.clone())).cloned().unwrap_or_default(),
+            IndexBackend::Interval(_) => Vec::new(),
+        }
+    }
+
+    /// Candidate row ids overlapping `[lo, hi]` (interval only; a
+    /// conservative superset).
+    pub fn lookup_overlaps(&self, lo: i64, hi: i64) -> Vec<usize> {
+        match &self.backend {
+            IndexBackend::Interval(ix) => ix.lookup_overlaps(lo, hi),
+            IndexBackend::BTree(_) => Vec::new(),
+        }
+    }
+
+    /// Row ids whose indexed column lies within the given bounds
+    /// (B-tree only; `None` means unbounded on that side). `NULL` keys
+    /// are never returned: SQL comparisons against NULL are never TRUE.
+    pub fn lookup_range(
+        &self,
+        lo: Option<(&Value, bool)>,
+        hi: Option<(&Value, bool)>,
+    ) -> Vec<usize> {
+        use std::ops::Bound;
+        let IndexBackend::BTree(map) = &self.backend else {
+            return Vec::new();
+        };
+        let lo_bound = match lo {
+            Some((v, inclusive)) => {
+                if inclusive {
+                    Bound::Included(OrdKey(v.clone()))
+                } else {
+                    Bound::Excluded(OrdKey(v.clone()))
+                }
+            }
+            None => Bound::Unbounded,
+        };
+        let hi_bound = match hi {
+            Some((v, inclusive)) => {
+                if inclusive {
+                    Bound::Included(OrdKey(v.clone()))
+                } else {
+                    Bound::Excluded(OrdKey(v.clone()))
+                }
+            }
+            None => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (key, rows) in map.range((lo_bound, hi_bound)) {
+            if key.0.is_null() {
+                continue;
+            }
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+
+    /// Candidate row ids whose bounds may overlap the bounds of `v`
+    /// (interval only; conservative superset). An unbounded value (no
+    /// bounds, e.g. an empty Element) yields no candidates, which is
+    /// exact for overlap predicates.
+    pub fn lookup_overlaps_value(&self, v: &Value) -> Vec<usize> {
+        match &self.backend {
+            IndexBackend::Interval(ix) => match ix.value_bounds(v) {
+                Some((lo, hi)) => ix.lookup_overlaps(lo, hi),
+                None => Vec::new(),
+            },
+            IndexBackend::BTree(_) => Vec::new(),
+        }
+    }
+
+    /// Number of distinct keys (B-tree) or occupied buckets (interval).
+    pub fn distinct_keys(&self) -> usize {
+        match &self.backend {
+            IndexBackend::BTree(map) => map.len(),
+            IndexBackend::Interval(ix) => ix.buckets.len(),
+        }
+    }
+}
+
+/// One table: schema, slotted row storage, and indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    slots: Vec<Option<Row>>,
+    free: Vec<usize>,
+    live: usize,
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Table {
+        Table {
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a row (arity already validated by the planner) and returns
+    /// its row id.
+    pub fn insert(&mut self, row: Row) -> usize {
+        debug_assert_eq!(row.len(), self.schema.columns.len());
+        let rowid = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(row);
+                slot
+            }
+            None => {
+                self.slots.push(Some(row));
+                self.slots.len() - 1
+            }
+        };
+        self.live += 1;
+        let row_ref = self.slots[rowid].as_ref().expect("just inserted");
+        let cols: Vec<(usize, Value)> = self
+            .indexes
+            .iter()
+            .map(|ix| (ix.column, row_ref[ix.column].clone()))
+            .collect();
+        for (ix, (_, key)) in self.indexes.iter_mut().zip(cols) {
+            ix.insert(&key, rowid);
+        }
+        rowid
+    }
+
+    /// Removes a row by id; returns `true` when it existed.
+    pub fn delete(&mut self, rowid: usize) -> bool {
+        match self.slots.get_mut(rowid).and_then(Option::take) {
+            Some(row) => {
+                for ix in &mut self.indexes {
+                    ix.remove(&row[ix.column], rowid);
+                }
+                self.free.push(rowid);
+                self.live -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces a row in place.
+    pub fn update(&mut self, rowid: usize, new_row: Row) -> bool {
+        debug_assert_eq!(new_row.len(), self.schema.columns.len());
+        let Some(slot) = self.slots.get_mut(rowid) else {
+            return false;
+        };
+        let Some(old) = slot.as_ref() else {
+            return false;
+        };
+        let old_keys: Vec<Value> = self
+            .indexes
+            .iter()
+            .map(|ix| old[ix.column].clone())
+            .collect();
+        *slot = Some(new_row);
+        let new_ref = self.slots[rowid].as_ref().expect("just set");
+        let new_keys: Vec<Value> = self
+            .indexes
+            .iter()
+            .map(|ix| new_ref[ix.column].clone())
+            .collect();
+        for ((ix, old_k), new_k) in self.indexes.iter_mut().zip(old_keys).zip(new_keys) {
+            ix.remove(&old_k, rowid);
+            ix.insert(&new_k, rowid);
+        }
+        true
+    }
+
+    /// Fetches one live row.
+    pub fn get(&self, rowid: usize) -> Option<&Row> {
+        self.slots.get(rowid).and_then(Option::as_ref)
+    }
+
+    /// Snapshot of all live `(rowid, row)` pairs.
+    pub fn scan(&self) -> Vec<(usize, Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i, r.clone())))
+            .collect()
+    }
+
+    /// Creates a secondary B-tree index over a column, backfilling
+    /// existing rows.
+    pub fn create_index(&mut self, name: String, column: usize) -> DbResult<()> {
+        self.install_index(Index::new_btree(name, column))
+    }
+
+    /// Creates a bucketed interval index over a column whose type
+    /// provides interval-bounds support.
+    pub fn create_interval_index(
+        &mut self,
+        name: String,
+        column: usize,
+        bounds: UdtIntervalKeyFn,
+        stride: i64,
+    ) -> DbResult<()> {
+        self.install_index(Index::new_interval(name, column, bounds, stride))
+    }
+
+    fn install_index(&mut self, mut ix: Index) -> DbResult<()> {
+        if self
+            .indexes
+            .iter()
+            .any(|x| x.name.eq_ignore_ascii_case(&ix.name))
+        {
+            return Err(DbError::AlreadyExists {
+                kind: "index",
+                name: ix.name,
+            });
+        }
+        let column = ix.column;
+        for (rowid, slot) in self.slots.iter().enumerate() {
+            if let Some(row) = slot {
+                ix.insert(&row[column], rowid);
+            }
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// A B-tree (equality) index on the given column, if one exists.
+    pub fn index_on(&self, column: usize) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|ix| ix.column == column && !ix.is_interval())
+    }
+
+    /// An interval index on the given column, if one exists.
+    pub fn interval_index_on(&self, column: usize) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|ix| ix.column == column && ix.is_interval())
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+}
+
+/// A stored view definition: the body is kept as SQL text and re-planned
+/// (inlined) at every use, so views always see current data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    /// Canonical (as-created) view name.
+    pub name: String,
+    /// The body `SELECT …` text.
+    pub body_sql: String,
+}
+
+/// All tables and views of one database.
+#[derive(Debug, Default, Clone)]
+pub struct Storage {
+    tables: HashMap<String, Table>,
+    views: HashMap<String, ViewDef>,
+}
+
+impl Storage {
+    /// Creates an empty storage.
+    pub fn new() -> Storage {
+        Storage::default()
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, schema: TableSchema) -> DbResult<()> {
+        let key = schema.name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(DbError::AlreadyExists {
+                kind: "table",
+                name: schema.name,
+            });
+        }
+        self.tables.insert(key, Table::new(schema));
+        Ok(())
+    }
+
+    /// Creates a view over a stored SELECT body.
+    pub fn create_view(&mut self, def: ViewDef) -> DbResult<()> {
+        let key = def.name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(DbError::AlreadyExists {
+                kind: "view",
+                name: def.name,
+            });
+        }
+        self.views.insert(key, def);
+        Ok(())
+    }
+
+    /// Drops a view.
+    pub fn drop_view(&mut self, name: &str) -> DbResult<()> {
+        self.views
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| DbError::NotFound {
+                kind: "view",
+                name: name.to_owned(),
+            })
+    }
+
+    /// Looks up a view definition.
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all views (canonical case), sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.values().map(|v| v.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<()> {
+        self.tables
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| DbError::NotFound {
+                kind: "table",
+                name: name.to_owned(),
+            })
+    }
+
+    /// Immutable table lookup.
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::NotFound {
+                kind: "table",
+                name: name.to_owned(),
+            })
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::NotFound {
+                kind: "table",
+                name: name.to_owned(),
+            })
+    }
+
+    /// `true` when the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all tables (canonical case), sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .values()
+            .map(|t| t.schema.name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+// ----- snapshot persistence ------------------------------------------------
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"MINIDB01";
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> DbResult<String> {
+    if buf.remaining() < 4 {
+        return Err(DbError::Persist {
+            message: "truncated string length".into(),
+        });
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(DbError::Persist {
+            message: "truncated string body".into(),
+        });
+    }
+    let s = String::from_utf8(buf[..n].to_vec()).map_err(|e| DbError::Persist {
+        message: format!("bad utf8: {e}"),
+    })?;
+    buf.advance(n);
+    Ok(s)
+}
+
+fn encode_value(cat: &Catalog, v: &Value, out: &mut Vec<u8>) -> DbResult<()> {
+    match v {
+        Value::Null => out.put_u8(0),
+        Value::Bool(b) => {
+            out.put_u8(1);
+            out.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            out.put_u8(2);
+            out.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            out.put_u8(3);
+            out.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            out.put_u8(4);
+            put_str(out, s);
+        }
+        Value::Udt(u) => {
+            out.put_u8(5);
+            let def = cat.type_def(u.type_id())?;
+            put_str(out, &def.name);
+            let mut payload = Vec::new();
+            (def.encode)(u, &mut payload);
+            out.put_u32_le(payload.len() as u32);
+            out.put_slice(&payload);
+        }
+    }
+    Ok(())
+}
+
+fn decode_value(cat: &Catalog, buf: &mut &[u8]) -> DbResult<Value> {
+    if buf.remaining() < 1 {
+        return Err(DbError::Persist {
+            message: "truncated value tag".into(),
+        });
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Null),
+        1 => {
+            if buf.remaining() < 1 {
+                return Err(DbError::Persist {
+                    message: "truncated bool".into(),
+                });
+            }
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(DbError::Persist {
+                    message: "truncated int".into(),
+                });
+            }
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        3 => {
+            if buf.remaining() < 8 {
+                return Err(DbError::Persist {
+                    message: "truncated float".into(),
+                });
+            }
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        4 => Ok(Value::Str(get_str(buf)?)),
+        5 => {
+            let type_name = get_str(buf)?;
+            let ty = cat
+                .lookup_type_name(&type_name)
+                .map_err(|_| DbError::Persist {
+                    message: format!("snapshot references unregistered type {type_name:?}"),
+                })?;
+            let DataType::Udt(id) = ty else {
+                return Err(DbError::Persist {
+                    message: format!("{type_name:?} is not a UDT"),
+                });
+            };
+            let def = cat.type_def(id)?;
+            if buf.remaining() < 4 {
+                return Err(DbError::Persist {
+                    message: "truncated udt length".into(),
+                });
+            }
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < n {
+                return Err(DbError::Persist {
+                    message: "truncated udt payload".into(),
+                });
+            }
+            let mut payload = &buf[..n];
+            let u = (def.decode)(&mut payload).map_err(|e| DbError::Persist {
+                message: format!("udt decode: {e}"),
+            })?;
+            buf.advance(n);
+            Ok(Value::Udt(u))
+        }
+        t => Err(DbError::Persist {
+            message: format!("unknown value tag {t}"),
+        }),
+    }
+}
+
+fn type_to_persist_name(cat: &Catalog, ty: DataType) -> String {
+    match ty {
+        DataType::Udt(_) => cat.type_name(ty),
+        DataType::Int => "int".into(),
+        DataType::Float => "float".into(),
+        DataType::Str => "varchar".into(),
+        DataType::Bool => "boolean".into(),
+        DataType::Null => "varchar".into(),
+    }
+}
+
+/// Serializes the whole storage to a snapshot byte vector. UDT values are
+/// written through their type's binary `encode` support function and the
+/// type *name* (ids are not stable across processes).
+pub fn save_snapshot(cat: &Catalog, storage: &Storage) -> DbResult<Vec<u8>> {
+    let mut out = Vec::new();
+    out.put_slice(SNAPSHOT_MAGIC);
+    let names = storage.table_names();
+    out.put_u32_le(names.len() as u32);
+    for name in names {
+        let t = storage.table(&name)?;
+        put_str(&mut out, &t.schema.name);
+        out.put_u32_le(t.schema.columns.len() as u32);
+        for c in &t.schema.columns {
+            put_str(&mut out, &c.name);
+            put_str(&mut out, &type_to_persist_name(cat, c.ty));
+        }
+        let rows = t.scan();
+        out.put_u32_le(rows.len() as u32);
+        for (_, row) in rows {
+            for v in &row {
+                encode_value(cat, v, &mut out)?;
+            }
+        }
+        out.put_u32_le(t.indexes().len() as u32);
+        for ix in t.indexes() {
+            put_str(&mut out, &ix.name);
+            out.put_u32_le(ix.column as u32);
+            match &ix.backend {
+                IndexBackend::BTree(_) => out.put_u8(0),
+                IndexBackend::Interval(iv) => {
+                    out.put_u8(1);
+                    out.put_i64_le(iv.stride);
+                }
+            }
+        }
+    }
+    let views = storage.view_names();
+    out.put_u32_le(views.len() as u32);
+    for name in views {
+        let def = storage.view(&name).expect("listed view exists");
+        put_str(&mut out, &def.name);
+        put_str(&mut out, &def.body_sql);
+    }
+    Ok(out)
+}
+
+/// Restores a snapshot into a fresh `Storage`. The catalog must already
+/// contain every UDT the snapshot references (i.e. install the same
+/// blades first — just like reconnecting to a blade-enabled Informix).
+pub fn load_snapshot(cat: &Catalog, bytes: &[u8]) -> DbResult<Storage> {
+    let mut buf = bytes;
+    if buf.remaining() < 8 || &buf[..8] != SNAPSHOT_MAGIC {
+        return Err(DbError::Persist {
+            message: "bad snapshot magic".into(),
+        });
+    }
+    buf.advance(8);
+    if buf.remaining() < 4 {
+        return Err(DbError::Persist {
+            message: "truncated table count".into(),
+        });
+    }
+    let ntables = buf.get_u32_le();
+    let mut storage = Storage::new();
+    for _ in 0..ntables {
+        let tname = get_str(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(DbError::Persist {
+                message: "truncated column count".into(),
+            });
+        }
+        let ncols = buf.get_u32_le();
+        let mut columns = Vec::with_capacity(ncols as usize);
+        for _ in 0..ncols {
+            let cname = get_str(&mut buf)?;
+            let tyname = get_str(&mut buf)?;
+            let ty = cat
+                .lookup_type_name(&tyname)
+                .map_err(|_| DbError::Persist {
+                    message: format!("snapshot needs type {tyname:?}; install its blade first"),
+                })?;
+            columns.push(Column { name: cname, ty });
+        }
+        storage.create_table(TableSchema {
+            name: tname.clone(),
+            columns: columns.clone(),
+        })?;
+        if buf.remaining() < 4 {
+            return Err(DbError::Persist {
+                message: "truncated row count".into(),
+            });
+        }
+        let nrows = buf.get_u32_le();
+        let table = storage.table_mut(&tname)?;
+        for _ in 0..nrows {
+            let mut row = Vec::with_capacity(columns.len());
+            for _ in 0..columns.len() {
+                row.push(decode_value(cat, &mut buf)?);
+            }
+            table.insert(row);
+        }
+        if buf.remaining() < 4 {
+            return Err(DbError::Persist {
+                message: "truncated index count".into(),
+            });
+        }
+        let nix = buf.get_u32_le();
+        for _ in 0..nix {
+            let iname = get_str(&mut buf)?;
+            if buf.remaining() < 5 {
+                return Err(DbError::Persist {
+                    message: "truncated index entry".into(),
+                });
+            }
+            let col = buf.get_u32_le() as usize;
+            match buf.get_u8() {
+                0 => table.create_index(iname, col)?,
+                1 => {
+                    if buf.remaining() < 8 {
+                        return Err(DbError::Persist {
+                            message: "truncated interval stride".into(),
+                        });
+                    }
+                    let stride = buf.get_i64_le();
+                    let col_ty = table.schema.columns.get(col).map(|c| c.ty).ok_or_else(|| {
+                        DbError::Persist {
+                            message: format!("index column {col} out of range"),
+                        }
+                    })?;
+                    let DataType::Udt(id) = col_ty else {
+                        return Err(DbError::Persist {
+                            message: "interval index on a non-UDT column".into(),
+                        });
+                    };
+                    let bounds = cat
+                        .type_def(id)
+                        .ok()
+                        .and_then(|d| d.interval_key.clone())
+                        .ok_or_else(|| DbError::Persist {
+                            message: "snapshot interval index needs a type with \
+                                      interval-bounds support; install its blade first"
+                                .into(),
+                        })?;
+                    table.create_interval_index(iname, col, bounds, stride)?;
+                }
+                k => {
+                    return Err(DbError::Persist {
+                        message: format!("unknown index kind {k}"),
+                    })
+                }
+            }
+        }
+    }
+    // Views (absent in pre-view snapshots, so tolerate EOF here).
+    if buf.remaining() >= 4 {
+        let nviews = buf.get_u32_le();
+        for _ in 0..nviews {
+            let name = get_str(&mut buf)?;
+            let body_sql = get_str(&mut buf)?;
+            storage.create_view(ViewDef { name, body_sql })?;
+        }
+    }
+    Ok(storage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "T".into(),
+            columns: vec![
+                Column {
+                    name: "id".into(),
+                    ty: DataType::Int,
+                },
+                Column {
+                    name: "name".into(),
+                    ty: DataType::Str,
+                },
+            ],
+        }
+    }
+
+    fn row(id: i64, name: &str) -> Row {
+        vec![Value::Int(id), Value::Str(name.into())]
+    }
+
+    #[test]
+    fn insert_scan_delete() {
+        let mut t = Table::new(schema());
+        let r0 = t.insert(row(1, "a"));
+        let r1 = t.insert(row(2, "b"));
+        assert_eq!(t.len(), 2);
+        assert!(t.delete(r0));
+        assert!(!t.delete(r0));
+        assert_eq!(t.len(), 1);
+        let rows = t.scan();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, r1);
+    }
+
+    #[test]
+    fn slot_reuse() {
+        let mut t = Table::new(schema());
+        let r0 = t.insert(row(1, "a"));
+        t.delete(r0);
+        let r2 = t.insert(row(3, "c"));
+        assert_eq!(r0, r2, "freed slot should be reused");
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut t = Table::new(schema());
+        let r0 = t.insert(row(1, "a"));
+        assert!(t.update(r0, row(1, "z")));
+        assert_eq!(t.get(r0).unwrap()[1].as_str(), Some("z"));
+        assert!(!t.update(999, row(9, "x")));
+    }
+
+    #[test]
+    fn index_maintenance() {
+        let mut t = Table::new(schema());
+        let r0 = t.insert(row(1, "a"));
+        t.create_index("ix".into(), 1).unwrap();
+        let r1 = t.insert(row(2, "a"));
+        let r2 = t.insert(row(3, "b"));
+        let ix = t.index_on(1).unwrap();
+        let mut hits = ix.lookup_eq(&Value::Str("a".into()));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![r0, r1]);
+        assert_eq!(ix.lookup_eq(&Value::Str("b".into())), vec![r2]);
+        // Delete and update maintain the index.
+        t.delete(r0);
+        t.update(r2, row(3, "a"));
+        let ix = t.index_on(1).unwrap();
+        assert_eq!(ix.lookup_eq(&Value::Str("a".into())), vec![r1, r2]);
+        assert!(ix.lookup_eq(&Value::Str("b".into())).is_empty());
+        assert_eq!(ix.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut t = Table::new(schema());
+        t.create_index("ix".into(), 0).unwrap();
+        assert!(t.create_index("IX".into(), 1).is_err());
+    }
+
+    #[test]
+    fn storage_table_management() {
+        let mut s = Storage::new();
+        s.create_table(schema()).unwrap();
+        assert!(s.has_table("t"));
+        assert!(s.has_table("T"));
+        assert!(s.create_table(schema()).is_err());
+        assert_eq!(s.table_names(), vec!["T"]);
+        s.drop_table("t").unwrap();
+        assert!(s.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trip_builtin_types() {
+        let cat = Catalog::new();
+        let mut s = Storage::new();
+        s.create_table(schema()).unwrap();
+        let t = s.table_mut("t").unwrap();
+        t.insert(vec![Value::Int(1), Value::Str("héllo".into())]);
+        t.insert(vec![Value::Null, Value::Str("".into())]);
+        t.create_index("ix".into(), 0).unwrap();
+
+        let bytes = save_snapshot(&cat, &s).unwrap();
+        let restored = load_snapshot(&cat, &bytes).unwrap();
+        let rt = restored.table("T").unwrap();
+        assert_eq!(rt.len(), 2);
+        assert_eq!(rt.indexes().len(), 1);
+        assert_eq!(rt.schema, s.table("t").unwrap().schema);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let cat = Catalog::new();
+        let s = Storage::new();
+        let bytes = save_snapshot(&cat, &s).unwrap();
+        assert!(load_snapshot(&cat, &bytes[..4]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(load_snapshot(&cat, &bad).is_err());
+    }
+
+    #[test]
+    fn ordkey_total_order() {
+        let mut keys = [
+            OrdKey(Value::Int(3)),
+            OrdKey(Value::Null),
+            OrdKey(Value::Int(-1)),
+        ];
+        keys.sort();
+        assert!(keys[0].0.is_null());
+        assert_eq!(keys[1].0.as_int(), Some(-1));
+    }
+}

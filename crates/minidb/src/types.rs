@@ -1,0 +1,77 @@
+//! The engine's type system, including opaque user-defined types (UDTs).
+//!
+//! Built-in scalar types cover what the paper's examples need
+//! (`CHAR(20)`, `INT`, …); everything temporal arrives through the
+//! DataBlade-style extension API as an opaque [`DataType::Udt`].
+
+use std::fmt;
+
+/// Identifier of a registered user-defined type within one database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UdtId(pub u32);
+
+/// A column or expression type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// The type of the bare `NULL` literal before coercion.
+    Null,
+    Bool,
+    Int,
+    Float,
+    Str,
+    /// An opaque extension type; semantics live in the catalog's
+    /// [`UdtTypeDef`](crate::catalog::UdtTypeDef).
+    Udt(UdtId),
+}
+
+impl DataType {
+    /// `true` for the built-in numeric types.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// `true` when a value of this type can be stored in a column of type
+    /// `target` without any cast (exact match, or an untyped NULL).
+    pub fn fits(self, target: DataType) -> bool {
+        self == target || self == DataType::Null
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Null => f.write_str("NULL"),
+            DataType::Bool => f.write_str("BOOLEAN"),
+            DataType::Int => f.write_str("INT"),
+            DataType::Float => f.write_str("FLOAT"),
+            DataType::Str => f.write_str("CHAR"),
+            DataType::Udt(id) => write!(f, "UDT#{}", id.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_predicate() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Udt(UdtId(0)).is_numeric());
+    }
+
+    #[test]
+    fn fits() {
+        assert!(DataType::Int.fits(DataType::Int));
+        assert!(DataType::Null.fits(DataType::Str));
+        assert!(!DataType::Int.fits(DataType::Float));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataType::Udt(UdtId(3)).to_string(), "UDT#3");
+        assert_eq!(DataType::Int.to_string(), "INT");
+    }
+}

@@ -1,0 +1,63 @@
+//! Property test for the LIKE matcher against a straightforward
+//! recursive reference implementation.
+
+use minidb::binder::like_match;
+use proptest::prelude::*;
+
+/// Reference semantics: `%` matches any run, `_` exactly one character.
+fn reference(text: &[char], pattern: &[char]) -> bool {
+    match pattern.split_first() {
+        None => text.is_empty(),
+        Some(('%', rest)) => {
+            (0..=text.len()).any(|k| reference(&text[k..], rest))
+        }
+        Some(('_', rest)) => match text.split_first() {
+            Some((_, t)) => reference(t, rest),
+            None => false,
+        },
+        Some((c, rest)) => match text.split_first() {
+            Some((t0, t)) if t0 == c => reference(t, rest),
+            _ => false,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn like_matches_reference(
+        text in "[ab%_c]{0,12}",
+        pattern in "[ab%_c]{0,8}",
+    ) {
+        let t: Vec<char> = text.chars().collect();
+        let p: Vec<char> = pattern.chars().collect();
+        prop_assert_eq!(
+            like_match(&text, &pattern),
+            reference(&t, &p),
+            "text={:?} pattern={:?}",
+            text,
+            pattern
+        );
+    }
+
+    #[test]
+    fn like_never_panics_on_unicode(text in "\\PC{0,16}", pattern in "\\PC{0,10}") {
+        let _ = like_match(&text, &pattern);
+    }
+}
+
+#[test]
+fn like_edge_cases() {
+    assert!(like_match("", ""));
+    assert!(like_match("", "%"));
+    assert!(!like_match("", "_"));
+    assert!(like_match("abc", "abc"));
+    assert!(like_match("abc", "a%"));
+    assert!(like_match("abc", "%c"));
+    assert!(like_match("abc", "a_c"));
+    assert!(!like_match("abc", "a_d"));
+    assert!(like_match("abc", "%%%"));
+    assert!(like_match("aaa", "%a%a%"));
+    assert!(!like_match("ab", "abc"));
+}

@@ -1,0 +1,393 @@
+//! # tip-workload — the synthetic medical database
+//!
+//! The paper's demonstration "is based on a synthetic medical database
+//! containing various types of temporal data" (§4): doctors, patients
+//! with dates of birth (`Chronon`), dosage frequencies (`Span`), and
+//! prescription validity (`Element`). The original dataset was never
+//! distributed, so this crate generates an equivalent one — seeded and
+//! fully parameterized, so every experiment is reproducible and every
+//! benchmark can sweep size, periods-per-element, overlap density, and
+//! the fraction of open-ended (`NOW`) prescriptions.
+
+use minidb::{Session, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tip_blade::TipTypes;
+use tip_core::{Chronon, Element, Instant, NowContext, Period, ResolvedElement, Span};
+
+/// Drugs that can appear in prescriptions (the paper's examples first).
+pub const DRUGS: [&str; 10] = [
+    "Diabeta",
+    "Aspirin",
+    "Tylenol",
+    "Prozac",
+    "Ibuprofen",
+    "Insulin",
+    "Lipitor",
+    "Zocor",
+    "Ativan",
+    "Valium",
+];
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct MedicalConfig {
+    /// RNG seed — same seed, same database.
+    pub seed: u64,
+    pub n_doctors: usize,
+    pub n_patients: usize,
+    pub n_prescriptions: usize,
+    /// Periods per prescription element are drawn from `1..=max_periods`.
+    pub max_periods: usize,
+    /// Fraction of prescriptions whose last period is open-ended to `NOW`.
+    pub now_fraction: f64,
+    /// Prescriptions fall within this window.
+    pub start: Chronon,
+    pub end: Chronon,
+    /// Mean period length in days (exponential-ish spread around it).
+    pub mean_period_days: i64,
+}
+
+impl Default for MedicalConfig {
+    fn default() -> MedicalConfig {
+        MedicalConfig {
+            seed: 42,
+            n_doctors: 10,
+            n_patients: 50,
+            n_prescriptions: 200,
+            max_periods: 3,
+            now_fraction: 0.2,
+            start: Chronon::from_ymd(1995, 1, 1).expect("valid date"),
+            end: Chronon::from_ymd(1999, 10, 1).expect("valid date"),
+            mean_period_days: 30,
+        }
+    }
+}
+
+/// One generated prescription tuple (paper §2 schema).
+#[derive(Debug, Clone)]
+pub struct Prescription {
+    pub doctor: String,
+    pub patient: String,
+    pub patient_dob: Chronon,
+    pub drug: String,
+    pub dosage: i64,
+    pub frequency: Span,
+    pub valid: Element,
+}
+
+/// The generated database.
+#[derive(Debug, Clone)]
+pub struct MedicalDb {
+    pub doctors: Vec<String>,
+    /// `(name, date of birth)`.
+    pub patients: Vec<(String, Chronon)>,
+    pub prescriptions: Vec<Prescription>,
+}
+
+/// Generates a medical database from a configuration (deterministic in
+/// the seed).
+pub fn generate(cfg: &MedicalConfig) -> MedicalDb {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let doctors: Vec<String> = (0..cfg.n_doctors).map(|i| format!("Dr.{:04}", i)).collect();
+    let dob_lo = Chronon::from_ymd(1920, 1, 1).expect("valid date");
+    let patients: Vec<(String, Chronon)> = (0..cfg.n_patients)
+        .map(|i| {
+            // DOBs run all the way to the end of the window so the
+            // population includes infants (the paper's Tylenol query).
+            let dob = random_chronon(&mut rng, dob_lo, cfg.end);
+            (format!("Patient{:05}", i), dob)
+        })
+        .collect();
+    let prescriptions = (0..cfg.n_prescriptions)
+        .map(|_| {
+            let (patient, dob) = patients[rng.gen_range(0..patients.len())].clone();
+            let doctor = doctors[rng.gen_range(0..doctors.len())].clone();
+            let drug = DRUGS[rng.gen_range(0..DRUGS.len())].to_owned();
+            let dosage = rng.gen_range(1..=4);
+            let hours = [4, 6, 8, 12, 24][rng.gen_range(0..5)];
+            let frequency = Span::from_hours(hours);
+            let n_periods = rng.gen_range(1..=cfg.max_periods);
+            let open_ended = rng.gen_bool(cfg.now_fraction);
+            let valid = random_element(
+                &mut rng,
+                cfg.start,
+                cfg.end,
+                n_periods,
+                cfg.mean_period_days,
+                open_ended,
+            );
+            Prescription {
+                doctor,
+                patient,
+                patient_dob: dob,
+                drug,
+                dosage,
+                frequency,
+                valid,
+            }
+        })
+        .collect();
+    MedicalDb {
+        doctors,
+        patients,
+        prescriptions,
+    }
+}
+
+/// A uniform chronon in `[lo, hi]` at day granularity.
+pub fn random_chronon(rng: &mut StdRng, lo: Chronon, hi: Chronon) -> Chronon {
+    let days = (hi - lo).whole_days().max(1);
+    lo + Span::from_days(rng.gen_range(0..days))
+}
+
+/// A raw element of `n_periods` periods in `[lo, hi]`, optionally ending
+/// open (`NOW`). Periods are generated in order with random gaps, so they
+/// are disjoint as stored (normalization still applies at resolution).
+pub fn random_element(
+    rng: &mut StdRng,
+    lo: Chronon,
+    hi: Chronon,
+    n_periods: usize,
+    mean_period_days: i64,
+    open_ended: bool,
+) -> Element {
+    let mut periods = Vec::with_capacity(n_periods);
+    let mut cursor = random_chronon(rng, lo, hi);
+    for i in 0..n_periods {
+        let len = Span::from_days(rng.gen_range(1..=mean_period_days.max(1) * 2));
+        let start = cursor;
+        let end = start.saturating_add(len);
+        let last = i + 1 == n_periods;
+        if last && open_ended {
+            periods.push(Period::new(Instant::Fixed(start), Instant::NOW));
+        } else {
+            periods.push(Period::fixed(start, end));
+        }
+        let gap = Span::from_days(rng.gen_range(1..=mean_period_days.max(1)));
+        cursor = end.saturating_add(gap);
+        if cursor >= hi {
+            break;
+        }
+    }
+    Element::from_periods(periods)
+}
+
+/// A batch of *resolved* elements for algorithm benchmarks: each has
+/// exactly `n_periods` disjoint periods drawn across `span_days` days.
+pub fn random_resolved_elements(
+    seed: u64,
+    count: usize,
+    n_periods: usize,
+    span_days: i64,
+) -> Vec<ResolvedElement> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lo = Chronon::from_ymd(1990, 1, 1).expect("valid date");
+    (0..count)
+        .map(|_| {
+            let mut periods = Vec::with_capacity(n_periods);
+            // Stride the timeline so we get exactly n_periods disjoint
+            // periods regardless of randomness.
+            let slot = (span_days * 86_400 / n_periods.max(1) as i64).max(4);
+            for k in 0..n_periods {
+                let base = lo + Span::from_seconds(k as i64 * slot);
+                let off = rng.gen_range(0..slot / 4);
+                let len = rng.gen_range(1..=slot / 2);
+                let start = base + Span::from_seconds(off);
+                let end = start + Span::from_seconds(len);
+                periods.push(tip_core::ResolvedPeriod::new(start, end).expect("start <= end"));
+            }
+            ResolvedElement::normalize(periods)
+        })
+        .collect()
+}
+
+/// The paper's prescription schema DDL.
+pub const PRESCRIPTION_DDL: &str = "CREATE TABLE Prescription (doctor CHAR(20), \
+    patient CHAR(20), patientDOB Chronon, drug CHAR(20), dosage INT, frequency Span, \
+    valid Element)";
+
+/// Loads a generated database into a TIP-enabled session (creates the
+/// `Prescription` table). Returns the number of rows inserted.
+pub fn populate_tip(session: &Session, types: TipTypes, db: &MedicalDb) -> minidb::DbResult<usize> {
+    session.execute(PRESCRIPTION_DDL)?;
+    let mut n = 0;
+    for p in &db.prescriptions {
+        session.execute_with_params(
+            "INSERT INTO Prescription VALUES (:doc, :pat, :dob, :drug, :dos, :freq, :valid)",
+            &[
+                ("doc", Value::Str(p.doctor.clone())),
+                ("pat", Value::Str(p.patient.clone())),
+                ("dob", types.chronon(p.patient_dob)),
+                ("drug", Value::Str(p.drug.clone())),
+                ("dos", Value::Int(p.dosage)),
+                ("freq", types.span(p.frequency)),
+                ("valid", types.element(p.valid.clone())),
+            ],
+        )?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Loads the same data into a layered stratum (1NF encoding), resolving
+/// `NOW` at load time against `now` — the best a layered system can do.
+pub fn populate_layered(
+    stratum: &mut tip_layered::LayeredStratum,
+    db: &MedicalDb,
+    now: NowContext,
+) -> minidb::DbResult<usize> {
+    use tip_layered::LType;
+    stratum.create_temporal_table(
+        "Prescription",
+        &[
+            ("doctor", LType::Str),
+            ("patient", LType::Str),
+            ("patientDOB", LType::Int),
+            ("drug", LType::Str),
+            ("dosage", LType::Int),
+            ("frequency", LType::Int),
+        ],
+    )?;
+    let mut n = 0;
+    for p in &db.prescriptions {
+        let resolved = p
+            .valid
+            .resolve(now.now())
+            .map_err(|e| minidb::DbError::exec(e.to_string()))?;
+        n += stratum.insert_temporal(
+            "Prescription",
+            &[
+                Value::Str(p.doctor.clone()),
+                Value::Str(p.patient.clone()),
+                Value::Int(p.patient_dob.raw()),
+                Value::Str(p.drug.clone()),
+                Value::Int(p.dosage),
+                Value::Int(p.frequency.seconds()),
+            ],
+            &resolved,
+        )?;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::Database;
+    use tip_blade::TipBlade;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = MedicalConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.prescriptions.len(), b.prescriptions.len());
+        for (x, y) in a.prescriptions.iter().zip(&b.prescriptions) {
+            assert_eq!(x.patient, y.patient);
+            assert_eq!(x.valid, y.valid);
+        }
+        let c = generate(&MedicalConfig { seed: 7, ..cfg });
+        assert!(
+            a.prescriptions
+                .iter()
+                .zip(&c.prescriptions)
+                .any(|(x, y)| x.valid != y.valid),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn config_controls_sizes() {
+        let cfg = MedicalConfig {
+            n_doctors: 3,
+            n_patients: 5,
+            n_prescriptions: 17,
+            ..MedicalConfig::default()
+        };
+        let db = generate(&cfg);
+        assert_eq!(db.doctors.len(), 3);
+        assert_eq!(db.patients.len(), 5);
+        assert_eq!(db.prescriptions.len(), 17);
+    }
+
+    #[test]
+    fn now_fraction_respected_roughly() {
+        let cfg = MedicalConfig {
+            n_prescriptions: 500,
+            now_fraction: 0.5,
+            ..MedicalConfig::default()
+        };
+        let db = generate(&cfg);
+        let open = db
+            .prescriptions
+            .iter()
+            .filter(|p| p.valid.is_now_relative())
+            .count();
+        assert!((150..=350).contains(&open), "open-ended count {open}");
+        let none = generate(&MedicalConfig {
+            now_fraction: 0.0,
+            ..cfg
+        });
+        assert!(none
+            .prescriptions
+            .iter()
+            .all(|p| !p.valid.is_now_relative()));
+    }
+
+    #[test]
+    fn random_resolved_elements_have_exact_period_counts() {
+        for n in [1, 4, 16] {
+            let es = random_resolved_elements(1, 5, n, 3650);
+            assert_eq!(es.len(), 5);
+            for e in es {
+                assert_eq!(e.period_count(), n);
+                e.check_invariant().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn populate_tip_loads_queryable_data() {
+        let db = Database::new();
+        db.install_blade(&TipBlade).unwrap();
+        let session = db.session();
+        let types = db.with_catalog(TipTypes::from_catalog).unwrap();
+        let cfg = MedicalConfig {
+            n_prescriptions: 25,
+            ..MedicalConfig::default()
+        };
+        let med = generate(&cfg);
+        let n = populate_tip(&session, types, &med).unwrap();
+        assert_eq!(n, 25);
+        let r = session.query("SELECT COUNT(*) FROM Prescription").unwrap();
+        assert_eq!(r.rows[0][0].as_int(), Some(25));
+        // The temporal aggregate works over generated data.
+        let r = session
+            .query("SELECT patient, length(group_union(valid)) FROM Prescription GROUP BY patient")
+            .unwrap();
+        assert!(!r.rows.is_empty());
+    }
+
+    #[test]
+    fn populate_layered_matches_logical_content() {
+        let cfg = MedicalConfig {
+            n_prescriptions: 25,
+            ..MedicalConfig::default()
+        };
+        let med = generate(&cfg);
+        let mut stratum = tip_layered::LayeredStratum::new();
+        let now = NowContext::fixed(Chronon::from_ymd(1999, 12, 1).unwrap());
+        populate_layered(&mut stratum, &med, now).unwrap();
+        // Physical row count equals total resolved periods.
+        let expected: usize = med
+            .prescriptions
+            .iter()
+            .map(|p| p.valid.resolve(now.now()).unwrap().periods().len())
+            .sum();
+        let r = stratum
+            .raw_query("SELECT COUNT(*) FROM Prescription")
+            .unwrap();
+        assert_eq!(r.rows[0][0].as_int(), Some(expected as i64));
+    }
+}

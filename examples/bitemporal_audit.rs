@@ -1,0 +1,114 @@
+//! Bitemporal prescriptions: valid time (when the patient took the drug)
+//! *and* transaction time (when the database believed it) — the classic
+//! two-axis model behind the paper's reference [2], provided by
+//! `tip_client::bitemporal`. Logical updates never destroy history, so
+//! any past database state can be reconstructed: an audit log for free.
+//!
+//! ```text
+//! cargo run --example bitemporal_audit
+//! ```
+
+use tip::client::bitemporal::BitemporalTable;
+use tip::client::{Connection, HostValue};
+use tip::core::{Chronon, Element};
+
+fn c(s: &str) -> Chronon {
+    s.parse().unwrap()
+}
+
+fn el(s: &str) -> Element {
+    s.parse().unwrap()
+}
+
+fn show(conn: &Connection, label: &str, rows: tip::client::Rows) {
+    println!("--- {label} ---");
+    print!("{}", conn.format(&rows));
+    println!();
+}
+
+fn main() {
+    let conn = Connection::open_tip_enabled();
+    let rx = BitemporalTable::create(
+        &conn,
+        "rx",
+        &[
+            ("patient", "CHAR(20)"),
+            ("drug", "CHAR(20)"),
+            ("dose", "INT"),
+        ],
+    )
+    .expect("create bitemporal table");
+
+    // January 1999: the clinic records a prescription.
+    conn.set_now(Some(c("1999-01-10")));
+    rx.insert(
+        &[
+            ("patient", HostValue::Str("Mr.Showbiz".into())),
+            ("drug", HostValue::Str("Diabeta".into())),
+            ("dose", HostValue::Int(1)),
+        ],
+        el("{[1999-01-10, NOW]}"),
+    )
+    .expect("insert");
+
+    // March: the dose is corrected — a *logical* update: the old belief
+    // is closed, the new one appended.
+    conn.set_now(Some(c("1999-03-15")));
+    rx.update_where(
+        "patient = 'Mr.Showbiz' AND drug = 'Diabeta'",
+        &[
+            ("patient", HostValue::Str("Mr.Showbiz".into())),
+            ("drug", HostValue::Str("Diabeta".into())),
+            ("dose", HostValue::Int(2)),
+        ],
+        el("{[1999-01-10, NOW]}"),
+    )
+    .expect("update");
+
+    // June: a data-entry error from the past is discovered and recorded:
+    // the patient also took Aspirin back in February (valid time in the
+    // past, transaction time now — the bitemporal distinction).
+    conn.set_now(Some(c("1999-06-20")));
+    rx.insert(
+        &[
+            ("patient", HostValue::Str("Mr.Showbiz".into())),
+            ("drug", HostValue::Str("Aspirin".into())),
+            ("dose", HostValue::Int(3)),
+        ],
+        el("{[1999-02-01, 1999-02-28]}"),
+    )
+    .expect("late entry");
+
+    // September: the Diabeta prescription ends.
+    conn.set_now(Some(c("1999-09-30")));
+    rx.delete_where("drug = 'Diabeta'").expect("retract");
+
+    // ---- audit queries ---------------------------------------------------
+    conn.set_now(Some(c("1999-12-01")));
+    show(
+        &conn,
+        "current beliefs (December 1999)",
+        rx.current().expect("current"),
+    );
+    show(
+        &conn,
+        "what the database believed in February 1999 (before the dose fix, \
+         before the Aspirin entry)",
+        rx.as_of(c("1999-02-01")).expect("as-of"),
+    );
+    show(
+        &conn,
+        "what it believed in July 1999 (dose fixed, Aspirin known)",
+        rx.as_of(c("1999-07-01")).expect("as-of"),
+    );
+    show(
+        &conn,
+        "full version history of the Diabeta prescription",
+        rx.history_where("drug = 'Diabeta'").expect("history"),
+    );
+    println!(
+        "{} physical version(s) stored; nothing was ever overwritten.",
+        rx.version_count().expect("count")
+    );
+    rx.check_invariant().expect("bitemporal invariant");
+}

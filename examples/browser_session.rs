@@ -1,0 +1,69 @@
+//! A scripted TIP Browser session reproducing the Figure-2 interaction:
+//! run a query, browse by a temporal attribute, move the window with the
+//! slider, and override NOW for what-if analysis.
+//!
+//! ```text
+//! cargo run --example browser_session
+//! ```
+//! (For the interactive version: `cargo run -p tip-browser --bin tip-browser-cli`.)
+
+use tip::browser::Browser;
+use tip::client::Connection;
+use tip::core::{Chronon, ResolvedPeriod, Span};
+use tip::workload::{generate, populate_tip, MedicalConfig};
+
+fn main() {
+    let conn = Connection::open_tip_enabled();
+    let now = Chronon::from_ymd(1999, 12, 1).expect("valid date");
+    conn.set_now(Some(now));
+    {
+        let session = conn.database().session();
+        populate_tip(
+            &session,
+            conn.tip_types(),
+            &generate(&MedicalConfig::default()),
+        )
+        .expect("populate");
+    }
+
+    // Run a query and hand the result to the browser, browsing by the
+    // Element-valued attribute `valid`.
+    let rows = conn
+        .query(
+            "SELECT patient, drug, valid FROM Prescription \
+             WHERE drug IN ('Diabeta', 'Aspirin') ORDER BY patient LIMIT 8",
+            &[],
+        )
+        .expect("query");
+    let result = rows.into_result();
+    let db = conn.database().clone();
+    let mut browser = Browser::new(
+        &result,
+        |v| db.with_catalog(|c| c.display_value(v)),
+        "valid",
+        now,
+    )
+    .expect("browsable attribute");
+    browser.set_timeline_width(40);
+
+    println!(">>> initial view (window spans all validity):\n");
+    println!("{}", browser.render());
+
+    println!(">>> zoom into 1998 and slide the window forward a quarter at a time:\n");
+    browser.set_window(
+        ResolvedPeriod::new(
+            Chronon::from_ymd(1998, 1, 1).expect("valid"),
+            Chronon::from_ymd(1998, 3, 31).expect("valid"),
+        )
+        .expect("window"),
+    );
+    for step in 0..3 {
+        println!("--- window position {step} ---");
+        println!("{}", browser.render());
+        browser.slide(Span::from_days(91));
+    }
+
+    println!(">>> what-if: re-evaluate under NOW = 1997-01-01:\n");
+    browser.set_now(Chronon::from_ymd(1997, 1, 1).expect("valid"));
+    println!("{}", browser.render());
+}

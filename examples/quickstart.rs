@@ -1,0 +1,79 @@
+//! Quickstart: a TIP-enabled database in five minutes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tip::client::{Connection, HostValue};
+use tip::core::{Chronon, Span};
+
+fn main() {
+    // One call: fresh in-process DBMS + the TIP DataBlade installed.
+    let conn = Connection::open_tip_enabled();
+
+    // Pin NOW so the output is reproducible (normally it's the clock).
+    let now = Chronon::from_ymd(1999, 12, 1).expect("valid date");
+    conn.set_now(Some(now));
+
+    // The paper's schema: TIP types are first-class column types.
+    conn.execute(
+        "CREATE TABLE Prescription (doctor CHAR(20), patient CHAR(20), \
+         patientDOB Chronon, drug CHAR(20), dosage INT, frequency Span, valid Element)",
+        &[],
+    )
+    .expect("create table");
+
+    // The paper's INSERT — string literals are implicitly cast to the
+    // TIP types, including the open-ended element {[1999-10-01, NOW]}.
+    conn.execute(
+        "INSERT INTO Prescription VALUES ('Dr.Pepper', 'Mr.Showbiz', '1965-04-02', \
+         'Diabeta', 1, '0 08:00:00', '{[1999-10-01, NOW]}')",
+        &[],
+    )
+    .expect("insert");
+    conn.execute(
+        "INSERT INTO Prescription VALUES ('Dr.No', 'Mr.Showbiz', '1965-04-02', \
+         'Aspirin', 2, '1', '{[1999-09-15, 1999-10-20]}')",
+        &[],
+    )
+    .expect("insert");
+
+    // Temporal queries are plain SQL over TIP routines.
+    println!("Who took Diabeta and Aspirin simultaneously, and when?");
+    let rows = conn
+        .query(
+            "SELECT p1.patient, intersect(p1.valid, p2.valid) AS together \
+             FROM Prescription p1, Prescription p2 \
+             WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' \
+               AND p1.patient = p2.patient AND overlaps(p1.valid, p2.valid)",
+            &[],
+        )
+        .expect("self join");
+    println!("{}", conn.format(&rows));
+
+    // Typed access through the client library (customized type mapping).
+    let mut rows = conn
+        .query(
+            "SELECT length(group_union(valid)) FROM Prescription GROUP BY patient",
+            &[],
+        )
+        .expect("coalesce");
+    while rows.next() {
+        let total: Span = rows.get_span(0).expect("a Span");
+        println!("total (coalesced) medication time: {total} (days hh:mm:ss)");
+    }
+
+    // Named parameters, bound from host objects — the paper's ':w'.
+    let rows = conn
+        .prepare("SELECT patient FROM Prescription WHERE contains(valid, :day)")
+        .bind(
+            "day",
+            HostValue::Chronon(Chronon::from_ymd(1999, 11, 11).expect("valid")),
+        )
+        .query()
+        .expect("parameterized query");
+    println!(
+        "on medication on 1999-11-11: {} patient-prescription(s)",
+        rows.len()
+    );
+}

@@ -1,0 +1,105 @@
+//! Temporal analytics over the medical database, combining the extended
+//! machinery: temporal aggregation (how many prescriptions are active
+//! *per point in time*), granularities (monthly reports), gaps (treatment
+//! interruptions), and subqueries.
+//!
+//! ```text
+//! cargo run --example temporal_analytics
+//! ```
+
+use tip::client::Connection;
+use tip::core::{tagg, Chronon, Granularity};
+use tip::workload::{generate, populate_tip, MedicalConfig};
+
+fn main() {
+    let conn = Connection::open_tip_enabled();
+    let now = Chronon::from_ymd(1999, 12, 1).expect("valid date");
+    conn.set_now(Some(now));
+    {
+        let session = conn.database().session();
+        populate_tip(
+            &session,
+            conn.tip_types(),
+            &generate(&MedicalConfig::default()),
+        )
+        .expect("populate");
+    }
+
+    // ---- polypharmacy: max simultaneous prescriptions per patient ------
+    println!("Patients with the heaviest simultaneous medication load:");
+    let rows = conn
+        .query(
+            "SELECT patient, group_max_overlap(valid) AS max_simultaneous, COUNT(*) AS rx \
+             FROM Prescription GROUP BY patient \
+             ORDER BY max_simultaneous DESC, patient LIMIT 5",
+            &[],
+        )
+        .expect("max overlap");
+    print!("{}", conn.format(&rows));
+
+    // ---- the same computation through the tip-core sweep ---------------
+    // Pull all validity periods and build the hospital-wide load curve.
+    let mut rows = conn
+        .query("SELECT valid FROM Prescription", &[])
+        .expect("periods");
+    let mut periods = Vec::new();
+    while rows.next() {
+        let e = rows
+            .get_element(0)
+            .expect("element")
+            .resolve(now)
+            .expect("resolve");
+        periods.extend_from_slice(e.periods());
+    }
+    let (peak, when) = tagg::max_overlap(&periods).expect("nonempty");
+    println!("\nHospital-wide peak load: {peak} concurrent prescriptions during {when}");
+    let busy = tagg::at_least(&periods, peak / 2);
+    println!(
+        "At least {} concurrent prescriptions for a total of {} days.",
+        peak / 2,
+        busy.length().whole_days()
+    );
+
+    // ---- monthly active-prescription report via granularities ----------
+    println!("\nActive prescriptions by month (1999, via granule()/overlaps()):");
+    for month in 1..=11u32 {
+        let probe = Chronon::from_ymd(1999, month, 15).expect("valid date");
+        let mut r = conn
+            .query(
+                "SELECT COUNT(*) FROM Prescription \
+                 WHERE overlaps(valid, granule(:probe, 'month')::Element)",
+                &[("probe", tip::client::HostValue::Chronon(probe))],
+            )
+            .expect("monthly");
+        r.next();
+        let n = r.get_int(0).expect("int");
+        let month_start = tip::core::granularity::truncate(probe, Granularity::Month);
+        println!("  {}  {}", month_start, "#".repeat((n as usize).min(70)));
+    }
+
+    // ---- treatment interruptions via gaps() -----------------------------
+    println!("\nLongest treatment interruptions (gaps inside a prescription element):");
+    let rows = conn
+        .query(
+            "SELECT patient, drug, length(gaps(valid)) AS interrupted \
+             FROM Prescription WHERE period_count(valid) >= 2 \
+             ORDER BY interrupted DESC, patient LIMIT 5",
+            &[],
+        )
+        .expect("gaps");
+    print!("{}", conn.format(&rows));
+
+    // ---- subquery: who exceeds the average coalesced medication time ----
+    println!("\nPatients on medication longer than the average patient (subquery):");
+    let rows = conn
+        .query(
+            "SELECT patient, total_seconds(length(group_union(valid))) / 86400 AS days \
+             FROM Prescription GROUP BY patient \
+             HAVING total_seconds(length(group_union(valid))) > \
+                    (SELECT AVG(total_seconds(length(valid))) FROM Prescription) \
+             ORDER BY days DESC LIMIT 5",
+            &[],
+        )
+        .expect("subquery");
+    print!("{}", conn.format(&rows));
+}

@@ -1,0 +1,114 @@
+//! E7 (Figure 2) integration: the TIP Browser over live query results —
+//! window, slider, highlighting, timeline, and the NOW override.
+
+use tip::browser::Browser;
+use tip::client::Connection;
+use tip::core::{Chronon, ResolvedPeriod, Span};
+use tip::workload::{generate, populate_tip, MedicalConfig};
+
+fn c(s: &str) -> Chronon {
+    s.parse().unwrap()
+}
+
+fn demo_browser() -> (Connection, Browser) {
+    let conn = Connection::open_tip_enabled();
+    let now = c("1999-12-01");
+    conn.set_now(Some(now));
+    {
+        let session = conn.database().session();
+        populate_tip(
+            &session,
+            conn.tip_types(),
+            &generate(&MedicalConfig::default()),
+        )
+        .unwrap();
+    }
+    let rows = conn
+        .query(
+            "SELECT patient, drug, valid FROM Prescription ORDER BY patient LIMIT 20",
+            &[],
+        )
+        .unwrap();
+    let result = rows.into_result();
+    let db = conn.database().clone();
+    let browser = Browser::new(
+        &result,
+        |v| db.with_catalog(|cat| cat.display_value(v)),
+        "valid",
+        now,
+    )
+    .unwrap();
+    (conn, browser)
+}
+
+#[test]
+fn browsing_over_live_results() {
+    let (_conn, mut b) = demo_browser();
+    assert_eq!(b.len(), 20);
+    // The initial window covers everything, so everything is highlighted.
+    assert_eq!(b.highlighted().len(), 20);
+    // Narrowing the window reduces (or keeps) the highlight set.
+    b.set_window(ResolvedPeriod::new(c("1998-01-01"), c("1998-06-30")).unwrap());
+    assert!(b.highlighted().len() < 20);
+}
+
+#[test]
+fn slider_walk_covers_everything_exactly_once_highlighted_somewhere() {
+    let (_conn, mut b) = demo_browser();
+    let extent = b.extent().unwrap();
+    // Walk a quarter-year window across the extent; every tuple must be
+    // highlighted in at least one position.
+    let mut seen = std::collections::HashSet::new();
+    b.set_window(
+        ResolvedPeriod::new(extent.start(), extent.start() + Span::from_days(90)).unwrap(),
+    );
+    loop {
+        for i in b.highlighted() {
+            seen.insert(i);
+        }
+        if b.window().end() >= extent.end() {
+            break;
+        }
+        b.slide(Span::from_days(90));
+    }
+    assert_eq!(
+        seen.len(),
+        b.len(),
+        "every tuple is valid somewhere in the extent"
+    );
+}
+
+#[test]
+fn timeline_width_matches_and_marks_validity() {
+    let (_conn, mut b) = demo_browser();
+    b.set_timeline_width(64);
+    for i in 0..b.len() {
+        let t = b.timeline(i);
+        assert_eq!(t.chars().count(), 64);
+        assert!(t.chars().all(|ch| ch == '#' || ch == '.'));
+    }
+    // Highlighted rows must show at least one '#'.
+    for i in b.highlighted() {
+        assert!(b.timeline(i).contains('#'), "row {i}");
+    }
+}
+
+#[test]
+fn what_if_now_rewrites_the_view() {
+    let (_conn, mut b) = demo_browser();
+    b.set_window(ResolvedPeriod::new(c("1999-10-01"), c("1999-12-01")).unwrap());
+    let with_now = b.highlighted().len();
+    // Rewind NOW to before most open-ended prescriptions started; the
+    // highlight count can only drop.
+    b.set_now(c("1996-01-01"));
+    let rewound = b.highlighted().len();
+    assert!(rewound <= with_now, "{rewound} > {with_now}");
+    let view = b.render();
+    assert!(view.contains("NOW = 1996-01-01"));
+}
+
+#[test]
+fn render_is_deterministic() {
+    let (_conn, b) = demo_browser();
+    assert_eq!(b.render(), b.render());
+}

@@ -1,0 +1,141 @@
+//! E2 integration: the paper's demonstration queries driven through the
+//! full stack (client → blade → DBMS) on the seeded synthetic medical
+//! database.
+
+use tip::client::{Connection, HostValue};
+use tip::core::Chronon;
+use tip::workload::{generate, populate_tip, MedicalConfig};
+
+fn demo_connection() -> Connection {
+    let conn = Connection::open_tip_enabled();
+    conn.set_now(Some(Chronon::from_ymd(1999, 12, 1).unwrap()));
+    let session = conn.database().session();
+    populate_tip(
+        &session,
+        conn.tip_types(),
+        &generate(&MedicalConfig::default()),
+    )
+    .unwrap();
+    conn
+}
+
+#[test]
+fn the_demo_database_loads_and_counts() {
+    let conn = demo_connection();
+    let mut rows = conn
+        .query("SELECT COUNT(*) FROM Prescription", &[])
+        .unwrap();
+    assert!(rows.next());
+    assert_eq!(rows.get_int(0).unwrap(), 200);
+}
+
+#[test]
+fn q2_parameterized_tylenol_query_monotone_in_w() {
+    let conn = demo_connection();
+    let stmt = "SELECT COUNT(*) FROM Prescription \
+                WHERE drug = 'Tylenol' \
+                  AND start(valid) - patientDOB < '7 00:00:00'::Span * :w \
+                  AND start(valid) - patientDOB >= '0'::Span";
+    let mut counts = Vec::new();
+    for w in [52i64, 260, 520, 2000] {
+        let mut rows = conn
+            .prepare(stmt)
+            .bind("w", HostValue::Int(w))
+            .query()
+            .unwrap();
+        rows.next();
+        counts.push(rows.get_int(0).unwrap());
+    }
+    // Wider age windows can only match more prescriptions.
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    assert!(
+        *counts.last().unwrap() > 0,
+        "some Tylenol prescriptions exist"
+    );
+}
+
+#[test]
+fn q3_self_join_intersections_are_subsets_of_both_sides() {
+    let conn = demo_connection();
+    let now = Chronon::from_ymd(1999, 12, 1).unwrap();
+    let mut rows = conn
+        .query(
+            "SELECT p1.valid, p2.valid, intersect(p1.valid, p2.valid) \
+             FROM Prescription p1, Prescription p2 \
+             WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' \
+               AND p1.patient = p2.patient AND overlaps(p1.valid, p2.valid)",
+            &[],
+        )
+        .unwrap();
+    assert!(!rows.is_empty(), "the workload contains overlapping pairs");
+    while rows.next() {
+        let a = rows.get_element(0).unwrap().resolve(now).unwrap();
+        let b = rows.get_element(1).unwrap().resolve(now).unwrap();
+        let i = rows.get_element(2).unwrap().resolve(now).unwrap();
+        assert!(!i.is_empty());
+        assert!(a.contains_element(&i));
+        assert!(b.contains_element(&i));
+        assert_eq!(a.intersect(&b), i);
+    }
+}
+
+#[test]
+fn q4_group_union_never_exceeds_sum_and_differs_under_overlap() {
+    let conn = demo_connection();
+    let mut rows = conn
+        .query(
+            "SELECT patient, total_seconds(length(group_union(valid))) AS coalesced, \
+                    SUM(total_seconds(length(valid))) AS naive \
+             FROM Prescription GROUP BY patient",
+            &[],
+        )
+        .unwrap();
+    let mut some_differ = false;
+    while rows.next() {
+        let coalesced = rows.get_int(1).unwrap();
+        let naive = rows.get_int(2).unwrap();
+        assert!(coalesced <= naive, "coalescing can only shrink total time");
+        some_differ |= coalesced < naive;
+    }
+    assert!(
+        some_differ,
+        "the workload contains overlapping prescriptions"
+    );
+}
+
+#[test]
+fn q4_matches_client_side_recomputation() {
+    let conn = demo_connection();
+    let now = Chronon::from_ymd(1999, 12, 1).unwrap();
+    // Server-side aggregate.
+    let mut server = conn
+        .query(
+            "SELECT patient, group_union(valid) FROM Prescription \
+             GROUP BY patient ORDER BY patient",
+            &[],
+        )
+        .unwrap();
+    // Client-side recomputation from raw rows via tip-core.
+    let mut raw = conn
+        .query(
+            "SELECT patient, valid FROM Prescription ORDER BY patient",
+            &[],
+        )
+        .unwrap();
+    let mut by_patient: std::collections::BTreeMap<String, tip::core::ResolvedElement> =
+        Default::default();
+    while raw.next() {
+        let p = raw.get_string(0).unwrap();
+        let e = raw.get_element(1).unwrap().resolve(now).unwrap();
+        let entry = by_patient.entry(p).or_default();
+        *entry = entry.union(&e);
+    }
+    let mut n = 0;
+    while server.next() {
+        let p = server.get_string(0).unwrap();
+        let e = server.get_element(1).unwrap().resolve(now).unwrap();
+        assert_eq!(by_patient.get(&p), Some(&e), "patient {p}");
+        n += 1;
+    }
+    assert_eq!(n, by_patient.len());
+}

@@ -1,0 +1,128 @@
+//! E6 integration: NOW semantics across the whole stack — per-statement
+//! freezing, monotone growth of open-ended elements, what-if overrides,
+//! and the optimizer's refusal to fold now-dependent expressions.
+
+use tip::client::Connection;
+use tip::core::{Chronon, Span};
+
+fn conn_with_open_rx() -> Connection {
+    let conn = Connection::open_tip_enabled();
+    conn.execute("CREATE TABLE rx (patient CHAR(20), valid Element)", &[])
+        .unwrap();
+    conn.execute("INSERT INTO rx VALUES ('a', '{[1999-10-01, NOW]}')", &[])
+        .unwrap();
+    conn
+}
+
+fn c(s: &str) -> Chronon {
+    s.parse().unwrap()
+}
+
+#[test]
+fn open_elements_grow_monotonically_with_now() {
+    let conn = conn_with_open_rx();
+    let mut prev = -1i64;
+    for when in ["1999-10-01", "1999-11-01", "2000-06-01", "2010-01-01"] {
+        conn.set_now(Some(c(when)));
+        let mut rows = conn
+            .query("SELECT total_seconds(length(valid)) FROM rx", &[])
+            .unwrap();
+        rows.next();
+        let len = rows.get_int(0).unwrap();
+        assert!(
+            len > prev,
+            "length at NOW={when} should grow: {len} <= {prev}"
+        );
+        prev = len;
+    }
+}
+
+#[test]
+fn element_is_empty_before_its_start_under_what_if() {
+    let conn = conn_with_open_rx();
+    conn.set_now(Some(c("1999-01-01")));
+    let mut rows = conn.query("SELECT is_empty(valid) FROM rx", &[]).unwrap();
+    rows.next();
+    assert!(
+        rows.get_bool(0).unwrap(),
+        "[1999-10-01, NOW] is empty in Jan 1999"
+    );
+}
+
+#[test]
+fn stored_value_remains_symbolic() {
+    let conn = conn_with_open_rx();
+    // However NOW moves, the *stored* element still reads "NOW".
+    for when in ["1999-01-01", "2005-01-01"] {
+        conn.set_now(Some(c(when)));
+        let mut rows = conn.query("SELECT valid FROM rx", &[]).unwrap();
+        rows.next();
+        assert_eq!(
+            rows.get_element(0).unwrap().to_string(),
+            "{[1999-10-01, NOW]}"
+        );
+    }
+}
+
+#[test]
+fn now_is_frozen_within_a_statement() {
+    // now() must be the same chronon everywhere in one statement.
+    let conn = Connection::open_tip_enabled();
+    let mut rows = conn.query("SELECT now() - now()", &[]).unwrap();
+    rows.next();
+    assert_eq!(rows.get_span(0).unwrap(), Span::ZERO);
+}
+
+#[test]
+fn now_dependent_predicates_are_not_folded_into_plans() {
+    // A constant-looking WHERE clause containing NOW must be evaluated
+    // per statement, not folded at plan time. We detect this by running
+    // the same SQL under two different NOW overrides.
+    let conn = conn_with_open_rx();
+    let sql = "SELECT patient FROM rx WHERE contains(valid, to_chronon('NOW-1'::Instant))";
+    conn.set_now(Some(c("1999-12-01")));
+    assert_eq!(
+        conn.query(sql, &[]).unwrap().len(),
+        1,
+        "valid yesterday in Dec 1999"
+    );
+    conn.set_now(Some(c("1999-09-01")));
+    assert_eq!(
+        conn.query(sql, &[]).unwrap().len(),
+        0,
+        "not valid yesterday in Sep 1999"
+    );
+}
+
+#[test]
+fn comparisons_against_now_relative_instants_flip_over_time() {
+    let conn = Connection::open_tip_enabled();
+    conn.execute("CREATE TABLE events (name CHAR(10), at Chronon)", &[])
+        .unwrap();
+    conn.execute("INSERT INTO events VALUES ('launch', '1999-09-23')", &[])
+        .unwrap();
+    let sql = "SELECT COUNT(*) FROM events WHERE at >= 'NOW-7'::Instant";
+    // Within the last week…
+    conn.set_now(Some(c("1999-09-25")));
+    let mut rows = conn.query(sql, &[]).unwrap();
+    rows.next();
+    assert_eq!(rows.get_int(0).unwrap(), 1);
+    // …but not three months later.
+    conn.set_now(Some(c("1999-12-25")));
+    let mut rows = conn.query(sql, &[]).unwrap();
+    rows.next();
+    assert_eq!(rows.get_int(0).unwrap(), 0);
+}
+
+#[test]
+fn clearing_the_override_returns_to_wall_clock() {
+    let conn = conn_with_open_rx();
+    conn.set_now(Some(c("1999-12-01")));
+    assert_eq!(conn.now_override(), Some(c("1999-12-01")));
+    conn.set_now(None);
+    assert_eq!(conn.now_override(), None);
+    // Under the real clock (well after 1999) the element is non-empty.
+    let mut rows = conn.query("SELECT is_empty(valid) FROM rx", &[]).unwrap();
+    rows.next();
+    assert!(!rows.get_bool(0).unwrap());
+}

@@ -1,0 +1,106 @@
+//! Snapshot persistence across the full stack: a TIP-enabled database
+//! with UDT columns survives a save/load cycle (including symbolic NOW
+//! endpoints and indexes), mirroring reconnecting to a blade-enabled
+//! Informix instance.
+
+use minidb::Database;
+use tip::blade::TipBlade;
+use tip::client::Connection;
+use tip::core::Chronon;
+use tip::workload::{generate, populate_tip, MedicalConfig};
+
+fn c(s: &str) -> Chronon {
+    s.parse().unwrap()
+}
+
+fn loaded_connection() -> Connection {
+    let conn = Connection::open_tip_enabled();
+    conn.set_now(Some(c("1999-12-01")));
+    let session = conn.database().session();
+    populate_tip(
+        &session,
+        conn.tip_types(),
+        &generate(&MedicalConfig {
+            n_prescriptions: 60,
+            ..MedicalConfig::default()
+        }),
+    )
+    .unwrap();
+    session
+        .execute("CREATE INDEX ix_drug ON Prescription(drug)")
+        .unwrap();
+    conn
+}
+
+#[test]
+fn snapshot_round_trip_preserves_answers() {
+    let conn = loaded_connection();
+    let q = "SELECT patient, total_seconds(length(group_union(valid))) \
+             FROM Prescription GROUP BY patient ORDER BY patient";
+    let before = conn.database().session();
+    let mut before_s = before;
+    before_s.set_now_unix(Some(tip::blade::chronon_to_unix(c("1999-12-01"))));
+    let expected = before_s.query(q).unwrap();
+
+    let snapshot = conn.database().save_snapshot().unwrap();
+
+    // A brand-new process: new database, blade installed, snapshot loaded.
+    let db2 = Database::new();
+    db2.install_blade(&TipBlade).unwrap();
+    db2.load_snapshot(&snapshot).unwrap();
+    let mut s2 = db2.session();
+    s2.set_now_unix(Some(tip::blade::chronon_to_unix(c("1999-12-01"))));
+    let actual = s2.query(q).unwrap();
+
+    assert_eq!(expected.rows.len(), actual.rows.len());
+    for (a, b) in expected.rows.iter().zip(&actual.rows) {
+        assert_eq!(a[0].as_str(), b[0].as_str());
+        assert_eq!(a[1].as_int(), b[1].as_int());
+    }
+}
+
+#[test]
+fn snapshot_preserves_symbolic_now() {
+    let conn = loaded_connection();
+    let snapshot = conn.database().save_snapshot().unwrap();
+    let db2 = Database::new();
+    db2.install_blade(&TipBlade).unwrap();
+    db2.load_snapshot(&snapshot).unwrap();
+    let s2 = db2.session();
+    // Open-ended elements were stored symbolically, so they still grow
+    // with NOW in the restored database.
+    let r = s2
+        .query("SELECT COUNT(*) FROM Prescription WHERE is_now_relative(valid)")
+        .unwrap();
+    assert!(r.rows[0][0].as_int().unwrap() > 0);
+}
+
+#[test]
+fn snapshot_preserves_indexes() {
+    let conn = loaded_connection();
+    let snapshot = conn.database().save_snapshot().unwrap();
+    let db2 = Database::new();
+    db2.install_blade(&TipBlade).unwrap();
+    db2.load_snapshot(&snapshot).unwrap();
+    db2.with_storage(|st| {
+        let t = st.table("Prescription").unwrap();
+        assert_eq!(t.indexes().len(), 1);
+        assert_eq!(t.indexes()[0].name, "ix_drug");
+    });
+}
+
+#[test]
+fn loading_without_the_blade_fails_cleanly() {
+    let conn = loaded_connection();
+    let snapshot = conn.database().save_snapshot().unwrap();
+    let bare = Database::new(); // no blade!
+    let err = bare.load_snapshot(&snapshot).unwrap_err();
+    assert!(err.to_string().contains("blade"), "{err}");
+}
+
+#[test]
+fn snapshot_is_deterministic_for_identical_databases() {
+    let a = loaded_connection().database().save_snapshot().unwrap();
+    let b = loaded_connection().database().save_snapshot().unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,225 @@
+//! Broad SQL-surface integration over TIP types: ordering, grouping,
+//! DISTINCT, indexes, DML, casts, and error behaviour — everything a
+//! client application would lean on beyond the four demo queries.
+
+use tip::client::{Connection, HostValue};
+use tip::core::{Chronon, Span};
+
+fn c(s: &str) -> Chronon {
+    s.parse().unwrap()
+}
+
+fn conn() -> Connection {
+    let conn = Connection::open_tip_enabled();
+    conn.set_now(Some(c("1999-12-01")));
+    conn
+}
+
+#[test]
+fn order_by_chronon_and_span_columns() {
+    let conn = conn();
+    conn.execute("CREATE TABLE t (name CHAR(5), at Chronon, dur Span)", &[])
+        .unwrap();
+    conn.execute(
+        "INSERT INTO t VALUES ('b', '1999-06-01', '3'), ('a', '1999-01-01', '10'), \
+         ('c', '1999-12-31', '1')",
+        &[],
+    )
+    .unwrap();
+    let mut rows = conn.query("SELECT name FROM t ORDER BY at", &[]).unwrap();
+    let mut names = Vec::new();
+    while rows.next() {
+        names.push(rows.get_string(0).unwrap());
+    }
+    assert_eq!(names, ["a", "b", "c"]);
+    let mut rows = conn
+        .query("SELECT name FROM t ORDER BY dur DESC", &[])
+        .unwrap();
+    rows.next();
+    assert_eq!(rows.get_string(0).unwrap(), "a");
+}
+
+#[test]
+fn group_by_chronon_column() {
+    let conn = conn();
+    conn.execute("CREATE TABLE t (d Chronon, v INT)", &[])
+        .unwrap();
+    conn.execute(
+        "INSERT INTO t VALUES ('1999-01-01', 1), ('1999-01-01', 2), ('1999-02-01', 3)",
+        &[],
+    )
+    .unwrap();
+    let mut rows = conn
+        .query("SELECT d, SUM(v) FROM t GROUP BY d ORDER BY d", &[])
+        .unwrap();
+    rows.next();
+    assert_eq!(rows.get_chronon(0).unwrap(), c("1999-01-01"));
+    assert_eq!(rows.get_int(1).unwrap(), 3);
+    rows.next();
+    assert_eq!(rows.get_int(1).unwrap(), 3);
+}
+
+#[test]
+fn distinct_on_udt_columns() {
+    let conn = conn();
+    conn.execute("CREATE TABLE t (e Element)", &[]).unwrap();
+    conn.execute(
+        "INSERT INTO t VALUES ('{[1999-01-01, 1999-02-01]}'), \
+         ('{[1999-01-01, 1999-02-01]}'), ('{[1999-03-01, 1999-04-01]}')",
+        &[],
+    )
+    .unwrap();
+    let rows = conn.query("SELECT DISTINCT e FROM t", &[]).unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn update_with_tip_routines_and_delete() {
+    let conn = conn();
+    conn.execute("CREATE TABLE t (k INT, e Element)", &[])
+        .unwrap();
+    conn.execute(
+        "INSERT INTO t VALUES (1, '{[1999-01-01, 1999-01-31 23:59:59]}')",
+        &[],
+    )
+    .unwrap();
+    // Extend the element through a routine in SET; the new period abuts
+    // the stored one exactly (Jan 31 23:59:59 + 1s = Feb 1 00:00:00).
+    let n = conn
+        .execute(
+            "UPDATE t SET e = union(e, '{[1999-02-01, 1999-02-28 23:59:59]}'::Element)",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(n, 1);
+    let mut rows = conn
+        .query("SELECT period_count(e), length(e) FROM t", &[])
+        .unwrap();
+    rows.next();
+    assert_eq!(rows.get_int(0).unwrap(), 1, "adjacent periods merged");
+    assert_eq!(rows.get_span(1).unwrap(), Span::from_days(59));
+    // Delete guarded by a temporal predicate.
+    let n = conn
+        .execute(
+            "DELETE FROM t WHERE overlaps(e, '{[1999-02-10, 1999-02-11]}'::Element)",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn min_max_over_chronon_with_index() {
+    let conn = conn();
+    conn.execute("CREATE TABLE t (at Chronon)", &[]).unwrap();
+    for day in 1..=28 {
+        conn.execute(
+            "INSERT INTO t VALUES (:d)",
+            &[(
+                "d",
+                HostValue::Chronon(Chronon::from_ymd(1999, 2, day).unwrap()),
+            )],
+        )
+        .unwrap();
+    }
+    conn.execute("CREATE INDEX ix_at ON t(at)", &[]).unwrap();
+    let mut rows = conn
+        .query("SELECT MIN(at), MAX(at), COUNT(at) FROM t", &[])
+        .unwrap();
+    rows.next();
+    assert_eq!(rows.get_chronon(0).unwrap(), c("1999-02-01"));
+    assert_eq!(rows.get_chronon(1).unwrap(), c("1999-02-28"));
+    assert_eq!(rows.get_int(2).unwrap(), 28);
+    // Index-backed point lookup on a UDT column.
+    let rows = conn
+        .query("SELECT at FROM t WHERE at = '1999-02-14'::Chronon", &[])
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+}
+
+#[test]
+fn promotion_chain_in_anger() {
+    let conn = conn();
+    // A Chronon used where an Element is expected (implicit promotion).
+    let mut rows = conn
+        .query(
+            "SELECT contains('{[1999-01-01, 1999-12-31]}'::Element, '1999-06-15'::Chronon), \
+                    length('1999-06-15'::Chronon::Period), \
+                    period_count('1999-06-15'::Chronon::Element)",
+            &[],
+        )
+        .unwrap();
+    rows.next();
+    assert!(rows.get_bool(0).unwrap());
+    assert_eq!(rows.get_span(1).unwrap(), Span::SECOND);
+    assert_eq!(rows.get_int(2).unwrap(), 1);
+}
+
+#[test]
+fn between_and_in_with_temporal_values() {
+    let conn = conn();
+    conn.execute("CREATE TABLE t (name CHAR(5), at Chronon)", &[])
+        .unwrap();
+    conn.execute(
+        "INSERT INTO t VALUES ('a', '1999-03-01'), ('b', '1999-06-01'), ('c', '1999-09-01')",
+        &[],
+    )
+    .unwrap();
+    let rows = conn
+        .query(
+            "SELECT name FROM t WHERE at BETWEEN '1999-04-01'::Chronon AND '1999-10-01'::Chronon",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    let rows = conn
+        .query("SELECT name FROM t WHERE name IN ('a', 'c')", &[])
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn nulls_flow_through_temporal_routines() {
+    let conn = conn();
+    conn.execute("CREATE TABLE t (e Element)", &[]).unwrap();
+    conn.execute("INSERT INTO t VALUES (NULL)", &[]).unwrap();
+    let mut rows = conn
+        .query("SELECT length(e), e IS NULL, union(e, e) FROM t", &[])
+        .unwrap();
+    rows.next();
+    assert!(
+        rows.is_null(0).unwrap(),
+        "strict routine: NULL in, NULL out"
+    );
+    assert!(rows.get_bool(1).unwrap());
+    assert!(rows.is_null(2).unwrap());
+    // Aggregates skip NULLs entirely.
+    conn.execute("INSERT INTO t VALUES ('{[1999-01-01, 1999-01-02]}')", &[])
+        .unwrap();
+    let mut rows = conn
+        .query("SELECT period_count(group_union(e)) FROM t", &[])
+        .unwrap();
+    rows.next();
+    assert_eq!(rows.get_int(0).unwrap(), 1);
+}
+
+#[test]
+fn type_errors_match_paper_semantics() {
+    let conn = conn();
+    conn.execute("CREATE TABLE t (a Chronon, b Chronon)", &[])
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES ('1999-01-01', '1999-02-01')", &[])
+        .unwrap();
+    // Chronon + Chronon: type error (paper §2).
+    assert!(conn.query("SELECT a + b FROM t", &[]).is_err());
+    // Chronon - Chronon: Span.
+    let mut rows = conn.query("SELECT b - a FROM t", &[]).unwrap();
+    rows.next();
+    assert_eq!(rows.get_span(0).unwrap(), Span::from_days(31));
+    // Span * Span: type error.
+    assert!(conn.query("SELECT (b - a) * (b - a) FROM t", &[]).is_err());
+    // Element < Element: no ordering registered.
+    conn.execute("CREATE TABLE u (e Element)", &[]).unwrap();
+    conn.execute("INSERT INTO u VALUES ('{}')", &[]).unwrap();
+    assert!(conn.query("SELECT e < e FROM u", &[]).is_err());
+}
