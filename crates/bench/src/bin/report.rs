@@ -356,6 +356,17 @@ fn e9_ablations() {
         us(t_ix),
         t_scan.as_secs_f64() / t_ix.as_secs_f64()
     );
+    // The sessions' query metrics confirm which access path actually ran.
+    let (mp, mi) = (s_plain.metrics().snapshot(), s_ix.metrics().snapshot());
+    println!(
+        "  access paths:           plain: {} full scans ({} rows scanned) | \
+         indexed: {} index-eq scans ({} rows), hit rate {:.0}%",
+        mp.full_scans,
+        mp.rows_scanned,
+        mi.index_eq_scans,
+        mi.rows_scanned,
+        mi.index_hit_rate().unwrap_or(0.0) * 100.0
+    );
     // Hash join vs nested loop (equality written two ways).
     let db = build(false);
     let s = db.session();
@@ -461,6 +472,19 @@ fn e10_period_index() {
             rows
         );
     }
+    let (mp, mi) = (
+        plain.session.metrics().snapshot(),
+        indexed.session.metrics().snapshot(),
+    );
+    println!(
+        "(access paths: plain session ran {} full scans scanning {} rows; indexed session \
+         ran {} interval-index scans scanning {} rows, index hit rate {:.0}%)",
+        mp.full_scans,
+        mp.rows_scanned,
+        mi.index_overlap_scans,
+        mi.rows_scanned,
+        mi.index_hit_rate().unwrap_or(0.0) * 100.0
+    );
     println!(
         "(20k ten-day prescriptions over a decade; bucketed interval index, \
          30-day stride, conservative candidates + exact recheck)\n"

@@ -115,7 +115,7 @@ pub(crate) fn register(cat: &mut Catalog, t: TipTypes) -> DbResult<()> {
     })?;
     op(cat, BinaryOp::Sub, spn, spn, spn, false, move |_, a| {
         want_span(&a[0])?
-            .checked_add(-want_span(&a[1])?)
+            .checked_sub(want_span(&a[1])?)
             .map(|s| t.span(s))
             .map_err(|e| DbError::exec(e.to_string()))
     })?;
@@ -188,8 +188,11 @@ pub(crate) fn register(cat: &mut Catalog, t: TipTypes) -> DbResult<()> {
             .map_err(|e| DbError::exec(e.to_string()))
     })?;
     op(cat, BinaryOp::Sub, ins, spn, ins, false, move |_, a| {
+        let by = want_span(&a[1])?
+            .checked_neg()
+            .map_err(|e| DbError::exec(e.to_string()))?;
         want_instant(&a[0])?
-            .shift(-want_span(&a[1])?)
+            .shift(by)
             .map(|i| t.instant(i))
             .map_err(|e| DbError::exec(e.to_string()))
     })?;

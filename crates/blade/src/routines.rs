@@ -105,25 +105,44 @@ pub(crate) fn register(cat: &mut Catalog, t: TipTypes) -> DbResult<()> {
             .map(|c| t.chronon(c))
             .map_err(terr)
     })?;
-    // Span constructors.
+    // Span constructors (checked: a hostile count errors instead of
+    // overflowing the second counter).
     func(cat, "days", vec![i], spn, false, move |_, a| {
-        Ok(t.span(Span::from_days(a[0].as_int().unwrap_or(0))))
+        Span::DAY
+            .checked_mul(a[0].as_int().unwrap_or(0))
+            .map(|s| t.span(s))
+            .map_err(terr)
     })?;
     func(cat, "hours", vec![i], spn, false, move |_, a| {
-        Ok(t.span(Span::from_hours(a[0].as_int().unwrap_or(0))))
+        Span::HOUR
+            .checked_mul(a[0].as_int().unwrap_or(0))
+            .map(|s| t.span(s))
+            .map_err(terr)
     })?;
     func(cat, "weeks", vec![i], spn, false, move |_, a| {
-        Ok(t.span(Span::from_weeks(a[0].as_int().unwrap_or(0))))
+        Span::WEEK
+            .checked_mul(a[0].as_int().unwrap_or(0))
+            .map(|s| t.span(s))
+            .map_err(terr)
     })?;
     func(cat, "seconds", vec![i], spn, false, move |_, a| {
         Ok(t.span(Span::from_seconds(a[0].as_int().unwrap_or(0))))
     })?;
     // neg(Span) backs the unary minus on spans.
     func(cat, "neg", vec![spn], spn, false, move |_, a| {
-        Ok(t.span(-want_span(&a[0])?))
+        want_span(&a[0])?
+            .checked_neg()
+            .map(|s| t.span(s))
+            .map_err(terr)
     })?;
     func(cat, "abs", vec![spn], spn, false, move |_, a| {
-        Ok(t.span(want_span(&a[0])?.abs()))
+        let s = want_span(&a[0])?;
+        let out = if s.is_negative() {
+            s.checked_neg().map_err(terr)?
+        } else {
+            s
+        };
+        Ok(t.span(out))
     })?;
 
     // ---- accessors --------------------------------------------------------

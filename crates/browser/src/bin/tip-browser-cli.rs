@@ -22,6 +22,9 @@ use tip_workload::{generate, populate_tip, MedicalConfig};
 const HELP: &str = "\
 commands:
   sql <query>              run a SELECT and load its result
+  explain <query>          show the physical plan for a SELECT
+  analyze <query>          run it and show per-operator rows/timings
+  stats                    show this session's query metrics (SHOW STATS)
   attr <column>            choose the temporal browsing attribute
   window <start> <end>     set the time window (chronon literals)
   slide <span>             move the window (e.g. 'slide 30' or 'slide -7')
@@ -75,6 +78,15 @@ fn main() {
                 browser = load(&conn, &query, &attr, current_now(&conn, demo_now));
                 show(&browser);
             }
+            "explain" | "analyze" => {
+                let prefix = if cmd == "analyze" {
+                    "EXPLAIN ANALYZE "
+                } else {
+                    "EXPLAIN "
+                };
+                run_plain(&conn, &format!("{prefix}{rest}"));
+            }
+            "stats" => run_plain(&conn, "SHOW STATS"),
             "attr" => {
                 attr = rest.to_owned();
                 browser = load(&conn, &query, &attr, current_now(&conn, demo_now));
@@ -179,6 +191,16 @@ fn load(conn: &Connection, sql: &str, attr: &str, now: Chronon) -> Option<Browse
             println!("error: {err}");
             None
         }
+    }
+}
+
+/// Runs a statement and prints its result table directly — the path for
+/// EXPLAIN [ANALYZE] and SHOW STATS, which are about the query engine,
+/// not the temporal browser view.
+fn run_plain(conn: &Connection, sql: &str) {
+    match conn.query(sql, &[]) {
+        Ok(rows) => println!("{}", conn.format(&rows)),
+        Err(err) => println!("error: {err}"),
     }
 }
 

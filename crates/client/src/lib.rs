@@ -31,8 +31,12 @@
 
 pub mod bitemporal;
 
-use minidb::{Database, DbError, DbResult, QueryResult, Session, StatementOutcome, Value};
+use minidb::{
+    Database, DbError, DbResult, QueryMetrics, QueryResult, Session, SlowQuery, StatementOutcome,
+    Value,
+};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use tip_blade::{as_chronon, as_element, as_instant, as_period, as_span, TipBlade, TipTypes};
 use tip_core::{Chronon, Element, Instant, Period, Span};
 
@@ -197,6 +201,27 @@ impl Connection {
             sql: sql.to_owned(),
             params: Vec::new(),
         }
+    }
+
+    /// Handle to the underlying session's query-metrics registry (also
+    /// readable in SQL via `SHOW STATS`).
+    pub fn metrics(&self) -> Arc<QueryMetrics> {
+        self.with_session(|s| s.metrics())
+    }
+
+    /// Installs a slow-query log hook: `logger` runs for every statement
+    /// at or over `threshold`.
+    pub fn set_slow_query_log(
+        &self,
+        threshold: Duration,
+        logger: impl Fn(&SlowQuery) + Send + Sync + 'static,
+    ) {
+        self.with_session(|s| s.set_slow_query_log(threshold, logger));
+    }
+
+    /// Removes the slow-query log hook.
+    pub fn clear_slow_query_log(&self) {
+        self.with_session(|s| s.clear_slow_query_log());
     }
 
     /// Renders one value as SQL text via the catalog.

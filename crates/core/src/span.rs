@@ -60,9 +60,35 @@ impl Span {
 
     /// Builds a span from day and time-of-day components, all applied with
     /// the given overall sign (mirroring the textual notation).
+    ///
+    /// Panics when the total second count overflows; parsing user input
+    /// goes through [`Span::try_from_parts`] instead.
     pub fn from_parts(negative: bool, days: i64, hours: i64, minutes: i64, seconds: i64) -> Span {
-        let magnitude = days * 86_400 + hours * 3600 + minutes * 60 + seconds;
-        Span(if negative { -magnitude } else { magnitude })
+        Span::try_from_parts(negative, days, hours, minutes, seconds)
+            .expect("Span components out of range")
+    }
+
+    /// Checked variant of [`Span::from_parts`] — the entry point for text
+    /// parsing, where a hostile day count must not panic.
+    pub fn try_from_parts(
+        negative: bool,
+        days: i64,
+        hours: i64,
+        minutes: i64,
+        seconds: i64,
+    ) -> Result<Span> {
+        let out_of_range = || TemporalError::OutOfRange { what: "Span" };
+        let magnitude = days
+            .checked_mul(86_400)
+            .and_then(|d| d.checked_add(hours.checked_mul(3600)?))
+            .and_then(|t| t.checked_add(minutes.checked_mul(60)?))
+            .and_then(|t| t.checked_add(seconds))
+            .ok_or_else(out_of_range)?;
+        if negative {
+            magnitude.checked_neg().map(Span).ok_or_else(out_of_range)
+        } else {
+            Ok(Span(magnitude))
+        }
     }
 
     /// The total number of seconds (signed).
@@ -98,6 +124,25 @@ impl Span {
             .ok_or(TemporalError::OutOfRange {
                 what: "Span + Span",
             })
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Span) -> Result<Span> {
+        self.0
+            .checked_sub(rhs.0)
+            .map(Span)
+            .ok_or(TemporalError::OutOfRange {
+                what: "Span - Span",
+            })
+    }
+
+    /// Checked negation (fails only for the most negative span, which is
+    /// constructible from SQL via `INT::Span`).
+    pub fn checked_neg(self) -> Result<Span> {
+        self.0
+            .checked_neg()
+            .map(Span)
+            .ok_or(TemporalError::OutOfRange { what: "-Span" })
     }
 
     /// Checked multiplication by an integer scale factor (the paper's
@@ -251,7 +296,7 @@ impl FromStr for Span {
                 (h, m, s)
             }
         };
-        Ok(Span::from_parts(negative, days, h, m, s))
+        Span::try_from_parts(negative, days, h, m, s).map_err(|_| err("span out of range"))
     }
 }
 

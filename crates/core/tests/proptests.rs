@@ -361,3 +361,99 @@ proptest! {
         }
     }
 }
+
+// ---- normalize over the full timeline (FOREVER endings, adjacency) -----
+
+/// Strategy: periods spread across the entire supported timeline, biased
+/// toward the cases normalization must get right — grid-aligned blocks
+/// (adjacent, so they must merge) and periods ending exactly at
+/// `Chronon::FOREVER`.
+fn arb_extreme_period() -> impl Strategy<Value = ResolvedPeriod> {
+    let lo = Chronon::BEGINNING.raw();
+    let hi = Chronon::FOREVER.raw();
+    (0u64..4, lo..hi, 0i64..10_000).prop_map(move |(kind, s, len)| match kind {
+        // Grid-aligned block: [10g, 10g + 9]; neighbours touch exactly.
+        0 => {
+            let g = s.rem_euclid(1_000);
+            rp(g * 10, g * 10 + 9)
+        }
+        // Ends exactly at the last representable chronon.
+        1 => rp((hi - len.min(hi - lo)).max(lo), hi),
+        // Single chronon anywhere (also hits both timeline bounds).
+        2 => rp(s, s),
+        // Arbitrary bounded-length period.
+        _ => rp(s, (s.saturating_add(len)).min(hi)),
+    })
+}
+
+/// Independent reference: total chronons covered by a bag of periods,
+/// via an i128 sweep (safe for full-timeline endpoints).
+fn covered_chronons(ps: &[ResolvedPeriod]) -> i128 {
+    let mut v: Vec<(i64, i64)> = ps
+        .iter()
+        .map(|p| (p.start().raw(), p.end().raw()))
+        .collect();
+    v.sort_unstable();
+    let mut total: i128 = 0;
+    let mut cur: Option<(i64, i64)> = None;
+    for (s, e) in v {
+        match &mut cur {
+            Some((_, ce)) if i128::from(s) <= i128::from(*ce) + 1 => *ce = (*ce).max(e),
+            _ => {
+                if let Some((cs, ce)) = cur.take() {
+                    total += i128::from(ce) - i128::from(cs) + 1;
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += i128::from(ce) - i128::from(cs) + 1;
+    }
+    total
+}
+
+proptest! {
+    #[test]
+    fn normalize_invariant_holds_across_full_timeline(
+        ps in proptest::collection::vec(arb_extreme_period(), 0..16)
+    ) {
+        let e = ResolvedElement::normalize(ps.clone());
+        e.check_invariant().unwrap();
+        // Normalization neither drops nor invents chronons.
+        let got: i128 = e
+            .periods()
+            .iter()
+            .map(|p| i128::from(p.end().raw()) - i128::from(p.start().raw()) + 1)
+            .sum();
+        prop_assert_eq!(got, covered_chronons(&ps));
+        // Idempotence on the hostile inputs too.
+        prop_assert_eq!(ResolvedElement::normalize(e.periods().to_vec()), e);
+    }
+
+    #[test]
+    fn adjacent_blocks_merge_into_one_period(start in -500_000i64..500_000, n in 1usize..10) {
+        // n back-to-back ten-chronon blocks: [s, s+9], [s+10, s+19], ...
+        let blocks: Vec<ResolvedPeriod> = (0..n)
+            .map(|i| rp(start + 10 * i as i64, start + 10 * i as i64 + 9))
+            .collect();
+        let e = ResolvedElement::normalize(blocks);
+        prop_assert_eq!(e.period_count(), 1);
+        prop_assert_eq!(e.periods()[0], rp(start, start + 10 * n as i64 - 1));
+        e.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn periods_ending_at_forever_collapse(k in 1usize..6, back in 0i64..1_000_000) {
+        // Several periods all running to the end of the timeline must
+        // merge into a single one that still ends at FOREVER.
+        let hi = Chronon::FOREVER.raw();
+        let ps: Vec<ResolvedPeriod> = (0..k)
+            .map(|i| rp(hi - back - i as i64, hi))
+            .collect();
+        let e = ResolvedElement::normalize(ps);
+        e.check_invariant().unwrap();
+        prop_assert_eq!(e.period_count(), 1);
+        prop_assert_eq!(e.periods()[0].end(), Chronon::FOREVER);
+    }
+}

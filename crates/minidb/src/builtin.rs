@@ -121,7 +121,10 @@ fn register_arithmetic(cat: &mut Catalog) {
             if y == 0 {
                 Err(DbError::exec("division by zero"))
             } else {
-                Ok(V::Int(x / y))
+                // checked: i64::MIN / -1 overflows.
+                x.checked_div(y)
+                    .map(V::Int)
+                    .ok_or_else(|| DbError::exec("integer overflow in /"))
             }
         },
     );
@@ -136,7 +139,9 @@ fn register_arithmetic(cat: &mut Catalog) {
             if y == 0 {
                 Err(DbError::exec("division by zero"))
             } else {
-                Ok(V::Int(x % y))
+                x.checked_rem(y)
+                    .map(V::Int)
+                    .ok_or_else(|| DbError::exec("integer overflow in %"))
             }
         },
     );

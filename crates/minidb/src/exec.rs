@@ -2,10 +2,12 @@
 
 use crate::catalog::ExecCtx;
 use crate::error::{DbError, DbResult};
+use crate::obs::{AccessPath, OpProfile};
 use crate::plan::Plan;
 use crate::storage::Storage;
 use crate::value::{GroupKey, Row, Value};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A pull-based row stream.
 pub trait RowStream {
@@ -15,7 +17,23 @@ pub trait RowStream {
 
 /// Executes a plan to completion, materializing all result rows.
 pub fn execute(plan: &Plan, storage: &Storage, ctx: &ExecCtx) -> DbResult<Vec<Row>> {
-    let mut stream = open(plan, storage, ctx)?;
+    execute_with(plan, storage, ctx, None)
+}
+
+/// [`execute`] with an optional operator profile collecting runtime
+/// statistics (see [`OpProfile`]); the profile must have been built from
+/// this same plan.
+pub fn execute_with(
+    plan: &Plan,
+    storage: &Storage,
+    ctx: &ExecCtx,
+    prof: Option<&OpProfile>,
+) -> DbResult<Vec<Row>> {
+    drain(open_with(plan, storage, ctx, prof)?)
+}
+
+/// Pulls a stream to exhaustion.
+fn drain(mut stream: Box<dyn RowStream + '_>) -> DbResult<Vec<Row>> {
     let mut out = Vec::new();
     while let Some(row) = stream.next_row()? {
         out.push(row);
@@ -31,7 +49,28 @@ pub fn open<'a>(
     storage: &Storage,
     ctx: &'a ExecCtx,
 ) -> DbResult<Box<dyn RowStream + 'a>> {
-    Ok(match plan {
+    open_with(plan, storage, ctx, None)
+}
+
+/// [`open`] with an optional operator profile. Scan nodes record their
+/// access path and rows touched into the matching profile node; when the
+/// profile is timed (`EXPLAIN ANALYZE`), every operator stream is
+/// additionally wrapped to count `next_row` calls, rows produced, and
+/// inclusive wall time.
+pub fn open_with<'a>(
+    plan: &'a Plan,
+    storage: &Storage,
+    ctx: &'a ExecCtx,
+    prof: Option<&'a OpProfile>,
+) -> DbResult<Box<dyn RowStream + 'a>> {
+    // Open-time work (scan materialization, hash build, aggregation) is
+    // charged to this node; child opens record their own share, keeping
+    // all reported times inclusive.
+    let t0 = match prof {
+        Some(p) if p.is_timed() => Some(Instant::now()),
+        _ => None,
+    };
+    let stream: Box<dyn RowStream + 'a> = match plan {
         Plan::Nothing => Box::new(Once { done: false }),
         Plan::Scan {
             table,
@@ -92,6 +131,18 @@ pub fn open<'a>(
             } else {
                 t.scan().into_iter().map(|(_, r)| r).collect()
             };
+            if let Some(p) = prof {
+                let path = if index_eq.is_some() {
+                    AccessPath::IndexEq
+                } else if index_range.is_some() {
+                    AccessPath::IndexRange
+                } else if index_overlap.is_some() {
+                    AccessPath::IndexOverlap
+                } else {
+                    AccessPath::FullScan
+                };
+                p.record_scan(path, rows.len() as u64);
+            }
             Box::new(Scan {
                 rows: rows.into_iter(),
                 filter,
@@ -99,7 +150,7 @@ pub fn open<'a>(
             })
         }
         Plan::Filter { input, pred } => {
-            let inner = open(input, storage, ctx)?;
+            let inner = open_with(input, storage, ctx, prof.map(|p| p.child(0)))?;
             Box::new(Filter {
                 input: inner,
                 pred,
@@ -107,7 +158,7 @@ pub fn open<'a>(
             })
         }
         Plan::Project { input, exprs } => {
-            let inner = open(input, storage, ctx)?;
+            let inner = open_with(input, storage, ctx, prof.map(|p| p.child(0)))?;
             Box::new(Project {
                 input: inner,
                 exprs,
@@ -120,8 +171,8 @@ pub fn open<'a>(
             filter,
         } => {
             // Materialize the right side once; stream the left.
-            let right_rows = execute(right, storage, ctx)?;
-            let inner = open(left, storage, ctx)?;
+            let right_rows = drain(open_with(right, storage, ctx, prof.map(|p| p.child(1)))?)?;
+            let inner = open_with(left, storage, ctx, prof.map(|p| p.child(0)))?;
             Box::new(NlJoin {
                 left: inner,
                 right_rows,
@@ -140,7 +191,7 @@ pub fn open<'a>(
         } => {
             // Build on the right, probe with the left.
             let mut table: HashMap<GroupKey, Vec<Row>> = HashMap::new();
-            for row in execute(right, storage, ctx)? {
+            for row in drain(open_with(right, storage, ctx, prof.map(|p| p.child(1)))?)? {
                 let mut key = Vec::with_capacity(right_keys.len());
                 let mut has_null = false;
                 for k in right_keys {
@@ -153,7 +204,7 @@ pub fn open<'a>(
                 }
                 table.entry(GroupKey(key)).or_default().push(row);
             }
-            let inner = open(left, storage, ctx)?;
+            let inner = open_with(left, storage, ctx, prof.map(|p| p.child(0)))?;
             Box::new(HashJoin {
                 left: inner,
                 table,
@@ -166,7 +217,7 @@ pub fn open<'a>(
             })
         }
         Plan::Aggregate { input, keys, aggs } => {
-            let rows = execute(input, storage, ctx)?;
+            let rows = drain(open_with(input, storage, ctx, prof.map(|p| p.child(0)))?)?;
             type GroupState = (
                 Vec<Box<dyn crate::catalog::AggregateState>>,
                 Vec<Option<std::collections::HashSet<GroupKey>>>,
@@ -227,7 +278,7 @@ pub fn open<'a>(
             })
         }
         Plan::Distinct { input, visible } => {
-            let rows = execute(input, storage, ctx)?;
+            let rows = drain(open_with(input, storage, ctx, prof.map(|p| p.child(0)))?)?;
             let mut seen: HashMap<GroupKey, ()> = HashMap::with_capacity(rows.len());
             let mut out = Vec::new();
             for row in rows {
@@ -241,7 +292,7 @@ pub fn open<'a>(
             })
         }
         Plan::Sort { input, keys } => {
-            let mut rows = execute(input, storage, ctx)?;
+            let mut rows = drain(open_with(input, storage, ctx, prof.map(|p| p.child(0)))?)?;
             rows.sort_by(|a, b| {
                 for (i, desc) in keys {
                     let ord = a[*i].cmp_ordering(&b[*i]);
@@ -257,21 +308,21 @@ pub fn open<'a>(
             })
         }
         Plan::Take { input, keep } => {
-            let inner = open(input, storage, ctx)?;
+            let inner = open_with(input, storage, ctx, prof.map(|p| p.child(0)))?;
             Box::new(Take {
                 input: inner,
                 keep: *keep,
             })
         }
         Plan::Limit { input, n } => {
-            let inner = open(input, storage, ctx)?;
+            let inner = open_with(input, storage, ctx, prof.map(|p| p.child(0)))?;
             Box::new(Limit {
                 input: inner,
                 remaining: *n,
             })
         }
         Plan::Offset { input, n } => {
-            let inner = open(input, storage, ctx)?;
+            let inner = open_with(input, storage, ctx, prof.map(|p| p.child(0)))?;
             Box::new(Offset {
                 input: inner,
                 to_skip: *n,
@@ -279,15 +330,42 @@ pub fn open<'a>(
         }
         Plan::Union { inputs } => {
             let mut streams = Vec::with_capacity(inputs.len());
-            for arm in inputs {
-                streams.push(open(arm, storage, ctx)?);
+            for (i, arm) in inputs.iter().enumerate() {
+                streams.push(open_with(arm, storage, ctx, prof.map(|p| p.child(i)))?);
             }
             Box::new(Chain {
                 streams,
                 current: 0,
             })
         }
+    };
+    Ok(match (prof, t0) {
+        (Some(p), Some(t0)) => {
+            p.record_open_nanos(t0.elapsed().as_nanos() as u64);
+            Box::new(Instrumented {
+                inner: stream,
+                prof: p,
+            })
+        }
+        _ => stream,
     })
+}
+
+/// Timing wrapper around an operator stream; only used when the profile
+/// is timed, so ordinary queries never pay per-row clock reads.
+struct Instrumented<'a> {
+    inner: Box<dyn RowStream + 'a>,
+    prof: &'a OpProfile,
+}
+impl RowStream for Instrumented<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        let t0 = Instant::now();
+        let r = self.inner.next_row();
+        let produced = matches!(&r, Ok(Some(_)));
+        self.prof
+            .record_call(produced, t0.elapsed().as_nanos() as u64);
+        r
+    }
 }
 
 // ----- operator implementations --------------------------------------------

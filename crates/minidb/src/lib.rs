@@ -12,6 +12,7 @@ pub mod builtin;
 pub mod catalog;
 pub mod error;
 pub mod exec;
+pub mod obs;
 pub mod plan;
 pub mod session;
 pub mod sql;
@@ -21,6 +22,7 @@ pub mod value;
 
 pub use catalog::{Blade, Catalog, ExecCtx};
 pub use error::{DbError, DbResult};
+pub use obs::{AccessPath, MetricsSnapshot, OpProfile, QueryMetrics, SlowQuery, SlowQueryLogger};
 pub use session::{Database, QueryResult, Session, StatementOutcome};
 pub use types::{DataType, UdtId};
 pub use value::{Row, UdtObject, UdtValue, Value};

@@ -1,0 +1,486 @@
+//! Query observability: per-operator execution profiles backing
+//! `EXPLAIN ANALYZE`, the session-level [`QueryMetrics`] registry backing
+//! `SHOW STATS`, and the slow-query log hook.
+//!
+//! Two collection levels exist because they have very different costs:
+//!
+//! * **access-path accounting** ([`OpProfile::paths_only`]) records, once
+//!   per scan open, which access path ran and how many rows it touched —
+//!   no per-row work, so every ordinary `SELECT` pays for it;
+//! * **full profiling** ([`OpProfile::timed`]) additionally wraps every
+//!   operator stream to count `next_row` calls, rows produced, and
+//!   cumulative wall time — only `EXPLAIN ANALYZE` pays for it.
+//!
+//! Reported operator times are *inclusive*: an operator's clock runs
+//! while its children produce rows for it, so a parent is always at
+//! least as expensive as each child.
+
+use crate::plan::Plan;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a [`Plan::Scan`] accessed its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Whole-table scan.
+    FullScan,
+    /// B-tree equality lookup.
+    IndexEq,
+    /// B-tree range probe.
+    IndexRange,
+    /// Bucketed interval-index overlap probe.
+    IndexOverlap,
+}
+
+impl AccessPath {
+    /// Stable lowercase label used in EXPLAIN ANALYZE output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessPath::FullScan => "full-scan",
+            AccessPath::IndexEq => "index-eq",
+            AccessPath::IndexRange => "index-range",
+            AccessPath::IndexOverlap => "index-overlap",
+        }
+    }
+}
+
+/// Runtime counters for one plan operator, arranged in a tree mirroring
+/// the plan shape. Uses `Cell`s: execution is single-threaded and the
+/// profile is threaded through operators as a shared borrow.
+#[derive(Debug)]
+pub struct OpProfile {
+    label: String,
+    timed: bool,
+    rows: Cell<u64>,
+    calls: Cell<u64>,
+    nanos: Cell<u64>,
+    rows_scanned: Cell<u64>,
+    access: Cell<Option<AccessPath>>,
+    children: Vec<OpProfile>,
+}
+
+impl OpProfile {
+    fn for_plan(plan: &Plan, timed: bool) -> OpProfile {
+        let children = match plan {
+            Plan::Nothing | Plan::Scan { .. } => Vec::new(),
+            Plan::HashJoin { left, right, .. } | Plan::NlJoin { left, right, .. } => {
+                vec![
+                    OpProfile::for_plan(left, timed),
+                    OpProfile::for_plan(right, timed),
+                ]
+            }
+            Plan::Filter { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Take { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Offset { input, .. } => vec![OpProfile::for_plan(input, timed)],
+            Plan::Union { inputs } => inputs
+                .iter()
+                .map(|p| OpProfile::for_plan(p, timed))
+                .collect(),
+        };
+        OpProfile {
+            label: plan.node_label(),
+            timed,
+            rows: Cell::new(0),
+            calls: Cell::new(0),
+            nanos: Cell::new(0),
+            rows_scanned: Cell::new(0),
+            access: Cell::new(None),
+            children,
+        }
+    }
+
+    /// A fully instrumented profile for `EXPLAIN ANALYZE`: rows, calls,
+    /// and wall time per operator.
+    pub fn timed(plan: &Plan) -> OpProfile {
+        OpProfile::for_plan(plan, true)
+    }
+
+    /// A lightweight profile recording only scan access paths and rows
+    /// scanned (no per-row timing cost); feeds [`QueryMetrics`].
+    pub fn paths_only(plan: &Plan) -> OpProfile {
+        OpProfile::for_plan(plan, false)
+    }
+
+    /// Whether streams opened against this profile should be wrapped in
+    /// timing instrumentation.
+    pub fn is_timed(&self) -> bool {
+        self.timed
+    }
+
+    /// The child profile at `i` (mirrors the plan's child order).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range — the profile tree is built from the
+    /// same plan that execution walks, so a mismatch is an engine bug.
+    pub fn child(&self, i: usize) -> &OpProfile {
+        &self.children[i]
+    }
+
+    /// Operator label (e.g. `ixscan(t)[f]`, `hashjoin`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Rows this operator produced.
+    pub fn rows(&self) -> u64 {
+        self.rows.get()
+    }
+
+    /// `next_row` calls made against this operator.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Cumulative wall time (inclusive of children).
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.nanos.get())
+    }
+
+    /// Rows the scan touched before filtering (scan nodes only).
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned.get()
+    }
+
+    /// The access path a scan node used (scan nodes only).
+    pub fn access_path(&self) -> Option<AccessPath> {
+        self.access.get()
+    }
+
+    pub(crate) fn record_call(&self, produced: bool, nanos: u64) {
+        self.calls.set(self.calls.get() + 1);
+        self.nanos.set(self.nanos.get() + nanos);
+        if produced {
+            self.rows.set(self.rows.get() + 1);
+        }
+    }
+
+    pub(crate) fn record_open_nanos(&self, nanos: u64) {
+        self.nanos.set(self.nanos.get() + nanos);
+    }
+
+    pub(crate) fn record_scan(&self, path: AccessPath, rows_scanned: u64) {
+        self.access.set(Some(path));
+        self.rows_scanned
+            .set(self.rows_scanned.get() + rows_scanned);
+    }
+
+    /// Renders the profile as an indented tree, one line per operator:
+    ///
+    /// ```text
+    /// project  rows=2 calls=3 time=41.2µs
+    ///   ivscan(p)[f]  rows=2 calls=3 time=35.0µs scanned=17 path=index-overlap
+    /// ```
+    pub fn render(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut Vec<String>) {
+        let mut line = format!(
+            "{:indent$}{}  rows={} calls={}",
+            "",
+            self.label,
+            self.rows.get(),
+            self.calls.get(),
+            indent = depth * 2
+        );
+        if self.timed {
+            line.push_str(&format!(" time={}", fmt_duration(self.elapsed())));
+        }
+        if let Some(path) = self.access.get() {
+            line.push_str(&format!(
+                " scanned={} path={}",
+                self.rows_scanned.get(),
+                path.label()
+            ));
+        }
+        out.push(line);
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+
+    /// Folds every scan node's access-path counters into `metrics`.
+    pub fn charge_scans(&self, metrics: &QueryMetrics) {
+        if let Some(path) = self.access.get() {
+            metrics.record_scan(path, self.rows_scanned.get());
+        }
+        for c in &self.children {
+            c.charge_scans(metrics);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The statement kinds [`QueryMetrics`] tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementKind {
+    Select,
+    Insert,
+    Update,
+    Delete,
+    Ddl,
+    Explain,
+    ShowStats,
+}
+
+/// Number of log2 latency buckets: bucket `i` counts statements whose
+/// latency was in `[2^i, 2^(i+1))` microseconds; the last bucket is
+/// open-ended.
+pub const LATENCY_BUCKETS: usize = 22;
+
+/// Session-level query statistics. All counters are atomics, so a
+/// `SHOW STATS` from one thread can observe a session driven elsewhere
+/// through an `Arc` handle without locks.
+#[derive(Debug, Default)]
+pub struct QueryMetrics {
+    selects: AtomicU64,
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    deletes: AtomicU64,
+    ddl: AtomicU64,
+    explains: AtomicU64,
+    errors: AtomicU64,
+
+    full_scans: AtomicU64,
+    index_eq_scans: AtomicU64,
+    index_range_scans: AtomicU64,
+    index_overlap_scans: AtomicU64,
+
+    rows_scanned: AtomicU64,
+    rows_returned: AtomicU64,
+
+    select_nanos: AtomicU64,
+    slow_queries: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl QueryMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Arc<QueryMetrics> {
+        Arc::new(QueryMetrics::default())
+    }
+
+    pub(crate) fn record_statement(&self, kind: StatementKind) {
+        let c = match kind {
+            StatementKind::Select => &self.selects,
+            StatementKind::Insert => &self.inserts,
+            StatementKind::Update => &self.updates,
+            StatementKind::Delete => &self.deletes,
+            StatementKind::Ddl => &self.ddl,
+            StatementKind::Explain => &self.explains,
+            StatementKind::ShowStats => return, // reading stats is free
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_scan(&self, path: AccessPath, rows_scanned: u64) {
+        let c = match path {
+            AccessPath::FullScan => &self.full_scans,
+            AccessPath::IndexEq => &self.index_eq_scans,
+            AccessPath::IndexRange => &self.index_range_scans,
+            AccessPath::IndexOverlap => &self.index_overlap_scans,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+        self.rows_scanned.fetch_add(rows_scanned, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_select(&self, rows_returned: u64, elapsed: Duration) {
+        self.rows_returned
+            .fetch_add(rows_returned, Ordering::Relaxed);
+        self.select_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let micros = elapsed.as_micros() as u64;
+        // Bucket i holds latencies in [2^i, 2^(i+1)) µs; sub-µs goes in 0.
+        let bucket = (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_slow_query(&self) {
+        self.slow_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            selects: g(&self.selects),
+            inserts: g(&self.inserts),
+            updates: g(&self.updates),
+            deletes: g(&self.deletes),
+            ddl: g(&self.ddl),
+            explains: g(&self.explains),
+            errors: g(&self.errors),
+            full_scans: g(&self.full_scans),
+            index_eq_scans: g(&self.index_eq_scans),
+            index_range_scans: g(&self.index_range_scans),
+            index_overlap_scans: g(&self.index_overlap_scans),
+            rows_scanned: g(&self.rows_scanned),
+            rows_returned: g(&self.rows_returned),
+            select_nanos: g(&self.select_nanos),
+            slow_queries: g(&self.slow_queries),
+            latency_buckets: std::array::from_fn(|i| g(&self.latency_buckets[i])),
+        }
+    }
+}
+
+/// A point-in-time copy of a session's [`QueryMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub selects: u64,
+    pub inserts: u64,
+    pub updates: u64,
+    pub deletes: u64,
+    pub ddl: u64,
+    pub explains: u64,
+    pub errors: u64,
+    pub full_scans: u64,
+    pub index_eq_scans: u64,
+    pub index_range_scans: u64,
+    pub index_overlap_scans: u64,
+    pub rows_scanned: u64,
+    pub rows_returned: u64,
+    pub select_nanos: u64,
+    pub slow_queries: u64,
+    pub latency_buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl MetricsSnapshot {
+    /// Scans that used any index, of any kind.
+    pub fn index_scans(&self) -> u64 {
+        self.index_eq_scans + self.index_range_scans + self.index_overlap_scans
+    }
+
+    /// Fraction of scans served by an index, if any scan ran.
+    pub fn index_hit_rate(&self) -> Option<f64> {
+        let total = self.index_scans() + self.full_scans;
+        (total > 0).then(|| self.index_scans() as f64 / total as f64)
+    }
+
+    /// The snapshot as `(metric, value)` rows — the body of `SHOW STATS`.
+    /// Latency buckets are collapsed to non-empty ones.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut out = vec![
+            ("statements.select".to_owned(), self.selects),
+            ("statements.insert".to_owned(), self.inserts),
+            ("statements.update".to_owned(), self.updates),
+            ("statements.delete".to_owned(), self.deletes),
+            ("statements.ddl".to_owned(), self.ddl),
+            ("statements.explain".to_owned(), self.explains),
+            ("statements.error".to_owned(), self.errors),
+            ("scans.full".to_owned(), self.full_scans),
+            ("scans.index_eq".to_owned(), self.index_eq_scans),
+            ("scans.index_range".to_owned(), self.index_range_scans),
+            ("scans.index_overlap".to_owned(), self.index_overlap_scans),
+            ("rows.scanned".to_owned(), self.rows_scanned),
+            ("rows.returned".to_owned(), self.rows_returned),
+            ("select.total_micros".to_owned(), self.select_nanos / 1_000),
+            ("select.slow".to_owned(), self.slow_queries),
+        ];
+        for (i, &n) in self.latency_buckets.iter().enumerate() {
+            if n > 0 {
+                let lo = 1u64 << i;
+                out.push((format!("latency.us[{lo}..{})", lo * 2), n));
+            }
+        }
+        out
+    }
+}
+
+/// What the slow-query log hook receives for each statement at or over
+/// the configured threshold.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The statement text as submitted.
+    pub sql: String,
+    /// Wall time spent planning and executing it.
+    pub elapsed: Duration,
+    /// Rows it returned.
+    pub rows: u64,
+    /// Physical plan shape (`Plan::describe`).
+    pub plan: String,
+}
+
+/// Callback invoked for statements slower than the session's threshold.
+pub type SlowQueryLogger = Arc<dyn Fn(&SlowQuery) + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_bucketing() {
+        let m = QueryMetrics::default();
+        m.record_select(1, Duration::from_micros(0)); // sub-µs → bucket 0
+        m.record_select(1, Duration::from_micros(1)); // bucket 0
+        m.record_select(1, Duration::from_micros(3)); // bucket 1
+        m.record_select(1, Duration::from_micros(900)); // bucket 9
+        m.record_select(1, Duration::from_secs(3600)); // clamps to last
+        let s = m.snapshot();
+        assert_eq!(s.latency_buckets[0], 2);
+        assert_eq!(s.latency_buckets[1], 1);
+        assert_eq!(s.latency_buckets[9], 1);
+        assert_eq!(s.latency_buckets[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(s.rows_returned, 5);
+    }
+
+    #[test]
+    fn index_hit_rate() {
+        let m = QueryMetrics::default();
+        assert_eq!(m.snapshot().index_hit_rate(), None);
+        m.record_scan(AccessPath::IndexEq, 10);
+        m.record_scan(AccessPath::FullScan, 100);
+        m.record_scan(AccessPath::IndexOverlap, 5);
+        m.record_scan(AccessPath::IndexRange, 7);
+        let s = m.snapshot();
+        assert_eq!(s.index_scans(), 3);
+        assert_eq!(s.index_hit_rate(), Some(0.75));
+        assert_eq!(s.rows_scanned, 122);
+    }
+
+    #[test]
+    fn snapshot_rows_name_every_counter_group() {
+        let m = QueryMetrics::default();
+        m.record_statement(StatementKind::Select);
+        m.record_scan(AccessPath::FullScan, 4);
+        m.record_select(4, Duration::from_micros(10));
+        let rows = m.snapshot().rows();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"statements.select"));
+        assert!(names.contains(&"scans.full"));
+        assert!(names.contains(&"rows.scanned"));
+        assert!(names.iter().any(|n| n.starts_with("latency.us[")));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(15)), "15.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -122,6 +122,48 @@ impl Plan {
         }
     }
 
+    /// The label of this node alone, without children — the same tokens
+    /// [`Plan::describe`] uses (`ixscan(t)[f]`, `hashjoin`, …). EXPLAIN
+    /// ANALYZE labels its per-operator stat lines with this.
+    pub fn node_label(&self) -> String {
+        match self {
+            Plan::Nothing => "nothing".into(),
+            Plan::Scan {
+                table,
+                index_eq,
+                index_overlap,
+                index_range,
+                filter,
+                ..
+            } => {
+                let mut s = if index_eq.is_some() {
+                    format!("ixscan({table})")
+                } else if index_overlap.is_some() {
+                    format!("ivscan({table})")
+                } else if index_range.is_some() {
+                    format!("irscan({table})")
+                } else {
+                    format!("scan({table})")
+                };
+                if filter.is_some() {
+                    s.push_str("[f]");
+                }
+                s
+            }
+            Plan::HashJoin { .. } => "hashjoin".into(),
+            Plan::NlJoin { .. } => "nljoin".into(),
+            Plan::Filter { .. } => "filter".into(),
+            Plan::Aggregate { .. } => "agg".into(),
+            Plan::Project { .. } => "project".into(),
+            Plan::Distinct { .. } => "distinct".into(),
+            Plan::Sort { .. } => "sort".into(),
+            Plan::Take { .. } => "take".into(),
+            Plan::Limit { .. } => "limit".into(),
+            Plan::Offset { .. } => "offset".into(),
+            Plan::Union { .. } => "union".into(),
+        }
+    }
+
     /// A compact single-line description of the plan shape, for tests and
     /// EXPLAIN-style diagnostics (e.g.
     /// `"limit(sort(project(hashjoin(scan(t),scan(u)))))"`).

@@ -10,6 +10,7 @@ use crate::builtin;
 use crate::catalog::{Blade, Catalog, ExecCtx};
 use crate::error::{DbError, DbResult};
 use crate::exec;
+use crate::obs::{OpProfile, QueryMetrics, SlowQuery, SlowQueryLogger, StatementKind};
 use crate::plan::Planner;
 use crate::sql::ast::{InsertSource, Statement};
 use crate::sql::parse_statement;
@@ -19,7 +20,7 @@ use crate::value::{Row, Value};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Bucket stride of interval indexes created by `CREATE INDEX` on
 /// interval-capable columns: 30 days of chronon seconds.
@@ -99,6 +100,8 @@ impl Database {
         Session {
             db: Arc::clone(self),
             now_override: None,
+            metrics: QueryMetrics::new(),
+            slow_query: None,
         }
     }
 
@@ -120,9 +123,47 @@ impl Database {
 pub struct Session {
     db: Arc<Database>,
     now_override: Option<i64>,
+    metrics: Arc<QueryMetrics>,
+    slow_query: Option<(Duration, SlowQueryLogger)>,
 }
 
 impl Session {
+    /// Handle to this session's query-metrics registry (also readable in
+    /// SQL via `SHOW STATS`). The `Arc` can outlive the session.
+    pub fn metrics(&self) -> Arc<QueryMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Installs a slow-query log hook: `logger` runs for every statement
+    /// whose plan-and-execute time reaches `threshold`. Replaces any
+    /// previous hook.
+    pub fn set_slow_query_log(
+        &mut self,
+        threshold: Duration,
+        logger: impl Fn(&SlowQuery) + Send + Sync + 'static,
+    ) {
+        self.slow_query = Some((threshold, Arc::new(logger)));
+    }
+
+    /// Removes the slow-query log hook.
+    pub fn clear_slow_query_log(&mut self) {
+        self.slow_query = None;
+    }
+
+    fn observe_select(&self, sql: &str, plan: &crate::plan::Plan, rows: u64, elapsed: Duration) {
+        self.metrics.record_select(rows, elapsed);
+        if let Some((threshold, logger)) = &self.slow_query {
+            if elapsed >= *threshold {
+                self.metrics.record_slow_query();
+                logger(&SlowQuery {
+                    sql: sql.to_owned(),
+                    elapsed,
+                    rows,
+                    plan: plan.describe(),
+                });
+            }
+        }
+    }
     /// Overrides the interpretation of `NOW` (Unix seconds) for every
     /// subsequent statement; `None` restores the wall clock. This is the
     /// TIP Browser's what-if knob.
@@ -161,19 +202,45 @@ impl Session {
         sql: &str,
         params: &[(&str, Value)],
     ) -> DbResult<StatementOutcome> {
+        let result = self.execute_inner(sql, params);
+        if result.is_err() {
+            self.metrics.record_error();
+        }
+        result
+    }
+
+    fn execute_inner(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<StatementOutcome> {
         let stmt = parse_statement(sql)?;
         let params: HashMap<String, Value> = params
             .iter()
             .map(|(k, v)| (k.to_ascii_lowercase(), v.clone()))
             .collect();
         let ctx = self.statement_ctx();
-        match stmt {
+        let kind = match &stmt {
+            Statement::Select(_) => StatementKind::Select,
+            Statement::Insert { .. } => StatementKind::Insert,
+            Statement::Update { .. } => StatementKind::Update,
+            Statement::Delete { .. } => StatementKind::Delete,
+            Statement::Explain { .. } => StatementKind::Explain,
+            Statement::ShowStats => StatementKind::ShowStats,
+            _ => StatementKind::Ddl,
+        };
+        let outcome = match stmt {
             Statement::Select(sel) => {
+                let started = Instant::now();
                 let catalog = self.db.catalog.read();
                 let storage = self.db.storage.read();
                 let planner = Planner::new(&catalog, &storage, &params, ctx);
                 let planned = planner.plan_select(&sel)?;
-                let rows = exec::execute(&planned.plan, &storage, &ctx)?;
+                // Access-path accounting only — no per-row timing cost.
+                let prof = OpProfile::paths_only(&planned.plan);
+                let rows = exec::execute_with(&planned.plan, &storage, &ctx, Some(&prof))?;
+                prof.charge_scans(&self.metrics);
+                // Release locks before the slow-query hook: it is user
+                // code and may open its own statements.
+                drop(storage);
+                drop(catalog);
+                self.observe_select(sql, &planned.plan, rows.len() as u64, started.elapsed());
                 Ok(StatementOutcome::Rows(QueryResult {
                     columns: planned.columns,
                     rows,
@@ -298,20 +365,64 @@ impl Session {
                     Err(e) => Err(e),
                 }
             }
-            Statement::Explain(inner) => {
+            Statement::Explain { inner, analyze } => {
                 let Statement::Select(sel) = *inner else {
                     return Err(DbError::exec("EXPLAIN supports SELECT statements"));
                 };
+                let started = Instant::now();
                 let catalog = self.db.catalog.read();
                 let storage = self.db.storage.read();
                 let planner = Planner::new(&catalog, &storage, &params, ctx);
                 let planned = planner.plan_select(&sel)?;
+                let rows = if analyze {
+                    // Execute under full instrumentation and report the
+                    // plan tree annotated with per-operator stats.
+                    let prof = OpProfile::timed(&planned.plan);
+                    let produced = exec::execute_with(&planned.plan, &storage, &ctx, Some(&prof))?;
+                    prof.charge_scans(&self.metrics);
+                    self.metrics
+                        .record_select(produced.len() as u64, started.elapsed());
+                    let mut lines = prof.render();
+                    lines.push(format!(
+                        "returned {} row(s) in {:.1?}",
+                        produced.len(),
+                        started.elapsed()
+                    ));
+                    lines
+                } else {
+                    vec![planned.plan.describe()]
+                };
                 Ok(StatementOutcome::Rows(QueryResult {
                     columns: vec![("plan".to_owned(), DataType::Str)],
-                    rows: vec![vec![Value::Str(planned.plan.describe())]],
+                    rows: rows.into_iter().map(|l| vec![Value::Str(l)]).collect(),
                 }))
             }
+            Statement::ShowStats => {
+                let rows = self
+                    .metrics
+                    .snapshot()
+                    .rows()
+                    .into_iter()
+                    .map(|(metric, value)| {
+                        vec![
+                            Value::Str(metric),
+                            Value::Int(value.min(i64::MAX as u64) as i64),
+                        ]
+                    })
+                    .collect();
+                Ok(StatementOutcome::Rows(QueryResult {
+                    columns: vec![
+                        ("metric".to_owned(), DataType::Str),
+                        ("value".to_owned(), DataType::Int),
+                    ],
+                    rows,
+                }))
+            }
+        };
+        if outcome.is_ok() {
+            self.metrics.record_statement(kind);
         }
+        outcome
     }
 
     /// Executes a statement expected to return rows.

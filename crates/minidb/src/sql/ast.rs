@@ -233,8 +233,16 @@ pub enum Statement {
         where_clause: Option<Expr>,
     },
     Select(SelectStmt),
-    /// `EXPLAIN SELECT …` — returns the physical plan shape as one row.
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] SELECT …` — returns the physical plan shape as
+    /// one row; with ANALYZE, executes the query and returns the plan
+    /// tree annotated with per-operator row counts and timings.
+    Explain {
+        inner: Box<Statement>,
+        analyze: bool,
+    },
+    /// `SHOW STATS` — the session's query-metrics counters as
+    /// `(metric, value)` rows.
+    ShowStats,
     /// `CREATE VIEW name AS SELECT …`. `body_start` is the byte offset of
     /// the SELECT in the original statement text, so the session can
     /// store the view body verbatim.

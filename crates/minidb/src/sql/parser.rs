@@ -140,11 +140,19 @@ impl Parser {
 
     fn statement(&mut self) -> DbResult<Statement> {
         if self.eat_kw("explain") {
+            let analyze = self.eat_kw("analyze");
             let inner = self.statement()?;
             if !matches!(inner, Statement::Select(_)) {
                 return Err(self.err("EXPLAIN supports SELECT statements"));
             }
-            return Ok(Statement::Explain(Box::new(inner)));
+            return Ok(Statement::Explain {
+                inner: Box::new(inner),
+                analyze,
+            });
+        }
+        if self.eat_kw("show") {
+            self.expect_kw("stats")?;
+            return Ok(Statement::ShowStats);
         }
         if self.at_kw("create") {
             self.bump();

@@ -8,9 +8,7 @@ use proptest::prelude::*;
 fn reference(text: &[char], pattern: &[char]) -> bool {
     match pattern.split_first() {
         None => text.is_empty(),
-        Some(('%', rest)) => {
-            (0..=text.len()).any(|k| reference(&text[k..], rest))
-        }
+        Some(('%', rest)) => (0..=text.len()).any(|k| reference(&text[k..], rest)),
         Some(('_', rest)) => match text.split_first() {
             Some((_, t)) => reference(t, rest),
             None => false,

@@ -105,7 +105,7 @@ pub fn generate(cfg: &MedicalConfig) -> MedicalDb {
             let doctor = doctors[rng.gen_range(0..doctors.len())].clone();
             let drug = DRUGS[rng.gen_range(0..DRUGS.len())].to_owned();
             let dosage = rng.gen_range(1..=4);
-            let hours = [4, 6, 8, 12, 24][rng.gen_range(0..5)];
+            let hours = [4, 6, 8, 12, 24][rng.gen_range(0..5usize)];
             let frequency = Span::from_hours(hours);
             let n_periods = rng.gen_range(1..=cfg.max_periods);
             let open_ended = rng.gen_bool(cfg.now_fraction);

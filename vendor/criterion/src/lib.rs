@@ -1,0 +1,287 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the small criterion API the workspace's benches use —
+//! `Criterion::benchmark_group`, `bench_with_input` / `bench_function`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of rigorous
+//! statistics it warms up briefly, runs a fixed-duration measurement
+//! loop, and prints the mean per-iteration wall time. Good enough to
+//! keep `cargo bench` compiling and producing indicative numbers;
+//! not a substitute for real criterion when precision matters.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Label for one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function_id: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Units processed per iteration; used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a warm-up pass and a measurement loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few unmeasured runs so lazy init and caches settle.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            // Check the clock in batches to keep timing overhead low for
+            // nanosecond-scale routines.
+            if iters.is_multiple_of(16) && Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; this
+    /// stand-in sizes runs by wall time instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement time.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.criterion.measurement_time = dur;
+        self
+    }
+
+    /// Declares units processed per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measurement_time: self.criterion.measurement_time,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    /// Benchmarks a routine with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measurement_time: self.criterion.measurement_time,
+        };
+        routine(&mut bencher);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    /// Ends the group (prints a separating newline).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        if bencher.iters_done == 0 {
+            println!("{}/{id:<40} (no iterations run)", self.name);
+            return;
+        }
+        let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64;
+        let mut line = format!(
+            "{}/{id:<40} {:>12}  ({} iters)",
+            self.name,
+            format_ns(per_iter),
+            bencher.iters_done
+        );
+        if let Some(tp) = self.throughput {
+            let (units, label) = match tp {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = units as f64 * 1e9 / per_iter;
+            line.push_str(&format!("  {:.3e} {label}", rate));
+        }
+        println!("{line}");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Short by default: benches here are smoke-level, and `cargo
+        // bench` also runs in CI-ish contexts where minutes matter.
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            measurement_time: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, routine);
+        self
+    }
+}
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.bench_function("trivial", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,525 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! re-implements the subset of proptest the workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map`, strategies
+//! for integer ranges, tuples, `Vec`s, boolean, sampling from a list,
+//! and a small regex-shaped string generator; plus the `proptest!`,
+//! `prop_assert!`, and `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs
+//!   in the assertion message; generation is fully deterministic per
+//!   test name, so failures reproduce exactly;
+//! * **regex strategies** support the subset actually used in tests:
+//!   character classes (with ranges), `\PC` (any printable char), and
+//!   `{m,n}` repetition;
+//! * case count defaults to 128 and can be overridden per-block with
+//!   `ProptestConfig::with_cases` or globally with the `PROPTEST_CASES`
+//!   environment variable.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(&mut rng.0, self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(&mut rng.0, self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i64, u64, i32, u32, i16, u16, i8, u8, usize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+
+    /// String strategies from regex-shaped patterns: a `&str` is a
+    /// strategy producing matching `String`s (subset: char classes,
+    /// `\PC`, literal chars, `{m,n}` / `{n}` repetition).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Deterministic RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) rand::rngs::StdRng);
+
+    impl TestRng {
+        /// An RNG seeded from a test's name, so each property test has a
+        /// stable, reproducible stream.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(rand::rngs::StdRng::seed_from_u64(h))
+        }
+    }
+}
+
+/// Per-block configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (overridable via `PROPTEST_CASES`).
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }.env_override()
+    }
+
+    fn env_override(mut self) -> ProptestConfig {
+        if let Some(n) = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            self.cases = n;
+        }
+        self
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 128 }.env_override()
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(&mut rng.0, <$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    arb_int!(i64, u64, i32, u32, i16, u16, i8, u8, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rand::Rng::gen_bool(&mut rng.0, 0.5)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for a type.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rand::Rng::gen_range(&mut rng.0, self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy generating vectors of `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "select() requires a non-empty list");
+            let i = rand::Rng::gen_range(&mut rng.0, 0..self.0.len());
+            self.0[i].clone()
+        }
+    }
+
+    /// A strategy drawing one element of `options` per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rand::Rng::gen_bool(&mut rng.0, 0.5)
+        }
+    }
+
+    /// Uniform boolean strategy.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Sample pool for `\PC` (any printable char): mixes 1-, 2-, 3-, and
+    /// 4-byte UTF-8 so multi-byte boundary bugs get exercised.
+    const PRINTABLE_EXOTIC: &[char] = &['é', 'ß', 'Ω', '中', '文', 'サ', '€', '∀', '😀', '🦀', '𝕏'];
+
+    enum Atom {
+        /// One char drawn from an explicit set.
+        Class(Vec<(char, char)>),
+        /// `\PC`: any printable character.
+        Printable,
+        /// A literal character.
+        Lit(char),
+    }
+
+    /// Generates one string matching the supported regex subset.
+    ///
+    /// # Panics
+    /// Panics on constructs outside the subset, so unsupported patterns
+    /// fail loudly instead of silently generating wrong data.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut set: Vec<(char, char)> = Vec::new();
+                    loop {
+                        let a = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                        if a == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            let mut ahead = chars.clone();
+                            ahead.next(); // the '-'
+                            match ahead.peek() {
+                                Some(&b) if b != ']' => {
+                                    chars.next();
+                                    chars.next();
+                                    set.push((a, b));
+                                    continue;
+                                }
+                                _ => {}
+                            }
+                        }
+                        set.push((a, a));
+                    }
+                    assert!(!set.is_empty(), "empty class in {pattern:?}");
+                    Atom::Class(set)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        assert_eq!(
+                            chars.next(),
+                            Some('C'),
+                            "only \\PC is supported in {pattern:?}"
+                        );
+                        Atom::Printable
+                    }
+                    Some(esc) => Atom::Lit(esc),
+                    None => panic!("dangling escape in {pattern:?}"),
+                },
+                other => Atom::Lit(other),
+            };
+            // Optional {m,n} / {n} repetition.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut body = String::new();
+                for r in chars.by_ref() {
+                    if r == '}' {
+                        break;
+                    }
+                    body.push(r);
+                }
+                let parse = |s: &str| -> usize {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat {body:?} in {pattern:?}"))
+                };
+                match body.split_once(',') {
+                    Some((m, n)) => (parse(m), parse(n)),
+                    None => (parse(&body), parse(&body)),
+                }
+            } else {
+                (1, 1)
+            };
+            let n = rng.0.gen_range(lo..=hi);
+            for _ in 0..n {
+                out.push(match &atom {
+                    Atom::Lit(c) => *c,
+                    Atom::Printable => {
+                        // 70% printable ASCII, 30% exotic multi-byte.
+                        if rng.0.gen_bool(0.7) {
+                            char::from(rng.0.gen_range(0x20u8..0x7F))
+                        } else {
+                            PRINTABLE_EXOTIC[rng.0.gen_range(0..PRINTABLE_EXOTIC.len())]
+                        }
+                    }
+                    Atom::Class(set) => {
+                        let (a, b) = set[rng.0.gen_range(0..set.len())];
+                        char::from_u32(rng.0.gen_range(a as u32..=b as u32)).unwrap_or(a)
+                    }
+                });
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0i64..10, b in 5usize..=9, c in any::<u8>()) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0i64..100, 0i64..10).prop_map(|(s, l)| (s, s + l))) {
+            prop_assert!(p.1 >= p.0);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn select_picks_members(s in crate::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&s));
+        }
+
+        #[test]
+        fn class_regex(s in "[ab%_c]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| "ab%_c".contains(c)));
+        }
+
+        #[test]
+        fn range_class_regex(s in "[ -~]{0,20}") {
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn printable_regex(s in "\\PC{0,16}") {
+            prop_assert!(s.chars().count() <= 16);
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen = || {
+            let mut rng = TestRng::deterministic("x");
+            Strategy::generate(&(0i64..1_000_000), &mut rng)
+        };
+        assert_eq!(gen(), gen());
+    }
+}
