@@ -1,0 +1,179 @@
+//! Loopback load generator for `tip-server`.
+//!
+//! ```text
+//! netload [--addr HOST:PORT] [--threads N] [--statements M] [--rows K]
+//! ```
+//!
+//! Without `--addr` it spins up an in-process server over the synthetic
+//! medical database and hammers it over 127.0.0.1 — a self-contained
+//! smoke benchmark of the whole wire stack (encode, TCP, decode,
+//! execute, row streaming). With `--addr` it targets an already-running
+//! `tip-server` instead.
+//!
+//! Reports total throughput and a log2 latency histogram, mirroring the
+//! engine's own `SHOW STATS` bucket scheme.
+
+use minidb::Database;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+use tip_blade::{TipBlade, TipTypes};
+use tip_client::{Connection, HostValue};
+use tip_core::Chronon;
+use tip_server::{Server, ServerConfig};
+
+const BUCKETS: usize = 22;
+
+#[derive(Default)]
+struct Histogram {
+    buckets: [u64; BUCKETS],
+}
+
+impl Histogram {
+    fn record(&mut self, micros: u64) {
+        let bucket = (63 - micros.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: netload [--addr HOST:PORT] [--threads N] [--statements M] [--rows K]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut threads = 8usize;
+    let mut statements = 200usize;
+    let mut rows = 200usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let num = |a: Option<String>| a.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--threads" => threads = num(args.next()),
+            "--statements" => statements = num(args.next()),
+            "--rows" => rows = num(args.next()),
+            _ => usage(),
+        }
+    }
+
+    // Self-contained mode: serve the synthetic medical database locally.
+    let _local_server: Option<Server>;
+    let target = match addr {
+        Some(a) => {
+            _local_server = None;
+            a
+        }
+        None => {
+            let db = Database::new();
+            db.install_blade(&TipBlade).expect("fresh database");
+            let session = db.session();
+            let types = db.with_catalog(TipTypes::from_catalog).expect("bladed");
+            let cfg = tip_workload::MedicalConfig {
+                n_prescriptions: rows,
+                ..Default::default()
+            };
+            let med = tip_workload::generate(&cfg);
+            tip_workload::populate_tip(&session, types, &med).expect("populate");
+            let server = Server::bind(
+                "127.0.0.1:0",
+                &db,
+                ServerConfig {
+                    max_connections: threads + 4,
+                    ..Default::default()
+                },
+            )
+            .expect("bind loopback server");
+            let a = server.local_addr().to_string();
+            eprintln!("netload: serving {rows} prescriptions on {a}");
+            _local_server = Some(server);
+            a
+        }
+    };
+
+    eprintln!("netload: {threads} threads x {statements} statements against {target}");
+    let total_hist = Arc::new(Mutex::new(Histogram::default()));
+    let started = Instant::now();
+
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let target = target.clone();
+            let total_hist = Arc::clone(&total_hist);
+            thread::spawn(move || {
+                let conn = Connection::connect(target.as_str()).expect("connect");
+                // Each thread browses under its own NOW to exercise the
+                // per-connection session state.
+                let now = Chronon::from_ymd(1994 + (t % 8) as i32, 6, 1).expect("valid date");
+                conn.set_now(Some(now));
+
+                let mut hist = Histogram::default();
+                let mut rows_seen = 0usize;
+                for i in 0..statements {
+                    let begin = Instant::now();
+                    let n = match i % 3 {
+                        0 => conn
+                            .query(
+                                "SELECT patient, drug, dosage FROM Prescription \
+                                 WHERE dosage >= :d",
+                                &[("d", HostValue::Int((i % 5) as i64))],
+                            )
+                            .expect("query")
+                            .len(),
+                        1 => conn
+                            .query(
+                                "SELECT patient, total_seconds(length(valid)) FROM Prescription",
+                                &[],
+                            )
+                            .expect("query")
+                            .len(),
+                        _ => conn
+                            .query("SELECT doctor, valid FROM Prescription", &[])
+                            .expect("query")
+                            .len(),
+                    };
+                    rows_seen += n;
+                    hist.record(begin.elapsed().as_micros() as u64);
+                }
+                total_hist.lock().expect("histogram").merge(&hist);
+                rows_seen
+            })
+        })
+        .collect();
+
+    let mut rows_seen = 0usize;
+    for w in workers {
+        rows_seen += w.join().expect("worker panicked");
+    }
+    let elapsed = started.elapsed();
+
+    let total = (threads * statements) as f64;
+    println!(
+        "total {} statements ({rows_seen} rows) in {:.3}s -> {:.1} stmt/s",
+        threads * statements,
+        elapsed.as_secs_f64(),
+        total / elapsed.as_secs_f64().max(1e-9),
+    );
+    println!("latency histogram (log2 microseconds):");
+    let hist = total_hist.lock().expect("histogram");
+    let peak = hist.buckets.iter().copied().max().unwrap_or(0).max(1);
+    for (i, count) in hist.buckets.iter().enumerate() {
+        if *count == 0 {
+            continue;
+        }
+        let label = if i == BUCKETS - 1 {
+            format!(">= 2^{i} us")
+        } else {
+            format!("[2^{i}, 2^{} us)", i + 1)
+        };
+        let stars = ((count * 40) / peak).max(1);
+        println!("  {label:>16} {:<40} {count}", "*".repeat(stars as usize));
+    }
+}

@@ -21,6 +21,7 @@ use tip_workload::{generate, populate_tip, MedicalConfig};
 
 const HELP: &str = "\
 commands:
+  connect <host:port>      switch to a remote tip-server
   sql <query>              run a SELECT and load its result
   explain <query>          show the physical plan for a SELECT
   analyze <query>          run it and show per-operator rows/timings
@@ -37,16 +38,37 @@ commands:
   quit                     exit";
 
 fn main() {
-    let conn = Connection::open_tip_enabled();
     let demo_now = Chronon::from_ymd(1999, 12, 1).expect("valid date");
+    // `tip-browser-cli connect <host:port>` starts against a remote
+    // tip-server instead of the embedded demo database.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut conn = if args.first().map(String::as_str) == Some("connect") {
+        let addr = args.get(1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("usage: tip-browser-cli [connect <host:port>]");
+            std::process::exit(2);
+        });
+        match Connection::connect(addr) {
+            Ok(c) => {
+                println!("TIP Browser — connected to tip-server at {}.", c.endpoint());
+                c
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let c = Connection::open_tip_enabled();
+        {
+            let session = c.database().session();
+            let types = c.tip_types();
+            let med = generate(&MedicalConfig::default());
+            populate_tip(&session, types, &med).expect("populate demo database");
+        }
+        println!("TIP Browser — synthetic medical database loaded (200 prescriptions).");
+        c
+    };
     conn.set_now(Some(demo_now));
-    {
-        let session = conn.database().session();
-        let types = conn.tip_types();
-        let med = generate(&MedicalConfig::default());
-        populate_tip(&session, types, &med).expect("populate demo database");
-    }
-    println!("TIP Browser — synthetic medical database loaded (200 prescriptions).");
     println!("Type 'help' for commands.\n");
 
     let mut query = "SELECT patient, drug, valid FROM Prescription LIMIT 12".to_owned();
@@ -73,6 +95,16 @@ fn main() {
             "" => {}
             "help" => println!("{HELP}"),
             "quit" | "exit" => break,
+            "connect" => match Connection::connect(rest) {
+                Ok(c) => {
+                    conn = c;
+                    conn.set_now(Some(demo_now));
+                    println!("connected to tip-server at {}", conn.endpoint());
+                    browser = load(&conn, &query, &attr, current_now(&conn, demo_now));
+                    show(&browser);
+                }
+                Err(e) => println!("error: {e}"),
+            },
             "sql" => {
                 query = rest.to_owned();
                 browser = load(&conn, &query, &attr, current_now(&conn, demo_now));

@@ -30,15 +30,19 @@
 //! ```
 
 pub mod bitemporal;
+pub mod protocol;
+pub mod transport;
 
 use minidb::{
-    Database, DbError, DbResult, QueryMetrics, QueryResult, Session, SlowQuery, StatementOutcome,
-    Value,
+    Database, DbError, DbResult, MetricsSnapshot, QueryMetrics, QueryResult, SlowQuery,
+    StatementOutcome, Value,
 };
-use std::sync::{Arc, Mutex};
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
 use std::time::Duration;
 use tip_blade::{as_chronon, as_element, as_instant, as_period, as_span, TipBlade, TipTypes};
 use tip_core::{Chronon, Element, Instant, Period, Span};
+use transport::{ConnectOptions, InProcessTransport, RemoteTransport, Transport};
 
 /// A host-language view of one SQL value — the result of customized type
 /// mapping (JDBC 2.0 style): TIP UDTs arrive as first-class objects.
@@ -85,10 +89,15 @@ impl TypeMap {
 
 type DisplayFn = Arc<dyn Fn(&Value) -> String + Send + Sync>;
 
-/// A connection to a TIP-enabled database.
+/// A connection to a TIP-enabled database — embedded in this process or
+/// reached over TCP via [`Connection::connect`]. Everything above the
+/// [`Transport`] (prepared statements, cursors, type mapping) behaves
+/// identically on both paths.
 pub struct Connection {
+    /// In-process: the actual database. Remote: a client-side registry
+    /// database (fresh + TIP blade) used for type ids and display.
     db: Arc<Database>,
-    session: Mutex<Session>,
+    transport: Box<dyn Transport>,
     types: TipTypes,
     type_map: TypeMap,
 }
@@ -109,14 +118,35 @@ impl Connection {
         let types = db.with_catalog(TipTypes::from_catalog)?;
         Ok(Connection {
             db: Arc::clone(db),
-            session: Mutex::new(db.session()),
+            transport: Box::new(InProcessTransport::new(db.session())),
             types,
             type_map: TypeMap::default(),
         })
     }
 
-    fn with_session<R>(&self, f: impl FnOnce(&mut Session) -> R) -> R {
-        f(&mut self.session.lock().expect("session poisoned"))
+    /// Connects to a `tip-server` over TCP with default options.
+    pub fn connect(addr: impl ToSocketAddrs) -> DbResult<Connection> {
+        Connection::connect_with(addr, &ConnectOptions::default())
+    }
+
+    /// Connects to a `tip-server` with explicit handshake options
+    /// (initial NOW override, socket timeouts).
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: &ConnectOptions) -> DbResult<Connection> {
+        // The registry database never stores rows: it exists so the
+        // remote path has deterministic TIP type ids to rebuild UDT
+        // cells with, and a catalog to render them through.
+        let registry = Database::new();
+        registry
+            .install_blade(&TipBlade)
+            .expect("fresh database accepts the blade");
+        let types = registry.with_catalog(TipTypes::from_catalog)?;
+        let remote = RemoteTransport::connect(addr, Arc::clone(&registry), types, opts)?;
+        Ok(Connection {
+            db: registry,
+            transport: Box::new(remote),
+            types,
+            type_map: TypeMap::default(),
+        })
     }
 
     /// Replaces the customized type map.
@@ -124,9 +154,17 @@ impl Connection {
         self.type_map = map;
     }
 
-    /// The underlying database handle.
+    /// The underlying database handle. For remote connections this is
+    /// the client-side *type registry* (it holds the TIP catalog, not
+    /// the server's data).
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    /// Where this connection's statements run ("in-process" or the
+    /// server's address).
+    pub fn endpoint(&self) -> String {
+        self.transport.endpoint()
     }
 
     /// The TIP type ids of this database (for constructing UDT parameter
@@ -136,14 +174,18 @@ impl Connection {
     }
 
     /// Overrides `NOW` for subsequent statements (what-if analysis);
-    /// `None` restores the wall clock.
+    /// `None` restores the wall clock. On remote connections the value
+    /// is synced to the server just before the next statement runs.
     pub fn set_now(&self, now: Option<Chronon>) {
-        self.with_session(|s| s.set_now_unix(now.map(tip_blade::chronon_to_unix)));
+        self.transport
+            .set_now_unix(now.map(tip_blade::chronon_to_unix));
     }
 
     /// The current NOW override.
     pub fn now_override(&self) -> Option<Chronon> {
-        self.with_session(|s| s.now_override().map(tip_blade::now_chronon))
+        self.transport
+            .now_override_unix()
+            .map(tip_blade::now_chronon)
     }
 
     /// Converts host parameter values to engine values.
@@ -170,7 +212,7 @@ impl Connection {
             .iter()
             .map(|(k, v)| (*k, self.lower_param(v)))
             .collect();
-        match self.with_session(|s| s.execute_with_params(sql, &lowered))? {
+        match self.transport.execute(sql, &lowered)? {
             StatementOutcome::Affected(n) => Ok(n),
             StatementOutcome::Done => Ok(0),
             StatementOutcome::Rows(_) => Err(DbError::exec("statement returned rows; use query()")),
@@ -183,7 +225,12 @@ impl Connection {
             .iter()
             .map(|(k, v)| (*k, self.lower_param(v)))
             .collect();
-        let result = self.with_session(|s| s.query_with_params(sql, &lowered))?;
+        let result = match self.transport.execute(sql, &lowered)? {
+            StatementOutcome::Rows(r) => r,
+            StatementOutcome::Affected(_) | StatementOutcome::Done => {
+                return Err(DbError::exec("statement returned no rows; use execute()"))
+            }
+        };
         let db = Arc::clone(&self.db);
         let display: DisplayFn = Arc::new(move |v| db.with_catalog(|c| c.display_value(v)));
         Ok(Rows {
@@ -204,24 +251,39 @@ impl Connection {
     }
 
     /// Handle to the underlying session's query-metrics registry (also
-    /// readable in SQL via `SHOW STATS`).
-    pub fn metrics(&self) -> Arc<QueryMetrics> {
-        self.with_session(|s| s.metrics())
+    /// readable in SQL via `SHOW STATS`). In-process only — remote
+    /// connections use [`Connection::metrics_snapshot`].
+    pub fn metrics(&self) -> DbResult<Arc<QueryMetrics>> {
+        self.transport.metrics()
+    }
+
+    /// A point-in-time copy of this session's metrics (works on both
+    /// transports; remote connections fetch it over the wire).
+    pub fn metrics_snapshot(&self) -> DbResult<MetricsSnapshot> {
+        self.transport.metrics_snapshot()
+    }
+
+    /// Metrics aggregated across every session of the server this
+    /// connection talks to. In-process, that is just this session.
+    pub fn server_metrics(&self) -> DbResult<MetricsSnapshot> {
+        self.transport.server_metrics()
     }
 
     /// Installs a slow-query log hook: `logger` runs for every statement
-    /// at or over `threshold`.
+    /// at or over `threshold`. In-process only (closures cannot cross
+    /// the wire), hence the `DbResult`.
     pub fn set_slow_query_log(
         &self,
         threshold: Duration,
         logger: impl Fn(&SlowQuery) + Send + Sync + 'static,
-    ) {
-        self.with_session(|s| s.set_slow_query_log(threshold, logger));
+    ) -> DbResult<()> {
+        self.transport
+            .set_slow_query_log(threshold, Box::new(logger))
     }
 
     /// Removes the slow-query log hook.
-    pub fn clear_slow_query_log(&self) {
-        self.with_session(|s| s.clear_slow_query_log());
+    pub fn clear_slow_query_log(&self) -> DbResult<()> {
+        self.transport.clear_slow_query_log()
     }
 
     /// Renders one value as SQL text via the catalog.
@@ -231,7 +293,7 @@ impl Connection {
 
     /// Renders a whole result set as an ASCII table.
     pub fn format(&self, rows: &Rows) -> String {
-        self.with_session(|s| s.format_result(&rows.result))
+        self.db.format_result(&rows.result)
     }
 }
 

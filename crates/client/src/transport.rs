@@ -1,0 +1,408 @@
+//! # Client transports
+//!
+//! [`Connection`](crate::Connection) reaches a TIP-enabled database
+//! through a [`Transport`]: either the original in-process path (a
+//! [`Session`] on a shared [`Database`]) or a remote path speaking the
+//! [`crate::protocol`] wire format to a `tip-server` over TCP. The
+//! higher layers — `PreparedStatement`, `Rows`, `TypeMap` — are
+//! transport-agnostic; they only ever see `StatementOutcome`s.
+
+use crate::protocol::{self, req, resp, Hello};
+use minidb::{
+    Database, DbError, DbResult, MetricsSnapshot, QueryMetrics, QueryResult, Session, SlowQuery,
+    StatementOutcome, Value,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How a connection executes statements. Implementations are `Send +
+/// Sync`; one transport serves one logical session (statements are
+/// serialized internally).
+pub trait Transport: Send + Sync {
+    /// Runs one statement with pre-lowered engine values.
+    fn execute(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<StatementOutcome>;
+
+    /// Sets (or clears) the session's NOW override, in Unix seconds.
+    /// Infallible by design: remote transports record the value and sync
+    /// it lazily before the next statement.
+    fn set_now_unix(&self, now: Option<i64>);
+
+    /// The current NOW override, in Unix seconds.
+    fn now_override_unix(&self) -> Option<i64>;
+
+    /// Live handle to the session's metrics registry. Only the
+    /// in-process transport can hand out the shared atomics; remote
+    /// callers use [`Transport::metrics_snapshot`].
+    fn metrics(&self) -> DbResult<Arc<QueryMetrics>>;
+
+    /// A point-in-time copy of this session's counters.
+    fn metrics_snapshot(&self) -> DbResult<MetricsSnapshot>;
+
+    /// Counters aggregated over every session of the server (for the
+    /// in-process transport, that is just this session).
+    fn server_metrics(&self) -> DbResult<MetricsSnapshot>;
+
+    /// Installs a slow-query hook. In-process only — closures cannot
+    /// cross the wire.
+    fn set_slow_query_log(
+        &self,
+        threshold: Duration,
+        logger: Box<dyn Fn(&SlowQuery) + Send + Sync>,
+    ) -> DbResult<()>;
+
+    /// Removes the slow-query hook.
+    fn clear_slow_query_log(&self) -> DbResult<()>;
+
+    /// Human-readable endpoint ("in-process" or "host:port").
+    fn endpoint(&self) -> String;
+}
+
+// ---------------------------------------------------------------------
+// In-process
+// ---------------------------------------------------------------------
+
+/// The original embedded path: a session on a database in this process.
+pub struct InProcessTransport {
+    session: Mutex<Session>,
+}
+
+impl InProcessTransport {
+    pub fn new(session: Session) -> InProcessTransport {
+        InProcessTransport {
+            session: Mutex::new(session),
+        }
+    }
+
+    fn with_session<R>(&self, f: impl FnOnce(&mut Session) -> R) -> R {
+        f(&mut self.session.lock().expect("session poisoned"))
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn execute(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<StatementOutcome> {
+        self.with_session(|s| s.execute_with_params(sql, params))
+    }
+
+    fn set_now_unix(&self, now: Option<i64>) {
+        self.with_session(|s| s.set_now_unix(now));
+    }
+
+    fn now_override_unix(&self) -> Option<i64> {
+        self.with_session(|s| s.now_override())
+    }
+
+    fn metrics(&self) -> DbResult<Arc<QueryMetrics>> {
+        Ok(self.with_session(|s| s.metrics()))
+    }
+
+    fn metrics_snapshot(&self) -> DbResult<MetricsSnapshot> {
+        Ok(self.with_session(|s| s.metrics().snapshot()))
+    }
+
+    fn server_metrics(&self) -> DbResult<MetricsSnapshot> {
+        self.metrics_snapshot()
+    }
+
+    fn set_slow_query_log(
+        &self,
+        threshold: Duration,
+        logger: Box<dyn Fn(&SlowQuery) + Send + Sync>,
+    ) -> DbResult<()> {
+        self.with_session(|s| s.set_slow_query_log(threshold, logger));
+        Ok(())
+    }
+
+    fn clear_slow_query_log(&self) -> DbResult<()> {
+        self.with_session(|s| s.clear_slow_query_log());
+        Ok(())
+    }
+
+    fn endpoint(&self) -> String {
+        "in-process".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Remote
+// ---------------------------------------------------------------------
+
+/// Tuning knobs for [`RemoteTransport::connect`].
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// NOW override requested in the handshake (Unix seconds).
+    pub now_unix: Option<i64>,
+    /// Socket read timeout for each response frame.
+    pub read_timeout: Duration,
+    /// Socket write timeout for each request frame.
+    pub write_timeout: Duration,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> ConnectOptions {
+        ConnectOptions {
+            now_unix: None,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct NowState {
+    current: Option<i64>,
+    /// `true` when `current` has not been pushed to the server yet.
+    dirty: bool,
+}
+
+/// The wire path: one TCP stream to a `tip-server`, one request in
+/// flight at a time. TIP UDT cells are rebuilt against a client-side
+/// type registry so `Rows` accessors behave exactly as in-process.
+pub struct RemoteTransport {
+    stream: Mutex<TcpStream>,
+    registry: Arc<Database>,
+    types: tip_blade::TipTypes,
+    now: Mutex<NowState>,
+    /// Set after any I/O or protocol fault: the stream position is
+    /// unknown, so every later call fails fast instead of desyncing.
+    broken: AtomicBool,
+    endpoint: String,
+}
+
+impl RemoteTransport {
+    /// Dials the server and performs the handshake. `registry` is a
+    /// TIP-bladed local database used purely as a type registry for
+    /// decoding (and as the display catalog for encoding).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Database>,
+        types: tip_blade::TipTypes,
+        opts: &ConnectOptions,
+    ) -> DbResult<RemoteTransport> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| DbError::unavailable(format!("connect failed: {e}")))?;
+        let endpoint = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "remote".to_string());
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(opts.read_timeout));
+        let _ = stream.set_write_timeout(Some(opts.write_timeout));
+
+        let t = RemoteTransport {
+            stream: Mutex::new(stream),
+            registry,
+            types,
+            now: Mutex::new(NowState {
+                current: opts.now_unix,
+                dirty: false,
+            }),
+            broken: AtomicBool::new(false),
+            endpoint,
+        };
+        {
+            let mut stream = t.stream.lock().expect("stream poisoned");
+            t.send(
+                &mut stream,
+                req::HELLO,
+                &protocol::encode_hello(&Hello {
+                    version: protocol::VERSION,
+                    now_unix: opts.now_unix,
+                }),
+            )?;
+            let (tag, body) = t.recv(&mut stream)?;
+            match tag {
+                resp::HELLO_OK => {
+                    let (version, _banner) = protocol::decode_hello_ok(&body)?;
+                    if version != protocol::VERSION {
+                        return Err(DbError::unavailable(format!(
+                            "server speaks protocol version {version}, client speaks {}",
+                            protocol::VERSION
+                        )));
+                    }
+                }
+                resp::BUSY => {
+                    return Err(DbError::unavailable(protocol::decode_busy(&body)?));
+                }
+                resp::ERROR => return Err(protocol::decode_error(&body)?),
+                other => {
+                    return Err(DbError::unavailable(format!(
+                        "unexpected handshake frame {other:#04x}"
+                    )))
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    fn fail(&self, ctx: &str, e: impl std::fmt::Display) -> DbError {
+        self.broken.store(true, Ordering::SeqCst);
+        DbError::unavailable(format!(
+            "{ctx}: {e} (connection to {} abandoned)",
+            self.endpoint
+        ))
+    }
+
+    fn check_live(&self) -> DbResult<()> {
+        if self.broken.load(Ordering::SeqCst) {
+            Err(DbError::unavailable(format!(
+                "connection to {} is broken; reconnect",
+                self.endpoint
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn send(&self, stream: &mut TcpStream, tag: u8, body: &[u8]) -> DbResult<()> {
+        // Assemble the whole frame first so it leaves in one write.
+        let mut frame = Vec::with_capacity(5 + body.len());
+        protocol::write_frame(&mut frame, tag, body)
+            .and_then(|()| io::Write::write_all(stream, &frame))
+            .map_err(|e| self.fail("send failed", e))
+    }
+
+    fn recv(&self, stream: &mut TcpStream) -> DbResult<(u8, Vec<u8>)> {
+        protocol::read_frame(stream).map_err(|e| self.fail("receive failed", e))
+    }
+
+    /// Pushes a dirty NOW override before the next statement runs.
+    fn sync_now(&self, stream: &mut TcpStream) -> DbResult<()> {
+        let pending = {
+            let now = self.now.lock().expect("now poisoned");
+            now.dirty.then_some(now.current)
+        };
+        let Some(now_unix) = pending else {
+            return Ok(());
+        };
+        self.send(stream, req::SET_NOW, &protocol::encode_set_now(now_unix))?;
+        let (tag, body) = self.recv(stream)?;
+        match tag {
+            resp::DONE => {
+                self.now.lock().expect("now poisoned").dirty = false;
+                Ok(())
+            }
+            resp::ERROR => Err(protocol::decode_error(&body)?),
+            other => Err(self.fail("SET_NOW", format!("unexpected frame {other:#04x}"))),
+        }
+    }
+
+    fn display(&self, v: &Value) -> String {
+        self.registry.with_catalog(|c| c.display_value(v))
+    }
+
+    /// Requests one metrics snapshot (`req` is SESSION_STATS or
+    /// SERVER_METRICS).
+    fn fetch_metrics(&self, request: u8) -> DbResult<MetricsSnapshot> {
+        self.check_live()?;
+        let mut stream = self.stream.lock().expect("stream poisoned");
+        self.send(&mut stream, request, &[])?;
+        let (tag, body) = self.recv(&mut stream)?;
+        match tag {
+            resp::METRICS => protocol::decode_metrics(&body),
+            resp::ERROR => Err(protocol::decode_error(&body)?),
+            other => Err(self.fail("metrics", format!("unexpected frame {other:#04x}"))),
+        }
+    }
+}
+
+impl Transport for RemoteTransport {
+    fn execute(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<StatementOutcome> {
+        self.check_live()?;
+        let mut stream = self.stream.lock().expect("stream poisoned");
+        self.sync_now(&mut stream)?;
+        let body = protocol::encode_stmt(sql, params, &|v| self.display(v));
+        self.send(&mut stream, req::STMT, &body)?;
+
+        let (tag, body) = self.recv(&mut stream)?;
+        match tag {
+            resp::ERROR => Err(protocol::decode_error(&body)?),
+            resp::AFFECTED => Ok(StatementOutcome::Affected(
+                protocol::decode_affected(&body)? as usize,
+            )),
+            resp::DONE => Ok(StatementOutcome::Done),
+            resp::ROWS_HEADER => {
+                let columns = protocol::decode_rows_header(&body, &self.types)?;
+                let mut rows = Vec::new();
+                loop {
+                    let (tag, body) = self.recv(&mut stream)?;
+                    match tag {
+                        resp::ROW_BATCH => rows.extend(protocol::decode_row_batch(
+                            &body,
+                            columns.len(),
+                            &self.types,
+                        )?),
+                        resp::ROWS_DONE => break,
+                        other => {
+                            return Err(
+                                self.fail("row stream", format!("unexpected frame {other:#04x}"))
+                            )
+                        }
+                    }
+                }
+                Ok(StatementOutcome::Rows(QueryResult { columns, rows }))
+            }
+            other => Err(self.fail("statement", format!("unexpected frame {other:#04x}"))),
+        }
+    }
+
+    fn set_now_unix(&self, now_unix: Option<i64>) {
+        let mut now = self.now.lock().expect("now poisoned");
+        now.dirty = now.dirty || now.current != now_unix;
+        now.current = now_unix;
+    }
+
+    fn now_override_unix(&self) -> Option<i64> {
+        self.now.lock().expect("now poisoned").current
+    }
+
+    fn metrics(&self) -> DbResult<Arc<QueryMetrics>> {
+        Err(DbError::unavailable(
+            "live metrics handles are in-process only; use metrics_snapshot()",
+        ))
+    }
+
+    fn metrics_snapshot(&self) -> DbResult<MetricsSnapshot> {
+        self.fetch_metrics(req::SESSION_STATS)
+    }
+
+    fn server_metrics(&self) -> DbResult<MetricsSnapshot> {
+        self.fetch_metrics(req::SERVER_METRICS)
+    }
+
+    fn set_slow_query_log(
+        &self,
+        _threshold: Duration,
+        _logger: Box<dyn Fn(&SlowQuery) + Send + Sync>,
+    ) -> DbResult<()> {
+        Err(DbError::unavailable(
+            "slow-query log hooks are in-process only",
+        ))
+    }
+
+    fn clear_slow_query_log(&self) -> DbResult<()> {
+        Err(DbError::unavailable(
+            "slow-query log hooks are in-process only",
+        ))
+    }
+
+    fn endpoint(&self) -> String {
+        self.endpoint.clone()
+    }
+}
+
+impl Drop for RemoteTransport {
+    fn drop(&mut self) {
+        // Orderly goodbye; best effort, the server also survives an
+        // abrupt close.
+        if !self.broken.load(Ordering::SeqCst) {
+            if let Ok(stream) = self.stream.get_mut() {
+                let mut frame = Vec::with_capacity(8);
+                if protocol::write_frame(&mut frame, req::BYE, &[]).is_ok() {
+                    let _ = io::Write::write_all(stream, &frame);
+                }
+            }
+        }
+    }
+}

@@ -10,6 +10,10 @@
 //! * `Period` — two instants.
 //! * `Element` — u32 period count + periods.
 //!
+//! The module also provides codecs for the builtin scalar types
+//! (`bool`, `i64`, `f64`, strings) so a wire protocol can ship whole
+//! rows in the same format the storage layer uses.
+//!
 //! Decoding validates untrusted input and reports
 //! [`TemporalError::Corrupt`] instead of panicking.
 
@@ -135,6 +139,76 @@ pub fn element_to_vec(e: &Element) -> Vec<u8> {
     out
 }
 
+// ----- builtin scalar codecs ---------------------------------------------
+
+/// Encodes a `bool` (1 byte).
+pub fn encode_bool(b: bool, out: &mut impl BufMut) {
+    out.put_u8(b as u8);
+}
+
+/// Decodes a `bool`, rejecting anything but 0/1.
+pub fn decode_bool(buf: &mut impl Buf) -> Result<bool> {
+    need(buf, 1, "bool")?;
+    match buf.get_u8() {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(TemporalError::Corrupt {
+            what: "bool",
+            reason: format!("invalid byte {t}"),
+        }),
+    }
+}
+
+/// Encodes an `i64` (8 bytes, little-endian).
+pub fn encode_i64(v: i64, out: &mut impl BufMut) {
+    out.put_i64_le(v);
+}
+
+/// Decodes an `i64`.
+pub fn decode_i64(buf: &mut impl Buf) -> Result<i64> {
+    need(buf, 8, "i64")?;
+    Ok(buf.get_i64_le())
+}
+
+/// Encodes an `f64` (8 bytes, IEEE-754 bits, little-endian).
+pub fn encode_f64(v: f64, out: &mut impl BufMut) {
+    out.put_f64_le(v);
+}
+
+/// Decodes an `f64` (any bit pattern, including NaN payloads, is valid).
+pub fn decode_f64(buf: &mut impl Buf) -> Result<f64> {
+    need(buf, 8, "f64")?;
+    Ok(buf.get_f64_le())
+}
+
+/// Encodes a string (u32 byte length + UTF-8 bytes).
+///
+/// # Panics
+/// Panics when the string is longer than `u32::MAX` bytes.
+pub fn encode_str(s: &str, out: &mut impl BufMut) {
+    let n = u32::try_from(s.len()).expect("string longer than u32::MAX bytes");
+    out.put_u32_le(n);
+    out.put_slice(s.as_bytes());
+}
+
+/// Decodes a string, validating the length field and UTF-8.
+pub fn decode_str(buf: &mut impl Buf) -> Result<String> {
+    need(buf, 4, "string")?;
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(TemporalError::Corrupt {
+            what: "string",
+            reason: format!("claimed {n} bytes but buffer is too short"),
+        });
+    }
+    let mut bytes = vec![0u8; n];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| TemporalError::Corrupt {
+        what: "string",
+        reason: "invalid UTF-8".into(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +291,51 @@ mod tests {
         let mut buf = Vec::new();
         buf.put_u32_le(u32::MAX);
         assert!(decode_element(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        for b in [false, true] {
+            let mut buf = Vec::new();
+            encode_bool(b, &mut buf);
+            assert_eq!(decode_bool(&mut buf.as_slice()).unwrap(), b);
+        }
+        for v in [0i64, -1, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            encode_i64(v, &mut buf);
+            assert_eq!(decode_i64(&mut buf.as_slice()).unwrap(), v);
+        }
+        for v in [0.0f64, -2.5, f64::INFINITY, f64::MIN_POSITIVE] {
+            let mut buf = Vec::new();
+            encode_f64(v, &mut buf);
+            assert_eq!(decode_f64(&mut buf.as_slice()).unwrap(), v);
+        }
+        let mut buf = Vec::new();
+        encode_f64(f64::NAN, &mut buf);
+        assert!(decode_f64(&mut buf.as_slice()).unwrap().is_nan());
+        for s in ["", "Mr.Showbiz", "naïve — ünïcode"] {
+            let mut buf = Vec::new();
+            encode_str(s, &mut buf);
+            assert_eq!(decode_str(&mut buf.as_slice()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn scalar_decoders_reject_truncation_and_garbage() {
+        assert!(decode_bool(&mut [].as_slice()).is_err());
+        assert!(decode_bool(&mut [7u8].as_slice()).is_err(), "bad bool byte");
+        assert!(decode_i64(&mut [0u8; 7].as_slice()).is_err());
+        assert!(decode_f64(&mut [0u8; 3].as_slice()).is_err());
+        // String whose length field overruns the buffer.
+        let mut buf = Vec::new();
+        buf.put_u32_le(100);
+        buf.put_slice(b"short");
+        assert!(decode_str(&mut buf.as_slice()).is_err());
+        // Invalid UTF-8 payload.
+        let mut buf = Vec::new();
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert!(decode_str(&mut buf.as_slice()).is_err());
     }
 
     #[test]

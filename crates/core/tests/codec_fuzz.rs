@@ -58,3 +58,93 @@ proptest! {
         let _ = s.parse::<tip_core::Period>();
     }
 }
+
+// ----- round-trip identity for every codec -------------------------------
+//
+// The wire protocol (tip-client/tip-server) ships every value through
+// these codecs, so encode→decode must be the identity for arbitrary
+// values, and decoding any strict prefix of an encoding must return a
+// clean `Err` — never panic, never succeed with a different value.
+
+use tip_core::{Chronon, Element, Instant, Period, Span};
+
+fn arb_chronon() -> impl Strategy<Value = Chronon> {
+    (Chronon::BEGINNING.raw()..=Chronon::FOREVER.raw())
+        .prop_map(|raw| Chronon::from_raw(raw).unwrap())
+}
+
+fn arb_span() -> impl Strategy<Value = Span> {
+    (i64::MIN..=i64::MAX).prop_map(Span::from_seconds)
+}
+
+fn arb_instant() -> impl Strategy<Value = Instant> {
+    (0u8..2, arb_chronon(), arb_span()).prop_map(|(tag, c, s)| {
+        if tag == 0 {
+            Instant::Fixed(c)
+        } else {
+            Instant::NowRelative(s)
+        }
+    })
+}
+
+fn arb_raw_period() -> impl Strategy<Value = Period> {
+    (arb_instant(), arb_instant()).prop_map(|(a, b)| Period::new(a, b))
+}
+
+fn arb_raw_element() -> impl Strategy<Value = Element> {
+    proptest::collection::vec(arb_raw_period(), 0..8).prop_map(Element::from_periods)
+}
+
+/// Every strict prefix of `bytes` must fail to decode (and not panic).
+fn assert_prefixes_err(bytes: &[u8], decode_is_err: impl Fn(&[u8]) -> bool) {
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_is_err(&bytes[..cut]),
+            "decoder accepted a {cut}-byte prefix of a {}-byte encoding",
+            bytes.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn chronon_codec_round_trips(c in arb_chronon()) {
+        let mut buf = Vec::new();
+        binary::encode_chronon(c, &mut buf);
+        prop_assert_eq!(binary::decode_chronon(&mut buf.as_slice()).unwrap(), c);
+        assert_prefixes_err(&buf, |b| binary::decode_chronon(&mut &*b).is_err());
+    }
+
+    #[test]
+    fn span_codec_round_trips(s in arb_span()) {
+        let mut buf = Vec::new();
+        binary::encode_span(s, &mut buf);
+        prop_assert_eq!(binary::decode_span(&mut buf.as_slice()).unwrap(), s);
+        assert_prefixes_err(&buf, |b| binary::decode_span(&mut &*b).is_err());
+    }
+
+    #[test]
+    fn instant_codec_round_trips(i in arb_instant()) {
+        let mut buf = Vec::new();
+        binary::encode_instant(i, &mut buf);
+        prop_assert_eq!(binary::decode_instant(&mut buf.as_slice()).unwrap(), i);
+        assert_prefixes_err(&buf, |b| binary::decode_instant(&mut &*b).is_err());
+    }
+
+    #[test]
+    fn period_codec_round_trips(p in arb_raw_period()) {
+        let mut buf = Vec::new();
+        binary::encode_period(p, &mut buf);
+        prop_assert_eq!(binary::decode_period(&mut buf.as_slice()).unwrap(), p);
+        assert_prefixes_err(&buf, |b| binary::decode_period(&mut &*b).is_err());
+    }
+
+    #[test]
+    fn element_codec_round_trips(e in arb_raw_element()) {
+        let buf = binary::element_to_vec(&e);
+        prop_assert_eq!(binary::decode_element(&mut buf.as_slice()).unwrap(), e.clone());
+        assert_prefixes_err(&buf, |b| binary::decode_element(&mut &*b).is_err());
+    }
+}

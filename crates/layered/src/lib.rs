@@ -150,7 +150,7 @@ impl LayeredStratum {
             }
             sql.push('(');
             for v in values {
-                sql.push_str(&literal(v));
+                sql.push_str(&literal(v)?);
                 sql.push_str(", ");
             }
             sql.push_str(&format!("{}, {})", p.start().raw(), p.end().raw()));
@@ -276,7 +276,7 @@ impl LayeredStratum {
         ))?;
         let mut n = 0;
         for (g, e) in groups {
-            let gl = literal(&g);
+            let gl = literal(&g)?;
             if e.is_empty() {
                 continue;
             }
@@ -301,16 +301,23 @@ impl LayeredStratum {
     }
 }
 
-/// Renders a value as a SQL literal for generated statements.
-fn literal(v: &Value) -> String {
-    match v {
+/// Renders a value as a SQL literal for generated statements. The
+/// layered store is the paper's plain-SQL strawman: it has no extension
+/// types, so a UDT reaching this layer is a caller error reported as a
+/// typed [`DbError`], never a panic.
+fn literal(v: &Value) -> DbResult<String> {
+    Ok(match v {
         Value::Null => "NULL".to_owned(),
         Value::Bool(b) => b.to_string(),
         Value::Int(i) => i.to_string(),
         Value::Float(f) => format!("{f:?}"),
         Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
-        Value::Udt(_) => panic!("layered backend has no UDTs"),
-    }
+        Value::Udt(_) => {
+            return Err(DbError::type_err(
+                "layered backend has no UDTs; lower temporal values to scalars first",
+            ))
+        }
+    })
 }
 
 /// Reconstructs a period from raw chronon seconds.
@@ -487,6 +494,20 @@ mod tests {
             .insert_temporal("t", &[Value::Int(1)], &ResolvedElement::empty())
             .unwrap();
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn udt_values_are_a_typed_error_not_a_panic() {
+        let mut s = LayeredStratum::new();
+        s.create_temporal_table("t", &[("k", LType::Str)]).unwrap();
+        let udt = minidb::Value::Udt(minidb::UdtValue::new(
+            minidb::UdtId(999),
+            std::sync::Arc::new(tip_blade::TipSpan(tip_core::Span::from_days(1))),
+        ));
+        match s.insert_temporal("t", &[udt], &el(&[("1999-01-01", "1999-01-02")])) {
+            Err(DbError::Type { message }) => assert!(message.contains("no UDTs")),
+            other => panic!("expected a Type error, got {other:?}"),
+        }
     }
 
     #[test]

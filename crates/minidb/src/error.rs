@@ -27,6 +27,9 @@ pub enum DbError {
     Constraint { message: String },
     /// Snapshot persistence failed.
     Persist { message: String },
+    /// The service is temporarily unable to take the request (server at
+    /// its connection limit, shutting down, or the transport failed).
+    Unavailable { message: String },
 }
 
 impl DbError {
@@ -50,6 +53,13 @@ impl DbError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for temporary-unavailability errors.
+    pub fn unavailable(message: impl Into<String>) -> DbError {
+        DbError::Unavailable {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for DbError {
@@ -66,6 +76,7 @@ impl fmt::Display for DbError {
             DbError::MissingParam { name } => write!(f, "missing value for parameter :{name}"),
             DbError::Constraint { message } => write!(f, "constraint violation: {message}"),
             DbError::Persist { message } => write!(f, "persistence error: {message}"),
+            DbError::Unavailable { message } => write!(f, "service unavailable: {message}"),
         }
     }
 }

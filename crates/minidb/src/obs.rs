@@ -349,7 +349,7 @@ impl QueryMetrics {
 }
 
 /// A point-in-time copy of a session's [`QueryMetrics`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub selects: u64,
     pub inserts: u64,
@@ -370,6 +370,37 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Folds another session's counters into this snapshot — the server
+    /// uses this to aggregate per-session observability counters across
+    /// all live connections. Saturating, so a hostile peer cannot make
+    /// aggregation itself overflow.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        let add = |a: &mut u64, b: u64| *a = a.saturating_add(b);
+        add(&mut self.selects, other.selects);
+        add(&mut self.inserts, other.inserts);
+        add(&mut self.updates, other.updates);
+        add(&mut self.deletes, other.deletes);
+        add(&mut self.ddl, other.ddl);
+        add(&mut self.explains, other.explains);
+        add(&mut self.errors, other.errors);
+        add(&mut self.full_scans, other.full_scans);
+        add(&mut self.index_eq_scans, other.index_eq_scans);
+        add(&mut self.index_range_scans, other.index_range_scans);
+        add(&mut self.index_overlap_scans, other.index_overlap_scans);
+        add(&mut self.rows_scanned, other.rows_scanned);
+        add(&mut self.rows_returned, other.rows_returned);
+        add(&mut self.select_nanos, other.select_nanos);
+        add(&mut self.slow_queries, other.slow_queries);
+        for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// Total statements of any kind (errors not included).
+    pub fn statements(&self) -> u64 {
+        self.selects + self.inserts + self.updates + self.deletes + self.ddl + self.explains
+    }
+
     /// Scans that used any index, of any kind.
     pub fn index_scans(&self) -> u64 {
         self.index_eq_scans + self.index_range_scans + self.index_overlap_scans
@@ -474,6 +505,49 @@ mod tests {
         assert!(names.contains(&"scans.full"));
         assert!(names.contains(&"rows.scanned"));
         assert!(names.iter().any(|n| n.starts_with("latency.us[")));
+    }
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let a = QueryMetrics::default();
+        a.record_statement(StatementKind::Select);
+        a.record_scan(AccessPath::IndexEq, 3);
+        a.record_select(2, Duration::from_micros(5));
+        let b = QueryMetrics::default();
+        b.record_statement(StatementKind::Insert);
+        b.record_statement(StatementKind::Select);
+        b.record_scan(AccessPath::FullScan, 10);
+        b.record_select(7, Duration::from_micros(40));
+        b.record_error();
+
+        let mut total = MetricsSnapshot::default();
+        total.absorb(&a.snapshot());
+        total.absorb(&b.snapshot());
+        assert_eq!(total.selects, 2);
+        assert_eq!(total.inserts, 1);
+        assert_eq!(total.errors, 1);
+        assert_eq!(total.rows_scanned, 13);
+        assert_eq!(total.rows_returned, 9);
+        assert_eq!(total.statements(), 3);
+        assert_eq!(
+            total.latency_buckets.iter().sum::<u64>(),
+            a.snapshot().latency_buckets.iter().sum::<u64>()
+                + b.snapshot().latency_buckets.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn absorb_saturates_instead_of_overflowing() {
+        let mut a = MetricsSnapshot {
+            selects: u64::MAX - 1,
+            ..MetricsSnapshot::default()
+        };
+        let b = MetricsSnapshot {
+            selects: 5,
+            ..MetricsSnapshot::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.selects, u64::MAX);
     }
 
     #[test]

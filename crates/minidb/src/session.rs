@@ -117,6 +117,58 @@ impl Database {
         *self.storage.write() = new_storage;
         Ok(())
     }
+
+    /// Renders a result set as an ASCII table (uses UDT display
+    /// functions). Same output as [`Session::format_result`], without
+    /// needing a session.
+    pub fn format_result(&self, result: &QueryResult) -> String {
+        format_result_with(&self.catalog.read(), result)
+    }
+}
+
+/// Renders a result set as an ASCII table through a catalog's display
+/// functions.
+fn format_result_with(catalog: &Catalog, result: &QueryResult) -> String {
+    let mut widths: Vec<usize> = result
+        .columns
+        .iter()
+        .map(|(n, _)| n.chars().count())
+        .collect();
+    let rendered: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|v| catalog.display_value(v)).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    sep(&mut out);
+    out.push('|');
+    for ((name, _), w) in result.columns.iter().zip(&widths) {
+        out.push_str(&format!(" {name:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in &rendered {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
 }
 
 /// A connection-like handle executing statements against a database.
@@ -443,47 +495,7 @@ impl Session {
     /// Renders a result set as an ASCII table (uses UDT display
     /// functions).
     pub fn format_result(&self, result: &QueryResult) -> String {
-        let catalog = self.db.catalog.read();
-        let mut widths: Vec<usize> = result
-            .columns
-            .iter()
-            .map(|(n, _)| n.chars().count())
-            .collect();
-        let rendered: Vec<Vec<String>> = result
-            .rows
-            .iter()
-            .map(|row| row.iter().map(|v| catalog.display_value(v)).collect())
-            .collect();
-        for row in &rendered {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.chars().count());
-            }
-        }
-        let mut out = String::new();
-        let sep = |out: &mut String| {
-            out.push('+');
-            for w in &widths {
-                out.push_str(&"-".repeat(w + 2));
-                out.push('+');
-            }
-            out.push('\n');
-        };
-        sep(&mut out);
-        out.push('|');
-        for ((name, _), w) in result.columns.iter().zip(&widths) {
-            out.push_str(&format!(" {name:<w$} |"));
-        }
-        out.push('\n');
-        sep(&mut out);
-        for row in &rendered {
-            out.push('|');
-            for (cell, w) in row.iter().zip(&widths) {
-                out.push_str(&format!(" {cell:<w$} |"));
-            }
-            out.push('\n');
-        }
-        sep(&mut out);
-        out
+        format_result_with(&self.db.catalog.read(), result)
     }
 
     // ----- DML -------------------------------------------------------

@@ -140,3 +140,95 @@ fn concurrent_updates_against_an_index_stay_consistent() {
         assert_eq!(row[1].as_int(), Some(250), "k={:?}", row[0]);
     }
 }
+
+/// The full mix — concurrent DDL, DML and SELECT through independent
+/// sessions on one shared database — with per-session observability
+/// counters that must add up exactly when aggregated.
+#[test]
+fn mixed_ddl_dml_select_stress_with_consistent_stats() {
+    const WORKERS: i64 = 8;
+    const ROUNDS: i64 = 30;
+
+    let db = Database::new();
+    db.session()
+        .execute("CREATE TABLE shared (worker INT, seq INT)")
+        .unwrap();
+
+    let threads: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            thread::spawn(move || {
+                let s = db.session();
+                // DDL races against every other worker's DML.
+                s.execute(&format!("CREATE TABLE w{w} (v INT)")).unwrap();
+                for i in 0..ROUNDS {
+                    s.execute_with_params(
+                        "INSERT INTO shared VALUES (:w, :i)",
+                        &[("w", Value::Int(w)), ("i", Value::Int(i))],
+                    )
+                    .unwrap();
+                    s.execute_with_params(
+                        &format!("INSERT INTO w{w} VALUES (:i)"),
+                        &[("i", Value::Int(i))],
+                    )
+                    .unwrap();
+                    if i == ROUNDS / 2 {
+                        // Mid-flight DDL on a live table.
+                        s.execute(&format!("CREATE INDEX ixw{w} ON w{w}(v)"))
+                            .unwrap();
+                    }
+                    if i % 3 == 0 {
+                        s.execute_with_params(
+                            &format!("UPDATE w{w} SET v = v WHERE v = :i"),
+                            &[("i", Value::Int(i))],
+                        )
+                        .unwrap();
+                    }
+                    let r = s.query("SELECT COUNT(*) FROM shared").unwrap();
+                    assert!(r.rows[0][0].as_int().unwrap() > i);
+                }
+                s.execute(&format!("DELETE FROM w{w} WHERE v < 5")).unwrap();
+
+                // The SQL view of this session's stats must agree with
+                // the API view (SHOW STATS itself is not counted).
+                let api = s.metrics().snapshot();
+                let shown = s.query("SHOW STATS").unwrap();
+                let lookup = |name: &str| -> i64 {
+                    shown
+                        .rows
+                        .iter()
+                        .find(|row| row[0].as_str() == Some(name))
+                        .map(|row| row[1].as_int().unwrap())
+                        .unwrap_or(0)
+                };
+                assert_eq!(lookup("statements.select") as u64, api.selects);
+                assert_eq!(lookup("statements.insert") as u64, api.inserts);
+                assert_eq!(lookup("statements.ddl") as u64, api.ddl);
+                api
+            })
+        })
+        .collect();
+
+    let mut total = minidb::MetricsSnapshot::default();
+    for t in threads {
+        total.absorb(&t.join().unwrap());
+    }
+
+    // No lost rows anywhere.
+    let s = db.session();
+    let r = s.query("SELECT COUNT(*) FROM shared").unwrap();
+    assert_eq!(r.rows[0][0].as_int(), Some(WORKERS * ROUNDS));
+    for w in 0..WORKERS {
+        let r = s.query(&format!("SELECT COUNT(*) FROM w{w}")).unwrap();
+        assert_eq!(r.rows[0][0].as_int(), Some(ROUNDS - 5), "worker {w}");
+    }
+
+    // Aggregated per-session counters match exactly what was issued.
+    let per_worker_updates = (0..ROUNDS).filter(|i| i % 3 == 0).count() as u64;
+    assert_eq!(total.inserts, (WORKERS * ROUNDS * 2) as u64);
+    assert_eq!(total.ddl, (WORKERS * 2) as u64); // CREATE TABLE + CREATE INDEX
+    assert_eq!(total.updates, WORKERS as u64 * per_worker_updates);
+    assert_eq!(total.deletes, WORKERS as u64);
+    assert_eq!(total.selects, (WORKERS * ROUNDS) as u64);
+    assert_eq!(total.errors, 0);
+}

@@ -1,0 +1,76 @@
+//! Stand-alone TIP server.
+//!
+//! ```text
+//! tip-server [--listen ADDR] [--max-connections N] [--demo]
+//! ```
+//!
+//! `--demo` pre-populates the shared database with the synthetic
+//! medical workload so a `tip-browser-cli connect <addr>` in another
+//! terminal has something to query.
+
+use minidb::Database;
+use std::process::ExitCode;
+use std::time::Duration;
+use tip_blade::{TipBlade, TipTypes};
+use tip_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: tip-server [--listen ADDR] [--max-connections N] [--demo]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut listen = "127.0.0.1:7474".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut demo = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--max-connections" => {
+                cfg.max_connections = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--demo" => demo = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let db = Database::new();
+    db.install_blade(&TipBlade)
+        .expect("fresh database accepts the blade");
+
+    if demo {
+        let session = db.session();
+        let types = db
+            .with_catalog(TipTypes::from_catalog)
+            .expect("blade just installed");
+        let medical = tip_workload::generate(&tip_workload::MedicalConfig::default());
+        match tip_workload::populate_tip(&session, types, &medical) {
+            Ok(n) => eprintln!("demo: loaded {n} prescriptions"),
+            Err(e) => {
+                eprintln!("demo load failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let server = match Server::bind(listen.as_str(), &db, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tip-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("tip-server listening on {}", server.local_addr());
+
+    // Serve until the process is killed; connections are handled on
+    // their own threads.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

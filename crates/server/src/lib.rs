@@ -1,0 +1,457 @@
+//! # tip-server — a concurrent wire-protocol server for TIP
+//!
+//! The paper's Figure 1 places client applications *across a network*
+//! from the TIP-enabled database server. This crate supplies that
+//! missing tier: a multi-threaded TCP server owning one shared
+//! [`Database`], serving many concurrent sessions over the
+//! length-prefixed binary protocol defined in [`tip_client::protocol`].
+//!
+//! Design points:
+//!
+//! * **one thread per connection**, all sharing the `Arc<Database>` —
+//!   concurrency control is the engine's own catalog/storage locks;
+//! * **per-connection session state** — each connection gets its own
+//!   [`Session`], so NOW overrides and metrics are isolated exactly as
+//!   they are for in-process sessions;
+//! * **robustness** — read/write timeouts on every socket, a
+//!   max-connections limit answered with a typed BUSY reject, malformed
+//!   frames kill only the offending connection, and shutdown drains
+//!   in-flight statements before the process lets go of the database;
+//! * **observability** — a `SERVER_METRICS` request aggregates every
+//!   live session's counters plus those of already-closed sessions via
+//!   [`MetricsSnapshot::absorb`].
+
+use minidb::{
+    Database, DbError, DbResult, MetricsSnapshot, QueryMetrics, Session, StatementOutcome, Value,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+use tip_blade::TipTypes;
+use tip_client::protocol::{self, req, resp};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections at or over this limit are rejected with BUSY.
+    pub max_connections: usize,
+    /// Socket read timeout once a frame has started arriving.
+    pub read_timeout: Duration,
+    /// Socket write timeout for response frames.
+    pub write_timeout: Duration,
+    /// Rows per ROW_BATCH frame when streaming result sets.
+    pub rows_per_batch: usize,
+    /// Free-form banner returned in HELLO_OK.
+    pub banner: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            rows_per_batch: 256,
+            banner: "tip-server".to_string(),
+        }
+    }
+}
+
+/// How often idle connections and the accept loop wake up to check for
+/// shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+struct Shared {
+    db: Arc<Database>,
+    types: TipTypes,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    /// Live connections' metric registries, keyed by connection id.
+    live: Mutex<HashMap<u64, Arc<QueryMetrics>>>,
+    /// Folded-in counters of connections that already closed.
+    retired: Mutex<MetricsSnapshot>,
+    live_count: AtomicUsize,
+    next_conn_id: AtomicU64,
+}
+
+impl Shared {
+    /// Server-wide counters: every closed session plus every live one.
+    fn server_metrics(&self) -> MetricsSnapshot {
+        let mut total = self.retired.lock().clone();
+        for metrics in self.live.lock().values() {
+            total.absorb(&metrics.snapshot());
+        }
+        total
+    }
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`])
+/// stops accepting, drains in-flight statements, and joins every
+/// worker thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// accepting connections against `db`, which must already have the
+    /// TIP blade installed.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        db: &Arc<Database>,
+        cfg: ServerConfig,
+    ) -> DbResult<Server> {
+        let types = db.with_catalog(TipTypes::from_catalog)?;
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| DbError::unavailable(format!("bind failed: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| DbError::unavailable(format!("local_addr failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| DbError::unavailable(format!("set_nonblocking failed: {e}")))?;
+
+        let shared = Arc::new(Shared {
+            db: Arc::clone(db),
+            types,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            live: Mutex::new(HashMap::new()),
+            retired: Mutex::new(MetricsSnapshot::default()),
+            live_count: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(1),
+        });
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_workers = Arc::clone(&workers);
+        let accept_thread = thread::Builder::new()
+            .name("tip-server-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared, accept_workers))
+            .map_err(|e| DbError::unavailable(format!("spawn failed: {e}")))?;
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of connections currently being served.
+    pub fn connection_count(&self) -> usize {
+        self.shared.live_count.load(Ordering::SeqCst)
+    }
+
+    /// Server-wide metrics: all closed sessions plus all live ones.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.server_metrics()
+    }
+
+    /// Stops accepting, lets in-flight statements finish, and joins all
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        loop {
+            let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+            if drained.is_empty() {
+                break;
+            }
+            for w in drained {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Reap finished workers so the handle list stays small.
+                workers.lock().retain(|w| !w.is_finished());
+
+                if shared.live_count.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+                    reject_busy(stream, &shared);
+                    continue;
+                }
+                shared.live_count.fetch_add(1, Ordering::SeqCst);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let handle = thread::Builder::new()
+                    .name(format!("tip-server-conn-{conn_id}"))
+                    .spawn(move || {
+                        serve_connection(stream, conn_id, &conn_shared);
+                        retire_connection(conn_id, &conn_shared);
+                    });
+                match handle {
+                    Ok(h) => workers.lock().push(h),
+                    Err(_) => {
+                        shared.live_count.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Removes a finished connection from the live table, folding its
+/// counters into the retired total.
+fn retire_connection(conn_id: u64, shared: &Shared) {
+    if let Some(metrics) = shared.live.lock().remove(&conn_id) {
+        shared.retired.lock().absorb(&metrics.snapshot());
+    }
+    shared.live_count.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Sends one frame as a single write (length, tag and body assembled
+/// first so the kernel sees whole frames).
+fn send(stream: &mut TcpStream, tag: u8, body: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(5 + body.len());
+    protocol::write_frame(&mut frame, tag, body)?;
+    stream.write_all(&frame)
+}
+
+fn send_error(stream: &mut TcpStream, e: &DbError) -> io::Result<()> {
+    send(stream, resp::ERROR, &protocol::encode_error(e))
+}
+
+/// Over-capacity reject: a typed BUSY frame, then close. The socket is
+/// made blocking first (it inherits the listener's non-blocking flag on
+/// some platforms).
+fn reject_busy(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    // Drain the client's HELLO first: closing a socket with unread data
+    // RSTs the peer before it can read the BUSY frame.
+    let _ = protocol::read_frame(&mut stream);
+    let msg = format!(
+        "server busy: at its limit of {} connections",
+        shared.cfg.max_connections
+    );
+    let _ = send(&mut stream, resp::BUSY, &protocol::encode_busy(&msg));
+}
+
+/// Outcome of waiting for the next request frame.
+enum NextFrame {
+    Frame(u8, Vec<u8>),
+    /// Peer closed at a frame boundary, or the stream died.
+    Closed,
+    /// The server is shutting down; no new statement was started.
+    Shutdown,
+    /// The stream is malformed beyond recovery.
+    Malformed(String),
+}
+
+/// Waits for the next frame, polling in short intervals while idle so a
+/// shutdown request is noticed quickly, then switching to the full read
+/// timeout once the frame starts arriving.
+fn next_frame(stream: &mut TcpStream, shared: &Shared) -> NextFrame {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return NextFrame::Shutdown;
+        }
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let mut first = [0u8; 1];
+        match stream.peek(&mut first) {
+            Ok(0) => return NextFrame::Closed,
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return NextFrame::Closed,
+        }
+    }
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    match protocol::read_frame(stream) {
+        Ok((tag, body)) => NextFrame::Frame(tag, body),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => NextFrame::Malformed(e.to_string()),
+        Err(_) => NextFrame::Closed,
+    }
+}
+
+/// Runs one connection to completion: handshake, then the request loop.
+/// Any protocol fault ends only this connection; the database and every
+/// other session are untouched.
+fn serve_connection(mut stream: TcpStream, conn_id: u64, shared: &Shared) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+
+    // --- handshake -----------------------------------------------------
+    let hello = match next_frame(&mut stream, shared) {
+        NextFrame::Frame(req::HELLO, body) => match protocol::decode_hello(&body) {
+            Ok(h) => h,
+            Err(e) => {
+                let _ = send_error(&mut stream, &e);
+                return;
+            }
+        },
+        NextFrame::Frame(_, _) | NextFrame::Malformed(_) => {
+            let _ = send_error(
+                &mut stream,
+                &DbError::unavailable("handshake failed: expected HELLO"),
+            );
+            return;
+        }
+        NextFrame::Closed | NextFrame::Shutdown => return,
+    };
+    if hello.version != protocol::VERSION {
+        let _ = send_error(
+            &mut stream,
+            &DbError::unavailable(format!(
+                "unsupported protocol version {} (server speaks {})",
+                hello.version,
+                protocol::VERSION
+            )),
+        );
+        return;
+    }
+
+    let mut session = shared.db.session();
+    session.set_now_unix(hello.now_unix);
+    shared.live.lock().insert(conn_id, session.metrics());
+
+    if send(
+        &mut stream,
+        resp::HELLO_OK,
+        &protocol::encode_hello_ok(protocol::VERSION, &shared.cfg.banner),
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    // --- request loop --------------------------------------------------
+    loop {
+        match next_frame(&mut stream, shared) {
+            NextFrame::Frame(tag, body) => {
+                if !dispatch(&mut stream, &mut session, shared, tag, &body) {
+                    return;
+                }
+            }
+            NextFrame::Malformed(why) => {
+                let _ = send_error(
+                    &mut stream,
+                    &DbError::unavailable(format!("malformed frame: {why}")),
+                );
+                return;
+            }
+            NextFrame::Closed | NextFrame::Shutdown => return,
+        }
+    }
+}
+
+/// Handles one request frame. Returns `false` when the connection must
+/// close (BYE, protocol violation, or a dead socket).
+fn dispatch(
+    stream: &mut TcpStream,
+    session: &mut Session,
+    shared: &Shared,
+    tag: u8,
+    body: &[u8],
+) -> bool {
+    match tag {
+        req::STMT => {
+            let stmt = match protocol::decode_stmt(body, &shared.types) {
+                Ok(s) => s,
+                Err(e) => {
+                    // Undecodable statement: the stream itself is suspect.
+                    let _ = send_error(stream, &e);
+                    return false;
+                }
+            };
+            let params: Vec<(&str, Value)> = stmt
+                .params
+                .iter()
+                .map(|(n, v)| (n.as_str(), v.clone()))
+                .collect();
+            match session.execute_with_params(&stmt.sql, &params) {
+                // Statement-level errors are part of normal service; the
+                // connection stays up.
+                Err(e) => send_error(stream, &e).is_ok(),
+                Ok(StatementOutcome::Done) => send(stream, resp::DONE, &[]).is_ok(),
+                Ok(StatementOutcome::Affected(n)) => {
+                    send(stream, resp::AFFECTED, &protocol::encode_affected(n as u64)).is_ok()
+                }
+                Ok(StatementOutcome::Rows(result)) => stream_rows(stream, shared, &result),
+            }
+        }
+        req::SET_NOW => match protocol::decode_set_now(body) {
+            Ok(now) => {
+                session.set_now_unix(now);
+                send(stream, resp::DONE, &[]).is_ok()
+            }
+            Err(e) => {
+                let _ = send_error(stream, &e);
+                false
+            }
+        },
+        req::SESSION_STATS => {
+            let snap = session.metrics().snapshot();
+            send(stream, resp::METRICS, &protocol::encode_metrics(&snap)).is_ok()
+        }
+        req::SERVER_METRICS => {
+            let snap = shared.server_metrics();
+            send(stream, resp::METRICS, &protocol::encode_metrics(&snap)).is_ok()
+        }
+        req::BYE => false,
+        other => {
+            let _ = send_error(
+                stream,
+                &DbError::unavailable(format!("unexpected request tag {other:#04x}")),
+            );
+            false
+        }
+    }
+}
+
+/// Streams a materialized result set: header, row batches, trailer.
+fn stream_rows(stream: &mut TcpStream, shared: &Shared, result: &minidb::QueryResult) -> bool {
+    let display = |v: &Value| shared.db.with_catalog(|c| c.display_value(v));
+    let header = protocol::encode_rows_header(&result.columns, &shared.types);
+    if send(stream, resp::ROWS_HEADER, &header).is_err() {
+        return false;
+    }
+    let batch_size = shared.cfg.rows_per_batch.max(1);
+    for chunk in result.rows.chunks(batch_size) {
+        let body = protocol::encode_row_batch(chunk, &display, &shared.types);
+        if send(stream, resp::ROW_BATCH, &body).is_err() {
+            return false;
+        }
+    }
+    // An empty result still sends header + trailer so the client sees
+    // column names.
+    send(stream, resp::ROWS_DONE, &[]).is_ok()
+}

@@ -1,0 +1,375 @@
+//! Loopback integration tests: a real `Server` on 127.0.0.1 port 0,
+//! real `Connection::connect` clients, one process.
+
+use minidb::{Database, DbError};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use tip_blade::{TipBlade, TipTypes};
+use tip_client::transport::ConnectOptions;
+use tip_client::{Connection, HostValue};
+use tip_core::{Chronon, Span};
+use tip_server::{Server, ServerConfig};
+
+/// A TIP-bladed database pre-loaded with a small medical workload.
+fn demo_db() -> Arc<Database> {
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let cfg = tip_workload::MedicalConfig {
+        n_prescriptions: 60,
+        ..Default::default()
+    };
+    let medical = tip_workload::generate(&cfg);
+    let session = db.session();
+    let types = db.with_catalog(TipTypes::from_catalog).unwrap();
+    tip_workload::populate_tip(&session, types, &medical).unwrap();
+    db
+}
+
+fn serve(db: &Arc<Database>, cfg: ServerConfig) -> Server {
+    Server::bind("127.0.0.1:0", db, cfg).unwrap()
+}
+
+#[test]
+fn ddl_dml_select_round_trip() {
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let server = serve(&db, ServerConfig::default());
+    let conn = Connection::connect(server.local_addr()).unwrap();
+
+    assert_eq!(
+        conn.execute(
+            "CREATE TABLE visits (patient CHAR(20), at Chronon, n INT)",
+            &[]
+        )
+        .unwrap(),
+        0
+    );
+    assert_eq!(
+        conn.execute(
+            "INSERT INTO visits VALUES ('Mr.Showbiz', '1999-10-01', 3)",
+            &[]
+        )
+        .unwrap(),
+        1
+    );
+
+    let mut rows = conn
+        .query("SELECT patient, at, n FROM visits", &[])
+        .unwrap();
+    assert!(rows.next());
+    assert_eq!(rows.get_string(0).unwrap(), "Mr.Showbiz");
+    assert_eq!(
+        rows.get_chronon(1).unwrap(),
+        Chronon::from_ymd(1999, 10, 1).unwrap()
+    );
+    assert_eq!(rows.get_int(2).unwrap(), 3);
+    assert!(!rows.next());
+}
+
+#[test]
+fn typed_errors_cross_the_wire() {
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let server = serve(&db, ServerConfig::default());
+    let conn = Connection::connect(server.local_addr()).unwrap();
+
+    match conn.query("SELECT * FROM no_such_table", &[]) {
+        Err(DbError::NotFound { kind, name }) => {
+            assert_eq!(kind, "table or view");
+            assert_eq!(name, "no_such_table");
+        }
+        Err(e) => panic!("expected NotFound, got {e:?}"),
+        Ok(_) => panic!("expected NotFound, got rows"),
+    }
+    match conn.execute("CREATE TABLEE t (x INT)", &[]) {
+        Err(DbError::Syntax { .. }) => {}
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+    // Statement errors must not kill the connection.
+    assert!(conn.execute("CREATE TABLE t (x INT)", &[]).is_ok());
+}
+
+#[test]
+fn prepared_statements_with_tip_params() {
+    let db = demo_db();
+    let server = serve(&db, ServerConfig::default());
+    let conn = Connection::connect(server.local_addr()).unwrap();
+
+    let stmt = conn
+        .prepare("SELECT patient FROM Prescription WHERE frequency >= :f")
+        .bind("f", HostValue::Span(Span::from_hours(1)));
+    let remote_count = stmt.query().unwrap().len();
+
+    let local = Connection::attach(&db).unwrap();
+    let local_count = local
+        .prepare("SELECT patient FROM Prescription WHERE frequency >= :f")
+        .bind("f", HostValue::Span(Span::from_hours(1)))
+        .query()
+        .unwrap()
+        .len();
+    assert_eq!(remote_count, local_count);
+    assert!(remote_count > 0);
+}
+
+/// The acceptance-criteria test: 64 concurrent remote connections, each
+/// with its own NOW override, each byte-identical to the in-process
+/// path under the same override.
+#[test]
+fn sixty_four_connections_with_isolated_now_overrides() {
+    let db = demo_db();
+    let server = serve(
+        &db,
+        ServerConfig {
+            max_connections: 80,
+            ..Default::default()
+        },
+    );
+    let addr = server.local_addr();
+    let query =
+        "SELECT patient, drug, dosage, valid, total_seconds(length(valid)) FROM Prescription";
+
+    let handles: Vec<_> = (0..64)
+        .map(|i| {
+            let db = Arc::clone(&db);
+            thread::spawn(move || {
+                // Spread NOW overrides over ~8 years so different
+                // connections see genuinely different answers.
+                let now = Chronon::from_ymd(1994 + (i % 8), 1 + (i % 12) as u32, 15).unwrap();
+
+                let remote = Connection::connect(addr).unwrap();
+                remote.set_now(Some(now));
+                let remote_rows = remote.query(query, &[]).unwrap();
+                let remote_text = remote.format(&remote_rows);
+
+                let local = Connection::attach(&db).unwrap();
+                local.set_now(Some(now));
+                let local_rows = local.query(query, &[]).unwrap();
+                let local_text = local.format(&local_rows);
+
+                assert_eq!(
+                    remote_text, local_text,
+                    "connection {i} (NOW={now}) diverged from in-process"
+                );
+                remote_rows.len()
+            })
+        })
+        .collect();
+
+    let mut total = 0usize;
+    for h in handles {
+        total += h.join().expect("worker panicked");
+    }
+    assert!(total > 0, "every override produced an empty result");
+}
+
+#[test]
+fn now_override_in_handshake() {
+    let db = demo_db();
+    let server = serve(&db, ServerConfig::default());
+    let now = Chronon::from_ymd(1997, 6, 1).unwrap();
+    let conn = Connection::connect_with(
+        server.local_addr(),
+        &ConnectOptions {
+            now_unix: Some(tip_blade::chronon_to_unix(now)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(conn.now_override(), Some(now));
+
+    let local = Connection::attach(&db).unwrap();
+    local.set_now(Some(now));
+    let q = "SELECT patient, total_seconds(length(valid)) FROM Prescription";
+    assert_eq!(
+        conn.format(&conn.query(q, &[]).unwrap()),
+        local.format(&local.query(q, &[]).unwrap())
+    );
+}
+
+#[test]
+fn malformed_frames_kill_only_their_connection() {
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let server = serve(&db, ServerConfig::default());
+    let addr = server.local_addr();
+
+    let good = Connection::connect(addr).unwrap();
+    good.execute("CREATE TABLE t (x INT)", &[]).unwrap();
+
+    // A zoo of hostile byte streams, one fresh socket each.
+    let attacks: Vec<Vec<u8>> = vec![
+        b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        vec![0x00; 64],
+        // Oversized frame length.
+        (0xffff_ffffu32).to_le_bytes().to_vec(),
+        // Valid length, unknown tag.
+        {
+            let mut v = 2u32.to_le_bytes().to_vec();
+            v.extend_from_slice(&[0x77, 0x00]);
+            v
+        },
+        // Valid HELLO tag, truncated body.
+        {
+            let mut v = 3u32.to_le_bytes().to_vec();
+            v.extend_from_slice(&[0x01, 0x54, 0x49]);
+            v
+        },
+    ];
+    for (i, attack) in attacks.iter().enumerate() {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(attack).unwrap();
+        // The server answers with an error frame and/or closes; it must
+        // never hang. Read until EOF.
+        let mut sink = Vec::new();
+        let _ = s.read_to_end(&mut sink);
+        drop(s);
+        // The well-behaved connection is unaffected.
+        assert!(
+            good.query("SELECT x FROM t", &[]).is_ok(),
+            "good connection died after attack #{i}"
+        );
+    }
+}
+
+#[test]
+fn busy_reject_is_typed() {
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let server = serve(
+        &db,
+        ServerConfig {
+            max_connections: 2,
+            ..Default::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let c1 = Connection::connect(addr).unwrap();
+    let c2 = Connection::connect(addr).unwrap();
+    // Ensure both workers are registered before the third dial.
+    c1.query("SELECT 1", &[]).unwrap();
+    c2.query("SELECT 1", &[]).unwrap();
+
+    match Connection::connect(addr) {
+        Err(DbError::Unavailable { message }) => {
+            assert!(message.contains("busy"), "unexpected message: {message}")
+        }
+        Err(e) => panic!("expected busy reject, got {e:?}"),
+        Ok(_) => panic!("expected busy reject, got a connection"),
+    }
+
+    // Capacity frees up once a connection closes.
+    drop(c1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match Connection::connect(addr) {
+            Ok(c) => {
+                c.query("SELECT 1", &[]).unwrap();
+                break;
+            }
+            Err(_) if std::time::Instant::now() < deadline => {
+                thread::sleep(Duration::from_millis(20))
+            }
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    }
+}
+
+#[test]
+fn server_metrics_aggregate_across_connections() {
+    let db = demo_db();
+    let server = serve(&db, ServerConfig::default());
+    let addr = server.local_addr();
+
+    let baseline = server.metrics().statements();
+
+    // Two live connections plus one that closes before we ask.
+    let c1 = Connection::connect(addr).unwrap();
+    let c2 = Connection::connect(addr).unwrap();
+    c1.query("SELECT patient FROM Prescription", &[]).unwrap();
+    c1.query("SELECT drug FROM Prescription", &[]).unwrap();
+    c2.query("SELECT dosage FROM Prescription", &[]).unwrap();
+    {
+        let c3 = Connection::connect(addr).unwrap();
+        c3.query("SELECT doctor FROM Prescription", &[]).unwrap();
+        drop(c3);
+    }
+    // The retired session's counters land in the aggregate once the
+    // worker notices the close.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let agg = c1.server_metrics().unwrap();
+        if agg.statements() >= baseline + 4 {
+            assert_eq!(agg.selects, server.metrics().selects);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "aggregate never reached {} statements: {:?}",
+            baseline + 4,
+            agg
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    // Per-session stats stay per-session.
+    let s1 = c1.metrics_snapshot().unwrap();
+    let s2 = c2.metrics_snapshot().unwrap();
+    assert_eq!(
+        s1.selects, 2,
+        "SERVER_METRICS polling must not count as statements"
+    );
+    assert_eq!(s2.selects, 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_clients() {
+    let db = demo_db();
+    let mut server = serve(&db, ServerConfig::default());
+    let addr = server.local_addr();
+
+    let conn = Connection::connect(addr).unwrap();
+    let rows = conn.query("SELECT patient FROM Prescription", &[]).unwrap();
+    assert!(!rows.is_empty());
+
+    server.shutdown();
+
+    // Statements after shutdown fail with a typed transport error, not
+    // a hang or a panic.
+    match conn.query("SELECT patient FROM Prescription", &[]) {
+        Err(DbError::Unavailable { .. }) => {}
+        Err(e) => panic!("expected Unavailable after shutdown, got {e:?}"),
+        Ok(_) => panic!("expected Unavailable after shutdown, got rows"),
+    }
+    // And new dials are refused.
+    assert!(Connection::connect(addr).is_err());
+
+    // The database itself is still healthy in-process.
+    let local = Connection::attach(&db).unwrap();
+    assert!(!local
+        .query("SELECT patient FROM Prescription", &[])
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn session_stats_and_slow_log_policy() {
+    let db = demo_db();
+    let server = serve(&db, ServerConfig::default());
+    let conn = Connection::connect(server.local_addr()).unwrap();
+
+    conn.query("SELECT patient FROM Prescription", &[]).unwrap();
+    let snap = conn.metrics_snapshot().unwrap();
+    assert_eq!(snap.selects, 1);
+    assert!(snap.rows_returned > 0);
+
+    // Live handles and closure hooks are in-process-only by contract.
+    assert!(conn.metrics().is_err());
+    assert!(conn
+        .set_slow_query_log(Duration::from_millis(1), |_q| {})
+        .is_err());
+}

@@ -153,7 +153,7 @@ fn show_stats_distinguishes_index_paths_from_full_scans() {
     // Statement-kind counters tick as well, and the metrics API agrees
     // with the SQL surface.
     assert!(stat(&conn, "statements.select") >= 3);
-    let snap = conn.metrics().snapshot();
+    let snap = conn.metrics().unwrap().snapshot();
     assert_eq!(snap.full_scans, 1);
     assert_eq!(snap.index_eq_scans, 1);
     assert_eq!(snap.index_overlap_scans, 1);
@@ -189,7 +189,8 @@ fn slow_query_log_fires_over_threshold_only() {
     conn.set_slow_query_log(Duration::ZERO, move |q| {
         h.fetch_add(1, Ordering::SeqCst);
         *l.lock().unwrap() = format!("{} | {}", q.sql, q.plan);
-    });
+    })
+    .unwrap();
     conn.query("SELECT patient FROM Prescription", &[]).unwrap();
     assert_eq!(hits.load(Ordering::SeqCst), 1);
     let logged = last.lock().unwrap().clone();
@@ -201,11 +202,12 @@ fn slow_query_log_fires_over_threshold_only() {
     let h2 = hits.clone();
     conn.set_slow_query_log(Duration::from_secs(3600), move |_| {
         h2.fetch_add(1, Ordering::SeqCst);
-    });
+    })
+    .unwrap();
     conn.query("SELECT drug FROM Prescription", &[]).unwrap();
     assert_eq!(hits.load(Ordering::SeqCst), 1);
 
-    conn.clear_slow_query_log();
+    conn.clear_slow_query_log().unwrap();
     conn.query("SELECT drug FROM Prescription", &[]).unwrap();
     assert_eq!(hits.load(Ordering::SeqCst), 1);
 }
