@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! netload [--addr HOST:PORT] [--threads N] [--statements M] [--rows K]
+//!         [--contend] [--writers W]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process server over the synthetic
@@ -12,8 +13,16 @@
 //!
 //! Reports total throughput and a log2 latency histogram, mirroring the
 //! engine's own `SHOW STATS` bucket scheme.
+//!
+//! `--contend` switches to the lock-contention experiment: readers scan
+//! one table while `--writers` background connections hammer a
+//! *different* table with INSERTs. Under table-granular locking the
+//! reader latency profile should barely move versus the no-writer
+//! baseline (the tool prints both and their p50 ratio); under a global
+//! storage lock it degrades with every writer added.
 
 use minidb::Database;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Instant;
@@ -40,11 +49,176 @@ impl Histogram {
             *a += b;
         }
     }
+
+    /// Median latency, reported as the lower bound of the bucket the
+    /// median sample landed in (microseconds).
+    fn p50_micros(&self) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut seen = 0u64;
+        for (i, count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen * 2 >= total {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    fn print(&self, indent: &str) {
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (i, count) in self.buckets.iter().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            let label = if i == BUCKETS - 1 {
+                format!(">= 2^{i} us")
+            } else {
+                format!("[2^{i}, 2^{} us)", i + 1)
+            };
+            let stars = ((count * 40) / peak).max(1);
+            println!(
+                "{indent}{label:>16} {:<40} {count}",
+                "*".repeat(stars as usize)
+            );
+        }
+    }
 }
 
 fn usage() -> ! {
-    eprintln!("usage: netload [--addr HOST:PORT] [--threads N] [--statements M] [--rows K]");
+    eprintln!(
+        "usage: netload [--addr HOST:PORT] [--threads N] [--statements M] [--rows K] \
+         [--contend] [--writers W]"
+    );
     std::process::exit(2);
+}
+
+/// Readers-only pass over `contend_cold`: every thread runs `statements`
+/// SELECTs and the merged latency histogram comes back.
+fn reader_pass(target: &str, threads: usize, statements: usize) -> Histogram {
+    let merged = Arc::new(Mutex::new(Histogram::default()));
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let target = target.to_owned();
+            let merged = Arc::clone(&merged);
+            thread::spawn(move || {
+                let conn = Connection::connect(target.as_str()).expect("connect reader");
+                let mut hist = Histogram::default();
+                for i in 0..statements {
+                    let begin = Instant::now();
+                    conn.query(
+                        "SELECT COUNT(*) FROM contend_cold WHERE v >= :d",
+                        &[("d", HostValue::Int((i % 7) as i64))],
+                    )
+                    .expect("reader query");
+                    hist.record(begin.elapsed().as_micros() as u64);
+                }
+                merged.lock().expect("reader histogram").merge(&hist);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("reader panicked");
+    }
+    Arc::try_unwrap(merged)
+        .map(|m| m.into_inner().expect("reader histogram"))
+        .unwrap_or_else(|m| {
+            let mut out = Histogram::default();
+            out.merge(&m.lock().expect("reader histogram"));
+            out
+        })
+}
+
+/// The contention experiment: a no-writer baseline pass, then the same
+/// reader workload with `writers` connections inserting into a table the
+/// readers never touch. Table-granular locking keeps the two phases'
+/// latency profiles close; a global lock would not.
+fn run_contention(target: &str, threads: usize, writers: usize, statements: usize, rows: usize) {
+    let setup = Connection::connect(target).expect("connect setup");
+    for sql in [
+        "DROP TABLE IF EXISTS contend_hot",
+        "DROP TABLE IF EXISTS contend_cold",
+        "CREATE TABLE contend_hot (id INT, payload CHAR(64))",
+        "CREATE TABLE contend_cold (id INT, v INT)",
+    ] {
+        setup.execute(sql, &[]).expect("contention DDL");
+    }
+    for i in 0..rows {
+        setup
+            .execute(
+                "INSERT INTO contend_cold VALUES (:i, :v)",
+                &[
+                    ("i", HostValue::Int(i as i64)),
+                    ("v", HostValue::Int((i % 16) as i64)),
+                ],
+            )
+            .expect("populate contend_cold");
+    }
+
+    eprintln!("netload: contention phase 1 — {threads} readers, no writers");
+    let baseline = reader_pass(target, threads, statements);
+
+    eprintln!("netload: contention phase 2 — {threads} readers vs {writers} writers");
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let target = target.to_owned();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let conn = Connection::connect(target.as_str()).expect("connect writer");
+                let payload = "x".repeat(64);
+                let mut hist = Histogram::default();
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let begin = Instant::now();
+                    conn.execute(
+                        "INSERT INTO contend_hot VALUES (:i, :p)",
+                        &[
+                            ("i", HostValue::Int(w as i64 * 1_000_000 + i)),
+                            ("p", HostValue::Str(payload.clone())),
+                        ],
+                    )
+                    .expect("writer insert");
+                    hist.record(begin.elapsed().as_micros() as u64);
+                    i += 1;
+                }
+                (hist, i)
+            })
+        })
+        .collect();
+    let contended = reader_pass(target, threads, statements);
+    stop.store(true, Ordering::Relaxed);
+    let mut writer_hist = Histogram::default();
+    let mut writes = 0i64;
+    for h in writer_handles {
+        let (hist, n) = h.join().expect("writer panicked");
+        writer_hist.merge(&hist);
+        writes += n;
+    }
+
+    println!(
+        "reader baseline (no writers), p50 bucket {} us:",
+        baseline.p50_micros()
+    );
+    baseline.print("  ");
+    println!(
+        "reader under contention ({writers} writer(s) on a different table), p50 bucket {} us:",
+        contended.p50_micros()
+    );
+    contended.print("  ");
+    println!(
+        "writer ({writes} inserts), p50 bucket {} us:",
+        writer_hist.p50_micros()
+    );
+    writer_hist.print("  ");
+    let base = baseline.p50_micros().max(1) as f64;
+    let ratio = contended.p50_micros().max(1) as f64 / base;
+    println!(
+        "reader p50 ratio contended/baseline: {ratio:.2}x \
+         (table-granular locking should keep this near 1x)"
+    );
 }
 
 fn main() {
@@ -52,6 +226,8 @@ fn main() {
     let mut threads = 8usize;
     let mut statements = 200usize;
     let mut rows = 200usize;
+    let mut contend = false;
+    let mut writers = 2usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +237,8 @@ fn main() {
             "--threads" => threads = num(args.next()),
             "--statements" => statements = num(args.next()),
             "--rows" => rows = num(args.next()),
+            "--contend" => contend = true,
+            "--writers" => writers = num(args.next()),
             _ => usage(),
         }
     }
@@ -87,7 +265,7 @@ fn main() {
                 "127.0.0.1:0",
                 &db,
                 ServerConfig {
-                    max_connections: threads + 4,
+                    max_connections: threads + writers + 8,
                     ..Default::default()
                 },
             )
@@ -98,6 +276,11 @@ fn main() {
             a
         }
     };
+
+    if contend {
+        run_contention(&target, threads, writers, statements, rows);
+        return;
+    }
 
     eprintln!("netload: {threads} threads x {statements} statements against {target}");
     let total_hist = Arc::new(Mutex::new(Histogram::default()));
@@ -162,18 +345,5 @@ fn main() {
         total / elapsed.as_secs_f64().max(1e-9),
     );
     println!("latency histogram (log2 microseconds):");
-    let hist = total_hist.lock().expect("histogram");
-    let peak = hist.buckets.iter().copied().max().unwrap_or(0).max(1);
-    for (i, count) in hist.buckets.iter().enumerate() {
-        if *count == 0 {
-            continue;
-        }
-        let label = if i == BUCKETS - 1 {
-            format!(">= 2^{i} us")
-        } else {
-            format!("[2^{i}, 2^{} us)", i + 1)
-        };
-        let stars = ((count * 40) / peak).max(1);
-        println!("  {label:>16} {:<40} {count}", "*".repeat(stars as usize));
-    }
+    total_hist.lock().expect("histogram").print("  ");
 }

@@ -2,7 +2,7 @@
 //! the paper's reference [2] (Bliujute et al., ICDE 1999): indexing
 //! period-valued tuple timestamps, including NOW-relative data.
 
-use minidb::{Database, Session, Value};
+use minidb::{Database, Session, TableSource, Value};
 use tip_blade::TipBlade;
 use tip_core::Chronon;
 
@@ -48,8 +48,8 @@ fn count_overlapping(s: &Session, window: &str) -> i64 {
 fn create_index_on_element_column_builds_an_interval_index() {
     let (db, s) = setup(50);
     s.execute("CREATE INDEX ix_valid ON rx(valid)").unwrap();
-    db.with_storage(|st| {
-        let t = st.table("rx").unwrap();
+    db.with_tables(|pinned| {
+        let t = pinned.table("rx").unwrap();
         assert!(t.indexes()[0].is_interval());
         assert!(t.interval_index_on(1).is_some());
         assert!(t.index_on(1).is_none(), "not usable as an equality index");
@@ -137,8 +137,8 @@ fn interval_index_persists_in_snapshots() {
     let db2 = Database::new();
     db2.install_blade(&TipBlade).unwrap();
     db2.load_snapshot(&snap).unwrap();
-    db2.with_storage(|st| {
-        assert!(st.table("rx").unwrap().indexes()[0].is_interval());
+    db2.with_tables(|pinned| {
+        assert!(pinned.table("rx").unwrap().indexes()[0].is_interval());
     });
     let mut s2 = db2.session();
     s2.set_now_unix(Some(unix("1999-12-01")));

@@ -31,8 +31,9 @@ use tip_core::binary;
 
 /// First four bytes of the HELLO body: `"TIP1"`.
 pub const MAGIC: u32 = 0x5449_5031;
-/// Protocol version spoken by this build.
-pub const VERSION: u16 = 1;
+/// Protocol version spoken by this build. v2 widened the METRICS frame
+/// with DML and lock-wait counters.
+pub const VERSION: u16 = 2;
 /// Upper bound on one frame (tag + body); anything larger is treated as
 /// a malformed stream and kills the connection.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
@@ -596,7 +597,7 @@ pub fn decode_error(mut buf: &[u8]) -> DbResult<DbError> {
 // ---------------------------------------------------------------------
 
 pub fn encode_metrics(m: &MetricsSnapshot) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 * 8 + LATENCY_BUCKETS * 8);
+    let mut out = Vec::with_capacity(20 * 8 + LATENCY_BUCKETS * 8);
     for v in [
         m.selects,
         m.inserts,
@@ -611,8 +612,12 @@ pub fn encode_metrics(m: &MetricsSnapshot) -> Vec<u8> {
         m.index_overlap_scans,
         m.rows_scanned,
         m.rows_returned,
+        m.rows_affected,
         m.select_nanos,
+        m.dml_nanos,
         m.slow_queries,
+        m.lock_wait_nanos,
+        m.tables_pinned,
     ] {
         out.put_u64_le(v);
     }
@@ -624,7 +629,7 @@ pub fn encode_metrics(m: &MetricsSnapshot) -> Vec<u8> {
 }
 
 pub fn decode_metrics(mut buf: &[u8]) -> DbResult<MetricsSnapshot> {
-    need(&buf, 15 * 8 + 4, "METRICS")?;
+    need(&buf, 19 * 8 + 4, "METRICS")?;
     let mut m = MetricsSnapshot::default();
     for field in [
         &mut m.selects,
@@ -640,8 +645,12 @@ pub fn decode_metrics(mut buf: &[u8]) -> DbResult<MetricsSnapshot> {
         &mut m.index_overlap_scans,
         &mut m.rows_scanned,
         &mut m.rows_returned,
+        &mut m.rows_affected,
         &mut m.select_nanos,
+        &mut m.dml_nanos,
         &mut m.slow_queries,
+        &mut m.lock_wait_nanos,
+        &mut m.tables_pinned,
     ] {
         *field = buf.get_u64_le();
     }
@@ -832,6 +841,10 @@ mod tests {
         let mut m = MetricsSnapshot {
             selects: 3,
             rows_returned: 99,
+            rows_affected: 12,
+            dml_nanos: 4_000,
+            lock_wait_nanos: 2_500,
+            tables_pinned: 6,
             ..Default::default()
         };
         m.latency_buckets[0] = 1;

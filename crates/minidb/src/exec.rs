@@ -3,8 +3,8 @@
 use crate::catalog::ExecCtx;
 use crate::error::{DbError, DbResult};
 use crate::obs::{AccessPath, OpProfile};
+use crate::pin::TableSource;
 use crate::plan::Plan;
-use crate::storage::Storage;
 use crate::value::{GroupKey, Row, Value};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -16,8 +16,8 @@ pub trait RowStream {
 }
 
 /// Executes a plan to completion, materializing all result rows.
-pub fn execute(plan: &Plan, storage: &Storage, ctx: &ExecCtx) -> DbResult<Vec<Row>> {
-    execute_with(plan, storage, ctx, None)
+pub fn execute(plan: &Plan, src: &dyn TableSource, ctx: &ExecCtx) -> DbResult<Vec<Row>> {
+    execute_with(plan, src, ctx, None)
 }
 
 /// [`execute`] with an optional operator profile collecting runtime
@@ -25,11 +25,11 @@ pub fn execute(plan: &Plan, storage: &Storage, ctx: &ExecCtx) -> DbResult<Vec<Ro
 /// this same plan.
 pub fn execute_with(
     plan: &Plan,
-    storage: &Storage,
+    src: &dyn TableSource,
     ctx: &ExecCtx,
     prof: Option<&OpProfile>,
 ) -> DbResult<Vec<Row>> {
-    drain(open_with(plan, storage, ctx, prof)?)
+    drain(open_with(plan, src, ctx, prof)?)
 }
 
 /// Pulls a stream to exhaustion.
@@ -46,10 +46,10 @@ fn drain(mut stream: Box<dyn RowStream + '_>) -> DbResult<Vec<Row>> {
 /// the stream.
 pub fn open<'a>(
     plan: &'a Plan,
-    storage: &Storage,
+    src: &dyn TableSource,
     ctx: &'a ExecCtx,
 ) -> DbResult<Box<dyn RowStream + 'a>> {
-    open_with(plan, storage, ctx, None)
+    open_with(plan, src, ctx, None)
 }
 
 /// [`open`] with an optional operator profile. Scan nodes record their
@@ -59,7 +59,7 @@ pub fn open<'a>(
 /// inclusive wall time.
 pub fn open_with<'a>(
     plan: &'a Plan,
-    storage: &Storage,
+    src: &dyn TableSource,
     ctx: &'a ExecCtx,
     prof: Option<&'a OpProfile>,
 ) -> DbResult<Box<dyn RowStream + 'a>> {
@@ -80,7 +80,7 @@ pub fn open_with<'a>(
             filter,
             ..
         } => {
-            let t = storage.table(table)?;
+            let t = src.table(table)?;
             let rows: Vec<Row> = if let Some((col, key_expr)) = index_eq {
                 let key = key_expr.eval(ctx, &[])?;
                 let ix = t.index_on(*col).ok_or_else(|| {
@@ -150,7 +150,7 @@ pub fn open_with<'a>(
             })
         }
         Plan::Filter { input, pred } => {
-            let inner = open_with(input, storage, ctx, prof.map(|p| p.child(0)))?;
+            let inner = open_with(input, src, ctx, prof.map(|p| p.child(0)))?;
             Box::new(Filter {
                 input: inner,
                 pred,
@@ -158,7 +158,7 @@ pub fn open_with<'a>(
             })
         }
         Plan::Project { input, exprs } => {
-            let inner = open_with(input, storage, ctx, prof.map(|p| p.child(0)))?;
+            let inner = open_with(input, src, ctx, prof.map(|p| p.child(0)))?;
             Box::new(Project {
                 input: inner,
                 exprs,
@@ -171,8 +171,8 @@ pub fn open_with<'a>(
             filter,
         } => {
             // Materialize the right side once; stream the left.
-            let right_rows = drain(open_with(right, storage, ctx, prof.map(|p| p.child(1)))?)?;
-            let inner = open_with(left, storage, ctx, prof.map(|p| p.child(0)))?;
+            let right_rows = drain(open_with(right, src, ctx, prof.map(|p| p.child(1)))?)?;
+            let inner = open_with(left, src, ctx, prof.map(|p| p.child(0)))?;
             Box::new(NlJoin {
                 left: inner,
                 right_rows,
@@ -191,7 +191,7 @@ pub fn open_with<'a>(
         } => {
             // Build on the right, probe with the left.
             let mut table: HashMap<GroupKey, Vec<Row>> = HashMap::new();
-            for row in drain(open_with(right, storage, ctx, prof.map(|p| p.child(1)))?)? {
+            for row in drain(open_with(right, src, ctx, prof.map(|p| p.child(1)))?)? {
                 let mut key = Vec::with_capacity(right_keys.len());
                 let mut has_null = false;
                 for k in right_keys {
@@ -204,7 +204,7 @@ pub fn open_with<'a>(
                 }
                 table.entry(GroupKey(key)).or_default().push(row);
             }
-            let inner = open_with(left, storage, ctx, prof.map(|p| p.child(0)))?;
+            let inner = open_with(left, src, ctx, prof.map(|p| p.child(0)))?;
             Box::new(HashJoin {
                 left: inner,
                 table,
@@ -217,7 +217,7 @@ pub fn open_with<'a>(
             })
         }
         Plan::Aggregate { input, keys, aggs } => {
-            let rows = drain(open_with(input, storage, ctx, prof.map(|p| p.child(0)))?)?;
+            let rows = drain(open_with(input, src, ctx, prof.map(|p| p.child(0)))?)?;
             type GroupState = (
                 Vec<Box<dyn crate::catalog::AggregateState>>,
                 Vec<Option<std::collections::HashSet<GroupKey>>>,
@@ -278,7 +278,7 @@ pub fn open_with<'a>(
             })
         }
         Plan::Distinct { input, visible } => {
-            let rows = drain(open_with(input, storage, ctx, prof.map(|p| p.child(0)))?)?;
+            let rows = drain(open_with(input, src, ctx, prof.map(|p| p.child(0)))?)?;
             let mut seen: HashMap<GroupKey, ()> = HashMap::with_capacity(rows.len());
             let mut out = Vec::new();
             for row in rows {
@@ -292,7 +292,7 @@ pub fn open_with<'a>(
             })
         }
         Plan::Sort { input, keys } => {
-            let mut rows = drain(open_with(input, storage, ctx, prof.map(|p| p.child(0)))?)?;
+            let mut rows = drain(open_with(input, src, ctx, prof.map(|p| p.child(0)))?)?;
             rows.sort_by(|a, b| {
                 for (i, desc) in keys {
                     let ord = a[*i].cmp_ordering(&b[*i]);
@@ -308,21 +308,21 @@ pub fn open_with<'a>(
             })
         }
         Plan::Take { input, keep } => {
-            let inner = open_with(input, storage, ctx, prof.map(|p| p.child(0)))?;
+            let inner = open_with(input, src, ctx, prof.map(|p| p.child(0)))?;
             Box::new(Take {
                 input: inner,
                 keep: *keep,
             })
         }
         Plan::Limit { input, n } => {
-            let inner = open_with(input, storage, ctx, prof.map(|p| p.child(0)))?;
+            let inner = open_with(input, src, ctx, prof.map(|p| p.child(0)))?;
             Box::new(Limit {
                 input: inner,
                 remaining: *n,
             })
         }
         Plan::Offset { input, n } => {
-            let inner = open_with(input, storage, ctx, prof.map(|p| p.child(0)))?;
+            let inner = open_with(input, src, ctx, prof.map(|p| p.child(0)))?;
             Box::new(Offset {
                 input: inner,
                 to_skip: *n,
@@ -331,7 +331,7 @@ pub fn open_with<'a>(
         Plan::Union { inputs } => {
             let mut streams = Vec::with_capacity(inputs.len());
             for (i, arm) in inputs.iter().enumerate() {
-                streams.push(open_with(arm, storage, ctx, prof.map(|p| p.child(i)))?);
+                streams.push(open_with(arm, src, ctx, prof.map(|p| p.child(i)))?);
             }
             Box::new(Chain {
                 streams,

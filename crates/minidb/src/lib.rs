@@ -13,6 +13,7 @@ pub mod catalog;
 pub mod error;
 pub mod exec;
 pub mod obs;
+pub mod pin;
 pub mod plan;
 pub mod session;
 pub mod sql;
@@ -23,6 +24,7 @@ pub mod value;
 pub use catalog::{Blade, Catalog, ExecCtx};
 pub use error::{DbError, DbResult};
 pub use obs::{AccessPath, MetricsSnapshot, OpProfile, QueryMetrics, SlowQuery, SlowQueryLogger};
+pub use pin::{PinnedTables, TableSet, TableSource};
 pub use session::{Database, QueryResult, Session, StatementOutcome};
 pub use types::{DataType, UdtId};
 pub use value::{Row, UdtObject, UdtValue, Value};

@@ -269,10 +269,21 @@ pub struct QueryMetrics {
 
     rows_scanned: AtomicU64,
     rows_returned: AtomicU64,
+    rows_affected: AtomicU64,
 
     select_nanos: AtomicU64,
+    dml_nanos: AtomicU64,
     slow_queries: AtomicU64,
+    lock_wait_nanos: AtomicU64,
+    tables_pinned: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+/// Log2 bucket index for a latency: bucket `i` holds `[2^i, 2^(i+1))`
+/// microseconds, sub-µs goes in 0, and the last bucket is open-ended.
+fn latency_bucket(elapsed: Duration) -> usize {
+    let micros = elapsed.as_micros() as u64;
+    (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
 }
 
 impl QueryMetrics {
@@ -314,10 +325,25 @@ impl QueryMetrics {
             .fetch_add(rows_returned, Ordering::Relaxed);
         self.select_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-        let micros = elapsed.as_micros() as u64;
-        // Bucket i holds latencies in [2^i, 2^(i+1)) µs; sub-µs goes in 0.
-        let bucket = (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_buckets[latency_bucket(elapsed)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One INSERT/UPDATE/DELETE: affected rows, execution time, and a
+    /// tick in the shared latency histogram.
+    pub(crate) fn record_dml(&self, rows_affected: u64, elapsed: Duration) {
+        self.rows_affected
+            .fetch_add(rows_affected, Ordering::Relaxed);
+        self.dml_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.latency_buckets[latency_bucket(elapsed)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One statement's table-pin accounting: how many tables it pinned
+    /// and how long it was blocked acquiring their locks.
+    pub(crate) fn record_lock_wait(&self, tables: u64, wait: Duration) {
+        self.tables_pinned.fetch_add(tables, Ordering::Relaxed);
+        self.lock_wait_nanos
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_slow_query(&self) {
@@ -341,8 +367,12 @@ impl QueryMetrics {
             index_overlap_scans: g(&self.index_overlap_scans),
             rows_scanned: g(&self.rows_scanned),
             rows_returned: g(&self.rows_returned),
+            rows_affected: g(&self.rows_affected),
             select_nanos: g(&self.select_nanos),
+            dml_nanos: g(&self.dml_nanos),
             slow_queries: g(&self.slow_queries),
+            lock_wait_nanos: g(&self.lock_wait_nanos),
+            tables_pinned: g(&self.tables_pinned),
             latency_buckets: std::array::from_fn(|i| g(&self.latency_buckets[i])),
         }
     }
@@ -364,8 +394,12 @@ pub struct MetricsSnapshot {
     pub index_overlap_scans: u64,
     pub rows_scanned: u64,
     pub rows_returned: u64,
+    pub rows_affected: u64,
     pub select_nanos: u64,
+    pub dml_nanos: u64,
     pub slow_queries: u64,
+    pub lock_wait_nanos: u64,
+    pub tables_pinned: u64,
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
 
@@ -389,8 +423,12 @@ impl MetricsSnapshot {
         add(&mut self.index_overlap_scans, other.index_overlap_scans);
         add(&mut self.rows_scanned, other.rows_scanned);
         add(&mut self.rows_returned, other.rows_returned);
+        add(&mut self.rows_affected, other.rows_affected);
         add(&mut self.select_nanos, other.select_nanos);
+        add(&mut self.dml_nanos, other.dml_nanos);
         add(&mut self.slow_queries, other.slow_queries);
+        add(&mut self.lock_wait_nanos, other.lock_wait_nanos);
+        add(&mut self.tables_pinned, other.tables_pinned);
         for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
             *a = a.saturating_add(*b);
         }
@@ -429,8 +467,12 @@ impl MetricsSnapshot {
             ("scans.index_overlap".to_owned(), self.index_overlap_scans),
             ("rows.scanned".to_owned(), self.rows_scanned),
             ("rows.returned".to_owned(), self.rows_returned),
+            ("rows.affected".to_owned(), self.rows_affected),
             ("select.total_micros".to_owned(), self.select_nanos / 1_000),
+            ("dml.total_micros".to_owned(), self.dml_nanos / 1_000),
             ("select.slow".to_owned(), self.slow_queries),
+            ("lock.wait_micros".to_owned(), self.lock_wait_nanos / 1_000),
+            ("lock.tables_pinned".to_owned(), self.tables_pinned),
         ];
         for (i, &n) in self.latency_buckets.iter().enumerate() {
             if n > 0 {
@@ -450,7 +492,7 @@ pub struct SlowQuery {
     pub sql: String,
     /// Wall time spent planning and executing it.
     pub elapsed: Duration,
-    /// Rows it returned.
+    /// Rows it returned (SELECT) or affected (INSERT/UPDATE/DELETE).
     pub rows: u64,
     /// Physical plan shape (`Plan::describe`).
     pub plan: String,
@@ -534,6 +576,33 @@ mod tests {
             a.snapshot().latency_buckets.iter().sum::<u64>()
                 + b.snapshot().latency_buckets.iter().sum::<u64>()
         );
+    }
+
+    #[test]
+    fn dml_and_lock_wait_counters_flow_to_rows_and_absorb() {
+        let m = QueryMetrics::default();
+        m.record_dml(7, Duration::from_micros(3)); // bucket 1
+        m.record_lock_wait(2, Duration::from_micros(2500));
+        let s = m.snapshot();
+        assert_eq!(s.rows_affected, 7);
+        assert_eq!(s.dml_nanos, 3_000);
+        assert_eq!(s.lock_wait_nanos, 2_500_000);
+        assert_eq!(s.tables_pinned, 2);
+        assert_eq!(s.latency_buckets[1], 1, "DML feeds the shared histogram");
+
+        let names: Vec<(String, u64)> = s.rows();
+        let get = |n: &str| names.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
+        assert_eq!(get("rows.affected"), Some(7));
+        assert_eq!(get("dml.total_micros"), Some(3));
+        assert_eq!(get("lock.wait_micros"), Some(2_500));
+        assert_eq!(get("lock.tables_pinned"), Some(2));
+
+        let mut total = MetricsSnapshot::default();
+        total.absorb(&s);
+        total.absorb(&s);
+        assert_eq!(total.rows_affected, 14);
+        assert_eq!(total.lock_wait_nanos, 5_000_000);
+        assert_eq!(total.tables_pinned, 4);
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! Statement-scoped table pinning: the concurrency backbone.
+//!
+//! The [`Storage`](crate::storage::Storage) registry maps names to
+//! [`SharedTable`] handles (`Arc<RwLock<Table>>`). A statement never
+//! holds the registry lock while it runs; instead it
+//!
+//! 1. walks its AST under a *short* registry read lock, resolving every
+//!    referenced table (and the tables referenced by any views it uses)
+//!    into a [`TableSet`] — `Arc` handles plus the required access mode;
+//! 2. releases the registry lock;
+//! 3. [`pin`s](TableSet::pin) the set, acquiring per-table guards in
+//!    **deterministic sorted-name order**, which makes multi-table
+//!    statements deadlock-free: any two statements acquire their common
+//!    tables in the same global order.
+//!
+//! The planner and executor then run against the pinned guard set
+//! through the [`TableSource`] trait rather than against `&Storage`,
+//! so an INSERT hammering table A never blocks a SELECT on table B.
+
+use crate::error::{DbError, DbResult};
+use crate::sql::ast::{Expr, InsertSource, SelectStmt, Statement};
+use crate::sql::parse_statement;
+use crate::storage::{SharedTable, Storage, Table, ViewDef};
+use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+/// Read-only name resolution the planner and executor run against: a
+/// statement's pinned tables, or any other fixed set of tables.
+pub trait TableSource {
+    /// The table `name` refers to, if pinned.
+    fn table(&self, name: &str) -> DbResult<&Table>;
+    /// The view definition `name` refers to, if any.
+    fn view(&self, name: &str) -> Option<&ViewDef>;
+}
+
+/// Views nested deeper than this stop contributing tables to the set.
+/// Their *definitions* are still recorded so the planner's own depth
+/// guard (which fires at the same nesting level) reports the error.
+const MAX_VIEW_DEPTH: usize = 16;
+
+struct Entry {
+    /// Lowercase lookup key (the registry's own key).
+    key: String,
+    shared: SharedTable,
+    write: bool,
+}
+
+/// The tables one statement touches, resolved to shared handles but not
+/// yet locked. Building a set requires only a registry read lock;
+/// [`TableSet::pin`] then blocks on the per-table locks with the
+/// registry lock already released.
+pub struct TableSet {
+    /// Sorted by `key` — the deterministic acquisition order.
+    entries: Vec<Entry>,
+    /// Referenced view definitions, cloned out of the registry so the
+    /// planner can inline them without re-entering the registry lock.
+    views: HashMap<String, ViewDef>,
+}
+
+impl TableSet {
+    /// Resolves every table a statement references: FROM lists (of the
+    /// statement, its subqueries, UNION arms, and the bodies of any
+    /// views it names) as reads; INSERT/UPDATE/DELETE targets and
+    /// CREATE INDEX tables as writes. Names that resolve to nothing are
+    /// skipped — the planner reports `NotFound` with full context.
+    pub fn for_statement(registry: &Storage, stmt: &Statement) -> TableSet {
+        let mut c = Collector {
+            registry,
+            tables: BTreeMap::new(),
+            views: HashMap::new(),
+            depth: 0,
+        };
+        c.stmt(stmt);
+        TableSet {
+            entries: c
+                .tables
+                .into_iter()
+                .map(|(key, (shared, write))| Entry { key, shared, write })
+                .collect(),
+            views: c.views,
+        }
+    }
+
+    /// A set covering every table and view in the registry, all as
+    /// reads — a whole-database read pin (snapshots, admin inspection).
+    pub fn read_all(registry: &Storage) -> TableSet {
+        TableSet {
+            entries: registry
+                .shared_tables_sorted()
+                .into_iter()
+                .map(|(key, shared)| Entry {
+                    key,
+                    shared,
+                    write: false,
+                })
+                .collect(),
+            views: registry.views_cloned(),
+        }
+    }
+
+    /// Number of tables in the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the statement touches no tables.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Acquires the per-table guards in sorted-name order, measuring the
+    /// total time spent blocked on other statements' locks.
+    pub fn pin(&self) -> PinnedTables<'_> {
+        let t0 = Instant::now();
+        let guards: Vec<(&str, Guard<'_>)> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let g = if e.write {
+                    Guard::Write(e.shared.write())
+                } else {
+                    Guard::Read(e.shared.read())
+                };
+                (e.key.as_str(), g)
+            })
+            .collect();
+        PinnedTables {
+            guards,
+            views: &self.views,
+            lock_wait: t0.elapsed(),
+        }
+    }
+}
+
+enum Guard<'a> {
+    Read(RwLockReadGuard<'a, Table>),
+    Write(RwLockWriteGuard<'a, Table>),
+}
+
+impl Guard<'_> {
+    fn table(&self) -> &Table {
+        match self {
+            Guard::Read(g) => g,
+            Guard::Write(g) => g,
+        }
+    }
+}
+
+/// The acquired guards of a [`TableSet`] — what a statement actually
+/// executes against. Holding this pins exactly the touched tables;
+/// every other table in the database stays free for other statements.
+pub struct PinnedTables<'a> {
+    /// Keyed by the set's lowercase keys, in sorted order.
+    guards: Vec<(&'a str, Guard<'a>)>,
+    views: &'a HashMap<String, ViewDef>,
+    lock_wait: Duration,
+}
+
+impl PinnedTables<'_> {
+    fn position(&self, name: &str) -> Option<usize> {
+        let key = name.to_ascii_lowercase();
+        self.guards
+            .binary_search_by(|(k, _)| (*k).cmp(key.as_str()))
+            .ok()
+    }
+
+    /// Mutable access to a write-pinned table. Errors if the table was
+    /// not pinned (unknown name) or was pinned read-only (an engine
+    /// bug: the collector marks every DML target as a write).
+    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        match self.position(name) {
+            Some(i) => match &mut self.guards[i].1 {
+                Guard::Write(g) => Ok(&mut *g),
+                Guard::Read(_) => Err(DbError::exec(format!("table {name} is pinned read-only"))),
+            },
+            None => Err(DbError::NotFound {
+                kind: "table",
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    /// Number of tables pinned.
+    pub fn tables_pinned(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// Time spent blocked acquiring the guards.
+    pub fn lock_wait(&self) -> Duration {
+        self.lock_wait
+    }
+}
+
+impl TableSource for PinnedTables<'_> {
+    fn table(&self, name: &str) -> DbResult<&Table> {
+        match self.position(name) {
+            Some(i) => Ok(self.guards[i].1.table()),
+            None => Err(DbError::NotFound {
+                kind: "table",
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+}
+
+// ----- referenced-table collection ------------------------------------------
+
+struct Collector<'a> {
+    registry: &'a Storage,
+    /// key -> (handle, needs write). `BTreeMap` keeps the sorted
+    /// acquisition order for free.
+    tables: BTreeMap<String, (SharedTable, bool)>,
+    views: HashMap<String, ViewDef>,
+    depth: usize,
+}
+
+impl Collector<'_> {
+    fn touch(&mut self, name: &str, write: bool) {
+        let key = name.to_ascii_lowercase();
+        if let Ok(shared) = self.registry.shared_table(&key) {
+            let entry = self.tables.entry(key).or_insert((shared, false));
+            entry.1 |= write;
+        } else if let Some(def) = self.registry.view(&key) {
+            if self.views.contains_key(&key) {
+                return;
+            }
+            let def = def.clone();
+            let body = def.body_sql.clone();
+            // Always record the definition (the planner must be able to
+            // *see* an over-deep view to report its depth error), but
+            // stop contributing tables past the depth bound.
+            self.views.insert(key, def);
+            if self.depth >= MAX_VIEW_DEPTH {
+                return;
+            }
+            // A view's body reads its own base tables (and views).
+            if let Ok(Statement::Select(sel)) = parse_statement(&body) {
+                self.depth += 1;
+                self.select(&sel);
+                self.depth -= 1;
+            }
+        }
+        // Unknown name: not an error here — the planner reports
+        // NotFound with the proper "table or view" context.
+    }
+
+    fn stmt(&mut self, stmt: &Statement) {
+        match stmt {
+            Statement::Select(sel) => self.select(sel),
+            Statement::Insert {
+                table,
+                columns: _,
+                source,
+            } => {
+                self.touch(table, true);
+                match source {
+                    InsertSource::Values(rows) => {
+                        for exprs in rows {
+                            for e in exprs {
+                                self.expr(e);
+                            }
+                        }
+                    }
+                    InsertSource::Query(sel) => self.select(sel),
+                }
+            }
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                self.touch(table, true);
+                for (_, e) in sets {
+                    self.expr(e);
+                }
+                if let Some(w) = where_clause {
+                    self.expr(w);
+                }
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                self.touch(table, true);
+                if let Some(w) = where_clause {
+                    self.expr(w);
+                }
+            }
+            Statement::CreateIndex { table, .. } => self.touch(table, true),
+            Statement::Explain { inner, .. } => self.stmt(inner),
+            Statement::CreateView { query, .. } => self.select(query),
+            // Pure registry operations pin no tables.
+            Statement::CreateTable { .. }
+            | Statement::DropTable { .. }
+            | Statement::DropView { .. }
+            | Statement::ShowStats => {}
+        }
+    }
+
+    fn select(&mut self, sel: &SelectStmt) {
+        for tref in &sel.from {
+            self.touch(&tref.table, false);
+        }
+        for item in &sel.items {
+            if let crate::sql::ast::SelectItem::Expr { expr, .. } = item {
+                self.expr(expr);
+            }
+        }
+        if let Some(w) = &sel.where_clause {
+            self.expr(w);
+        }
+        for e in &sel.group_by {
+            self.expr(e);
+        }
+        if let Some(h) = &sel.having {
+            self.expr(h);
+        }
+        for o in &sel.order_by {
+            self.expr(&o.expr);
+        }
+        if let Some((_, next)) = &sel.union {
+            self.select(next);
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Subquery(sub) => self.select(sub),
+            Expr::InSubquery { expr, query, .. } => {
+                self.expr(expr);
+                self.select(query);
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+                self.expr(expr)
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                self.expr(expr);
+                self.expr(low);
+                self.expr(high);
+            }
+            Expr::InList { expr, list, .. } => {
+                self.expr(expr);
+                for item in list {
+                    self.expr(item);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Like { expr, pattern, .. } => {
+                self.expr(expr);
+                self.expr(pattern);
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_,
+            } => {
+                if let Some(op) = operand {
+                    self.expr(op);
+                }
+                for (w, t) in branches {
+                    self.expr(w);
+                    self.expr(t);
+                }
+                if let Some(els) = else_ {
+                    self.expr(els);
+                }
+            }
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) | Expr::BoundValue(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{Column, TableSchema};
+    use crate::types::DataType;
+
+    fn registry_with(tables: &[&str]) -> Storage {
+        let mut s = Storage::new();
+        for name in tables {
+            s.create_table(TableSchema {
+                name: (*name).to_owned(),
+                columns: vec![Column {
+                    name: "v".into(),
+                    ty: DataType::Int,
+                }],
+            })
+            .unwrap();
+        }
+        s
+    }
+
+    fn set_for(registry: &Storage, sql: &str) -> TableSet {
+        TableSet::for_statement(registry, &parse_statement(sql).unwrap())
+    }
+
+    fn keys(set: &TableSet) -> Vec<(&str, bool)> {
+        set.entries
+            .iter()
+            .map(|e| (e.key.as_str(), e.write))
+            .collect()
+    }
+
+    #[test]
+    fn select_pins_from_tables_read_only_in_sorted_order() {
+        let reg = registry_with(&["zeta", "Alpha", "mid"]);
+        let set = set_for(&reg, "SELECT * FROM zeta, Alpha, mid");
+        assert_eq!(
+            keys(&set),
+            vec![("alpha", false), ("mid", false), ("zeta", false)]
+        );
+    }
+
+    #[test]
+    fn dml_targets_pin_write_and_sources_pin_read() {
+        let reg = registry_with(&["a", "b"]);
+        let set = set_for(&reg, "INSERT INTO a SELECT v FROM b");
+        assert_eq!(keys(&set), vec![("a", true), ("b", false)]);
+        let set = set_for(&reg, "UPDATE b SET v = (SELECT MAX(v) FROM a)");
+        assert_eq!(keys(&set), vec![("a", false), ("b", true)]);
+        let set = set_for(&reg, "DELETE FROM a WHERE v IN (SELECT v FROM b)");
+        assert_eq!(keys(&set), vec![("a", true), ("b", false)]);
+    }
+
+    #[test]
+    fn self_referencing_insert_select_upgrades_to_one_write_pin() {
+        let reg = registry_with(&["t"]);
+        let set = set_for(&reg, "INSERT INTO t SELECT v + 1 FROM t");
+        assert_eq!(keys(&set), vec![("t", true)]);
+    }
+
+    #[test]
+    fn view_bodies_contribute_their_base_tables() {
+        let mut reg = registry_with(&["base"]);
+        reg.create_view(ViewDef {
+            name: "V".into(),
+            body_sql: "SELECT v FROM base".into(),
+        })
+        .unwrap();
+        let set = set_for(&reg, "SELECT * FROM v");
+        assert_eq!(keys(&set), vec![("base", false)]);
+        assert!(set.views.contains_key("v"));
+    }
+
+    #[test]
+    fn unknown_names_are_skipped_for_the_planner_to_report() {
+        let reg = registry_with(&["a"]);
+        let set = set_for(&reg, "SELECT * FROM a, missing");
+        assert_eq!(keys(&set), vec![("a", false)]);
+    }
+
+    #[test]
+    fn pinned_set_serves_tables_and_rejects_read_only_mutation() {
+        let reg = registry_with(&["a", "b"]);
+        let set = set_for(&reg, "INSERT INTO a SELECT v FROM b");
+        let mut pinned = set.pin();
+        assert_eq!(pinned.tables_pinned(), 2);
+        assert_eq!(pinned.table("A").unwrap().schema.name, "a");
+        assert!(pinned.table_mut("a").is_ok());
+        assert!(pinned.table_mut("b").is_err(), "b is read-pinned");
+        assert!(pinned.table("nope").is_err());
+    }
+}

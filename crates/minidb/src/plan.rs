@@ -16,8 +16,8 @@
 use crate::binder::{normalize_expr, Binder, BoundExpr, BoundKind, Scope, ScopeCol};
 use crate::catalog::{AggregateState, Catalog, ExecCtx};
 use crate::error::{DbError, DbResult};
+use crate::pin::TableSource;
 use crate::sql::ast::{Expr, OrderItem, SelectItem, SelectStmt};
-use crate::storage::Storage;
 use crate::types::DataType;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -464,7 +464,8 @@ fn expr_display_name(e: &Expr) -> String {
 /// The query planner for one statement.
 pub struct Planner<'a> {
     pub catalog: &'a Catalog,
-    pub storage: &'a Storage,
+    /// The statement's pinned tables (or any other fixed table set).
+    pub tables: &'a dyn TableSource,
     pub binder: Binder<'a>,
     /// Statement context used for constant folding.
     pub ctx: ExecCtx,
@@ -479,13 +480,13 @@ impl<'a> Planner<'a> {
     /// Creates a planner.
     pub fn new(
         catalog: &'a Catalog,
-        storage: &'a Storage,
+        tables: &'a dyn TableSource,
         params: &'a HashMap<String, Value>,
         ctx: ExecCtx,
     ) -> Planner<'a> {
         Planner {
             catalog,
-            storage,
+            tables,
             binder: Binder::new(catalog, params),
             ctx,
             subquery_depth: std::cell::Cell::new(0),
@@ -509,7 +510,7 @@ impl<'a> Planner<'a> {
                     planned.columns.len()
                 )));
             }
-            crate::exec::execute(&planned.plan, self.storage, &self.ctx)
+            crate::exec::execute(&planned.plan, self.tables, &self.ctx)
         })();
         self.subquery_depth.set(self.subquery_depth.get() - 1);
         result
@@ -820,7 +821,7 @@ impl<'a> Planner<'a> {
                 )));
             }
             let start = scope_cols.len();
-            if let Ok(table) = self.storage.table(&tref.table) {
+            if let Ok(table) = self.tables.table(&tref.table) {
                 for c in &table.schema.columns {
                     scope_cols.push(ScopeCol {
                         binding: Some(binding.clone()),
@@ -829,7 +830,7 @@ impl<'a> Planner<'a> {
                     });
                 }
                 view_plans.push(None);
-            } else if let Some(view) = self.storage.view(&tref.table) {
+            } else if let Some(view) = self.tables.view(&tref.table) {
                 let planned = self.plan_view(&view.body_sql, &tref.table)?;
                 for (name, ty) in &planned.columns {
                     scope_cols.push(ScopeCol {
@@ -1457,7 +1458,7 @@ impl<'a> Planner<'a> {
         range: &(String, std::ops::Range<usize>),
         full_scope: &Scope,
     ) -> DbResult<Plan> {
-        let table = self.storage.table(table_name)?;
+        let table = self.tables.table(table_name)?;
         // Local scope: the table's own columns at offsets 0..n.
         let local_scope = Scope::new(full_scope.cols[range.1.clone()].to_vec());
         let mut index_eq = None;

@@ -11,10 +11,11 @@ use crate::catalog::{Blade, Catalog, ExecCtx};
 use crate::error::{DbError, DbResult};
 use crate::exec;
 use crate::obs::{OpProfile, QueryMetrics, SlowQuery, SlowQueryLogger, StatementKind};
+use crate::pin::{PinnedTables, TableSet, TableSource};
 use crate::plan::Planner;
 use crate::sql::ast::{InsertSource, Statement};
 use crate::sql::parse_statement;
-use crate::storage::{self, Column, Storage, TableSchema};
+use crate::storage::{self, Column, Storage, Table, TableSchema};
 use crate::types::DataType;
 use crate::value::{Row, Value};
 use parking_lot::RwLock;
@@ -63,10 +64,19 @@ pub enum StatementOutcome {
     Done,
 }
 
-/// An in-process database: catalog + storage under RW locks.
+/// An in-process database: the catalog and the table registry, each
+/// under its own reader-writer lock.
+///
+/// The registry lock is *short-held*: statements take a read lock only
+/// to resolve their [`TableSet`], release it, then block (if at all) on
+/// the individual table locks, acquired in sorted-name order. DDL and
+/// snapshot restore are the only registry writers. No statement waits
+/// on the registry while holding a table lock (except snapshot save,
+/// which holds a registry *read* that table-lock holders never oppose),
+/// so the two lock levels cannot deadlock against each other.
 pub struct Database {
     catalog: RwLock<Catalog>,
-    storage: RwLock<Storage>,
+    registry: RwLock<Storage>,
 }
 
 impl Database {
@@ -76,7 +86,7 @@ impl Database {
         builtin::install(&mut catalog);
         Arc::new(Database {
             catalog: RwLock::new(catalog),
-            storage: RwLock::new(Storage::new()),
+            registry: RwLock::new(Storage::new()),
         })
     }
 
@@ -90,9 +100,28 @@ impl Database {
         f(&self.catalog.read())
     }
 
-    /// Runs a closure with read access to the storage.
+    /// Runs a closure with read access to the table registry (names,
+    /// existence, view definitions). Table *data* is behind per-table
+    /// locks — use [`Database::with_tables`] for that.
     pub fn with_storage<R>(&self, f: impl FnOnce(&Storage) -> R) -> R {
-        f(&self.storage.read())
+        f(&self.registry.read())
+    }
+
+    /// Runs a closure against a read pin of every table: a consistent
+    /// whole-database view (the registry lock itself is already
+    /// released by the time the closure runs).
+    pub fn with_tables<R>(&self, f: impl FnOnce(&PinnedTables) -> R) -> R {
+        let set = TableSet::read_all(&self.registry.read());
+        let pinned = set.pin();
+        f(&pinned)
+    }
+
+    /// Runs a closure holding one table's *write* lock. Used by bulk
+    /// loaders and by tests that need to observe blocking behavior.
+    pub fn with_table_write<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> DbResult<R> {
+        let shared = self.registry.read().shared_table(name)?;
+        let mut guard = shared.write();
+        Ok(f(&mut guard))
     }
 
     /// Opens a session.
@@ -105,16 +134,19 @@ impl Database {
         }
     }
 
-    /// Serializes all tables to a snapshot.
+    /// Serializes all tables to a snapshot. Every table's read guard is
+    /// held while serializing, so the snapshot is one consistent
+    /// cross-table cut.
     pub fn save_snapshot(&self) -> DbResult<Vec<u8>> {
-        storage::save_snapshot(&self.catalog.read(), &self.storage.read())
+        storage::save_snapshot(&self.catalog.read(), &self.registry.read())
     }
 
     /// Replaces all tables with the contents of a snapshot. The same
-    /// blades must already be installed.
+    /// blades must already be installed. Statements already running
+    /// against pre-swap tables finish on the data they pinned.
     pub fn load_snapshot(&self, bytes: &[u8]) -> DbResult<()> {
         let new_storage = storage::load_snapshot(&self.catalog.read(), bytes)?;
-        *self.storage.write() = new_storage;
+        *self.registry.write() = new_storage;
         Ok(())
     }
 
@@ -139,9 +171,12 @@ fn format_result_with(catalog: &Catalog, result: &QueryResult) -> String {
         .iter()
         .map(|row| row.iter().map(|v| catalog.display_value(v)).collect())
         .collect();
+    // Zip, not index: a malformed row wider than the header list must
+    // not panic — extra cells are simply not measured (and the render
+    // loop below drops them the same way).
     for row in &rendered {
-        for (i, cell) in row.iter().enumerate() {
-            widths[i] = widths[i].max(cell.chars().count());
+        for (cell, w) in row.iter().zip(widths.iter_mut()) {
+            *w = (*w).max(cell.chars().count());
         }
     }
     let mut out = String::new();
@@ -202,8 +237,9 @@ impl Session {
         self.slow_query = None;
     }
 
-    fn observe_select(&self, sql: &str, plan: &crate::plan::Plan, rows: u64, elapsed: Duration) {
-        self.metrics.record_select(rows, elapsed);
+    /// Slow-query hook shared by every statement kind; `plan` renders
+    /// the plan description only when the hook actually fires.
+    fn observe_slow(&self, sql: &str, rows: u64, elapsed: Duration, plan: impl FnOnce() -> String) {
         if let Some((threshold, logger)) = &self.slow_query {
             if elapsed >= *threshold {
                 self.metrics.record_slow_query();
@@ -211,10 +247,39 @@ impl Session {
                     sql: sql.to_owned(),
                     elapsed,
                     rows,
-                    plan: plan.describe(),
+                    plan: plan(),
                 });
             }
         }
+    }
+
+    fn observe_select(&self, sql: &str, plan: &crate::plan::Plan, rows: u64, elapsed: Duration) {
+        self.metrics.record_select(rows, elapsed);
+        self.observe_slow(sql, rows, elapsed, || plan.describe());
+    }
+
+    /// DML observation: affected-row count, latency histogram, and the
+    /// slow-query hook — INSERT/UPDATE/DELETE are first-class citizens
+    /// of the slow-query log, not just SELECT.
+    fn observe_dml(
+        &self,
+        sql: &str,
+        desc: &str,
+        outcome: &DbResult<StatementOutcome>,
+        elapsed: Duration,
+    ) {
+        let Ok(StatementOutcome::Affected(n)) = outcome else {
+            return;
+        };
+        let rows = *n as u64;
+        self.metrics.record_dml(rows, elapsed);
+        self.observe_slow(sql, rows, elapsed, || desc.to_owned());
+    }
+
+    /// Folds one pinned guard set into the lock-wait counters.
+    fn record_pin(&self, pinned: &PinnedTables) {
+        self.metrics
+            .record_lock_wait(pinned.tables_pinned() as u64, pinned.lock_wait());
     }
     /// Overrides the interpretation of `NOW` (Unix seconds) for every
     /// subsequent statement; `None` restores the wall clock. This is the
@@ -277,20 +342,26 @@ impl Session {
             Statement::ShowStats => StatementKind::ShowStats,
             _ => StatementKind::Ddl,
         };
+        // Resolve the statement's table set under a *short* registry
+        // read lock; the lock is dropped before any table guard is
+        // acquired, so registry writers (DDL) are never queued behind a
+        // long statement and vice versa.
+        let table_set = TableSet::for_statement(&self.db.registry.read(), &stmt);
         let outcome = match stmt {
             Statement::Select(sel) => {
                 let started = Instant::now();
+                let pinned = table_set.pin();
+                self.record_pin(&pinned);
                 let catalog = self.db.catalog.read();
-                let storage = self.db.storage.read();
-                let planner = Planner::new(&catalog, &storage, &params, ctx);
+                let planner = Planner::new(&catalog, &pinned, &params, ctx);
                 let planned = planner.plan_select(&sel)?;
                 // Access-path accounting only — no per-row timing cost.
                 let prof = OpProfile::paths_only(&planned.plan);
-                let rows = exec::execute_with(&planned.plan, &storage, &ctx, Some(&prof))?;
+                let rows = exec::execute_with(&planned.plan, &pinned, &ctx, Some(&prof))?;
                 prof.charge_scans(&self.metrics);
                 // Release locks before the slow-query hook: it is user
                 // code and may open its own statements.
-                drop(storage);
+                drop(pinned);
                 drop(catalog);
                 self.observe_select(sql, &planned.plan, rows.len() as u64, started.elapsed());
                 Ok(StatementOutcome::Rows(QueryResult {
@@ -313,7 +384,7 @@ impl Session {
                     let ty = catalog.lookup_type_name(&tyname.name)?;
                     cols.push(Column { name: cname, ty });
                 }
-                self.db.storage.write().create_table(TableSchema {
+                self.db.registry.write().create_table(TableSchema {
                     name,
                     columns: cols,
                 })?;
@@ -324,9 +395,13 @@ impl Session {
                 table,
                 column,
             } => {
+                // The collector pinned the target table for writing; no
+                // other table (and not the registry) is blocked while
+                // the index backfills.
+                let mut pinned = table_set.pin();
+                self.record_pin(&pinned);
                 let catalog = self.db.catalog.read();
-                let mut storage = self.db.storage.write();
-                let t = storage.table_mut(&table)?;
+                let t = pinned.table_mut(&table)?;
                 let col = t
                     .schema
                     .col_index(&column)
@@ -358,8 +433,9 @@ impl Session {
                 Ok(StatementOutcome::Done)
             }
             Statement::DropTable { name, if_exists } => {
-                let mut storage = self.db.storage.write();
-                match storage.drop_table(&name) {
+                // Registry write only: in-flight statements still hold
+                // the table's `Arc` and finish on the data they pinned.
+                match self.db.registry.write().drop_table(&name) {
                     Ok(()) => Ok(StatementOutcome::Done),
                     Err(DbError::NotFound { .. }) if if_exists => Ok(StatementOutcome::Done),
                     Err(e) => Err(e),
@@ -369,32 +445,66 @@ impl Session {
                 table,
                 columns,
                 source,
-            } => match source {
-                InsertSource::Values(rows) => self.run_insert(&table, columns, rows, &params, ctx),
-                InsertSource::Query(select) => {
-                    self.run_insert_select(&table, columns, &select, &params, ctx)
-                }
-            },
+            } => {
+                let started = Instant::now();
+                let outcome = match source {
+                    InsertSource::Values(rows) => {
+                        self.run_insert(&table_set, &table, columns, rows, &params, ctx)
+                    }
+                    InsertSource::Query(select) => {
+                        self.run_insert_select(&table_set, &table, columns, &select, &params, ctx)
+                    }
+                };
+                self.observe_dml(
+                    sql,
+                    &format!("insert({table})"),
+                    &outcome,
+                    started.elapsed(),
+                );
+                outcome
+            }
             Statement::Update {
                 table,
                 sets,
                 where_clause,
-            } => self.run_update(&table, sets, where_clause, &params, ctx),
+            } => {
+                let started = Instant::now();
+                let outcome = self.run_update(&table_set, &table, sets, where_clause, &params, ctx);
+                self.observe_dml(
+                    sql,
+                    &format!("update({table})"),
+                    &outcome,
+                    started.elapsed(),
+                );
+                outcome
+            }
             Statement::Delete {
                 table,
                 where_clause,
-            } => self.run_delete(&table, where_clause, &params, ctx),
+            } => {
+                let started = Instant::now();
+                let outcome = self.run_delete(&table_set, &table, where_clause, &params, ctx);
+                self.observe_dml(
+                    sql,
+                    &format!("delete({table})"),
+                    &outcome,
+                    started.elapsed(),
+                );
+                outcome
+            }
             Statement::CreateView {
                 name,
                 query,
                 body_start,
             } => {
                 // Validate the view body by planning it once against the
-                // current catalog/storage before storing the text.
+                // pinned base tables before storing the text. The pins are
+                // dropped before the registry write lock is taken.
                 {
+                    let pinned = table_set.pin();
+                    self.record_pin(&pinned);
                     let catalog = self.db.catalog.read();
-                    let storage = self.db.storage.read();
-                    let planner = Planner::new(&catalog, &storage, &params, ctx);
+                    let planner = Planner::new(&catalog, &pinned, &params, ctx);
                     planner.plan_select(&query)?;
                 }
                 let body_sql = sql
@@ -404,14 +514,13 @@ impl Session {
                     .trim_end_matches(';')
                     .to_owned();
                 self.db
-                    .storage
+                    .registry
                     .write()
                     .create_view(crate::storage::ViewDef { name, body_sql })?;
                 Ok(StatementOutcome::Done)
             }
             Statement::DropView { name, if_exists } => {
-                let mut storage = self.db.storage.write();
-                match storage.drop_view(&name) {
+                match self.db.registry.write().drop_view(&name) {
                     Ok(()) => Ok(StatementOutcome::Done),
                     Err(DbError::NotFound { .. }) if if_exists => Ok(StatementOutcome::Done),
                     Err(e) => Err(e),
@@ -422,23 +531,26 @@ impl Session {
                     return Err(DbError::exec("EXPLAIN supports SELECT statements"));
                 };
                 let started = Instant::now();
+                let pinned = table_set.pin();
+                self.record_pin(&pinned);
                 let catalog = self.db.catalog.read();
-                let storage = self.db.storage.read();
-                let planner = Planner::new(&catalog, &storage, &params, ctx);
+                let planner = Planner::new(&catalog, &pinned, &params, ctx);
                 let planned = planner.plan_select(&sel)?;
                 let rows = if analyze {
                     // Execute under full instrumentation and report the
                     // plan tree annotated with per-operator stats.
                     let prof = OpProfile::timed(&planned.plan);
-                    let produced = exec::execute_with(&planned.plan, &storage, &ctx, Some(&prof))?;
+                    let produced = exec::execute_with(&planned.plan, &pinned, &ctx, Some(&prof))?;
                     prof.charge_scans(&self.metrics);
                     self.metrics
                         .record_select(produced.len() as u64, started.elapsed());
                     let mut lines = prof.render();
                     lines.push(format!(
-                        "returned {} row(s) in {:.1?}",
+                        "returned {} row(s) in {:.1?} [pinned {} table(s), lock-wait {:.1?}]",
                         produced.len(),
-                        started.elapsed()
+                        started.elapsed(),
+                        pinned.tables_pinned(),
+                        pinned.lock_wait()
                     ));
                     lines
                 } else {
@@ -502,15 +614,17 @@ impl Session {
 
     fn run_insert(
         &self,
+        set: &TableSet,
         table: &str,
         columns: Option<Vec<String>>,
         rows: Vec<Vec<crate::sql::ast::Expr>>,
         params: &HashMap<String, Value>,
         ctx: ExecCtx,
     ) -> DbResult<StatementOutcome> {
+        let mut pinned = set.pin();
+        self.record_pin(&pinned);
         let catalog = self.db.catalog.read();
-        let mut storage = self.db.storage.write();
-        let schema = storage.table(table)?.schema.clone();
+        let schema = pinned.table(table)?.schema.clone();
         let target_cols: Vec<usize> = match &columns {
             Some(names) => {
                 let mut idxs = Vec::with_capacity(names.len());
@@ -530,7 +644,7 @@ impl Session {
             }
             None => (0..schema.columns.len()).collect(),
         };
-        let planner = Planner::new(&catalog, &storage, params, ctx);
+        let planner = Planner::new(&catalog, &pinned, params, ctx);
         let scope = crate::binder::Scope::default();
         let mut to_insert = Vec::with_capacity(rows.len());
         for exprs in rows {
@@ -554,7 +668,7 @@ impl Session {
             }
             to_insert.push(row);
         }
-        let t = storage.table_mut(table)?;
+        let t = pinned.table_mut(table)?;
         let n = to_insert.len();
         for row in to_insert {
             t.insert(row);
@@ -566,15 +680,17 @@ impl Session {
     /// produced row into the target column types.
     fn run_insert_select(
         &self,
+        set: &TableSet,
         table: &str,
         columns: Option<Vec<String>>,
         select: &crate::sql::ast::SelectStmt,
         params: &HashMap<String, Value>,
         ctx: ExecCtx,
     ) -> DbResult<StatementOutcome> {
+        let mut pinned = set.pin();
+        self.record_pin(&pinned);
         let catalog = self.db.catalog.read();
-        let mut storage = self.db.storage.write();
-        let schema = storage.table(table)?.schema.clone();
+        let schema = pinned.table(table)?.schema.clone();
         let target_cols: Vec<usize> = match &columns {
             Some(names) => {
                 let mut idxs = Vec::with_capacity(names.len());
@@ -594,7 +710,7 @@ impl Session {
             }
             None => (0..schema.columns.len()).collect(),
         };
-        let planner = Planner::new(&catalog, &storage, params, ctx);
+        let planner = Planner::new(&catalog, &pinned, params, ctx);
         let planned = planner.plan_select(select)?;
         if planned.columns.len() != target_cols.len() {
             return Err(DbError::Constraint {
@@ -625,8 +741,8 @@ impl Session {
                 coercions.push(Some(cast.f.clone()));
             }
         }
-        let produced = crate::exec::execute(&planned.plan, &storage, &ctx)?;
-        let t = storage.table_mut(table)?;
+        let produced = crate::exec::execute(&planned.plan, &pinned, &ctx)?;
+        let t = pinned.table_mut(table)?;
         let mut n = 0;
         for src in produced {
             let mut row: Row = vec![Value::Null; schema.columns.len()];
@@ -658,17 +774,19 @@ impl Session {
 
     fn run_update(
         &self,
+        set: &TableSet,
         table: &str,
         sets: Vec<(String, crate::sql::ast::Expr)>,
         where_clause: Option<crate::sql::ast::Expr>,
         params: &HashMap<String, Value>,
         ctx: ExecCtx,
     ) -> DbResult<StatementOutcome> {
+        let mut pinned = set.pin();
+        self.record_pin(&pinned);
         let catalog = self.db.catalog.read();
-        let mut storage = self.db.storage.write();
-        let schema = storage.table(table)?.schema.clone();
+        let schema = pinned.table(table)?.schema.clone();
         let scope = Self::table_scope(&schema);
-        let planner = Planner::new(&catalog, &storage, params, ctx);
+        let planner = Planner::new(&catalog, &pinned, params, ctx);
         let mut bound_sets = Vec::with_capacity(sets.len());
         for (name, e) in &sets {
             let col = schema.col_index(name).ok_or_else(|| DbError::NotFound {
@@ -689,7 +807,7 @@ impl Session {
             }
             None => None,
         };
-        let t = storage.table_mut(table)?;
+        let t = pinned.table_mut(table)?;
         let snapshot = t.scan();
         let mut affected = 0;
         for (rowid, row) in snapshot {
@@ -712,16 +830,18 @@ impl Session {
 
     fn run_delete(
         &self,
+        set: &TableSet,
         table: &str,
         where_clause: Option<crate::sql::ast::Expr>,
         params: &HashMap<String, Value>,
         ctx: ExecCtx,
     ) -> DbResult<StatementOutcome> {
+        let mut pinned = set.pin();
+        self.record_pin(&pinned);
         let catalog = self.db.catalog.read();
-        let mut storage = self.db.storage.write();
-        let schema = storage.table(table)?.schema.clone();
+        let schema = pinned.table(table)?.schema.clone();
         let scope = Self::table_scope(&schema);
-        let planner = Planner::new(&catalog, &storage, params, ctx);
+        let planner = Planner::new(&catalog, &pinned, params, ctx);
         let pred = match &where_clause {
             Some(w) => {
                 let w = planner.resolve_subqueries(w)?;
@@ -729,7 +849,7 @@ impl Session {
             }
             None => None,
         };
-        let t = storage.table_mut(table)?;
+        let t = pinned.table_mut(table)?;
         let snapshot = t.scan();
         let mut affected = 0;
         for (rowid, row) in snapshot {
@@ -942,11 +1062,11 @@ mod tests {
         let r = s.query("SELECT COUNT(*) FROM t WHERE a = 3").unwrap();
         assert_eq!(r.rows[0][0].as_int(), Some(10));
         // Plan shape: the scan becomes an index scan.
-        db.with_storage(|st| {
+        db.with_tables(|pinned| {
             db.with_catalog(|cat| {
                 let params = HashMap::new();
                 let ctx = ExecCtx { txn_time_unix: 0 };
-                let planner = Planner::new(cat, st, &params, ctx);
+                let planner = Planner::new(cat, pinned, &params, ctx);
                 let Statement::Select(sel) =
                     parse_statement("SELECT b FROM t WHERE a = 3").unwrap()
                 else {
@@ -968,11 +1088,11 @@ mod tests {
         let s = db.session();
         s.execute("CREATE TABLE a (id INT)").unwrap();
         s.execute("CREATE TABLE b (id INT)").unwrap();
-        db.with_storage(|st| {
+        db.with_tables(|pinned| {
             db.with_catalog(|cat| {
                 let params = HashMap::new();
                 let ctx = ExecCtx { txn_time_unix: 0 };
-                let planner = Planner::new(cat, st, &params, ctx);
+                let planner = Planner::new(cat, pinned, &params, ctx);
                 let Statement::Select(sel) =
                     parse_statement("SELECT a.id FROM a, b WHERE a.id = b.id").unwrap()
                 else {
@@ -1026,6 +1146,37 @@ mod tests {
         let text = s.format_result(&r);
         assert!(text.contains("Showbiz"));
         assert!(text.contains("| a "));
+    }
+
+    #[test]
+    fn format_result_survives_degenerate_shapes() {
+        let db = db();
+        let s = db.session();
+        // Zero columns, zero rows: still a (degenerate) table frame.
+        let empty = QueryResult {
+            columns: vec![],
+            rows: vec![],
+        };
+        let text = s.format_result(&empty);
+        assert_eq!(text, "+\n|\n+\n+\n");
+        // Zero rows with columns: header only, no row lines.
+        let headers_only = QueryResult {
+            columns: vec![("a".to_owned(), DataType::Int)],
+            rows: vec![],
+        };
+        let text = s.format_result(&headers_only);
+        assert!(text.contains("| a |"));
+        // Top rule, header, header rule, bottom rule — no row lines.
+        assert_eq!(text.lines().count(), 4);
+        // A malformed row wider than the header list must not panic;
+        // the extra cells are dropped from the rendering.
+        let lopsided = QueryResult {
+            columns: vec![("a".to_owned(), DataType::Int)],
+            rows: vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]],
+        };
+        let text = s.format_result(&lopsided);
+        assert!(text.contains("| 1 |"));
+        assert!(!text.contains('2'));
     }
 
     #[test]

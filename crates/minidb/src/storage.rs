@@ -1,13 +1,22 @@
 //! Row storage: tables, slotted heap with reuse, secondary B-tree
 //! indexes, and binary snapshot persistence.
+//!
+//! [`Storage`] is a *registry*: it maps names to [`SharedTable`] handles
+//! (`Arc<RwLock<Table>>`) and view definitions. The registry lock a
+//! [`Database`](crate::session::Database) wraps around it is held only
+//! for name resolution and DDL; statements lock individual tables
+//! through [`crate::pin::TableSet`], so traffic on one table never
+//! serializes against traffic on another.
 
 use crate::catalog::{Catalog, UdtIntervalKeyFn};
 use crate::error::{DbError, DbResult};
 use crate::types::DataType;
 use crate::value::{Row, Value};
 use bytes::{Buf, BufMut};
+use parking_lot::RwLock;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// A column definition.
 #[derive(Debug, Clone, PartialEq)]
@@ -511,10 +520,18 @@ pub struct ViewDef {
     pub body_sql: String,
 }
 
-/// All tables and views of one database.
-#[derive(Debug, Default, Clone)]
+/// A table behind its own reader-writer lock, shared between the
+/// registry and any statements that pinned it. A statement holding the
+/// handle keeps the data alive even if the table is concurrently
+/// dropped from the registry.
+pub type SharedTable = Arc<RwLock<Table>>;
+
+/// The table/view registry of one database: names to [`SharedTable`]
+/// handles plus view definitions. See the module docs for the locking
+/// protocol.
+#[derive(Debug, Default)]
 pub struct Storage {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, SharedTable>,
     views: HashMap<String, ViewDef>,
 }
 
@@ -526,14 +543,19 @@ impl Storage {
 
     /// Creates a table.
     pub fn create_table(&mut self, schema: TableSchema) -> DbResult<()> {
-        let key = schema.name.to_ascii_lowercase();
+        self.install_table(Table::new(schema))
+    }
+
+    /// Registers a fully built table (snapshot restore path).
+    fn install_table(&mut self, table: Table) -> DbResult<()> {
+        let key = table.schema.name.to_ascii_lowercase();
         if self.tables.contains_key(&key) || self.views.contains_key(&key) {
             return Err(DbError::AlreadyExists {
                 kind: "table",
-                name: schema.name,
+                name: table.schema.name,
             });
         }
-        self.tables.insert(key, Table::new(schema));
+        self.tables.insert(key, Arc::new(RwLock::new(table)));
         Ok(())
     }
 
@@ -584,24 +606,34 @@ impl Storage {
             })
     }
 
-    /// Immutable table lookup.
-    pub fn table(&self, name: &str) -> DbResult<&Table> {
+    /// Shared handle to a table. Cheap (an `Arc` clone); the caller
+    /// locks the table itself, normally via a sorted
+    /// [`TableSet`](crate::pin::TableSet) pin.
+    pub fn shared_table(&self, name: &str) -> DbResult<SharedTable> {
         self.tables
             .get(&name.to_ascii_lowercase())
+            .map(Arc::clone)
             .ok_or_else(|| DbError::NotFound {
                 kind: "table",
                 name: name.to_owned(),
             })
     }
 
-    /// Mutable table lookup.
-    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
-        self.tables
-            .get_mut(&name.to_ascii_lowercase())
-            .ok_or_else(|| DbError::NotFound {
-                kind: "table",
-                name: name.to_owned(),
-            })
+    /// All `(key, handle)` pairs sorted by lowercase key — the global
+    /// lock-acquisition order.
+    pub(crate) fn shared_tables_sorted(&self) -> Vec<(String, SharedTable)> {
+        let mut out: Vec<(String, SharedTable)> = self
+            .tables
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// A copy of every view definition, keyed by lowercase name.
+    pub(crate) fn views_cloned(&self) -> HashMap<String, ViewDef> {
+        self.views.clone()
     }
 
     /// `true` when the table exists.
@@ -609,12 +641,13 @@ impl Storage {
         self.tables.contains_key(&name.to_ascii_lowercase())
     }
 
-    /// Names of all tables (canonical case), sorted.
+    /// Names of all tables (canonical case), sorted. Takes a brief read
+    /// lock on each table to reach its schema.
     pub fn table_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
             .tables
             .values()
-            .map(|t| t.schema.name.clone())
+            .map(|t| t.read().schema.name.clone())
             .collect();
         names.sort();
         names
@@ -765,13 +798,21 @@ fn type_to_persist_name(cat: &Catalog, ty: DataType) -> String {
 /// Serializes the whole storage to a snapshot byte vector. UDT values are
 /// written through their type's binary `encode` support function and the
 /// type *name* (ids are not stable across processes).
+///
+/// Cross-table consistency: every table's read guard is acquired — in
+/// the same sorted-name order statements use, so this cannot deadlock
+/// against them — before any byte is written, so the snapshot captures
+/// one point-in-time cut across all tables.
 pub fn save_snapshot(cat: &Catalog, storage: &Storage) -> DbResult<Vec<u8>> {
+    let shared = storage.shared_tables_sorted();
+    let guards: Vec<_> = shared.iter().map(|(_, arc)| arc.read()).collect();
+    let mut tables: Vec<&Table> = guards.iter().map(|g| &**g).collect();
+    tables.sort_by(|a, b| a.schema.name.cmp(&b.schema.name));
+
     let mut out = Vec::new();
     out.put_slice(SNAPSHOT_MAGIC);
-    let names = storage.table_names();
-    out.put_u32_le(names.len() as u32);
-    for name in names {
-        let t = storage.table(&name)?;
+    out.put_u32_le(tables.len() as u32);
+    for t in tables {
         put_str(&mut out, &t.schema.name);
         out.put_u32_le(t.schema.columns.len() as u32);
         for c in &t.schema.columns {
@@ -845,17 +886,18 @@ pub fn load_snapshot(cat: &Catalog, bytes: &[u8]) -> DbResult<Storage> {
                 })?;
             columns.push(Column { name: cname, ty });
         }
-        storage.create_table(TableSchema {
-            name: tname.clone(),
+        // Build the table fully before registering it, so a truncated
+        // snapshot never leaves a half-restored table in the registry.
+        let mut table = Table::new(TableSchema {
+            name: tname,
             columns: columns.clone(),
-        })?;
+        });
         if buf.remaining() < 4 {
             return Err(DbError::Persist {
                 message: "truncated row count".into(),
             });
         }
         let nrows = buf.get_u32_le();
-        let table = storage.table_mut(&tname)?;
         for _ in 0..nrows {
             let mut row = Vec::with_capacity(columns.len());
             for _ in 0..columns.len() {
@@ -914,6 +956,7 @@ pub fn load_snapshot(cat: &Catalog, bytes: &[u8]) -> DbResult<Storage> {
                 }
             }
         }
+        storage.install_table(table)?;
     }
     // Views (absent in pre-view snapshots, so tolerate EOF here).
     if buf.remaining() >= 4 {
@@ -1028,17 +1071,21 @@ mod tests {
         let cat = Catalog::new();
         let mut s = Storage::new();
         s.create_table(schema()).unwrap();
-        let t = s.table_mut("t").unwrap();
-        t.insert(vec![Value::Int(1), Value::Str("héllo".into())]);
-        t.insert(vec![Value::Null, Value::Str("".into())]);
-        t.create_index("ix".into(), 0).unwrap();
+        {
+            let shared = s.shared_table("t").unwrap();
+            let mut t = shared.write();
+            t.insert(vec![Value::Int(1), Value::Str("héllo".into())]);
+            t.insert(vec![Value::Null, Value::Str("".into())]);
+            t.create_index("ix".into(), 0).unwrap();
+        }
 
         let bytes = save_snapshot(&cat, &s).unwrap();
         let restored = load_snapshot(&cat, &bytes).unwrap();
-        let rt = restored.table("T").unwrap();
+        let rt = restored.shared_table("T").unwrap();
+        let rt = rt.read();
         assert_eq!(rt.len(), 2);
         assert_eq!(rt.indexes().len(), 1);
-        assert_eq!(rt.schema, s.table("t").unwrap().schema);
+        assert_eq!(rt.schema, s.shared_table("t").unwrap().read().schema);
     }
 
     #[test]

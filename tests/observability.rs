@@ -212,6 +212,48 @@ fn slow_query_log_fires_over_threshold_only() {
     assert_eq!(hits.load(Ordering::SeqCst), 1);
 }
 
+/// DML is observable too: INSERT/UPDATE/DELETE reach the slow-query
+/// hook (with affected-row counts), the latency histogram, and the
+/// `rows.affected` / `dml.total_micros` / lock counters in SHOW STATS.
+#[test]
+fn dml_statements_reach_the_slow_query_log_and_counters() {
+    let conn = conn();
+    conn.execute("CREATE TABLE t (a INT, b INT)", &[]).unwrap();
+
+    let logged = Arc::new(Mutex::new(Vec::new()));
+    let l = logged.clone();
+    conn.set_slow_query_log(Duration::ZERO, move |q| {
+        l.lock()
+            .unwrap()
+            .push((q.sql.clone(), q.plan.clone(), q.rows));
+    })
+    .unwrap();
+
+    conn.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)", &[])
+        .unwrap();
+    conn.execute("UPDATE t SET b = b + 1 WHERE a >= 2", &[])
+        .unwrap();
+    conn.execute("DELETE FROM t WHERE a = 1", &[]).unwrap();
+
+    let logged = logged.lock().unwrap().clone();
+    assert_eq!(logged.len(), 3, "every DML statement hit the hook");
+    assert_eq!(logged[0].1, "insert(t)");
+    assert_eq!(logged[0].2, 3, "INSERT reports affected rows");
+    assert_eq!(logged[1].1, "update(t)");
+    assert_eq!(logged[1].2, 2);
+    assert_eq!(logged[2].1, "delete(t)");
+    assert_eq!(logged[2].2, 1);
+
+    assert_eq!(stat(&conn, "rows.affected"), 6);
+    assert_eq!(stat(&conn, "select.slow"), 3, "DML counts as slow too");
+    // Every DML statement pinned exactly one table; a fresh session
+    // never blocked, so wait time is (near) zero but the counter row
+    // itself must exist.
+    assert!(stat(&conn, "lock.tables_pinned") >= 3);
+    assert!(stat(&conn, "lock.wait_micros") >= 0);
+    assert!(stat(&conn, "dml.total_micros") >= 0);
+}
+
 #[test]
 fn explain_analyze_with_interval_index_shows_index_path() {
     let conn = conn();

@@ -3,7 +3,7 @@
 //! endpoints and indexes), mirroring reconnecting to a blade-enabled
 //! Informix instance.
 
-use minidb::Database;
+use minidb::{Database, TableSource};
 use tip::blade::TipBlade;
 use tip::client::Connection;
 use tip::core::Chronon;
@@ -82,8 +82,8 @@ fn snapshot_preserves_indexes() {
     let db2 = Database::new();
     db2.install_blade(&TipBlade).unwrap();
     db2.load_snapshot(&snapshot).unwrap();
-    db2.with_storage(|st| {
-        let t = st.table("Prescription").unwrap();
+    db2.with_tables(|pinned| {
+        let t = pinned.table("Prescription").unwrap();
         assert_eq!(t.indexes().len(), 1);
         assert_eq!(t.indexes()[0].name, "ix_drug");
     });
