@@ -1,0 +1,122 @@
+//! Plan-cache microbenchmarks: the prepare-once/execute-many speedup
+//! the cache exists for. Two workloads, each measured both ways:
+//!
+//! * `unprepared` — classic ad-hoc SQL, a unique statement text per
+//!   execution, so every statement pays lex + parse + bind + plan;
+//! * `prepared` — one parameterized statement executed with fresh
+//!   parameter values, so repeats skip the whole SQL front end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minidb::{Database, Value};
+use std::sync::Arc;
+use tip_blade::{TipBlade, TipTypes};
+use tip_core::{Chronon, Period};
+
+fn point_table(n: usize) -> Arc<Database> {
+    let db = Database::new();
+    let s = db.session();
+    s.execute("CREATE TABLE t (id INT, x INT)").unwrap();
+    for i in 0..n {
+        s.execute_with_params(
+            "INSERT INTO t VALUES (:id, :x)",
+            &[
+                ("id", Value::Int(i as i64)),
+                ("x", Value::Int((i * 3) as i64)),
+            ],
+        )
+        .unwrap();
+    }
+    s.execute("CREATE INDEX ix_t_id ON t(id)").unwrap();
+    db
+}
+
+fn point_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_cache/point_select");
+    let db = point_table(10_000);
+
+    let s = db.session();
+    let mut i = 0i64;
+    group.bench_function("unprepared", |b| {
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            s.query(&format!("SELECT x FROM t WHERE id = {i}"))
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+
+    let s = db.session();
+    let p = s.prepare("SELECT x FROM t WHERE id = :id").unwrap();
+    let mut j = 0i64;
+    group.bench_function("prepared", |b| {
+        b.iter(|| {
+            j = (j + 1) % 10_000;
+            p.query(&[("id", Value::Int(j))]).unwrap().rows.len()
+        })
+    });
+    group.finish();
+}
+
+fn period_table(n: usize) -> (Arc<Database>, TipTypes) {
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let types = db.with_catalog(TipTypes::from_catalog).unwrap();
+    let s = db.session();
+    s.execute("CREATE TABLE rx (patient CHAR(20), valid Period)")
+        .unwrap();
+    for i in 0..n {
+        s.execute(&format!(
+            "INSERT INTO rx VALUES ('p{i}', '[1999-{:02}-{:02}, 1999-{:02}-{:02}]'::Period)",
+            1 + i % 12,
+            1 + i % 20,
+            1 + i % 12,
+            5 + i % 20,
+        ))
+        .unwrap();
+    }
+    s.execute("CREATE INDEX ix_rx_valid ON rx(valid)").unwrap();
+    (db, types)
+}
+
+fn overlaps_param(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_cache/overlaps");
+    group.sample_size(40);
+    let (db, types) = period_table(2_000);
+
+    let s = db.session();
+    let mut i = 0u32;
+    group.bench_function("unprepared", |b| {
+        b.iter(|| {
+            i = (i + 1) % 12;
+            s.query(&format!(
+                "SELECT patient FROM rx WHERE overlaps(valid, \
+                 '[1999-{:02}-03, 1999-{:02}-10]'::Period)",
+                1 + i,
+                1 + i,
+            ))
+            .unwrap()
+            .rows
+            .len()
+        })
+    });
+
+    let s = db.session();
+    let p = s
+        .prepare("SELECT patient FROM rx WHERE overlaps(valid, :w)")
+        .unwrap();
+    let mut j = 0u32;
+    group.bench_function("prepared", |b| {
+        b.iter(|| {
+            j = (j + 1) % 12;
+            let lo = Chronon::from_ymd(1999, 1 + j, 3).unwrap();
+            let hi = Chronon::from_ymd(1999, 1 + j, 10).unwrap();
+            let w = types.period(Period::fixed(lo, hi));
+            p.query(&[("w", w)]).unwrap().rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, point_select, overlaps_param);
+criterion_main!(benches);

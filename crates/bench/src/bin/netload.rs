@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! netload [--addr HOST:PORT] [--threads N] [--statements M] [--rows K]
-//!         [--contend] [--writers W]
+//!         [--contend] [--writers W] [--prepared]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process server over the synthetic
@@ -20,6 +20,14 @@
 //! reader latency profile should barely move versus the no-writer
 //! baseline (the tool prints both and their p50 ratio); under a global
 //! storage lock it degrades with every writer added.
+//!
+//! `--prepared` switches to the plan-cache experiment: the same
+//! point-SELECT workload is run twice, first as ad-hoc SQL with a
+//! unique statement text per execution (every statement pays the full
+//! front end), then as one prepared statement executed with fresh
+//! parameters over protocol v3. The tool prints both latency profiles,
+//! the p50 prepared/unprepared ratio, and the server's plan-cache hit
+//! ratio during the prepared phase.
 
 use minidb::Database;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -90,9 +98,110 @@ impl Histogram {
 fn usage() -> ! {
     eprintln!(
         "usage: netload [--addr HOST:PORT] [--threads N] [--statements M] [--rows K] \
-         [--contend] [--writers W]"
+         [--contend] [--writers W] [--prepared]"
     );
     std::process::exit(2);
+}
+
+/// The plan-cache experiment: identical point-SELECT work, ad-hoc text
+/// vs prepare-once/execute-many, plus the server's cache hit ratio.
+fn run_prepared(target: &str, threads: usize, statements: usize, rows: usize) {
+    let setup = Connection::connect(target).expect("connect setup");
+    for sql in [
+        "DROP TABLE IF EXISTS prep_bench",
+        "CREATE TABLE prep_bench (id INT, x INT)",
+    ] {
+        setup.execute(sql, &[]).expect("prepared-mode DDL");
+    }
+    // Keep the key space larger than the plan-cache LRU so the ad-hoc
+    // phase cannot win by accident: every unique text must plan fresh.
+    let keys = rows.max(256);
+    for i in 0..keys {
+        setup
+            .execute(
+                "INSERT INTO prep_bench VALUES (:i, :v)",
+                &[
+                    ("i", HostValue::Int(i as i64)),
+                    ("v", HostValue::Int((i * 3) as i64)),
+                ],
+            )
+            .expect("populate prep_bench");
+    }
+    setup
+        .execute("CREATE INDEX ix_prep_id ON prep_bench(id)", &[])
+        .expect("index prep_bench");
+
+    let phase = |prepared: bool| -> Histogram {
+        let merged = Arc::new(Mutex::new(Histogram::default()));
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let target = target.to_owned();
+                let merged = Arc::clone(&merged);
+                thread::spawn(move || {
+                    let conn = Connection::connect(target.as_str()).expect("connect worker");
+                    let mut hist = Histogram::default();
+                    if prepared {
+                        let mut stmt = conn.prepare("SELECT x FROM prep_bench WHERE id = :id");
+                        assert!(
+                            stmt.is_server_prepared(),
+                            "--prepared needs a protocol v3 server"
+                        );
+                        for i in 0..statements {
+                            let id = ((i * threads + t) % keys) as i64;
+                            stmt = stmt.bind("id", HostValue::Int(id));
+                            let begin = Instant::now();
+                            let n = stmt.query().expect("prepared query").len();
+                            hist.record(begin.elapsed().as_micros() as u64);
+                            assert_eq!(n, 1);
+                        }
+                    } else {
+                        for i in 0..statements {
+                            let id = (i * threads + t) % keys;
+                            let sql = format!("SELECT x FROM prep_bench WHERE id = {id}");
+                            let begin = Instant::now();
+                            let n = conn.query(&sql, &[]).expect("ad-hoc query").len();
+                            hist.record(begin.elapsed().as_micros() as u64);
+                            assert_eq!(n, 1);
+                        }
+                    }
+                    merged.lock().expect("histogram").merge(&hist);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        let mut out = Histogram::default();
+        out.merge(&merged.lock().expect("histogram"));
+        out
+    };
+
+    eprintln!("netload: prepared phase 1 — {threads} threads, ad-hoc SQL (unique text)");
+    let adhoc = phase(false);
+
+    let before = setup.server_metrics().expect("server metrics");
+    eprintln!("netload: prepared phase 2 — {threads} threads, prepared statements");
+    let prepared = phase(true);
+    let after = setup.server_metrics().expect("server metrics");
+
+    println!("ad-hoc SQL, p50 bucket {} us:", adhoc.p50_micros());
+    adhoc.print("  ");
+    println!("prepared, p50 bucket {} us:", prepared.p50_micros());
+    prepared.print("  ");
+
+    let hits = after.plan_cache_hits - before.plan_cache_hits;
+    let misses = after.plan_cache_misses - before.plan_cache_misses;
+    let ratio = hits as f64 / ((hits + misses).max(1)) as f64;
+    println!(
+        "plan cache during prepared phase: {hits} hits / {misses} misses \
+         -> hit ratio {ratio:.3}"
+    );
+    let speedup = adhoc.p50_micros().max(1) as f64 / prepared.p50_micros().max(1) as f64;
+    println!("p50 prepared speedup over ad-hoc: {speedup:.2}x");
+    if hits == 0 {
+        eprintln!("netload: WARNING — prepared phase never hit the plan cache");
+        std::process::exit(1);
+    }
 }
 
 /// Readers-only pass over `contend_cold`: every thread runs `statements`
@@ -228,6 +337,7 @@ fn main() {
     let mut rows = 200usize;
     let mut contend = false;
     let mut writers = 2usize;
+    let mut prepared = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -239,6 +349,7 @@ fn main() {
             "--rows" => rows = num(args.next()),
             "--contend" => contend = true,
             "--writers" => writers = num(args.next()),
+            "--prepared" => prepared = true,
             _ => usage(),
         }
     }
@@ -279,6 +390,10 @@ fn main() {
 
     if contend {
         run_contention(&target, threads, writers, statements, rows);
+        return;
+    }
+    if prepared {
+        run_prepared(&target, threads, statements, rows);
         return;
     }
 

@@ -26,6 +26,7 @@ commands:
   explain <query>          show the physical plan for a SELECT
   analyze <query>          run it and show per-operator rows/timings
   stats                    show this session's query metrics (SHOW STATS)
+  cache                    show plan-cache counters and hit ratio
   attr <column>            choose the temporal browsing attribute
   window <start> <end>     set the time window (chronon literals)
   slide <span>             move the window (e.g. 'slide 30' or 'slide -7')
@@ -119,6 +120,7 @@ fn main() {
                 run_plain(&conn, &format!("{prefix}{rest}"));
             }
             "stats" => run_plain(&conn, "SHOW STATS"),
+            "cache" => show_cache(&conn),
             "attr" => {
                 attr = rest.to_owned();
                 browser = load(&conn, &query, &attr, current_now(&conn, demo_now));
@@ -223,6 +225,26 @@ fn load(conn: &Connection, sql: &str, attr: &str, now: Chronon) -> Option<Browse
             println!("error: {err}");
             None
         }
+    }
+}
+
+/// Plan-cache counters: `attr` and `connect` re-run the loaded query
+/// verbatim, so a healthy browsing session is almost all hits.
+fn show_cache(conn: &Connection) {
+    match conn.metrics_snapshot() {
+        Ok(m) => {
+            let probes = m.plan_cache_hits + m.plan_cache_misses;
+            let ratio = m.plan_cache_hits as f64 / probes.max(1) as f64;
+            println!(
+                "plan cache: {} hits / {} misses (hit ratio {ratio:.3}), \
+                 {} entries, {} invalidations",
+                m.plan_cache_hits,
+                m.plan_cache_misses,
+                m.plan_cache_entries,
+                m.plan_cache_invalidations,
+            );
+        }
+        Err(err) => println!("error: {err}"),
     }
 }
 

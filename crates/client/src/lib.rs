@@ -231,22 +231,37 @@ impl Connection {
                 return Err(DbError::exec("statement returned no rows; use execute()"))
             }
         };
+        Ok(self.rows_from(result))
+    }
+
+    /// Wraps a raw result set in a cursor with this connection's type
+    /// map and display catalog.
+    fn rows_from(&self, result: QueryResult) -> Rows {
         let db = Arc::clone(&self.db);
         let display: DisplayFn = Arc::new(move |v| db.with_catalog(|c| c.display_value(v)));
-        Ok(Rows {
+        Rows {
             result,
             cursor: None,
             type_map: self.type_map.clone(),
             display,
-        })
+        }
     }
 
-    /// Prepares a statement for repeated execution.
+    /// Prepares a statement for repeated execution. Over a protocol-v3
+    /// remote connection the statement is also registered server-side,
+    /// so later executions ship only an id and the parameter values; on
+    /// older servers and in-process connections this transparently
+    /// falls back to resending the text (the engine's plan cache still
+    /// removes the re-parse/re-plan cost either way).
     pub fn prepare(&self, sql: &str) -> PreparedStatement<'_> {
+        // Best-effort: a statement the server rejects here surfaces the
+        // same typed error at execute time via the text path.
+        let remote_id = self.transport.prepare(sql).unwrap_or(None);
         PreparedStatement {
             conn: self,
             sql: sql.to_owned(),
             params: Vec::new(),
+            remote_id,
         }
     }
 
@@ -302,6 +317,9 @@ pub struct PreparedStatement<'a> {
     conn: &'a Connection,
     sql: String,
     params: Vec<(String, HostValue)>,
+    /// Server-side statement id when the transport negotiated protocol
+    /// v3; `None` means executions resend the statement text.
+    remote_id: Option<u64>,
 }
 
 impl PreparedStatement<'_> {
@@ -312,24 +330,55 @@ impl PreparedStatement<'_> {
         self
     }
 
-    /// Executes as a query.
-    pub fn query(&self) -> DbResult<Rows> {
-        let params: Vec<(&str, HostValue)> = self
+    /// `true` when the statement is registered server-side (remote
+    /// protocol v3); `false` on the text-resend fallback path.
+    pub fn is_server_prepared(&self) -> bool {
+        self.remote_id.is_some()
+    }
+
+    /// Runs the statement through the fastest path the transport offers.
+    fn run(&self) -> DbResult<StatementOutcome> {
+        let lowered: Vec<(&str, Value)> = self
             .params
             .iter()
-            .map(|(n, v)| (n.as_str(), v.clone()))
+            .map(|(n, v)| (n.as_str(), self.conn.lower_param(v)))
             .collect();
-        self.conn.query(&self.sql, &params)
+        match self.remote_id {
+            Some(id) => self
+                .conn
+                .transport
+                .execute_prepared(id, &self.sql, &lowered),
+            None => self.conn.transport.execute(&self.sql, &lowered),
+        }
+    }
+
+    /// Executes as a query.
+    pub fn query(&self) -> DbResult<Rows> {
+        match self.run()? {
+            StatementOutcome::Rows(r) => Ok(self.conn.rows_from(r)),
+            StatementOutcome::Affected(_) | StatementOutcome::Done => {
+                Err(DbError::exec("statement returned no rows; use execute()"))
+            }
+        }
     }
 
     /// Executes as a non-query statement.
     pub fn execute(&self) -> DbResult<usize> {
-        let params: Vec<(&str, HostValue)> = self
-            .params
-            .iter()
-            .map(|(n, v)| (n.as_str(), v.clone()))
-            .collect();
-        self.conn.execute(&self.sql, &params)
+        match self.run()? {
+            StatementOutcome::Affected(n) => Ok(n),
+            StatementOutcome::Done => Ok(0),
+            StatementOutcome::Rows(_) => Err(DbError::exec("statement returned rows; use query()")),
+        }
+    }
+}
+
+impl Drop for PreparedStatement<'_> {
+    fn drop(&mut self) {
+        // Release the server-side slot; best effort, and a no-op on
+        // fallback paths.
+        if let Some(id) = self.remote_id.take() {
+            let _ = self.conn.transport.close_prepared(id);
+        }
     }
 }
 

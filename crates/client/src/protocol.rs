@@ -32,8 +32,13 @@ use tip_core::binary;
 /// First four bytes of the HELLO body: `"TIP1"`.
 pub const MAGIC: u32 = 0x5449_5031;
 /// Protocol version spoken by this build. v2 widened the METRICS frame
-/// with DML and lock-wait counters.
-pub const VERSION: u16 = 2;
+/// with DML and lock-wait counters; v3 added prepared statements
+/// (PREPARE / EXECUTE_PREPARED / CLOSE_PREPARED) and the plan-cache
+/// counters in METRICS. Servers negotiate down to a client's older
+/// version; this constant is the highest version this build speaks.
+pub const VERSION: u16 = 3;
+/// Oldest protocol version this build still accepts from a peer.
+pub const MIN_VERSION: u16 = 2;
 /// Upper bound on one frame (tag + body); anything larger is treated as
 /// a malformed stream and kills the connection.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
@@ -52,6 +57,12 @@ pub mod req {
     pub const SERVER_METRICS: u8 = 0x05;
     /// Orderly goodbye; the server closes after reading it.
     pub const BYE: u8 = 0x06;
+    /// v3: validate a statement and register it under a server-side id.
+    pub const PREPARE: u8 = 0x07;
+    /// v3: execute a previously prepared statement id with parameters.
+    pub const EXECUTE_PREPARED: u8 = 0x08;
+    /// v3: forget a prepared statement id.
+    pub const CLOSE_PREPARED: u8 = 0x09;
 }
 
 /// Server → client frame tags.
@@ -74,6 +85,8 @@ pub mod resp {
     pub const METRICS: u8 = 0x88;
     /// The server is at its connection limit; sent instead of HELLO_OK.
     pub const BUSY: u8 = 0x89;
+    /// v3: a PREPARE succeeded; body carries the statement id.
+    pub const PREPARED_OK: u8 = 0x8A;
 }
 
 /// Value/column kind bytes. Columns of any unlisted UDT degrade to
@@ -410,6 +423,86 @@ pub fn decode_stmt(mut buf: &[u8], types: &TipTypes) -> DbResult<Stmt> {
 }
 
 // ---------------------------------------------------------------------
+// Prepared statements (v3)
+// ---------------------------------------------------------------------
+
+/// Body of a PREPARE request: the statement text to validate and pin.
+pub fn encode_prepare(sql: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + sql.len());
+    put_str(&mut out, sql);
+    out
+}
+
+pub fn decode_prepare(mut buf: &[u8]) -> DbResult<String> {
+    let sql = get_str(&mut buf, "PREPARE")?;
+    expect_empty(buf, "PREPARE")?;
+    Ok(sql)
+}
+
+/// Body of a PREPARED_OK reply: the server-assigned statement id.
+pub fn encode_prepared_ok(id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    out.put_u64_le(id);
+    out
+}
+
+pub fn decode_prepared_ok(mut buf: &[u8]) -> DbResult<u64> {
+    need(&buf, 8, "PREPARED_OK")?;
+    let id = buf.get_u64_le();
+    expect_empty(buf, "PREPARED_OK")?;
+    Ok(id)
+}
+
+/// Body of an EXECUTE_PREPARED request: statement id plus the same
+/// parameter list shape STMT uses.
+pub fn encode_execute_prepared(
+    id: u64,
+    params: &[(&str, Value)],
+    display: &dyn Fn(&Value) -> String,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.put_u64_le(id);
+    out.put_u16_le(params.len() as u16);
+    for (name, value) in params {
+        put_str(&mut out, name);
+        encode_value(value, display, &mut out);
+    }
+    out
+}
+
+pub fn decode_execute_prepared(
+    mut buf: &[u8],
+    types: &TipTypes,
+) -> DbResult<(u64, Vec<(String, Value)>)> {
+    need(&buf, 8, "EXECUTE_PREPARED")?;
+    let id = buf.get_u64_le();
+    need(&buf, 2, "EXECUTE_PREPARED param count")?;
+    let n = buf.get_u16_le() as usize;
+    let mut params = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let name = get_str(&mut buf, "EXECUTE_PREPARED param name")?;
+        let value = decode_value(&mut buf, types)?;
+        params.push((name, value));
+    }
+    expect_empty(buf, "EXECUTE_PREPARED")?;
+    Ok((id, params))
+}
+
+/// Body of a CLOSE_PREPARED request: the statement id to forget.
+pub fn encode_close_prepared(id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    out.put_u64_le(id);
+    out
+}
+
+pub fn decode_close_prepared(mut buf: &[u8]) -> DbResult<u64> {
+    need(&buf, 8, "CLOSE_PREPARED")?;
+    let id = buf.get_u64_le();
+    expect_empty(buf, "CLOSE_PREPARED")?;
+    Ok(id)
+}
+
+// ---------------------------------------------------------------------
 // Result sets
 // ---------------------------------------------------------------------
 
@@ -524,6 +617,7 @@ const KNOWN_KINDS: &[&str] = &[
     "cast",
     "parameter",
     "blade",
+    "prepared statement",
 ];
 
 fn intern_kind(s: &str) -> &'static str {
@@ -596,9 +690,24 @@ pub fn decode_error(mut buf: &[u8]) -> DbResult<DbError> {
 // Metrics
 // ---------------------------------------------------------------------
 
+/// Counter fields carried by a METRICS frame at `version`: v2 stopped
+/// after `tables_pinned`; v3 appended the four plan-cache counters.
+fn metric_field_count(version: u16) -> usize {
+    if version >= 3 {
+        23
+    } else {
+        19
+    }
+}
+
 pub fn encode_metrics(m: &MetricsSnapshot) -> Vec<u8> {
-    let mut out = Vec::with_capacity(20 * 8 + LATENCY_BUCKETS * 8);
-    for v in [
+    encode_metrics_for(m, VERSION)
+}
+
+/// Encodes a METRICS body in the layout `version` peers expect (a v2
+/// peer rejects trailing bytes, so the frame must shrink with it).
+pub fn encode_metrics_for(m: &MetricsSnapshot, version: u16) -> Vec<u8> {
+    let fields = [
         m.selects,
         m.inserts,
         m.updates,
@@ -618,8 +727,15 @@ pub fn encode_metrics(m: &MetricsSnapshot) -> Vec<u8> {
         m.slow_queries,
         m.lock_wait_nanos,
         m.tables_pinned,
-    ] {
-        out.put_u64_le(v);
+        m.plan_cache_hits,
+        m.plan_cache_misses,
+        m.plan_cache_invalidations,
+        m.plan_cache_entries,
+    ];
+    let n = metric_field_count(version);
+    let mut out = Vec::with_capacity((n + 1) * 8 + LATENCY_BUCKETS * 8);
+    for v in &fields[..n] {
+        out.put_u64_le(*v);
     }
     out.put_u32_le(LATENCY_BUCKETS as u32);
     for b in &m.latency_buckets {
@@ -628,10 +744,17 @@ pub fn encode_metrics(m: &MetricsSnapshot) -> Vec<u8> {
     out
 }
 
-pub fn decode_metrics(mut buf: &[u8]) -> DbResult<MetricsSnapshot> {
-    need(&buf, 19 * 8 + 4, "METRICS")?;
+pub fn decode_metrics(buf: &[u8]) -> DbResult<MetricsSnapshot> {
+    decode_metrics_for(buf, VERSION)
+}
+
+/// Decodes a METRICS body in the layout `version` peers send; missing
+/// (pre-v3) plan-cache counters stay zero.
+pub fn decode_metrics_for(mut buf: &[u8], version: u16) -> DbResult<MetricsSnapshot> {
+    let n = metric_field_count(version);
+    need(&buf, n * 8 + 4, "METRICS")?;
     let mut m = MetricsSnapshot::default();
-    for field in [
+    let mut fields = [
         &mut m.selects,
         &mut m.inserts,
         &mut m.updates,
@@ -651,8 +774,13 @@ pub fn decode_metrics(mut buf: &[u8]) -> DbResult<MetricsSnapshot> {
         &mut m.slow_queries,
         &mut m.lock_wait_nanos,
         &mut m.tables_pinned,
-    ] {
-        *field = buf.get_u64_le();
+        &mut m.plan_cache_hits,
+        &mut m.plan_cache_misses,
+        &mut m.plan_cache_invalidations,
+        &mut m.plan_cache_entries,
+    ];
+    for field in &mut fields[..n] {
+        **field = buf.get_u64_le();
     }
     let nbuckets = buf.get_u32_le() as usize;
     if nbuckets != LATENCY_BUCKETS {
@@ -845,6 +973,10 @@ mod tests {
             dml_nanos: 4_000,
             lock_wait_nanos: 2_500,
             tables_pinned: 6,
+            plan_cache_hits: 41,
+            plan_cache_misses: 5,
+            plan_cache_invalidations: 2,
+            plan_cache_entries: 3,
             ..Default::default()
         };
         m.latency_buckets[0] = 1;
@@ -854,6 +986,74 @@ mod tests {
         let body = encode_metrics(&m);
         for cut in 0..body.len() {
             assert!(decode_metrics(&body[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn v2_metrics_layout_omits_plan_cache_fields() {
+        let m = MetricsSnapshot {
+            selects: 9,
+            tables_pinned: 4,
+            plan_cache_hits: 100,
+            plan_cache_entries: 7,
+            ..Default::default()
+        };
+        let v2 = encode_metrics_for(&m, 2);
+        let v3 = encode_metrics_for(&m, 3);
+        assert_eq!(v3.len() - v2.len(), 4 * 8, "v3 appends four u64s");
+        // A v2 peer's decode accepts the narrow frame and leaves the
+        // plan-cache counters zero...
+        let back = decode_metrics_for(&v2, 2).unwrap();
+        assert_eq!(back.selects, 9);
+        assert_eq!(back.tables_pinned, 4);
+        assert_eq!(back.plan_cache_hits, 0);
+        // ...and rejects the wide one (trailing bytes), which is why the
+        // server must shrink the frame to the negotiated version.
+        assert!(decode_metrics_for(&v3, 2).is_err());
+        assert!(decode_metrics_for(&v2, 3).is_err());
+    }
+
+    #[test]
+    fn prepare_frames_round_trip() {
+        let sql = "SELECT * FROM t WHERE id = :id";
+        assert_eq!(decode_prepare(&encode_prepare(sql)).unwrap(), sql);
+        assert_eq!(decode_prepared_ok(&encode_prepared_ok(7)).unwrap(), 7);
+        assert_eq!(
+            decode_close_prepared(&encode_close_prepared(u64::MAX)).unwrap(),
+            u64::MAX
+        );
+
+        let (_db, types) = registry();
+        let params: Vec<(&str, Value)> =
+            vec![("id", Value::Int(42)), ("who", Value::Str("ada".into()))];
+        let body = encode_execute_prepared(9, &params, &no_display);
+        let (id, back) = decode_execute_prepared(&body, &types).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], ("id".to_string(), Value::Int(42)));
+        assert_eq!(back[1], ("who".to_string(), Value::Str("ada".into())));
+        // Every truncation is a typed decode error, never a panic.
+        for cut in 0..body.len() {
+            assert!(decode_execute_prepared(&body[..cut], &types).is_err());
+        }
+        // Trailing garbage is rejected too.
+        let mut long = body.clone();
+        long.push(0);
+        assert!(decode_execute_prepared(&long, &types).is_err());
+    }
+
+    #[test]
+    fn prepared_statement_kind_survives_the_wire() {
+        let body = encode_error(&DbError::NotFound {
+            kind: "prepared statement",
+            name: "42".into(),
+        });
+        match decode_error(&body).unwrap() {
+            DbError::NotFound { kind, name } => {
+                assert_eq!(kind, "prepared statement");
+                assert_eq!(name, "42");
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 

@@ -56,6 +56,34 @@ pub trait Transport: Send + Sync {
     /// Removes the slow-query hook.
     fn clear_slow_query_log(&self) -> DbResult<()>;
 
+    /// Registers `sql` server-side and returns its statement id, when
+    /// the transport supports remote preparation. The default —
+    /// in-process sessions, or remote peers negotiated below protocol
+    /// v3 — returns `Ok(None)`: callers fall back to resending the
+    /// statement text, and the engine's plan cache still removes the
+    /// re-parse/re-plan cost.
+    fn prepare(&self, _sql: &str) -> DbResult<Option<u64>> {
+        Ok(None)
+    }
+
+    /// Executes a statement previously registered with
+    /// [`Transport::prepare`]. Transports without remote preparation
+    /// fall back to [`Transport::execute`] with the original text.
+    fn execute_prepared(
+        &self,
+        _id: u64,
+        sql: &str,
+        params: &[(&str, Value)],
+    ) -> DbResult<StatementOutcome> {
+        self.execute(sql, params)
+    }
+
+    /// Releases a server-side prepared statement id. A no-op for
+    /// transports without remote preparation.
+    fn close_prepared(&self, _id: u64) -> DbResult<()> {
+        Ok(())
+    }
+
     /// Human-readable endpoint ("in-process" or "host:port").
     fn endpoint(&self) -> String;
 }
@@ -167,6 +195,9 @@ pub struct RemoteTransport {
     /// Set after any I/O or protocol fault: the stream position is
     /// unknown, so every later call fails fast instead of desyncing.
     broken: AtomicBool,
+    /// Protocol version negotiated in the handshake. Below 3 the
+    /// prepared-statement calls quietly fall back to plain STMT.
+    version: u16,
     endpoint: String,
 }
 
@@ -190,7 +221,7 @@ impl RemoteTransport {
         let _ = stream.set_read_timeout(Some(opts.read_timeout));
         let _ = stream.set_write_timeout(Some(opts.write_timeout));
 
-        let t = RemoteTransport {
+        let mut t = RemoteTransport {
             stream: Mutex::new(stream),
             registry,
             types,
@@ -199,8 +230,10 @@ impl RemoteTransport {
                 dirty: false,
             }),
             broken: AtomicBool::new(false),
+            version: protocol::VERSION,
             endpoint,
         };
+        let negotiated;
         {
             let mut stream = t.stream.lock().expect("stream poisoned");
             t.send(
@@ -215,12 +248,17 @@ impl RemoteTransport {
             match tag {
                 resp::HELLO_OK => {
                     let (version, _banner) = protocol::decode_hello_ok(&body)?;
-                    if version != protocol::VERSION {
+                    // The server answers with the version it settled on;
+                    // anything in our supported window is fine (an older
+                    // server just means no remote prepared statements).
+                    if !(protocol::MIN_VERSION..=protocol::VERSION).contains(&version) {
                         return Err(DbError::unavailable(format!(
-                            "server speaks protocol version {version}, client speaks {}",
+                            "server speaks protocol version {version}, client speaks {}..={}",
+                            protocol::MIN_VERSION,
                             protocol::VERSION
                         )));
                     }
+                    negotiated = version;
                 }
                 resp::BUSY => {
                     return Err(DbError::unavailable(protocol::decode_busy(&body)?));
@@ -233,6 +271,7 @@ impl RemoteTransport {
                 }
             }
         }
+        t.version = negotiated;
         Ok(t)
     }
 
@@ -292,30 +331,15 @@ impl RemoteTransport {
         self.registry.with_catalog(|c| c.display_value(v))
     }
 
-    /// Requests one metrics snapshot (`req` is SESSION_STATS or
-    /// SERVER_METRICS).
-    fn fetch_metrics(&self, request: u8) -> DbResult<MetricsSnapshot> {
-        self.check_live()?;
-        let mut stream = self.stream.lock().expect("stream poisoned");
-        self.send(&mut stream, request, &[])?;
-        let (tag, body) = self.recv(&mut stream)?;
-        match tag {
-            resp::METRICS => protocol::decode_metrics(&body),
-            resp::ERROR => Err(protocol::decode_error(&body)?),
-            other => Err(self.fail("metrics", format!("unexpected frame {other:#04x}"))),
-        }
+    /// The protocol version settled on in the handshake.
+    pub fn protocol_version(&self) -> u16 {
+        self.version
     }
-}
 
-impl Transport for RemoteTransport {
-    fn execute(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<StatementOutcome> {
-        self.check_live()?;
-        let mut stream = self.stream.lock().expect("stream poisoned");
-        self.sync_now(&mut stream)?;
-        let body = protocol::encode_stmt(sql, params, &|v| self.display(v));
-        self.send(&mut stream, req::STMT, &body)?;
-
-        let (tag, body) = self.recv(&mut stream)?;
+    /// Reads one statement outcome off the wire: ERROR, AFFECTED, DONE,
+    /// or a ROWS_HEADER-led stream. Shared by STMT and EXECUTE_PREPARED.
+    fn read_outcome(&self, stream: &mut TcpStream) -> DbResult<StatementOutcome> {
+        let (tag, body) = self.recv(stream)?;
         match tag {
             resp::ERROR => Err(protocol::decode_error(&body)?),
             resp::AFFECTED => Ok(StatementOutcome::Affected(
@@ -326,7 +350,7 @@ impl Transport for RemoteTransport {
                 let columns = protocol::decode_rows_header(&body, &self.types)?;
                 let mut rows = Vec::new();
                 loop {
-                    let (tag, body) = self.recv(&mut stream)?;
+                    let (tag, body) = self.recv(stream)?;
                     match tag {
                         resp::ROW_BATCH => rows.extend(protocol::decode_row_batch(
                             &body,
@@ -344,6 +368,81 @@ impl Transport for RemoteTransport {
                 Ok(StatementOutcome::Rows(QueryResult { columns, rows }))
             }
             other => Err(self.fail("statement", format!("unexpected frame {other:#04x}"))),
+        }
+    }
+
+    /// Requests one metrics snapshot (`req` is SESSION_STATS or
+    /// SERVER_METRICS).
+    fn fetch_metrics(&self, request: u8) -> DbResult<MetricsSnapshot> {
+        self.check_live()?;
+        let mut stream = self.stream.lock().expect("stream poisoned");
+        self.send(&mut stream, request, &[])?;
+        let (tag, body) = self.recv(&mut stream)?;
+        match tag {
+            resp::METRICS => protocol::decode_metrics_for(&body, self.version),
+            resp::ERROR => Err(protocol::decode_error(&body)?),
+            other => Err(self.fail("metrics", format!("unexpected frame {other:#04x}"))),
+        }
+    }
+}
+
+impl Transport for RemoteTransport {
+    fn execute(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<StatementOutcome> {
+        self.check_live()?;
+        let mut stream = self.stream.lock().expect("stream poisoned");
+        self.sync_now(&mut stream)?;
+        let body = protocol::encode_stmt(sql, params, &|v| self.display(v));
+        self.send(&mut stream, req::STMT, &body)?;
+        self.read_outcome(&mut stream)
+    }
+
+    fn prepare(&self, sql: &str) -> DbResult<Option<u64>> {
+        if self.version < 3 {
+            return Ok(None);
+        }
+        self.check_live()?;
+        let mut stream = self.stream.lock().expect("stream poisoned");
+        self.send(&mut stream, req::PREPARE, &protocol::encode_prepare(sql))?;
+        let (tag, body) = self.recv(&mut stream)?;
+        match tag {
+            resp::PREPARED_OK => Ok(Some(protocol::decode_prepared_ok(&body)?)),
+            resp::ERROR => Err(protocol::decode_error(&body)?),
+            other => Err(self.fail("PREPARE", format!("unexpected frame {other:#04x}"))),
+        }
+    }
+
+    fn execute_prepared(
+        &self,
+        id: u64,
+        sql: &str,
+        params: &[(&str, Value)],
+    ) -> DbResult<StatementOutcome> {
+        if self.version < 3 {
+            return self.execute(sql, params);
+        }
+        self.check_live()?;
+        let mut stream = self.stream.lock().expect("stream poisoned");
+        self.sync_now(&mut stream)?;
+        let body = protocol::encode_execute_prepared(id, params, &|v| self.display(v));
+        self.send(&mut stream, req::EXECUTE_PREPARED, &body)?;
+        self.read_outcome(&mut stream)
+    }
+
+    fn close_prepared(&self, id: u64) -> DbResult<()> {
+        if self.version < 3 || self.broken.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut stream = self.stream.lock().expect("stream poisoned");
+        self.send(
+            &mut stream,
+            req::CLOSE_PREPARED,
+            &protocol::encode_close_prepared(id),
+        )?;
+        let (tag, body) = self.recv(&mut stream)?;
+        match tag {
+            resp::DONE => Ok(()),
+            resp::ERROR => Err(protocol::decode_error(&body)?),
+            other => Err(self.fail("CLOSE_PREPARED", format!("unexpected frame {other:#04x}"))),
         }
     }
 

@@ -94,6 +94,13 @@ pub enum BoundKind {
         branches: Vec<(BoundExpr, BoundExpr)>,
         else_: Option<Box<BoundExpr>>,
     },
+    /// A named parameter left unresolved through binding and planning
+    /// (deferred mode), looked up in the [`ExecCtx`] param map at
+    /// evaluation time. `name` is lowercased. This is what makes a
+    /// cached plan re-executable with fresh parameter values.
+    Param {
+        name: String,
+    },
 }
 
 /// A typed, executable expression.
@@ -117,7 +124,9 @@ impl BoundExpr {
     /// constant folding, unless now-dependent).
     pub fn is_column_free(&self) -> bool {
         match &self.kind {
-            BoundKind::Literal(_) => true,
+            // A deferred parameter reads the ExecCtx, not the row, so it
+            // stays sargable (index probes evaluate it once per execution).
+            BoundKind::Literal(_) | BoundKind::Param { .. } => true,
             BoundKind::ColumnRef(_) => false,
             BoundKind::Apply { args, .. } => args.iter().all(BoundExpr::is_column_free),
             BoundKind::Cast { arg, .. } | BoundKind::Neg(arg) | BoundKind::Not(arg) => {
@@ -137,7 +146,7 @@ impl BoundExpr {
     /// The column indexes this expression reads.
     pub fn collect_columns(&self, out: &mut Vec<usize>) {
         match &self.kind {
-            BoundKind::Literal(_) => {}
+            BoundKind::Literal(_) | BoundKind::Param { .. } => {}
             BoundKind::ColumnRef(i) => out.push(*i),
             BoundKind::Apply { args, .. } => {
                 for a in args {
@@ -164,10 +173,36 @@ impl BoundExpr {
         }
     }
 
+    /// `true` when the expression contains a deferred parameter. Such an
+    /// expression must never be constant-folded: its value belongs to
+    /// one execution, not to the (cacheable) plan.
+    pub fn contains_param(&self) -> bool {
+        match &self.kind {
+            BoundKind::Param { .. } => true,
+            BoundKind::Literal(_) | BoundKind::ColumnRef(_) => false,
+            BoundKind::Apply { args, .. } => args.iter().any(BoundExpr::contains_param),
+            BoundKind::Cast { arg, .. } | BoundKind::Neg(arg) | BoundKind::Not(arg) => {
+                arg.contains_param()
+            }
+            BoundKind::And(a, b) | BoundKind::Or(a, b) => a.contains_param() || b.contains_param(),
+            BoundKind::IsNull { arg, .. } => arg.contains_param(),
+            BoundKind::Case { branches, else_ } => {
+                branches
+                    .iter()
+                    .any(|(w, t)| w.contains_param() || t.contains_param())
+                    || else_.as_ref().is_some_and(|e| e.contains_param())
+            }
+        }
+    }
+
     /// Evaluates against one input row.
     pub fn eval(&self, ctx: &ExecCtx, row: &[Value]) -> DbResult<Value> {
         match &self.kind {
             BoundKind::Literal(v) => Ok(v.clone()),
+            BoundKind::Param { name } => ctx
+                .param(name)
+                .cloned()
+                .ok_or_else(|| DbError::MissingParam { name: name.clone() }),
             BoundKind::ColumnRef(i) => Ok(row[*i].clone()),
             BoundKind::Apply { f, args } => {
                 let mut vals = Vec::with_capacity(args.len());
@@ -275,12 +310,30 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
 pub struct Binder<'a> {
     pub catalog: &'a Catalog,
     pub params: &'a HashMap<String, Value>,
+    /// When `true`, `:name` binds to a [`BoundKind::Param`] slot (typed
+    /// from the provided value) instead of freezing the value into the
+    /// tree — the mode used for cacheable SELECT plans.
+    pub defer_params: bool,
 }
 
 impl<'a> Binder<'a> {
     /// Creates a binder over a catalog and a set of named parameters.
     pub fn new(catalog: &'a Catalog, params: &'a HashMap<String, Value>) -> Binder<'a> {
-        Binder { catalog, params }
+        Binder {
+            catalog,
+            params,
+            defer_params: false,
+        }
+    }
+
+    /// Creates a binder that leaves parameters unresolved (see
+    /// [`Binder::defer_params`]).
+    pub fn deferred(catalog: &'a Catalog, params: &'a HashMap<String, Value>) -> Binder<'a> {
+        Binder {
+            catalog,
+            params,
+            defer_params: true,
+        }
     }
 
     /// Binds a scalar expression against a scope.
@@ -306,12 +359,23 @@ impl<'a> Binder<'a> {
                 "subqueries must be resolved by the planner before binding                  (internal ordering error)",
             )),
             Expr::Param(name) => {
+                let key = name.to_ascii_lowercase();
                 let v = self
                     .params
-                    .get(&name.to_ascii_lowercase())
-                    .cloned()
+                    .get(&key)
                     .ok_or_else(|| DbError::MissingParam { name: name.clone() })?;
-                Ok(BoundExpr::literal(v))
+                if self.defer_params {
+                    // The provided value still supplies the type hint, so
+                    // overload resolution and coercion behave exactly as in
+                    // eager mode; only the *value* is looked up at exec time.
+                    Ok(BoundExpr {
+                        ty: v.data_type(),
+                        now_dep: false,
+                        kind: BoundKind::Param { name: key },
+                    })
+                } else {
+                    Ok(BoundExpr::literal(v.clone()))
+                }
             }
             Expr::Unary { op: UnaryOp::Not, expr } => {
                 let inner = self.bind(expr, scope)?;
@@ -748,7 +812,7 @@ mod tests {
     }
 
     fn ctx() -> ExecCtx {
-        ExecCtx { txn_time_unix: 0 }
+        ExecCtx::new(0)
     }
 
     fn scope() -> Scope {

@@ -524,7 +524,7 @@ mod tests {
     use super::*;
 
     fn ctx() -> ExecCtx {
-        ExecCtx { txn_time_unix: 0 }
+        ExecCtx::new(0)
     }
 
     fn fresh() -> Catalog {

@@ -18,11 +18,41 @@ use std::sync::Arc;
 
 /// Per-statement evaluation context handed to every routine. The engine
 /// freezes the transaction time once per statement, which is what gives
-/// `NOW` its paper semantics.
-#[derive(Debug, Clone, Copy)]
+/// `NOW` its paper semantics. It also carries the statement's named
+/// parameters, so a cached plan containing unresolved
+/// [`Param`](crate::binder::BoundKind::Param) slots can be re-executed
+/// with fresh values without re-binding.
+#[derive(Debug, Clone)]
 pub struct ExecCtx {
     /// Statement (transaction) time as Unix seconds.
     pub txn_time_unix: i64,
+    /// Named parameter values (keys lowercased), shared so cloning the
+    /// context stays cheap. `None` when the statement has no parameters.
+    params: Option<Arc<HashMap<String, Value>>>,
+}
+
+impl ExecCtx {
+    /// A context with no parameters.
+    pub fn new(txn_time_unix: i64) -> ExecCtx {
+        ExecCtx {
+            txn_time_unix,
+            params: None,
+        }
+    }
+
+    /// A context carrying named parameter values (keys must already be
+    /// lowercased).
+    pub fn with_params(txn_time_unix: i64, params: Arc<HashMap<String, Value>>) -> ExecCtx {
+        ExecCtx {
+            txn_time_unix,
+            params: Some(params),
+        }
+    }
+
+    /// Looks up a parameter by (lowercase) name.
+    pub fn param(&self, name: &str) -> Option<&Value> {
+        self.params.as_ref()?.get(name)
+    }
 }
 
 /// Implementation of a scalar routine or operator.

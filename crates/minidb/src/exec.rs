@@ -81,22 +81,34 @@ pub fn open_with<'a>(
             ..
         } => {
             let t = src.table(table)?;
-            let rows: Vec<Row> = if let Some((col, key_expr)) = index_eq {
-                let key = key_expr.eval(ctx, &[])?;
-                let ix = t.index_on(*col).ok_or_else(|| {
-                    DbError::exec(format!("planned index on {table}.{col} vanished"))
-                })?;
+            let fetch = |rowids: Vec<usize>| -> Vec<Row> {
                 let mut rows = Vec::new();
-                for rowid in ix.lookup_eq(&key) {
+                for rowid in rowids {
                     if let Some(r) = t.get(rowid) {
                         rows.push(r.clone());
                     }
                 }
                 rows
+            };
+            let full_scan = || -> Vec<Row> { t.scan().into_iter().map(|(_, r)| r).collect() };
+            // Probe keys may be deferred parameters whose value is only
+            // known now; when the runtime value can't drive the planned
+            // probe, fall back. The access path recorded is the one
+            // actually taken, not the one planned.
+            let (rows, path): (Vec<Row>, AccessPath) = if let Some((col, key_expr)) = index_eq {
+                let key = key_expr.eval(ctx, &[])?;
+                if key.is_null() {
+                    // The eq conjunct was consumed by the probe and
+                    // `col = NULL` is never TRUE: a NULL key matches
+                    // nothing.
+                    (Vec::new(), AccessPath::IndexEq)
+                } else {
+                    let ix = t.index_on(*col).ok_or_else(|| {
+                        DbError::exec(format!("planned index on {table}.{col} vanished"))
+                    })?;
+                    (fetch(ix.lookup_eq(&key)), AccessPath::IndexEq)
+                }
             } else if let Some(rng) = index_range {
-                let ix = t.index_on(rng.column).ok_or_else(|| {
-                    DbError::exec(format!("planned index on {table}.{} vanished", rng.column))
-                })?;
                 let lo = match &rng.lo {
                     Some((e, inc)) => Some((e.eval(ctx, &[])?, *inc)),
                     None => None,
@@ -105,42 +117,43 @@ pub fn open_with<'a>(
                     Some((e, inc)) => Some((e.eval(ctx, &[])?, *inc)),
                     None => None,
                 };
-                let hits = ix.lookup_range(
-                    lo.as_ref().map(|(v, i)| (v, *i)),
-                    hi.as_ref().map(|(v, i)| (v, *i)),
-                );
-                let mut rows = Vec::new();
-                for rowid in hits {
-                    if let Some(r) = t.get(rowid) {
-                        rows.push(r.clone());
-                    }
+                let null_bound = lo.as_ref().map(|(v, _)| v.is_null()).unwrap_or(false)
+                    || hi.as_ref().map(|(v, _)| v.is_null()).unwrap_or(false);
+                if null_bound {
+                    // A NULL bound can't order against keys; the range
+                    // conjuncts stay in the filter as a recheck, so a
+                    // full scan is still exact.
+                    (full_scan(), AccessPath::FullScan)
+                } else {
+                    let ix = t.index_on(rng.column).ok_or_else(|| {
+                        DbError::exec(format!("planned index on {table}.{} vanished", rng.column))
+                    })?;
+                    let hits = ix.lookup_range(
+                        lo.as_ref().map(|(v, i)| (v, *i)),
+                        hi.as_ref().map(|(v, i)| (v, *i)),
+                    );
+                    (fetch(hits), AccessPath::IndexRange)
                 }
-                rows
             } else if let Some((col, probe_expr)) = index_overlap {
                 let probe = probe_expr.eval(ctx, &[])?;
-                let ix = t.interval_index_on(*col).ok_or_else(|| {
-                    DbError::exec(format!("planned interval index on {table}.{col} vanished"))
-                })?;
-                let mut rows = Vec::new();
-                for rowid in ix.lookup_overlaps_value(&probe) {
-                    if let Some(r) = t.get(rowid) {
-                        rows.push(r.clone());
-                    }
+                if probe.as_udt().is_none() {
+                    // A NULL (or otherwise non-UDT) probe can't be
+                    // bucketed; the overlaps conjunct stays in the
+                    // filter, so a full scan is still exact.
+                    (full_scan(), AccessPath::FullScan)
+                } else {
+                    let ix = t.interval_index_on(*col).ok_or_else(|| {
+                        DbError::exec(format!("planned interval index on {table}.{col} vanished"))
+                    })?;
+                    (
+                        fetch(ix.lookup_overlaps_value(&probe)),
+                        AccessPath::IndexOverlap,
+                    )
                 }
-                rows
             } else {
-                t.scan().into_iter().map(|(_, r)| r).collect()
+                (full_scan(), AccessPath::FullScan)
             };
             if let Some(p) = prof {
-                let path = if index_eq.is_some() {
-                    AccessPath::IndexEq
-                } else if index_range.is_some() {
-                    AccessPath::IndexRange
-                } else if index_overlap.is_some() {
-                    AccessPath::IndexOverlap
-                } else {
-                    AccessPath::FullScan
-                };
                 p.record_scan(path, rows.len() as u64);
             }
             Box::new(Scan {

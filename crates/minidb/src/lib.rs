@@ -9,6 +9,7 @@
 
 pub mod binder;
 pub mod builtin;
+pub mod cache;
 pub mod catalog;
 pub mod error;
 pub mod exec;
@@ -21,10 +22,11 @@ pub mod storage;
 pub mod types;
 pub mod value;
 
+pub use cache::{CachedPlan, PlanCache};
 pub use catalog::{Blade, Catalog, ExecCtx};
 pub use error::{DbError, DbResult};
 pub use obs::{AccessPath, MetricsSnapshot, OpProfile, QueryMetrics, SlowQuery, SlowQueryLogger};
 pub use pin::{PinnedTables, TableSet, TableSource};
-pub use session::{Database, QueryResult, Session, StatementOutcome};
+pub use session::{Database, Prepared, QueryResult, Session, StatementOutcome};
 pub use types::{DataType, UdtId};
 pub use value::{Row, UdtObject, UdtValue, Value};

@@ -276,6 +276,13 @@ pub struct QueryMetrics {
     slow_queries: AtomicU64,
     lock_wait_nanos: AtomicU64,
     tables_pinned: AtomicU64,
+
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    plan_cache_invalidations: AtomicU64,
+    /// Gauge (not a counter): the shared cache's current entry count as
+    /// of the last statement that touched it.
+    plan_cache_entries: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -350,6 +357,27 @@ impl QueryMetrics {
         self.slow_queries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One SELECT served straight from the shared plan cache.
+    pub(crate) fn record_plan_cache_hit(&self) {
+        self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One SELECT that had to run the full front end (parse/bind/plan).
+    pub(crate) fn record_plan_cache_miss(&self) {
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One cached plan evicted because the DDL generation moved on.
+    pub(crate) fn record_plan_cache_invalidation(&self) {
+        self.plan_cache_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the cache-size gauge.
+    pub(crate) fn set_plan_cache_entries(&self, entries: u64) {
+        self.plan_cache_entries.store(entries, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
@@ -373,6 +401,10 @@ impl QueryMetrics {
             slow_queries: g(&self.slow_queries),
             lock_wait_nanos: g(&self.lock_wait_nanos),
             tables_pinned: g(&self.tables_pinned),
+            plan_cache_hits: g(&self.plan_cache_hits),
+            plan_cache_misses: g(&self.plan_cache_misses),
+            plan_cache_invalidations: g(&self.plan_cache_invalidations),
+            plan_cache_entries: g(&self.plan_cache_entries),
             latency_buckets: std::array::from_fn(|i| g(&self.latency_buckets[i])),
         }
     }
@@ -400,6 +432,11 @@ pub struct MetricsSnapshot {
     pub slow_queries: u64,
     pub lock_wait_nanos: u64,
     pub tables_pinned: u64,
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
+    pub plan_cache_invalidations: u64,
+    /// Gauge: current size of the (database-wide) plan cache.
+    pub plan_cache_entries: u64,
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
 
@@ -429,6 +466,14 @@ impl MetricsSnapshot {
         add(&mut self.slow_queries, other.slow_queries);
         add(&mut self.lock_wait_nanos, other.lock_wait_nanos);
         add(&mut self.tables_pinned, other.tables_pinned);
+        add(&mut self.plan_cache_hits, other.plan_cache_hits);
+        add(&mut self.plan_cache_misses, other.plan_cache_misses);
+        add(
+            &mut self.plan_cache_invalidations,
+            other.plan_cache_invalidations,
+        );
+        // Every session gauges the same shared cache: max, not sum.
+        self.plan_cache_entries = self.plan_cache_entries.max(other.plan_cache_entries);
         for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
             *a = a.saturating_add(*b);
         }
@@ -473,6 +518,13 @@ impl MetricsSnapshot {
             ("select.slow".to_owned(), self.slow_queries),
             ("lock.wait_micros".to_owned(), self.lock_wait_nanos / 1_000),
             ("lock.tables_pinned".to_owned(), self.tables_pinned),
+            ("plan_cache.hits".to_owned(), self.plan_cache_hits),
+            ("plan_cache.misses".to_owned(), self.plan_cache_misses),
+            (
+                "plan_cache.invalidations".to_owned(),
+                self.plan_cache_invalidations,
+            ),
+            ("plan_cache.entries".to_owned(), self.plan_cache_entries),
         ];
         for (i, &n) in self.latency_buckets.iter().enumerate() {
             if n > 0 {

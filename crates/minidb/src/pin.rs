@@ -99,6 +99,38 @@ impl TableSet {
         }
     }
 
+    /// Resolves an explicit list of lowercase table keys, all as reads —
+    /// the re-pin path for a cached plan, which knows exactly which
+    /// tables it touches. Unlike [`TableSet::for_statement`], a missing
+    /// name is a hard `NotFound`: the cached plan *requires* the table.
+    pub fn read_only(registry: &Storage, keys: &[String]) -> DbResult<TableSet> {
+        let mut entries = Vec::with_capacity(keys.len());
+        for key in keys {
+            entries.push(Entry {
+                key: key.clone(),
+                shared: registry.shared_table(key)?,
+                write: false,
+            });
+        }
+        // `keys` comes from `table_keys()` and is already sorted, but a
+        // cached plan's correctness must not hinge on the caller: sort.
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok(TableSet {
+            entries,
+            views: HashMap::new(),
+        })
+    }
+
+    /// The set's lowercase table keys, in sorted (acquisition) order.
+    pub fn table_keys(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.key.clone()).collect()
+    }
+
+    /// `true` when the statement references at least one view.
+    pub fn uses_views(&self) -> bool {
+        !self.views.is_empty()
+    }
+
     /// Number of tables in the set.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -493,6 +493,25 @@ impl<'a> Planner<'a> {
         }
     }
 
+    /// Creates a planner that binds `:name` parameters as deferred
+    /// [`BoundKind::Param`] slots instead of freezing their values into
+    /// the plan. Used when the plan may be cached and re-executed with
+    /// fresh parameter values.
+    pub fn new_deferred(
+        catalog: &'a Catalog,
+        tables: &'a dyn TableSource,
+        params: &'a HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> Planner<'a> {
+        Planner {
+            catalog,
+            tables,
+            binder: Binder::deferred(catalog, params),
+            ctx,
+            subquery_depth: std::cell::Cell::new(0),
+        }
+    }
+
     /// Evaluates one uncorrelated subquery to its rows (single output
     /// column enforced by the callers).
     fn eval_subquery(&self, sub: &SelectStmt) -> DbResult<Vec<crate::value::Row>> {
@@ -676,7 +695,7 @@ impl<'a> Planner<'a> {
         if matches!(e.kind, BoundKind::Literal(_)) {
             return e;
         }
-        if e.is_column_free() && !e.now_dep {
+        if e.is_column_free() && !e.now_dep && !e.contains_param() {
             if let Ok(v) = e.eval(&self.ctx, &[]) {
                 return BoundExpr {
                     ty: e.ty,
@@ -1695,7 +1714,7 @@ impl<'a> Planner<'a> {
                         })
                     }),
                 },
-                lit @ BoundKind::Literal(_) => lit,
+                lit @ (BoundKind::Literal(_) | BoundKind::Param { .. }) => lit,
             }
         }
         BoundExpr {

@@ -7,19 +7,21 @@
 //! analysis uses (paper §4).
 
 use crate::builtin;
+use crate::cache::{self, CacheLookup, CachedPlan, PlanCache};
 use crate::catalog::{Blade, Catalog, ExecCtx};
 use crate::error::{DbError, DbResult};
 use crate::exec;
 use crate::obs::{OpProfile, QueryMetrics, SlowQuery, SlowQueryLogger, StatementKind};
 use crate::pin::{PinnedTables, TableSet, TableSource};
 use crate::plan::Planner;
-use crate::sql::ast::{InsertSource, Statement};
+use crate::sql::ast::{Expr, InsertSource, SelectItem, SelectStmt, Statement};
 use crate::sql::parse_statement;
 use crate::storage::{self, Column, Storage, Table, TableSchema};
 use crate::types::DataType;
 use crate::value::{Row, Value};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -77,6 +79,13 @@ pub enum StatementOutcome {
 pub struct Database {
     catalog: RwLock<Catalog>,
     registry: RwLock<Storage>,
+    /// Monotonic DDL generation: bumped by every registry write
+    /// (CREATE/DROP table/index/view), blade install, and snapshot
+    /// restore. Cached plans carry the generation they were built
+    /// against and are lazily evicted when it moves on.
+    generation: AtomicU64,
+    /// The database-wide parameterized plan cache (see [`crate::cache`]).
+    plan_cache: Mutex<PlanCache>,
 }
 
 impl Database {
@@ -87,12 +96,43 @@ impl Database {
         Arc::new(Database {
             catalog: RwLock::new(catalog),
             registry: RwLock::new(Storage::new()),
+            generation: AtomicU64::new(0),
+            plan_cache: Mutex::new(PlanCache::new(PlanCache::DEFAULT_CAP)),
         })
     }
 
     /// Installs an extension blade (types, routines, casts, aggregates).
     pub fn install_blade(&self, blade: &dyn Blade) -> DbResult<()> {
-        self.catalog.write().install_blade(blade)
+        self.catalog.write().install_blade(blade)?;
+        self.bump_generation();
+        Ok(())
+    }
+
+    /// The current DDL generation (see the field docs).
+    pub fn ddl_generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Number of plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.lock().len()
+    }
+
+    pub(crate) fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn plan_cache_lookup(
+        &self,
+        key: &str,
+        generation: u64,
+        param_sig: &[(String, DataType)],
+    ) -> CacheLookup {
+        self.plan_cache.lock().lookup(key, generation, param_sig)
+    }
+
+    pub(crate) fn plan_cache_insert(&self, key: String, entry: CachedPlan) {
+        self.plan_cache.lock().insert(key, entry);
     }
 
     /// Runs a closure with read access to the catalog.
@@ -147,6 +187,7 @@ impl Database {
     pub fn load_snapshot(&self, bytes: &[u8]) -> DbResult<()> {
         let new_storage = storage::load_snapshot(&self.catalog.read(), bytes)?;
         *self.registry.write() = new_storage;
+        self.bump_generation();
         Ok(())
     }
 
@@ -298,19 +339,34 @@ impl Session {
         &self.db
     }
 
-    fn statement_ctx(&self) -> ExecCtx {
+    fn statement_ctx(&self, params: Option<&Arc<HashMap<String, Value>>>) -> ExecCtx {
         let txn_time_unix = self.now_override.unwrap_or_else(|| {
             SystemTime::now()
                 .duration_since(UNIX_EPOCH)
                 .map(|d| d.as_secs() as i64)
                 .unwrap_or(0)
         });
-        ExecCtx { txn_time_unix }
+        match params {
+            Some(p) => ExecCtx::with_params(txn_time_unix, Arc::clone(p)),
+            None => ExecCtx::new(txn_time_unix),
+        }
     }
 
     /// Executes one statement with no parameters.
     pub fn execute(&self, sql: &str) -> DbResult<StatementOutcome> {
         self.execute_with_params(sql, &[])
+    }
+
+    /// Validates `sql` and returns a handle for repeat execution. The
+    /// statement text is parsed once here for early error reporting;
+    /// repeat [`Prepared::execute`] calls hit the database-wide plan
+    /// cache, skipping the whole SQL front end.
+    pub fn prepare(&self, sql: &str) -> DbResult<Prepared<'_>> {
+        parse_statement(sql)?;
+        Ok(Prepared {
+            session: self,
+            sql: sql.to_owned(),
+        })
     }
 
     /// Executes one statement with named parameters (the paper's `:w`).
@@ -327,12 +383,31 @@ impl Session {
     }
 
     fn execute_inner(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<StatementOutcome> {
+        // Fast path for the common no-params call: no HashMap build, no
+        // per-name lowercase/clone, no Arc allocation.
+        let params: Option<Arc<HashMap<String, Value>>> = if params.is_empty() {
+            None
+        } else {
+            Some(Arc::new(
+                params
+                    .iter()
+                    .map(|(k, v)| (k.to_ascii_lowercase(), v.clone()))
+                    .collect(),
+            ))
+        };
+        // Read the generation *before* the cache probe and table-set
+        // resolution: a DDL racing past this point at worst stamps the
+        // filled entry with an already-stale generation (a conservative
+        // replan later), never a stale plan served as fresh.
+        let generation = self.db.ddl_generation();
+        let param_sig = param_sig_of(params.as_ref());
+        if let Some(outcome) = self.try_cached(sql, params.as_ref(), generation, &param_sig)? {
+            return Ok(outcome);
+        }
         let stmt = parse_statement(sql)?;
-        let params: HashMap<String, Value> = params
-            .iter()
-            .map(|(k, v)| (k.to_ascii_lowercase(), v.clone()))
-            .collect();
-        let ctx = self.statement_ctx();
+        let empty_params = HashMap::new();
+        let params_map: &HashMap<String, Value> = params.as_deref().unwrap_or(&empty_params);
+        let ctx = self.statement_ctx(params.as_ref());
         let kind = match &stmt {
             Statement::Select(_) => StatementKind::Select,
             Statement::Insert { .. } => StatementKind::Insert,
@@ -350,10 +425,16 @@ impl Session {
         let outcome = match stmt {
             Statement::Select(sel) => {
                 let started = Instant::now();
+                self.metrics.record_plan_cache_miss();
+                let cache_tables = self
+                    .cacheable(&sel, &table_set)
+                    .then(|| table_set.table_keys());
                 let pinned = table_set.pin();
                 self.record_pin(&pinned);
                 let catalog = self.db.catalog.read();
-                let planner = Planner::new(&catalog, &pinned, &params, ctx);
+                // Deferred binding keeps `:name` slots in the plan, so
+                // the same plan serves later parameter values.
+                let planner = Planner::new_deferred(&catalog, &pinned, params_map, ctx.clone());
                 let planned = planner.plan_select(&sel)?;
                 // Access-path accounting only — no per-row timing cost.
                 let prof = OpProfile::paths_only(&planned.plan);
@@ -364,10 +445,22 @@ impl Session {
                 drop(pinned);
                 drop(catalog);
                 self.observe_select(sql, &planned.plan, rows.len() as u64, started.elapsed());
-                Ok(StatementOutcome::Rows(QueryResult {
-                    columns: planned.columns,
-                    rows,
-                }))
+                let columns = planned.columns;
+                if let Some(tables) = cache_tables {
+                    self.db.plan_cache_insert(
+                        cache::normalize_sql(sql).to_owned(),
+                        CachedPlan {
+                            plan: planned.plan,
+                            columns: columns.clone(),
+                            param_sig,
+                            tables,
+                            generation,
+                        },
+                    );
+                    self.metrics
+                        .set_plan_cache_entries(self.db.plan_cache_len() as u64);
+                }
+                Ok(StatementOutcome::Rows(QueryResult { columns, rows }))
             }
             Statement::CreateTable { name, columns } => {
                 let catalog = self.db.catalog.read();
@@ -388,6 +481,7 @@ impl Session {
                     name,
                     columns: cols,
                 })?;
+                self.db.bump_generation();
                 Ok(StatementOutcome::Done)
             }
             Statement::CreateIndex {
@@ -430,13 +524,19 @@ impl Session {
                     }
                     None => t.create_index(name, col)?,
                 }
+                // Not a registry write, but it changes the best access
+                // path: cached plans must replan to see the new index.
+                self.db.bump_generation();
                 Ok(StatementOutcome::Done)
             }
             Statement::DropTable { name, if_exists } => {
                 // Registry write only: in-flight statements still hold
                 // the table's `Arc` and finish on the data they pinned.
                 match self.db.registry.write().drop_table(&name) {
-                    Ok(()) => Ok(StatementOutcome::Done),
+                    Ok(()) => {
+                        self.db.bump_generation();
+                        Ok(StatementOutcome::Done)
+                    }
                     Err(DbError::NotFound { .. }) if if_exists => Ok(StatementOutcome::Done),
                     Err(e) => Err(e),
                 }
@@ -449,11 +549,10 @@ impl Session {
                 let started = Instant::now();
                 let outcome = match source {
                     InsertSource::Values(rows) => {
-                        self.run_insert(&table_set, &table, columns, rows, &params, ctx)
+                        self.run_insert(&table_set, &table, columns, rows, params_map, ctx)
                     }
-                    InsertSource::Query(select) => {
-                        self.run_insert_select(&table_set, &table, columns, &select, &params, ctx)
-                    }
+                    InsertSource::Query(select) => self
+                        .run_insert_select(&table_set, &table, columns, &select, params_map, ctx),
                 };
                 self.observe_dml(
                     sql,
@@ -469,7 +568,8 @@ impl Session {
                 where_clause,
             } => {
                 let started = Instant::now();
-                let outcome = self.run_update(&table_set, &table, sets, where_clause, &params, ctx);
+                let outcome =
+                    self.run_update(&table_set, &table, sets, where_clause, params_map, ctx);
                 self.observe_dml(
                     sql,
                     &format!("update({table})"),
@@ -483,7 +583,7 @@ impl Session {
                 where_clause,
             } => {
                 let started = Instant::now();
-                let outcome = self.run_delete(&table_set, &table, where_clause, &params, ctx);
+                let outcome = self.run_delete(&table_set, &table, where_clause, params_map, ctx);
                 self.observe_dml(
                     sql,
                     &format!("delete({table})"),
@@ -504,7 +604,7 @@ impl Session {
                     let pinned = table_set.pin();
                     self.record_pin(&pinned);
                     let catalog = self.db.catalog.read();
-                    let planner = Planner::new(&catalog, &pinned, &params, ctx);
+                    let planner = Planner::new(&catalog, &pinned, params_map, ctx);
                     planner.plan_select(&query)?;
                 }
                 let body_sql = sql
@@ -531,10 +631,14 @@ impl Session {
                     return Err(DbError::exec("EXPLAIN supports SELECT statements"));
                 };
                 let started = Instant::now();
+                self.metrics.record_plan_cache_miss();
+                let cache_tables = self
+                    .cacheable(&sel, &table_set)
+                    .then(|| table_set.table_keys());
                 let pinned = table_set.pin();
                 self.record_pin(&pinned);
                 let catalog = self.db.catalog.read();
-                let planner = Planner::new(&catalog, &pinned, &params, ctx);
+                let planner = Planner::new_deferred(&catalog, &pinned, params_map, ctx.clone());
                 let planned = planner.plan_select(&sel)?;
                 let rows = if analyze {
                     // Execute under full instrumentation and report the
@@ -546,7 +650,7 @@ impl Session {
                         .record_select(produced.len() as u64, started.elapsed());
                     let mut lines = prof.render();
                     lines.push(format!(
-                        "returned {} row(s) in {:.1?} [pinned {} table(s), lock-wait {:.1?}]",
+                        "returned {} row(s) in {:.1?} [pinned {} table(s), lock-wait {:.1?}] [plan: fresh]",
                         produced.len(),
                         started.elapsed(),
                         pinned.tables_pinned(),
@@ -556,6 +660,25 @@ impl Session {
                 } else {
                     vec![planned.plan.describe()]
                 };
+                drop(pinned);
+                drop(catalog);
+                // EXPLAIN keys the cache by the *inner* SELECT text, so
+                // it warms (and reads) the same entry as the bare query.
+                if let Some(tables) = cache_tables {
+                    let (_, _, key) = cache::split_explain(cache::normalize_sql(sql));
+                    self.db.plan_cache_insert(
+                        key.to_owned(),
+                        CachedPlan {
+                            plan: planned.plan,
+                            columns: planned.columns,
+                            param_sig,
+                            tables,
+                            generation,
+                        },
+                    );
+                    self.metrics
+                        .set_plan_cache_entries(self.db.plan_cache_len() as u64);
+                }
                 Ok(StatementOutcome::Rows(QueryResult {
                     columns: vec![("plan".to_owned(), DataType::Str)],
                     rows: rows.into_iter().map(|l| vec![Value::Str(l)]).collect(),
@@ -587,6 +710,90 @@ impl Session {
             self.metrics.record_statement(kind);
         }
         outcome
+    }
+
+    /// Probes the database-wide plan cache and, on a hit, executes the
+    /// cached plan without touching the SQL front end. Returns
+    /// `Ok(None)` on a miss (the caller runs the fresh path).
+    fn try_cached(
+        &self,
+        sql: &str,
+        params: Option<&Arc<HashMap<String, Value>>>,
+        generation: u64,
+        param_sig: &[(String, DataType)],
+    ) -> DbResult<Option<StatementOutcome>> {
+        let (is_explain, analyze, key) = cache::split_explain(cache::normalize_sql(sql));
+        let entry = match self.db.plan_cache_lookup(key, generation, param_sig) {
+            CacheLookup::Hit(e) => e,
+            CacheLookup::Stale => {
+                self.metrics.record_plan_cache_invalidation();
+                self.metrics
+                    .set_plan_cache_entries(self.db.plan_cache_len() as u64);
+                return Ok(None);
+            }
+            CacheLookup::Absent => return Ok(None),
+        };
+        self.metrics.record_plan_cache_hit();
+        self.metrics
+            .set_plan_cache_entries(self.db.plan_cache_len() as u64);
+        if is_explain && !analyze {
+            // Plain EXPLAIN of a cached plan: describe, don't execute.
+            self.metrics.record_statement(StatementKind::Explain);
+            return Ok(Some(StatementOutcome::Rows(QueryResult {
+                columns: vec![("plan".to_owned(), DataType::Str)],
+                rows: vec![vec![Value::Str(entry.plan.describe())]],
+            })));
+        }
+        let started = Instant::now();
+        let ctx = self.statement_ctx(params);
+        // Re-pin exactly the tables the plan touches. A table dropped
+        // since the fill surfaces here as a typed NotFound (the racing
+        // DROP also bumped the generation, so the entry dies on its
+        // next lookup).
+        let table_set = TableSet::read_only(&self.db.registry.read(), &entry.tables)?;
+        let pinned = table_set.pin();
+        self.record_pin(&pinned);
+        if is_explain {
+            // EXPLAIN ANALYZE from cache: same instrumentation as the
+            // fresh path, with the provenance trailer flipped.
+            let prof = OpProfile::timed(&entry.plan);
+            let produced = exec::execute_with(&entry.plan, &pinned, &ctx, Some(&prof))?;
+            prof.charge_scans(&self.metrics);
+            self.metrics
+                .record_select(produced.len() as u64, started.elapsed());
+            let mut lines = prof.render();
+            lines.push(format!(
+                "returned {} row(s) in {:.1?} [pinned {} table(s), lock-wait {:.1?}] [plan: cached]",
+                produced.len(),
+                started.elapsed(),
+                pinned.tables_pinned(),
+                pinned.lock_wait()
+            ));
+            self.metrics.record_statement(StatementKind::Explain);
+            return Ok(Some(StatementOutcome::Rows(QueryResult {
+                columns: vec![("plan".to_owned(), DataType::Str)],
+                rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+            })));
+        }
+        let prof = OpProfile::paths_only(&entry.plan);
+        let rows = exec::execute_with(&entry.plan, &pinned, &ctx, Some(&prof))?;
+        prof.charge_scans(&self.metrics);
+        drop(pinned);
+        self.observe_select(sql, &entry.plan, rows.len() as u64, started.elapsed());
+        self.metrics.record_statement(StatementKind::Select);
+        Ok(Some(StatementOutcome::Rows(QueryResult {
+            columns: entry.columns.clone(),
+            rows,
+        })))
+    }
+
+    /// Whether a SELECT's plan may enter the cache: no subqueries
+    /// anywhere in the AST (the planner freezes them to *values* at plan
+    /// time) and no views (a view body may itself contain subqueries,
+    /// and its text can change under the same name — a deliberate
+    /// non-caching choice, not a correctness limit).
+    fn cacheable(&self, sel: &SelectStmt, table_set: &TableSet) -> bool {
+        !table_set.uses_views() && !select_has_subquery(sel)
     }
 
     /// Executes a statement expected to return rows.
@@ -644,7 +851,7 @@ impl Session {
             }
             None => (0..schema.columns.len()).collect(),
         };
-        let planner = Planner::new(&catalog, &pinned, params, ctx);
+        let planner = Planner::new(&catalog, &pinned, params, ctx.clone());
         let scope = crate::binder::Scope::default();
         let mut to_insert = Vec::with_capacity(rows.len());
         for exprs in rows {
@@ -710,7 +917,7 @@ impl Session {
             }
             None => (0..schema.columns.len()).collect(),
         };
-        let planner = Planner::new(&catalog, &pinned, params, ctx);
+        let planner = Planner::new(&catalog, &pinned, params, ctx.clone());
         let planned = planner.plan_select(select)?;
         if planned.columns.len() != target_cols.len() {
             return Err(DbError::Constraint {
@@ -786,7 +993,7 @@ impl Session {
         let catalog = self.db.catalog.read();
         let schema = pinned.table(table)?.schema.clone();
         let scope = Self::table_scope(&schema);
-        let planner = Planner::new(&catalog, &pinned, params, ctx);
+        let planner = Planner::new(&catalog, &pinned, params, ctx.clone());
         let mut bound_sets = Vec::with_capacity(sets.len());
         for (name, e) in &sets {
             let col = schema.col_index(name).ok_or_else(|| DbError::NotFound {
@@ -841,7 +1048,7 @@ impl Session {
         let catalog = self.db.catalog.read();
         let schema = pinned.table(table)?.schema.clone();
         let scope = Self::table_scope(&schema);
-        let planner = Planner::new(&catalog, &pinned, params, ctx);
+        let planner = Planner::new(&catalog, &pinned, params, ctx.clone());
         let pred = match &where_clause {
             Some(w) => {
                 let w = planner.resolve_subqueries(w)?;
@@ -862,6 +1069,94 @@ impl Session {
             }
         }
         Ok(StatementOutcome::Affected(affected))
+    }
+}
+
+/// A validated statement handle for repeat execution, from
+/// [`Session::prepare`]. Holds no plan itself: execution goes through
+/// the database-wide plan cache, so every session (and every remote
+/// connection) preparing the same text shares one plan.
+pub struct Prepared<'a> {
+    session: &'a Session,
+    sql: String,
+}
+
+impl Prepared<'_> {
+    /// The statement text this handle was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Executes the statement with the given parameter values.
+    pub fn execute(&self, params: &[(&str, Value)]) -> DbResult<StatementOutcome> {
+        self.session.execute_with_params(&self.sql, params)
+    }
+
+    /// Executes the statement, expecting rows back.
+    pub fn query(&self, params: &[(&str, Value)]) -> DbResult<QueryResult> {
+        self.session.query_with_params(&self.sql, params)
+    }
+}
+
+/// The sorted `(lowercase name, type)` signature of a parameter set —
+/// what decides whether a cached plan (whose overloads were resolved
+/// against these types) is reusable.
+fn param_sig_of(params: Option<&Arc<HashMap<String, Value>>>) -> Vec<(String, DataType)> {
+    let Some(map) = params else {
+        return Vec::new();
+    };
+    let mut sig: Vec<(String, DataType)> = map
+        .iter()
+        .map(|(k, v)| (k.clone(), v.data_type()))
+        .collect();
+    sig.sort_by(|a, b| a.0.cmp(&b.0));
+    sig
+}
+
+/// `true` when the SELECT contains a subquery anywhere in its AST. The
+/// planner freezes subqueries to *values* at plan time, so such plans
+/// are single-execution and must not be cached.
+fn select_has_subquery(sel: &SelectStmt) -> bool {
+    sel.items.iter().any(|item| match item {
+        SelectItem::Expr { expr, .. } => expr_has_subquery(expr),
+        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => false,
+    }) || sel.where_clause.as_ref().is_some_and(expr_has_subquery)
+        || sel.group_by.iter().any(expr_has_subquery)
+        || sel.having.as_ref().is_some_and(expr_has_subquery)
+        || sel.order_by.iter().any(|o| expr_has_subquery(&o.expr))
+        || sel
+            .union
+            .as_ref()
+            .is_some_and(|(_, next)| select_has_subquery(next))
+}
+
+fn expr_has_subquery(e: &Expr) -> bool {
+    match e {
+        Expr::Subquery(_) | Expr::InSubquery { .. } => true,
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            expr_has_subquery(expr)
+        }
+        Expr::Binary { lhs, rhs, .. } => expr_has_subquery(lhs) || expr_has_subquery(rhs),
+        Expr::Between {
+            expr, low, high, ..
+        } => expr_has_subquery(expr) || expr_has_subquery(low) || expr_has_subquery(high),
+        Expr::InList { expr, list, .. } => {
+            expr_has_subquery(expr) || list.iter().any(expr_has_subquery)
+        }
+        Expr::Call { args, .. } => args.iter().any(expr_has_subquery),
+        Expr::Like { expr, pattern, .. } => expr_has_subquery(expr) || expr_has_subquery(pattern),
+        Expr::Case {
+            operand,
+            branches,
+            else_,
+        } => {
+            operand.as_deref().is_some_and(expr_has_subquery)
+                || branches
+                    .iter()
+                    .any(|(w, t)| expr_has_subquery(w) || expr_has_subquery(t))
+                || else_.as_deref().is_some_and(expr_has_subquery)
+        }
+        Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) | Expr::BoundValue(_) => false,
     }
 }
 
@@ -1065,7 +1360,7 @@ mod tests {
         db.with_tables(|pinned| {
             db.with_catalog(|cat| {
                 let params = HashMap::new();
-                let ctx = ExecCtx { txn_time_unix: 0 };
+                let ctx = ExecCtx::new(0);
                 let planner = Planner::new(cat, pinned, &params, ctx);
                 let Statement::Select(sel) =
                     parse_statement("SELECT b FROM t WHERE a = 3").unwrap()
@@ -1091,7 +1386,7 @@ mod tests {
         db.with_tables(|pinned| {
             db.with_catalog(|cat| {
                 let params = HashMap::new();
-                let ctx = ExecCtx { txn_time_unix: 0 };
+                let ctx = ExecCtx::new(0);
                 let planner = Planner::new(cat, pinned, &params, ctx);
                 let Statement::Select(sel) =
                     parse_statement("SELECT a.id FROM a, b WHERE a.id = b.id").unwrap()

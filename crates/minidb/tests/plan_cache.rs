@@ -1,0 +1,241 @@
+//! Parameterized plan cache: repeat executions skip the SQL front end,
+//! DDL invalidates lazily, and cached plans never return stale results —
+//! the prepare-once/execute-many contract DESIGN.md commits to.
+
+use minidb::{Database, DbError, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn db_with_t(rows: i64) -> Arc<Database> {
+    let db = Database::new();
+    let s = db.session();
+    s.execute("CREATE TABLE t (id INT, x INT)").unwrap();
+    for i in 0..rows {
+        s.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 3))
+            .unwrap();
+    }
+    db
+}
+
+#[test]
+fn repeat_execution_hits_the_cache() {
+    let db = db_with_t(10);
+    let s = db.session();
+    let p = s.prepare("SELECT x FROM t WHERE id = :id").unwrap();
+    for i in 0..5i64 {
+        let r = p.query(&[("id", Value::Int(i))]).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(i * 3)]], "id={i}");
+    }
+    let m = s.metrics().snapshot();
+    assert_eq!(m.plan_cache_misses, 1, "first execution plans fresh");
+    assert_eq!(m.plan_cache_hits, 4, "every repeat skips the front end");
+    assert_eq!(db.plan_cache_len(), 1);
+}
+
+#[test]
+fn unprepared_repeats_share_the_same_cache() {
+    let db = db_with_t(4);
+    let s = db.session();
+    // Plain execute_with_params hits the cache transparently; trailing
+    // whitespace and a terminating `;` normalize to the same key.
+    s.query_with_params("SELECT x FROM t WHERE id = :id", &[("id", Value::Int(1))])
+        .unwrap();
+    s.query_with_params(
+        "  SELECT x FROM t WHERE id = :id ;",
+        &[("id", Value::Int(2))],
+    )
+    .unwrap();
+    let m = s.metrics().snapshot();
+    assert_eq!((m.plan_cache_misses, m.plan_cache_hits), (1, 1));
+}
+
+#[test]
+fn create_index_flips_cached_plan_without_repreparing() {
+    let db = db_with_t(10);
+    let s = db.session();
+    let p = s.prepare("EXPLAIN SELECT x FROM t WHERE id = :id").unwrap();
+
+    let before = p.query(&[("id", Value::Int(3))]).unwrap();
+    let before = before.rows[0][0].as_str().unwrap().to_owned();
+    assert!(before.contains("scan(t)"), "{before}");
+    assert!(!before.contains("ixscan"), "{before}");
+    // Warm the cache, then change the physical schema underneath it.
+    p.query(&[("id", Value::Int(3))]).unwrap();
+
+    s.execute("CREATE INDEX ix_t_id ON t(id)").unwrap();
+
+    // Same Prepared handle, no re-prepare: the generation bump evicts
+    // the stale plan and the replan picks up the new index.
+    let after = p.query(&[("id", Value::Int(3))]).unwrap();
+    let after = after.rows[0][0].as_str().unwrap().to_owned();
+    assert!(after.contains("ixscan(t)"), "{after}");
+
+    let m = s.metrics().snapshot();
+    assert!(m.plan_cache_invalidations >= 1, "{m:?}");
+    // And the flipped plan still answers correctly.
+    let r = s
+        .query_with_params("SELECT x FROM t WHERE id = :id", &[("id", Value::Int(7))])
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(21)]]);
+}
+
+#[test]
+fn dropped_table_is_a_typed_not_found_not_a_stale_plan() {
+    let db = db_with_t(3);
+    let s = db.session();
+    let p = s.prepare("SELECT x FROM t WHERE id = :id").unwrap();
+    p.query(&[("id", Value::Int(1))]).unwrap();
+    p.query(&[("id", Value::Int(1))]).unwrap(); // cached now
+
+    s.execute("DROP TABLE t").unwrap();
+    match p.query(&[("id", Value::Int(1))]) {
+        Err(DbError::NotFound { kind, name }) => {
+            // The DROP bumped the generation, so the stale plan was
+            // evicted and the rebind reported the vanished relation.
+            assert_eq!(kind, "table or view");
+            assert_eq!(name, "t");
+        }
+        other => panic!("expected typed NotFound, got {other:?}"),
+    }
+
+    // Re-creating the table revives the same Prepared handle.
+    s.execute("CREATE TABLE t (id INT, x INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1, 111)").unwrap();
+    let r = p.query(&[("id", Value::Int(1))]).unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(111)]]);
+}
+
+#[test]
+fn parameter_shape_change_replans_instead_of_reusing() {
+    let db = Database::new();
+    let s = db.session();
+    s.execute("CREATE TABLE u (a INT, b CHAR(10))").unwrap();
+    s.execute("INSERT INTO u VALUES (1, 'one')").unwrap();
+
+    let sql = "SELECT :w FROM u";
+    let r = s.query_with_params(sql, &[("w", Value::Int(7))]).unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(7)]]);
+    let r = s
+        .query_with_params(sql, &[("w", Value::Str("one".into()))])
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Str("one".into())]]);
+    let m = s.metrics().snapshot();
+    // Different types drove different overloads: both executions plan
+    // fresh, neither is a (wrong) hit.
+    assert_eq!((m.plan_cache_misses, m.plan_cache_hits), (2, 0));
+}
+
+#[test]
+fn missing_parameter_is_a_typed_error_at_execute_time() {
+    let db = db_with_t(2);
+    let s = db.session();
+    let p = s.prepare("SELECT x FROM t WHERE id = :id").unwrap();
+    p.query(&[("id", Value::Int(0))]).unwrap();
+    match p.query(&[]) {
+        Err(DbError::MissingParam { name }) => assert_eq!(name, "id"),
+        other => panic!("expected MissingParam, got {other:?}"),
+    }
+}
+
+#[test]
+fn explain_analyze_reports_cached_vs_fresh() {
+    let db = db_with_t(5);
+    let s = db.session();
+    let q = "EXPLAIN ANALYZE SELECT x FROM t WHERE id = :id";
+    let first = s.query_with_params(q, &[("id", Value::Int(1))]).unwrap();
+    let trailer = first.rows.last().unwrap()[0].as_str().unwrap().to_owned();
+    assert!(trailer.ends_with("[plan: fresh]"), "{trailer}");
+
+    let second = s.query_with_params(q, &[("id", Value::Int(2))]).unwrap();
+    let trailer = second.rows.last().unwrap()[0].as_str().unwrap().to_owned();
+    assert!(trailer.ends_with("[plan: cached]"), "{trailer}");
+}
+
+#[test]
+fn null_parameter_on_indexed_probe_returns_no_rows() {
+    let db = db_with_t(5);
+    let s = db.session();
+    s.execute("CREATE INDEX ix_t_id ON t(id)").unwrap();
+    let p = s.prepare("SELECT x FROM t WHERE id = :id").unwrap();
+    // Warm with a real key so the cached plan carries the index probe.
+    assert_eq!(p.query(&[("id", Value::Int(2))]).unwrap().rows.len(), 1);
+    // `id = NULL` is never TRUE; the probe short-circuits to zero rows.
+    assert!(p.query(&[("id", Value::Null)]).unwrap().rows.is_empty());
+}
+
+#[test]
+fn cached_results_stay_byte_identical_under_concurrent_ddl() {
+    let db = db_with_t(100);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // DDL churn: registry writes bump the generation; one CREATE INDEX
+    // mid-run also flips the best access path for the hot query.
+    let ddl_db = Arc::clone(&db);
+    let ddl_stop = Arc::clone(&stop);
+    let ddl = thread::spawn(move || {
+        let s = ddl_db.session();
+        let mut i = 0u32;
+        while !ddl_stop.load(Ordering::Relaxed) {
+            s.execute(&format!("CREATE TABLE scratch_{i} (a INT)"))
+                .unwrap();
+            s.execute(&format!("DROP TABLE scratch_{i}")).unwrap();
+            if i == 3 {
+                s.execute("CREATE INDEX ix_t_id ON t(id)").unwrap();
+            }
+            i += 1;
+        }
+    });
+
+    let mut workers = Vec::new();
+    for w in 0..3 {
+        let db = Arc::clone(&db);
+        workers.push(thread::spawn(move || {
+            let s = db.session();
+            let p = s
+                .prepare("SELECT x FROM t WHERE id = :id ORDER BY x")
+                .unwrap();
+            for round in 0..200i64 {
+                let id = (round * 7 + w) % 120; // some ids miss the table
+                let got = p.query(&[("id", Value::Int(id))]).unwrap();
+                let expected: Vec<Vec<Value>> = if id < 100 {
+                    vec![vec![Value::Int(id * 3)]]
+                } else {
+                    Vec::new()
+                };
+                assert_eq!(got.rows, expected, "worker {w} round {round} id {id}");
+            }
+        }));
+    }
+    for wkr in workers {
+        wkr.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    ddl.join().unwrap();
+}
+
+#[test]
+fn lru_is_bounded() {
+    let db = db_with_t(1);
+    let s = db.session();
+    for i in 0..200 {
+        s.query(&format!("SELECT x FROM t WHERE id = {i}")).unwrap();
+    }
+    assert!(db.plan_cache_len() <= 128, "{}", db.plan_cache_len());
+}
+
+#[test]
+fn views_and_subqueries_are_not_cached() {
+    let db = db_with_t(5);
+    let s = db.session();
+    s.execute("CREATE VIEW v AS SELECT x FROM t").unwrap();
+    s.query("SELECT x FROM v").unwrap();
+    s.query("SELECT x FROM v").unwrap();
+    s.query("SELECT x FROM t WHERE id IN (SELECT id FROM t)")
+        .unwrap();
+    s.query("SELECT x FROM t WHERE id IN (SELECT id FROM t)")
+        .unwrap();
+    assert_eq!(db.plan_cache_len(), 0);
+    let m = s.metrics().snapshot();
+    assert_eq!(m.plan_cache_hits, 0);
+}

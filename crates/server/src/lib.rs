@@ -48,6 +48,10 @@ pub struct ServerConfig {
     pub rows_per_batch: usize,
     /// Free-form banner returned in HELLO_OK.
     pub banner: String,
+    /// Highest protocol version this server will negotiate down to.
+    /// Defaults to [`protocol::VERSION`]; set it to 2 to exercise the
+    /// client's graceful fallback for pre-prepared-statement peers.
+    pub max_protocol_version: u16,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +62,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(30),
             rows_per_batch: 256,
             banner: "tip-server".to_string(),
+            max_protocol_version: protocol::VERSION,
         }
     }
 }
@@ -327,13 +332,18 @@ fn serve_connection(mut stream: TcpStream, conn_id: u64, shared: &Shared) {
         }
         NextFrame::Closed | NextFrame::Shutdown => return,
     };
-    if hello.version != protocol::VERSION {
+    // Version negotiation: speak the highest version both sides (and the
+    // configured cap) understand, refusing peers older than we can serve.
+    let ceiling = protocol::VERSION.min(shared.cfg.max_protocol_version);
+    let negotiated = hello.version.min(ceiling);
+    if negotiated < protocol::MIN_VERSION {
         let _ = send_error(
             &mut stream,
             &DbError::unavailable(format!(
-                "unsupported protocol version {} (server speaks {})",
+                "unsupported protocol version {} (server speaks {}..={})",
                 hello.version,
-                protocol::VERSION
+                protocol::MIN_VERSION,
+                ceiling
             )),
         );
         return;
@@ -346,18 +356,25 @@ fn serve_connection(mut stream: TcpStream, conn_id: u64, shared: &Shared) {
     if send(
         &mut stream,
         resp::HELLO_OK,
-        &protocol::encode_hello_ok(protocol::VERSION, &shared.cfg.banner),
+        &protocol::encode_hello_ok(negotiated, &shared.cfg.banner),
     )
     .is_err()
     {
         return;
     }
 
+    let mut conn = Conn {
+        session,
+        version: negotiated,
+        prepared: HashMap::new(),
+        next_prepared_id: 1,
+    };
+
     // --- request loop --------------------------------------------------
     loop {
         match next_frame(&mut stream, shared) {
             NextFrame::Frame(tag, body) => {
-                if !dispatch(&mut stream, &mut session, shared, tag, &body) {
+                if !dispatch(&mut stream, &mut conn, shared, tag, &body) {
                     return;
                 }
             }
@@ -373,11 +390,26 @@ fn serve_connection(mut stream: TcpStream, conn_id: u64, shared: &Shared) {
     }
 }
 
+/// Per-connection state threaded through the request loop.
+struct Conn {
+    session: Session,
+    /// Negotiated protocol version for this connection.
+    version: u16,
+    /// Server-side prepared statements: id → validated SQL text. The
+    /// engine's plan cache does the heavy lifting; this table only maps
+    /// wire ids back to statement text.
+    prepared: HashMap<u64, String>,
+    next_prepared_id: u64,
+}
+
+/// Prepared statements one connection may hold open at once.
+const MAX_PREPARED_PER_CONN: usize = 256;
+
 /// Handles one request frame. Returns `false` when the connection must
 /// close (BYE, protocol violation, or a dead socket).
 fn dispatch(
     stream: &mut TcpStream,
-    session: &mut Session,
+    conn: &mut Conn,
     shared: &Shared,
     tag: u8,
     body: &[u8],
@@ -392,25 +424,69 @@ fn dispatch(
                     return false;
                 }
             };
-            let params: Vec<(&str, Value)> = stmt
-                .params
-                .iter()
-                .map(|(n, v)| (n.as_str(), v.clone()))
-                .collect();
-            match session.execute_with_params(&stmt.sql, &params) {
-                // Statement-level errors are part of normal service; the
-                // connection stays up.
-                Err(e) => send_error(stream, &e).is_ok(),
-                Ok(StatementOutcome::Done) => send(stream, resp::DONE, &[]).is_ok(),
-                Ok(StatementOutcome::Affected(n)) => {
-                    send(stream, resp::AFFECTED, &protocol::encode_affected(n as u64)).is_ok()
+            run_statement(stream, conn, shared, &stmt.sql, &stmt.params)
+        }
+        req::PREPARE if conn.version >= 3 => {
+            let sql = match protocol::decode_prepare(body) {
+                Ok(s) => s,
+                Err(e) => {
+                    let _ = send_error(stream, &e);
+                    return false;
                 }
-                Ok(StatementOutcome::Rows(result)) => stream_rows(stream, shared, &result),
+            };
+            if conn.prepared.len() >= MAX_PREPARED_PER_CONN {
+                let e = DbError::unavailable(format!(
+                    "too many prepared statements (limit {MAX_PREPARED_PER_CONN}); close some first"
+                ));
+                return send_error(stream, &e).is_ok();
+            }
+            // Validate the text now so EXECUTE_PREPARED never trips a
+            // parse error; planning stays lazy in the engine's cache.
+            match conn.session.prepare(&sql) {
+                // A bad statement is a statement-level error, not a
+                // protocol fault: the connection stays up.
+                Err(e) => send_error(stream, &e).is_ok(),
+                Ok(_) => {
+                    let id = conn.next_prepared_id;
+                    conn.next_prepared_id += 1;
+                    conn.prepared.insert(id, sql);
+                    send(stream, resp::PREPARED_OK, &protocol::encode_prepared_ok(id)).is_ok()
+                }
+            }
+        }
+        req::EXECUTE_PREPARED if conn.version >= 3 => {
+            let (id, params) = match protocol::decode_execute_prepared(body, &shared.types) {
+                Ok(x) => x,
+                Err(e) => {
+                    let _ = send_error(stream, &e);
+                    return false;
+                }
+            };
+            let Some(sql) = conn.prepared.get(&id).cloned() else {
+                let e = DbError::NotFound {
+                    kind: "prepared statement",
+                    name: id.to_string(),
+                };
+                return send_error(stream, &e).is_ok();
+            };
+            run_statement(stream, conn, shared, &sql, &params)
+        }
+        req::CLOSE_PREPARED if conn.version >= 3 => {
+            match protocol::decode_close_prepared(body) {
+                Ok(id) => {
+                    // Idempotent: closing an unknown id is a no-op.
+                    conn.prepared.remove(&id);
+                    send(stream, resp::DONE, &[]).is_ok()
+                }
+                Err(e) => {
+                    let _ = send_error(stream, &e);
+                    false
+                }
             }
         }
         req::SET_NOW => match protocol::decode_set_now(body) {
             Ok(now) => {
-                session.set_now_unix(now);
+                conn.session.set_now_unix(now);
                 send(stream, resp::DONE, &[]).is_ok()
             }
             Err(e) => {
@@ -419,12 +495,14 @@ fn dispatch(
             }
         },
         req::SESSION_STATS => {
-            let snap = session.metrics().snapshot();
-            send(stream, resp::METRICS, &protocol::encode_metrics(&snap)).is_ok()
+            let snap = conn.session.metrics().snapshot();
+            let body = protocol::encode_metrics_for(&snap, conn.version);
+            send(stream, resp::METRICS, &body).is_ok()
         }
         req::SERVER_METRICS => {
             let snap = shared.server_metrics();
-            send(stream, resp::METRICS, &protocol::encode_metrics(&snap)).is_ok()
+            let body = protocol::encode_metrics_for(&snap, conn.version);
+            send(stream, resp::METRICS, &body).is_ok()
         }
         req::BYE => false,
         other => {
@@ -434,6 +512,29 @@ fn dispatch(
             );
             false
         }
+    }
+}
+
+/// Executes one statement and streams its outcome; shared by STMT and
+/// EXECUTE_PREPARED. Statement-level errors keep the connection up.
+fn run_statement(
+    stream: &mut TcpStream,
+    conn: &mut Conn,
+    shared: &Shared,
+    sql: &str,
+    params: &[(String, Value)],
+) -> bool {
+    let params: Vec<(&str, Value)> = params
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+    match conn.session.execute_with_params(sql, &params) {
+        Err(e) => send_error(stream, &e).is_ok(),
+        Ok(StatementOutcome::Done) => send(stream, resp::DONE, &[]).is_ok(),
+        Ok(StatementOutcome::Affected(n)) => {
+            send(stream, resp::AFFECTED, &protocol::encode_affected(n as u64)).is_ok()
+        }
+        Ok(StatementOutcome::Rows(result)) => stream_rows(stream, shared, &result),
     }
 }
 

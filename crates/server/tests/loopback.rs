@@ -373,3 +373,110 @@ fn session_stats_and_slow_log_policy() {
         .set_slow_query_log(Duration::from_millis(1), |_q| {})
         .is_err());
 }
+
+#[test]
+fn prepared_statements_execute_server_side_over_v3() {
+    let db = demo_db();
+    let server = serve(&db, ServerConfig::default());
+    let conn = Connection::connect(server.local_addr()).unwrap();
+
+    let stmt = conn.prepare("SELECT patient FROM Prescription WHERE frequency >= :f");
+    assert!(
+        stmt.is_server_prepared(),
+        "default handshake should negotiate protocol v3"
+    );
+    let stmt = stmt.bind("f", HostValue::Span(Span::from_hours(1)));
+    let first = stmt.query().unwrap().len();
+    assert!(first > 0);
+    // Re-execution ships only the id + params; the engine answers from
+    // its plan cache.
+    for _ in 0..3 {
+        assert_eq!(stmt.query().unwrap().len(), first);
+    }
+    let snap = conn.metrics_snapshot().unwrap();
+    assert_eq!(snap.plan_cache_misses, 1, "{snap:?}");
+    assert!(snap.plan_cache_hits >= 3, "{snap:?}");
+
+    // Rebinding the same prepared id with a different value changes the
+    // answer without re-preparing.
+    let stmt = stmt.bind("f", HostValue::Span(Span::from_days(3650)));
+    assert!(stmt.query().unwrap().len() < first);
+
+    // A statement the server rejects at prepare time falls back to the
+    // text path and reports the same typed error at execute time.
+    let bad = conn.prepare("SELEC patient FROM Prescription");
+    assert!(!bad.is_server_prepared());
+    assert!(matches!(bad.query(), Err(DbError::Syntax { .. })));
+}
+
+#[test]
+fn v3_client_falls_back_on_a_v2_server() {
+    let db = demo_db();
+    let server = serve(
+        &db,
+        ServerConfig {
+            max_protocol_version: 2,
+            ..Default::default()
+        },
+    );
+    let conn = Connection::connect(server.local_addr()).unwrap();
+
+    // No server-side registration — but the same API works end to end
+    // by resending the statement text.
+    let stmt = conn
+        .prepare("SELECT patient FROM Prescription WHERE frequency >= :f")
+        .bind("f", HostValue::Span(Span::from_hours(1)));
+    assert!(!stmt.is_server_prepared());
+    let n = stmt.query().unwrap().len();
+    assert!(n > 0);
+    assert_eq!(stmt.query().unwrap().len(), n);
+
+    // The narrow v2 METRICS frame decodes cleanly; plan-cache counters
+    // simply are not carried.
+    let snap = conn.metrics_snapshot().unwrap();
+    assert_eq!(snap.selects, 2);
+    assert_eq!(snap.plan_cache_hits, 0);
+}
+
+#[test]
+fn unknown_prepared_id_is_a_typed_error_and_closing_frees_the_id() {
+    use tip_client::transport::{RemoteTransport, Transport};
+
+    let db = demo_db();
+    let server = serve(&db, ServerConfig::default());
+
+    let registry = Database::new();
+    registry.install_blade(&TipBlade).unwrap();
+    let types = registry.with_catalog(TipTypes::from_catalog).unwrap();
+    let t = RemoteTransport::connect(
+        server.local_addr(),
+        Arc::clone(&registry),
+        types,
+        &ConnectOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(t.protocol_version(), 3);
+
+    match t.execute_prepared(999, "SELECT 1", &[]) {
+        Err(DbError::NotFound { kind, name }) => {
+            assert_eq!(kind, "prepared statement");
+            assert_eq!(name, "999");
+        }
+        other => panic!("expected typed NotFound, got {other:?}"),
+    }
+
+    let id = t
+        .prepare("SELECT patient FROM Prescription")
+        .unwrap()
+        .expect("v3 server must register");
+    assert!(t
+        .execute_prepared(id, "SELECT patient FROM Prescription", &[])
+        .is_ok());
+    t.close_prepared(id).unwrap();
+    match t.execute_prepared(id, "SELECT patient FROM Prescription", &[]) {
+        Err(DbError::NotFound { kind, .. }) => assert_eq!(kind, "prepared statement"),
+        other => panic!("expected NotFound after close, got {other:?}"),
+    }
+    // The statement-level error left the connection serviceable.
+    assert!(t.execute("SELECT 1", &[]).is_ok());
+}

@@ -309,3 +309,42 @@ fn overflowing_integer_sql_errors_instead_of_panicking() {
     // Division by zero stays a clean error too.
     assert!(conn.query("SELECT 1 / 0", &[]).is_err());
 }
+
+#[test]
+fn show_stats_reports_plan_cache_counters() {
+    use tip::client::HostValue;
+
+    let conn = conn();
+    make_prescriptions(&conn, 6);
+    assert_eq!(
+        stat(&conn, "plan_cache.misses"),
+        0,
+        "DML never plans through the cache"
+    );
+
+    let stmt = conn
+        .prepare("SELECT patient FROM Prescription WHERE drug = :d")
+        .bind("d", HostValue::Str("d0".into()));
+    for _ in 0..3 {
+        assert_eq!(stmt.query().unwrap().len(), 2);
+    }
+    assert_eq!(stat(&conn, "plan_cache.misses"), 1);
+    assert_eq!(stat(&conn, "plan_cache.hits"), 2);
+    assert!(stat(&conn, "plan_cache.entries") >= 1);
+    assert_eq!(stat(&conn, "plan_cache.invalidations"), 0);
+
+    // DDL invalidates: the next execution replans against the new index.
+    conn.execute("CREATE INDEX ix_rx_drug ON Prescription(drug)", &[])
+        .unwrap();
+    assert_eq!(stmt.query().unwrap().len(), 2);
+    assert_eq!(stat(&conn, "plan_cache.invalidations"), 1);
+    assert_eq!(stat(&conn, "plan_cache.misses"), 2);
+
+    // The snapshot API carries the same counters (and therefore so does
+    // the widened METRICS wire frame, which is encoded from it).
+    let snap = conn.metrics_snapshot().unwrap();
+    assert_eq!(snap.plan_cache_hits, 2);
+    assert_eq!(snap.plan_cache_misses, 2);
+    assert_eq!(snap.plan_cache_invalidations, 1);
+    assert!(snap.plan_cache_entries >= 1);
+}
