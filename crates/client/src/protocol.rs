@@ -34,9 +34,10 @@ pub const MAGIC: u32 = 0x5449_5031;
 /// Protocol version spoken by this build. v2 widened the METRICS frame
 /// with DML and lock-wait counters; v3 added prepared statements
 /// (PREPARE / EXECUTE_PREPARED / CLOSE_PREPARED) and the plan-cache
-/// counters in METRICS. Servers negotiate down to a client's older
-/// version; this constant is the highest version this build speaks.
-pub const VERSION: u16 = 3;
+/// counters in METRICS; v4 appended the six WAL/durability counters to
+/// METRICS. Servers negotiate down to a client's older version; this
+/// constant is the highest version this build speaks.
+pub const VERSION: u16 = 4;
 /// Oldest protocol version this build still accepts from a peer.
 pub const MIN_VERSION: u16 = 2;
 /// Upper bound on one frame (tag + body); anything larger is treated as
@@ -691,9 +692,12 @@ pub fn decode_error(mut buf: &[u8]) -> DbResult<DbError> {
 // ---------------------------------------------------------------------
 
 /// Counter fields carried by a METRICS frame at `version`: v2 stopped
-/// after `tables_pinned`; v3 appended the four plan-cache counters.
+/// after `tables_pinned`; v3 appended the four plan-cache counters; v4
+/// appended the six WAL counters.
 fn metric_field_count(version: u16) -> usize {
-    if version >= 3 {
+    if version >= 4 {
+        29
+    } else if version >= 3 {
         23
     } else {
         19
@@ -731,6 +735,12 @@ pub fn encode_metrics_for(m: &MetricsSnapshot, version: u16) -> Vec<u8> {
         m.plan_cache_misses,
         m.plan_cache_invalidations,
         m.plan_cache_entries,
+        m.wal_appends,
+        m.wal_bytes,
+        m.wal_fsyncs,
+        m.wal_group_commit_batch,
+        m.wal_replayed,
+        m.wal_checkpoints,
     ];
     let n = metric_field_count(version);
     let mut out = Vec::with_capacity((n + 1) * 8 + LATENCY_BUCKETS * 8);
@@ -778,6 +788,12 @@ pub fn decode_metrics_for(mut buf: &[u8], version: u16) -> DbResult<MetricsSnaps
         &mut m.plan_cache_misses,
         &mut m.plan_cache_invalidations,
         &mut m.plan_cache_entries,
+        &mut m.wal_appends,
+        &mut m.wal_bytes,
+        &mut m.wal_fsyncs,
+        &mut m.wal_group_commit_batch,
+        &mut m.wal_replayed,
+        &mut m.wal_checkpoints,
     ];
     for field in &mut fields[..n] {
         **field = buf.get_u64_le();
@@ -1011,6 +1027,32 @@ mod tests {
         // server must shrink the frame to the negotiated version.
         assert!(decode_metrics_for(&v3, 2).is_err());
         assert!(decode_metrics_for(&v2, 3).is_err());
+    }
+
+    #[test]
+    fn v3_metrics_layout_omits_wal_fields() {
+        let m = MetricsSnapshot {
+            selects: 9,
+            plan_cache_hits: 100,
+            wal_appends: 12,
+            wal_fsyncs: 3,
+            wal_checkpoints: 1,
+            ..Default::default()
+        };
+        let v3 = encode_metrics_for(&m, 3);
+        let v4 = encode_metrics_for(&m, 4);
+        assert_eq!(v4.len() - v3.len(), 6 * 8, "v4 appends six u64s");
+        // A v3 peer's decode accepts the narrow frame and leaves the WAL
+        // counters zero...
+        let back = decode_metrics_for(&v3, 3).unwrap();
+        assert_eq!(back.plan_cache_hits, 100);
+        assert_eq!(back.wal_appends, 0);
+        // ...while a v4 round trip carries them whole.
+        let back = decode_metrics_for(&v4, 4).unwrap();
+        assert_eq!(back, m);
+        // Cross-version frames are rejected in both directions.
+        assert!(decode_metrics_for(&v4, 3).is_err());
+        assert!(decode_metrics_for(&v3, 4).is_err());
     }
 
     #[test]

@@ -114,6 +114,12 @@ impl PlanCache {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Drops every cached plan — for wholesale world swaps (snapshot
+    /// restore), where lazy per-entry staleness discovery is not enough.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 /// Normalizes statement text into a cache key: trims surrounding

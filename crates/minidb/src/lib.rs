@@ -21,6 +21,7 @@ pub mod sql;
 pub mod storage;
 pub mod types;
 pub mod value;
+pub mod wal;
 
 pub use cache::{CachedPlan, PlanCache};
 pub use catalog::{Blade, Catalog, ExecCtx};
@@ -30,3 +31,4 @@ pub use pin::{PinnedTables, TableSet, TableSource};
 pub use session::{Database, Prepared, QueryResult, Session, StatementOutcome};
 pub use types::{DataType, UdtId};
 pub use value::{Row, UdtObject, UdtValue, Value};
+pub use wal::{DurabilityConfig, RecoveryReport, SyncMode, WalStatsSnapshot};

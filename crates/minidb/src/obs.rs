@@ -405,6 +405,14 @@ impl QueryMetrics {
             plan_cache_misses: g(&self.plan_cache_misses),
             plan_cache_invalidations: g(&self.plan_cache_invalidations),
             plan_cache_entries: g(&self.plan_cache_entries),
+            // WAL counters live on the database, not the session; the
+            // server overlays them via `overlay_wal` when encoding.
+            wal_appends: 0,
+            wal_bytes: 0,
+            wal_fsyncs: 0,
+            wal_group_commit_batch: 0,
+            wal_replayed: 0,
+            wal_checkpoints: 0,
             latency_buckets: std::array::from_fn(|i| g(&self.latency_buckets[i])),
         }
     }
@@ -437,6 +445,15 @@ pub struct MetricsSnapshot {
     pub plan_cache_invalidations: u64,
     /// Gauge: current size of the (database-wide) plan cache.
     pub plan_cache_entries: u64,
+    /// WAL counters, overlaid from the database's durability layer (see
+    /// [`MetricsSnapshot::overlay_wal`]); all zero on in-memory
+    /// databases and on sessions that never overlaid them.
+    pub wal_appends: u64,
+    pub wal_bytes: u64,
+    pub wal_fsyncs: u64,
+    pub wal_group_commit_batch: u64,
+    pub wal_replayed: u64,
+    pub wal_checkpoints: u64,
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
 
@@ -474,9 +491,31 @@ impl MetricsSnapshot {
         );
         // Every session gauges the same shared cache: max, not sum.
         self.plan_cache_entries = self.plan_cache_entries.max(other.plan_cache_entries);
+        // WAL counters are database-wide (one WAL per database), so
+        // aggregating across sessions must not multiply them: max.
+        self.wal_appends = self.wal_appends.max(other.wal_appends);
+        self.wal_bytes = self.wal_bytes.max(other.wal_bytes);
+        self.wal_fsyncs = self.wal_fsyncs.max(other.wal_fsyncs);
+        self.wal_group_commit_batch = self
+            .wal_group_commit_batch
+            .max(other.wal_group_commit_batch);
+        self.wal_replayed = self.wal_replayed.max(other.wal_replayed);
+        self.wal_checkpoints = self.wal_checkpoints.max(other.wal_checkpoints);
         for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
             *a = a.saturating_add(*b);
         }
+    }
+
+    /// Copies the database's WAL counters into this snapshot — the
+    /// server does this before encoding a METRICS frame so the wire
+    /// carries `wal.*` alongside the session counters.
+    pub fn overlay_wal(&mut self, w: &crate::wal::WalStatsSnapshot) {
+        self.wal_appends = w.appends;
+        self.wal_bytes = w.bytes;
+        self.wal_fsyncs = w.fsyncs;
+        self.wal_group_commit_batch = w.group_commit_batch;
+        self.wal_replayed = w.replayed;
+        self.wal_checkpoints = w.checkpoints;
     }
 
     /// Total statements of any kind (errors not included).
@@ -655,6 +694,32 @@ mod tests {
         assert_eq!(total.rows_affected, 14);
         assert_eq!(total.lock_wait_nanos, 5_000_000);
         assert_eq!(total.tables_pinned, 4);
+    }
+
+    #[test]
+    fn wal_counters_overlay_and_absorb_as_gauges() {
+        let mut a = MetricsSnapshot::default();
+        a.overlay_wal(&crate::wal::WalStatsSnapshot {
+            appends: 10,
+            bytes: 1000,
+            fsyncs: 3,
+            group_commit_batch: 4,
+            replayed: 2,
+            checkpoints: 1,
+            ..crate::wal::WalStatsSnapshot::default()
+        });
+        assert_eq!(a.wal_appends, 10);
+        assert_eq!(a.wal_group_commit_batch, 4);
+        // Two sessions observing the same database-wide WAL must not
+        // double its counters when aggregated.
+        let b = a.clone();
+        let mut total = MetricsSnapshot::default();
+        total.absorb(&a);
+        total.absorb(&b);
+        assert_eq!(total.wal_appends, 10);
+        assert_eq!(total.wal_bytes, 1000);
+        assert_eq!(total.wal_fsyncs, 3);
+        assert_eq!(total.wal_checkpoints, 1);
     }
 
     #[test]

@@ -19,10 +19,15 @@ use crate::sql::parse_statement;
 use crate::storage::{self, Column, Storage, Table, TableSchema};
 use crate::types::DataType;
 use crate::value::{Row, Value};
+use crate::wal::{
+    self, file::StdWalFile, record::TxnBuilder, DurabilityConfig, RecoveryReport, Wal,
+    WalStatsSnapshot,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Bucket stride of interval indexes created by `CREATE INDEX` on
@@ -86,6 +91,27 @@ pub struct Database {
     generation: AtomicU64,
     /// The database-wide parameterized plan cache (see [`crate::cache`]).
     plan_cache: Mutex<PlanCache>,
+    /// Durability state, present only on databases opened from a data
+    /// directory ([`Database::open`]). In-memory databases pay nothing.
+    durability: OnceLock<Arc<Durability>>,
+}
+
+/// Durable-mode state of a database: the data directory, the running
+/// WAL, and checkpoint coordination.
+struct Durability {
+    dir: PathBuf,
+    wal: Arc<Wal>,
+    cfg: DurabilityConfig,
+    /// Generation of the on-disk checkpoint; the fresh log created by
+    /// each checkpoint is stamped with the same number.
+    generation: AtomicU64,
+    /// Serializes checkpoints (manual, threshold, and close).
+    checkpoint_lock: Mutex<()>,
+    /// Collapses concurrent threshold triggers into one checkpoint.
+    checkpoint_pending: AtomicBool,
+    closed: AtomicBool,
+    /// Transaction-id allocator for WAL chunks.
+    txn_ids: AtomicU64,
 }
 
 impl Database {
@@ -98,7 +124,200 @@ impl Database {
             registry: RwLock::new(Storage::new()),
             generation: AtomicU64::new(0),
             plan_cache: Mutex::new(PlanCache::new(PlanCache::DEFAULT_CAP)),
+            durability: OnceLock::new(),
         })
+    }
+
+    /// Opens (or creates) a durable database at `dir` with all built-ins
+    /// installed: loads the latest checkpoint, replays the WAL, writes a
+    /// fresh checkpoint, and starts the group-commit writer. Returns the
+    /// database and a report of what recovery found.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        cfg: DurabilityConfig,
+    ) -> DbResult<(Arc<Database>, RecoveryReport)> {
+        Database::open_with(dir, cfg, |_| Ok(()))
+    }
+
+    /// [`Database::open`] with an install hook that runs *before*
+    /// recovery — the place to install blades, so the snapshot and log
+    /// can reference their UDTs (just like reconnecting to a
+    /// blade-enabled Informix instance).
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        cfg: DurabilityConfig,
+        install: impl FnOnce(&Arc<Database>) -> DbResult<()>,
+    ) -> DbResult<(Arc<Database>, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| DbError::Persist {
+            message: format!("create data dir {}: {e}", dir.display()),
+        })?;
+        let started = Instant::now();
+        let db = Database::new();
+        install(&db)?;
+        let (mut report, next_gen) = wal::recover::recover(&db, &dir)?;
+        // Checkpoint-at-open: persist the recovered state under the next
+        // generation and start a fresh log, so no old log replays twice.
+        let snap = db.save_snapshot()?;
+        wal::recover::write_snapshot_file(&dir, next_gen, &snap)?;
+        let _ = std::fs::remove_file(dir.join(wal::recover::WAL_FILE_NEW));
+        let log = StdWalFile::create(
+            &dir.join(wal::recover::WAL_FILE),
+            &wal::record::encode_header(next_gen),
+        )
+        .map_err(|e| DbError::Persist {
+            message: format!("create wal.log: {e}"),
+        })?;
+        let w = Wal::start(Box::new(log), cfg.sync_mode);
+        report.elapsed = started.elapsed();
+        w.stats()
+            .replayed
+            .store(report.records_replayed, Ordering::Relaxed);
+        w.stats().checkpoints.fetch_add(1, Ordering::Relaxed);
+        w.stats()
+            .recovery_micros
+            .store(report.elapsed.as_micros() as u64, Ordering::Relaxed);
+        let _ = db.durability.set(Arc::new(Durability {
+            dir,
+            wal: w,
+            cfg,
+            generation: AtomicU64::new(next_gen),
+            checkpoint_lock: Mutex::new(()),
+            checkpoint_pending: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            txn_ids: AtomicU64::new(0),
+        }));
+        Ok((db, report))
+    }
+
+    /// `true` when this database persists to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.get().is_some()
+    }
+
+    /// WAL counters (all zero on an in-memory database).
+    pub fn wal_stats(&self) -> WalStatsSnapshot {
+        self.durability
+            .get()
+            .map(|d| d.wal.stats().snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Writes a checkpoint: rotates the log, snapshots all tables, and
+    /// atomically replaces `snapshot.db`. A no-op on an in-memory or
+    /// closed database.
+    ///
+    /// Protocol (order matters — see `wal::recover` for the crash
+    /// matrix): the log rotates *first*, then the snapshot is taken.
+    /// The snapshot is therefore a consistent cut containing every
+    /// old-log record plus possibly a prefix of the new log; replaying
+    /// the new log over it is idempotent (inserts address explicit
+    /// rowids), so every crash window recovers to committed state.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        let Some(d) = self.durability.get() else {
+            return Ok(());
+        };
+        if d.closed.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let _serial = d.checkpoint_lock.lock();
+        let next = d.generation.load(Ordering::Acquire) + 1;
+        let new_path = d.dir.join(wal::recover::WAL_FILE_NEW);
+        let new_log =
+            StdWalFile::create(&new_path, &wal::record::encode_header(next)).map_err(|e| {
+                DbError::Persist {
+                    message: format!("create wal.log.new: {e}"),
+                }
+            })?;
+        d.wal.rotate(Box::new(new_log))?;
+        let snap = self.save_snapshot()?;
+        wal::recover::write_snapshot_file(&d.dir, next, &snap)?;
+        std::fs::rename(&new_path, d.dir.join(wal::recover::WAL_FILE)).map_err(|e| {
+            DbError::Persist {
+                message: format!("promote wal.log.new: {e}"),
+            }
+        })?;
+        d.generation.store(next, Ordering::Release);
+        d.wal.stats().checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Threshold checkpoint: fires when the live log outgrows the
+    /// configured byte budget. Called by committing statements; the one
+    /// that wins the flag pays the checkpoint inline.
+    fn maybe_checkpoint(&self) {
+        let Some(d) = self.durability.get() else {
+            return;
+        };
+        if d.cfg.checkpoint_bytes == 0
+            || d.wal.log_bytes() < d.cfg.checkpoint_bytes
+            || d.checkpoint_pending.swap(true, Ordering::AcqRel)
+        {
+            return;
+        }
+        // Errors surface through the WAL's sticky-error state on the
+        // next commit; don't fail the statement that tripped the
+        // threshold.
+        let _ = self.checkpoint();
+        d.checkpoint_pending.store(false, Ordering::Release);
+    }
+
+    /// Cleanly shuts down a durable database: final checkpoint, then
+    /// stops the group-commit writer. Idempotent; a no-op on in-memory
+    /// databases. Statements executed after `close` fail with a
+    /// `Persist` error instead of silently losing durability.
+    pub fn close(&self) -> DbResult<()> {
+        let Some(d) = self.durability.get() else {
+            return Ok(());
+        };
+        if d.closed.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let result = {
+            let _serial = d.checkpoint_lock.lock();
+            let next = d.generation.load(Ordering::Acquire) + 1;
+            let snap = self.save_snapshot()?;
+            wal::recover::write_snapshot_file(&d.dir, next, &snap)?;
+            d.generation.store(next, Ordering::Release);
+            Ok(())
+        };
+        d.wal.close();
+        result
+    }
+
+    /// Appends one statement's WAL chunk while the caller still holds
+    /// the statement's table guards (so log order equals lock
+    /// serialization order). Returns the commit sequence to pass to
+    /// [`Database::wal_wait`] after the guards drop, or `None` when the
+    /// database is in-memory or the statement logged no operations.
+    pub(crate) fn wal_append(
+        &self,
+        cat: &Catalog,
+        build: impl FnOnce(&mut TxnBuilder<'_>) -> DbResult<()>,
+    ) -> DbResult<Option<u64>> {
+        let Some(d) = self.durability.get() else {
+            return Ok(None);
+        };
+        let txn = d.txn_ids.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut b = TxnBuilder::new(cat, txn);
+        build(&mut b)?;
+        if b.records() <= 1 {
+            return Ok(None); // only BEGIN — nothing worth logging
+        }
+        let (chunk, n) = b.finish();
+        Ok(Some(d.wal.append_chunk(chunk, n)?))
+    }
+
+    /// Blocks until the given commit is durable (per the sync mode) and
+    /// runs the checkpoint threshold check. Call with the statement's
+    /// guards already released.
+    pub(crate) fn wal_wait(&self, seq: Option<u64>) -> DbResult<()> {
+        let (Some(d), Some(seq)) = (self.durability.get(), seq) else {
+            return Ok(());
+        };
+        d.wal.wait_durable(seq)?;
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     /// Installs an extension blade (types, routines, casts, aggregates).
@@ -187,6 +406,10 @@ impl Database {
     pub fn load_snapshot(&self, bytes: &[u8]) -> DbResult<()> {
         let new_storage = storage::load_snapshot(&self.catalog.read(), bytes)?;
         *self.registry.write() = new_storage;
+        // A wholesale world swap: clear the plan cache outright rather
+        // than leaving pre-load plans (possibly against dropped tables)
+        // to be discovered stale one lookup at a time.
+        self.plan_cache.lock().clear();
         self.bump_generation();
         Ok(())
     }
@@ -477,11 +700,18 @@ impl Session {
                     let ty = catalog.lookup_type_name(&tyname.name)?;
                     cols.push(Column { name: cname, ty });
                 }
-                self.db.registry.write().create_table(TableSchema {
+                let mut registry = self.db.registry.write();
+                registry.create_table(TableSchema {
                     name,
                     columns: cols,
                 })?;
+                // Logged under the registry write lock, so WAL order
+                // matches DDL serialization order.
+                let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
+                drop(registry);
+                drop(catalog);
                 self.db.bump_generation();
+                self.db.wal_wait(seq)?;
                 Ok(StatementOutcome::Done)
             }
             Statement::CreateIndex {
@@ -524,17 +754,28 @@ impl Session {
                     }
                     None => t.create_index(name, col)?,
                 }
+                // Logged while the table pin is still held.
+                let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
                 // Not a registry write, but it changes the best access
                 // path: cached plans must replan to see the new index.
                 self.db.bump_generation();
+                drop(pinned);
+                drop(catalog);
+                self.db.wal_wait(seq)?;
                 Ok(StatementOutcome::Done)
             }
             Statement::DropTable { name, if_exists } => {
                 // Registry write only: in-flight statements still hold
                 // the table's `Arc` and finish on the data they pinned.
-                match self.db.registry.write().drop_table(&name) {
+                let catalog = self.db.catalog.read();
+                let mut registry = self.db.registry.write();
+                match registry.drop_table(&name) {
                     Ok(()) => {
+                        let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
+                        drop(registry);
+                        drop(catalog);
                         self.db.bump_generation();
+                        self.db.wal_wait(seq)?;
                         Ok(StatementOutcome::Done)
                     }
                     Err(DbError::NotFound { .. }) if if_exists => Ok(StatementOutcome::Done),
@@ -613,15 +854,26 @@ impl Session {
                     .trim()
                     .trim_end_matches(';')
                     .to_owned();
-                self.db
-                    .registry
-                    .write()
-                    .create_view(crate::storage::ViewDef { name, body_sql })?;
+                let catalog = self.db.catalog.read();
+                let mut registry = self.db.registry.write();
+                registry.create_view(crate::storage::ViewDef { name, body_sql })?;
+                let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
+                drop(registry);
+                drop(catalog);
+                self.db.wal_wait(seq)?;
                 Ok(StatementOutcome::Done)
             }
             Statement::DropView { name, if_exists } => {
-                match self.db.registry.write().drop_view(&name) {
-                    Ok(()) => Ok(StatementOutcome::Done),
+                let catalog = self.db.catalog.read();
+                let mut registry = self.db.registry.write();
+                match registry.drop_view(&name) {
+                    Ok(()) => {
+                        let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
+                        drop(registry);
+                        drop(catalog);
+                        self.db.wal_wait(seq)?;
+                        Ok(StatementOutcome::Done)
+                    }
                     Err(DbError::NotFound { .. }) if if_exists => Ok(StatementOutcome::Done),
                     Err(e) => Err(e),
                 }
@@ -685,11 +937,14 @@ impl Session {
                 }))
             }
             Statement::ShowStats => {
+                // Session counters, then the database-wide WAL counters
+                // (all zero on an in-memory database).
                 let rows = self
                     .metrics
                     .snapshot()
                     .rows()
                     .into_iter()
+                    .chain(self.db.wal_stats().rows())
                     .map(|(metric, value)| {
                         vec![
                             Value::Str(metric),
@@ -877,9 +1132,21 @@ impl Session {
         }
         let t = pinned.table_mut(table)?;
         let n = to_insert.len();
+        let mut rowids = Vec::with_capacity(n);
         for row in to_insert {
-            t.insert(row);
+            rowids.push(t.insert(row));
         }
+        // WAL append happens before the table guard is released, so log
+        // order equals lock serialization order.
+        let seq = self.db.wal_append(&catalog, |b| {
+            for &rid in &rowids {
+                b.insert(&schema.name, rid as u64, t.get(rid).expect("just inserted"))?;
+            }
+            Ok(())
+        })?;
+        drop(pinned);
+        drop(catalog);
+        self.db.wal_wait(seq)?;
         Ok(StatementOutcome::Affected(n))
     }
 
@@ -949,8 +1216,10 @@ impl Session {
             }
         }
         let produced = crate::exec::execute(&planned.plan, &pinned, &ctx)?;
-        let t = pinned.table_mut(table)?;
-        let mut n = 0;
+        // Two-phase: coerce the whole change set first, then apply — a
+        // coercion error mid-stream must not leave a partial insert, and
+        // the WAL chunk must describe exactly what was applied.
+        let mut to_insert = Vec::with_capacity(produced.len());
         for src in produced {
             let mut row: Row = vec![Value::Null; schema.columns.len()];
             for ((v, &col), coerce) in src.into_iter().zip(&target_cols).zip(&coercions) {
@@ -959,9 +1228,23 @@ impl Session {
                     _ => v,
                 };
             }
-            t.insert(row);
-            n += 1;
+            to_insert.push(row);
         }
+        let t = pinned.table_mut(table)?;
+        let n = to_insert.len();
+        let mut rowids = Vec::with_capacity(n);
+        for row in to_insert {
+            rowids.push(t.insert(row));
+        }
+        let seq = self.db.wal_append(&catalog, |b| {
+            for &rid in &rowids {
+                b.insert(&schema.name, rid as u64, t.get(rid).expect("just inserted"))?;
+            }
+            Ok(())
+        })?;
+        drop(pinned);
+        drop(catalog);
+        self.db.wal_wait(seq)?;
         Ok(StatementOutcome::Affected(n))
     }
 
@@ -1016,7 +1299,10 @@ impl Session {
         };
         let t = pinned.table_mut(table)?;
         let snapshot = t.scan();
-        let mut affected = 0;
+        // Two-phase: evaluate the full change set before mutating, so an
+        // evaluation error leaves the table untouched and the WAL chunk
+        // describes exactly what was applied.
+        let mut changes: Vec<(usize, Row)> = Vec::new();
         for (rowid, row) in snapshot {
             let keep = match &pred {
                 Some(p) => p.eval(&ctx, &row)?.as_bool() == Some(true),
@@ -1029,9 +1315,21 @@ impl Session {
             for (col, e) in &bound_sets {
                 new_row[*col] = e.eval(&ctx, &row)?;
             }
-            t.update(rowid, new_row);
-            affected += 1;
+            changes.push((rowid, new_row));
         }
+        let seq = self.db.wal_append(&catalog, |b| {
+            for (rid, row) in &changes {
+                b.update(&schema.name, *rid as u64, row)?;
+            }
+            Ok(())
+        })?;
+        let affected = changes.len();
+        for (rowid, new_row) in changes {
+            t.update(rowid, new_row);
+        }
+        drop(pinned);
+        drop(catalog);
+        self.db.wal_wait(seq)?;
         Ok(StatementOutcome::Affected(affected))
     }
 
@@ -1058,16 +1356,33 @@ impl Session {
         };
         let t = pinned.table_mut(table)?;
         let snapshot = t.scan();
-        let mut affected = 0;
+        // Two-phase, as in UPDATE: decide the victim set fully before
+        // deleting anything.
+        let mut victims = Vec::new();
         for (rowid, row) in snapshot {
             let hit = match &pred {
                 Some(p) => p.eval(&ctx, &row)?.as_bool() == Some(true),
                 None => true,
             };
-            if hit && t.delete(rowid) {
+            if hit {
+                victims.push(rowid);
+            }
+        }
+        let seq = self.db.wal_append(&catalog, |b| {
+            for &rid in &victims {
+                b.delete(&schema.name, rid as u64)?;
+            }
+            Ok(())
+        })?;
+        let mut affected = 0;
+        for rowid in victims {
+            if t.delete(rowid) {
                 affected += 1;
             }
         }
+        drop(pinned);
+        drop(catalog);
+        self.db.wal_wait(seq)?;
         Ok(StatementOutcome::Affected(affected))
     }
 }

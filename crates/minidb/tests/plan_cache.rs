@@ -239,3 +239,40 @@ fn views_and_subqueries_are_not_cached() {
     let m = s.metrics().snapshot();
     assert_eq!(m.plan_cache_hits, 0);
 }
+
+#[test]
+fn load_snapshot_clears_the_cache_and_replans() {
+    // Regression: a snapshot restore swaps the whole table registry, so
+    // every cached plan points at pre-restore table data. The restore
+    // must clear the cache outright (and bump the DDL generation), not
+    // leave stale plans to be served.
+    let db = db_with_t(3);
+    let s = db.session();
+    let p = s.prepare("SELECT x FROM t WHERE id = :id").unwrap();
+    assert_eq!(
+        p.query(&[("id", Value::Int(1))]).unwrap().rows,
+        vec![vec![Value::Int(3)]]
+    );
+    assert_eq!(db.plan_cache_len(), 1);
+
+    // A different world: same table name, different contents.
+    let other = Database::new();
+    let os = other.session();
+    os.execute("CREATE TABLE t (id INT, x INT)").unwrap();
+    os.execute("INSERT INTO t VALUES (1, 999)").unwrap();
+    let snap = other.save_snapshot().unwrap();
+
+    let gen_before = db.ddl_generation();
+    db.load_snapshot(&snap).unwrap();
+    assert_eq!(db.plan_cache_len(), 0, "restore must clear the cache");
+    assert!(
+        db.ddl_generation() > gen_before,
+        "restore must bump generation"
+    );
+
+    // The pre-restore Prepared handle replans and sees the new world.
+    assert_eq!(
+        p.query(&[("id", Value::Int(1))]).unwrap().rows,
+        vec![vec![Value::Int(999)]]
+    );
+}

@@ -2,20 +2,36 @@
 //!
 //! ```text
 //! tip-server [--listen ADDR] [--max-connections N] [--demo]
+//!            [--data-dir DIR] [--sync MODE] [--checkpoint-bytes N]
 //! ```
 //!
 //! `--demo` pre-populates the shared database with the synthetic
 //! medical workload so a `tip-browser-cli connect <addr>` in another
 //! terminal has something to query.
+//!
+//! `--data-dir DIR` runs durable: the database recovers from `DIR` on
+//! startup (snapshot + WAL replay) and logs every committed statement.
+//! `--sync` picks the fsync policy (`every-commit` [default], `off`, or
+//! `interval:MILLIS`); `--checkpoint-bytes N` sets the log size that
+//! triggers a checkpoint (0 disables size-triggered checkpoints).
+//!
+//! A durable server also reads stdin: a `quit` line performs a clean
+//! shutdown (stop accepting, final checkpoint) — the hook integration
+//! tests use to distinguish clean shutdown from a kill.
 
-use minidb::Database;
+use minidb::{Database, DurabilityConfig, SyncMode};
+use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 use tip_blade::{TipBlade, TipTypes};
 use tip_server::{Server, ServerConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: tip-server [--listen ADDR] [--max-connections N] [--demo]");
+    eprintln!(
+        "usage: tip-server [--listen ADDR] [--max-connections N] [--demo] \
+         [--data-dir DIR] [--sync off|every-commit|interval:MS] [--checkpoint-bytes N]"
+    );
     std::process::exit(2);
 }
 
@@ -23,6 +39,8 @@ fn main() -> ExitCode {
     let mut listen = "127.0.0.1:7474".to_string();
     let mut cfg = ServerConfig::default();
     let mut demo = false;
+    let mut data_dir: Option<String> = None;
+    let mut durability = DurabilityConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,16 +53,49 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage())
             }
             "--demo" => demo = true,
+            "--data-dir" => data_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--sync" => {
+                durability.sync_mode = args
+                    .next()
+                    .and_then(|v| SyncMode::parse(&v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--checkpoint-bytes" => {
+                durability.checkpoint_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
-    let db = Database::new();
-    db.install_blade(&TipBlade)
-        .expect("fresh database accepts the blade");
+    let db: Arc<Database> = match &data_dir {
+        Some(dir) => match Database::open_with(dir, durability, |db| db.install_blade(&TipBlade)) {
+            Ok((db, report)) => {
+                eprintln!("tip-server: recovered {dir}: {}", report.summary());
+                db
+            }
+            Err(e) => {
+                eprintln!("tip-server: recovery of {dir} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let db = Database::new();
+            db.install_blade(&TipBlade)
+                .expect("fresh database accepts the blade");
+            db
+        }
+    };
 
-    if demo {
+    // A recovered directory may already hold the demo tables; loading
+    // them twice would fail on CREATE TABLE, so only seed an empty db.
+    let have_tables = db.with_storage(|s| !s.table_names().is_empty());
+    if demo && have_tables {
+        eprintln!("demo: data directory already populated, skipping load");
+    } else if demo {
         let session = db.session();
         let types = db
             .with_catalog(TipTypes::from_catalog)
@@ -59,7 +110,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let server = match Server::bind(listen.as_str(), &db, cfg) {
+    let mut server = match Server::bind(listen.as_str(), &db, cfg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("tip-server: {e}");
@@ -67,6 +118,27 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("tip-server listening on {}", server.local_addr());
+
+    if data_dir.is_some() {
+        // Durable mode: watch stdin for a clean-shutdown request while
+        // serving. EOF (stdin closed, e.g. daemonized) just parks.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            match line {
+                Ok(l) if l.trim() == "quit" => {
+                    eprintln!("tip-server: clean shutdown requested");
+                    server.shutdown();
+                    if let Err(e) = db.close() {
+                        eprintln!("tip-server: final checkpoint failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    return ExitCode::SUCCESS;
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
 
     // Serve until the process is killed; connections are handled on
     // their own threads.

@@ -495,12 +495,14 @@ fn dispatch(
             }
         },
         req::SESSION_STATS => {
-            let snap = conn.session.metrics().snapshot();
+            let mut snap = conn.session.metrics().snapshot();
+            snap.overlay_wal(&shared.db.wal_stats());
             let body = protocol::encode_metrics_for(&snap, conn.version);
             send(stream, resp::METRICS, &body).is_ok()
         }
         req::SERVER_METRICS => {
-            let snap = shared.server_metrics();
+            let mut snap = shared.server_metrics();
+            snap.overlay_wal(&shared.db.wal_stats());
             let body = protocol::encode_metrics_for(&snap, conn.version);
             send(stream, resp::METRICS, &body).is_ok()
         }

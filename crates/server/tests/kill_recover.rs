@@ -1,0 +1,170 @@
+//! End-to-end crash durability: a real `tip-server` process in durable
+//! mode is SIGKILLed mid-load; a restart on the same data directory must
+//! serve every row the dead server acknowledged. A second leg exercises
+//! the clean-shutdown path (`quit` on stdin → final checkpoint).
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use tip_client::{Connection, HostValue};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tip-killrec-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct ServerProc {
+    child: Child,
+    addr: String,
+    /// Kept open: closing it would EOF the server's stdin watcher.
+    stdin: std::process::ChildStdin,
+}
+
+/// Spawns the real `tip-server` binary in durable mode and waits for its
+/// "listening on" line.
+fn spawn_server(dir: &std::path::Path, sync: &str) -> ServerProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tip-server"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--sync",
+            sync,
+        ])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tip-server");
+    let stdin = child.stdin.take().unwrap();
+    let stderr = child.stderr.take().unwrap();
+    let mut lines = BufReader::new(stderr).lines();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        assert!(
+            Instant::now() < deadline,
+            "server never reported an address"
+        );
+        let line = lines
+            .next()
+            .expect("server stderr closed before listening")
+            .unwrap();
+        if let Some(addr) = line.strip_prefix("tip-server listening on ") {
+            break addr.trim().to_owned();
+        }
+    };
+    // Drain the rest of stderr in the background so the server never
+    // blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    ServerProc { child, addr, stdin }
+}
+
+fn connect(addr: &str) -> Connection {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match Connection::connect(addr) {
+            Ok(c) => return c,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "connect {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn fetch_ids(conn: &Connection) -> Vec<i64> {
+    let mut rows = conn.query("SELECT id FROM acked ORDER BY id", &[]).unwrap();
+    let mut out = Vec::new();
+    while rows.next() {
+        out.push(rows.get_int(0).unwrap());
+    }
+    out
+}
+
+#[test]
+fn kill_nine_loses_no_acknowledged_row() {
+    let dir = scratch("kill9");
+    let mut acked: Vec<i64> = Vec::new();
+    {
+        let server = spawn_server(&dir, "every-commit");
+        let conn = connect(&server.addr);
+        conn.execute("CREATE TABLE acked (id INT, payload CHAR(32))", &[])
+            .unwrap();
+        // Load rows one committed statement at a time; every returned
+        // execute() is an acknowledgement the row is durable.
+        for i in 0..120i64 {
+            conn.execute(
+                "INSERT INTO acked VALUES (:id, 'payload-for-this-row')",
+                &[("id", HostValue::Int(i))],
+            )
+            .unwrap();
+            acked.push(i);
+        }
+        // SIGKILL mid-life: no flush, no checkpoint, no goodbye.
+        let mut server = server;
+        server.child.kill().unwrap();
+        server.child.wait().unwrap();
+    }
+
+    let server = spawn_server(&dir, "every-commit");
+    let conn = connect(&server.addr);
+    assert_eq!(
+        fetch_ids(&conn),
+        acked,
+        "restart must serve every acknowledged row"
+    );
+    // The recovered server is live, not read-only.
+    conn.execute(
+        "INSERT INTO acked VALUES (:id, 'after-recovery')",
+        &[("id", HostValue::Int(999))],
+    )
+    .unwrap();
+    let m = conn.server_metrics().unwrap();
+    assert!(
+        m.wal_replayed > 0,
+        "METRICS over the wire reports the replay: {m:?}"
+    );
+    assert!(m.wal_appends > 0 && m.wal_fsyncs > 0, "{m:?}");
+    let mut server = server;
+    server.child.kill().unwrap();
+    server.child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_shutdown_checkpoints_and_restarts_without_replay() {
+    let dir = scratch("clean");
+    {
+        let mut server = spawn_server(&dir, "every-commit");
+        let conn = connect(&server.addr);
+        conn.execute("CREATE TABLE acked (id INT, payload CHAR(32))", &[])
+            .unwrap();
+        for i in 0..25i64 {
+            conn.execute(
+                "INSERT INTO acked VALUES (:id, 'x')",
+                &[("id", HostValue::Int(i))],
+            )
+            .unwrap();
+        }
+        drop(conn);
+        writeln!(server.stdin, "quit").unwrap();
+        server.stdin.flush().unwrap();
+        let status = server.child.wait().unwrap();
+        assert!(status.success(), "clean shutdown exits zero: {status:?}");
+    }
+
+    let server = spawn_server(&dir, "every-commit");
+    let conn = connect(&server.addr);
+    assert_eq!(fetch_ids(&conn), (0..25).collect::<Vec<_>>());
+    let m = conn.server_metrics().unwrap();
+    assert_eq!(
+        m.wal_replayed, 0,
+        "a checkpointed directory needs no replay: {m:?}"
+    );
+    let mut server = server;
+    server.child.kill().unwrap();
+    server.child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
