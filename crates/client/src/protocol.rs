@@ -35,9 +35,10 @@ pub const MAGIC: u32 = 0x5449_5031;
 /// with DML and lock-wait counters; v3 added prepared statements
 /// (PREPARE / EXECUTE_PREPARED / CLOSE_PREPARED) and the plan-cache
 /// counters in METRICS; v4 appended the six WAL/durability counters to
-/// METRICS. Servers negotiate down to a client's older version; this
-/// constant is the highest version this build speaks.
-pub const VERSION: u16 = 4;
+/// METRICS; v5 appended the MVCC gauges and transaction counters.
+/// Servers negotiate down to a client's older version; this constant is
+/// the highest version this build speaks.
+pub const VERSION: u16 = 5;
 /// Oldest protocol version this build still accepts from a peer.
 pub const MIN_VERSION: u16 = 2;
 /// Upper bound on one frame (tag + body); anything larger is treated as
@@ -546,6 +547,77 @@ pub fn encode_row_batch(
     out
 }
 
+/// Outcome of [`RowBatchBuilder::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowPush {
+    /// The row was appended to the batch.
+    Added,
+    /// Appending would exceed the byte budget; the batch is unchanged.
+    /// Flush it and push the row into a fresh builder.
+    BatchFull,
+    /// The encoded row alone exceeds the budget: it cannot travel in
+    /// any frame. The batch is unchanged; the carried size is the row's
+    /// encoded length in bytes.
+    RowTooBig(usize),
+}
+
+/// Incrementally assembles a ROW_BATCH body under a byte budget, so a
+/// sender can split arbitrarily large result sets across frames instead
+/// of overrunning [`MAX_FRAME`]. The leading `u16` row count is
+/// reserved up front and patched when the batch is finished.
+pub struct RowBatchBuilder {
+    buf: Vec<u8>,
+    rows: u16,
+    budget: usize,
+}
+
+impl RowBatchBuilder {
+    /// `budget` caps the finished body length in bytes. The caller is
+    /// responsible for leaving slack below [`MAX_FRAME`] for the frame
+    /// length prefix and tag.
+    pub fn new(budget: usize) -> RowBatchBuilder {
+        let mut buf = Vec::with_capacity(1024);
+        buf.put_u16_le(0); // row count, patched in finish()
+        RowBatchBuilder { buf, rows: 0, budget }
+    }
+
+    /// Rows currently in the batch.
+    pub fn rows(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// `true` when no row has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Tries to append one row, leaving the batch untouched when it
+    /// doesn't fit (see [`RowPush`]).
+    pub fn push(&mut self, row: &[Value], display: &dyn Fn(&Value) -> String) -> RowPush {
+        let mark = self.buf.len();
+        for cell in row {
+            encode_value(cell, display, &mut self.buf);
+        }
+        let encoded = self.buf.len() - mark;
+        if self.buf.len() > self.budget || self.rows == u16::MAX {
+            self.buf.truncate(mark);
+            return if self.rows == 0 {
+                RowPush::RowTooBig(encoded)
+            } else {
+                RowPush::BatchFull
+            };
+        }
+        self.rows += 1;
+        RowPush::Added
+    }
+
+    /// Seals the batch into a ROW_BATCH body.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[..2].copy_from_slice(&self.rows.to_le_bytes());
+        self.buf
+    }
+}
+
 pub fn decode_row_batch(
     mut buf: &[u8],
     ncols: usize,
@@ -693,9 +765,12 @@ pub fn decode_error(mut buf: &[u8]) -> DbResult<DbError> {
 
 /// Counter fields carried by a METRICS frame at `version`: v2 stopped
 /// after `tables_pinned`; v3 appended the four plan-cache counters; v4
-/// appended the six WAL counters.
+/// appended the six WAL counters; v5 appended the two MVCC gauges and
+/// three transaction counters.
 fn metric_field_count(version: u16) -> usize {
-    if version >= 4 {
+    if version >= 5 {
+        34
+    } else if version >= 4 {
         29
     } else if version >= 3 {
         23
@@ -741,6 +816,11 @@ pub fn encode_metrics_for(m: &MetricsSnapshot, version: u16) -> Vec<u8> {
         m.wal_group_commit_batch,
         m.wal_replayed,
         m.wal_checkpoints,
+        m.mvcc_versions,
+        m.mvcc_snapshots_pinned,
+        m.txn_begun,
+        m.txn_committed,
+        m.txn_rolled_back,
     ];
     let n = metric_field_count(version);
     let mut out = Vec::with_capacity((n + 1) * 8 + LATENCY_BUCKETS * 8);
@@ -794,6 +874,11 @@ pub fn decode_metrics_for(mut buf: &[u8], version: u16) -> DbResult<MetricsSnaps
         &mut m.wal_group_commit_batch,
         &mut m.wal_replayed,
         &mut m.wal_checkpoints,
+        &mut m.mvcc_versions,
+        &mut m.mvcc_snapshots_pinned,
+        &mut m.txn_begun,
+        &mut m.txn_committed,
+        &mut m.txn_rolled_back,
     ];
     for field in &mut fields[..n] {
         **field = buf.get_u64_le();
@@ -1053,6 +1138,67 @@ mod tests {
         // Cross-version frames are rejected in both directions.
         assert!(decode_metrics_for(&v4, 3).is_err());
         assert!(decode_metrics_for(&v3, 4).is_err());
+    }
+
+    #[test]
+    fn v4_metrics_layout_omits_mvcc_and_txn_fields() {
+        let m = MetricsSnapshot {
+            selects: 9,
+            wal_appends: 12,
+            mvcc_versions: 5,
+            mvcc_snapshots_pinned: 2,
+            txn_begun: 7,
+            txn_committed: 6,
+            txn_rolled_back: 1,
+            ..Default::default()
+        };
+        let v4 = encode_metrics_for(&m, 4);
+        let v5 = encode_metrics_for(&m, 5);
+        assert_eq!(v5.len() - v4.len(), 5 * 8, "v5 appends five u64s");
+        // A v4 peer's decode accepts the narrow frame and leaves the
+        // MVCC gauges and transaction counters zero...
+        let back = decode_metrics_for(&v4, 4).unwrap();
+        assert_eq!(back.wal_appends, 12);
+        assert_eq!(back.mvcc_versions, 0);
+        assert_eq!(back.txn_begun, 0);
+        // ...while a v5 round trip carries them whole.
+        let back = decode_metrics_for(&v5, 5).unwrap();
+        assert_eq!(back, m);
+        // Cross-version frames are rejected in both directions.
+        assert!(decode_metrics_for(&v5, 4).is_err());
+        assert!(decode_metrics_for(&v4, 5).is_err());
+    }
+
+    #[test]
+    fn row_batch_builder_splits_on_byte_budget() {
+        let (_db, types) = registry();
+        let row = |s: &str| vec![Value::Int(1), Value::Str(s.into())];
+        // Each encoded row: 1+8 (int) + 1+4+len (str) = 14+len bytes.
+        let mut b = RowBatchBuilder::new(2 + 2 * (14 + 10));
+        assert_eq!(b.push(&row(&"x".repeat(10)), &no_display), RowPush::Added);
+        assert_eq!(b.push(&row(&"y".repeat(10)), &no_display), RowPush::Added);
+        assert_eq!(
+            b.push(&row(&"z".repeat(10)), &no_display),
+            RowPush::BatchFull,
+            "third row exceeds the budget"
+        );
+        assert_eq!(b.rows(), 2, "the rejected row left the batch intact");
+        let body = b.finish();
+        let back = decode_row_batch(&body, 2, &types).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0][1], Value::Str("x".repeat(10)));
+        assert_eq!(back[1][1], Value::Str("y".repeat(10)));
+
+        // A row that alone busts the budget is reported, not split.
+        let mut b = RowBatchBuilder::new(16);
+        match b.push(&row(&"w".repeat(64)), &no_display) {
+            RowPush::RowTooBig(bytes) => assert_eq!(bytes, 14 + 64),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(b.is_empty());
+        // An empty finished batch is still a valid (zero-row) body.
+        let back = decode_row_batch(&b.finish(), 2, &types).unwrap();
+        assert!(back.is_empty());
     }
 
     #[test]

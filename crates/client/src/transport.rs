@@ -358,6 +358,10 @@ impl RemoteTransport {
                             &self.types,
                         )?),
                         resp::ROWS_DONE => break,
+                        // A typed mid-stream error (e.g. a row too large
+                        // for any frame) ends the result set; the
+                        // connection itself stays usable.
+                        resp::ERROR => return Err(protocol::decode_error(&body)?),
                         other => {
                             return Err(
                                 self.fail("row stream", format!("unexpected frame {other:#04x}"))

@@ -123,10 +123,14 @@ impl PlanCache {
 }
 
 /// Normalizes statement text into a cache key: trims surrounding
-/// whitespace and at most one trailing `;`.
+/// whitespace and any run of trailing `;` (interleaved with whitespace),
+/// so `SELECT 1`, `SELECT 1;;` and `SELECT 1 ;  ` share one entry.
 pub fn normalize_sql(sql: &str) -> &str {
-    let s = sql.trim();
-    s.strip_suffix(';').map(str::trim_end).unwrap_or(s)
+    let mut s = sql.trim();
+    while let Some(stripped) = s.strip_suffix(';') {
+        s = stripped.trim_end();
+    }
+    s
 }
 
 /// Splits a leading `EXPLAIN [ANALYZE]` prefix (case-insensitive, on
@@ -172,10 +176,13 @@ mod tests {
     }
 
     #[test]
-    fn normalization_trims_whitespace_and_one_semicolon() {
+    fn normalization_trims_whitespace_and_trailing_semicolons() {
         assert_eq!(normalize_sql("  SELECT 1 ;  "), "SELECT 1");
         assert_eq!(normalize_sql("SELECT 1"), "SELECT 1");
+        assert_eq!(normalize_sql("SELECT 1;;"), "SELECT 1");
+        assert_eq!(normalize_sql("SELECT 1 ; ; "), "SELECT 1");
         assert_eq!(normalize_sql("SELECT ';'"), "SELECT ';'");
+        assert_eq!(normalize_sql("SELECT ';';"), "SELECT ';'");
     }
 
     #[test]

@@ -242,6 +242,9 @@ pub enum StatementKind {
     Ddl,
     Explain,
     ShowStats,
+    /// `BEGIN`/`COMMIT`/`ROLLBACK` — tallied in the `txn.*` counters,
+    /// not in `statements.*`.
+    Txn,
 }
 
 /// Number of log2 latency buckets: bucket `i` counts statements whose
@@ -283,6 +286,10 @@ pub struct QueryMetrics {
     /// Gauge (not a counter): the shared cache's current entry count as
     /// of the last statement that touched it.
     plan_cache_entries: AtomicU64,
+
+    txn_begun: AtomicU64,
+    txn_committed: AtomicU64,
+    txn_rolled_back: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -308,6 +315,7 @@ impl QueryMetrics {
             StatementKind::Ddl => &self.ddl,
             StatementKind::Explain => &self.explains,
             StatementKind::ShowStats => return, // reading stats is free
+            StatementKind::Txn => return,       // tallied via the txn.* counters
         };
         c.fetch_add(1, Ordering::Relaxed);
     }
@@ -378,6 +386,21 @@ impl QueryMetrics {
         self.plan_cache_entries.store(entries, Ordering::Relaxed);
     }
 
+    /// One `BEGIN` that opened a transaction.
+    pub(crate) fn record_txn_begun(&self) {
+        self.txn_begun.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `COMMIT` that made a transaction's writes visible.
+    pub(crate) fn record_txn_committed(&self) {
+        self.txn_committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One transaction discarded by `ROLLBACK` (or aborted).
+    pub(crate) fn record_txn_rolled_back(&self) {
+        self.txn_rolled_back.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
@@ -405,14 +428,20 @@ impl QueryMetrics {
             plan_cache_misses: g(&self.plan_cache_misses),
             plan_cache_invalidations: g(&self.plan_cache_invalidations),
             plan_cache_entries: g(&self.plan_cache_entries),
+            txn_begun: g(&self.txn_begun),
+            txn_committed: g(&self.txn_committed),
+            txn_rolled_back: g(&self.txn_rolled_back),
             // WAL counters live on the database, not the session; the
-            // server overlays them via `overlay_wal` when encoding.
+            // server overlays them via `overlay_wal` when encoding. The
+            // MVCC gauges likewise come from `overlay_mvcc`.
             wal_appends: 0,
             wal_bytes: 0,
             wal_fsyncs: 0,
             wal_group_commit_batch: 0,
             wal_replayed: 0,
             wal_checkpoints: 0,
+            mvcc_versions: 0,
+            mvcc_snapshots_pinned: 0,
             latency_buckets: std::array::from_fn(|i| g(&self.latency_buckets[i])),
         }
     }
@@ -445,6 +474,9 @@ pub struct MetricsSnapshot {
     pub plan_cache_invalidations: u64,
     /// Gauge: current size of the (database-wide) plan cache.
     pub plan_cache_entries: u64,
+    pub txn_begun: u64,
+    pub txn_committed: u64,
+    pub txn_rolled_back: u64,
     /// WAL counters, overlaid from the database's durability layer (see
     /// [`MetricsSnapshot::overlay_wal`]); all zero on in-memory
     /// databases and on sessions that never overlaid them.
@@ -454,6 +486,12 @@ pub struct MetricsSnapshot {
     pub wal_group_commit_batch: u64,
     pub wal_replayed: u64,
     pub wal_checkpoints: u64,
+    /// Gauge: table versions currently retained across all version
+    /// chains (database-wide; overlaid via
+    /// [`MetricsSnapshot::overlay_mvcc`]).
+    pub mvcc_versions: u64,
+    /// Gauge: snapshot pins currently registered (database-wide).
+    pub mvcc_snapshots_pinned: u64,
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
 
@@ -489,6 +527,9 @@ impl MetricsSnapshot {
             &mut self.plan_cache_invalidations,
             other.plan_cache_invalidations,
         );
+        add(&mut self.txn_begun, other.txn_begun);
+        add(&mut self.txn_committed, other.txn_committed);
+        add(&mut self.txn_rolled_back, other.txn_rolled_back);
         // Every session gauges the same shared cache: max, not sum.
         self.plan_cache_entries = self.plan_cache_entries.max(other.plan_cache_entries);
         // WAL counters are database-wide (one WAL per database), so
@@ -501,6 +542,11 @@ impl MetricsSnapshot {
             .max(other.wal_group_commit_batch);
         self.wal_replayed = self.wal_replayed.max(other.wal_replayed);
         self.wal_checkpoints = self.wal_checkpoints.max(other.wal_checkpoints);
+        // The MVCC gauges are database-wide too: max, not sum.
+        self.mvcc_versions = self.mvcc_versions.max(other.mvcc_versions);
+        self.mvcc_snapshots_pinned = self
+            .mvcc_snapshots_pinned
+            .max(other.mvcc_snapshots_pinned);
         for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
             *a = a.saturating_add(*b);
         }
@@ -516,6 +562,13 @@ impl MetricsSnapshot {
         self.wal_group_commit_batch = w.group_commit_batch;
         self.wal_replayed = w.replayed;
         self.wal_checkpoints = w.checkpoints;
+    }
+
+    /// Copies the database's MVCC gauges into this snapshot (same idea
+    /// as [`MetricsSnapshot::overlay_wal`]).
+    pub fn overlay_mvcc(&mut self, versions: u64, snapshots_pinned: u64) {
+        self.mvcc_versions = versions;
+        self.mvcc_snapshots_pinned = snapshots_pinned;
     }
 
     /// Total statements of any kind (errors not included).
@@ -564,6 +617,9 @@ impl MetricsSnapshot {
                 self.plan_cache_invalidations,
             ),
             ("plan_cache.entries".to_owned(), self.plan_cache_entries),
+            ("txn.begun".to_owned(), self.txn_begun),
+            ("txn.committed".to_owned(), self.txn_committed),
+            ("txn.rolled_back".to_owned(), self.txn_rolled_back),
         ];
         for (i, &n) in self.latency_buckets.iter().enumerate() {
             if n > 0 {

@@ -1,28 +1,31 @@
 //! Statement-scoped table pinning: the concurrency backbone.
 //!
 //! The [`Storage`](crate::storage::Storage) registry maps names to
-//! [`SharedTable`] handles (`Arc<RwLock<Table>>`). A statement never
-//! holds the registry lock while it runs; instead it
+//! [`SharedTable`] handles (`Arc<TableCell>` — a live table plus its
+//! MVCC version chain). A statement never holds the registry lock while
+//! it runs; instead it
 //!
 //! 1. walks its AST under a *short* registry read lock, resolving every
 //!    referenced table (and the tables referenced by any views it uses)
 //!    into a [`TableSet`] — `Arc` handles plus the required access mode;
 //! 2. releases the registry lock;
-//! 3. [`pin`s](TableSet::pin) the set, acquiring per-table guards in
-//!    **deterministic sorted-name order**, which makes multi-table
-//!    statements deadlock-free: any two statements acquire their common
-//!    tables in the same global order.
+//! 3. [`pin`s](TableSet::pin) the set: **write** entries acquire their
+//!    per-table write guards in deterministic sorted-name order
+//!    (deadlock-free: any two writers acquire common tables in the same
+//!    global order), while **read** entries resolve a published
+//!    snapshot from the version chain and acquire *no lock at all* —
+//!    a SELECT never blocks behind a writer, however long it runs.
 //!
-//! The planner and executor then run against the pinned guard set
-//! through the [`TableSource`] trait rather than against `&Storage`,
-//! so an INSERT hammering table A never blocks a SELECT on table B.
+//! The planner and executor then run against the pinned set through the
+//! [`TableSource`] trait rather than against `&Storage`.
 
 use crate::error::{DbError, DbResult};
 use crate::sql::ast::{Expr, InsertSource, SelectStmt, Statement};
 use crate::sql::parse_statement;
 use crate::storage::{SharedTable, Storage, Table, ViewDef};
-use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::RwLockWriteGuard;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Read-only name resolution the planner and executor run against: a
@@ -141,59 +144,90 @@ impl TableSet {
         self.entries.is_empty()
     }
 
-    /// Acquires the per-table guards in sorted-name order, measuring the
-    /// total time spent blocked on other statements' locks.
+    /// `(lowercase key, shared handle)` pairs in sorted order — the
+    /// transaction and `AS OF` paths resolve their own snapshots from
+    /// these instead of pinning.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (&str, &SharedTable)> {
+        self.entries.iter().map(|e| (e.key.as_str(), &e.shared))
+    }
+
+    /// The referenced view definitions, keyed by lowercase name.
+    pub(crate) fn views(&self) -> &HashMap<String, ViewDef> {
+        &self.views
+    }
+
+    /// Pins the set at the newest committed state: write guards for
+    /// write entries, the latest published snapshot for read entries.
     pub fn pin(&self) -> PinnedTables<'_> {
+        self.pin_at(u64::MAX)
+    }
+
+    /// Pins the set against the snapshots visible at commit sequence
+    /// `seq`. Write entries still acquire their write guards (in
+    /// sorted-name order, measuring the time spent blocked); read
+    /// entries resolve the newest version with sequence `<= seq` —
+    /// lock-free — falling back to the latest version for a table
+    /// created after `seq` (the statement resolved its name *now*, so
+    /// showing it empty-at-birth would be stranger than showing it).
+    pub fn pin_at(&self, seq: u64) -> PinnedTables<'_> {
         let t0 = Instant::now();
-        let guards: Vec<(&str, Guard<'_>)> = self
+        let pins: Vec<Pin<'_>> = self
             .entries
             .iter()
             .map(|e| {
-                let g = if e.write {
-                    Guard::Write(e.shared.write())
+                if e.write {
+                    Pin::Write(e.shared.write())
                 } else {
-                    Guard::Read(e.shared.read())
-                };
-                (e.key.as_str(), g)
+                    Pin::Snap(
+                        e.shared
+                            .snapshot_at(seq)
+                            .unwrap_or_else(|| e.shared.latest()),
+                    )
+                }
             })
             .collect();
         PinnedTables {
-            guards,
-            views: &self.views,
+            set: self,
+            pins,
             lock_wait: t0.elapsed(),
         }
     }
 }
 
-enum Guard<'a> {
-    Read(RwLockReadGuard<'a, Table>),
+enum Pin<'a> {
+    /// A held write guard on the live table.
     Write(RwLockWriteGuard<'a, Table>),
+    /// A published immutable snapshot; no lock held.
+    Snap(Arc<Table>),
 }
 
-impl Guard<'_> {
+impl Pin<'_> {
     fn table(&self) -> &Table {
         match self {
-            Guard::Read(g) => g,
-            Guard::Write(g) => g,
+            Pin::Write(g) => g,
+            Pin::Snap(t) => t,
         }
     }
 }
 
-/// The acquired guards of a [`TableSet`] — what a statement actually
-/// executes against. Holding this pins exactly the touched tables;
-/// every other table in the database stays free for other statements.
+/// The pinned state of a [`TableSet`] — what a statement actually
+/// executes against. Write-pinned tables hold their guards (other
+/// writers on those tables wait); read-pinned tables are immutable
+/// snapshots, so concurrent writers — even on the same tables — are
+/// never blocked and never observed mid-statement.
 pub struct PinnedTables<'a> {
-    /// Keyed by the set's lowercase keys, in sorted order.
-    guards: Vec<(&'a str, Guard<'a>)>,
-    views: &'a HashMap<String, ViewDef>,
+    set: &'a TableSet,
+    /// Parallel to `set.entries` (sorted lowercase keys).
+    pins: Vec<Pin<'a>>,
     lock_wait: Duration,
 }
 
 impl PinnedTables<'_> {
     fn position(&self, name: &str) -> Option<usize> {
         let key = name.to_ascii_lowercase();
-        self.guards
-            .binary_search_by(|(k, _)| (*k).cmp(key.as_str()))
+        self.set
+            .entries
+            .binary_search_by(|e| e.key.as_str().cmp(key.as_str()))
             .ok()
     }
 
@@ -202,9 +236,9 @@ impl PinnedTables<'_> {
     /// bug: the collector marks every DML target as a write).
     pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
         match self.position(name) {
-            Some(i) => match &mut self.guards[i].1 {
-                Guard::Write(g) => Ok(&mut *g),
-                Guard::Read(_) => Err(DbError::exec(format!("table {name} is pinned read-only"))),
+            Some(i) => match &mut self.pins[i] {
+                Pin::Write(g) => Ok(&mut *g),
+                Pin::Snap(_) => Err(DbError::exec(format!("table {name} is pinned read-only"))),
             },
             None => Err(DbError::NotFound {
                 kind: "table",
@@ -213,22 +247,84 @@ impl PinnedTables<'_> {
         }
     }
 
-    /// Number of tables pinned.
+    /// Number of tables pinned (write guards plus snapshots).
     pub fn tables_pinned(&self) -> usize {
-        self.guards.len()
+        self.pins.len()
     }
 
-    /// Time spent blocked acquiring the guards.
+    /// Time spent blocked acquiring the write guards (always zero for a
+    /// pure read pin: snapshots are lock-free).
     pub fn lock_wait(&self) -> Duration {
         self.lock_wait
+    }
+
+    /// `true` when at least one table is write-pinned.
+    pub(crate) fn has_writes(&self) -> bool {
+        self.pins.iter().any(|p| matches!(p, Pin::Write(_)))
+    }
+
+    /// Pre-clones a publishable snapshot of every write-pinned table,
+    /// paired with its cell — the input
+    /// [`Database::publish_prepared`](crate::session::Database) wants.
+    /// Called with the guards still held (they are: they live in
+    /// `self`), so the snapshots are exactly what this statement
+    /// committed and version chains grow in commit order. Cheap: rows
+    /// are `Arc`-shared, only slot/index structure is copied.
+    pub(crate) fn prepared_publishes(&self) -> Vec<(SharedTable, Arc<Table>)> {
+        self.pins
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p {
+                Pin::Write(g) => Some((
+                    Arc::clone(&self.set.entries[i].shared),
+                    Arc::new((**g).clone()),
+                )),
+                Pin::Snap(_) => None,
+            })
+            .collect()
     }
 }
 
 impl TableSource for PinnedTables<'_> {
     fn table(&self, name: &str) -> DbResult<&Table> {
         match self.position(name) {
-            Some(i) => Ok(self.guards[i].1.table()),
+            Some(i) => Ok(self.pins[i].table()),
             None => Err(DbError::NotFound {
+                kind: "table",
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.set.views.get(&name.to_ascii_lowercase())
+    }
+}
+
+/// A fixed set of resolved table snapshots plus view definitions — the
+/// [`TableSource`] behind `AS OF` queries and in-transaction reads,
+/// where visibility comes from a historical cut or a private workspace
+/// rather than the current pin machinery.
+pub struct FrozenTables {
+    /// `(lowercase key, table)` pairs, sorted by key.
+    tables: Vec<(String, Arc<Table>)>,
+    views: HashMap<String, ViewDef>,
+}
+
+impl FrozenTables {
+    /// Builds a source from `(lowercase key, snapshot)` pairs.
+    pub(crate) fn new(mut tables: Vec<(String, Arc<Table>)>, views: HashMap<String, ViewDef>) -> FrozenTables {
+        tables.sort_by(|a, b| a.0.cmp(&b.0));
+        FrozenTables { tables, views }
+    }
+}
+
+impl TableSource for FrozenTables {
+    fn table(&self, name: &str) -> DbResult<&Table> {
+        let key = name.to_ascii_lowercase();
+        match self.tables.binary_search_by(|(k, _)| k.as_str().cmp(key.as_str())) {
+            Ok(i) => Ok(&self.tables[i].1),
+            Err(_) => Err(DbError::NotFound {
                 kind: "table",
                 name: name.to_owned(),
             }),
@@ -326,11 +422,14 @@ impl Collector<'_> {
             Statement::CreateIndex { table, .. } => self.touch(table, true),
             Statement::Explain { inner, .. } => self.stmt(inner),
             Statement::CreateView { query, .. } => self.select(query),
-            // Pure registry operations pin no tables.
+            // Pure registry/session operations pin no tables.
             Statement::CreateTable { .. }
             | Statement::DropTable { .. }
             | Statement::DropView { .. }
-            | Statement::ShowStats => {}
+            | Statement::ShowStats
+            | Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback => {}
         }
     }
 

@@ -12,27 +12,35 @@ use crate::catalog::{Blade, Catalog, ExecCtx};
 use crate::error::{DbError, DbResult};
 use crate::exec;
 use crate::obs::{OpProfile, QueryMetrics, SlowQuery, SlowQueryLogger, StatementKind};
-use crate::pin::{PinnedTables, TableSet, TableSource};
+use crate::pin::{FrozenTables, PinnedTables, TableSet, TableSource};
 use crate::plan::Planner;
-use crate::sql::ast::{Expr, InsertSource, SelectItem, SelectStmt, Statement};
+use crate::sql::ast::{AsOf, Expr, InsertSource, SelectItem, SelectStmt, Statement};
 use crate::sql::parse_statement;
-use crate::storage::{self, Column, Storage, Table, TableSchema};
+use crate::storage::{self, Column, SharedTable, Storage, Table, TableSchema};
 use crate::types::DataType;
 use crate::value::{Row, Value};
 use crate::wal::{
-    self, file::StdWalFile, record::TxnBuilder, DurabilityConfig, RecoveryReport, Wal,
-    WalStatsSnapshot,
+    self,
+    file::{StdWalFile, WalFile},
+    record::TxnBuilder,
+    DurabilityConfig, RecoveryReport, Wal, WalStatsSnapshot,
 };
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Bucket stride of interval indexes created by `CREATE INDEX` on
 /// interval-capable columns: 30 days of chronon seconds.
 const DEFAULT_INTERVAL_STRIDE: i64 = 30 * 86_400;
+
+/// How many versions a table's MVCC chain keeps beyond the oldest
+/// pinned snapshot. Bounds memory on write-heavy tables while leaving a
+/// window of recent history for `AS OF` queries (history collected past
+/// the window reports NotFound).
+const DEFAULT_VERSION_RETENTION: u64 = 64;
 
 /// Result rows plus output column metadata.
 #[derive(Debug)]
@@ -91,9 +99,80 @@ pub struct Database {
     generation: AtomicU64,
     /// The database-wide parameterized plan cache (see [`crate::cache`]).
     plan_cache: Mutex<PlanCache>,
+    /// MVCC commit state: the global commit counter and the snapshot
+    /// pins that hold back version garbage collection.
+    mvcc: MvccState,
     /// Durability state, present only on databases opened from a data
     /// directory ([`Database::open`]). In-memory databases pay nothing.
     durability: OnceLock<Arc<Durability>>,
+}
+
+/// Database-wide MVCC commit state: the global commit counter, the
+/// monotone commit-instant clock, and the registry of pinned snapshots.
+struct MvccState {
+    /// Serializes version publication so commit sequences are dense and
+    /// every table's chain appends in global commit order.
+    commit_lock: Mutex<()>,
+    /// The last published commit sequence; 0 = nothing committed yet.
+    commit_seq: AtomicU64,
+    /// The last commit instant (unix seconds), clamped monotone so
+    /// `AS OF <instant>` cuts stay consistent across tables even if the
+    /// wall clock steps backwards.
+    last_instant: AtomicI64,
+    /// `commit sequence -> pin count` for every live snapshot.
+    pinned: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl MvccState {
+    fn new() -> MvccState {
+        MvccState {
+            commit_lock: Mutex::new(()),
+            commit_seq: AtomicU64::new(0),
+            last_instant: AtomicI64::new(i64::MIN),
+            pinned: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The wall-clock instant for a commit, never earlier than any
+    /// previous commit's. Always the real clock — a session's NOW
+    /// override changes query semantics, not when commits happened.
+    /// Callers hold `commit_lock`, so load-max-store does not race.
+    fn next_instant(&self) -> i64 {
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0);
+        let t = now.max(self.last_instant.load(Ordering::Acquire));
+        self.last_instant.store(t, Ordering::Release);
+        t
+    }
+}
+
+/// An RAII registration of one reader's snapshot: while alive, the
+/// versions visible at `seq` cannot be garbage-collected. From
+/// [`Database::pin_snapshot`].
+pub struct SnapshotPin {
+    db: Arc<Database>,
+    seq: u64,
+}
+
+impl SnapshotPin {
+    /// The commit sequence this pin reads at.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl Drop for SnapshotPin {
+    fn drop(&mut self) {
+        let mut pinned = self.db.mvcc.pinned.lock();
+        if let Some(n) = pinned.get_mut(&self.seq) {
+            *n -= 1;
+            if *n == 0 {
+                pinned.remove(&self.seq);
+            }
+        }
+    }
 }
 
 /// Durable-mode state of a database: the data directory, the running
@@ -124,6 +203,7 @@ impl Database {
             registry: RwLock::new(Storage::new()),
             generation: AtomicU64::new(0),
             plan_cache: Mutex::new(PlanCache::new(PlanCache::DEFAULT_CAP)),
+            mvcc: MvccState::new(),
             durability: OnceLock::new(),
         })
     }
@@ -148,7 +228,31 @@ impl Database {
         cfg: DurabilityConfig,
         install: impl FnOnce(&Arc<Database>) -> DbResult<()>,
     ) -> DbResult<(Arc<Database>, RecoveryReport)> {
-        let dir = dir.as_ref().to_path_buf();
+        Database::open_internal(dir.as_ref(), cfg, install, |path, header| {
+            StdWalFile::create(path, header).map(|f| Box::new(f) as Box<dyn WalFile>)
+        })
+    }
+
+    /// [`Database::open_with`] where the live WAL file comes from `make`
+    /// instead of the filesystem — the seam fault-injection tests use to
+    /// substitute a [`FailpointFile`](crate::wal::file::FailpointFile).
+    /// Not part of the stable API surface.
+    #[doc(hidden)]
+    pub fn open_with_wal_file(
+        dir: impl AsRef<Path>,
+        cfg: DurabilityConfig,
+        make: impl FnOnce(&Path, &[u8]) -> std::io::Result<Box<dyn WalFile>>,
+    ) -> DbResult<(Arc<Database>, RecoveryReport)> {
+        Database::open_internal(dir.as_ref(), cfg, |_| Ok(()), make)
+    }
+
+    fn open_internal(
+        dir: &Path,
+        cfg: DurabilityConfig,
+        install: impl FnOnce(&Arc<Database>) -> DbResult<()>,
+        make: impl FnOnce(&Path, &[u8]) -> std::io::Result<Box<dyn WalFile>>,
+    ) -> DbResult<(Arc<Database>, RecoveryReport)> {
+        let dir = dir.to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| DbError::Persist {
             message: format!("create data dir {}: {e}", dir.display()),
         })?;
@@ -156,19 +260,23 @@ impl Database {
         let db = Database::new();
         install(&db)?;
         let (mut report, next_gen) = wal::recover::recover(&db, &dir)?;
+        // Recovery applied records to the live tables directly,
+        // bypassing version publication; publish the recovered state as
+        // one fresh commit so snapshot reads and AS OF line up with it.
+        db.republish_all();
         // Checkpoint-at-open: persist the recovered state under the next
         // generation and start a fresh log, so no old log replays twice.
         let snap = db.save_snapshot()?;
         wal::recover::write_snapshot_file(&dir, next_gen, &snap)?;
         let _ = std::fs::remove_file(dir.join(wal::recover::WAL_FILE_NEW));
-        let log = StdWalFile::create(
+        let log = make(
             &dir.join(wal::recover::WAL_FILE),
             &wal::record::encode_header(next_gen),
         )
         .map_err(|e| DbError::Persist {
             message: format!("create wal.log: {e}"),
         })?;
-        let w = Wal::start(Box::new(log), cfg.sync_mode);
+        let w = Wal::start(log, cfg.sync_mode);
         report.elapsed = started.elapsed();
         w.stats()
             .replayed
@@ -320,6 +428,132 @@ impl Database {
         Ok(())
     }
 
+    // ----- MVCC ------------------------------------------------------
+
+    /// The newest committed sequence number — what `AS OF COMMIT n`
+    /// addresses.
+    pub fn commit_seq(&self) -> u64 {
+        self.mvcc.commit_seq.load(Ordering::Acquire)
+    }
+
+    /// Pins the current committed snapshot. Reading the sequence and
+    /// registering the pin happen under one lock, so a concurrent
+    /// commit can never garbage-collect the versions this pin is about
+    /// to read between the two steps.
+    pub fn pin_snapshot(self: &Arc<Self>) -> SnapshotPin {
+        let mut pinned = self.mvcc.pinned.lock();
+        let seq = self.mvcc.commit_seq.load(Ordering::Acquire);
+        *pinned.entry(seq).or_insert(0) += 1;
+        drop(pinned);
+        SnapshotPin {
+            db: Arc::clone(self),
+            seq,
+        }
+    }
+
+    /// Pins an explicit (historical) sequence — the `AS OF` path. The
+    /// pin blocks garbage collection at or above `seq` for the query's
+    /// duration; versions already collected stay collected.
+    pub fn pin_snapshot_at(self: &Arc<Self>, seq: u64) -> SnapshotPin {
+        *self.mvcc.pinned.lock().entry(seq).or_insert(0) += 1;
+        SnapshotPin {
+            db: Arc::clone(self),
+            seq,
+        }
+    }
+
+    /// Publishes pre-cloned `(cell, snapshot)` pairs as one atomic
+    /// commit: every table gets the same fresh sequence and instant,
+    /// then each chain is garbage-collected down to what live pins and
+    /// the retention window still need. Callers must still hold the
+    /// write guards the snapshots were cloned under (or otherwise have
+    /// exclusive access), so chains append in commit order.
+    pub(crate) fn publish_prepared(&self, items: Vec<(SharedTable, Arc<Table>)>) {
+        if items.is_empty() {
+            return;
+        }
+        let _serial = self.mvcc.commit_lock.lock();
+        let seq = self.mvcc.commit_seq.load(Ordering::Acquire) + 1;
+        let instant = self.mvcc.next_instant();
+        for (cell, snap) in &items {
+            cell.publish(seq, instant, Arc::clone(snap));
+        }
+        self.mvcc.commit_seq.store(seq, Ordering::Release);
+        let floor = {
+            let pinned = self.mvcc.pinned.lock();
+            let oldest_pin = pinned.keys().next().copied().unwrap_or(u64::MAX);
+            oldest_pin.min(seq.saturating_sub(DEFAULT_VERSION_RETENTION))
+        };
+        for (cell, _) in &items {
+            cell.gc(floor);
+        }
+    }
+
+    /// Publishes every write-pinned table of a statement's pin set as
+    /// one commit (a no-op for read-only pins). Call with the pin still
+    /// held.
+    pub(crate) fn publish_pinned(&self, pinned: &PinnedTables<'_>) {
+        if pinned.has_writes() {
+            self.publish_prepared(pinned.prepared_publishes());
+        }
+    }
+
+    /// Stamps a just-created table's initial version with a fresh commit
+    /// point, so `AS OF` a time before creation reports NotFound instead
+    /// of an empty table. Call under the registry write lock, before any
+    /// statement can have pinned the new table.
+    pub(crate) fn stamp_creation(&self, cell: &SharedTable) {
+        let _serial = self.mvcc.commit_lock.lock();
+        let seq = self.mvcc.commit_seq.load(Ordering::Acquire) + 1;
+        let instant = self.mvcc.next_instant();
+        cell.rebase_creation(seq, instant);
+        self.mvcc.commit_seq.store(seq, Ordering::Release);
+    }
+
+    /// Re-publishes every table at one fresh commit sequence. Recovery
+    /// mutates live tables directly (bypassing version publication);
+    /// this brings the chains back in line. Only called while the
+    /// database is still single-threaded (open), so no write guards are
+    /// needed.
+    pub(crate) fn republish_all(&self) {
+        let items: Vec<(SharedTable, Arc<Table>)> = self
+            .registry
+            .read()
+            .shared_tables_sorted()
+            .into_iter()
+            .map(|(_, cell)| {
+                let snap = Arc::new(cell.read().clone());
+                (cell, snap)
+            })
+            .collect();
+        self.publish_prepared(items);
+    }
+
+    /// Total retained versions across every table — the `mvcc.versions`
+    /// gauge.
+    pub fn mvcc_versions(&self) -> u64 {
+        self.registry
+            .read()
+            .shared_tables_sorted()
+            .iter()
+            .map(|(_, c)| c.version_count() as u64)
+            .sum()
+    }
+
+    /// Snapshot pins currently registered — the `mvcc.snapshots_pinned`
+    /// gauge.
+    pub fn snapshots_pinned(&self) -> u64 {
+        self.mvcc.pinned.lock().values().map(|&n| n as u64).sum()
+    }
+
+    /// The MVCC gauges as `SHOW STATS` rows.
+    pub(crate) fn mvcc_rows(&self) -> Vec<(String, u64)> {
+        vec![
+            ("mvcc.versions".to_owned(), self.mvcc_versions()),
+            ("mvcc.snapshots_pinned".to_owned(), self.snapshots_pinned()),
+        ]
+    }
+
     /// Installs an extension blade (types, routines, casts, aggregates).
     pub fn install_blade(&self, blade: &dyn Blade) -> DbResult<()> {
         self.catalog.write().install_blade(blade)?;
@@ -380,7 +614,14 @@ impl Database {
     pub fn with_table_write<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> DbResult<R> {
         let shared = self.registry.read().shared_table(name)?;
         let mut guard = shared.write();
-        Ok(f(&mut guard))
+        let r = f(&mut guard);
+        // Publish the (possibly) mutated state while the guard is still
+        // held, so snapshot readers observe the bulk change as one
+        // commit.
+        let snap = Arc::new((*guard).clone());
+        self.publish_prepared(vec![(Arc::clone(&shared), snap)]);
+        drop(guard);
+        Ok(r)
     }
 
     /// Opens a session.
@@ -390,6 +631,7 @@ impl Database {
             now_override: None,
             metrics: QueryMetrics::new(),
             slow_query: None,
+            txn: Mutex::new(None),
         }
     }
 
@@ -476,6 +718,42 @@ pub struct Session {
     now_override: Option<i64>,
     metrics: Arc<QueryMetrics>,
     slow_query: Option<(Duration, SlowQueryLogger)>,
+    /// The open multi-statement transaction, if any (`BEGIN` …
+    /// `COMMIT`/`ROLLBACK`). Behind a mutex so `Session` stays `Sync`.
+    txn: Mutex<Option<TxnState>>,
+}
+
+/// A session's open multi-statement transaction.
+struct TxnState {
+    /// The snapshot everything in the transaction reads; pinning it
+    /// also holds back version garbage collection.
+    pin: SnapshotPin,
+    /// Workspace copies of every touched table, keyed by lowercase
+    /// name. The transaction's statements read and write these; nobody
+    /// else sees them until COMMIT.
+    tables: HashMap<String, TxnTable>,
+    /// Every applied operation in order — COMMIT replays them into one
+    /// WAL chunk.
+    ops: Vec<PendingOp>,
+}
+
+/// One table's private workspace inside a transaction.
+struct TxnTable {
+    cell: SharedTable,
+    /// Version sequence the workspace was cloned from. COMMIT refuses
+    /// (write-write conflict) if the chain moved past it.
+    base_seq: u64,
+    /// The private copy all in-transaction statements operate on.
+    work: Table,
+    /// Canonical table name, for WAL records.
+    name: String,
+}
+
+/// A buffered DML operation awaiting COMMIT.
+enum PendingOp {
+    Insert { table: String, rowid: u64, row: Row },
+    Update { table: String, rowid: u64, row: Row },
+    Delete { table: String, rowid: u64 },
 }
 
 impl Session {
@@ -624,8 +902,14 @@ impl Session {
         // replan later), never a stale plan served as fresh.
         let generation = self.db.ddl_generation();
         let param_sig = param_sig_of(params.as_ref());
-        if let Some(outcome) = self.try_cached(sql, params.as_ref(), generation, &param_sig)? {
-            return Ok(outcome);
+        // Inside a transaction every read must see the workspace, so the
+        // cached-plan fast path (which reads published versions) is
+        // skipped until COMMIT/ROLLBACK.
+        let in_txn = self.txn.lock().is_some();
+        if !in_txn {
+            if let Some(outcome) = self.try_cached(sql, params.as_ref(), generation, &param_sig)? {
+                return Ok(outcome);
+            }
         }
         let stmt = parse_statement(sql)?;
         let empty_params = HashMap::new();
@@ -638,6 +922,7 @@ impl Session {
             Statement::Delete { .. } => StatementKind::Delete,
             Statement::Explain { .. } => StatementKind::Explain,
             Statement::ShowStats => StatementKind::ShowStats,
+            Statement::Begin | Statement::Commit | Statement::Rollback => StatementKind::Txn,
             _ => StatementKind::Ddl,
         };
         // Resolve the statement's table set under a *short* registry
@@ -646,13 +931,49 @@ impl Session {
         // long statement and vice versa.
         let table_set = TableSet::for_statement(&self.db.registry.read(), &stmt);
         let outcome = match stmt {
+            Statement::Begin => self.txn_begin(),
+            Statement::Commit => self.txn_commit(),
+            Statement::Rollback => self.txn_rollback(),
+            // In-transaction routing: default-snapshot SELECTs and DML
+            // run against the private workspace. An AS OF SELECT falls
+            // through to the historical path below — time travel reads
+            // committed history, never uncommitted workspace state.
+            Statement::Select(ref sel) if in_txn && sel.as_of.is_none() => {
+                self.txn_select(&table_set, sel, sql, params_map, ctx)
+            }
+            s @ (Statement::Insert { .. } | Statement::Update { .. } | Statement::Delete { .. })
+                if in_txn =>
+            {
+                self.txn_dml(&table_set, s, sql, params_map, ctx)
+            }
+            Statement::CreateTable { .. }
+            | Statement::CreateIndex { .. }
+            | Statement::DropTable { .. }
+            | Statement::CreateView { .. }
+            | Statement::DropView { .. }
+            | Statement::Explain { .. }
+                if in_txn =>
+            {
+                Err(DbError::exec(
+                    "DDL and EXPLAIN are not supported inside a transaction; \
+                     COMMIT or ROLLBACK first",
+                ))
+            }
+            Statement::Select(ref sel) if sel.as_of.is_some() => {
+                self.run_select_as_of(&table_set, sel, sql, params_map, ctx)
+            }
             Statement::Select(sel) => {
                 let started = Instant::now();
                 self.metrics.record_plan_cache_miss();
                 let cache_tables = self
                     .cacheable(&sel, &table_set)
                     .then(|| table_set.table_keys());
-                let pinned = table_set.pin();
+                // Pin a snapshot (registering with the GC floor), then
+                // resolve each table's version at that sequence — no
+                // table lock taken at all, so writers never block this
+                // read and vice versa.
+                let snap = self.db.pin_snapshot();
+                let pinned = table_set.pin_at(snap.seq());
                 self.record_pin(&pinned);
                 let catalog = self.db.catalog.read();
                 // Deferred binding keeps `:name` slots in the plan, so
@@ -702,17 +1023,33 @@ impl Session {
                 }
                 let mut registry = self.db.registry.write();
                 registry.create_table(TableSchema {
-                    name,
+                    name: name.clone(),
                     columns: cols,
                 })?;
                 // Logged under the registry write lock, so WAL order
-                // matches DDL serialization order.
-                let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
-                drop(registry);
-                drop(catalog);
-                self.db.bump_generation();
-                self.db.wal_wait(seq)?;
-                Ok(StatementOutcome::Done)
+                // matches DDL serialization order. On append failure the
+                // create is undone before anyone could observe it (the
+                // registry write lock is still held): memory never holds
+                // a statement the log refused.
+                match self.db.wal_append(&catalog, |b| b.ddl(sql)) {
+                    Ok(seq) => {
+                        // Stamp the new table's initial version with a
+                        // fresh commit point, so AS OF before this moment
+                        // reports NotFound rather than an empty table.
+                        if let Ok(cell) = registry.shared_table(&name) {
+                            self.db.stamp_creation(&cell);
+                        }
+                        drop(registry);
+                        drop(catalog);
+                        self.db.bump_generation();
+                        self.db.wal_wait(seq)?;
+                        Ok(StatementOutcome::Done)
+                    }
+                    Err(e) => {
+                        let _ = registry.drop_table(&name);
+                        Err(e)
+                    }
+                }
             }
             Statement::CreateIndex {
                 name,
@@ -748,14 +1085,27 @@ impl Session {
                     }
                     _ => None,
                 };
+                // Duplicate names are rejected *before* the WAL append,
+                // and the append happens before the index is installed:
+                // a chunk that never reaches the log leaves the table
+                // untouched, and a logged chunk cannot fail to apply.
+                if t.indexes()
+                    .iter()
+                    .any(|ix| ix.name.eq_ignore_ascii_case(&name))
+                {
+                    return Err(DbError::AlreadyExists { kind: "index", name });
+                }
+                let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
                 match interval_bounds {
                     Some(bounds) => {
                         t.create_interval_index(name, col, bounds, DEFAULT_INTERVAL_STRIDE)?
                     }
                     None => t.create_index(name, col)?,
                 }
-                // Logged while the table pin is still held.
-                let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
+                // Publish while the write guard is held: snapshot
+                // readers resolve access paths from published versions,
+                // so the new index must enter the chain.
+                self.db.publish_pinned(&pinned);
                 // Not a registry write, but it changes the best access
                 // path: cached plans must replan to see the new index.
                 self.db.bump_generation();
@@ -769,17 +1119,26 @@ impl Session {
                 // the table's `Arc` and finish on the data they pinned.
                 let catalog = self.db.catalog.read();
                 let mut registry = self.db.registry.write();
-                match registry.drop_table(&name) {
-                    Ok(()) => {
-                        let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
-                        drop(registry);
-                        drop(catalog);
-                        self.db.bump_generation();
-                        self.db.wal_wait(seq)?;
+                // Existence is checked up front so the WAL append comes
+                // *before* the removal: an append failure leaves the
+                // table in memory, matching what replay will rebuild.
+                if !registry.has_table(&name) {
+                    if if_exists {
                         Ok(StatementOutcome::Done)
+                    } else {
+                        Err(DbError::NotFound {
+                            kind: "table",
+                            name,
+                        })
                     }
-                    Err(DbError::NotFound { .. }) if if_exists => Ok(StatementOutcome::Done),
-                    Err(e) => Err(e),
+                } else {
+                    let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
+                    registry.drop_table(&name)?;
+                    drop(registry);
+                    drop(catalog);
+                    self.db.bump_generation();
+                    self.db.wal_wait(seq)?;
+                    Ok(StatementOutcome::Done)
                 }
             }
             Statement::Insert {
@@ -856,26 +1215,43 @@ impl Session {
                     .to_owned();
                 let catalog = self.db.catalog.read();
                 let mut registry = self.db.registry.write();
-                registry.create_view(crate::storage::ViewDef { name, body_sql })?;
-                let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
-                drop(registry);
-                drop(catalog);
-                self.db.wal_wait(seq)?;
-                Ok(StatementOutcome::Done)
-            }
-            Statement::DropView { name, if_exists } => {
-                let catalog = self.db.catalog.read();
-                let mut registry = self.db.registry.write();
-                match registry.drop_view(&name) {
-                    Ok(()) => {
-                        let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
+                registry.create_view(crate::storage::ViewDef {
+                    name: name.clone(),
+                    body_sql,
+                })?;
+                // As with CREATE TABLE: undo the in-memory create if its
+                // chunk never reaches the log.
+                match self.db.wal_append(&catalog, |b| b.ddl(sql)) {
+                    Ok(seq) => {
                         drop(registry);
                         drop(catalog);
                         self.db.wal_wait(seq)?;
                         Ok(StatementOutcome::Done)
                     }
-                    Err(DbError::NotFound { .. }) if if_exists => Ok(StatementOutcome::Done),
-                    Err(e) => Err(e),
+                    Err(e) => {
+                        let _ = registry.drop_view(&name);
+                        Err(e)
+                    }
+                }
+            }
+            Statement::DropView { name, if_exists } => {
+                let catalog = self.db.catalog.read();
+                let mut registry = self.db.registry.write();
+                // Check-append-remove, as in DROP TABLE: the removal
+                // cannot fail after its chunk reached the log.
+                if registry.view(&name).is_none() {
+                    if if_exists {
+                        Ok(StatementOutcome::Done)
+                    } else {
+                        Err(DbError::NotFound { kind: "view", name })
+                    }
+                } else {
+                    let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
+                    registry.drop_view(&name)?;
+                    drop(registry);
+                    drop(catalog);
+                    self.db.wal_wait(seq)?;
+                    Ok(StatementOutcome::Done)
                 }
             }
             Statement::Explain { inner, analyze } => {
@@ -938,13 +1314,14 @@ impl Session {
             }
             Statement::ShowStats => {
                 // Session counters, then the database-wide WAL counters
-                // (all zero on an in-memory database).
+                // (all zero on an in-memory database) and MVCC gauges.
                 let rows = self
                     .metrics
                     .snapshot()
                     .rows()
                     .into_iter()
                     .chain(self.db.wal_stats().rows())
+                    .chain(self.db.mvcc_rows())
                     .map(|(metric, value)| {
                         vec![
                             Value::Str(metric),
@@ -1006,7 +1383,9 @@ impl Session {
         // DROP also bumped the generation, so the entry dies on its
         // next lookup).
         let table_set = TableSet::read_only(&self.db.registry.read(), &entry.tables)?;
-        let pinned = table_set.pin();
+        // Same snapshot protocol as the fresh SELECT path: lock-free.
+        let snap = self.db.pin_snapshot();
+        let pinned = table_set.pin_at(snap.seq());
         self.record_pin(&pinned);
         if is_explain {
             // EXPLAIN ANALYZE from cache: same instrumentation as the
@@ -1048,7 +1427,7 @@ impl Session {
     /// and its text can change under the same name — a deliberate
     /// non-caching choice, not a correctness limit).
     fn cacheable(&self, sel: &SelectStmt, table_set: &TableSet) -> bool {
-        !table_set.uses_views() && !select_has_subquery(sel)
+        !table_set.uses_views() && sel.as_of.is_none() && !select_has_subquery(sel)
     }
 
     /// Executes a statement expected to return rows.
@@ -1087,63 +1466,27 @@ impl Session {
         self.record_pin(&pinned);
         let catalog = self.db.catalog.read();
         let schema = pinned.table(table)?.schema.clone();
-        let target_cols: Vec<usize> = match &columns {
-            Some(names) => {
-                let mut idxs = Vec::with_capacity(names.len());
-                for n in names {
-                    let i = schema.col_index(n).ok_or_else(|| DbError::NotFound {
-                        kind: "column",
-                        name: format!("{table}.{n}"),
-                    })?;
-                    if idxs.contains(&i) {
-                        return Err(DbError::Constraint {
-                            message: format!("column {n} listed twice"),
-                        });
-                    }
-                    idxs.push(i);
-                }
-                idxs
-            }
-            None => (0..schema.columns.len()).collect(),
-        };
-        let planner = Planner::new(&catalog, &pinned, params, ctx.clone());
-        let scope = crate::binder::Scope::default();
-        let mut to_insert = Vec::with_capacity(rows.len());
-        for exprs in rows {
-            if exprs.len() != target_cols.len() {
-                return Err(DbError::Constraint {
-                    message: format!(
-                        "INSERT has {} value(s) but {} column(s)",
-                        exprs.len(),
-                        target_cols.len()
-                    ),
-                });
-            }
-            let mut row: Row = vec![Value::Null; schema.columns.len()];
-            for (e, &col) in exprs.iter().zip(&target_cols) {
-                let e = planner.resolve_subqueries(e)?;
-                let bound = planner.binder.bind(&e, &scope)?;
-                let coerced = planner
-                    .binder
-                    .coerce(bound, schema.columns[col].ty, false)?;
-                row[col] = coerced.eval(&ctx, &[])?;
-            }
-            to_insert.push(row);
-        }
+        let target_cols = resolve_target_cols(&schema, table, &columns)?;
+        let to_insert =
+            eval_insert_values(&catalog, &pinned, &schema, &target_cols, &rows, params, &ctx)?;
         let t = pinned.table_mut(table)?;
-        let n = to_insert.len();
-        let mut rowids = Vec::with_capacity(n);
-        for row in to_insert {
-            rowids.push(t.insert(row));
-        }
-        // WAL append happens before the table guard is released, so log
-        // order equals lock serialization order.
+        // Log *before* applying, against the rowids the inserts are
+        // about to land on (the free list is deterministic): a chunk
+        // that never reaches the log leaves memory untouched, so the
+        // statement is refused cleanly instead of surviving unlogged.
+        let rowids = t.planned_rowids(to_insert.len());
         let seq = self.db.wal_append(&catalog, |b| {
-            for &rid in &rowids {
-                b.insert(&schema.name, rid as u64, t.get(rid).expect("just inserted"))?;
+            for (&rid, row) in rowids.iter().zip(&to_insert) {
+                b.insert(&schema.name, rid as u64, row)?;
             }
             Ok(())
         })?;
+        let n = to_insert.len();
+        for (row, &rid) in to_insert.into_iter().zip(&rowids) {
+            let got = t.insert(row);
+            debug_assert_eq!(got, rid, "planned rowid diverged from insert");
+        }
+        self.db.publish_pinned(&pinned);
         drop(pinned);
         drop(catalog);
         self.db.wal_wait(seq)?;
@@ -1165,83 +1508,24 @@ impl Session {
         self.record_pin(&pinned);
         let catalog = self.db.catalog.read();
         let schema = pinned.table(table)?.schema.clone();
-        let target_cols: Vec<usize> = match &columns {
-            Some(names) => {
-                let mut idxs = Vec::with_capacity(names.len());
-                for n in names {
-                    let i = schema.col_index(n).ok_or_else(|| DbError::NotFound {
-                        kind: "column",
-                        name: format!("{table}.{n}"),
-                    })?;
-                    if idxs.contains(&i) {
-                        return Err(DbError::Constraint {
-                            message: format!("column {n} listed twice"),
-                        });
-                    }
-                    idxs.push(i);
-                }
-                idxs
-            }
-            None => (0..schema.columns.len()).collect(),
-        };
-        let planner = Planner::new(&catalog, &pinned, params, ctx.clone());
-        let planned = planner.plan_select(select)?;
-        if planned.columns.len() != target_cols.len() {
-            return Err(DbError::Constraint {
-                message: format!(
-                    "INSERT … SELECT produces {} column(s) but {} are targeted",
-                    planned.columns.len(),
-                    target_cols.len()
-                ),
-            });
-        }
-        // Precompute per-column coercions (identity, or an implicit cast).
-        let mut coercions: Vec<Option<crate::catalog::CastFnImpl>> =
-            Vec::with_capacity(target_cols.len());
-        for ((_, src_ty), &col) in planned.columns.iter().zip(&target_cols) {
-            let dst_ty = schema.columns[col].ty;
-            if *src_ty == dst_ty || *src_ty == DataType::Null {
-                coercions.push(None);
-            } else {
-                let cast = catalog.find_cast(*src_ty, dst_ty, false).ok_or_else(|| {
-                    DbError::NoOverload {
-                        what: format!(
-                            "cast {} -> {} for INSERT … SELECT",
-                            catalog.type_name(*src_ty),
-                            catalog.type_name(dst_ty)
-                        ),
-                    }
-                })?;
-                coercions.push(Some(cast.f.clone()));
-            }
-        }
-        let produced = crate::exec::execute(&planned.plan, &pinned, &ctx)?;
-        // Two-phase: coerce the whole change set first, then apply — a
-        // coercion error mid-stream must not leave a partial insert, and
-        // the WAL chunk must describe exactly what was applied.
-        let mut to_insert = Vec::with_capacity(produced.len());
-        for src in produced {
-            let mut row: Row = vec![Value::Null; schema.columns.len()];
-            for ((v, &col), coerce) in src.into_iter().zip(&target_cols).zip(&coercions) {
-                row[col] = match (coerce, v.is_null()) {
-                    (Some(f), false) => f(&ctx, &v)?,
-                    _ => v,
-                };
-            }
-            to_insert.push(row);
-        }
+        let target_cols = resolve_target_cols(&schema, table, &columns)?;
+        let to_insert =
+            eval_insert_select(&catalog, &pinned, &schema, &target_cols, select, params, &ctx)?;
         let t = pinned.table_mut(table)?;
-        let n = to_insert.len();
-        let mut rowids = Vec::with_capacity(n);
-        for row in to_insert {
-            rowids.push(t.insert(row));
-        }
+        // Same log-before-apply protocol as plain INSERT.
+        let rowids = t.planned_rowids(to_insert.len());
         let seq = self.db.wal_append(&catalog, |b| {
-            for &rid in &rowids {
-                b.insert(&schema.name, rid as u64, t.get(rid).expect("just inserted"))?;
+            for (&rid, row) in rowids.iter().zip(&to_insert) {
+                b.insert(&schema.name, rid as u64, row)?;
             }
             Ok(())
         })?;
+        let n = to_insert.len();
+        for (row, &rid) in to_insert.into_iter().zip(&rowids) {
+            let got = t.insert(row);
+            debug_assert_eq!(got, rid, "planned rowid diverged from insert");
+        }
+        self.db.publish_pinned(&pinned);
         drop(pinned);
         drop(catalog);
         self.db.wal_wait(seq)?;
@@ -1275,48 +1559,19 @@ impl Session {
         self.record_pin(&pinned);
         let catalog = self.db.catalog.read();
         let schema = pinned.table(table)?.schema.clone();
-        let scope = Self::table_scope(&schema);
-        let planner = Planner::new(&catalog, &pinned, params, ctx.clone());
-        let mut bound_sets = Vec::with_capacity(sets.len());
-        for (name, e) in &sets {
-            let col = schema.col_index(name).ok_or_else(|| DbError::NotFound {
-                kind: "column",
-                name: format!("{table}.{name}"),
-            })?;
-            let e = planner.resolve_subqueries(e)?;
-            let bound = planner.binder.bind(&e, &scope)?;
-            let coerced = planner
-                .binder
-                .coerce(bound, schema.columns[col].ty, false)?;
-            bound_sets.push((col, coerced));
-        }
-        let pred = match &where_clause {
-            Some(w) => {
-                let w = planner.resolve_subqueries(w)?;
-                Some(planner.bind_folded(&w, &scope)?)
-            }
-            None => None,
-        };
+        let snapshot = pinned.table(table)?.scan();
+        let changes = eval_update_changes(
+            &catalog,
+            &pinned,
+            &schema,
+            table,
+            snapshot,
+            &sets,
+            &where_clause,
+            params,
+            &ctx,
+        )?;
         let t = pinned.table_mut(table)?;
-        let snapshot = t.scan();
-        // Two-phase: evaluate the full change set before mutating, so an
-        // evaluation error leaves the table untouched and the WAL chunk
-        // describes exactly what was applied.
-        let mut changes: Vec<(usize, Row)> = Vec::new();
-        for (rowid, row) in snapshot {
-            let keep = match &pred {
-                Some(p) => p.eval(&ctx, &row)?.as_bool() == Some(true),
-                None => true,
-            };
-            if !keep {
-                continue;
-            }
-            let mut new_row = row.clone();
-            for (col, e) in &bound_sets {
-                new_row[*col] = e.eval(&ctx, &row)?;
-            }
-            changes.push((rowid, new_row));
-        }
         let seq = self.db.wal_append(&catalog, |b| {
             for (rid, row) in &changes {
                 b.update(&schema.name, *rid as u64, row)?;
@@ -1327,6 +1582,7 @@ impl Session {
         for (rowid, new_row) in changes {
             t.update(rowid, new_row);
         }
+        self.db.publish_pinned(&pinned);
         drop(pinned);
         drop(catalog);
         self.db.wal_wait(seq)?;
@@ -1345,29 +1601,17 @@ impl Session {
         self.record_pin(&pinned);
         let catalog = self.db.catalog.read();
         let schema = pinned.table(table)?.schema.clone();
-        let scope = Self::table_scope(&schema);
-        let planner = Planner::new(&catalog, &pinned, params, ctx.clone());
-        let pred = match &where_clause {
-            Some(w) => {
-                let w = planner.resolve_subqueries(w)?;
-                Some(planner.bind_folded(&w, &scope)?)
-            }
-            None => None,
-        };
+        let snapshot = pinned.table(table)?.scan();
+        let victims = eval_delete_victims(
+            &catalog,
+            &pinned,
+            &schema,
+            snapshot,
+            &where_clause,
+            params,
+            &ctx,
+        )?;
         let t = pinned.table_mut(table)?;
-        let snapshot = t.scan();
-        // Two-phase, as in UPDATE: decide the victim set fully before
-        // deleting anything.
-        let mut victims = Vec::new();
-        for (rowid, row) in snapshot {
-            let hit = match &pred {
-                Some(p) => p.eval(&ctx, &row)?.as_bool() == Some(true),
-                None => true,
-            };
-            if hit {
-                victims.push(rowid);
-            }
-        }
         let seq = self.db.wal_append(&catalog, |b| {
             for &rid in &victims {
                 b.delete(&schema.name, rid as u64)?;
@@ -1380,11 +1624,667 @@ impl Session {
                 affected += 1;
             }
         }
+        self.db.publish_pinned(&pinned);
         drop(pinned);
         drop(catalog);
         self.db.wal_wait(seq)?;
         Ok(StatementOutcome::Affected(affected))
     }
+
+    // ----- Transactions ----------------------------------------------
+
+    /// `BEGIN`: pins a snapshot and opens a statement-buffering
+    /// transaction on this session.
+    fn txn_begin(&self) -> DbResult<StatementOutcome> {
+        let mut txn = self.txn.lock();
+        if txn.is_some() {
+            return Err(DbError::exec(
+                "a transaction is already open; COMMIT or ROLLBACK first",
+            ));
+        }
+        *txn = Some(TxnState {
+            pin: self.db.pin_snapshot(),
+            tables: HashMap::new(),
+            ops: Vec::new(),
+        });
+        self.metrics.record_txn_begun();
+        Ok(StatementOutcome::Done)
+    }
+
+    /// `ROLLBACK`: discards the workspace — nothing was applied or
+    /// logged, so there is nothing else to undo.
+    fn txn_rollback(&self) -> DbResult<StatementOutcome> {
+        if self.txn.lock().take().is_none() {
+            return Err(DbError::exec("no transaction is open"));
+        }
+        self.metrics.record_txn_rolled_back();
+        Ok(StatementOutcome::Done)
+    }
+
+    /// `COMMIT`: write-write conflict check against each touched
+    /// table's base version, one WAL chunk for the whole transaction,
+    /// then an atomic publish of every workspace table.
+    fn txn_commit(&self) -> DbResult<StatementOutcome> {
+        let Some(txn) = self.txn.lock().take() else {
+            return Err(DbError::exec("no transaction is open"));
+        };
+        let TxnState { pin, tables, ops } = txn;
+        if ops.is_empty() {
+            // Read-only transaction: nothing to log or publish.
+            drop(pin);
+            self.metrics.record_txn_committed();
+            return Ok(StatementOutcome::Done);
+        }
+        // Lock every touched table in sorted order (the same order
+        // pinned statements use), so commits cannot deadlock.
+        let mut entries: Vec<(String, TxnTable)> = tables.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut guards: Vec<_> = entries.iter().map(|(_, tt)| tt.cell.write()).collect();
+        // First committer wins: if any chain moved past the version
+        // this transaction built on, a concurrent commit got there
+        // first. Checked under the write guards, so the answer cannot
+        // change before we publish.
+        for (_, tt) in &entries {
+            if tt.cell.latest_seq() != tt.base_seq {
+                self.metrics.record_txn_rolled_back();
+                return Err(DbError::exec(format!(
+                    "write-write conflict on table {}: a concurrent commit got there first",
+                    tt.name
+                )));
+            }
+        }
+        let catalog = self.db.catalog.read();
+        // One chunk for the whole transaction: recovery replays all of
+        // it or none of it. If the append is refused the in-memory
+        // tables were never touched (every write is still buffered in
+        // the workspace), so refusing the COMMIT is a clean abort.
+        let seq = match self.db.wal_append(&catalog, |b| {
+            for op in &ops {
+                match op {
+                    PendingOp::Insert { table, rowid, row } => b.insert(table, *rowid, row)?,
+                    PendingOp::Update { table, rowid, row } => b.update(table, *rowid, row)?,
+                    PendingOp::Delete { table, rowid } => b.delete(table, *rowid)?,
+                }
+            }
+            Ok(())
+        }) {
+            Ok(seq) => seq,
+            Err(e) => {
+                self.metrics.record_txn_rolled_back();
+                return Err(e);
+            }
+        };
+        let mut publishes = Vec::with_capacity(entries.len());
+        for ((_, tt), g) in entries.iter().zip(guards.iter_mut()) {
+            **g = tt.work.clone();
+            publishes.push((Arc::clone(&tt.cell), Arc::new(tt.work.clone())));
+        }
+        self.db.publish_prepared(publishes);
+        drop(guards);
+        drop(entries);
+        drop(pin);
+        drop(catalog);
+        self.db.wal_wait(seq)?;
+        self.metrics.record_txn_committed();
+        Ok(StatementOutcome::Done)
+    }
+
+    /// Materializes `table` in the transaction workspace on first
+    /// touch: a private copy of the table's version at the transaction
+    /// snapshot. Returns the lowercase workspace key.
+    fn txn_touch(&self, txn: &mut TxnState, table: &str) -> DbResult<String> {
+        let key = table.to_ascii_lowercase();
+        if !txn.tables.contains_key(&key) {
+            let cell = self.db.registry.read().shared_table(&key)?;
+            let (base_seq, snap) = cell.version_at(txn.pin.seq()).ok_or(DbError::NotFound {
+                kind: "table",
+                name: table.to_owned(),
+            })?;
+            let name = snap.schema.name.clone();
+            txn.tables.insert(
+                key.clone(),
+                TxnTable {
+                    cell,
+                    base_seq,
+                    work: (*snap).clone(),
+                    name,
+                },
+            );
+        }
+        Ok(key)
+    }
+
+    /// SELECT inside an open transaction: reads the workspace overlay
+    /// (own uncommitted writes) over the transaction snapshot, with no
+    /// table locks.
+    fn txn_select(
+        &self,
+        table_set: &TableSet,
+        sel: &SelectStmt,
+        sql: &str,
+        params: &HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> DbResult<StatementOutcome> {
+        let started = Instant::now();
+        let frozen = {
+            let guard = self.txn.lock();
+            let txn = guard.as_ref().expect("caller checked txn");
+            frozen_for_txn(table_set, txn)?
+        };
+        let catalog = self.db.catalog.read();
+        let planner = Planner::new(&catalog, &frozen, params, ctx.clone());
+        let planned = planner.plan_select(sel)?;
+        let prof = OpProfile::paths_only(&planned.plan);
+        let rows = exec::execute_with(&planned.plan, &frozen, &ctx, Some(&prof))?;
+        prof.charge_scans(&self.metrics);
+        drop(catalog);
+        self.observe_select(sql, &planned.plan, rows.len() as u64, started.elapsed());
+        Ok(StatementOutcome::Rows(QueryResult {
+            columns: planned.columns,
+            rows,
+        }))
+    }
+
+    /// Routes one buffered DML statement into the transaction
+    /// workspace.
+    fn txn_dml(
+        &self,
+        table_set: &TableSet,
+        stmt: Statement,
+        sql: &str,
+        params: &HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> DbResult<StatementOutcome> {
+        let started = Instant::now();
+        let (desc, outcome) = match stmt {
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => (
+                format!("insert({table})"),
+                self.txn_insert(table_set, &table, columns, source, params, ctx),
+            ),
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => (
+                format!("update({table})"),
+                self.txn_update(table_set, &table, sets, where_clause, params, ctx),
+            ),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => (
+                format!("delete({table})"),
+                self.txn_delete(table_set, &table, where_clause, params, ctx),
+            ),
+            _ => unreachable!("caller routes only DML here"),
+        };
+        self.observe_dml(sql, &desc, &outcome, started.elapsed());
+        outcome
+    }
+
+    fn txn_insert(
+        &self,
+        set: &TableSet,
+        table: &str,
+        columns: Option<Vec<String>>,
+        source: InsertSource,
+        params: &HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> DbResult<StatementOutcome> {
+        let mut guard = self.txn.lock();
+        let txn = guard.as_mut().expect("caller checked txn");
+        let key = self.txn_touch(txn, table)?;
+        let schema = txn.tables[&key].work.schema.clone();
+        let catalog = self.db.catalog.read();
+        let target_cols = resolve_target_cols(&schema, table, &columns)?;
+        let frozen = frozen_for_txn(set, txn)?;
+        let to_insert = match source {
+            InsertSource::Values(rows) => {
+                eval_insert_values(&catalog, &frozen, &schema, &target_cols, &rows, params, &ctx)?
+            }
+            InsertSource::Query(select) => {
+                eval_insert_select(&catalog, &frozen, &schema, &target_cols, &select, params, &ctx)?
+            }
+        };
+        let n = to_insert.len();
+        let tt = txn.tables.get_mut(&key).expect("touched above");
+        for row in to_insert {
+            let rowid = tt.work.insert(row.clone()) as u64;
+            txn.ops.push(PendingOp::Insert {
+                table: tt.name.clone(),
+                rowid,
+                row,
+            });
+        }
+        Ok(StatementOutcome::Affected(n))
+    }
+
+    fn txn_update(
+        &self,
+        set: &TableSet,
+        table: &str,
+        sets: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+        params: &HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> DbResult<StatementOutcome> {
+        let mut guard = self.txn.lock();
+        let txn = guard.as_mut().expect("caller checked txn");
+        let key = self.txn_touch(txn, table)?;
+        let schema = txn.tables[&key].work.schema.clone();
+        let catalog = self.db.catalog.read();
+        let frozen = frozen_for_txn(set, txn)?;
+        let snapshot = txn.tables[&key].work.scan();
+        let changes = eval_update_changes(
+            &catalog,
+            &frozen,
+            &schema,
+            table,
+            snapshot,
+            &sets,
+            &where_clause,
+            params,
+            &ctx,
+        )?;
+        let affected = changes.len();
+        let tt = txn.tables.get_mut(&key).expect("touched above");
+        for (rowid, new_row) in changes {
+            tt.work.update(rowid, new_row.clone());
+            txn.ops.push(PendingOp::Update {
+                table: tt.name.clone(),
+                rowid: rowid as u64,
+                row: new_row,
+            });
+        }
+        Ok(StatementOutcome::Affected(affected))
+    }
+
+    fn txn_delete(
+        &self,
+        set: &TableSet,
+        table: &str,
+        where_clause: Option<Expr>,
+        params: &HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> DbResult<StatementOutcome> {
+        let mut guard = self.txn.lock();
+        let txn = guard.as_mut().expect("caller checked txn");
+        let key = self.txn_touch(txn, table)?;
+        let schema = txn.tables[&key].work.schema.clone();
+        let catalog = self.db.catalog.read();
+        let frozen = frozen_for_txn(set, txn)?;
+        let snapshot = txn.tables[&key].work.scan();
+        let victims = eval_delete_victims(
+            &catalog,
+            &frozen,
+            &schema,
+            snapshot,
+            &where_clause,
+            params,
+            &ctx,
+        )?;
+        let mut affected = 0;
+        let tt = txn.tables.get_mut(&key).expect("touched above");
+        for rowid in victims {
+            if tt.work.delete(rowid) {
+                affected += 1;
+                txn.ops.push(PendingOp::Delete {
+                    table: tt.name.clone(),
+                    rowid: rowid as u64,
+                });
+            }
+        }
+        Ok(StatementOutcome::Affected(affected))
+    }
+
+    /// `SELECT … AS OF`: time travel against committed history only —
+    /// an open transaction's workspace is deliberately invisible here.
+    fn run_select_as_of(
+        &self,
+        table_set: &TableSet,
+        sel: &SelectStmt,
+        sql: &str,
+        params: &HashMap<String, Value>,
+        ctx: ExecCtx,
+    ) -> DbResult<StatementOutcome> {
+        let started = Instant::now();
+        let catalog = self.db.catalog.read();
+        let as_of = sel.as_of.as_ref().expect("caller checked as_of");
+        let point = eval_as_of_point(&catalog, as_of, params, &ctx)?;
+        // Pin the target sequence so GC cannot collect the versions out
+        // from under the scan. Instants don't know their sequence, so
+        // they pin the whole chain for the statement's duration.
+        let _pin = match point {
+            TimePoint::Seq(n) => self.db.pin_snapshot_at(n),
+            TimePoint::Instant(_) => self.db.pin_snapshot_at(0),
+        };
+        let frozen = frozen_at_point(table_set, point)?;
+        let planner = Planner::new(&catalog, &frozen, params, ctx.clone());
+        let planned = planner.plan_select(sel)?;
+        let prof = OpProfile::paths_only(&planned.plan);
+        let rows = exec::execute_with(&planned.plan, &frozen, &ctx, Some(&prof))?;
+        prof.charge_scans(&self.metrics);
+        drop(catalog);
+        self.observe_select(sql, &planned.plan, rows.len() as u64, started.elapsed());
+        Ok(StatementOutcome::Rows(QueryResult {
+            columns: planned.columns,
+            rows,
+        }))
+    }
+}
+
+// ----- Transaction & AS OF helpers -----------------------------------
+
+/// A resolved `AS OF` target: a commit sequence or a wall-clock
+/// instant.
+#[derive(Clone, Copy)]
+enum TimePoint {
+    Seq(u64),
+    Instant(i64),
+}
+
+/// Freezes the statement's table set at the transaction snapshot, with
+/// workspace overlays for tables the transaction has already touched.
+fn frozen_for_txn(set: &TableSet, txn: &TxnState) -> DbResult<FrozenTables> {
+    let mut tables = Vec::with_capacity(set.len());
+    for (key, cell) in set.entries() {
+        let snap = match txn.tables.get(key) {
+            Some(tt) => Arc::new(tt.work.clone()),
+            None => cell.snapshot_at(txn.pin.seq()).ok_or(DbError::NotFound {
+                kind: "table",
+                name: key.to_owned(),
+            })?,
+        };
+        tables.push((key.to_owned(), snap));
+    }
+    Ok(FrozenTables::new(tables, set.views().clone()))
+}
+
+/// Freezes the statement's table set at an explicit time-travel point.
+/// A table with no version at the point (not created yet, or its
+/// history was garbage-collected past the retention window) reports
+/// `NotFound`.
+fn frozen_at_point(set: &TableSet, point: TimePoint) -> DbResult<FrozenTables> {
+    let mut tables = Vec::with_capacity(set.len());
+    for (key, cell) in set.entries() {
+        let snap = match point {
+            TimePoint::Seq(n) => cell.snapshot_at(n),
+            TimePoint::Instant(t) => cell.snapshot_at_instant(t),
+        };
+        let snap = snap.ok_or(DbError::NotFound {
+            kind: "table",
+            name: key.to_owned(),
+        })?;
+        tables.push((key.to_owned(), snap));
+    }
+    Ok(FrozenTables::new(tables, set.views().clone()))
+}
+
+/// Evaluates the `AS OF` operand — a table-free scalar expression —
+/// into a [`TimePoint`].
+fn eval_as_of_point(
+    catalog: &Catalog,
+    as_of: &AsOf,
+    params: &HashMap<String, Value>,
+    ctx: &ExecCtx,
+) -> DbResult<TimePoint> {
+    let empty = FrozenTables::new(Vec::new(), HashMap::new());
+    let planner = Planner::new(catalog, &empty, params, ctx.clone());
+    let scope = crate::binder::Scope::default();
+    let eval = |e: &Expr| -> DbResult<Value> {
+        let e = planner.resolve_subqueries(e)?;
+        let bound = planner.binder.bind(&e, &scope)?;
+        bound.eval(ctx, &[])
+    };
+    match as_of {
+        AsOf::Commit(e) => {
+            let v = eval(e)?;
+            let n = v.as_int().ok_or_else(|| {
+                DbError::type_err("AS OF COMMIT expects an integer commit sequence")
+            })?;
+            if n < 0 {
+                return Err(DbError::type_err(
+                    "AS OF COMMIT expects a non-negative commit sequence",
+                ));
+            }
+            Ok(TimePoint::Seq(n as u64))
+        }
+        AsOf::Instant(e) => Ok(TimePoint::Instant(instant_of(catalog, &eval(e)?)?)),
+    }
+}
+
+/// Coerces an evaluated `AS OF` operand into Unix seconds: a plain
+/// integer, or any temporal UDT with an interval key (its low edge).
+fn instant_of(catalog: &Catalog, v: &Value) -> DbResult<i64> {
+    if let Some(n) = v.as_int() {
+        return Ok(n);
+    }
+    if let Some(u) = v.as_udt() {
+        if let Ok(def) = catalog.type_def(u.type_id()) {
+            if let Some(key) = def.interval_key.as_ref() {
+                if let Some((lo, _)) = key(u) {
+                    return Ok(lo);
+                }
+            }
+        }
+    }
+    Err(DbError::type_err(
+        "AS OF expects unix seconds or a temporal value",
+    ))
+}
+
+/// Resolves an optional INSERT column list into target column indexes,
+/// rejecting unknown and duplicate columns.
+fn resolve_target_cols(
+    schema: &TableSchema,
+    table: &str,
+    columns: &Option<Vec<String>>,
+) -> DbResult<Vec<usize>> {
+    match columns {
+        Some(names) => {
+            let mut idxs = Vec::with_capacity(names.len());
+            for n in names {
+                let i = schema.col_index(n).ok_or_else(|| DbError::NotFound {
+                    kind: "column",
+                    name: format!("{table}.{n}"),
+                })?;
+                if idxs.contains(&i) {
+                    return Err(DbError::Constraint {
+                        message: format!("column {n} listed twice"),
+                    });
+                }
+                idxs.push(i);
+            }
+            Ok(idxs)
+        }
+        None => Ok((0..schema.columns.len()).collect()),
+    }
+}
+
+/// Evaluates INSERT … VALUES rows into full-width rows. Two-phase: any
+/// evaluation error leaves nothing applied.
+fn eval_insert_values(
+    catalog: &Catalog,
+    source: &dyn TableSource,
+    schema: &TableSchema,
+    target_cols: &[usize],
+    rows: &[Vec<Expr>],
+    params: &HashMap<String, Value>,
+    ctx: &ExecCtx,
+) -> DbResult<Vec<Row>> {
+    let planner = Planner::new(catalog, source, params, ctx.clone());
+    let scope = crate::binder::Scope::default();
+    let mut out = Vec::with_capacity(rows.len());
+    for exprs in rows {
+        if exprs.len() != target_cols.len() {
+            return Err(DbError::Constraint {
+                message: format!(
+                    "INSERT has {} value(s) but {} column(s)",
+                    exprs.len(),
+                    target_cols.len()
+                ),
+            });
+        }
+        let mut row: Row = vec![Value::Null; schema.columns.len()];
+        for (e, &col) in exprs.iter().zip(target_cols) {
+            let e = planner.resolve_subqueries(e)?;
+            let bound = planner.binder.bind(&e, &scope)?;
+            let coerced = planner.binder.coerce(bound, schema.columns[col].ty, false)?;
+            row[col] = coerced.eval(ctx, &[])?;
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Plans and runs the SELECT side of `INSERT … SELECT` against
+/// `source`, coercing each produced row to the target column types.
+fn eval_insert_select(
+    catalog: &Catalog,
+    source: &dyn TableSource,
+    schema: &TableSchema,
+    target_cols: &[usize],
+    select: &SelectStmt,
+    params: &HashMap<String, Value>,
+    ctx: &ExecCtx,
+) -> DbResult<Vec<Row>> {
+    let planner = Planner::new(catalog, source, params, ctx.clone());
+    let planned = planner.plan_select(select)?;
+    if planned.columns.len() != target_cols.len() {
+        return Err(DbError::Constraint {
+            message: format!(
+                "INSERT … SELECT produces {} column(s) but {} are targeted",
+                planned.columns.len(),
+                target_cols.len()
+            ),
+        });
+    }
+    // Precompute per-column coercions (identity, or an implicit cast).
+    let mut coercions: Vec<Option<crate::catalog::CastFnImpl>> =
+        Vec::with_capacity(target_cols.len());
+    for ((_, src_ty), &col) in planned.columns.iter().zip(target_cols) {
+        let dst_ty = schema.columns[col].ty;
+        if *src_ty == dst_ty || *src_ty == DataType::Null {
+            coercions.push(None);
+        } else {
+            let cast =
+                catalog
+                    .find_cast(*src_ty, dst_ty, false)
+                    .ok_or_else(|| DbError::NoOverload {
+                        what: format!(
+                            "cast {} -> {} for INSERT … SELECT",
+                            catalog.type_name(*src_ty),
+                            catalog.type_name(dst_ty)
+                        ),
+                    })?;
+            coercions.push(Some(cast.f.clone()));
+        }
+    }
+    let produced = crate::exec::execute(&planned.plan, source, ctx)?;
+    // Two-phase: coerce the whole change set before anything is
+    // applied, so a coercion error mid-stream cannot leave a partial
+    // insert.
+    let mut out = Vec::with_capacity(produced.len());
+    for src in produced {
+        let mut row: Row = vec![Value::Null; schema.columns.len()];
+        for ((v, &col), coerce) in src.into_iter().zip(target_cols).zip(&coercions) {
+            row[col] = match (coerce, v.is_null()) {
+                (Some(f), false) => f(ctx, &v)?,
+                _ => v,
+            };
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Evaluates an UPDATE's full change set against `rows` without
+/// mutating anything.
+#[allow(clippy::too_many_arguments)]
+fn eval_update_changes(
+    catalog: &Catalog,
+    source: &dyn TableSource,
+    schema: &TableSchema,
+    table: &str,
+    rows: Vec<(usize, Row)>,
+    sets: &[(String, Expr)],
+    where_clause: &Option<Expr>,
+    params: &HashMap<String, Value>,
+    ctx: &ExecCtx,
+) -> DbResult<Vec<(usize, Row)>> {
+    let scope = Session::table_scope(schema);
+    let planner = Planner::new(catalog, source, params, ctx.clone());
+    let mut bound_sets = Vec::with_capacity(sets.len());
+    for (name, e) in sets {
+        let col = schema.col_index(name).ok_or_else(|| DbError::NotFound {
+            kind: "column",
+            name: format!("{table}.{name}"),
+        })?;
+        let e = planner.resolve_subqueries(e)?;
+        let bound = planner.binder.bind(&e, &scope)?;
+        let coerced = planner.binder.coerce(bound, schema.columns[col].ty, false)?;
+        bound_sets.push((col, coerced));
+    }
+    let pred = match where_clause {
+        Some(w) => {
+            let w = planner.resolve_subqueries(w)?;
+            Some(planner.bind_folded(&w, &scope)?)
+        }
+        None => None,
+    };
+    let mut changes = Vec::new();
+    for (rowid, row) in rows {
+        let keep = match &pred {
+            Some(p) => p.eval(ctx, &row)?.as_bool() == Some(true),
+            None => true,
+        };
+        if !keep {
+            continue;
+        }
+        let mut new_row = row.clone();
+        for (col, e) in &bound_sets {
+            new_row[*col] = e.eval(ctx, &row)?;
+        }
+        changes.push((rowid, new_row));
+    }
+    Ok(changes)
+}
+
+/// Decides a DELETE's victim set against `rows` without mutating
+/// anything.
+fn eval_delete_victims(
+    catalog: &Catalog,
+    source: &dyn TableSource,
+    schema: &TableSchema,
+    rows: Vec<(usize, Row)>,
+    where_clause: &Option<Expr>,
+    params: &HashMap<String, Value>,
+    ctx: &ExecCtx,
+) -> DbResult<Vec<usize>> {
+    let scope = Session::table_scope(schema);
+    let planner = Planner::new(catalog, source, params, ctx.clone());
+    let pred = match where_clause {
+        Some(w) => {
+            let w = planner.resolve_subqueries(w)?;
+            Some(planner.bind_folded(&w, &scope)?)
+        }
+        None => None,
+    };
+    let mut victims = Vec::new();
+    for (rowid, row) in rows {
+        let hit = match &pred {
+            Some(p) => p.eval(ctx, &row)?.as_bool() == Some(true),
+            None => true,
+        };
+        if hit {
+            victims.push(rowid);
+        }
+    }
+    Ok(victims)
 }
 
 /// A validated statement handle for repeat execution, from

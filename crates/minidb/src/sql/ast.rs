@@ -169,6 +169,16 @@ impl TableRef {
     }
 }
 
+/// The time-travel point of a `SELECT … AS OF …` query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsOf {
+    /// `AS OF COMMIT <expr>` — a global commit sequence number.
+    Commit(Expr),
+    /// `AS OF <expr>` — a wall-clock instant (unix seconds, a temporal
+    /// value with interval bounds, or NOW under a what-if override).
+    Instant(Expr),
+}
+
 /// A SELECT statement, possibly the head of a UNION chain.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SelectStmt {
@@ -184,6 +194,8 @@ pub struct SelectStmt {
     /// `UNION [ALL] <next arm>`; ORDER BY/LIMIT/OFFSET of the head apply
     /// to the whole chain.
     pub union: Option<(bool, Box<SelectStmt>)>,
+    /// `AS OF …` time travel, only meaningful on the top-level statement.
+    pub as_of: Option<AsOf>,
 }
 
 /// One ORDER BY key.
@@ -232,7 +244,7 @@ pub enum Statement {
         table: String,
         where_clause: Option<Expr>,
     },
-    Select(SelectStmt),
+    Select(Box<SelectStmt>),
     /// `EXPLAIN [ANALYZE] SELECT …` — returns the physical plan shape as
     /// one row; with ANALYZE, executes the query and returns the plan
     /// tree annotated with per-operator row counts and timings.
@@ -256,4 +268,11 @@ pub enum Statement {
         name: String,
         if_exists: bool,
     },
+    /// `BEGIN [WORK | TRANSACTION]` — opens a multi-statement
+    /// transaction on the session.
+    Begin,
+    /// `COMMIT [WORK]` — commits the open transaction atomically.
+    Commit,
+    /// `ROLLBACK [WORK]` — discards the open transaction.
+    Rollback,
 }

@@ -205,8 +205,33 @@ impl Parser {
         if self.eat_kw("delete") {
             return self.delete();
         }
+        if self.eat_kw("begin") {
+            if !self.eat_kw("work") {
+                self.eat_kw("transaction");
+            }
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("commit") {
+            self.eat_kw("work");
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("rollback") {
+            self.eat_kw("work");
+            return Ok(Statement::Rollback);
+        }
         if self.at_kw("select") {
-            return Ok(Statement::Select(self.select()?));
+            let mut sel = self.select()?;
+            // `AS OF …` time travel binds to the whole statement (after
+            // any UNION arms and trailing ORDER BY/LIMIT).
+            if self.eat_kw("as") {
+                self.expect_kw("of")?;
+                sel.as_of = Some(if self.eat_kw("commit") {
+                    AsOf::Commit(self.expr()?)
+                } else {
+                    AsOf::Instant(self.expr()?)
+                });
+            }
+            return Ok(Statement::Select(Box::new(sel)));
         }
         Err(self.err(format!("expected a statement, found {:?}", self.peek())))
     }
@@ -473,6 +498,7 @@ impl Parser {
             limit,
             offset,
             union: None,
+            as_of: None,
         })
     }
 
@@ -497,7 +523,13 @@ impl Parser {
         }
         let expr = self.expr()?;
         let alias = if self.eat_kw("as") {
-            Some(self.expect_ident()?)
+            // See table_ref: `AS OF` is the time-travel clause.
+            if self.at_kw("of") {
+                self.i -= 1;
+                None
+            } else {
+                Some(self.expect_ident()?)
+            }
         } else if let TokenKind::Ident(id) = self.peek() {
             // Bare alias, but not a clause keyword.
             const CLAUSES: [&str; 12] = [
@@ -518,7 +550,15 @@ impl Parser {
     fn table_ref(&mut self) -> DbResult<TableRef> {
         let table = self.expect_ident()?;
         let alias = if self.eat_kw("as") {
-            Some(self.expect_ident()?)
+            // `… FROM t AS OF <point>`: that AS belongs to the
+            // statement-level time-travel clause, not an alias — back
+            // off and let the statement parser consume it.
+            if self.at_kw("of") {
+                self.i -= 1;
+                None
+            } else {
+                Some(self.expect_ident()?)
+            }
         } else if let TokenKind::Ident(id) = self.peek() {
             const CLAUSES: [&str; 11] = [
                 "where", "group", "having", "order", "limit", "offset", "join", "inner", "on",
@@ -1174,5 +1214,54 @@ mod tests {
     #[test]
     fn trailing_semicolon_ok() {
         assert!(parse_statement("SELECT 1;").is_ok());
+    }
+
+    #[test]
+    fn txn_statements() {
+        assert!(matches!(
+            parse_statement("BEGIN").unwrap(),
+            Statement::Begin
+        ));
+        assert!(matches!(
+            parse_statement("begin work;").unwrap(),
+            Statement::Begin
+        ));
+        assert!(matches!(
+            parse_statement("BEGIN TRANSACTION").unwrap(),
+            Statement::Begin
+        ));
+        assert!(matches!(
+            parse_statement("COMMIT WORK").unwrap(),
+            Statement::Commit
+        ));
+        assert!(matches!(
+            parse_statement("rollback").unwrap(),
+            Statement::Rollback
+        ));
+        assert!(parse_statement("BEGIN SELECT").is_err());
+    }
+
+    #[test]
+    fn as_of_clause() {
+        let s = parse_statement("SELECT * FROM t AS OF COMMIT 3").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(sel.from[0].alias.is_none());
+        assert!(matches!(sel.as_of, Some(AsOf::Commit(_))));
+
+        let s = parse_statement("SELECT * FROM t AS OF 1700000000").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(matches!(sel.as_of, Some(AsOf::Instant(_))));
+
+        // After ORDER BY/LIMIT, and with an aliased table.
+        let s = parse_statement("SELECT v FROM t x ORDER BY v LIMIT 2 AS OF COMMIT 7").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from[0].alias.as_deref(), Some("x"));
+        assert!(matches!(sel.as_of, Some(AsOf::Commit(_))));
+
+        // A real alias still parses.
+        let s = parse_statement("SELECT o.v FROM t AS o").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from[0].alias.as_deref(), Some("o"));
+        assert!(sel.as_of.is_none());
     }
 }

@@ -2,11 +2,12 @@
 //! indexes, and binary snapshot persistence.
 //!
 //! [`Storage`] is a *registry*: it maps names to [`SharedTable`] handles
-//! (`Arc<RwLock<Table>>`) and view definitions. The registry lock a
+//! (`Arc<TableCell>` — a live table plus its MVCC version chain) and
+//! view definitions. The registry lock a
 //! [`Database`](crate::session::Database) wraps around it is held only
-//! for name resolution and DDL; statements lock individual tables
-//! through [`crate::pin::TableSet`], so traffic on one table never
-//! serializes against traffic on another.
+//! for name resolution and DDL; writers lock individual tables through
+//! [`crate::pin::TableSet`], while readers resolve published snapshots
+//! from the version chains and hold no table lock at all.
 
 use crate::catalog::{Catalog, UdtIntervalKeyFn};
 use crate::error::{DbError, DbResult};
@@ -336,10 +337,14 @@ impl Index {
 }
 
 /// One table: schema, slotted row storage, and indexes.
+///
+/// Rows are held behind `Arc` so that cloning a table to publish an
+/// MVCC version (see [`TableCell`]) copies only the slot vector and
+/// index structures, never the row payloads themselves.
 #[derive(Debug, Clone)]
 pub struct Table {
     pub schema: TableSchema,
-    slots: Vec<Option<Row>>,
+    slots: Vec<Option<Arc<Row>>>,
     free: Vec<usize>,
     live: usize,
     indexes: Vec<Index>,
@@ -371,6 +376,7 @@ impl Table {
     /// its row id.
     pub fn insert(&mut self, row: Row) -> usize {
         debug_assert_eq!(row.len(), self.schema.columns.len());
+        let row = Arc::new(row);
         let rowid = match self.free.pop() {
             Some(slot) => {
                 self.slots[slot] = Some(row);
@@ -423,7 +429,7 @@ impl Table {
             .iter()
             .map(|ix| old[ix.column].clone())
             .collect();
-        *slot = Some(new_row);
+        *slot = Some(Arc::new(new_row));
         let new_ref = self.slots[rowid].as_ref().expect("just set");
         let new_keys: Vec<Value> = self
             .indexes
@@ -439,7 +445,7 @@ impl Table {
 
     /// Fetches one live row.
     pub fn get(&self, rowid: usize) -> Option<&Row> {
-        self.slots.get(rowid).and_then(Option::as_ref)
+        self.slots.get(rowid).and_then(|s| s.as_deref())
     }
 
     /// Snapshot of all live `(rowid, row)` pairs.
@@ -447,7 +453,24 @@ impl Table {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|r| (i, r.clone())))
+            .filter_map(|(i, s)| s.as_deref().map(|r| (i, r.clone())))
+            .collect()
+    }
+
+    /// The rowids the next `n` [`Table::insert`] calls will allocate,
+    /// without mutating anything. The free list is LIFO, so the first
+    /// inserts pop from its tail; the rest extend the slot vector. Used
+    /// to WAL-log an INSERT *before* applying it, so a statement whose
+    /// chunk never reaches the log leaves memory untouched.
+    pub(crate) fn planned_rowids(&self, n: usize) -> Vec<usize> {
+        (0..n)
+            .map(|i| {
+                if i < self.free.len() {
+                    self.free[self.free.len() - 1 - i]
+                } else {
+                    self.slots.len() + (i - self.free.len())
+                }
+            })
             .collect()
     }
 
@@ -522,6 +545,7 @@ impl Table {
         if self.get(rowid).is_some() {
             self.delete(rowid);
         }
+        let row = Arc::new(row);
         if rowid == self.slots.len() {
             self.slots.push(Some(row));
         } else {
@@ -559,11 +583,161 @@ pub struct ViewDef {
     pub body_sql: String,
 }
 
-/// A table behind its own reader-writer lock, shared between the
-/// registry and any statements that pinned it. A statement holding the
-/// handle keeps the data alive even if the table is concurrently
-/// dropped from the registry.
-pub type SharedTable = Arc<RwLock<Table>>;
+/// One published version of a table: an immutable snapshot stamped with
+/// the global commit sequence and wall-clock instant of the commit that
+/// produced it.
+#[derive(Debug)]
+pub struct TableVersion {
+    /// Global commit sequence that published this version.
+    pub seq: u64,
+    /// Wall-clock unix seconds of the publishing commit (monotone
+    /// across commits; `i64::MIN` for the initial "always existed"
+    /// version).
+    pub instant: i64,
+    /// The immutable table snapshot. Cheap: rows are `Arc`-shared with
+    /// the live table, so this copies slot/index structure only.
+    pub snap: Arc<Table>,
+}
+
+/// A table plus its MVCC version chain.
+///
+/// * `data` is the live, mutable table writers lock (write-write
+///   conflicts still serialize on this per-table guard).
+/// * `versions` is the append-only chain of committed snapshots.
+///   Readers never touch `data`: a SELECT resolves a snapshot from the
+///   chain and scans it with **no table lock held at all**.
+///
+/// Protocol: a writer mutates `data` under its write guard, then — with
+/// the guard still held, so no concurrent writer can interleave —
+/// clones the table and [`publish`es](TableCell::publish) it at its
+/// commit sequence. `publish` takes the pre-cloned snapshot rather than
+/// re-locking `data` (the lock is not reentrant). Versions older than
+/// the oldest pinned snapshot are garbage-collected by [`TableCell::gc`].
+#[derive(Debug)]
+pub struct TableCell {
+    data: RwLock<Table>,
+    versions: RwLock<Vec<TableVersion>>,
+}
+
+impl TableCell {
+    /// Wraps a fully built table, publishing it as the initial version
+    /// (sequence 0, instant `i64::MIN`): standalone and snapshot-loaded
+    /// tables are visible at every point in time unless
+    /// [`TableCell::rebase_creation`] stamps a real creation point.
+    pub fn new(table: Table) -> TableCell {
+        let snap = Arc::new(table.clone());
+        TableCell {
+            data: RwLock::new(table),
+            versions: RwLock::new(vec![TableVersion {
+                seq: 0,
+                instant: i64::MIN,
+                snap,
+            }]),
+        }
+    }
+
+    /// Read access to the live table (DDL, recovery, snapshots — not the
+    /// SELECT path, which reads a published version instead).
+    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, Table> {
+        self.data.read()
+    }
+
+    /// Write access to the live table. The caller must publish a new
+    /// version before releasing the guard if it mutated anything.
+    pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, Table> {
+        self.data.write()
+    }
+
+    /// Appends a committed snapshot to the version chain. Call with the
+    /// `data` write guard still held so versions append in commit order.
+    pub fn publish(&self, seq: u64, instant: i64, snap: Arc<Table>) {
+        self.versions.write().push(TableVersion { seq, instant, snap });
+    }
+
+    /// The newest published version.
+    pub fn latest(&self) -> Arc<Table> {
+        let v = self.versions.read();
+        Arc::clone(&v.last().expect("version chain is never empty").snap)
+    }
+
+    /// The newest version with sequence `<= seq`, or `None` if the table
+    /// was created after `seq`.
+    pub fn snapshot_at(&self, seq: u64) -> Option<Arc<Table>> {
+        let v = self.versions.read();
+        v.iter()
+            .rev()
+            .find(|tv| tv.seq <= seq)
+            .map(|tv| Arc::clone(&tv.snap))
+    }
+
+    /// The newest version committed at or before wall-clock `instant`
+    /// (unix seconds), or `None` if the table did not exist yet. Commit
+    /// instants are monotone, so this cut is consistent across tables.
+    pub fn snapshot_at_instant(&self, instant: i64) -> Option<Arc<Table>> {
+        let v = self.versions.read();
+        v.iter()
+            .rev()
+            .find(|tv| tv.instant <= instant)
+            .map(|tv| Arc::clone(&tv.snap))
+    }
+
+    /// Drops versions no snapshot at or above `floor` can still see,
+    /// always keeping the newest. Returns how many were dropped.
+    pub fn gc(&self, floor: u64) -> usize {
+        let mut v = self.versions.write();
+        let keep_from = v
+            .iter()
+            .position(|tv| tv.seq > floor)
+            .unwrap_or(v.len())
+            .saturating_sub(1);
+        v.drain(..keep_from).count()
+    }
+
+    /// The `(sequence, snapshot)` of the newest version with sequence
+    /// `<= seq`, or `None` if the table was created after `seq`. The
+    /// sequence is what a transaction records as its conflict-check
+    /// base.
+    pub fn version_at(&self, seq: u64) -> Option<(u64, Arc<Table>)> {
+        let v = self.versions.read();
+        v.iter()
+            .rev()
+            .find(|tv| tv.seq <= seq)
+            .map(|tv| (tv.seq, Arc::clone(&tv.snap)))
+    }
+
+    /// The newest published version's sequence. A committing transaction
+    /// compares this against its base: any movement means a concurrent
+    /// commit got there first (a write-write conflict).
+    pub fn latest_seq(&self) -> u64 {
+        self.versions
+            .read()
+            .last()
+            .map(|tv| tv.seq)
+            .unwrap_or(0)
+    }
+
+    /// Length of the version chain.
+    pub fn version_count(&self) -> usize {
+        self.versions.read().len()
+    }
+
+    /// Re-stamps the initial version with the table's real creation
+    /// point, so `AS OF` a time before creation reports NotFound. Only
+    /// meaningful right after [`TableCell::new`], while the chain still
+    /// has exactly one version.
+    pub fn rebase_creation(&self, seq: u64, instant: i64) {
+        let mut v = self.versions.write();
+        if v.len() == 1 {
+            v[0].seq = seq;
+            v[0].instant = instant;
+        }
+    }
+}
+
+/// A table cell shared between the registry and any statements that
+/// pinned it. A statement holding the handle keeps the data alive even
+/// if the table is concurrently dropped from the registry.
+pub type SharedTable = Arc<TableCell>;
 
 /// The table/view registry of one database: names to [`SharedTable`]
 /// handles plus view definitions. See the module docs for the locking
@@ -594,7 +768,7 @@ impl Storage {
                 name: table.schema.name,
             });
         }
-        self.tables.insert(key, Arc::new(RwLock::new(table)));
+        self.tables.insert(key, Arc::new(TableCell::new(table)));
         Ok(())
     }
 
@@ -869,7 +1043,7 @@ pub fn save_snapshot(cat: &Catalog, storage: &Storage) -> DbResult<Vec<u8>> {
             match slot {
                 Some(row) => {
                     out.put_u8(1);
-                    for v in row {
+                    for v in row.iter() {
                         encode_value(cat, v, &mut out)?;
                     }
                 }
@@ -964,7 +1138,7 @@ pub fn load_snapshot(cat: &Catalog, bytes: &[u8]) -> DbResult<Storage> {
                 });
             }
             let nslots = buf.get_u32_le() as usize;
-            let mut slots: Vec<Option<Row>> = Vec::with_capacity(nslots);
+            let mut slots: Vec<Option<Arc<Row>>> = Vec::with_capacity(nslots);
             let mut live = 0usize;
             for _ in 0..nslots {
                 if buf.remaining() < 1 {
@@ -979,7 +1153,7 @@ pub fn load_snapshot(cat: &Catalog, bytes: &[u8]) -> DbResult<Storage> {
                         for _ in 0..columns.len() {
                             row.push(decode_value(cat, &mut buf)?);
                         }
-                        slots.push(Some(row));
+                        slots.push(Some(Arc::new(row)));
                         live += 1;
                     }
                     p => {

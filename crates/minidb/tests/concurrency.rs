@@ -1,11 +1,10 @@
 //! Concurrency: a `Database` is shared across threads via `Arc`; each
-//! thread opens its own session. Locking is table-granular: a statement
-//! pins only the tables it references (write pins for DML targets, read
-//! pins elsewhere), acquired in sorted-name order. Readers still see
-//! consistent snapshots and writers never interleave mid-statement, but
-//! statements on disjoint tables no longer serialize against each other
-//! — which the `select_on_b_proceeds_while_a_is_write_locked` test
-//! proves with a deterministic handshake rather than timing.
+//! thread opens its own session. Writers take table-granular guards
+//! (write guards for DML targets), acquired in sorted-name order, so
+//! writes never interleave mid-statement. Readers take no table lock at
+//! all: a SELECT pins an MVCC snapshot and scans published versions —
+//! which the `selects_proceed_while_a_is_write_locked` test proves with
+//! a deterministic handshake rather than timing.
 
 use minidb::{Database, Value};
 use std::sync::mpsc;
@@ -239,12 +238,13 @@ fn mixed_ddl_dml_select_stress_with_consistent_stats() {
     assert_eq!(total.errors, 0);
 }
 
-/// The tentpole property of table-granular locking: while one thread
-/// holds table `a`'s *write* lock, a SELECT against table `b` completes,
-/// and a SELECT against `a` blocks until the lock is released. The
-/// handshake is channel-based, so the test asserts ordering, not timing.
+/// The MVCC tentpole: while one thread holds table `a`'s *write* guard,
+/// a SELECT against `b` completes — and so does a SELECT against `a`
+/// itself, served from the last published version. Only a second
+/// *writer* on `a` blocks. The handshake is channel-based, so the test
+/// asserts ordering, not timing.
 #[test]
-fn select_on_b_proceeds_while_a_is_write_locked() {
+fn selects_proceed_while_a_is_write_locked() {
     let db = Database::new();
     let setup = db.session();
     setup.execute("CREATE TABLE a (v INT)").unwrap();
@@ -259,7 +259,10 @@ fn select_on_b_proceeds_while_a_is_write_locked() {
     let holder = {
         let db = Arc::clone(&db);
         thread::spawn(move || {
-            db.with_table_write("a", |_t| {
+            db.with_table_write("a", |t| {
+                // Mutate before parking on the channel: readers must not
+                // see this until the guard is released and published.
+                t.insert(vec![Value::Int(99)]);
                 locked_tx.send(()).unwrap();
                 // Hold the write lock until the main thread says so.
                 release_rx.recv().unwrap();
@@ -267,7 +270,7 @@ fn select_on_b_proceeds_while_a_is_write_locked() {
             .unwrap();
         })
     };
-    locked_rx.recv().unwrap(); // `a` is now write-locked.
+    locked_rx.recv().unwrap(); // `a` is now write-locked (and dirty).
 
     // A SELECT on `b` must finish even though `a` is locked.
     let (done_b_tx, done_b_rx) = mpsc::channel();
@@ -288,7 +291,9 @@ fn select_on_b_proceeds_while_a_is_write_locked() {
     assert_eq!(n_b, 3);
     assert_eq!(stats_b.tables_pinned, 1, "the SELECT pinned only b");
 
-    // A SELECT on `a` must block until the write lock is released.
+    // A SELECT on `a` itself must also finish — readers never block
+    // behind the writer — and must see the pre-write snapshot, not the
+    // in-flight mutation.
     let (done_a_tx, done_a_rx) = mpsc::channel();
     let reader_a = {
         let db = Arc::clone(&db);
@@ -300,19 +305,43 @@ fn select_on_b_proceeds_while_a_is_write_locked() {
             done_a_tx.send(n).unwrap();
         })
     };
-    assert!(
-        done_a_rx.recv_timeout(Duration::from_millis(300)).is_err(),
-        "SELECT on a must wait for the write lock"
-    );
-    release_tx.send(()).unwrap();
     let n_a = done_a_rx
         .recv_timeout(Duration::from_secs(10))
-        .expect("SELECT on a must complete once the lock is released");
-    assert_eq!(n_a, 2);
+        .expect("MVCC SELECT on a must not block behind the write guard");
+    assert_eq!(n_a, 2, "the snapshot predates the uncommitted insert");
+
+    // A second *writer* on `a` is what blocks: write-write conflicts
+    // still serialize on the per-table guard.
+    let (done_w_tx, done_w_rx) = mpsc::channel();
+    let writer_a = {
+        let db = Arc::clone(&db);
+        thread::spawn(move || {
+            let s = db.session();
+            s.execute("INSERT INTO a VALUES (4)").unwrap();
+            done_w_tx.send(()).unwrap();
+        })
+    };
+    assert!(
+        done_w_rx.recv_timeout(Duration::from_millis(300)).is_err(),
+        "a second writer must wait for the write guard"
+    );
+    release_tx.send(()).unwrap();
+    done_w_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("the writer must complete once the guard is released");
+
+    // With the guard released and both writes published, a fresh SELECT
+    // sees everything.
+    let s = db.session();
+    let n = s.query("SELECT COUNT(*) FROM a").unwrap().rows[0][0]
+        .as_int()
+        .unwrap();
+    assert_eq!(n, 4);
 
     holder.join().unwrap();
     reader_b.join().unwrap();
     reader_a.join().unwrap();
+    writer_a.join().unwrap();
 }
 
 /// Statements that name the same two tables in opposite orders must not

@@ -1,0 +1,355 @@
+//! MVCC and transaction semantics end to end: AS OF edge cases (before a
+//! table existed, future commits, historical stability under concurrent
+//! writers), BEGIN/COMMIT/ROLLBACK visibility and conflict detection,
+//! and the apply-vs-log ordering proof — a statement whose WAL append
+//! fails must leave no trace in memory or in recovery.
+
+use minidb::wal::file::FailpointFile;
+use minidb::{Database, DbError, DurabilityConfig, SyncMode, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Fresh scratch directory under the system temp dir, unique per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("minidb-mvcc-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg_off() -> DurabilityConfig {
+    DurabilityConfig {
+        sync_mode: SyncMode::Off,
+        ..DurabilityConfig::default()
+    }
+}
+
+fn ids(db: &Arc<Database>, table: &str) -> Vec<i64> {
+    let r = db
+        .session()
+        .query(&format!("SELECT id FROM {table} ORDER BY id"))
+        .unwrap();
+    r.rows
+        .iter()
+        .map(|row| match row[0] {
+            Value::Int(i) => i,
+            ref other => panic!("unexpected id value {other:?}"),
+        })
+        .collect()
+}
+
+// ----- AS OF edges ---------------------------------------------------
+
+#[test]
+fn as_of_before_the_table_existed_is_a_typed_not_found() {
+    let db = Database::new();
+    let s = db.session();
+    // Commit 0 is the empty database; the table arrives later.
+    s.execute("CREATE TABLE t (id INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1)").unwrap();
+    match s.query("SELECT * FROM t AS OF COMMIT 0") {
+        Err(DbError::NotFound { kind, .. }) => assert_eq!(kind, "table"),
+        other => panic!("expected a typed NotFound, got {other:?}"),
+    }
+}
+
+#[test]
+fn as_of_a_future_commit_sees_the_latest_committed_rows() {
+    let db = Database::new();
+    let s = db.session();
+    s.execute("CREATE TABLE t (id INT)").unwrap();
+    for i in 0..3 {
+        s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    let future = db.commit_seq() + 1_000;
+    let r = s
+        .query(&format!("SELECT id FROM t ORDER BY id AS OF COMMIT {future}"))
+        .unwrap();
+    let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+    assert_eq!(got, vec![0, 1, 2], "a future commit clamps to the latest");
+}
+
+#[test]
+fn as_of_results_are_byte_identical_under_concurrent_writers() {
+    let db = Database::new();
+    let s = db.session();
+    s.execute("CREATE TABLE t (id INT, v CHAR(8))").unwrap();
+    for i in 0..8 {
+        s.execute(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+            .unwrap();
+    }
+    let seq = db.commit_seq();
+    let sql = format!("SELECT id, v FROM t ORDER BY id AS OF COMMIT {seq}");
+    let baseline = format!("{:?}", s.query(&sql).unwrap().rows);
+
+    // The writer stays inside the version-retention window (64 commits):
+    // past it the GC is allowed to collect the pinned-by-nobody history
+    // and AS OF reports NotFound, by design.
+    let writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            let w = db.session();
+            for i in 8..32 {
+                w.execute(&format!("INSERT INTO t VALUES ({i}, 'w{i}')"))
+                    .unwrap();
+                w.execute(&format!("UPDATE t SET v = 'x{i}' WHERE id = {}", i % 8))
+                    .unwrap();
+            }
+        })
+    };
+    for _ in 0..64 {
+        let again = format!("{:?}", s.query(&sql).unwrap().rows);
+        assert_eq!(again, baseline, "historical reads must not drift");
+    }
+    writer.join().unwrap();
+    // And the present tense did move on.
+    assert_eq!(ids(&db, "t").len(), 32);
+}
+
+// ----- Transactions --------------------------------------------------
+
+#[test]
+fn rollback_leaves_no_trace_in_data_or_wal_replay() {
+    let dir = scratch("rollback");
+    {
+        let (db, _) = Database::open(&dir, cfg_off()).unwrap();
+        let s = db.session();
+        s.execute("CREATE TABLE t (id INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        s.execute("INSERT INTO t VALUES (2)").unwrap();
+
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (3)").unwrap();
+        s.execute("UPDATE t SET id = 99 WHERE id = 1").unwrap();
+        s.execute("DELETE FROM t WHERE id = 2").unwrap();
+        s.execute("ROLLBACK").unwrap();
+
+        assert_eq!(ids(&db, "t"), vec![1, 2], "rollback restores the data");
+        drop(s);
+        // Unclean drop: whatever leaked into the WAL replays next open.
+    }
+    let (db, _) = Database::open(&dir, cfg_off()).unwrap();
+    assert_eq!(ids(&db, "t"), vec![1, 2], "rollback leaves no WAL trace");
+    db.close().unwrap();
+}
+
+#[test]
+fn commit_publishes_all_statements_atomically_and_survives_replay() {
+    let dir = scratch("commit");
+    {
+        let (db, _) = Database::open(&dir, cfg_off()).unwrap();
+        let s = db.session();
+        s.execute("CREATE TABLE t (id INT)").unwrap();
+        s.execute("BEGIN").unwrap();
+        for i in 0..5 {
+            s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        s.execute("UPDATE t SET id = 40 WHERE id = 4").unwrap();
+        s.execute("COMMIT").unwrap();
+        assert_eq!(ids(&db, "t"), vec![0, 1, 2, 3, 40]);
+        drop(s);
+    }
+    let (db, _) = Database::open(&dir, cfg_off()).unwrap();
+    assert_eq!(ids(&db, "t"), vec![0, 1, 2, 3, 40]);
+    db.close().unwrap();
+}
+
+#[test]
+fn uncommitted_writes_are_private_to_the_transaction() {
+    let db = Database::new();
+    let s1 = db.session();
+    let s2 = db.session();
+    s1.execute("CREATE TABLE t (id INT)").unwrap();
+    s1.execute("INSERT INTO t VALUES (1)").unwrap();
+    let committed = db.commit_seq();
+
+    s1.execute("BEGIN").unwrap();
+    s1.execute("INSERT INTO t VALUES (2)").unwrap();
+
+    // The transaction sees its own write …
+    let mine: Vec<i64> = s1
+        .query("SELECT id FROM t ORDER BY id")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
+    assert_eq!(mine, vec![1, 2]);
+
+    // … but AS OF addresses committed history only, even in-session …
+    let historical: Vec<i64> = s1
+        .query(&format!("SELECT id FROM t ORDER BY id AS OF COMMIT {committed}"))
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
+    assert_eq!(historical, vec![1], "AS OF must not see uncommitted work");
+
+    // … and no other session sees it until COMMIT.
+    assert_eq!(ids(&db, "t"), vec![1]);
+    let other: Vec<i64> = s2
+        .query("SELECT id FROM t ORDER BY id")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
+    assert_eq!(other, vec![1]);
+
+    s1.execute("COMMIT").unwrap();
+    assert_eq!(ids(&db, "t"), vec![1, 2]);
+}
+
+#[test]
+fn first_committer_wins_on_a_write_write_conflict() {
+    let db = Database::new();
+    let s1 = db.session();
+    let s2 = db.session();
+    s1.execute("CREATE TABLE t (id INT)").unwrap();
+    s1.execute("INSERT INTO t VALUES (1)").unwrap();
+
+    s1.execute("BEGIN").unwrap();
+    s2.execute("BEGIN").unwrap();
+    s1.execute("UPDATE t SET id = 10 WHERE id = 1").unwrap();
+    s2.execute("UPDATE t SET id = 20 WHERE id = 1").unwrap();
+
+    s1.execute("COMMIT").unwrap();
+    match s2.execute("COMMIT") {
+        Err(DbError::Execution { message }) => {
+            assert!(
+                message.contains("write-write conflict"),
+                "unexpected message: {message}"
+            );
+        }
+        other => panic!("second committer must lose, got {other:?}"),
+    }
+    assert_eq!(ids(&db, "t"), vec![10], "the first committer's write stands");
+
+    // The loser's transaction is over; a fresh one works.
+    s2.execute("BEGIN").unwrap();
+    s2.execute("UPDATE t SET id = 20 WHERE id = 10").unwrap();
+    s2.execute("COMMIT").unwrap();
+    assert_eq!(ids(&db, "t"), vec![20]);
+}
+
+#[test]
+fn transaction_statement_misuse_is_rejected() {
+    let db = Database::new();
+    let s = db.session();
+    s.execute("CREATE TABLE t (id INT)").unwrap();
+
+    assert!(s.execute("COMMIT").is_err(), "COMMIT without BEGIN");
+    assert!(s.execute("ROLLBACK").is_err(), "ROLLBACK without BEGIN");
+
+    s.execute("BEGIN").unwrap();
+    assert!(s.execute("BEGIN").is_err(), "nested BEGIN");
+    match s.execute("CREATE TABLE u (id INT)") {
+        Err(DbError::Execution { message }) => {
+            assert!(message.contains("DDL"), "unexpected message: {message}")
+        }
+        other => panic!("DDL inside a transaction must fail, got {other:?}"),
+    }
+    s.execute("ROLLBACK").unwrap();
+
+    // The session is back to autocommit and fully usable.
+    s.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert_eq!(ids(&db, "t"), vec![1]);
+}
+
+#[test]
+fn show_stats_reports_mvcc_gauges_and_txn_counters() {
+    let db = Database::new();
+    let s = db.session();
+    s.execute("CREATE TABLE t (id INT)").unwrap();
+    s.execute("BEGIN").unwrap();
+    s.execute("INSERT INTO t VALUES (1)").unwrap();
+    s.execute("COMMIT").unwrap();
+    s.execute("BEGIN").unwrap();
+    s.execute("ROLLBACK").unwrap();
+
+    let r = s.query("SHOW STATS").unwrap();
+    let value = |name: &str| -> i64 {
+        r.rows
+            .iter()
+            .find(|row| row[0].as_str().unwrap() == name)
+            .unwrap_or_else(|| panic!("SHOW STATS missing {name}"))[1]
+            .as_int()
+            .unwrap()
+    };
+    assert!(value("mvcc.versions") >= 1, "version chains exist");
+    assert!(value("mvcc.snapshots_pinned") >= 0);
+    assert!(value("txn.begun") >= 2);
+    assert!(value("txn.committed") >= 1);
+    assert!(value("txn.rolled_back") >= 1);
+}
+
+// ----- Apply-vs-log ordering -----------------------------------------
+
+/// A statement whose WAL append fails must not mutate memory, and a
+/// crash right after must recover to a state without it. The failpoint
+/// sequence is deterministic: under `SyncMode::EveryCommit` the torn
+/// write is observed by the statement that caused it (INSERT 4 errors at
+/// its durability wait, its chunk torn on "disk"), which latches the
+/// WAL's I/O error; the next statement (INSERT 5) then fails its append
+/// up front and — log-before-apply — touches nothing.
+#[test]
+fn failed_wal_append_leaves_memory_untouched_and_recovery_agrees() {
+    let dir = scratch("failpoint");
+    let cfg = DurabilityConfig {
+        sync_mode: SyncMode::EveryCommit,
+        ..DurabilityConfig::default()
+    };
+    let mut shared = None;
+    let (db, _) = Database::open_with_wal_file(&dir, cfg, |_path, header| {
+        let (file, state) = FailpointFile::new(header);
+        shared = Some(state);
+        Ok(Box::new(file))
+    })
+    .unwrap();
+    let state = shared.expect("factory ran");
+
+    let s = db.session();
+    s.execute("CREATE TABLE t (id INT)").unwrap();
+    for i in 1..=3 {
+        s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    assert_eq!(ids(&db, "t"), vec![1, 2, 3]);
+
+    // Arm the failpoint: the next append tears after a 1-byte prefix.
+    state.lock().unwrap().fail_after_bytes = Some(1);
+
+    // INSERT 4: append is accepted into the batch buffer, the row is
+    // applied, then the durability wait surfaces the torn write.
+    assert!(
+        s.execute("INSERT INTO t VALUES (4)").is_err(),
+        "the torn write must surface at the durability wait"
+    );
+
+    // INSERT 5: the WAL is latched unavailable, the append fails before
+    // anything is applied. Memory must be exactly as before it ran.
+    assert!(
+        s.execute("INSERT INTO t VALUES (5)").is_err(),
+        "appends after an I/O error must fail"
+    );
+    assert_eq!(
+        ids(&db, "t"),
+        vec![1, 2, 3, 4],
+        "a statement whose append failed must not mutate memory"
+    );
+
+    // "Crash": persist exactly what reached the failpoint disk, drop the
+    // database without closing, and recover from the bytes alone.
+    let bytes = state.lock().unwrap().bytes.clone();
+    drop(s);
+    drop(db);
+    std::fs::write(dir.join("wal.log"), &bytes).unwrap();
+
+    let (db, _) = Database::open(&dir, cfg_off()).unwrap();
+    assert_eq!(
+        ids(&db, "t"),
+        vec![1, 2, 3],
+        "recovery keeps the committed prefix and drops the torn statement"
+    );
+    db.close().unwrap();
+}

@@ -276,3 +276,20 @@ fn load_snapshot_clears_the_cache_and_replans() {
         vec![vec![Value::Int(999)]]
     );
 }
+
+#[test]
+fn repeated_trailing_semicolons_normalize_to_one_cache_entry() {
+    let db = db_with_t(4);
+    let s = db.session();
+    // Regression: `;;` / `; ;` used to produce distinct cache keys.
+    for sql in [
+        "SELECT x FROM t WHERE id = :id",
+        "SELECT x FROM t WHERE id = :id;;",
+        "SELECT x FROM t WHERE id = :id ; ; ",
+    ] {
+        s.query_with_params(sql, &[("id", Value::Int(1))]).unwrap();
+    }
+    let m = s.metrics().snapshot();
+    assert_eq!((m.plan_cache_misses, m.plan_cache_hits), (1, 2));
+    assert_eq!(db.plan_cache_len(), 1);
+}

@@ -497,12 +497,14 @@ fn dispatch(
         req::SESSION_STATS => {
             let mut snap = conn.session.metrics().snapshot();
             snap.overlay_wal(&shared.db.wal_stats());
+            snap.overlay_mvcc(shared.db.mvcc_versions(), shared.db.snapshots_pinned());
             let body = protocol::encode_metrics_for(&snap, conn.version);
             send(stream, resp::METRICS, &body).is_ok()
         }
         req::SERVER_METRICS => {
             let mut snap = shared.server_metrics();
             snap.overlay_wal(&shared.db.wal_stats());
+            snap.overlay_mvcc(shared.db.mvcc_versions(), shared.db.snapshots_pinned());
             let body = protocol::encode_metrics_for(&snap, conn.version);
             send(stream, resp::METRICS, &body).is_ok()
         }
@@ -540,21 +542,64 @@ fn run_statement(
     }
 }
 
+/// Slack left under [`protocol::MAX_FRAME`] for the frame length
+/// prefix, the tag byte, and headroom against off-by-a-few drift.
+const FRAME_SLACK: usize = 1024;
+
 /// Streams a materialized result set: header, row batches, trailer.
+///
+/// Batches close on whichever bound hits first: `rows_per_batch` rows,
+/// or the byte budget that keeps every frame under
+/// [`protocol::MAX_FRAME`] — a result set of huge rows splits into many
+/// small-count batches instead of killing the connection with an
+/// oversized frame. A single row too large for any frame is a
+/// statement-level error (the client gets a typed ERROR mid-stream and
+/// the connection survives).
 fn stream_rows(stream: &mut TcpStream, shared: &Shared, result: &minidb::QueryResult) -> bool {
     let display = |v: &Value| shared.db.with_catalog(|c| c.display_value(v));
     let header = protocol::encode_rows_header(&result.columns, &shared.types);
     if send(stream, resp::ROWS_HEADER, &header).is_err() {
         return false;
     }
-    let batch_size = shared.cfg.rows_per_batch.max(1);
-    for chunk in result.rows.chunks(batch_size) {
-        let body = protocol::encode_row_batch(chunk, &display, &shared.types);
-        if send(stream, resp::ROW_BATCH, &body).is_err() {
-            return false;
+    let max_rows = shared.cfg.rows_per_batch.max(1);
+    let budget = protocol::MAX_FRAME - FRAME_SLACK;
+    let mut batch = protocol::RowBatchBuilder::new(budget);
+    for row in &result.rows {
+        match batch.push(row, &display) {
+            protocol::RowPush::Added => {}
+            protocol::RowPush::BatchFull => {
+                if send(stream, resp::ROW_BATCH, &batch.finish()).is_err() {
+                    return false;
+                }
+                batch = protocol::RowBatchBuilder::new(budget);
+                // A row that fails even a fresh batch is unshippable.
+                if let protocol::RowPush::RowTooBig(bytes) = batch.push(row, &display) {
+                    return row_too_big(stream, bytes);
+                }
+            }
+            protocol::RowPush::RowTooBig(bytes) => return row_too_big(stream, bytes),
         }
+        if batch.rows() >= max_rows {
+            if send(stream, resp::ROW_BATCH, &batch.finish()).is_err() {
+                return false;
+            }
+            batch = protocol::RowBatchBuilder::new(budget);
+        }
+    }
+    if !batch.is_empty() && send(stream, resp::ROW_BATCH, &batch.finish()).is_err() {
+        return false;
     }
     // An empty result still sends header + trailer so the client sees
     // column names.
     send(stream, resp::ROWS_DONE, &[]).is_ok()
+}
+
+/// Mid-stream refusal of a row no frame can carry: a typed ERROR ends
+/// the result set, and the connection stays usable.
+fn row_too_big(stream: &mut TcpStream, bytes: usize) -> bool {
+    let e = DbError::exec(format!(
+        "row of {bytes} bytes exceeds the {} byte frame limit",
+        protocol::MAX_FRAME
+    ));
+    send_error(stream, &e).is_ok()
 }

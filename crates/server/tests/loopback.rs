@@ -455,7 +455,7 @@ fn unknown_prepared_id_is_a_typed_error_and_closing_frees_the_id() {
         &ConnectOptions::default(),
     )
     .unwrap();
-    assert_eq!(t.protocol_version(), 4);
+    assert_eq!(t.protocol_version(), 5);
 
     match t.execute_prepared(999, "SELECT 1", &[]) {
         Err(DbError::NotFound { kind, name }) => {
@@ -479,4 +479,65 @@ fn unknown_prepared_id_is_a_typed_error_and_closing_frees_the_id() {
     }
     // The statement-level error left the connection serviceable.
     assert!(t.execute("SELECT 1", &[]).is_ok());
+}
+
+/// Result sets larger than one frame must split across ROW_BATCH
+/// frames byte-by-byte, and a single row too large for any frame must
+/// come back as a typed statement-level error — never a dead socket.
+#[test]
+fn huge_result_sets_split_frames_and_unfittable_rows_error_typed() {
+    use minidb::Value;
+
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let s = db.session();
+    s.execute("CREATE TABLE blobs (id INT, payload CHAR(64))")
+        .unwrap();
+    // 40 rows of ~1 MiB: ~40 MiB in aggregate, far past MAX_FRAME, so
+    // the server must close each batch on the byte budget (the row
+    // cap below is set high enough to never bind).
+    let mb = "x".repeat(1024 * 1024);
+    for i in 0..40 {
+        s.execute_with_params(
+            "INSERT INTO blobs VALUES (:i, :p)",
+            &[("i", Value::Int(i)), ("p", Value::Str(mb.clone()))],
+        )
+        .unwrap();
+    }
+    let server = serve(
+        &db,
+        ServerConfig {
+            rows_per_batch: 10_000,
+            ..Default::default()
+        },
+    );
+    let conn = Connection::connect(server.local_addr()).unwrap();
+    let mut rows = conn
+        .query("SELECT id, payload FROM blobs ORDER BY id", &[])
+        .unwrap();
+    let mut n = 0;
+    while rows.next() {
+        assert_eq!(rows.get_int(0).unwrap(), n);
+        assert_eq!(rows.get_string(1).unwrap().len(), mb.len());
+        n += 1;
+    }
+    assert_eq!(n, 40);
+
+    // One ~17 MiB row exceeds MAX_FRAME on its own: a typed error...
+    s.execute_with_params(
+        "INSERT INTO blobs VALUES (99, :p)",
+        &[("p", Value::Str("y".repeat(17 * 1024 * 1024)))],
+    )
+    .unwrap();
+    match conn.query("SELECT payload FROM blobs WHERE id = 99", &[]) {
+        Err(DbError::Execution { message }) => {
+            assert!(message.contains("frame limit"), "{message}")
+        }
+        Err(e) => panic!("expected typed Execution error, got {e:?}"),
+        Ok(_) => panic!("expected typed Execution error, got rows"),
+    }
+    // ...that leaves the connection fully serviceable.
+    let mut rows = conn.query("SELECT COUNT(*) FROM blobs", &[]).unwrap();
+    assert!(rows.next());
+    assert_eq!(rows.get_int(0).unwrap(), 41);
 }
