@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! netload [--addr HOST:PORT] [--threads N] [--statements M] [--rows K]
-//!         [--contend] [--writers W] [--prepared]
+//!         [--contend] [--writers W] [--prepared] [--replicas R]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process server over the synthetic
@@ -30,15 +30,24 @@
 //! parameters over protocol v3. The tool prints both latency profiles,
 //! the p50 prepared/unprepared ratio, and the server's plan-cache hit
 //! ratio during the prepared phase.
+//!
+//! `--replicas R` switches to the replication fan-out experiment: a
+//! durable loopback primary plus `R` streaming read replicas. The same
+//! scan workload runs twice — every read on the primary (baseline),
+//! then fanned across the replica set through the client's replicated
+//! transport — and the tool prints both throughputs, their ratio, and
+//! each node's served-SELECT counter. It **exits nonzero unless every
+//! replica actually served reads**, so CI can use it as a smoke test.
 
-use minidb::Database;
+use minidb::{Database, DurabilityConfig, SyncMode};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tip_blade::{TipBlade, TipTypes};
 use tip_client::{Connection, HostValue};
 use tip_core::Chronon;
+use tip_server::repl::ReplicationClient;
 use tip_server::{Server, ServerConfig};
 
 const BUCKETS: usize = 22;
@@ -97,7 +106,7 @@ impl Histogram {
 fn usage() -> ! {
     eprintln!(
         "usage: netload [--addr HOST:PORT] [--threads N] [--statements M] [--rows K] \
-         [--contend] [--writers W] [--prepared]"
+         [--contend] [--writers W] [--prepared] [--replicas R]"
     );
     std::process::exit(2);
 }
@@ -325,7 +334,9 @@ fn run_contention(target: &str, threads: usize, writers: usize, statements: usiz
     eprintln!("netload: contention phase 1 — {threads} readers, no writers");
     let baseline = reader_pass(target, threads, statements);
 
-    eprintln!("netload: contention phase 2 — {writers} writer(s) on a table the readers never touch");
+    eprintln!(
+        "netload: contention phase 2 — {writers} writer(s) on a table the readers never touch"
+    );
     let (control, _, control_writes) =
         contended_pass(target, threads, writers, statements, rows, "contend_other");
 
@@ -348,10 +359,7 @@ fn run_contention(target: &str, threads: usize, writers: usize, statements: usiz
         contended.p50_micros()
     );
     contended.print("  ");
-    println!(
-        "same-table writer p50 {} us:",
-        writer_hist.p50_micros()
-    );
+    println!("same-table writer p50 {} us:", writer_hist.p50_micros());
     writer_hist.print("  ");
 
     let base = baseline.p50_micros().max(1) as f64;
@@ -366,6 +374,216 @@ fn run_contention(target: &str, threads: usize, writers: usize, statements: usiz
     );
 }
 
+/// One timed reader pass over `fan_bench`. With an empty replica list
+/// every statement goes straight to the primary; otherwise each thread
+/// opens a replicated connection and its SELECTs fan round-robin across
+/// the replica set. Every thread connects and runs a handful of untimed
+/// warmup statements first, then all threads cross a barrier together —
+/// the clock measures steady-state statement service, not TCP dials and
+/// handshakes (the same methodology for both passes, so the ratio
+/// compares like with like). Returns the merged histogram and stmt/s.
+fn fan_pass(
+    primary: &str,
+    replicas: &[String],
+    threads: usize,
+    statements: usize,
+) -> (Histogram, f64) {
+    let merged = Arc::new(Mutex::new(Histogram::default()));
+    let replicas: Arc<Vec<String>> = Arc::new(replicas.to_vec());
+    let gate = Arc::new(std::sync::Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let primary = primary.to_owned();
+            let replicas = Arc::clone(&replicas);
+            let merged = Arc::clone(&merged);
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || {
+                let conn = if replicas.is_empty() {
+                    Connection::connect(primary.as_str()).expect("connect primary")
+                } else {
+                    let refs: Vec<&str> = replicas.iter().map(String::as_str).collect();
+                    Connection::connect_replicated(primary.as_str(), &refs)
+                        .expect("connect replicated")
+                };
+                let run = |hist: Option<&mut Histogram>, count: usize| {
+                    let mut hist = hist;
+                    for i in 0..count {
+                        let begin = Instant::now();
+                        let n = conn
+                            .query(
+                                "SELECT COUNT(*) FROM fan_bench WHERE v >= :d",
+                                &[("d", HostValue::Int((i % 7) as i64))],
+                            )
+                            .expect("fan query")
+                            .len();
+                        if let Some(h) = hist.as_deref_mut() {
+                            h.record(begin.elapsed().as_micros() as u64);
+                        }
+                        assert_eq!(n, 1);
+                    }
+                };
+                // Warm every lazily-dialed connection in the fan before
+                // the clock starts (one statement per replica endpoint).
+                run(None, replicas.len().max(1) * 2);
+                gate.wait();
+                let mut hist = Histogram::default();
+                run(Some(&mut hist), statements);
+                merged.lock().expect("fan histogram").merge(&hist);
+            })
+        })
+        .collect();
+    gate.wait();
+    let started = Instant::now();
+    for w in workers {
+        w.join().expect("fan reader panicked");
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let mut out = Histogram::default();
+    out.merge(&merged.lock().expect("fan histogram"));
+    (out, (threads * statements) as f64 / elapsed)
+}
+
+/// The replication fan-out experiment: a durable loopback primary plus
+/// `n` streaming replicas, all in-process. The same reader workload runs
+/// twice — primary-only, then fanned across the replicas through the
+/// client's replicated transport — and each node's served-SELECT counter
+/// proves where the reads actually landed. Exits nonzero unless every
+/// replica served reads, so CI can lean on it as a smoke test.
+fn run_replicas(threads: usize, statements: usize, rows: usize, n: usize) {
+    // Replication requires a durable primary (the stream is its WAL);
+    // sync is off because this benchmark measures reads, not fsync.
+    let dir = std::env::temp_dir().join(format!("tip-netload-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = DurabilityConfig {
+        sync_mode: SyncMode::Off,
+        ..DurabilityConfig::default()
+    };
+    let (pdb, _) =
+        Database::open_with(&dir, cfg, |db| db.install_blade(&TipBlade)).expect("open primary");
+    let pserver = Server::bind(
+        "127.0.0.1:0",
+        &pdb,
+        ServerConfig {
+            max_connections: threads + n + 8,
+            ..Default::default()
+        },
+    )
+    .expect("bind primary");
+    let paddr = pserver.local_addr().to_string();
+
+    // Populate before the replicas subscribe so the load is one
+    // snapshot catch-up, not a commit-by-commit ack conversation.
+    let setup = Connection::connect(&paddr).expect("connect setup");
+    setup
+        .execute("CREATE TABLE fan_bench (id INT, v INT)", &[])
+        .expect("fan_bench DDL");
+    for i in 0..rows {
+        setup
+            .execute(
+                "INSERT INTO fan_bench VALUES (:i, :v)",
+                &[
+                    ("i", HostValue::Int(i as i64)),
+                    ("v", HostValue::Int((i % 16) as i64)),
+                ],
+            )
+            .expect("populate fan_bench");
+    }
+
+    let mut nodes: Vec<(Arc<Database>, Server, ReplicationClient)> = Vec::new();
+    let mut raddrs: Vec<String> = Vec::new();
+    for _ in 0..n {
+        let rdb = Database::new();
+        rdb.install_blade(&TipBlade).expect("replica blade");
+        rdb.set_read_only(&paddr);
+        let rserver = Server::bind(
+            "127.0.0.1:0",
+            &rdb,
+            ServerConfig {
+                max_connections: threads + 8,
+                ..Default::default()
+            },
+        )
+        .expect("bind replica");
+        let client = ReplicationClient::start(&rdb, &paddr);
+        raddrs.push(rserver.local_addr().to_string());
+        nodes.push((rdb, rserver, client));
+    }
+    let target = pdb.wal_progress().expect("durable primary").seq;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for (rdb, _, _) in &nodes {
+        while rdb.repl_stats().last_seq() < target {
+            assert!(
+                Instant::now() < deadline,
+                "replica stalled at seq {} (want {target})",
+                rdb.repl_stats().last_seq()
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+    eprintln!(
+        "netload: primary {paddr} + {n} replica(s) caught up to seq {target}; \
+         {threads} threads x {statements} statements per pass"
+    );
+
+    eprintln!("netload: replicas phase 1 — every read on the primary");
+    let before_primary = pserver.metrics().selects;
+    let (base_hist, base_rate) = fan_pass(&paddr, &[], threads, statements);
+    let primary_served = pserver.metrics().selects - before_primary;
+
+    eprintln!("netload: replicas phase 2 — reads fanned across the replica set");
+    let before: Vec<u64> = nodes.iter().map(|(_, s, _)| s.metrics().selects).collect();
+    let (fan_hist, fan_rate) = fan_pass(&paddr, &raddrs, threads, statements);
+    let served: Vec<u64> = nodes
+        .iter()
+        .zip(&before)
+        .map(|((_, s, _), b)| s.metrics().selects - b)
+        .collect();
+
+    println!(
+        "primary-only baseline: {base_rate:.1} stmt/s, p50 {} us:",
+        base_hist.p50_micros()
+    );
+    base_hist.print("  ");
+    println!(
+        "fanned across {n} replica(s): {fan_rate:.1} stmt/s, p50 {} us:",
+        fan_hist.p50_micros()
+    );
+    fan_hist.print("  ");
+    println!("baseline SELECTs served by the primary: {primary_served}");
+    for (i, s) in served.iter().enumerate() {
+        println!("fanned SELECTs served by replica {i} ({}): {s}", raddrs[i]);
+    }
+    let ratio = fan_rate / base_rate.max(1e-9);
+    let p50_ratio = base_hist.p50_micros().max(1) as f64 / fan_hist.p50_micros().max(1) as f64;
+    println!(
+        "aggregate read throughput, fanned / primary-only: {ratio:.2}x \
+         (p50 speedup {p50_ratio:.2}x)"
+    );
+    // Fan-out multiplies throughput only when the nodes have CPUs to
+    // themselves; with every node sharing one in-process core the ratio
+    // honestly flatlines at ~1x. Say which regime this run measured.
+    let cores = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "host parallelism: {cores} core(s) for {} in-process node(s) — \
+         fan-out scales with cores per node, so interpret the ratio accordingly",
+        n + 1
+    );
+
+    let starved = served.contains(&0);
+    if starved {
+        eprintln!("netload: FAILED — at least one replica served zero reads");
+    }
+    drop(nodes);
+    drop(pserver);
+    let _ = pdb.close();
+    let _ = std::fs::remove_dir_all(&dir);
+    if starved {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut addr: Option<String> = None;
     let mut threads = 8usize;
@@ -374,6 +592,7 @@ fn main() {
     let mut contend = false;
     let mut writers = 2usize;
     let mut prepared = false;
+    let mut replicas = 0usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -386,8 +605,19 @@ fn main() {
             "--contend" => contend = true,
             "--writers" => writers = num(args.next()),
             "--prepared" => prepared = true,
+            "--replicas" => replicas = num(args.next()),
             _ => usage(),
         }
+    }
+
+    if replicas > 0 {
+        // The fan-out experiment owns its whole topology; a foreign
+        // --addr primary cannot host in-process replicas.
+        if addr.is_some() {
+            usage();
+        }
+        run_replicas(threads, statements, rows, replicas);
+        return;
     }
 
     // Self-contained mode: serve the synthetic medical database locally.

@@ -42,7 +42,12 @@ use std::sync::Arc;
 use std::time::Duration;
 use tip_blade::{as_chronon, as_element, as_instant, as_period, as_span, TipBlade, TipTypes};
 use tip_core::{Chronon, Element, Instant, Period, Span};
-use transport::{ConnectOptions, InProcessTransport, RemoteTransport, Transport};
+use transport::{
+    ConnectOptions, InProcessTransport, RemoteTransport, ReplicatedOptions, ReplicatedTransport,
+    Transport,
+};
+
+pub use transport::promote_replica;
 
 /// A host-language view of one SQL value — the result of customized type
 /// mapping (JDBC 2.0 style): TIP UDTs arrive as first-class objects.
@@ -144,6 +149,37 @@ impl Connection {
         Ok(Connection {
             db: registry,
             transport: Box::new(remote),
+            types,
+            type_map: TypeMap::default(),
+        })
+    }
+
+    /// Connects to a replicated deployment: writes, transactions and
+    /// DDL go to `primary`; plain SELECT / AS OF / EXPLAIN / SHOW fan
+    /// out across `replicas` (round-robin, bounded jittered retries,
+    /// read-your-writes floor). With an empty replica list everything
+    /// goes to the primary.
+    pub fn connect_replicated(primary: &str, replicas: &[&str]) -> DbResult<Connection> {
+        Connection::connect_replicated_with(primary, replicas, ReplicatedOptions::default())
+    }
+
+    /// [`Connection::connect_replicated`] with explicit retry/backoff
+    /// and handshake options.
+    pub fn connect_replicated_with(
+        primary: &str,
+        replicas: &[&str],
+        opts: ReplicatedOptions,
+    ) -> DbResult<Connection> {
+        let registry = Database::new();
+        registry
+            .install_blade(&TipBlade)
+            .expect("fresh database accepts the blade");
+        let types = registry.with_catalog(TipTypes::from_catalog)?;
+        let transport =
+            ReplicatedTransport::new(primary, replicas, Arc::clone(&registry), types, opts);
+        Ok(Connection {
+            db: registry,
+            transport: Box::new(transport),
             types,
             type_map: TypeMap::default(),
         })

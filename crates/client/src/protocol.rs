@@ -35,10 +35,12 @@ pub const MAGIC: u32 = 0x5449_5031;
 /// with DML and lock-wait counters; v3 added prepared statements
 /// (PREPARE / EXECUTE_PREPARED / CLOSE_PREPARED) and the plan-cache
 /// counters in METRICS; v4 appended the six WAL/durability counters to
-/// METRICS; v5 appended the MVCC gauges and transaction counters.
-/// Servers negotiate down to a client's older version; this constant is
-/// the highest version this build speaks.
-pub const VERSION: u16 = 5;
+/// METRICS; v5 appended the MVCC gauges and transaction counters; v6
+/// added replication (SUBSCRIBE / SNAPSHOT_CHUNK / WAL_CHUNK /
+/// REPL_ACK / PROMOTE), the `ReadOnly` error code, and the five `repl.*`
+/// METRICS fields. Servers negotiate down to a client's older version;
+/// this constant is the highest version this build speaks.
+pub const VERSION: u16 = 6;
 /// Oldest protocol version this build still accepts from a peer.
 pub const MIN_VERSION: u16 = 2;
 /// Upper bound on one frame (tag + body); anything larger is treated as
@@ -65,6 +67,16 @@ pub mod req {
     pub const EXECUTE_PREPARED: u8 = 0x08;
     /// v3: forget a prepared statement id.
     pub const CLOSE_PREPARED: u8 = 0x09;
+    /// v6: become a replication subscriber, resuming at `(generation,
+    /// offset)`; the connection switches to the SNAPSHOT_CHUNK /
+    /// WAL_CHUNK streaming dialect.
+    pub const SUBSCRIBE: u8 = 0x0A;
+    /// v6: a subscriber's progress report — the newest primary commit
+    /// sequence fully applied on the replica.
+    pub const REPL_ACK: u8 = 0x0B;
+    /// v6: admin order to a replica — stop following the primary and
+    /// start accepting writes (failover).
+    pub const PROMOTE: u8 = 0x0C;
 }
 
 /// Server → client frame tags.
@@ -89,6 +101,12 @@ pub mod resp {
     pub const BUSY: u8 = 0x89;
     /// v3: a PREPARE succeeded; body carries the statement id.
     pub const PREPARED_OK: u8 = 0x8A;
+    /// v6: one piece of a checkpoint snapshot, re-seeding a subscriber
+    /// whose log position was checkpointed away.
+    pub const SNAPSHOT_CHUNK: u8 = 0x8B;
+    /// v6: raw framed WAL bytes from `(generation, offset)`, cut at a
+    /// record-frame boundary, plus the durable-commit watermark reached.
+    pub const WAL_CHUNK: u8 = 0x8C;
 }
 
 /// Value/column kind bytes. Columns of any unlisted UDT degrade to
@@ -578,7 +596,11 @@ impl RowBatchBuilder {
     pub fn new(budget: usize) -> RowBatchBuilder {
         let mut buf = Vec::with_capacity(1024);
         buf.put_u16_le(0); // row count, patched in finish()
-        RowBatchBuilder { buf, rows: 0, budget }
+        RowBatchBuilder {
+            buf,
+            rows: 0,
+            budget,
+        }
     }
 
     /// Rows currently in the batch.
@@ -651,6 +673,93 @@ pub fn decode_affected(mut buf: &[u8]) -> DbResult<u64> {
 }
 
 // ---------------------------------------------------------------------
+// Replication (v6)
+// ---------------------------------------------------------------------
+
+/// Body of a SUBSCRIBE request: the log position the replica wants to
+/// resume from. A generation the primary no longer has (including the
+/// fresh replica's `0`) makes the primary re-seed the subscriber with
+/// SNAPSHOT_CHUNK frames first.
+pub fn encode_subscribe(generation: u64, offset: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.put_u64_le(generation);
+    out.put_u64_le(offset);
+    out
+}
+
+pub fn decode_subscribe(mut buf: &[u8]) -> DbResult<(u64, u64)> {
+    need(&buf, 16, "SUBSCRIBE")?;
+    let generation = buf.get_u64_le();
+    let offset = buf.get_u64_le();
+    expect_empty(buf, "SUBSCRIBE")?;
+    Ok((generation, offset))
+}
+
+/// Body of a REPL_ACK: the position the replica has fully applied plus
+/// the newest primary commit sequence that position covers (the
+/// watermark the primary's lag gauge and semi-sync waits key on).
+pub fn encode_repl_ack(generation: u64, offset: u64, watermark: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    out.put_u64_le(generation);
+    out.put_u64_le(offset);
+    out.put_u64_le(watermark);
+    out
+}
+
+pub fn decode_repl_ack(mut buf: &[u8]) -> DbResult<(u64, u64, u64)> {
+    need(&buf, 24, "REPL_ACK")?;
+    let generation = buf.get_u64_le();
+    let offset = buf.get_u64_le();
+    let watermark = buf.get_u64_le();
+    expect_empty(buf, "REPL_ACK")?;
+    Ok((generation, offset, watermark))
+}
+
+/// Body of a SNAPSHOT_CHUNK: `generation`, a last-chunk flag, and a
+/// piece of the checkpoint payload. The receiver concatenates pieces in
+/// order and loads the whole snapshot when `is_last` arrives.
+pub fn encode_snapshot_chunk(generation: u64, is_last: bool, bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + bytes.len());
+    out.put_u64_le(generation);
+    out.put_u8(is_last as u8);
+    out.put_slice(bytes);
+    out
+}
+
+pub fn decode_snapshot_chunk(mut buf: &[u8]) -> DbResult<(u64, bool, Vec<u8>)> {
+    need(&buf, 9, "SNAPSHOT_CHUNK")?;
+    let generation = buf.get_u64_le();
+    let is_last = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        f => return Err(malformed(format!("bad SNAPSHOT_CHUNK last flag {f}"))),
+    };
+    Ok((generation, is_last, buf.to_vec()))
+}
+
+/// Body of a WAL_CHUNK: the log position the bytes start at, the
+/// durable-commit watermark the chunk reaches (`0` when the cut landed
+/// short of the durable frontier — the receiver must not ack a sequence
+/// for it), and the raw framed record bytes. Empty bytes are a
+/// heartbeat: the subscriber is caught up at `watermark`.
+pub fn encode_wal_chunk(generation: u64, offset: u64, watermark: u64, bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + bytes.len());
+    out.put_u64_le(generation);
+    out.put_u64_le(offset);
+    out.put_u64_le(watermark);
+    out.put_slice(bytes);
+    out
+}
+
+pub fn decode_wal_chunk(mut buf: &[u8]) -> DbResult<(u64, u64, u64, Vec<u8>)> {
+    need(&buf, 24, "WAL_CHUNK")?;
+    let generation = buf.get_u64_le();
+    let offset = buf.get_u64_le();
+    let watermark = buf.get_u64_le();
+    Ok((generation, offset, watermark, buf.to_vec()))
+}
+
+// ---------------------------------------------------------------------
 // BUSY
 // ---------------------------------------------------------------------
 
@@ -716,6 +825,7 @@ pub fn encode_error(e: &DbError) -> Vec<u8> {
         DbError::Constraint { message } => (10, 0, message, ""),
         DbError::Persist { message } => (11, 0, message, ""),
         DbError::Unavailable { message } => (12, 0, message, ""),
+        DbError::ReadOnly { primary } => (13, 0, primary, ""),
     };
     let mut out = Vec::with_capacity(16 + a.len() + b.len());
     out.put_u8(code);
@@ -723,6 +833,19 @@ pub fn encode_error(e: &DbError) -> Vec<u8> {
     put_str(&mut out, a);
     put_str(&mut out, b);
     out
+}
+
+/// Encodes an error for a peer at `version`. Code 13 (`ReadOnly`) is a
+/// v6 addition: older peers would reject the frame outright, so for
+/// them it degrades to `Unavailable` with the same routing hint in the
+/// message text.
+pub fn encode_error_for(e: &DbError, version: u16) -> Vec<u8> {
+    if version < 6 {
+        if let DbError::ReadOnly { .. } = e {
+            return encode_error(&DbError::unavailable(e.to_string()));
+        }
+    }
+    encode_error(e)
 }
 
 /// Decodes an error frame back into the same [`DbError`] variant.
@@ -755,6 +878,7 @@ pub fn decode_error(mut buf: &[u8]) -> DbResult<DbError> {
         10 => DbError::Constraint { message: a },
         11 => DbError::Persist { message: a },
         12 => DbError::Unavailable { message: a },
+        13 => DbError::ReadOnly { primary: a },
         other => return Err(malformed(format!("unknown error code {other}"))),
     })
 }
@@ -766,9 +890,11 @@ pub fn decode_error(mut buf: &[u8]) -> DbResult<DbError> {
 /// Counter fields carried by a METRICS frame at `version`: v2 stopped
 /// after `tables_pinned`; v3 appended the four plan-cache counters; v4
 /// appended the six WAL counters; v5 appended the two MVCC gauges and
-/// three transaction counters.
+/// three transaction counters; v6 appended the five replication fields.
 fn metric_field_count(version: u16) -> usize {
-    if version >= 5 {
+    if version >= 6 {
+        39
+    } else if version >= 5 {
         34
     } else if version >= 4 {
         29
@@ -821,6 +947,11 @@ pub fn encode_metrics_for(m: &MetricsSnapshot, version: u16) -> Vec<u8> {
         m.txn_begun,
         m.txn_committed,
         m.txn_rolled_back,
+        m.repl_chunks_shipped,
+        m.repl_bytes_shipped,
+        m.repl_apply_lag_seq,
+        m.repl_reconnects,
+        m.repl_last_seq,
     ];
     let n = metric_field_count(version);
     let mut out = Vec::with_capacity((n + 1) * 8 + LATENCY_BUCKETS * 8);
@@ -879,6 +1010,11 @@ pub fn decode_metrics_for(mut buf: &[u8], version: u16) -> DbResult<MetricsSnaps
         &mut m.txn_begun,
         &mut m.txn_committed,
         &mut m.txn_rolled_back,
+        &mut m.repl_chunks_shipped,
+        &mut m.repl_bytes_shipped,
+        &mut m.repl_apply_lag_seq,
+        &mut m.repl_reconnects,
+        &mut m.repl_last_seq,
     ];
     for field in &mut fields[..n] {
         **field = buf.get_u64_le();
@@ -1047,6 +1183,7 @@ mod tests {
                 message: "p".into(),
             },
             DbError::unavailable("shutting down"),
+            DbError::read_only("127.0.0.1:5432"),
         ];
         for e in &errors {
             assert_eq!(&decode_error(&encode_error(e)).unwrap(), e);
@@ -1167,6 +1304,92 @@ mod tests {
         // Cross-version frames are rejected in both directions.
         assert!(decode_metrics_for(&v5, 4).is_err());
         assert!(decode_metrics_for(&v4, 5).is_err());
+    }
+
+    #[test]
+    fn v5_metrics_layout_omits_repl_fields() {
+        let m = MetricsSnapshot {
+            selects: 9,
+            txn_begun: 7,
+            repl_chunks_shipped: 4,
+            repl_bytes_shipped: 4096,
+            repl_apply_lag_seq: 2,
+            repl_reconnects: 1,
+            repl_last_seq: 55,
+            ..Default::default()
+        };
+        let v5 = encode_metrics_for(&m, 5);
+        let v6 = encode_metrics_for(&m, 6);
+        assert_eq!(v6.len() - v5.len(), 5 * 8, "v6 appends five u64s");
+        // A v5 peer's decode accepts the narrow frame and leaves the
+        // replication fields zero...
+        let back = decode_metrics_for(&v5, 5).unwrap();
+        assert_eq!(back.txn_begun, 7);
+        assert_eq!(back.repl_chunks_shipped, 0);
+        assert_eq!(back.repl_last_seq, 0);
+        // ...while a v6 round trip carries them whole.
+        let back = decode_metrics_for(&v6, 6).unwrap();
+        assert_eq!(back, m);
+        // Cross-version frames are rejected in both directions.
+        assert!(decode_metrics_for(&v6, 5).is_err());
+        assert!(decode_metrics_for(&v5, 6).is_err());
+    }
+
+    #[test]
+    fn read_only_error_degrades_for_old_peers() {
+        let e = DbError::read_only("10.0.0.1:4000");
+        // A v6 peer gets the typed variant back.
+        match decode_error(&encode_error_for(&e, 6)).unwrap() {
+            DbError::ReadOnly { primary } => assert_eq!(primary, "10.0.0.1:4000"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A v5 peer gets Unavailable with the routing hint in the text.
+        match decode_error(&encode_error_for(&e, 5)).unwrap() {
+            DbError::Unavailable { message } => {
+                assert!(message.contains("10.0.0.1:4000"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Non-ReadOnly errors pass through unchanged at any version.
+        let plain = DbError::exec("boom");
+        assert_eq!(decode_error(&encode_error_for(&plain, 2)).unwrap(), plain);
+    }
+
+    #[test]
+    fn replication_frames_round_trip() {
+        assert_eq!(
+            decode_subscribe(&encode_subscribe(3, 4096)).unwrap(),
+            (3, 4096)
+        );
+        assert_eq!(
+            decode_repl_ack(&encode_repl_ack(3, 4096, 77)).unwrap(),
+            (3, 4096, 77)
+        );
+        assert_eq!(
+            decode_snapshot_chunk(&encode_snapshot_chunk(2, false, b"abc")).unwrap(),
+            (2, false, b"abc".to_vec())
+        );
+        assert_eq!(
+            decode_snapshot_chunk(&encode_snapshot_chunk(2, true, b"")).unwrap(),
+            (2, true, Vec::new())
+        );
+        assert_eq!(
+            decode_wal_chunk(&encode_wal_chunk(2, 16, 9, b"\x01\x02")).unwrap(),
+            (2, 16, 9, vec![1, 2])
+        );
+        // Heartbeat: caught up, no bytes, live watermark.
+        assert_eq!(
+            decode_wal_chunk(&encode_wal_chunk(2, 160, 12, b"")).unwrap(),
+            (2, 160, 12, Vec::new())
+        );
+        // Truncations are typed errors, never panics.
+        let body = encode_wal_chunk(1, 2, 3, b"xyz");
+        for cut in 0..24 {
+            assert!(decode_wal_chunk(&body[..cut]).is_err());
+        }
+        assert!(decode_subscribe(&encode_subscribe(1, 2)[..7]).is_err());
+        assert!(decode_repl_ack(&encode_repl_ack(1, 2, 3)[..23]).is_err());
+        assert!(decode_snapshot_chunk(&[0; 8]).is_err());
     }
 
     #[test]

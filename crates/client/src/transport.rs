@@ -14,9 +14,9 @@ use minidb::{
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 /// How a connection executes statements. Implementations are `Send +
 /// Sync`; one transport serves one logical session (statements are
@@ -336,6 +336,13 @@ impl RemoteTransport {
         self.version
     }
 
+    /// `true` once a transport fault has poisoned the stream; the
+    /// connection must be re-dialed. Statement-level errors (parse,
+    /// constraint, read-only) do NOT set this.
+    pub fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::SeqCst)
+    }
+
     /// Reads one statement outcome off the wire: ERROR, AFFECTED, DONE,
     /// or a ROWS_HEADER-led stream. Shared by STMT and EXECUTE_PREPARED.
     fn read_outcome(&self, stream: &mut TcpStream) -> DbResult<StatementOutcome> {
@@ -507,5 +514,366 @@ impl Drop for RemoteTransport {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replicated
+// ---------------------------------------------------------------------
+
+/// `true` for statements that are both *idempotent* (safe to retry on a
+/// torn connection) and *servable by a read-only replica*: SELECT
+/// (including `AS OF` time travel), EXPLAIN, and SHOW. Everything else
+/// — DML, DDL, transactions, SET — routes to the primary and is never
+/// auto-retried.
+pub fn is_read_only_statement(sql: &str) -> bool {
+    let s = sql.trim_start();
+    let head: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    matches!(head.as_str(), "select" | "explain" | "show")
+}
+
+/// Tuning knobs for [`ReplicatedTransport`].
+#[derive(Debug, Clone)]
+pub struct ReplicatedOptions {
+    /// Per-connection handshake/socket options.
+    pub connect: ConnectOptions,
+    /// Attempts per read-only statement across the replica set before
+    /// giving up with a typed `Unavailable`.
+    pub read_attempts: usize,
+    /// Base backoff between read retries; actual sleeps add up to 100%
+    /// jitter.
+    pub backoff: Duration,
+}
+
+impl Default for ReplicatedOptions {
+    fn default() -> ReplicatedOptions {
+        ReplicatedOptions {
+            connect: ConnectOptions::default(),
+            read_attempts: 3,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One replica endpoint with its lazily-dialed connection and the
+/// newest primary commit sequence it is known to have applied.
+struct ReplicaSlot {
+    addr: String,
+    conn: Mutex<Option<RemoteTransport>>,
+    applied_seq: AtomicU64,
+}
+
+/// How one replica read attempt went.
+enum ReadAttempt {
+    Served(StatementOutcome),
+    /// The replica is behind the read-your-writes floor.
+    Lagging,
+    /// Connect or transport fault; the slot was torn down for re-dial.
+    Fault(DbError),
+}
+
+/// Primary/replica routing over [`RemoteTransport`]s: writes,
+/// transactions and DDL go to the primary; plain SELECT / AS OF /
+/// EXPLAIN / SHOW fan out across replicas round-robin, with bounded
+/// jittered retries against other replicas on connection faults and a
+/// read-your-writes floor — after a write, reads only land on replicas
+/// whose applied sequence has caught up to the primary's durable
+/// frontier (lagging replicas are skipped; if none qualify the read is
+/// served by the primary).
+pub struct ReplicatedTransport {
+    registry: Arc<Database>,
+    types: tip_blade::TipTypes,
+    opts: ReplicatedOptions,
+    primary_addr: String,
+    primary: Mutex<Option<RemoteTransport>>,
+    replicas: Vec<ReplicaSlot>,
+    rr: AtomicUsize,
+    /// NOW override propagated to whichever connection runs the next
+    /// statement (each underlying transport de-dups unchanged values).
+    now: Mutex<Option<i64>>,
+    /// Read-your-writes floor: the primary's durable commit sequence
+    /// observed after this session's most recent write.
+    floor: AtomicU64,
+    /// Set by a write; the next read refreshes the floor first.
+    floor_dirty: AtomicBool,
+}
+
+impl ReplicatedTransport {
+    /// Dials nothing yet: every connection (primary included) is
+    /// established on first use and re-dialed after faults.
+    pub fn new(
+        primary: impl Into<String>,
+        replicas: &[&str],
+        registry: Arc<Database>,
+        types: tip_blade::TipTypes,
+        opts: ReplicatedOptions,
+    ) -> ReplicatedTransport {
+        ReplicatedTransport {
+            registry,
+            types,
+            opts,
+            primary_addr: primary.into(),
+            primary: Mutex::new(None),
+            replicas: replicas
+                .iter()
+                .map(|a| ReplicaSlot {
+                    addr: (*a).to_string(),
+                    conn: Mutex::new(None),
+                    applied_seq: AtomicU64::new(0),
+                })
+                .collect(),
+            rr: AtomicUsize::new(0),
+            now: Mutex::new(None),
+            floor: AtomicU64::new(0),
+            floor_dirty: AtomicBool::new(false),
+        }
+    }
+
+    fn current_now(&self) -> Option<i64> {
+        *self.now.lock().expect("now poisoned")
+    }
+
+    /// Runs `f` against the primary connection, dialing it if needed and
+    /// tearing it down after transport faults so the next call re-dials.
+    fn with_primary<R>(&self, f: impl FnOnce(&RemoteTransport) -> DbResult<R>) -> DbResult<R> {
+        let mut guard = self.primary.lock().expect("primary poisoned");
+        if guard.is_none() {
+            *guard = Some(RemoteTransport::connect(
+                self.primary_addr.as_str(),
+                Arc::clone(&self.registry),
+                self.types,
+                &self.opts.connect,
+            )?);
+        }
+        let t = guard.as_ref().expect("just dialed");
+        t.set_now_unix(self.current_now());
+        let out = f(t);
+        if t.is_broken() {
+            *guard = None;
+        }
+        out
+    }
+
+    /// Refreshes the read-your-writes floor after a write: one metrics
+    /// round trip to the primary for its durable commit sequence. A
+    /// failed refresh keeps the dirty bit so the next read tries again.
+    fn refresh_floor(&self) -> u64 {
+        if self.floor_dirty.swap(false, Ordering::SeqCst) {
+            match self.with_primary(|t| t.server_metrics()) {
+                Ok(m) => {
+                    self.floor.fetch_max(m.repl_last_seq, Ordering::SeqCst);
+                }
+                Err(_) => self.floor_dirty.store(true, Ordering::SeqCst),
+            }
+        }
+        self.floor.load(Ordering::SeqCst)
+    }
+
+    /// One read attempt against one replica slot.
+    fn try_replica(
+        &self,
+        slot: &ReplicaSlot,
+        floor: u64,
+        sql: &str,
+        params: &[(&str, Value)],
+    ) -> DbResult<ReadAttempt> {
+        let mut guard = slot.conn.lock().expect("replica slot poisoned");
+        if guard.is_none() {
+            match RemoteTransport::connect(
+                slot.addr.as_str(),
+                Arc::clone(&self.registry),
+                self.types,
+                &self.opts.connect,
+            ) {
+                Ok(t) => *guard = Some(t),
+                Err(e) => return Ok(ReadAttempt::Fault(e)),
+            }
+        }
+        let t = guard.as_ref().expect("just dialed");
+        if floor > slot.applied_seq.load(Ordering::SeqCst) {
+            // The cached position is behind the floor: ask the replica
+            // how far it has applied before trusting it with the read.
+            match t.server_metrics() {
+                Ok(m) => slot.applied_seq.store(m.repl_last_seq, Ordering::SeqCst),
+                Err(e) => {
+                    *guard = None;
+                    return Ok(ReadAttempt::Fault(e));
+                }
+            }
+            if floor > slot.applied_seq.load(Ordering::SeqCst) {
+                return Ok(ReadAttempt::Lagging);
+            }
+        }
+        t.set_now_unix(self.current_now());
+        match t.execute(sql, params) {
+            Ok(out) => Ok(ReadAttempt::Served(out)),
+            Err(e) if t.is_broken() => {
+                *guard = None;
+                Ok(ReadAttempt::Fault(e))
+            }
+            // Statement-level error: deterministic, not worth retrying
+            // elsewhere — surface it directly.
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fans a read-only statement across the replica set: round-robin
+    /// with bounded jittered retries. Lagging replicas (below the
+    /// read-your-writes floor) fall back to the primary; exhausted
+    /// connection faults become a typed `Unavailable`.
+    fn execute_read(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<StatementOutcome> {
+        let floor = self.refresh_floor();
+        let attempts = self.opts.read_attempts.max(1);
+        let mut lagging = false;
+        let mut last_fault: Option<DbError> = None;
+        for attempt in 0..attempts {
+            let idx = self.rr.fetch_add(1, Ordering::SeqCst) % self.replicas.len();
+            match self.try_replica(&self.replicas[idx], floor, sql, params)? {
+                ReadAttempt::Served(out) => return Ok(out),
+                ReadAttempt::Lagging => lagging = true,
+                ReadAttempt::Fault(e) => {
+                    last_fault = Some(e);
+                    if attempt + 1 < attempts {
+                        backoff_sleep(self.opts.backoff, attempt);
+                    }
+                }
+            }
+        }
+        if lagging {
+            // Read-your-writes beats fan-out: no replica has caught up
+            // to this session's last write, so the primary serves it.
+            return self.with_primary(|t| t.execute(sql, params));
+        }
+        let detail = last_fault.map(|e| e.to_string()).unwrap_or_default();
+        Err(DbError::unavailable(format!(
+            "no replica reachable after {attempts} attempts across {} endpoints: {detail}",
+            self.replicas.len()
+        )))
+    }
+}
+
+impl Transport for ReplicatedTransport {
+    fn execute(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<StatementOutcome> {
+        if is_read_only_statement(sql) && !self.replicas.is_empty() {
+            self.execute_read(sql, params)
+        } else {
+            let out = self.with_primary(|t| t.execute(sql, params))?;
+            // The write (or transaction control) moved the primary's
+            // frontier; the next read must re-establish the floor.
+            self.floor_dirty.store(true, Ordering::SeqCst);
+            Ok(out)
+        }
+    }
+
+    fn set_now_unix(&self, now_unix: Option<i64>) {
+        *self.now.lock().expect("now poisoned") = now_unix;
+    }
+
+    fn now_override_unix(&self) -> Option<i64> {
+        self.current_now()
+    }
+
+    fn metrics(&self) -> DbResult<Arc<QueryMetrics>> {
+        Err(DbError::unavailable(
+            "live metrics handles are in-process only; use metrics_snapshot()",
+        ))
+    }
+
+    fn metrics_snapshot(&self) -> DbResult<MetricsSnapshot> {
+        self.with_primary(|t| t.metrics_snapshot())
+    }
+
+    fn server_metrics(&self) -> DbResult<MetricsSnapshot> {
+        self.with_primary(|t| t.server_metrics())
+    }
+
+    fn set_slow_query_log(
+        &self,
+        _threshold: Duration,
+        _logger: Box<dyn Fn(&SlowQuery) + Send + Sync>,
+    ) -> DbResult<()> {
+        Err(DbError::unavailable(
+            "slow-query log hooks are in-process only",
+        ))
+    }
+
+    fn clear_slow_query_log(&self) -> DbResult<()> {
+        Err(DbError::unavailable(
+            "slow-query log hooks are in-process only",
+        ))
+    }
+
+    fn endpoint(&self) -> String {
+        format!("{} (+{} replicas)", self.primary_addr, self.replicas.len())
+    }
+}
+
+/// Sleeps `base * (attempt + 1)` plus up to 100% jitter. The jitter
+/// source is the wall clock's subsecond nanos — enough to decorrelate
+/// retry storms without a PRNG dependency.
+fn backoff_sleep(base: Duration, attempt: usize) {
+    let step = base.saturating_mul(attempt as u32 + 1);
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()))
+        .unwrap_or(0);
+    let jitter = Duration::from_millis(nanos % (step.as_millis() as u64).max(1));
+    std::thread::sleep(step + jitter);
+}
+
+/// Admin: tells the replica at `addr` to promote itself to primary —
+/// finish draining its replication stream, open its WAL for append, and
+/// start accepting writes. Returns once the server confirms.
+pub fn promote_replica(addr: impl ToSocketAddrs) -> DbResult<()> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| DbError::unavailable(format!("connect failed: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let send = |stream: &mut TcpStream, tag: u8, body: &[u8]| -> DbResult<()> {
+        let mut frame = Vec::with_capacity(5 + body.len());
+        protocol::write_frame(&mut frame, tag, body)
+            .and_then(|()| io::Write::write_all(stream, &frame))
+            .map_err(|e| DbError::unavailable(format!("send failed: {e}")))
+    };
+    let recv = |stream: &mut TcpStream| -> DbResult<(u8, Vec<u8>)> {
+        protocol::read_frame(stream)
+            .map_err(|e| DbError::unavailable(format!("receive failed: {e}")))
+    };
+    send(
+        &mut stream,
+        req::HELLO,
+        &protocol::encode_hello(&Hello {
+            version: protocol::VERSION,
+            now_unix: None,
+        }),
+    )?;
+    match recv(&mut stream)? {
+        (resp::HELLO_OK, body) => {
+            let (version, _banner) = protocol::decode_hello_ok(&body)?;
+            if version < 6 {
+                return Err(DbError::unavailable(format!(
+                    "server speaks protocol v{version}; PROMOTE needs v6"
+                )));
+            }
+        }
+        (resp::ERROR, body) => return Err(protocol::decode_error(&body)?),
+        (other, _) => {
+            return Err(DbError::unavailable(format!(
+                "unexpected handshake frame {other:#04x}"
+            )))
+        }
+    }
+    send(&mut stream, req::PROMOTE, &[])?;
+    match recv(&mut stream)? {
+        (resp::DONE, _) => Ok(()),
+        (resp::ERROR, body) => Err(protocol::decode_error(&body)?),
+        (other, _) => Err(DbError::unavailable(format!(
+            "unexpected PROMOTE reply {other:#04x}"
+        ))),
     }
 }

@@ -30,6 +30,9 @@ pub enum DbError {
     /// The service is temporarily unable to take the request (server at
     /// its connection limit, shutting down, or the transport failed).
     Unavailable { message: String },
+    /// This node is a read-only replica; writes must go to the primary
+    /// at the named address.
+    ReadOnly { primary: String },
 }
 
 impl DbError {
@@ -60,6 +63,13 @@ impl DbError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for read-only-replica rejections.
+    pub fn read_only(primary: impl Into<String>) -> DbError {
+        DbError::ReadOnly {
+            primary: primary.into(),
+        }
+    }
 }
 
 impl fmt::Display for DbError {
@@ -77,6 +87,12 @@ impl fmt::Display for DbError {
             DbError::Constraint { message } => write!(f, "constraint violation: {message}"),
             DbError::Persist { message } => write!(f, "persistence error: {message}"),
             DbError::Unavailable { message } => write!(f, "service unavailable: {message}"),
+            DbError::ReadOnly { primary } => {
+                write!(
+                    f,
+                    "read-only replica: writes go to the primary at {primary}"
+                )
+            }
         }
     }
 }

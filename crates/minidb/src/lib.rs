@@ -16,6 +16,7 @@ pub mod exec;
 pub mod obs;
 pub mod pin;
 pub mod plan;
+pub mod repl;
 pub mod session;
 pub mod sql;
 pub mod storage;
@@ -28,6 +29,7 @@ pub use catalog::{Blade, Catalog, ExecCtx};
 pub use error::{DbError, DbResult};
 pub use obs::{AccessPath, MetricsSnapshot, OpProfile, QueryMetrics, SlowQuery, SlowQueryLogger};
 pub use pin::{PinnedTables, TableSet, TableSource};
+pub use repl::{LogRead, ReplSnapshot, ReplStats, ReplicaApplier};
 pub use session::{Database, Prepared, QueryResult, Session, StatementOutcome};
 pub use types::{DataType, UdtId};
 pub use value::{Row, UdtObject, UdtValue, Value};

@@ -442,6 +442,11 @@ impl QueryMetrics {
             wal_checkpoints: 0,
             mvcc_versions: 0,
             mvcc_snapshots_pinned: 0,
+            repl_chunks_shipped: 0,
+            repl_bytes_shipped: 0,
+            repl_apply_lag_seq: 0,
+            repl_reconnects: 0,
+            repl_last_seq: 0,
             latency_buckets: std::array::from_fn(|i| g(&self.latency_buckets[i])),
         }
     }
@@ -492,6 +497,16 @@ pub struct MetricsSnapshot {
     pub mvcc_versions: u64,
     /// Gauge: snapshot pins currently registered (database-wide).
     pub mvcc_snapshots_pinned: u64,
+    /// Replication counters/gauges, overlaid from the database's
+    /// [`crate::repl::ReplStats`] (see [`MetricsSnapshot::overlay_repl`]);
+    /// all zero on nodes that neither ship nor apply WAL chunks.
+    pub repl_chunks_shipped: u64,
+    pub repl_bytes_shipped: u64,
+    /// Gauge: worst per-replica apply lag in commit sequences (primary).
+    pub repl_apply_lag_seq: u64,
+    pub repl_reconnects: u64,
+    /// Gauge: newest commit sequence known applied on this node.
+    pub repl_last_seq: u64,
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
 
@@ -544,9 +559,14 @@ impl MetricsSnapshot {
         self.wal_checkpoints = self.wal_checkpoints.max(other.wal_checkpoints);
         // The MVCC gauges are database-wide too: max, not sum.
         self.mvcc_versions = self.mvcc_versions.max(other.mvcc_versions);
-        self.mvcc_snapshots_pinned = self
-            .mvcc_snapshots_pinned
-            .max(other.mvcc_snapshots_pinned);
+        self.mvcc_snapshots_pinned = self.mvcc_snapshots_pinned.max(other.mvcc_snapshots_pinned);
+        // Replication state is node-wide (one stream set per database):
+        // max, not sum, for the same reason as the WAL counters.
+        self.repl_chunks_shipped = self.repl_chunks_shipped.max(other.repl_chunks_shipped);
+        self.repl_bytes_shipped = self.repl_bytes_shipped.max(other.repl_bytes_shipped);
+        self.repl_apply_lag_seq = self.repl_apply_lag_seq.max(other.repl_apply_lag_seq);
+        self.repl_reconnects = self.repl_reconnects.max(other.repl_reconnects);
+        self.repl_last_seq = self.repl_last_seq.max(other.repl_last_seq);
         for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
             *a = a.saturating_add(*b);
         }
@@ -569,6 +589,16 @@ impl MetricsSnapshot {
     pub fn overlay_mvcc(&mut self, versions: u64, snapshots_pinned: u64) {
         self.mvcc_versions = versions;
         self.mvcc_snapshots_pinned = snapshots_pinned;
+    }
+
+    /// Copies the database's replication counters into this snapshot
+    /// (same idea as [`MetricsSnapshot::overlay_wal`]).
+    pub fn overlay_repl(&mut self, r: &crate::repl::ReplSnapshot) {
+        self.repl_chunks_shipped = r.chunks_shipped;
+        self.repl_bytes_shipped = r.bytes_shipped;
+        self.repl_apply_lag_seq = r.apply_lag_seq;
+        self.repl_reconnects = r.reconnects;
+        self.repl_last_seq = r.last_seq;
     }
 
     /// Total statements of any kind (errors not included).
@@ -776,6 +806,31 @@ mod tests {
         assert_eq!(total.wal_bytes, 1000);
         assert_eq!(total.wal_fsyncs, 3);
         assert_eq!(total.wal_checkpoints, 1);
+    }
+
+    #[test]
+    fn repl_counters_overlay_and_absorb_as_gauges() {
+        let mut a = MetricsSnapshot::default();
+        a.overlay_repl(&crate::repl::ReplSnapshot {
+            chunks_shipped: 6,
+            bytes_shipped: 640,
+            apply_lag_seq: 2,
+            reconnects: 1,
+            last_seq: 37,
+        });
+        assert_eq!(a.repl_chunks_shipped, 6);
+        assert_eq!(a.repl_last_seq, 37);
+        // Two sessions observing the same node-wide replication state
+        // must not double it when aggregated.
+        let b = a.clone();
+        let mut total = MetricsSnapshot::default();
+        total.absorb(&a);
+        total.absorb(&b);
+        assert_eq!(total.repl_chunks_shipped, 6);
+        assert_eq!(total.repl_bytes_shipped, 640);
+        assert_eq!(total.repl_apply_lag_seq, 2);
+        assert_eq!(total.repl_reconnects, 1);
+        assert_eq!(total.repl_last_seq, 37);
     }
 
     #[test]

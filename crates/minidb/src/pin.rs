@@ -313,7 +313,10 @@ pub struct FrozenTables {
 
 impl FrozenTables {
     /// Builds a source from `(lowercase key, snapshot)` pairs.
-    pub(crate) fn new(mut tables: Vec<(String, Arc<Table>)>, views: HashMap<String, ViewDef>) -> FrozenTables {
+    pub(crate) fn new(
+        mut tables: Vec<(String, Arc<Table>)>,
+        views: HashMap<String, ViewDef>,
+    ) -> FrozenTables {
         tables.sort_by(|a, b| a.0.cmp(&b.0));
         FrozenTables { tables, views }
     }
@@ -322,7 +325,10 @@ impl FrozenTables {
 impl TableSource for FrozenTables {
     fn table(&self, name: &str) -> DbResult<&Table> {
         let key = name.to_ascii_lowercase();
-        match self.tables.binary_search_by(|(k, _)| k.as_str().cmp(key.as_str())) {
+        match self
+            .tables
+            .binary_search_by(|(k, _)| k.as_str().cmp(key.as_str()))
+        {
             Ok(i) => Ok(&self.tables[i].1),
             Err(_) => Err(DbError::NotFound {
                 kind: "table",

@@ -102,6 +102,18 @@ pub struct Database {
     /// MVCC commit state: the global commit counter and the snapshot
     /// pins that hold back version garbage collection.
     mvcc: MvccState,
+    /// MVCC retention window (commits of version history kept beyond
+    /// the oldest pin). Defaults to [`DEFAULT_VERSION_RETENTION`];
+    /// configurable via [`DurabilityConfig::mvcc_retention`] or
+    /// [`Database::set_mvcc_retention`].
+    mvcc_retention: AtomicU64,
+    /// When `Some(primary)`, this database is a read-only replica:
+    /// every write statement is rejected with [`DbError::ReadOnly`]
+    /// naming the primary. Cleared by promotion.
+    read_only: RwLock<Option<String>>,
+    /// Replication counters (chunks/bytes shipped, apply lag,
+    /// reconnects) — all zero on nodes that neither ship nor apply.
+    repl: crate::repl::ReplStats,
     /// Durability state, present only on databases opened from a data
     /// directory ([`Database::open`]). In-memory databases pay nothing.
     durability: OnceLock<Arc<Durability>>,
@@ -184,6 +196,12 @@ struct Durability {
     /// Generation of the on-disk checkpoint; the fresh log created by
     /// each checkpoint is stamped with the same number.
     generation: AtomicU64,
+    /// The [`wal::WalProgress::rotations`] count that corresponds to
+    /// `generation`. When a progress snapshot reports a higher count the
+    /// writer has already swapped to the next generation's log but the
+    /// checkpoint hasn't published it yet — replication log reads must
+    /// not serve (or stamp watermarks) across that window.
+    log_rotations: AtomicU64,
     /// Serializes checkpoints (manual, threshold, and close).
     checkpoint_lock: Mutex<()>,
     /// Collapses concurrent threshold triggers into one checkpoint.
@@ -204,6 +222,9 @@ impl Database {
             generation: AtomicU64::new(0),
             plan_cache: Mutex::new(PlanCache::new(PlanCache::DEFAULT_CAP)),
             mvcc: MvccState::new(),
+            mvcc_retention: AtomicU64::new(DEFAULT_VERSION_RETENTION),
+            read_only: RwLock::new(None),
+            repl: crate::repl::ReplStats::default(),
             durability: OnceLock::new(),
         })
     }
@@ -266,36 +287,72 @@ impl Database {
         db.republish_all();
         // Checkpoint-at-open: persist the recovered state under the next
         // generation and start a fresh log, so no old log replays twice.
-        let snap = db.save_snapshot()?;
-        wal::recover::write_snapshot_file(&dir, next_gen, &snap)?;
+        let w = db.attach_durability_with(&dir, cfg, next_gen, make)?;
+        report.elapsed = started.elapsed();
+        w.stats()
+            .replayed
+            .store(report.records_replayed, Ordering::Relaxed);
+        w.stats()
+            .recovery_micros
+            .store(report.elapsed.as_micros() as u64, Ordering::Relaxed);
+        Ok((db, report))
+    }
+
+    /// Attaches durability to a database that has none yet: writes a
+    /// checkpoint snapshot of the *current* in-memory state under
+    /// `generation`, starts a fresh WAL, and begins logging subsequent
+    /// statements. This is the tail of [`Database::open`] — and the
+    /// machinery a promoted replica uses to become a durable primary
+    /// without restarting.
+    pub fn attach_durability(&self, dir: impl AsRef<Path>, cfg: DurabilityConfig) -> DbResult<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| DbError::Persist {
+            message: format!("create data dir {}: {e}", dir.display()),
+        })?;
+        self.attach_durability_with(dir, cfg, 1, |path, header| {
+            StdWalFile::create(path, header).map(|f| Box::new(f) as Box<dyn WalFile>)
+        })?;
+        Ok(())
+    }
+
+    fn attach_durability_with(
+        &self,
+        dir: &Path,
+        cfg: DurabilityConfig,
+        generation: u64,
+        make: impl FnOnce(&Path, &[u8]) -> std::io::Result<Box<dyn WalFile>>,
+    ) -> DbResult<Arc<Wal>> {
+        if self.durability.get().is_some() {
+            return Err(DbError::Persist {
+                message: "durability is already attached".into(),
+            });
+        }
+        let snap = self.save_snapshot()?;
+        wal::recover::write_snapshot_file(dir, generation, &snap)?;
         let _ = std::fs::remove_file(dir.join(wal::recover::WAL_FILE_NEW));
         let log = make(
             &dir.join(wal::recover::WAL_FILE),
-            &wal::record::encode_header(next_gen),
+            &wal::record::encode_header(generation),
         )
         .map_err(|e| DbError::Persist {
             message: format!("create wal.log: {e}"),
         })?;
         let w = Wal::start(log, cfg.sync_mode);
-        report.elapsed = started.elapsed();
-        w.stats()
-            .replayed
-            .store(report.records_replayed, Ordering::Relaxed);
         w.stats().checkpoints.fetch_add(1, Ordering::Relaxed);
-        w.stats()
-            .recovery_micros
-            .store(report.elapsed.as_micros() as u64, Ordering::Relaxed);
-        let _ = db.durability.set(Arc::new(Durability {
-            dir,
-            wal: w,
+        self.mvcc_retention
+            .store(cfg.mvcc_retention, Ordering::Relaxed);
+        let _ = self.durability.set(Arc::new(Durability {
+            dir: dir.to_path_buf(),
+            wal: Arc::clone(&w),
             cfg,
-            generation: AtomicU64::new(next_gen),
+            generation: AtomicU64::new(generation),
+            log_rotations: AtomicU64::new(0),
             checkpoint_lock: Mutex::new(()),
             checkpoint_pending: AtomicBool::new(false),
             closed: AtomicBool::new(false),
             txn_ids: AtomicU64::new(0),
         }));
-        Ok((db, report))
+        Ok(w)
     }
 
     /// `true` when this database persists to a data directory.
@@ -346,6 +403,7 @@ impl Database {
             }
         })?;
         d.generation.store(next, Ordering::Release);
+        d.log_rotations.fetch_add(1, Ordering::Release);
         d.wal.stats().checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -479,10 +537,11 @@ impl Database {
             cell.publish(seq, instant, Arc::clone(snap));
         }
         self.mvcc.commit_seq.store(seq, Ordering::Release);
+        let retention = self.mvcc_retention.load(Ordering::Relaxed);
         let floor = {
             let pinned = self.mvcc.pinned.lock();
             let oldest_pin = pinned.keys().next().copied().unwrap_or(u64::MAX);
-            oldest_pin.min(seq.saturating_sub(DEFAULT_VERSION_RETENTION))
+            oldest_pin.min(seq.saturating_sub(retention))
         };
         for (cell, _) in &items {
             cell.gc(floor);
@@ -546,12 +605,174 @@ impl Database {
         self.mvcc.pinned.lock().values().map(|&n| n as u64).sum()
     }
 
+    /// The configured MVCC retention window, in commits.
+    pub fn mvcc_retention(&self) -> u64 {
+        self.mvcc_retention.load(Ordering::Relaxed)
+    }
+
+    /// Reconfigures the MVCC retention window at runtime. Takes effect
+    /// at the next commit's garbage-collection pass; shrinking the
+    /// window never collects versions a live pin still needs.
+    pub fn set_mvcc_retention(&self, commits: u64) {
+        self.mvcc_retention.store(commits, Ordering::Relaxed);
+    }
+
     /// The MVCC gauges as `SHOW STATS` rows.
     pub(crate) fn mvcc_rows(&self) -> Vec<(String, u64)> {
         vec![
             ("mvcc.versions".to_owned(), self.mvcc_versions()),
             ("mvcc.snapshots_pinned".to_owned(), self.snapshots_pinned()),
+            ("mvcc.retention".to_owned(), self.mvcc_retention()),
         ]
+    }
+
+    // ----- Replication ------------------------------------------------
+
+    /// Replication counters (shipping side on a primary, applying side
+    /// on a replica).
+    pub fn repl_stats(&self) -> &crate::repl::ReplStats {
+        &self.repl
+    }
+
+    /// Marks this database a read-only replica of `primary`: every
+    /// write statement is rejected with [`DbError::ReadOnly`] naming
+    /// that address until [`Database::clear_read_only`] (promotion).
+    pub fn set_read_only(&self, primary: impl Into<String>) {
+        *self.read_only.write() = Some(primary.into());
+    }
+
+    /// Lifts the read-only restriction (replica promotion).
+    pub fn clear_read_only(&self) {
+        *self.read_only.write() = None;
+    }
+
+    /// The primary's address when this database is a read-only replica.
+    pub fn read_only_primary(&self) -> Option<String> {
+        self.read_only.read().clone()
+    }
+
+    /// The generation of the current checkpoint/log pair, or `None` on
+    /// an in-memory database.
+    pub fn wal_generation(&self) -> Option<u64> {
+        self.durability
+            .get()
+            .map(|d| d.generation.load(Ordering::Acquire))
+    }
+
+    /// Reads the latest checkpoint snapshot for replica catch-up:
+    /// `(generation, snapshot bytes)`. Serialized against checkpoints so
+    /// the snapshot and its generation can never be torn.
+    pub fn repl_snapshot(&self) -> DbResult<(u64, Vec<u8>)> {
+        let d = self.durability.get().ok_or_else(|| DbError::Persist {
+            message: "replication requires a durable database".into(),
+        })?;
+        let _serial = d.checkpoint_lock.lock();
+        match wal::recover::read_snapshot_file(&d.dir)? {
+            Some((generation, bytes)) => Ok((generation, bytes)),
+            None => Err(DbError::Persist {
+                message: "no checkpoint snapshot on disk".into(),
+            }),
+        }
+    }
+
+    /// Reads committed WAL bytes for a subscriber positioned at
+    /// `(generation, offset)`. Returns at most `max_len` bytes ending on
+    /// a framed-chunk boundary (the writer's flush watermark), plus the
+    /// commit sequence those bytes reach. `Restart` means the requested
+    /// generation has been checkpointed away and the replica must
+    /// re-seed from the current snapshot.
+    pub fn repl_log_read(
+        &self,
+        generation: u64,
+        offset: u64,
+        max_len: usize,
+    ) -> DbResult<crate::repl::LogRead> {
+        use std::io::{Read as _, Seek as _};
+        let d = self.durability.get().ok_or_else(|| DbError::Persist {
+            message: "replication requires a durable database".into(),
+        })?;
+        let p = d.wal.progress();
+        if generation != d.generation.load(Ordering::Acquire) {
+            return Ok(crate::repl::LogRead::Restart);
+        }
+        if p.rotations != d.log_rotations.load(Ordering::Acquire) {
+            // Mid-checkpoint: the writer already swapped to the next
+            // generation's log but the checkpoint hasn't published it.
+            // `p.flushed`/`p.seq` describe the *new* file, so neither
+            // bytes nor a watermark can be served for this generation;
+            // report "nothing yet" and let the next poll restart.
+            return Ok(crate::repl::LogRead::Chunk {
+                bytes: Vec::new(),
+                watermark: 0,
+            });
+        }
+        if offset >= p.flushed {
+            // Caught up (or the log rotated under us — the generation
+            // check above re-runs next poll and restarts if so).
+            return Ok(crate::repl::LogRead::Chunk {
+                bytes: Vec::new(),
+                watermark: p.seq,
+            });
+        }
+        let path = d.dir.join(wal::recover::WAL_FILE);
+        let mut f = std::fs::File::open(&path).map_err(|e| DbError::Persist {
+            message: format!("open {}: {e}", path.display()),
+        })?;
+        // Verify the file on disk is still the generation the subscriber
+        // is positioned in: a checkpoint may have renamed a fresh log
+        // over it between the progress read and this open.
+        let mut header = [0u8; wal::record::LOG_HEADER_LEN];
+        f.read_exact(&mut header).map_err(|e| DbError::Persist {
+            message: format!("read wal.log header: {e}"),
+        })?;
+        match wal::record::decode_header(&header) {
+            Ok(g) if g == generation => {}
+            _ => return Ok(crate::repl::LogRead::Restart),
+        }
+        let len = (p.flushed - offset).min(max_len as u64) as usize;
+        f.seek(std::io::SeekFrom::Start(offset))
+            .map_err(|e| DbError::Persist {
+                message: format!("seek wal.log: {e}"),
+            })?;
+        let mut bytes = vec![0u8; len];
+        f.read_exact(&mut bytes).map_err(|e| DbError::Persist {
+            message: format!("read wal.log: {e}"),
+        })?;
+        // A partial read below the flush watermark still ends on a chunk
+        // boundary only if max_len cut nowhere — trim to whole frames so
+        // the replica's applier never buffers across a poll cycle
+        // unnecessarily. (Frames are self-describing: len, crc, payload.)
+        let whole = wal::record::whole_frames_len(&bytes);
+        bytes.truncate(whole);
+        Ok(crate::repl::LogRead::Chunk {
+            bytes,
+            watermark: if offset + whole as u64 >= p.flushed {
+                p.seq
+            } else {
+                // Mid-log chunk: the watermark is unknown at this cut;
+                // report the previous commit bound conservatively as 0
+                // so the replica only acks real watermarks.
+                0
+            },
+        })
+    }
+
+    /// Blocks until WAL progress advances past `last` or `timeout`
+    /// elapses (see [`wal::WalProgress`]); returns the current progress.
+    /// `None` on in-memory databases.
+    pub fn wal_progress_wait(
+        &self,
+        last: &wal::WalProgress,
+        timeout: Duration,
+    ) -> Option<wal::WalProgress> {
+        self.durability
+            .get()
+            .map(|d| d.wal.wait_progress(last, timeout))
+    }
+
+    /// Current WAL progress, `None` on in-memory databases.
+    pub fn wal_progress(&self) -> Option<wal::WalProgress> {
+        self.durability.get().map(|d| d.wal.progress())
     }
 
     /// Installs an extension blade (types, routines, casts, aggregates).
@@ -631,8 +852,18 @@ impl Database {
             now_override: None,
             metrics: QueryMetrics::new(),
             slow_query: None,
+            repl_apply: false,
             txn: Mutex::new(None),
         }
+    }
+
+    /// Opens the internal session replication replay applies through:
+    /// identical to [`Database::session`] except the read-only replica
+    /// guard is bypassed, so shipped DDL can execute on a replica.
+    pub(crate) fn repl_session(self: &Arc<Self>) -> Session {
+        let mut s = self.session();
+        s.repl_apply = true;
+        s
     }
 
     /// Serializes all tables to a snapshot. Every table's read guard is
@@ -718,6 +949,10 @@ pub struct Session {
     now_override: Option<i64>,
     metrics: Arc<QueryMetrics>,
     slow_query: Option<(Duration, SlowQueryLogger)>,
+    /// Set on the internal session replication replay runs through: WAL
+    /// records from the primary must apply (including DDL) even though
+    /// the node rejects client writes.
+    repl_apply: bool,
     /// The open multi-statement transaction, if any (`BEGIN` …
     /// `COMMIT`/`ROLLBACK`). Behind a mutex so `Session` stays `Sync`.
     txn: Mutex<Option<TxnState>>,
@@ -912,6 +1147,19 @@ impl Session {
             }
         }
         let stmt = parse_statement(sql)?;
+        // Replica guard: read-only statements (SELECT, EXPLAIN, SHOW
+        // STATS) run locally; everything else — DML, DDL, and
+        // transactions — belongs on the primary. The replication
+        // applier's own session is exempt: shipped records are the
+        // primary's writes arriving.
+        if !self.repl_apply {
+            if let Some(primary) = self.db.read_only_primary() {
+                match stmt {
+                    Statement::Select(_) | Statement::Explain { .. } | Statement::ShowStats => {}
+                    _ => return Err(DbError::ReadOnly { primary }),
+                }
+            }
+        }
         let empty_params = HashMap::new();
         let params_map: &HashMap<String, Value> = params.as_deref().unwrap_or(&empty_params);
         let ctx = self.statement_ctx(params.as_ref());
@@ -941,7 +1189,8 @@ impl Session {
             Statement::Select(ref sel) if in_txn && sel.as_of.is_none() => {
                 self.txn_select(&table_set, sel, sql, params_map, ctx)
             }
-            s @ (Statement::Insert { .. } | Statement::Update { .. } | Statement::Delete { .. })
+            s
+            @ (Statement::Insert { .. } | Statement::Update { .. } | Statement::Delete { .. })
                 if in_txn =>
             {
                 self.txn_dml(&table_set, s, sql, params_map, ctx)
@@ -1093,7 +1342,10 @@ impl Session {
                     .iter()
                     .any(|ix| ix.name.eq_ignore_ascii_case(&name))
                 {
-                    return Err(DbError::AlreadyExists { kind: "index", name });
+                    return Err(DbError::AlreadyExists {
+                        kind: "index",
+                        name,
+                    });
                 }
                 let seq = self.db.wal_append(&catalog, |b| b.ddl(sql))?;
                 match interval_bounds {
@@ -1314,7 +1566,8 @@ impl Session {
             }
             Statement::ShowStats => {
                 // Session counters, then the database-wide WAL counters
-                // (all zero on an in-memory database) and MVCC gauges.
+                // (all zero on an in-memory database), MVCC gauges, and
+                // replication counters.
                 let rows = self
                     .metrics
                     .snapshot()
@@ -1322,6 +1575,7 @@ impl Session {
                     .into_iter()
                     .chain(self.db.wal_stats().rows())
                     .chain(self.db.mvcc_rows())
+                    .chain(self.db.repl_stats().rows())
                     .map(|(metric, value)| {
                         vec![
                             Value::Str(metric),
@@ -1467,8 +1721,15 @@ impl Session {
         let catalog = self.db.catalog.read();
         let schema = pinned.table(table)?.schema.clone();
         let target_cols = resolve_target_cols(&schema, table, &columns)?;
-        let to_insert =
-            eval_insert_values(&catalog, &pinned, &schema, &target_cols, &rows, params, &ctx)?;
+        let to_insert = eval_insert_values(
+            &catalog,
+            &pinned,
+            &schema,
+            &target_cols,
+            &rows,
+            params,
+            &ctx,
+        )?;
         let t = pinned.table_mut(table)?;
         // Log *before* applying, against the rowids the inserts are
         // about to land on (the free list is deterministic): a chunk
@@ -1509,8 +1770,15 @@ impl Session {
         let catalog = self.db.catalog.read();
         let schema = pinned.table(table)?.schema.clone();
         let target_cols = resolve_target_cols(&schema, table, &columns)?;
-        let to_insert =
-            eval_insert_select(&catalog, &pinned, &schema, &target_cols, select, params, &ctx)?;
+        let to_insert = eval_insert_select(
+            &catalog,
+            &pinned,
+            &schema,
+            &target_cols,
+            select,
+            params,
+            &ctx,
+        )?;
         let t = pinned.table_mut(table)?;
         // Same log-before-apply protocol as plain INSERT.
         let rowids = t.planned_rowids(to_insert.len());
@@ -1843,12 +2111,24 @@ impl Session {
         let target_cols = resolve_target_cols(&schema, table, &columns)?;
         let frozen = frozen_for_txn(set, txn)?;
         let to_insert = match source {
-            InsertSource::Values(rows) => {
-                eval_insert_values(&catalog, &frozen, &schema, &target_cols, &rows, params, &ctx)?
-            }
-            InsertSource::Query(select) => {
-                eval_insert_select(&catalog, &frozen, &schema, &target_cols, &select, params, &ctx)?
-            }
+            InsertSource::Values(rows) => eval_insert_values(
+                &catalog,
+                &frozen,
+                &schema,
+                &target_cols,
+                &rows,
+                params,
+                &ctx,
+            )?,
+            InsertSource::Query(select) => eval_insert_select(
+                &catalog,
+                &frozen,
+                &schema,
+                &target_cols,
+                &select,
+                params,
+                &ctx,
+            )?,
         };
         let n = to_insert.len();
         let tt = txn.tables.get_mut(&key).expect("touched above");
@@ -2133,7 +2413,9 @@ fn eval_insert_values(
         for (e, &col) in exprs.iter().zip(target_cols) {
             let e = planner.resolve_subqueries(e)?;
             let bound = planner.binder.bind(&e, &scope)?;
-            let coerced = planner.binder.coerce(bound, schema.columns[col].ty, false)?;
+            let coerced = planner
+                .binder
+                .coerce(bound, schema.columns[col].ty, false)?;
             row[col] = coerced.eval(ctx, &[])?;
         }
         out.push(row);
@@ -2226,7 +2508,9 @@ fn eval_update_changes(
         })?;
         let e = planner.resolve_subqueries(e)?;
         let bound = planner.binder.bind(&e, &scope)?;
-        let coerced = planner.binder.coerce(bound, schema.columns[col].ty, false)?;
+        let coerced = planner
+            .binder
+            .coerce(bound, schema.columns[col].ty, false)?;
         bound_sets.push((col, coerced));
     }
     let pred = match where_clause {

@@ -651,7 +651,9 @@ impl TableCell {
     /// Appends a committed snapshot to the version chain. Call with the
     /// `data` write guard still held so versions append in commit order.
     pub fn publish(&self, seq: u64, instant: i64, snap: Arc<Table>) {
-        self.versions.write().push(TableVersion { seq, instant, snap });
+        self.versions
+            .write()
+            .push(TableVersion { seq, instant, snap });
     }
 
     /// The newest published version.
@@ -709,11 +711,7 @@ impl TableCell {
     /// compares this against its base: any movement means a concurrent
     /// commit got there first (a write-write conflict).
     pub fn latest_seq(&self) -> u64 {
-        self.versions
-            .read()
-            .last()
-            .map(|tv| tv.seq)
-            .unwrap_or(0)
+        self.versions.read().last().map(|tv| tv.seq).unwrap_or(0)
     }
 
     /// Length of the version chain.

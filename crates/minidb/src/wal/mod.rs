@@ -64,6 +64,10 @@ pub struct DurabilityConfig {
     /// Log size (bytes) that triggers an automatic checkpoint after a
     /// commit; `0` disables threshold checkpointing.
     pub checkpoint_bytes: u64,
+    /// MVCC retention window: how many commits of version history each
+    /// table chain keeps beyond the oldest pinned snapshot. Replicas
+    /// want a wider window to absorb replication lag.
+    pub mvcc_retention: u64,
 }
 
 impl Default for DurabilityConfig {
@@ -71,6 +75,7 @@ impl Default for DurabilityConfig {
         DurabilityConfig {
             sync_mode: SyncMode::EveryCommit,
             checkpoint_bytes: 16 * 1024 * 1024,
+            mvcc_retention: 64,
         }
     }
 }
@@ -206,6 +211,11 @@ struct WalShared {
     /// Bytes in the *current* log (pending buffer included); reset when
     /// a rotation is queued.
     log_bytes: u64,
+    /// Bytes the writer has successfully handed to the current file —
+    /// always a chunk boundary, because the writer drains whole framed
+    /// chunks. Replication subscribers read the log file up to this
+    /// watermark; reset to the new file's length on rotation.
+    flushed: u64,
     shutdown: bool,
     /// Sticky I/O error: after the log breaks, every further logged
     /// statement fails loudly instead of diverging from disk.
@@ -224,6 +234,26 @@ struct Core {
     done: Condvar,
     stats: WalStats,
     mode: SyncMode,
+}
+
+/// A point-in-time view of how far the WAL has advanced, for
+/// replication subscribers tailing the log file. `flushed` is always a
+/// framed-chunk boundary (the writer drains whole chunks), so a reader
+/// may hand `file[..flushed]` bytes to a replica without ever splitting
+/// a record frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalProgress {
+    /// Completed log rotations (each rotation starts a new generation).
+    pub rotations: u64,
+    /// Bytes written to the current log file (header included).
+    pub flushed: u64,
+    /// Commit sequence covered by `flushed` — the newest commit whose
+    /// chunk has been handed to the file. (Commits still in the append
+    /// buffer are *not* covered; a subscriber acking this watermark has
+    /// everything the log file holds.)
+    pub seq: u64,
+    /// The WAL has been closed; no further progress will be made.
+    pub shutdown: bool,
 }
 
 /// The write-ahead log: an append buffer drained by a group-commit
@@ -247,6 +277,7 @@ impl Wal {
                 rotate_to: None,
                 rotations_done: 0,
                 log_bytes: initial_len,
+                flushed: initial_len,
                 shutdown: false,
                 io_error: None,
             }),
@@ -329,6 +360,42 @@ impl Wal {
     /// Bytes in the current log file (pending appends included).
     pub fn log_bytes(&self) -> u64 {
         self.core.shared.lock().unwrap().log_bytes
+    }
+
+    /// Current subscriber-visible progress (see [`WalProgress`]).
+    pub fn progress(&self) -> WalProgress {
+        let s = self.core.shared.lock().unwrap();
+        WalProgress {
+            rotations: s.rotations_done,
+            flushed: s.flushed,
+            seq: s.durable_seq,
+            shutdown: s.shutdown,
+        }
+    }
+
+    /// Blocks until progress advances past `last` (more flushed bytes, a
+    /// rotation, or shutdown) or `timeout` elapses, and returns the
+    /// progress either way. Subscriber threads park here between chunks
+    /// instead of busy-polling the log file.
+    pub fn wait_progress(&self, last: &WalProgress, timeout: Duration) -> WalProgress {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.core.shared.lock().unwrap();
+        loop {
+            let advanced = s.rotations_done != last.rotations
+                || s.flushed != last.flushed
+                || s.shutdown
+                || s.io_error.is_some();
+            let now = Instant::now();
+            if advanced || now >= deadline {
+                return WalProgress {
+                    rotations: s.rotations_done,
+                    flushed: s.flushed,
+                    seq: s.durable_seq,
+                    shutdown: s.shutdown,
+                };
+            }
+            s = self.core.done.wait_timeout(s, deadline - now).unwrap().0;
+        }
     }
 
     /// Queues a log rotation and blocks until the writer has flushed and
@@ -449,7 +516,9 @@ fn writer_loop(wal: &Core, mut file: Box<dyn WalFile>) {
             // In EveryCommit mode durability means "fsynced"; in the
             // lossy modes an acknowledged commit is merely written.
             s.durable_seq = seq_hi;
+            s.flushed += chunk.len() as u64;
             if let Some(new_file) = rotate {
+                s.flushed = new_file.len();
                 file = new_file;
                 s.rotations_done += 1;
                 commits_since_sync = 0;

@@ -406,6 +406,25 @@ pub fn scan_records(region: &[u8]) -> LogScan {
     }
 }
 
+/// Length of the leading *whole* frames in `bytes` — the largest prefix
+/// ending exactly on a frame boundary. Replication uses this to trim a
+/// byte-bounded log read so it never ships a split frame.
+pub fn whole_frames_len(bytes: &[u8]) -> usize {
+    let mut off = 0usize;
+    while bytes.len() - off >= 8 {
+        let len = u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
+        if len == 0 || len > MAX_RECORD_LEN {
+            break;
+        }
+        let len = len as usize;
+        if bytes.len() - off < 8 + len {
+            break;
+        }
+        off += 8 + len;
+    }
+    off
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

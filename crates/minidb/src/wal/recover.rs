@@ -225,7 +225,9 @@ fn replay_region(
 /// mentions but the database lacks — possible only under a lossy sync
 /// mode, or on idempotent re-application over a checkpoint) are counted,
 /// not fatal: the rest of the log still carries committed data.
-fn apply(
+/// Also the per-record half of continuous replica apply
+/// ([`crate::repl::ReplicaApplier`]).
+pub(crate) fn apply(
     db: &Arc<Database>,
     session: &crate::session::Session,
     rec: WalRecord,

@@ -64,6 +64,7 @@ proptest! {
             // Force a mid-run checkpoint now and then: tiny threshold on
             // odd-length op lists exercises the rotate-first protocol.
             checkpoint_bytes: if ops.len() % 2 == 1 { 256 } else { 0 },
+            ..DurabilityConfig::default()
         };
         let dir = scratch();
         let live_bytes;

@@ -63,7 +63,9 @@ fn as_of_a_future_commit_sees_the_latest_committed_rows() {
     }
     let future = db.commit_seq() + 1_000;
     let r = s
-        .query(&format!("SELECT id FROM t ORDER BY id AS OF COMMIT {future}"))
+        .query(&format!(
+            "SELECT id FROM t ORDER BY id AS OF COMMIT {future}"
+        ))
         .unwrap();
     let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
     assert_eq!(got, vec![0, 1, 2], "a future commit clamps to the latest");
@@ -178,7 +180,9 @@ fn uncommitted_writes_are_private_to_the_transaction() {
 
     // … but AS OF addresses committed history only, even in-session …
     let historical: Vec<i64> = s1
-        .query(&format!("SELECT id FROM t ORDER BY id AS OF COMMIT {committed}"))
+        .query(&format!(
+            "SELECT id FROM t ORDER BY id AS OF COMMIT {committed}"
+        ))
         .unwrap()
         .rows
         .iter()
@@ -224,7 +228,11 @@ fn first_committer_wins_on_a_write_write_conflict() {
         }
         other => panic!("second committer must lose, got {other:?}"),
     }
-    assert_eq!(ids(&db, "t"), vec![10], "the first committer's write stands");
+    assert_eq!(
+        ids(&db, "t"),
+        vec![10],
+        "the first committer's write stands"
+    );
 
     // The loser's transaction is over; a fresh one works.
     s2.execute("BEGIN").unwrap();

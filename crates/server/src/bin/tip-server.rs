@@ -3,6 +3,8 @@
 //! ```text
 //! tip-server [--listen ADDR] [--max-connections N] [--demo]
 //!            [--data-dir DIR] [--sync MODE] [--checkpoint-bytes N]
+//!            [--mvcc-retention N] [--replicate-from ADDR]
+//! tip-server --promote ADDR
 //! ```
 //!
 //! `--demo` pre-populates the shared database with the synthetic
@@ -13,24 +15,38 @@
 //! startup (snapshot + WAL replay) and logs every committed statement.
 //! `--sync` picks the fsync policy (`every-commit` [default], `off`, or
 //! `interval:MILLIS`); `--checkpoint-bytes N` sets the log size that
-//! triggers a checkpoint (0 disables size-triggered checkpoints).
+//! triggers a checkpoint (0 disables size-triggered checkpoints);
+//! `--mvcc-retention N` sets how many published commits stay readable
+//! for AS OF queries.
 //!
-//! A durable server also reads stdin: a `quit` line performs a clean
-//! shutdown (stop accepting, final checkpoint) — the hook integration
-//! tests use to distinguish clean shutdown from a kill.
+//! `--replicate-from ADDR` starts this server as a read-only replica of
+//! the primary at `ADDR`: it streams the primary's WAL, serves reads
+//! (writes are rejected with a typed error naming the primary), and
+//! accepts an admin PROMOTE frame to take over as primary. When
+//! `--data-dir` is also given the directory is *not* opened at startup;
+//! it becomes the promoted node's durable home.
+//!
+//! `--promote ADDR` is the matching admin verb: send the PROMOTE frame
+//! to the replica at `ADDR` and exit (0 on success).
+//!
+//! A durable server (or a replica) also reads stdin: a `quit` line
+//! performs a clean shutdown (stop accepting, final checkpoint) — the
+//! hook integration tests use to distinguish clean shutdown from a kill.
 
-use minidb::{Database, DurabilityConfig, SyncMode};
+use minidb::{Database, DbError, DurabilityConfig, SyncMode};
 use std::io::BufRead;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use tip_blade::{TipBlade, TipTypes};
+use tip_server::repl::ReplicationClient;
 use tip_server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tip-server [--listen ADDR] [--max-connections N] [--demo] \
-         [--data-dir DIR] [--sync off|every-commit|interval:MS] [--checkpoint-bytes N]"
+         [--data-dir DIR] [--sync off|every-commit|interval:MS] [--checkpoint-bytes N] \
+         [--mvcc-retention N] [--replicate-from ADDR] | --promote ADDR"
     );
     std::process::exit(2);
 }
@@ -40,6 +56,7 @@ fn main() -> ExitCode {
     let mut cfg = ServerConfig::default();
     let mut demo = false;
     let mut data_dir: Option<String> = None;
+    let mut replicate_from: Option<String> = None;
     let mut durability = DurabilityConfig::default();
 
     let mut args = std::env::args().skip(1);
@@ -53,7 +70,21 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage())
             }
             "--demo" => demo = true,
+            "--promote" => {
+                let addr = args.next().unwrap_or_else(|| usage());
+                return match tip_client::promote_replica(&addr) {
+                    Ok(()) => {
+                        eprintln!("tip-server: {addr} promoted to primary");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("tip-server: promote {addr} failed: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             "--data-dir" => data_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--replicate-from" => replicate_from = Some(args.next().unwrap_or_else(|| usage())),
             "--sync" => {
                 durability.sync_mode = args
                     .next()
@@ -66,29 +97,46 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--mvcc-retention" => {
+                durability.mvcc_retention = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
-    let db: Arc<Database> = match &data_dir {
-        Some(dir) => match Database::open_with(dir, durability, |db| db.install_blade(&TipBlade)) {
-            Ok((db, report)) => {
-                eprintln!("tip-server: recovered {dir}: {}", report.summary());
-                db
+    // A replica never opens the data directory at startup: its state
+    // comes from the primary's snapshot + WAL stream. The directory (if
+    // given) is reserved for the durable life it starts at promotion.
+    let db: Arc<Database> = match (&replicate_from, &data_dir) {
+        (None, Some(dir)) => {
+            match Database::open_with(dir, durability.clone(), |db| db.install_blade(&TipBlade)) {
+                Ok((db, report)) => {
+                    eprintln!("tip-server: recovered {dir}: {}", report.summary());
+                    db
+                }
+                Err(e) => {
+                    eprintln!("tip-server: recovery of {dir} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("tip-server: recovery of {dir} failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => {
+        }
+        _ => {
             let db = Database::new();
             db.install_blade(&TipBlade)
                 .expect("fresh database accepts the blade");
+            db.set_mvcc_retention(durability.mvcc_retention);
             db
         }
     };
+
+    if demo && replicate_from.is_some() {
+        eprintln!("demo: a replica takes its data from the primary, skipping load");
+        demo = false;
+    }
 
     // A recovered directory may already hold the demo tables; loading
     // them twice would fail on CREATE TABLE, so only seed an empty db.
@@ -110,18 +158,44 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut server = match Server::bind(listen.as_str(), &db, cfg) {
+    let server = match Server::bind(listen.as_str(), &db, cfg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("tip-server: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let mut server = server;
+
+    if let Some(primary) = &replicate_from {
+        db.set_read_only(primary.clone());
+        let client = Mutex::new(Some(ReplicationClient::start(&db, primary.clone())));
+        let promote_db = Arc::clone(&db);
+        let promote_dir = data_dir.clone();
+        let promote_cfg = durability.clone();
+        let was_primary = primary.clone();
+        server.set_promote_handler(move || {
+            let Some(c) = client.lock().unwrap().take() else {
+                return Err(DbError::unavailable("this node was already promoted"));
+            };
+            let applied = c.stop_and_drain();
+            promote_db.clear_read_only();
+            if let Some(dir) = &promote_dir {
+                promote_db.attach_durability(dir, promote_cfg.clone())?;
+            }
+            eprintln!(
+                "tip-server: promoted (was replicating {was_primary}); last applied seq {applied}"
+            );
+            Ok(applied)
+        });
+        eprintln!("tip-server: replica of {primary}");
+    }
+
     eprintln!("tip-server listening on {}", server.local_addr());
 
-    if data_dir.is_some() {
-        // Durable mode: watch stdin for a clean-shutdown request while
-        // serving. EOF (stdin closed, e.g. daemonized) just parks.
+    if data_dir.is_some() || replicate_from.is_some() {
+        // Watch stdin for a clean-shutdown request while serving. EOF
+        // (stdin closed, e.g. daemonized) just parks.
         let stdin = std::io::stdin();
         for line in stdin.lock().lines() {
             match line {

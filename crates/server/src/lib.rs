@@ -29,11 +29,13 @@ use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tip_blade::TipTypes;
 use tip_client::protocol::{self, req, resp};
+
+pub mod repl;
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -71,6 +73,73 @@ impl Default for ServerConfig {
 /// shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
+/// Handler invoked by an admin PROMOTE frame: performs the
+/// node-specific promotion and returns the last commit sequence the
+/// node had applied when it took over.
+type PromoteFn = Box<dyn Fn() -> DbResult<u64> + Send + Sync>;
+
+/// Tracks the highest commit sequence each connected WAL subscriber has
+/// acknowledged, so committing statements can hold their success frame
+/// until every replica has the bytes (semi-synchronous replication).
+///
+/// A subscriber only appears in the table once it acks for the first
+/// time: a replica still streaming its catch-up snapshot must not stall
+/// the primary's writes for the full ack timeout on every commit.
+struct ReplHub {
+    /// conn_id → highest watermark acked by that subscriber.
+    acked: StdMutex<HashMap<u64, u64>>,
+    advanced: Condvar,
+}
+
+impl ReplHub {
+    fn new() -> ReplHub {
+        ReplHub {
+            acked: StdMutex::new(HashMap::new()),
+            advanced: Condvar::new(),
+        }
+    }
+
+    fn note_ack(&self, conn_id: u64, watermark: u64) {
+        let mut m = self.acked.lock().unwrap();
+        let slot = m.entry(conn_id).or_insert(0);
+        *slot = (*slot).max(watermark);
+        self.advanced.notify_all();
+    }
+
+    fn unregister(&self, conn_id: u64) {
+        self.acked.lock().unwrap().remove(&conn_id);
+        self.advanced.notify_all();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.acked.lock().unwrap().is_empty()
+    }
+
+    /// The slowest subscriber's acked watermark, if any have acked.
+    fn min_acked(&self) -> Option<u64> {
+        self.acked.lock().unwrap().values().copied().min()
+    }
+
+    /// Blocks until every registered subscriber has acked at least
+    /// `target`, no subscribers remain, or the timeout lapses —
+    /// availability wins over strict semi-sync.
+    fn wait_acked(&self, target: u64, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut m = self.acked.lock().unwrap();
+        loop {
+            if m.values().all(|&w| w >= target) {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (guard, _) = self.advanced.wait_timeout(m, deadline - now).unwrap();
+            m = guard;
+        }
+    }
+}
+
 struct Shared {
     db: Arc<Database>,
     types: TipTypes,
@@ -82,6 +151,10 @@ struct Shared {
     retired: Mutex<MetricsSnapshot>,
     live_count: AtomicUsize,
     next_conn_id: AtomicU64,
+    /// Per-subscriber replication ack state (primary role).
+    repl: ReplHub,
+    /// Promotion handler (replica role); `None` on a plain primary.
+    promote: StdMutex<Option<PromoteFn>>,
 }
 
 impl Shared {
@@ -133,6 +206,8 @@ impl Server {
             retired: Mutex::new(MetricsSnapshot::default()),
             live_count: AtomicUsize::new(0),
             next_conn_id: AtomicU64::new(1),
+            repl: ReplHub::new(),
+            promote: StdMutex::new(None),
         });
         let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -164,6 +239,13 @@ impl Server {
     /// Server-wide metrics: all closed sessions plus all live ones.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.server_metrics()
+    }
+
+    /// Installs the handler an admin PROMOTE frame invokes. The handler
+    /// drains this node's replication stream, opens the WAL for append,
+    /// and returns the last commit sequence applied before takeover.
+    pub fn set_promote_handler(&self, f: impl Fn() -> DbResult<u64> + Send + Sync + 'static) {
+        *self.shared.promote.lock().unwrap() = Some(Box::new(f));
     }
 
     /// Stops accepting, lets in-flight statements finish, and joins all
@@ -245,8 +327,17 @@ fn send(stream: &mut TcpStream, tag: u8, body: &[u8]) -> io::Result<()> {
     stream.write_all(&frame)
 }
 
+/// Pre-negotiation error path (handshake failures): the peer's version
+/// is unknown, so the error encodes at the current layout. Post-
+/// handshake paths use [`send_error_v`] for version-aware narrowing.
 fn send_error(stream: &mut TcpStream, e: &DbError) -> io::Result<()> {
     send(stream, resp::ERROR, &protocol::encode_error(e))
+}
+
+/// Version-aware error frame: codes newer than the negotiated protocol
+/// (e.g. `ReadOnly`, v6) degrade to ones the peer can decode.
+fn send_error_v(stream: &mut TcpStream, version: u16, e: &DbError) -> io::Result<()> {
+    send(stream, resp::ERROR, &protocol::encode_error_for(e, version))
 }
 
 /// Over-capacity reject: a typed BUSY frame, then close. The socket is
@@ -364,6 +455,7 @@ fn serve_connection(mut stream: TcpStream, conn_id: u64, shared: &Shared) {
     }
 
     let mut conn = Conn {
+        id: conn_id,
         session,
         version: negotiated,
         prepared: HashMap::new(),
@@ -392,6 +484,8 @@ fn serve_connection(mut stream: TcpStream, conn_id: u64, shared: &Shared) {
 
 /// Per-connection state threaded through the request loop.
 struct Conn {
+    /// Connection id — keys this connection's replication-ack slot.
+    id: u64,
     session: Session,
     /// Negotiated protocol version for this connection.
     version: u16,
@@ -420,7 +514,7 @@ fn dispatch(
                 Ok(s) => s,
                 Err(e) => {
                     // Undecodable statement: the stream itself is suspect.
-                    let _ = send_error(stream, &e);
+                    let _ = send_error_v(stream, conn.version, &e);
                     return false;
                 }
             };
@@ -430,7 +524,7 @@ fn dispatch(
             let sql = match protocol::decode_prepare(body) {
                 Ok(s) => s,
                 Err(e) => {
-                    let _ = send_error(stream, &e);
+                    let _ = send_error_v(stream, conn.version, &e);
                     return false;
                 }
             };
@@ -438,14 +532,14 @@ fn dispatch(
                 let e = DbError::unavailable(format!(
                     "too many prepared statements (limit {MAX_PREPARED_PER_CONN}); close some first"
                 ));
-                return send_error(stream, &e).is_ok();
+                return send_error_v(stream, conn.version, &e).is_ok();
             }
             // Validate the text now so EXECUTE_PREPARED never trips a
             // parse error; planning stays lazy in the engine's cache.
             match conn.session.prepare(&sql) {
                 // A bad statement is a statement-level error, not a
                 // protocol fault: the connection stays up.
-                Err(e) => send_error(stream, &e).is_ok(),
+                Err(e) => send_error_v(stream, conn.version, &e).is_ok(),
                 Ok(_) => {
                     let id = conn.next_prepared_id;
                     conn.next_prepared_id += 1;
@@ -458,7 +552,7 @@ fn dispatch(
             let (id, params) = match protocol::decode_execute_prepared(body, &shared.types) {
                 Ok(x) => x,
                 Err(e) => {
-                    let _ = send_error(stream, &e);
+                    let _ = send_error_v(stream, conn.version, &e);
                     return false;
                 }
             };
@@ -467,7 +561,7 @@ fn dispatch(
                     kind: "prepared statement",
                     name: id.to_string(),
                 };
-                return send_error(stream, &e).is_ok();
+                return send_error_v(stream, conn.version, &e).is_ok();
             };
             run_statement(stream, conn, shared, &sql, &params)
         }
@@ -479,7 +573,7 @@ fn dispatch(
                     send(stream, resp::DONE, &[]).is_ok()
                 }
                 Err(e) => {
-                    let _ = send_error(stream, &e);
+                    let _ = send_error_v(stream, conn.version, &e);
                     false
                 }
             }
@@ -490,32 +584,93 @@ fn dispatch(
                 send(stream, resp::DONE, &[]).is_ok()
             }
             Err(e) => {
-                let _ = send_error(stream, &e);
+                let _ = send_error_v(stream, conn.version, &e);
                 false
             }
         },
         req::SESSION_STATS => {
             let mut snap = conn.session.metrics().snapshot();
-            snap.overlay_wal(&shared.db.wal_stats());
-            snap.overlay_mvcc(shared.db.mvcc_versions(), shared.db.snapshots_pinned());
+            overlay_node_state(&mut snap, shared);
             let body = protocol::encode_metrics_for(&snap, conn.version);
             send(stream, resp::METRICS, &body).is_ok()
         }
         req::SERVER_METRICS => {
             let mut snap = shared.server_metrics();
-            snap.overlay_wal(&shared.db.wal_stats());
-            snap.overlay_mvcc(shared.db.mvcc_versions(), shared.db.snapshots_pinned());
+            overlay_node_state(&mut snap, shared);
             let body = protocol::encode_metrics_for(&snap, conn.version);
             send(stream, resp::METRICS, &body).is_ok()
         }
+        req::SUBSCRIBE if conn.version >= 6 => {
+            match protocol::decode_subscribe(body) {
+                Ok((generation, offset)) => {
+                    // The connection becomes a one-way replication feed;
+                    // when the subscriber loop ends, so does the
+                    // connection.
+                    serve_subscriber(stream, conn, shared, generation, offset);
+                }
+                Err(e) => {
+                    let _ = send_error_v(stream, conn.version, &e);
+                }
+            }
+            false
+        }
+        req::PROMOTE if conn.version >= 6 => {
+            let handler = shared.promote.lock().unwrap();
+            match handler.as_ref() {
+                None => {
+                    let e = DbError::unavailable("this node is not a replica: nothing to promote");
+                    send_error_v(stream, conn.version, &e).is_ok()
+                }
+                Some(f) => match f() {
+                    Ok(_applied_seq) => send(stream, resp::DONE, &[]).is_ok(),
+                    Err(e) => send_error_v(stream, conn.version, &e).is_ok(),
+                },
+            }
+        }
         req::BYE => false,
         other => {
-            let _ = send_error(
+            let _ = send_error_v(
                 stream,
+                conn.version,
                 &DbError::unavailable(format!("unexpected request tag {other:#04x}")),
             );
             false
         }
+    }
+}
+
+/// Folds node-wide gauge state (WAL, MVCC, replication) into a metrics
+/// snapshot before it goes on the wire. On the primary the newest known
+/// applied sequence is its own durable frontier — clients use it as the
+/// read-your-writes floor when fanning reads across replicas.
+fn overlay_node_state(snap: &mut MetricsSnapshot, shared: &Shared) {
+    snap.overlay_wal(&shared.db.wal_stats());
+    snap.overlay_mvcc(shared.db.mvcc_versions(), shared.db.snapshots_pinned());
+    let mut r = shared.db.repl_stats().snapshot();
+    if let Some(p) = shared.db.wal_progress() {
+        r.last_seq = r.last_seq.max(p.seq);
+    }
+    snap.overlay_repl(&r);
+}
+
+/// How long a committing statement waits for every acking replica to
+/// cover the durable watermark before acknowledging the client anyway.
+const REPL_ACK_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Committed WAL bytes carried by one WAL_CHUNK, and the piece size for
+/// snapshot catch-up — both well under [`protocol::MAX_FRAME`].
+const REPL_CHUNK_MAX: usize = 1 << 20;
+
+/// Semi-synchronous replication: hold a write's success frame until
+/// every subscriber that has ever acked covers the current durable
+/// watermark. Bounded by [`REPL_ACK_TIMEOUT`] so a stalled replica
+/// degrades latency, not availability.
+fn wait_replicas_acked(shared: &Shared) {
+    if shared.repl.is_empty() {
+        return;
+    }
+    if let Some(p) = shared.db.wal_progress() {
+        shared.repl.wait_acked(p.seq, REPL_ACK_TIMEOUT);
     }
 }
 
@@ -533,13 +688,155 @@ fn run_statement(
         .map(|(n, v)| (n.as_str(), v.clone()))
         .collect();
     match conn.session.execute_with_params(sql, &params) {
-        Err(e) => send_error(stream, &e).is_ok(),
-        Ok(StatementOutcome::Done) => send(stream, resp::DONE, &[]).is_ok(),
+        Err(e) => send_error_v(stream, conn.version, &e).is_ok(),
+        Ok(StatementOutcome::Done) => {
+            wait_replicas_acked(shared);
+            send(stream, resp::DONE, &[]).is_ok()
+        }
         Ok(StatementOutcome::Affected(n)) => {
+            wait_replicas_acked(shared);
             send(stream, resp::AFFECTED, &protocol::encode_affected(n as u64)).is_ok()
         }
         Ok(StatementOutcome::Rows(result)) => stream_rows(stream, shared, &result),
     }
+}
+
+/// What the subscriber poll saw between chunk shipments.
+enum SubFrame {
+    /// Nothing waiting; go ship more WAL.
+    Idle,
+    /// REPL_ACK: the replica has applied through this watermark.
+    Ack(u64),
+    /// BYE, a dead socket, or a frame a subscriber must not send.
+    Done,
+}
+
+/// Non-blocking-ish poll for a subscriber frame: a 1 ms peek, then a
+/// full frame read only once bytes have started arriving.
+fn try_subscriber_frame(stream: &mut TcpStream, shared: &Shared) -> SubFrame {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+    let mut first = [0u8; 1];
+    match stream.peek(&mut first) {
+        Ok(0) => return SubFrame::Done,
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            return SubFrame::Idle;
+        }
+        Err(_) => return SubFrame::Done,
+    }
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    match protocol::read_frame(stream) {
+        Ok((req::REPL_ACK, body)) => match protocol::decode_repl_ack(&body) {
+            Ok((_gen, _offset, watermark)) => SubFrame::Ack(watermark),
+            Err(_) => SubFrame::Done,
+        },
+        Ok(_) | Err(_) => SubFrame::Done,
+    }
+}
+
+/// Runs a replication subscriber to completion: catch-up (snapshot if
+/// the requested generation is gone), then continuous WAL tailing with
+/// heartbeats, draining REPL_ACKs between shipments. The connection is
+/// dedicated to the feed once SUBSCRIBE arrives.
+fn serve_subscriber(
+    stream: &mut TcpStream,
+    conn: &Conn,
+    shared: &Shared,
+    mut generation: u64,
+    mut offset: u64,
+) {
+    let db = &shared.db;
+    let stats = db.repl_stats();
+    // Highest watermark the replica has been told about; heartbeats
+    // fire only when the durable frontier moves past it.
+    let mut last_watermark_sent = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match try_subscriber_frame(stream, shared) {
+            SubFrame::Idle => {}
+            SubFrame::Ack(watermark) => {
+                shared.repl.note_ack(conn.id, watermark);
+                if let (Some(p), Some(min)) = (db.wal_progress(), shared.repl.min_acked()) {
+                    stats.set_lag(p.seq.saturating_sub(min));
+                }
+                // Drain queued acks before shipping more bytes.
+                continue;
+            }
+            SubFrame::Done => break,
+        }
+        match db.repl_log_read(generation, offset, REPL_CHUNK_MAX) {
+            Err(e) => {
+                let _ = send_error_v(stream, conn.version, &e);
+                break;
+            }
+            Ok(minidb::LogRead::Restart) => {
+                // The generation the replica wants is gone (it predates
+                // the latest checkpoint): resync from the snapshot.
+                let (snap_gen, bytes) = match db.repl_snapshot() {
+                    Ok(x) => x,
+                    Err(e) => {
+                        let _ = send_error_v(stream, conn.version, &e);
+                        break;
+                    }
+                };
+                let mut start = 0;
+                let mut failed = false;
+                loop {
+                    let end = (start + REPL_CHUNK_MAX).min(bytes.len());
+                    let is_last = end == bytes.len();
+                    let body =
+                        protocol::encode_snapshot_chunk(snap_gen, is_last, &bytes[start..end]);
+                    if send(stream, resp::SNAPSHOT_CHUNK, &body).is_err() {
+                        failed = true;
+                        break;
+                    }
+                    stats.record_chunk((end - start) as u64);
+                    if is_last {
+                        break;
+                    }
+                    start = end;
+                }
+                if failed {
+                    break;
+                }
+                generation = snap_gen;
+                offset = minidb::wal::record::LOG_HEADER_LEN as u64;
+            }
+            Ok(minidb::LogRead::Chunk { bytes, watermark }) => {
+                if !bytes.is_empty() {
+                    let body = protocol::encode_wal_chunk(generation, offset, watermark, &bytes);
+                    if send(stream, resp::WAL_CHUNK, &body).is_err() {
+                        break;
+                    }
+                    offset += bytes.len() as u64;
+                    stats.record_chunk(bytes.len() as u64);
+                    if watermark > 0 {
+                        last_watermark_sent = last_watermark_sent.max(watermark);
+                        stats.set_last_seq(watermark);
+                    }
+                } else if watermark > last_watermark_sent {
+                    // Caught up, but the durable frontier moved (e.g.
+                    // commits the replica already has bytes for were
+                    // just fsynced): heartbeat so it can ack them.
+                    let body = protocol::encode_wal_chunk(generation, offset, watermark, &[]);
+                    if send(stream, resp::WAL_CHUNK, &body).is_err() {
+                        break;
+                    }
+                    last_watermark_sent = watermark;
+                    stats.set_last_seq(watermark);
+                } else if let Some(p) = db.wal_progress() {
+                    // Fully caught up: sleep until the WAL moves. The
+                    // short timeout keeps ack draining responsive.
+                    let _ = db.wal_progress_wait(&p, POLL_INTERVAL);
+                } else {
+                    thread::sleep(POLL_INTERVAL);
+                }
+            }
+        }
+    }
+    shared.repl.unregister(conn.id);
 }
 
 /// Slack left under [`protocol::MAX_FRAME`] for the frame length

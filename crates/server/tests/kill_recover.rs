@@ -25,15 +25,32 @@ struct ServerProc {
 /// Spawns the real `tip-server` binary in durable mode and waits for its
 /// "listening on" line.
 fn spawn_server(dir: &std::path::Path, sync: &str) -> ServerProc {
+    spawn_with_args(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--data-dir",
+        dir.to_str().unwrap(),
+        "--sync",
+        sync,
+    ])
+}
+
+/// Spawns a read-only replica streaming from `primary`; `dir` becomes
+/// its durable home if it is ever promoted.
+fn spawn_replica(dir: &std::path::Path, primary: &str) -> ServerProc {
+    spawn_with_args(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--replicate-from",
+        primary,
+        "--data-dir",
+        dir.to_str().unwrap(),
+    ])
+}
+
+fn spawn_with_args(args: &[&str]) -> ServerProc {
     let mut child = Command::new(env!("CARGO_BIN_EXE_tip-server"))
-        .args([
-            "--listen",
-            "127.0.0.1:0",
-            "--data-dir",
-            dir.to_str().unwrap(),
-            "--sync",
-            sync,
-        ])
+        .args(args)
         .stdin(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
@@ -131,6 +148,84 @@ fn kill_nine_loses_no_acknowledged_row() {
     server.child.kill().unwrap();
     server.child.wait().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The failover guarantee: SIGKILL the primary mid-load, promote the
+/// replica, and every write the primary acknowledged must be readable
+/// on the promoted node — which then accepts writes as the new primary.
+#[test]
+fn kill_primary_promote_replica_loses_no_acknowledged_row() {
+    let pdir = scratch("promo-primary");
+    let rdir = scratch("promo-replica");
+    let mut primary = spawn_server(&pdir, "every-commit");
+    let replica = spawn_replica(&rdir, &primary.addr);
+
+    let conn = connect(&primary.addr);
+    conn.execute("CREATE TABLE acked (id INT, payload CHAR(32))", &[])
+        .unwrap();
+
+    // Wait for the replica to finish catch-up (it can serve the table)
+    // so it is registered for semi-synchronous acks before the writes
+    // the test counts on.
+    let rconn = connect(&replica.addr);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if rconn.query("SELECT id FROM acked", &[]).is_ok() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replica never caught up");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // A replica refuses writes with a typed error naming the primary.
+    let err = rconn
+        .execute("INSERT INTO acked VALUES (1, 'nope')", &[])
+        .unwrap_err();
+    assert!(
+        err.to_string().contains(&primary.addr),
+        "read-only error names the primary: {err}"
+    );
+
+    // Every returned execute() is the primary's acknowledgement — under
+    // semi-synchronous shipping the replica has the bytes too.
+    let mut acked: Vec<i64> = Vec::new();
+    for i in 0..120i64 {
+        conn.execute(
+            "INSERT INTO acked VALUES (:id, 'payload-for-this-row')",
+            &[("id", HostValue::Int(i))],
+        )
+        .unwrap();
+        acked.push(i);
+    }
+
+    // SIGKILL the primary mid-life, then fail over.
+    primary.child.kill().unwrap();
+    primary.child.wait().unwrap();
+    tip_client::promote_replica(&replica.addr).unwrap();
+
+    let pconn = connect(&replica.addr);
+    assert_eq!(
+        fetch_ids(&pconn),
+        acked,
+        "every write acked before the kill is on the promoted node"
+    );
+    // The promoted node is a primary now: writes succeed and its METRICS
+    // report how far the replication stream had applied.
+    pconn
+        .execute(
+            "INSERT INTO acked VALUES (:id, 'after-promotion')",
+            &[("id", HostValue::Int(999))],
+        )
+        .unwrap();
+    let m = pconn.server_metrics().unwrap();
+    assert!(
+        m.repl_last_seq > 0,
+        "promoted node reports applied replication sequence: {m:?}"
+    );
+    let mut replica = replica;
+    replica.child.kill().unwrap();
+    replica.child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
 }
 
 #[test]
