@@ -527,13 +527,20 @@ impl Drop for RemoteTransport {
 /// — DML, DDL, transactions, SET — routes to the primary and is never
 /// auto-retried.
 pub fn is_read_only_statement(sql: &str) -> bool {
-    let s = sql.trim_start();
-    let head: String = s
+    matches!(
+        statement_head(sql).as_str(),
+        "select" | "explain" | "show"
+    )
+}
+
+/// The statement's lower-cased leading keyword (`"select"`, `"begin"`,
+/// …) — empty for strings that open with anything non-alphabetic.
+fn statement_head(sql: &str) -> String {
+    sql.trim_start()
         .chars()
         .take_while(|c| c.is_ascii_alphabetic())
         .collect::<String>()
-        .to_ascii_lowercase();
-    matches!(head.as_str(), "select" | "explain" | "show")
+        .to_ascii_lowercase()
 }
 
 /// Tuning knobs for [`ReplicatedTransport`].
@@ -577,7 +584,9 @@ enum ReadAttempt {
 }
 
 /// Primary/replica routing over [`RemoteTransport`]s: writes,
-/// transactions and DDL go to the primary; plain SELECT / AS OF /
+/// transactions and DDL go to the primary (and while a BEGIN..COMMIT
+/// transaction is open, *all* statements pin there — in-transaction
+/// reads must see the transaction's workspace); plain SELECT / AS OF /
 /// EXPLAIN / SHOW fan out across replicas round-robin, with bounded
 /// jittered retries against other replicas on connection faults and a
 /// read-your-writes floor — after a write, reads only land on replicas
@@ -600,6 +609,12 @@ pub struct ReplicatedTransport {
     floor: AtomicU64,
     /// Set by a write; the next read refreshes the floor first.
     floor_dirty: AtomicBool,
+    /// True while a BEGIN..COMMIT transaction is open on the primary
+    /// connection. The transaction's workspace and frozen snapshot live
+    /// in that one server session, so *every* statement — reads
+    /// included — must pin to the primary until it closes; a replica
+    /// would silently serve pre-transaction state.
+    in_txn: AtomicBool,
 }
 
 impl ReplicatedTransport {
@@ -630,6 +645,7 @@ impl ReplicatedTransport {
             now: Mutex::new(None),
             floor: AtomicU64::new(0),
             floor_dirty: AtomicBool::new(false),
+            in_txn: AtomicBool::new(false),
         }
     }
 
@@ -758,15 +774,37 @@ impl ReplicatedTransport {
 
 impl Transport for ReplicatedTransport {
     fn execute(&self, sql: &str, params: &[(&str, Value)]) -> DbResult<StatementOutcome> {
-        if is_read_only_statement(sql) && !self.replicas.is_empty() {
-            self.execute_read(sql, params)
-        } else {
-            let out = self.with_primary(|t| t.execute(sql, params))?;
+        // Reads fan out only *outside* transactions: an in-transaction
+        // SELECT must see the transaction's own uncommitted writes and
+        // frozen snapshot, which exist only in the primary's session.
+        if is_read_only_statement(sql)
+            && !self.in_txn.load(Ordering::SeqCst)
+            && !self.replicas.is_empty()
+        {
+            return self.execute_read(sql, params);
+        }
+        let out = self.with_primary(|t| t.execute(sql, params));
+        // Mirror the server session's transaction lifecycle: BEGIN
+        // opens only on success; COMMIT/ROLLBACK always close it (the
+        // server takes the transaction state before the conflict check,
+        // so even a failed COMMIT leaves no transaction open).
+        match statement_head(sql).as_str() {
+            "begin" if out.is_ok() => self.in_txn.store(true, Ordering::SeqCst),
+            "commit" | "rollback" => self.in_txn.store(false, Ordering::SeqCst),
+            _ => {}
+        }
+        if out.is_err() && self.primary.lock().expect("primary poisoned").is_none() {
+            // The primary connection was torn down; any server-side
+            // transaction died with its session.
+            self.in_txn.store(false, Ordering::SeqCst);
+        }
+        let out = out?;
+        if !is_read_only_statement(sql) {
             // The write (or transaction control) moved the primary's
             // frontier; the next read must re-establish the floor.
             self.floor_dirty.store(true, Ordering::SeqCst);
-            Ok(out)
         }
+        Ok(out)
     }
 
     fn set_now_unix(&self, now_unix: Option<i64>) {

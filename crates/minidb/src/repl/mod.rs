@@ -180,6 +180,13 @@ impl ReplicaApplier {
         self.buf.is_empty()
     }
 
+    /// Bytes fed but not yet applied (the tail of an incomplete
+    /// transaction). The next stream bytes must land at
+    /// `position().1 + buffered()`.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
     /// Drops buffered bytes of an incomplete transaction after a torn
     /// stream; the next subscribe resumes from [`Self::position`].
     pub fn discard_partial(&mut self) {

@@ -175,14 +175,22 @@ fn main() -> ExitCode {
         let promote_cfg = durability.clone();
         let was_primary = primary.clone();
         server.set_promote_handler(move || {
-            let Some(c) = client.lock().unwrap().take() else {
+            // Stop the stream exactly once; if durability attachment
+            // below fails, a PROMOTE retry skips straight back to it.
+            if let Some(c) = client.lock().unwrap().take() {
+                c.stop_and_drain();
+            } else if promote_db.read_only_primary().is_none() {
                 return Err(DbError::unavailable("this node was already promoted"));
-            };
-            let applied = c.stop_and_drain();
-            promote_db.clear_read_only();
+            }
+            // Durability before writes: until the WAL is open for
+            // append the node must keep refusing writes, so a failed
+            // attach leaves it read-only (fails closed) instead of
+            // accepting writes that would never be logged.
             if let Some(dir) = &promote_dir {
                 promote_db.attach_durability(dir, promote_cfg.clone())?;
             }
+            promote_db.clear_read_only();
+            let applied = promote_db.repl_stats().last_seq();
             eprintln!(
                 "tip-server: promoted (was replicating {was_primary}); last applied seq {applied}"
             );

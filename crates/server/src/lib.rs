@@ -85,6 +85,19 @@ type PromoteFn = Box<dyn Fn() -> DbResult<u64> + Send + Sync>;
 /// A subscriber only appears in the table once it acks for the first
 /// time: a replica still streaming its catch-up snapshot must not stall
 /// the primary's writes for the full ack timeout on every commit.
+///
+/// **Durability window** — this scheme is best-effort semi-sync, not a
+/// zero-loss guarantee. Two windows exist in which a write is
+/// acknowledged to the client without replica coverage: (1) between a
+/// replica's SUBSCRIBE and its *first* REPL_ACK (snapshot catch-up),
+/// writes wait on nobody; (2) a replica stalled past
+/// [`REPL_ACK_TIMEOUT`] stops delaying commits — availability wins
+/// over strictness. A primary crash inside either window can lose
+/// writes that were acked but not yet shipped; the promotion test's
+/// zero-loss result holds because it acks through a registered, live
+/// replica. A strict mode (register at SUBSCRIBE, fail writes instead
+/// of timing out) is a deliberate non-goal for now and is documented
+/// as such in DESIGN.md §10.
 struct ReplHub {
     /// conn_id → highest watermark acked by that subscriber.
     acked: StdMutex<HashMap<u64, u64>>,

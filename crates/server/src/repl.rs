@@ -77,8 +77,11 @@ impl Drop for ReplicationClient {
 enum StreamEnd {
     /// Stop was requested and the stream has been drained.
     Stop,
-    /// Connection failed or died; reconnect from the applier's position.
-    Lost,
+    /// Connection failed or died; reconnect from the applier's
+    /// position. `progressed` is true when this stream applied at least
+    /// one frame before dying — a healthy long-lived stream that tore,
+    /// not a primary that keeps refusing us.
+    Lost { progressed: bool },
 }
 
 fn run(db: Arc<Database>, primary: &str, stop: &AtomicBool) {
@@ -87,11 +90,17 @@ fn run(db: Arc<Database>, primary: &str, stop: &AtomicBool) {
     while !stop.load(Ordering::SeqCst) {
         match stream_once(&db, primary, &mut applier, stop) {
             StreamEnd::Stop => break,
-            StreamEnd::Lost => {
+            StreamEnd::Lost { progressed } => {
                 // Anything mid-frame is a torn chunk: drop it and let
                 // the next subscription resume at the committed offset.
                 applier.discard_partial();
                 db.repl_stats().record_reconnect();
+                if progressed {
+                    // The stream was working before it died: reconnect
+                    // eagerly instead of inheriting the backoff ramp of
+                    // every disconnect over this replica's lifetime.
+                    attempt = 0;
+                }
                 backoff_sleep(attempt, stop);
                 attempt = attempt.saturating_add(1);
             }
@@ -107,8 +116,9 @@ fn stream_once(
     applier: &mut ReplicaApplier,
     stop: &AtomicBool,
 ) -> StreamEnd {
+    let lost = |progressed| StreamEnd::Lost { progressed };
     let Ok(mut stream) = TcpStream::connect(primary) else {
-        return StreamEnd::Lost;
+        return lost(false);
     };
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
@@ -119,20 +129,20 @@ fn stream_once(
         now_unix: None,
     };
     if send(&mut stream, req::HELLO, &protocol::encode_hello(&hello)).is_err() {
-        return StreamEnd::Lost;
+        return lost(false);
     }
     let negotiated = match protocol::read_frame(&mut stream) {
         Ok((resp::HELLO_OK, body)) => match protocol::decode_hello_ok(&body) {
             Ok((version, _banner)) => version,
-            Err(_) => return StreamEnd::Lost,
+            Err(_) => return lost(false),
         },
-        Ok(_) | Err(_) => return StreamEnd::Lost,
+        Ok(_) | Err(_) => return lost(false),
     };
     if negotiated < 6 {
         eprintln!(
             "tip-server: primary {primary} speaks protocol v{negotiated}, replication needs v6"
         );
-        return StreamEnd::Lost;
+        return lost(false);
     }
 
     let (generation, offset) = applier.position();
@@ -143,11 +153,12 @@ fn stream_once(
     )
     .is_err()
     {
-        return StreamEnd::Lost;
+        return lost(false);
     }
 
     // Catch-up snapshot pieces accumulate here until `is_last`.
     let mut snap_buf: Vec<u8> = Vec::new();
+    let mut progressed = false;
     loop {
         if stop.load(Ordering::SeqCst) {
             drain(&mut stream, applier, db);
@@ -158,19 +169,20 @@ fn stream_once(
         let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
         let mut first = [0u8; 1];
         match stream.peek(&mut first) {
-            Ok(0) => return StreamEnd::Lost,
+            Ok(0) => return lost(progressed),
             Ok(_) => {}
             Err(e) if would_block(&e) => continue,
-            Err(_) => return StreamEnd::Lost,
+            Err(_) => return lost(progressed),
         }
         let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         let (tag, body) = match protocol::read_frame(&mut stream) {
             Ok(f) => f,
-            Err(_) => return StreamEnd::Lost,
+            Err(_) => return lost(progressed),
         };
         if !apply_frame(db, applier, &mut stream, &mut snap_buf, tag, &body) {
-            return StreamEnd::Lost;
+            return lost(progressed);
         }
+        progressed = true;
     }
 }
 
@@ -200,9 +212,25 @@ fn apply_frame(
             true
         }
         resp::WAL_CHUNK => {
-            let Ok((_gen, _offset, watermark, bytes)) = protocol::decode_wal_chunk(body) else {
+            let Ok((gen, offset, watermark, bytes)) = protocol::decode_wal_chunk(body) else {
                 return false;
             };
+            // The chunk must continue exactly where the stream left
+            // off: the applier's committed position plus any buffered
+            // partial-transaction tail. A mismatch means primary-side
+            // accounting skew or frame reordering — fail fast and
+            // resubscribe from the committed position instead of
+            // corrupting state (or dying later on a confusing CRC or
+            // decode error).
+            let (want_gen, committed) = applier.position();
+            let want_offset = committed + applier.buffered() as u64;
+            if gen != want_gen || offset != want_offset {
+                eprintln!(
+                    "tip-server: replication stream discontinuity: chunk at \
+                     ({gen}, {offset}), expected ({want_gen}, {want_offset}); resubscribing"
+                );
+                return false;
+            }
             if let Err(e) = applier.feed(&bytes) {
                 // Corrupt frame: resync from the committed position (the
                 // primary re-reads the log from disk on resubscribe).

@@ -114,6 +114,79 @@ fn replica_streams_commits_and_serves_reads() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn replicated_transport_pins_open_transactions_to_primary() {
+    let dir = scratch("txn-route");
+    let (pdb, pserver) = durable_primary(&dir);
+    let paddr = pserver.local_addr().to_string();
+    let (rdb, rserver, _client) = replica_of(&paddr);
+    let raddr = rserver.local_addr().to_string();
+
+    let conn = Connection::connect_replicated(&paddr, &[raddr.as_str()]).unwrap();
+    conn.execute("CREATE TABLE t (id INT, note CHAR(24))", &[])
+        .unwrap();
+    for i in 0..10 {
+        conn.execute(&format!("INSERT INTO t VALUES ({i}, 'note-{i}')"), &[])
+            .unwrap();
+    }
+    let target = pdb.wal_progress().unwrap().seq;
+    wait_applied(&rdb, target);
+
+    // Open a transaction and write inside it: the uncommitted row
+    // exists only in the primary session's workspace.
+    conn.execute("BEGIN", &[]).unwrap();
+    conn.execute("INSERT INTO t VALUES (100, 'uncommitted')", &[])
+        .unwrap();
+
+    // The in-transaction read must see the workspace row, so it has to
+    // run on the primary. The lag floor cannot catch this case — an
+    // uncommitted write never moves the durable frontier, so a fully
+    // caught-up replica would happily serve 10 rows of stale state.
+    let before = rserver.metrics().selects;
+    let mut rows = conn.query("SELECT id FROM t ORDER BY id", &[]).unwrap();
+    let mut n = 0;
+    let mut saw_workspace_row = false;
+    while rows.next() {
+        saw_workspace_row |= rows.get_int(0).unwrap() == 100;
+        n += 1;
+    }
+    assert_eq!(n, 11, "in-transaction read must include the workspace row");
+    assert!(saw_workspace_row);
+    assert_eq!(
+        rserver.metrics().selects,
+        before,
+        "no replica may serve a read while the transaction is open"
+    );
+
+    conn.execute("COMMIT", &[]).unwrap();
+    let target = pdb.wal_progress().unwrap().seq;
+    wait_applied(&rdb, target);
+
+    // Transaction closed: reads fan back out to the caught-up replica.
+    let mut rows = conn.query("SELECT id FROM t WHERE id = 100", &[]).unwrap();
+    assert!(rows.next());
+    assert_eq!(rows.get_int(0).unwrap(), 100);
+    assert!(
+        rserver.metrics().selects > before,
+        "post-commit reads fan out to replicas again"
+    );
+
+    // ROLLBACK closes the transaction client-side too.
+    conn.execute("BEGIN", &[]).unwrap();
+    conn.execute("ROLLBACK", &[]).unwrap();
+    let before = rserver.metrics().selects;
+    let mut rows = conn.query("SELECT id FROM t WHERE id = 0", &[]).unwrap();
+    assert!(rows.next());
+    assert!(
+        rserver.metrics().selects > before,
+        "post-rollback reads fan out to replicas again"
+    );
+
+    drop(rserver);
+    drop(pserver);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A TCP proxy that forwards both directions but kills its first
 /// connection after `cut_after` server→client bytes — landing mid-frame
 /// of a WAL_CHUNK. Later connections pass through untouched.
