@@ -342,7 +342,7 @@ fn e9_ablations() {
     let db_plain = build(false);
     let db_ix = build(true);
     let q = "SELECT COUNT(*) FROM t WHERE k = 37";
-    let s_plain = db_plain.session();
+    let mut s_plain = db_plain.session();
     let s_ix = db_ix.session();
     let t_scan = mean_time(budget, || {
         s_plain.query(q).unwrap();
@@ -385,6 +385,32 @@ fn e9_ablations() {
         t_hash.as_secs_f64() * 1e3,
         t_nl.as_secs_f64() / t_hash.as_secs_f64()
     );
+    // Row executor vs the vectorized batch executor on the same plans.
+    println!("row vs batch executor (identical plans, 10k-row scans):");
+    for (label, sql) in [
+        ("point filter", "SELECT COUNT(*) FROM t WHERE k = 37"),
+        (
+            "range filter",
+            "SELECT COUNT(*) FROM t WHERE v >= 2500 AND v < 7500",
+        ),
+        ("filtered sum", "SELECT SUM(v) FROM t WHERE k < 50"),
+    ] {
+        s_plain.set_vectorized(false);
+        let t_row = mean_time(budget, || {
+            s_plain.query(sql).unwrap();
+        });
+        s_plain.set_vectorized(true);
+        let t_batch = mean_time(budget, || {
+            s_plain.query(sql).unwrap();
+        });
+        println!(
+            "  {:>14}: row {:>8.1} us | batch {:>8.1} us | {:>4.1}x",
+            label,
+            us(t_row),
+            us(t_batch),
+            t_row.as_secs_f64() / t_batch.as_secs_f64()
+        );
+    }
     // Temporal aggregation sweep scaling.
     println!("temporal COUNT sweep (constant intervals from n periods):");
     for n in [100usize, 1_000, 10_000] {
@@ -437,11 +463,11 @@ fn e10_period_index() {
         }
         setup
     };
-    let plain = build(false);
+    let mut plain = build(false);
     let indexed = build(true);
     println!(
-        "{:>22} | {:>10} | {:>10} | {:>8} | {:>8}",
-        "window", "scan us", "ivscan us", "speedup", "rows"
+        "{:>22} | {:>9} | {:>9} | {:>7} | {:>9} | {:>7} | {:>8}",
+        "window", "row us", "batch us", "vec", "ivscan us", "ix", "rows"
     );
     let budget = Duration::from_millis(100);
     for (label, window) in [
@@ -450,25 +476,36 @@ fn e10_period_index() {
         ("2 years", "{[1994-01-01, 1995-12-31]}"),
     ] {
         let sql = format!("SELECT COUNT(*) FROM rx WHERE overlaps(valid, '{window}'::Element)");
+        plain.session.set_vectorized(false);
+        let rows_row = plain.session.query(&sql).unwrap().rows[0][0]
+            .as_int()
+            .unwrap();
+        let t_row = mean_time(budget, || {
+            plain.session.query(&sql).unwrap();
+        });
+        plain.session.set_vectorized(true);
         let rows = plain.session.query(&sql).unwrap().rows[0][0]
             .as_int()
             .unwrap();
         let rows_ix = indexed.session.query(&sql).unwrap().rows[0][0]
             .as_int()
             .unwrap();
+        assert_eq!(rows, rows_row, "executors must agree");
         assert_eq!(rows, rows_ix, "index must not change the answer");
-        let t_scan = mean_time(budget, || {
+        let t_batch = mean_time(budget, || {
             plain.session.query(&sql).unwrap();
         });
         let t_ix = mean_time(budget, || {
             indexed.session.query(&sql).unwrap();
         });
         println!(
-            "{:>22} | {:>10.1} | {:>10.1} | {:>7.1}x | {:>8}",
+            "{:>22} | {:>9.1} | {:>9.1} | {:>6.1}x | {:>9.1} | {:>6.1}x | {:>8}",
             label,
-            us(t_scan),
+            us(t_row),
+            us(t_batch),
+            t_row.as_secs_f64() / t_batch.as_secs_f64(),
             us(t_ix),
-            t_scan.as_secs_f64() / t_ix.as_secs_f64(),
+            t_row.as_secs_f64() / t_ix.as_secs_f64(),
             rows
         );
     }

@@ -1,0 +1,91 @@
+//! Scan-heavy smoke test for the vectorized executor.
+//!
+//! ```text
+//! vecload [--rows N]
+//! ```
+//!
+//! Loads N integer rows plus a TIP temporal table, runs a scan-heavy
+//! query mix (filters, an OVERLAPS window probe, an aggregate), and then
+//! checks the session metrics: if `exec.batches` is still zero — the
+//! batch path was never taken — the run *fails* (exit 1). It also
+//! cross-checks every answer against the forced row executor, so a
+//! regression that silently falls back to rows (or diverges) is caught
+//! by CI rather than by a benchmark looking slow.
+
+use minidb::Value;
+use tip_bench::{setup_tip, sweep_config};
+
+fn usage() -> ! {
+    eprintln!("usage: vecload [--rows N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut rows = 50_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rows" => {
+                rows = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut setup = setup_tip(&sweep_config(400));
+    let s = &setup.session;
+    s.execute("CREATE TABLE load (k INT, v INT)").expect("ddl");
+    let mut sql = String::new();
+    for i in 0..rows {
+        if i % 500 == 0 {
+            if !sql.is_empty() {
+                s.execute(&sql).expect("bulk insert");
+            }
+            sql = format!("INSERT INTO load VALUES ({}, {i})", i % 97);
+        } else {
+            sql.push_str(&format!(", ({}, {i})", i % 97));
+        }
+    }
+    s.execute(&sql).expect("bulk insert");
+
+    let queries = [
+        "SELECT COUNT(*) FROM load WHERE k = 13".to_owned(),
+        format!("SELECT SUM(v) FROM load WHERE v >= {} AND k < 50", rows / 2),
+        "SELECT COUNT(*) FROM Prescription \
+         WHERE overlaps(valid, '{[1997-01-01, 1997-12-31]}'::Element)"
+            .to_owned(),
+        "SELECT drug, COUNT(*) FROM Prescription \
+         WHERE dosage > 1 GROUP BY drug ORDER BY drug"
+            .to_owned(),
+    ];
+
+    // Reference answers from the forced row executor.
+    setup.session.set_vectorized(false);
+    let expected: Vec<Vec<Vec<Value>>> = queries
+        .iter()
+        .map(|q| setup.session.query(q).expect("row query").rows)
+        .collect();
+
+    setup.session.set_vectorized(true);
+    let before = setup.session.metrics().snapshot().vectorized_batches;
+    for (q, want) in queries.iter().zip(&expected) {
+        let got = setup.session.query(q).expect("batch query").rows;
+        if &got != want {
+            eprintln!("vecload: FAIL — row/batch answers diverge for: {q}");
+            std::process::exit(1);
+        }
+    }
+    let after = setup.session.metrics().snapshot().vectorized_batches;
+    let batches = after - before;
+    println!(
+        "vecload: {} queries over {rows}+ rows, {batches} column batches, answers match row path",
+        queries.len()
+    );
+    if batches == 0 {
+        eprintln!("vecload: FAIL — batch path never taken (exec.batches = 0)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Vectorized batch kernels for the hot temporal predicates.
+//!
+//! The engine's generic fallback wraps each scalar routine elementwise,
+//! but the predicates that dominate temporal workloads — `OVERLAPS`,
+//! `CONTAINS`, and Allen's operators — are worth hand-specializing:
+//!
+//! * a constant operand (the usual query-window probe, e.g.
+//!   `valid OVERLAPS :window`) is unwrapped and NOW-resolved **once per
+//!   batch** instead of once per row;
+//! * the per-row argument `Vec` allocation and catalog dispatch of the
+//!   scalar path disappear — each kernel is one tight loop over the
+//!   selection bitmap.
+//!
+//! Semantics are identical to the row routines in [`crate::routines`]:
+//! strict NULLs (any NULL operand → NULL), empty periods compare FALSE,
+//! and the same error messages in the same circumstances. Constant
+//! operands are resolved *lazily* (on the first live lane that needs
+//! them) so a malformed constant errors exactly when the row path
+//! would — never on a batch whose other operand is entirely NULL.
+//!
+//! Everything else — set algebra, accessors, granularities — keeps the
+//! elementwise wrapper or, for routines registered without any kernel,
+//! forces the plan onto the row executor. That asymmetry is deliberate:
+//! it exercises the total row fallback continuously.
+
+use crate::routines::{terr, want_chronon, want_element, want_period};
+use crate::types::{now_chronon, TipTypes};
+use minidb::catalog::{BatchFnImpl, Catalog};
+use minidb::exec::Vector;
+use minidb::{DataType, DbResult, Value};
+use std::sync::Arc;
+use tip_core::{allen, Chronon, ResolvedElement, ResolvedPeriod};
+
+/// NOW-resolves a Period value (empty → `None`), mirroring
+/// `routines::resolve_p` including its error text.
+fn resolve_p_now(v: &Value, now: Chronon) -> DbResult<Option<ResolvedPeriod>> {
+    want_period(v)?.resolve(now).map_err(terr)
+}
+
+/// NOW-resolves an Element value, mirroring `routines::resolve_el`.
+fn resolve_el_now(v: &Value, now: Chronon) -> DbResult<ResolvedElement> {
+    want_element(v)?.resolve(now).map_err(terr)
+}
+
+/// A kernel for one `(Period, Period) -> Bool` predicate.
+fn kernel_pp(
+    f: impl Fn(ResolvedPeriod, ResolvedPeriod) -> bool + Send + Sync + 'static,
+) -> BatchFnImpl {
+    Arc::new(move |ctx, args, sel, len| {
+        let now = now_chronon(ctx.txn_time_unix);
+        // Lazy per-batch caches for constant operands.
+        let mut cache: [Option<Option<ResolvedPeriod>>; 2] = [None, None];
+        let mut resolve = |side: usize, v: &Value| -> DbResult<Option<ResolvedPeriod>> {
+            if matches!(args[side], Vector::Const(_)) {
+                if cache[side].is_none() {
+                    cache[side] = Some(resolve_p_now(v, now)?);
+                }
+                Ok(cache[side].expect("filled above"))
+            } else {
+                resolve_p_now(v, now)
+            }
+        };
+        let mut out = vec![Value::Null; len];
+        for i in sel.iter() {
+            let (va, vb) = (args[0].get(i), args[1].get(i));
+            if va.is_null() || vb.is_null() {
+                continue; // strict NULL: the lane stays NULL
+            }
+            out[i] = Value::Bool(match (resolve(0, va)?, resolve(1, vb)?) {
+                (Some(x), Some(y)) => f(x, y),
+                _ => false, // an empty period satisfies no predicate
+            });
+        }
+        Ok(Vector::vals(out))
+    })
+}
+
+/// A kernel for one `(Element, Element) -> Bool` predicate.
+fn kernel_ee(
+    f: impl Fn(&ResolvedElement, &ResolvedElement) -> bool + Send + Sync + 'static,
+) -> BatchFnImpl {
+    Arc::new(move |ctx, args, sel, len| {
+        let now = now_chronon(ctx.txn_time_unix);
+        let (mut cache_a, mut cache_b): (Option<ResolvedElement>, Option<ResolvedElement>) =
+            (None, None);
+        let mut out = vec![Value::Null; len];
+        for i in sel.iter() {
+            let (va, vb) = (args[0].get(i), args[1].get(i));
+            if va.is_null() || vb.is_null() {
+                continue;
+            }
+            let (fresh_a, fresh_b);
+            // Resolve left-to-right, matching the row routine's order.
+            let ra = if matches!(args[0], Vector::Const(_)) {
+                if cache_a.is_none() {
+                    cache_a = Some(resolve_el_now(va, now)?);
+                }
+                None
+            } else {
+                fresh_a = resolve_el_now(va, now)?;
+                Some(&fresh_a)
+            };
+            let rb = if matches!(args[1], Vector::Const(_)) {
+                if cache_b.is_none() {
+                    cache_b = Some(resolve_el_now(vb, now)?);
+                }
+                None
+            } else {
+                fresh_b = resolve_el_now(vb, now)?;
+                Some(&fresh_b)
+            };
+            let ra = ra.or(cache_a.as_ref()).expect("resolved above");
+            let rb = rb.or(cache_b.as_ref()).expect("resolved above");
+            out[i] = Value::Bool(f(ra, rb));
+        }
+        Ok(Vector::vals(out))
+    })
+}
+
+/// Kernel for `contains(Element, Chronon)`.
+fn kernel_ec() -> BatchFnImpl {
+    Arc::new(move |ctx, args, sel, len| {
+        let now = now_chronon(ctx.txn_time_unix);
+        let mut cache: Option<ResolvedElement> = None;
+        let mut out = vec![Value::Null; len];
+        for i in sel.iter() {
+            let (va, vb) = (args[0].get(i), args[1].get(i));
+            if va.is_null() || vb.is_null() {
+                continue;
+            }
+            let fresh;
+            let ra = if matches!(args[0], Vector::Const(_)) {
+                if cache.is_none() {
+                    cache = Some(resolve_el_now(va, now)?);
+                }
+                cache.as_ref().expect("filled above")
+            } else {
+                fresh = resolve_el_now(va, now)?;
+                &fresh
+            };
+            out[i] = Value::Bool(ra.contains_chronon(want_chronon(vb)?));
+        }
+        Ok(Vector::vals(out))
+    })
+}
+
+/// Kernel for `contains(Period, Chronon)`.
+fn kernel_pc() -> BatchFnImpl {
+    Arc::new(move |ctx, args, sel, len| {
+        let now = now_chronon(ctx.txn_time_unix);
+        let mut cache: Option<Option<ResolvedPeriod>> = None;
+        let mut out = vec![Value::Null; len];
+        for i in sel.iter() {
+            let (va, vb) = (args[0].get(i), args[1].get(i));
+            if va.is_null() || vb.is_null() {
+                continue;
+            }
+            let ra = if matches!(args[0], Vector::Const(_)) {
+                if cache.is_none() {
+                    cache = Some(resolve_p_now(va, now)?);
+                }
+                cache.expect("filled above")
+            } else {
+                resolve_p_now(va, now)?
+            };
+            let c = want_chronon(vb)?;
+            out[i] = Value::Bool(ra.is_some_and(|p| p.contains_chronon(c)));
+        }
+        Ok(Vector::vals(out))
+    })
+}
+
+/// Registers the specialized kernels. Must run after
+/// [`crate::routines::register`] — a kernel only makes sense next to the
+/// scalar overload it accelerates.
+pub(crate) fn register(cat: &mut Catalog, t: TipTypes) {
+    let per = DataType::Udt(t.period);
+    let ele = DataType::Udt(t.element);
+    let chr = DataType::Udt(t.chronon);
+
+    // Period × Period predicates: OVERLAPS/CONTAINS and Allen's algebra.
+    type PeriodPred = fn(ResolvedPeriod, ResolvedPeriod) -> bool;
+    let pp: [(&str, PeriodPred); 10] = [
+        ("overlaps", |x, y| x.overlaps(y)),
+        ("contains", |x, y| x.contains_period(y)),
+        ("before", allen::before),
+        ("meets", allen::meets),
+        ("overlaps_strict", allen::overlaps),
+        ("starts", allen::starts),
+        ("during", allen::during),
+        ("finishes", allen::finishes),
+        ("after", |x, y| allen::before(y, x)),
+        ("met_by", |x, y| allen::meets(y, x)),
+    ];
+    for (name, f) in pp {
+        cat.register_function_batch(name, vec![per, per], kernel_pp(f));
+    }
+
+    // Element × Element predicates.
+    cat.register_function_batch("overlaps", vec![ele, ele], kernel_ee(|x, y| x.overlaps(y)));
+    cat.register_function_batch(
+        "contains",
+        vec![ele, ele],
+        kernel_ee(ResolvedElement::contains_element),
+    );
+
+    // Point-containment.
+    cat.register_function_batch("contains", vec![ele, chr], kernel_ec());
+    cat.register_function_batch("contains", vec![per, chr], kernel_pc());
+}

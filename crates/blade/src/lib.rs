@@ -36,6 +36,7 @@
 //! ```
 
 mod aggs;
+mod batch;
 mod casts;
 mod ops;
 mod routines;
@@ -95,6 +96,9 @@ impl Blade for TipBlade {
         ops::register(catalog, t)?;
         routines::register(catalog, t)?;
         aggs::register(catalog, t)?;
+        // Hot-path batch kernels ride on top of the scalar routines;
+        // routines left without a kernel run on the row fallback.
+        batch::register(catalog, t);
         Ok(())
     }
 }

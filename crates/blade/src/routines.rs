@@ -31,19 +31,19 @@ fn func(
     )
 }
 
-fn terr(e: tip_core::TemporalError) -> DbError {
+pub(crate) fn terr(e: tip_core::TemporalError) -> DbError {
     DbError::exec(e.to_string())
 }
 
-fn want_element(v: &Value) -> DbResult<&Element> {
+pub(crate) fn want_element(v: &Value) -> DbResult<&Element> {
     as_element(v).ok_or_else(|| DbError::exec("expected Element"))
 }
 
-fn want_period(v: &Value) -> DbResult<Period> {
+pub(crate) fn want_period(v: &Value) -> DbResult<Period> {
     as_period(v).ok_or_else(|| DbError::exec("expected Period"))
 }
 
-fn want_chronon(v: &Value) -> DbResult<Chronon> {
+pub(crate) fn want_chronon(v: &Value) -> DbResult<Chronon> {
     as_chronon(v).ok_or_else(|| DbError::exec("expected Chronon"))
 }
 

@@ -527,10 +527,7 @@ impl Drop for RemoteTransport {
 /// — DML, DDL, transactions, SET — routes to the primary and is never
 /// auto-retried.
 pub fn is_read_only_statement(sql: &str) -> bool {
-    matches!(
-        statement_head(sql).as_str(),
-        "select" | "explain" | "show"
-    )
+    matches!(statement_head(sql).as_str(), "select" | "explain" | "show")
 }
 
 /// The statement's lower-cased leading keyword (`"select"`, `"begin"`,

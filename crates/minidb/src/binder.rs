@@ -9,7 +9,7 @@
 //! optimizer never constant-folds an expression whose value changes as
 //! time advances.
 
-use crate::catalog::{BinaryOp, CastFnImpl, Catalog, ExecCtx, ScalarFnImpl};
+use crate::catalog::{BatchFnImpl, BinaryOp, CastFnImpl, Catalog, ExecCtx, ScalarFnImpl};
 use crate::error::{DbError, DbResult};
 use crate::sql::ast::{AstBinOp, Expr, Lit, UnaryOp};
 use crate::types::DataType;
@@ -71,6 +71,10 @@ pub enum BoundKind {
     /// Strict scalar routine or operator application.
     Apply {
         f: ScalarFnImpl,
+        /// Vectorized kernel for the resolved overload, when one is
+        /// registered. `None` forces the enclosing plan subtree onto the
+        /// row path (see [`BoundExpr::is_batchable`]).
+        batch: Option<BatchFnImpl>,
         args: Vec<BoundExpr>,
     },
     /// Strict cast application.
@@ -173,6 +177,66 @@ impl BoundExpr {
         }
     }
 
+    /// `true` when every function/operator application in the tree has a
+    /// registered batch kernel, i.e. the expression can be evaluated a
+    /// column at a time by the vectorized engine. Pure structural nodes
+    /// (literals, column refs, AND/OR/NOT/CASE, IS NULL, casts) are
+    /// always batchable; only an `Apply` without a kernel poisons the
+    /// tree and forces the row fallback.
+    pub fn is_batchable(&self) -> bool {
+        match &self.kind {
+            BoundKind::Literal(_) | BoundKind::Param { .. } | BoundKind::ColumnRef(_) => true,
+            BoundKind::Apply { batch, args, .. } => {
+                batch.is_some() && args.iter().all(BoundExpr::is_batchable)
+            }
+            BoundKind::Cast { arg, .. } | BoundKind::Neg(arg) | BoundKind::Not(arg) => {
+                arg.is_batchable()
+            }
+            BoundKind::And(a, b) | BoundKind::Or(a, b) => a.is_batchable() && b.is_batchable(),
+            BoundKind::IsNull { arg, .. } => arg.is_batchable(),
+            BoundKind::Case { branches, else_ } => {
+                branches
+                    .iter()
+                    .all(|(w, t)| w.is_batchable() && t.is_batchable())
+                    && else_.as_ref().is_none_or(|e| e.is_batchable())
+            }
+        }
+    }
+
+    /// Rewrites every column reference through `map` (old index → new
+    /// index). Used by projection pushdown when a scan materializes only
+    /// a subset of the table's columns.
+    pub fn remap_columns(&mut self, map: &std::collections::HashMap<usize, usize>) {
+        match &mut self.kind {
+            BoundKind::Literal(_) | BoundKind::Param { .. } => {}
+            BoundKind::ColumnRef(i) => {
+                *i = *map.get(i).expect("projection pushdown missed a column");
+            }
+            BoundKind::Apply { args, .. } => {
+                for a in args {
+                    a.remap_columns(map);
+                }
+            }
+            BoundKind::Cast { arg, .. } | BoundKind::Neg(arg) | BoundKind::Not(arg) => {
+                arg.remap_columns(map)
+            }
+            BoundKind::And(a, b) | BoundKind::Or(a, b) => {
+                a.remap_columns(map);
+                b.remap_columns(map);
+            }
+            BoundKind::IsNull { arg, .. } => arg.remap_columns(map),
+            BoundKind::Case { branches, else_ } => {
+                for (w, t) in branches {
+                    w.remap_columns(map);
+                    t.remap_columns(map);
+                }
+                if let Some(e) = else_ {
+                    e.remap_columns(map);
+                }
+            }
+        }
+    }
+
     /// `true` when the expression contains a deferred parameter. Such an
     /// expression must never be constant-folded: its value belongs to
     /// one execution, not to the (cacheable) plan.
@@ -204,7 +268,7 @@ impl BoundExpr {
                 .cloned()
                 .ok_or_else(|| DbError::MissingParam { name: name.clone() }),
             BoundKind::ColumnRef(i) => Ok(row[*i].clone()),
-            BoundKind::Apply { f, args } => {
+            BoundKind::Apply { f, args, .. } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     let v = a.eval(ctx, row)?;
@@ -489,7 +553,11 @@ impl<'a> Binder<'a> {
                 let applied = BoundExpr {
                     ty: DataType::Bool,
                     now_dep,
-                    kind: BoundKind::Apply { f: matcher, args: vec![text, pat] },
+                    kind: BoundKind::Apply {
+                        batch: Some(crate::exec::elementwise(matcher.clone())),
+                        f: matcher,
+                        args: vec![text, pat],
+                    },
                 };
                 Ok(if *negated {
                     BoundExpr {
@@ -649,6 +717,7 @@ impl<'a> Binder<'a> {
                 let ov = self.catalog.resolve_operator(cat_op, l.ty, r.ty)?;
                 let (ov_lhs, ov_rhs, ov_ret, ov_now, ov_f) =
                     (ov.lhs, ov.rhs, ov.ret, ov.now_dependent, ov.f.clone());
+                let batch = self.catalog.operator_batch_kernel(cat_op, ov_lhs, ov_rhs);
                 let l = self.coerce(l, ov_lhs, false)?;
                 let r = self.coerce(r, ov_rhs, false)?;
                 let now_dep = ov_now || l.now_dep || r.now_dep;
@@ -657,6 +726,7 @@ impl<'a> Binder<'a> {
                     now_dep,
                     kind: BoundKind::Apply {
                         f: ov_f,
+                        batch,
                         args: vec![l, r],
                     },
                 })
@@ -669,6 +739,7 @@ impl<'a> Binder<'a> {
         let arg_types: Vec<DataType> = args.iter().map(|a| a.ty).collect();
         let ov = self.catalog.resolve_function(name, &arg_types)?;
         let (params, ret, ov_now, f) = (ov.params.clone(), ov.ret, ov.now_dependent, ov.f.clone());
+        let batch = self.catalog.function_batch_kernel(name, &params);
         let mut coerced = Vec::with_capacity(args.len());
         let mut now_dep = ov_now;
         for (a, &p) in args.into_iter().zip(&params) {
@@ -679,7 +750,11 @@ impl<'a> Binder<'a> {
         Ok(BoundExpr {
             ty: ret,
             now_dep,
-            kind: BoundKind::Apply { f, args: coerced },
+            kind: BoundKind::Apply {
+                f,
+                batch,
+                args: coerced,
+            },
         })
     }
 

@@ -58,6 +58,22 @@ impl ExecCtx {
 /// Implementation of a scalar routine or operator.
 pub type ScalarFnImpl = Arc<dyn Fn(&ExecCtx, &[Value]) -> DbResult<Value> + Send + Sync>;
 
+/// Batch (vectorized) implementation of a scalar routine or operator:
+/// evaluates one call over the selected lanes of a batch's argument
+/// vectors and returns the result vector. Kernels own strict-NULL
+/// handling per lane and must only touch selected lanes (a lane filtered
+/// out upstream must not be able to raise an error).
+pub type BatchFnImpl = Arc<
+    dyn Fn(
+            &ExecCtx,
+            &[crate::exec::Vector],
+            &crate::exec::Bitmap,
+            usize,
+        ) -> DbResult<crate::exec::Vector>
+        + Send
+        + Sync,
+>;
+
 /// Implementation of a cast.
 pub type CastFnImpl = Arc<dyn Fn(&ExecCtx, &Value) -> DbResult<Value> + Send + Sync>;
 
@@ -277,6 +293,11 @@ pub struct Catalog {
     casts: HashMap<(DataType, DataType), CastDef>,
     aggregates: HashMap<String, Vec<AggregateOverload>>,
     blades: Vec<BladeInfo>,
+    /// Batch kernels, keyed by (lowercased name, overload parameter
+    /// types). An overload without an entry forces the row path.
+    fn_batch: HashMap<(String, Vec<DataType>), BatchFnImpl>,
+    /// Batch kernels for operator overloads, keyed by (op, lhs, rhs).
+    op_batch: HashMap<(BinaryOp, DataType, DataType), BatchFnImpl>,
 }
 
 impl Catalog {
@@ -405,6 +426,75 @@ impl Catalog {
         }
         list.push(ov);
         Ok(())
+    }
+
+    /// Attaches (or replaces) a batch kernel for the routine overload
+    /// with exactly these parameter types. The overload itself need not
+    /// exist yet; binding only consults kernels for overloads it
+    /// resolved.
+    pub fn register_function_batch(&mut self, name: &str, params: Vec<DataType>, k: BatchFnImpl) {
+        self.fn_batch.insert((name.to_ascii_lowercase(), params), k);
+    }
+
+    /// Attaches (or replaces) a batch kernel for an operator overload.
+    pub fn register_operator_batch(
+        &mut self,
+        op: BinaryOp,
+        lhs: DataType,
+        rhs: DataType,
+        k: BatchFnImpl,
+    ) {
+        self.op_batch.insert((op, lhs, rhs), k);
+    }
+
+    /// The batch kernel for a routine overload, if one is registered.
+    /// `params` must be the *overload's* parameter types (post overload
+    /// resolution), not the call-site argument types.
+    pub fn function_batch_kernel(&self, name: &str, params: &[DataType]) -> Option<BatchFnImpl> {
+        self.fn_batch
+            .get(&(name.to_ascii_lowercase(), params.to_vec()))
+            .cloned()
+    }
+
+    /// The batch kernel for an operator overload, if one is registered.
+    pub fn operator_batch_kernel(
+        &self,
+        op: BinaryOp,
+        lhs: DataType,
+        rhs: DataType,
+    ) -> Option<BatchFnImpl> {
+        self.op_batch.get(&(op, lhs, rhs)).cloned()
+    }
+
+    /// Attaches an elementwise batch kernel to every routine and
+    /// operator overload that doesn't already have one. Called for the
+    /// built-ins at install time; blades opt in per routine instead, so
+    /// a UDT routine without an explicit kernel keeps the row path.
+    pub fn vectorize_all_scalars(&mut self) {
+        let mut fns = Vec::new();
+        for (name, ovs) in &self.functions {
+            for ov in ovs {
+                let key = (name.clone(), ov.params.clone());
+                if !self.fn_batch.contains_key(&key) {
+                    fns.push((key, ov.f.clone()));
+                }
+            }
+        }
+        for (key, f) in fns {
+            self.fn_batch.insert(key, crate::exec::elementwise(f));
+        }
+        let mut ops = Vec::new();
+        for (op, ovs) in &self.operators {
+            for ov in ovs {
+                let key = (*op, ov.lhs, ov.rhs);
+                if !self.op_batch.contains_key(&key) {
+                    ops.push((key, ov.f.clone()));
+                }
+            }
+        }
+        for (key, f) in ops {
+            self.op_batch.insert(key, crate::exec::elementwise(f));
+        }
     }
 
     /// Registers a cast.

@@ -1,0 +1,253 @@
+//! The Volcano row operators: the total fallback for plans (or plan
+//! subtrees) that cannot run on the batch path — typically because they
+//! apply a UDT routine with no registered batch kernel, or use an
+//! operator shape the batch engine does not implement (nested-loop
+//! join). Semantics here are the reference; the batch engine must match
+//! them byte for byte.
+
+use crate::binder::BoundExpr;
+use crate::catalog::ExecCtx;
+use crate::error::DbResult;
+use crate::value::{GroupKey, Row};
+use std::collections::HashMap;
+
+use super::RowStream;
+
+pub(super) struct Once {
+    pub done: bool,
+}
+impl RowStream for Once {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        if self.done {
+            Ok(None)
+        } else {
+            self.done = true;
+            Ok(Some(Vec::new()))
+        }
+    }
+}
+
+pub(super) struct Materialized {
+    pub rows: std::vec::IntoIter<Row>,
+}
+impl RowStream for Materialized {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        Ok(self.rows.next())
+    }
+}
+
+pub(super) struct Scan<'a> {
+    pub rows: std::vec::IntoIter<Row>,
+    pub filter: &'a Option<BoundExpr>,
+    pub ctx: &'a ExecCtx,
+}
+impl RowStream for Scan<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        for row in self.rows.by_ref() {
+            match self.filter {
+                Some(pred) => {
+                    if pred.eval(self.ctx, &row)?.as_bool() == Some(true) {
+                        return Ok(Some(row));
+                    }
+                }
+                None => return Ok(Some(row)),
+            }
+        }
+        Ok(None)
+    }
+}
+
+pub(super) struct Filter<'a> {
+    pub input: Box<dyn RowStream + 'a>,
+    pub pred: &'a BoundExpr,
+    pub ctx: &'a ExecCtx,
+}
+impl RowStream for Filter<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        while let Some(row) = self.input.next_row()? {
+            if self.pred.eval(self.ctx, &row)?.as_bool() == Some(true) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+pub(super) struct Project<'a> {
+    pub input: Box<dyn RowStream + 'a>,
+    pub exprs: &'a [BoundExpr],
+    pub ctx: &'a ExecCtx,
+}
+impl RowStream for Project<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        match self.input.next_row()? {
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in self.exprs {
+                    out.push(e.eval(self.ctx, &row)?);
+                }
+                Ok(Some(out))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+pub(super) struct NlJoin<'a> {
+    pub left: Box<dyn RowStream + 'a>,
+    pub right_rows: Vec<Row>,
+    pub filter: &'a Option<BoundExpr>,
+    pub ctx: &'a ExecCtx,
+    pub cur_left: Option<Row>,
+    pub right_pos: usize,
+}
+impl RowStream for NlJoin<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        loop {
+            if self.cur_left.is_none() {
+                self.cur_left = self.left.next_row()?;
+                self.right_pos = 0;
+                if self.cur_left.is_none() {
+                    return Ok(None);
+                }
+            }
+            let l = self.cur_left.as_ref().expect("set above");
+            while self.right_pos < self.right_rows.len() {
+                let r = &self.right_rows[self.right_pos];
+                self.right_pos += 1;
+                let mut joined = Vec::with_capacity(l.len() + r.len());
+                joined.extend_from_slice(l);
+                joined.extend_from_slice(r);
+                match self.filter {
+                    Some(pred) => {
+                        if pred.eval(self.ctx, &joined)?.as_bool() == Some(true) {
+                            return Ok(Some(joined));
+                        }
+                    }
+                    None => return Ok(Some(joined)),
+                }
+            }
+            self.cur_left = None;
+        }
+    }
+}
+
+pub(super) struct HashJoin<'a> {
+    pub left: Box<dyn RowStream + 'a>,
+    pub table: HashMap<GroupKey, Vec<Row>>,
+    pub left_keys: &'a [BoundExpr],
+    pub filter: &'a Option<BoundExpr>,
+    pub ctx: &'a ExecCtx,
+    pub cur_left: Option<Row>,
+    pub matches: Vec<Row>,
+    pub match_pos: usize,
+}
+impl RowStream for HashJoin<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        loop {
+            if self.cur_left.is_none() {
+                let Some(l) = self.left.next_row()? else {
+                    return Ok(None);
+                };
+                let mut key = Vec::with_capacity(self.left_keys.len());
+                let mut has_null = false;
+                for k in self.left_keys {
+                    let v = k.eval(self.ctx, &l)?;
+                    has_null |= v.is_null();
+                    key.push(v);
+                }
+                self.matches = if has_null {
+                    Vec::new()
+                } else {
+                    self.table.get(&GroupKey(key)).cloned().unwrap_or_default()
+                };
+                self.match_pos = 0;
+                self.cur_left = Some(l);
+            }
+            let l = self.cur_left.as_ref().expect("set above");
+            while self.match_pos < self.matches.len() {
+                let r = &self.matches[self.match_pos];
+                self.match_pos += 1;
+                let mut joined = Vec::with_capacity(l.len() + r.len());
+                joined.extend_from_slice(l);
+                joined.extend_from_slice(r);
+                match self.filter {
+                    Some(pred) => {
+                        if pred.eval(self.ctx, &joined)?.as_bool() == Some(true) {
+                            return Ok(Some(joined));
+                        }
+                    }
+                    None => return Ok(Some(joined)),
+                }
+            }
+            self.cur_left = None;
+        }
+    }
+}
+
+pub(super) struct Take<'a> {
+    pub input: Box<dyn RowStream + 'a>,
+    pub keep: usize,
+}
+impl RowStream for Take<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        match self.input.next_row()? {
+            Some(mut row) => {
+                row.truncate(self.keep);
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+pub(super) struct Limit<'a> {
+    pub input: Box<dyn RowStream + 'a>,
+    pub remaining: u64,
+}
+impl RowStream for Limit<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next_row()? {
+            Some(row) => {
+                self.remaining -= 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+pub(super) struct Offset<'a> {
+    pub input: Box<dyn RowStream + 'a>,
+    pub to_skip: u64,
+}
+impl RowStream for Offset<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        while self.to_skip > 0 {
+            if self.input.next_row()?.is_none() {
+                return Ok(None);
+            }
+            self.to_skip -= 1;
+        }
+        self.input.next_row()
+    }
+}
+
+pub(super) struct Chain<'a> {
+    pub streams: Vec<Box<dyn RowStream + 'a>>,
+    pub current: usize,
+}
+impl RowStream for Chain<'_> {
+    fn next_row(&mut self) -> DbResult<Option<Row>> {
+        while self.current < self.streams.len() {
+            if let Some(row) = self.streams[self.current].next_row()? {
+                return Ok(Some(row));
+            }
+            self.current += 1;
+        }
+        Ok(None)
+    }
+}

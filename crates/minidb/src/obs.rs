@@ -55,6 +55,7 @@ pub struct OpProfile {
     timed: bool,
     rows: Cell<u64>,
     calls: Cell<u64>,
+    batches: Cell<u64>,
     nanos: Cell<u64>,
     rows_scanned: Cell<u64>,
     access: Cell<Option<AccessPath>>,
@@ -89,6 +90,7 @@ impl OpProfile {
             timed,
             rows: Cell::new(0),
             calls: Cell::new(0),
+            batches: Cell::new(0),
             nanos: Cell::new(0),
             rows_scanned: Cell::new(0),
             access: Cell::new(None),
@@ -138,6 +140,12 @@ impl OpProfile {
         self.calls.get()
     }
 
+    /// Column batches this operator produced (vectorized path only;
+    /// zero when the operator ran row at a time).
+    pub fn batches(&self) -> u64 {
+        self.batches.get()
+    }
+
     /// Cumulative wall time (inclusive of children).
     pub fn elapsed(&self) -> Duration {
         Duration::from_nanos(self.nanos.get())
@@ -159,6 +167,12 @@ impl OpProfile {
         if produced {
             self.rows.set(self.rows.get() + 1);
         }
+    }
+
+    pub(crate) fn record_batch(&self, rows: u64, nanos: u64) {
+        self.batches.set(self.batches.get() + 1);
+        self.rows.set(self.rows.get() + rows);
+        self.nanos.set(self.nanos.get() + nanos);
     }
 
     pub(crate) fn record_open_nanos(&self, nanos: u64) {
@@ -192,6 +206,16 @@ impl OpProfile {
             self.calls.get(),
             indent = depth * 2
         );
+        // A vectorized operator reports how many column batches it
+        // emitted and the average fill, alongside the row totals.
+        let batches = self.batches.get();
+        if batches > 0 {
+            line.push_str(&format!(
+                " batches={} rows/batch={}",
+                batches,
+                self.rows.get().div_ceil(batches)
+            ));
+        }
         if self.timed {
             line.push_str(&format!(" time={}", fmt_duration(self.elapsed())));
         }
@@ -208,10 +232,15 @@ impl OpProfile {
         }
     }
 
-    /// Folds every scan node's access-path counters into `metrics`.
+    /// Folds every scan node's access-path counters (and any vectorized
+    /// batch counts) into `metrics`.
     pub fn charge_scans(&self, metrics: &QueryMetrics) {
         if let Some(path) = self.access.get() {
             metrics.record_scan(path, self.rows_scanned.get());
+        }
+        let batches = self.batches.get();
+        if batches > 0 {
+            metrics.record_batches(batches);
         }
         for c in &self.children {
             c.charge_scans(metrics);
@@ -273,6 +302,10 @@ pub struct QueryMetrics {
     rows_scanned: AtomicU64,
     rows_returned: AtomicU64,
     rows_affected: AtomicU64,
+    /// Column batches emitted by vectorized operators. Session-local
+    /// observability only — deliberately NOT part of the METRICS wire
+    /// frame (adding it would bump the protocol metrics version).
+    vectorized_batches: AtomicU64,
 
     select_nanos: AtomicU64,
     dml_nanos: AtomicU64,
@@ -333,6 +366,11 @@ impl QueryMetrics {
         };
         c.fetch_add(1, Ordering::Relaxed);
         self.rows_scanned.fetch_add(rows_scanned, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batches(&self, batches: u64) {
+        self.vectorized_batches
+            .fetch_add(batches, Ordering::Relaxed);
     }
 
     pub(crate) fn record_select(&self, rows_returned: u64, elapsed: Duration) {
@@ -419,6 +457,7 @@ impl QueryMetrics {
             rows_scanned: g(&self.rows_scanned),
             rows_returned: g(&self.rows_returned),
             rows_affected: g(&self.rows_affected),
+            vectorized_batches: g(&self.vectorized_batches),
             select_nanos: g(&self.select_nanos),
             dml_nanos: g(&self.dml_nanos),
             slow_queries: g(&self.slow_queries),
@@ -469,6 +508,9 @@ pub struct MetricsSnapshot {
     pub rows_scanned: u64,
     pub rows_returned: u64,
     pub rows_affected: u64,
+    /// Column batches emitted by vectorized operators (session-local;
+    /// not carried on the METRICS wire frame).
+    pub vectorized_batches: u64,
     pub select_nanos: u64,
     pub dml_nanos: u64,
     pub slow_queries: u64,
@@ -531,6 +573,7 @@ impl MetricsSnapshot {
         add(&mut self.rows_scanned, other.rows_scanned);
         add(&mut self.rows_returned, other.rows_returned);
         add(&mut self.rows_affected, other.rows_affected);
+        add(&mut self.vectorized_batches, other.vectorized_batches);
         add(&mut self.select_nanos, other.select_nanos);
         add(&mut self.dml_nanos, other.dml_nanos);
         add(&mut self.slow_queries, other.slow_queries);
@@ -635,6 +678,7 @@ impl MetricsSnapshot {
             ("rows.scanned".to_owned(), self.rows_scanned),
             ("rows.returned".to_owned(), self.rows_returned),
             ("rows.affected".to_owned(), self.rows_affected),
+            ("exec.batches".to_owned(), self.vectorized_batches),
             ("select.total_micros".to_owned(), self.select_nanos / 1_000),
             ("dml.total_micros".to_owned(), self.dml_nanos / 1_000),
             ("select.slow".to_owned(), self.slow_queries),

@@ -51,6 +51,12 @@ pub enum Plan {
         /// recheck. Boxed to keep the `Plan` enum small.
         index_range: Option<Box<IndexRange>>,
         filter: Option<BoundExpr>,
+        /// When set, only these table columns (by original index, in this
+        /// order) are materialized; `arity` is then `project.len()` and
+        /// `filter` is expressed over the narrowed row. Index probe
+        /// columns stay table-relative (they address the index, not the
+        /// materialized row). `None` materializes every column.
+        project: Option<Vec<usize>>,
         arity: usize,
     },
     /// Hash join on equality keys plus an optional residual filter over
@@ -211,6 +217,150 @@ impl Plan {
                 format!("union({})", arms.join(","))
             }
         }
+    }
+
+    /// Whether this node alone (ignoring children) can run on the
+    /// vectorized batch path. An expression disqualifies its node when it
+    /// applies a routine with no registered batch kernel — typically a
+    /// blade/UDT routine — in which case the whole plan takes the row
+    /// fallback. Nested-loop join and `Nothing` stay row-only by design.
+    pub(crate) fn node_batchable(&self) -> bool {
+        fn ok(e: &Option<BoundExpr>) -> bool {
+            e.as_ref().is_none_or(BoundExpr::is_batchable)
+        }
+        match self {
+            Plan::Nothing | Plan::NlJoin { .. } => false,
+            Plan::Scan { filter, .. } => ok(filter),
+            Plan::Filter { pred, .. } => pred.is_batchable(),
+            Plan::Project { exprs, .. } => exprs.iter().all(BoundExpr::is_batchable),
+            Plan::Aggregate { keys, aggs, .. } => {
+                keys.iter().all(BoundExpr::is_batchable)
+                    && aggs.iter().all(|a| a.arg.is_batchable())
+            }
+            // The residual join filter is rechecked row-wise on the
+            // joined rows, so only the hash keys must be batchable.
+            Plan::HashJoin {
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                left_keys.iter().all(BoundExpr::is_batchable)
+                    && right_keys.iter().all(BoundExpr::is_batchable)
+            }
+            Plan::Distinct { .. }
+            | Plan::Sort { .. }
+            | Plan::Take { .. }
+            | Plan::Limit { .. }
+            | Plan::Offset { .. }
+            | Plan::Union { .. } => true,
+        }
+    }
+
+    /// Whether the entire plan tree can run vectorized. The executor
+    /// checks this once per plan; a single non-batchable node anywhere
+    /// routes the whole query through the row fallback (no mid-plan
+    /// bridging for capability, only for operator shape).
+    pub fn batch_capable(&self) -> bool {
+        if !self.node_batchable() {
+            return false;
+        }
+        match self {
+            Plan::Nothing | Plan::Scan { .. } => true,
+            Plan::HashJoin { left, right, .. } | Plan::NlJoin { left, right, .. } => {
+                left.batch_capable() && right.batch_capable()
+            }
+            Plan::Filter { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Take { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Offset { input, .. } => input.batch_capable(),
+            Plan::Union { inputs } => inputs.iter().all(Plan::batch_capable),
+        }
+    }
+
+    /// Projection pushdown: when a `Project` or `Aggregate` sits directly
+    /// on a full-width `Scan`, narrow the scan to the columns the parent
+    /// (and the scan's own filter) actually read, remapping column
+    /// references onto the narrowed row. Conservative on purpose — other
+    /// shapes (joins, sorts on hidden columns) keep full rows.
+    pub fn pushdown_projections(&mut self) {
+        // Recurse first so nested shapes (e.g. Aggregate over Project)
+        // are each considered against their own child.
+        match self {
+            Plan::Nothing | Plan::Scan { .. } => {}
+            Plan::HashJoin { left, right, .. } | Plan::NlJoin { left, right, .. } => {
+                left.pushdown_projections();
+                right.pushdown_projections();
+            }
+            Plan::Filter { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Take { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Offset { input, .. } => input.pushdown_projections(),
+            Plan::Union { inputs } => {
+                for p in inputs {
+                    p.pushdown_projections();
+                }
+            }
+        }
+        match self {
+            Plan::Project { input, exprs } => {
+                Plan::narrow_scan_under(input, exprs.iter_mut());
+            }
+            Plan::Aggregate { input, keys, aggs } => {
+                let exprs = keys.iter_mut().chain(aggs.iter_mut().map(|a| &mut a.arg));
+                Plan::narrow_scan_under(input, exprs);
+            }
+            _ => {}
+        }
+    }
+
+    /// If `child` is a full-width scan, restrict it to the columns read
+    /// by `parent_exprs` plus its own filter, and remap both.
+    fn narrow_scan_under<'e>(
+        child: &mut Plan,
+        parent_exprs: impl Iterator<Item = &'e mut BoundExpr>,
+    ) {
+        let Plan::Scan {
+            filter,
+            project,
+            arity,
+            ..
+        } = child
+        else {
+            return;
+        };
+        if project.is_some() {
+            return;
+        }
+        let mut parent_exprs: Vec<&mut BoundExpr> = parent_exprs.collect();
+        let mut used = Vec::new();
+        for e in &parent_exprs {
+            e.collect_columns(&mut used);
+        }
+        if let Some(f) = filter.as_ref() {
+            f.collect_columns(&mut used);
+        }
+        used.sort_unstable();
+        used.dedup();
+        if used.len() == *arity {
+            return; // every column is read; nothing to narrow
+        }
+        let map: HashMap<usize, usize> = used.iter().enumerate().map(|(n, &c)| (c, n)).collect();
+        for e in parent_exprs.iter_mut() {
+            e.remap_columns(&map);
+        }
+        if let Some(f) = filter.as_mut() {
+            f.remap_columns(&map);
+        }
+        *arity = used.len();
+        *project = Some(used);
     }
 }
 
@@ -709,10 +859,13 @@ impl<'a> Planner<'a> {
 
     /// Plans a SELECT statement (dispatching UNION chains).
     pub fn plan_select(&self, stmt: &SelectStmt) -> DbResult<PlannedSelect> {
-        if stmt.union.is_some() {
-            return self.plan_union(stmt);
-        }
-        self.plan_single_select(stmt)
+        let mut planned = if stmt.union.is_some() {
+            self.plan_union(stmt)?
+        } else {
+            self.plan_single_select(stmt)?
+        };
+        planned.plan.pushdown_projections();
+        Ok(planned)
     }
 
     /// Plans a UNION chain: every arm is planned independently, arities
@@ -1616,6 +1769,7 @@ impl<'a> Planner<'a> {
             index_overlap,
             index_range,
             filter: residual,
+            project: None,
             arity: table.schema.columns.len(),
         })
     }
@@ -1627,8 +1781,9 @@ impl<'a> Planner<'a> {
         fn walk(k: BoundKind, offset: usize) -> BoundKind {
             match k {
                 BoundKind::ColumnRef(i) => BoundKind::ColumnRef(i - offset),
-                BoundKind::Apply { f, args } => BoundKind::Apply {
+                BoundKind::Apply { f, batch, args } => BoundKind::Apply {
                     f,
+                    batch,
                     args: args
                         .into_iter()
                         .map(|a| BoundExpr {

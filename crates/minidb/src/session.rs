@@ -853,6 +853,7 @@ impl Database {
             metrics: QueryMetrics::new(),
             slow_query: None,
             repl_apply: false,
+            vectorized: true,
             txn: Mutex::new(None),
         }
     }
@@ -953,6 +954,10 @@ pub struct Session {
     /// records from the primary must apply (including DDL) even though
     /// the node rejects client writes.
     repl_apply: bool,
+    /// Whether batch-capable plans run on the vectorized executor
+    /// (default) or are forced through the row fallback — the switch the
+    /// parity tests and benchmarks flip to compare both paths.
+    vectorized: bool,
     /// The open multi-statement transaction, if any (`BEGIN` …
     /// `COMMIT`/`ROLLBACK`). Behind a mutex so `Session` stays `Sync`.
     txn: Mutex<Option<TxnState>>,
@@ -1012,6 +1017,45 @@ impl Session {
     /// Removes the slow-query log hook.
     pub fn clear_slow_query_log(&mut self) {
         self.slow_query = None;
+    }
+
+    /// Enables or disables the vectorized batch executor for this
+    /// session. Off forces every query through the row fallback; results
+    /// are identical either way (the parity tests depend on it).
+    pub fn set_vectorized(&mut self, on: bool) {
+        self.vectorized = on;
+    }
+
+    /// Whether the vectorized executor is enabled for this session.
+    pub fn vectorized(&self) -> bool {
+        self.vectorized
+    }
+
+    /// Routes one SELECT execution: the vectorized engine when the
+    /// session allows it and the plan qualifies (`batch` — resolved at
+    /// plan time, cached alongside the plan), the row engine otherwise.
+    fn run_plan(
+        &self,
+        plan: &crate::plan::Plan,
+        batch: bool,
+        src: &dyn crate::pin::TableSource,
+        ctx: &crate::catalog::ExecCtx,
+        prof: Option<&crate::obs::OpProfile>,
+    ) -> DbResult<Vec<Row>> {
+        if self.vectorized && batch {
+            exec::execute_with(plan, src, ctx, prof)
+        } else {
+            exec::execute_rows(plan, src, ctx, prof)
+        }
+    }
+
+    /// The `[exec: …]` trailer tag for a plan routed with `batch`.
+    fn exec_label(&self, batch: bool) -> &'static str {
+        if self.vectorized && batch {
+            "batch"
+        } else {
+            "row"
+        }
     }
 
     /// Slow-query hook shared by every statement kind; `plan` renders
@@ -1231,7 +1275,8 @@ impl Session {
                 let planned = planner.plan_select(&sel)?;
                 // Access-path accounting only — no per-row timing cost.
                 let prof = OpProfile::paths_only(&planned.plan);
-                let rows = exec::execute_with(&planned.plan, &pinned, &ctx, Some(&prof))?;
+                let batch = planned.plan.batch_capable();
+                let rows = self.run_plan(&planned.plan, batch, &pinned, &ctx, Some(&prof))?;
                 prof.charge_scans(&self.metrics);
                 // Release locks before the slow-query hook: it is user
                 // code and may open its own statements.
@@ -1248,6 +1293,7 @@ impl Session {
                             param_sig,
                             tables,
                             generation,
+                            batch,
                         },
                     );
                     self.metrics
@@ -1520,21 +1566,24 @@ impl Session {
                 let catalog = self.db.catalog.read();
                 let planner = Planner::new_deferred(&catalog, &pinned, params_map, ctx.clone());
                 let planned = planner.plan_select(&sel)?;
+                let batch = planned.plan.batch_capable();
                 let rows = if analyze {
                     // Execute under full instrumentation and report the
                     // plan tree annotated with per-operator stats.
                     let prof = OpProfile::timed(&planned.plan);
-                    let produced = exec::execute_with(&planned.plan, &pinned, &ctx, Some(&prof))?;
+                    let produced =
+                        self.run_plan(&planned.plan, batch, &pinned, &ctx, Some(&prof))?;
                     prof.charge_scans(&self.metrics);
                     self.metrics
                         .record_select(produced.len() as u64, started.elapsed());
                     let mut lines = prof.render();
                     lines.push(format!(
-                        "returned {} row(s) in {:.1?} [pinned {} table(s), lock-wait {:.1?}] [plan: fresh]",
+                        "returned {} row(s) in {:.1?} [pinned {} table(s), lock-wait {:.1?}] [exec: {}] [plan: fresh]",
                         produced.len(),
                         started.elapsed(),
                         pinned.tables_pinned(),
-                        pinned.lock_wait()
+                        pinned.lock_wait(),
+                        self.exec_label(batch)
                     ));
                     lines
                 } else {
@@ -1554,6 +1603,7 @@ impl Session {
                             param_sig,
                             tables,
                             generation,
+                            batch,
                         },
                     );
                     self.metrics
@@ -1645,17 +1695,18 @@ impl Session {
             // EXPLAIN ANALYZE from cache: same instrumentation as the
             // fresh path, with the provenance trailer flipped.
             let prof = OpProfile::timed(&entry.plan);
-            let produced = exec::execute_with(&entry.plan, &pinned, &ctx, Some(&prof))?;
+            let produced = self.run_plan(&entry.plan, entry.batch, &pinned, &ctx, Some(&prof))?;
             prof.charge_scans(&self.metrics);
             self.metrics
                 .record_select(produced.len() as u64, started.elapsed());
             let mut lines = prof.render();
             lines.push(format!(
-                "returned {} row(s) in {:.1?} [pinned {} table(s), lock-wait {:.1?}] [plan: cached]",
+                "returned {} row(s) in {:.1?} [pinned {} table(s), lock-wait {:.1?}] [exec: {}] [plan: cached]",
                 produced.len(),
                 started.elapsed(),
                 pinned.tables_pinned(),
-                pinned.lock_wait()
+                pinned.lock_wait(),
+                self.exec_label(entry.batch)
             ));
             self.metrics.record_statement(StatementKind::Explain);
             return Ok(Some(StatementOutcome::Rows(QueryResult {
@@ -1664,7 +1715,7 @@ impl Session {
             })));
         }
         let prof = OpProfile::paths_only(&entry.plan);
-        let rows = exec::execute_with(&entry.plan, &pinned, &ctx, Some(&prof))?;
+        let rows = self.run_plan(&entry.plan, entry.batch, &pinned, &ctx, Some(&prof))?;
         prof.charge_scans(&self.metrics);
         drop(pinned);
         self.observe_select(sql, &entry.plan, rows.len() as u64, started.elapsed());
@@ -2043,7 +2094,8 @@ impl Session {
         let planner = Planner::new(&catalog, &frozen, params, ctx.clone());
         let planned = planner.plan_select(sel)?;
         let prof = OpProfile::paths_only(&planned.plan);
-        let rows = exec::execute_with(&planned.plan, &frozen, &ctx, Some(&prof))?;
+        let batch = planned.plan.batch_capable();
+        let rows = self.run_plan(&planned.plan, batch, &frozen, &ctx, Some(&prof))?;
         prof.charge_scans(&self.metrics);
         drop(catalog);
         self.observe_select(sql, &planned.plan, rows.len() as u64, started.elapsed());
@@ -2246,7 +2298,8 @@ impl Session {
         let planner = Planner::new(&catalog, &frozen, params, ctx.clone());
         let planned = planner.plan_select(sel)?;
         let prof = OpProfile::paths_only(&planned.plan);
-        let rows = exec::execute_with(&planned.plan, &frozen, &ctx, Some(&prof))?;
+        let batch = planned.plan.batch_capable();
+        let rows = self.run_plan(&planned.plan, batch, &frozen, &ctx, Some(&prof))?;
         prof.charge_scans(&self.metrics);
         drop(catalog);
         self.observe_select(sql, &planned.plan, rows.len() as u64, started.elapsed());

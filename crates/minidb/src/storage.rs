@@ -457,6 +457,33 @@ impl Table {
             .collect()
     }
 
+    /// Columnar snapshot of the live rows: the row count plus one value
+    /// vector per requested column (all columns when `project` is
+    /// `None`), in storage order — the same order [`Table::scan`]
+    /// returns. This feeds the vectorized scan directly from the version
+    /// slots without materializing a per-row `Vec` for every tuple.
+    pub fn scan_columns(&self, project: Option<&[usize]>) -> (usize, Vec<Vec<Value>>) {
+        let all: Vec<usize>;
+        let cols: &[usize] = match project {
+            Some(p) => p,
+            None => {
+                all = (0..self.schema.columns.len()).collect();
+                &all
+            }
+        };
+        let mut out: Vec<Vec<Value>> = cols.iter().map(|_| Vec::with_capacity(self.live)).collect();
+        let mut count = 0usize;
+        for slot in &self.slots {
+            if let Some(r) = slot.as_deref() {
+                count += 1;
+                for (o, &c) in out.iter_mut().zip(cols) {
+                    o.push(r[c].clone());
+                }
+            }
+        }
+        (count, out)
+    }
+
     /// The rowids the next `n` [`Table::insert`] calls will allocate,
     /// without mutating anything. The free list is LIFO, so the first
     /// inserts pop from its tail; the rest extend the slot vector. Used
