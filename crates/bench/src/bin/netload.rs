@@ -75,12 +75,19 @@ impl Histogram {
     /// Exact median latency in microseconds (the log2 buckets are for
     /// the printed distribution; ratios need finer grain than 2x).
     fn p50_micros(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// Exact quantile over every recorded sample (nearest-rank): the
+    /// tail metrics the 10k-connection run is judged on.
+    fn percentile(&self, p: f64) -> u64 {
         if self.samples.is_empty() {
             return 0;
         }
         let mut s = self.samples.clone();
         s.sort_unstable();
-        s[s.len() / 2]
+        let idx = ((s.len() as f64 - 1.0) * p).round() as usize;
+        s[idx.min(s.len() - 1)]
     }
 
     fn print(&self, indent: &str) {
@@ -106,7 +113,8 @@ impl Histogram {
 fn usage() -> ! {
     eprintln!(
         "usage: netload [--addr HOST:PORT] [--threads N] [--statements M] [--rows K] \
-         [--contend] [--writers W] [--prepared] [--replicas R]"
+         [--contend] [--writers W] [--prepared] [--replicas R] \
+         [--connections N] [--pipeline DEPTH] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -584,6 +592,677 @@ fn run_replicas(threads: usize, statements: usize, rows: usize, n: usize) {
     }
 }
 
+/// Writes the machine-readable benchmark record. Values are already
+/// JSON-rendered (numbers and quoted strings); no serde in the tree.
+fn write_bench_json(path: &str, fields: &[(&str, String)]) {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    let doc = format!("{{\n{}\n}}\n", body.join(",\n"));
+    std::fs::write(path, &doc).expect("write bench json");
+    eprintln!("netload: wrote {path}");
+}
+
+/// The connection-scaling experiment: one multiplexed driver holds N
+/// concurrent connections against an in-process server and runs a
+/// closed loop of indexed point SELECTs on each. The driver rides the
+/// same readiness [`Poller`] the server's reactor uses, so neither side
+/// needs a thread per connection. Exits nonzero on any error, any
+/// unexpected BUSY below the admission cap, or a stalled run.
+fn run_connections(
+    external: Option<String>,
+    n: usize,
+    statements: usize,
+    rows: usize,
+    json_path: &str,
+) {
+    use std::io::{Read, Write};
+    use tip_client::protocol::{self as proto, req, resp, FrameAccumulator, Hello};
+    use tip_server::net::{raise_nofile_limit, Poller, EV_READ, EV_WRITE};
+
+    // Self-contained runs hold both socket ends in this process (2 fds
+    // per connection); against an external server only the client end.
+    let per_conn = if external.is_some() { 1 } else { 2 };
+    let want_fds = (per_conn * n + 512) as u64;
+    let limit = raise_nofile_limit(want_fds);
+    if limit < (per_conn * n + 64) as u64 {
+        eprintln!(
+            "netload: WARNING — fd limit {limit} (< {want_fds}) may be too \
+             low for {n} connections"
+        );
+    }
+
+    let local_server: Option<Server> = match &external {
+        Some(_) => None,
+        None => {
+            let db = Database::new();
+            db.install_blade(&TipBlade).expect("fresh database");
+            Some(
+                Server::bind(
+                    "127.0.0.1:0",
+                    &db,
+                    ServerConfig {
+                        max_connections: n + 16,
+                        ..Default::default()
+                    },
+                )
+                .expect("bind loopback server"),
+            )
+        }
+    };
+    let addr: std::net::SocketAddr = match &external {
+        Some(a) => {
+            use std::net::ToSocketAddrs;
+            a.to_socket_addrs()
+                .expect("resolve --addr")
+                .next()
+                .expect("resolve --addr")
+        }
+        None => local_server.as_ref().expect("local server").local_addr(),
+    };
+
+    let setup = Connection::connect(addr).expect("connect setup");
+    let _ = setup.execute("DROP TABLE IF EXISTS conn_bench", &[]);
+    setup
+        .execute("CREATE TABLE conn_bench (id INT, x INT)", &[])
+        .expect("conn_bench DDL");
+    let keys = rows.max(64);
+    for i in 0..keys {
+        setup
+            .execute(
+                "INSERT INTO conn_bench VALUES (:i, :v)",
+                &[
+                    ("i", HostValue::Int(i as i64)),
+                    ("v", HostValue::Int((i * 3) as i64)),
+                ],
+            )
+            .expect("populate conn_bench");
+    }
+    setup
+        .execute("CREATE INDEX ix_conn_id ON conn_bench(id)", &[])
+        .expect("index conn_bench");
+
+    struct CState {
+        stream: std::net::TcpStream,
+        acc: FrameAccumulator,
+        out: Vec<u8>,
+        sent: usize,
+        interest: u32,
+        ready: bool,
+        done: usize,
+        begun: Option<Instant>,
+        finished: bool,
+    }
+
+    let display = |_: &minidb::Value| String::new();
+    let mut poller = Poller::new().expect("poller");
+    let mut conns: Vec<CState> = Vec::with_capacity(n);
+    let mut events = Vec::with_capacity(1024);
+    let mut hist = Histogram::default();
+    let mut errors = 0u64;
+    let mut busy = 0u64;
+    let mut finished_conns = 0usize;
+    let mut ready_conns = 0usize;
+    let mut scratch = vec![0u8; 64 * 1024];
+    // First few error causes, for diagnosing a failed run.
+    let mut samples: Vec<String> = Vec::new();
+
+    // Everything the event loop does to one connection on readiness.
+    // Returns true while the connection stays open.
+    #[allow(clippy::too_many_arguments)]
+    fn pump_conn(
+        cs: &mut CState,
+        token: u64,
+        readable: bool,
+        writable: bool,
+        hangup: bool,
+        poller: &mut Poller,
+        scratch: &mut [u8],
+        hist: &mut Histogram,
+        errors: &mut u64,
+        busy: &mut u64,
+        statements: usize,
+        keys: usize,
+        display: &dyn Fn(&minidb::Value) -> String,
+        measuring: bool,
+        samples: &mut Vec<String>,
+    ) -> bool {
+        use std::os::unix::io::AsRawFd;
+        if cs.finished {
+            return false;
+        }
+        let fail = |cs: &mut CState,
+                    errors: &mut u64,
+                    poller: &mut Poller,
+                    samples: &mut Vec<String>,
+                    cause: &str| {
+            *errors += 1;
+            if samples.len() < 8 {
+                samples.push(format!("conn {token}: {cause}"));
+            }
+            cs.finished = true;
+            let _ = poller.deregister(cs.stream.as_raw_fd());
+            false
+        };
+        if writable && cs.sent < cs.out.len() {
+            loop {
+                match (&cs.stream).write(&cs.out[cs.sent..]) {
+                    Ok(0) => return fail(cs, errors, poller, samples, "write returned 0"),
+                    Ok(k) => {
+                        cs.sent += k;
+                        if cs.sent == cs.out.len() {
+                            cs.out.clear();
+                            cs.sent = 0;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return fail(cs, errors, poller, samples, &format!("write: {e}")),
+                }
+            }
+            let want = if cs.out.is_empty() {
+                EV_READ
+            } else {
+                EV_READ | EV_WRITE
+            };
+            if want != cs.interest {
+                cs.interest = want;
+                let _ = poller.modify(cs.stream.as_raw_fd(), token, want);
+            }
+        }
+        if readable || hangup {
+            // EOF must not short-circuit frame parsing: a BUSY reject
+            // followed by close lands as data + EOF in one readiness
+            // event, and the BUSY frame still has to be credited.
+            let mut eof = false;
+            loop {
+                match (&cs.stream).read(scratch) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(k) => cs.acc.extend(&scratch[..k]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return fail(cs, errors, poller, samples, &format!("read: {e}")),
+                }
+            }
+            loop {
+                match cs.acc.next_frame() {
+                    Ok(None) => break,
+                    Err(e) => return fail(cs, errors, poller, samples, &format!("frame: {e}")),
+                    Ok(Some((tag, body))) => match tag {
+                        resp::HELLO_OK => cs.ready = true,
+                        resp::BUSY => {
+                            *busy += 1;
+                            cs.finished = true;
+                            let _ = poller.deregister(cs.stream.as_raw_fd());
+                            return false;
+                        }
+                        resp::ROWS_HEADER | resp::ROW_BATCH => {}
+                        resp::ROWS_DONE | resp::ERROR => {
+                            if tag == resp::ERROR {
+                                *errors += 1;
+                                if samples.len() < 8 {
+                                    let msg = proto::decode_error(&body)
+                                        .map(|e| e.to_string())
+                                        .unwrap_or_else(|_| "undecodable ERROR".into());
+                                    samples.push(format!("conn {token}: statement: {msg}"));
+                                }
+                            }
+                            if measuring {
+                                if let Some(t0) = cs.begun.take() {
+                                    hist.record(t0.elapsed().as_micros() as u64);
+                                }
+                                cs.done += 1;
+                                if cs.done < statements {
+                                    send_stmt(cs, token, poller, keys, display);
+                                } else {
+                                    let _ = proto::write_frame(&mut cs.out, req::BYE, &[]);
+                                    flush_now(cs, token, poller);
+                                    cs.finished = true;
+                                    let _ = poller.deregister(cs.stream.as_raw_fd());
+                                    let _ = cs.stream.shutdown(std::net::Shutdown::Both);
+                                    return false;
+                                }
+                            }
+                        }
+                        _ => {
+                            return fail(
+                                cs,
+                                errors,
+                                poller,
+                                samples,
+                                &format!("unexpected tag {tag}"),
+                            )
+                        }
+                    },
+                }
+            }
+            if eof {
+                // Early EOF is only clean after our BYE went out.
+                return fail(cs, errors, poller, samples, "unexpected EOF");
+            }
+        }
+        true
+    }
+
+    fn send_stmt(
+        cs: &mut CState,
+        token: u64,
+        poller: &mut Poller,
+        keys: usize,
+        display: &dyn Fn(&minidb::Value) -> String,
+    ) {
+        let id = ((token as usize).wrapping_mul(31).wrapping_add(cs.done * 7) % keys) as i64;
+        let body = proto::encode_stmt(
+            "SELECT x FROM conn_bench WHERE id = :id",
+            &[("id", minidb::Value::Int(id))],
+            display,
+        );
+        proto::write_frame(&mut cs.out, req::STMT, &body).expect("encode stmt");
+        cs.begun = Some(Instant::now());
+        flush_now(cs, token, poller);
+    }
+
+    /// Opportunistic nonblocking flush; arms EV_WRITE on short writes.
+    fn flush_now(cs: &mut CState, token: u64, poller: &mut Poller) {
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+        while cs.sent < cs.out.len() {
+            match (&cs.stream).write(&cs.out[cs.sent..]) {
+                Ok(0) => break,
+                Ok(k) => cs.sent += k,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        if cs.sent == cs.out.len() {
+            cs.out.clear();
+            cs.sent = 0;
+        }
+        let want = if cs.out.is_empty() {
+            EV_READ
+        } else {
+            EV_READ | EV_WRITE
+        };
+        if want != cs.interest {
+            cs.interest = want;
+            let _ = poller.modify(cs.stream.as_raw_fd(), token, want);
+        }
+    }
+
+    // Connect phase: dial in paced chunks so the accept queue and the
+    // handshake pipeline never outrun the single-threaded server.
+    eprintln!("netload: opening {n} connections to {addr}");
+    let connect_deadline = Instant::now() + Duration::from_secs(300);
+    for idx in 0..n {
+        use std::os::unix::io::AsRawFd;
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        {
+            let mut s = &stream;
+            proto::write_frame(
+                &mut s,
+                req::HELLO,
+                &proto::encode_hello(&Hello {
+                    version: proto::VERSION,
+                    now_unix: None,
+                }),
+            )
+            .expect("send HELLO");
+        }
+        stream.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(stream.as_raw_fd(), idx as u64, EV_READ)
+            .expect("register");
+        conns.push(CState {
+            stream,
+            acc: FrameAccumulator::new(),
+            out: Vec::new(),
+            sent: 0,
+            interest: EV_READ,
+            ready: false,
+            done: 0,
+            begun: None,
+            finished: false,
+        });
+        // Pace: don't run more than 64 handshakes ahead of the server.
+        while conns.len() - ready_conns - (errors + busy) as usize > 64 {
+            assert!(Instant::now() < connect_deadline, "connect phase stalled");
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .expect("poller wait");
+            for ev in events.clone() {
+                let cs = &mut conns[ev.token as usize];
+                let was_ready = cs.ready;
+                pump_conn(
+                    cs,
+                    ev.token,
+                    ev.readable,
+                    ev.writable,
+                    ev.hangup,
+                    &mut poller,
+                    &mut scratch,
+                    &mut hist,
+                    &mut errors,
+                    &mut busy,
+                    statements,
+                    keys,
+                    &display,
+                    false,
+                    &mut samples,
+                );
+                if cs.ready && !was_ready {
+                    ready_conns += 1;
+                }
+            }
+        }
+    }
+    while ready_conns + ((errors + busy) as usize) < n {
+        assert!(Instant::now() < connect_deadline, "handshake phase stalled");
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .expect("poller wait");
+        for ev in events.clone() {
+            let cs = &mut conns[ev.token as usize];
+            let was_ready = cs.ready;
+            pump_conn(
+                cs,
+                ev.token,
+                ev.readable,
+                ev.writable,
+                ev.hangup,
+                &mut poller,
+                &mut scratch,
+                &mut hist,
+                &mut errors,
+                &mut busy,
+                statements,
+                keys,
+                &display,
+                false,
+                &mut samples,
+            );
+            if cs.ready && !was_ready {
+                ready_conns += 1;
+            }
+        }
+    }
+    if let Some(server) = &local_server {
+        eprintln!(
+            "netload: {ready_conns}/{n} connections established \
+             ({} live on the server); running {statements} statements each",
+            server.connection_count()
+        );
+    } else {
+        eprintln!(
+            "netload: {ready_conns}/{n} connections established; \
+             running {statements} statements each"
+        );
+    }
+
+    // Measurement phase: kick every connection's closed loop at once.
+    let started = Instant::now();
+    for (idx, cs) in conns.iter_mut().enumerate() {
+        if cs.finished {
+            // Rejected (BUSY) or failed during connect: already settled,
+            // but it still counts toward the loop's exit tally.
+            finished_conns += 1;
+        } else if cs.ready {
+            send_stmt(cs, idx as u64, &mut poller, keys, &display);
+        } else {
+            cs.finished = true;
+            finished_conns += 1;
+        }
+    }
+    let run_deadline = Instant::now() + Duration::from_secs(600);
+    while finished_conns < conns.len() {
+        assert!(Instant::now() < run_deadline, "measurement phase stalled");
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .expect("poller wait");
+        for ev in events.clone() {
+            let idx = ev.token as usize;
+            let was_finished = conns[idx].finished;
+            pump_conn(
+                &mut conns[idx],
+                ev.token,
+                ev.readable,
+                ev.writable,
+                ev.hangup,
+                &mut poller,
+                &mut scratch,
+                &mut hist,
+                &mut errors,
+                &mut busy,
+                statements,
+                keys,
+                &display,
+                true,
+                &mut samples,
+            );
+            if conns[idx].finished && !was_finished {
+                finished_conns += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let total: usize = conns.iter().map(|c| c.done).sum();
+    let rate = total as f64 / elapsed;
+
+    println!(
+        "{n} connections x {statements} statements: {total} statements \
+         in {elapsed:.3}s -> {rate:.1} stmt/s"
+    );
+    println!(
+        "latency p50 {} us, p99 {} us, p999 {} us",
+        hist.percentile(0.50),
+        hist.percentile(0.99),
+        hist.percentile(0.999)
+    );
+    if let Some(server) = &local_server {
+        let stats = server.stats();
+        println!(
+            "server stats: accepted {}, busy {}, parks {}, read pauses {}, pipelined {}",
+            stats.accepted,
+            stats.busy_rejects,
+            stats.park_events,
+            stats.read_pauses,
+            stats.pipelined
+        );
+    }
+    println!("client errors {errors}, busy rejections {busy}");
+    for s in &samples {
+        eprintln!("netload: error sample: {s}");
+    }
+    hist.print("  ");
+
+    write_bench_json(
+        json_path,
+        &[
+            ("bench", "\"netload\"".into()),
+            ("mode", "\"connections\"".into()),
+            ("connections", n.to_string()),
+            ("statements_per_connection", statements.to_string()),
+            ("total_statements", total.to_string()),
+            ("elapsed_s", format!("{elapsed:.3}")),
+            ("stmt_per_sec", format!("{rate:.1}")),
+            ("p50_us", hist.percentile(0.50).to_string()),
+            ("p99_us", hist.percentile(0.99).to_string()),
+            ("p999_us", hist.percentile(0.999).to_string()),
+            ("errors", errors.to_string()),
+            ("busy", busy.to_string()),
+        ],
+    );
+
+    if errors > 0 || busy > 0 {
+        eprintln!("netload: FAILED — {errors} errors, {busy} BUSY below the admission cap");
+        std::process::exit(1);
+    }
+}
+
+/// The pipelining experiment: the same prepared point-SELECT workload
+/// run closed-loop at depth 1, then in batches of `depth` statements
+/// per round trip through [`Connection::pipeline`]. Exits nonzero
+/// unless pipelining beats depth-1 throughput.
+fn run_pipeline(
+    target: &str,
+    threads: usize,
+    depth: usize,
+    statements: usize,
+    rows: usize,
+    json_path: &str,
+) {
+    assert!(depth >= 2, "--pipeline DEPTH must be >= 2");
+    let setup = Connection::connect(target).expect("connect setup");
+    for sql in [
+        "DROP TABLE IF EXISTS pipe_bench",
+        "CREATE TABLE pipe_bench (id INT, x INT)",
+    ] {
+        setup.execute(sql, &[]).expect("pipeline-mode DDL");
+    }
+    let keys = rows.max(256);
+    for i in 0..keys {
+        setup
+            .execute(
+                "INSERT INTO pipe_bench VALUES (:i, :v)",
+                &[
+                    ("i", HostValue::Int(i as i64)),
+                    ("v", HostValue::Int((i * 3) as i64)),
+                ],
+            )
+            .expect("populate pipe_bench");
+    }
+    setup
+        .execute("CREATE INDEX ix_pipe_id ON pipe_bench(id)", &[])
+        .expect("index pipe_bench");
+
+    // Each phase runs the same number of statements; the pipelined
+    // phase rounds down to whole batches.
+    let phase = |pipelined: bool| -> (Histogram, f64, usize) {
+        let merged = Arc::new(Mutex::new(Histogram::default()));
+        let gate = Arc::new(std::sync::Barrier::new(threads + 1));
+        let executed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let target = target.to_owned();
+                let merged = Arc::clone(&merged);
+                let gate = Arc::clone(&gate);
+                let executed = Arc::clone(&executed);
+                thread::spawn(move || {
+                    let conn = Connection::connect(target.as_str()).expect("connect worker");
+                    let mut stmt = conn.prepare("SELECT x FROM pipe_bench WHERE id = :id");
+                    assert!(
+                        stmt.is_server_prepared(),
+                        "--pipeline needs a protocol v3 server"
+                    );
+                    // Warm the connection before the clock starts.
+                    stmt = stmt.bind("id", HostValue::Int(0));
+                    stmt.query().expect("warmup").len();
+                    gate.wait();
+                    let mut hist = Histogram::default();
+                    let mut ran = 0usize;
+                    if pipelined {
+                        let rounds = statements / depth;
+                        for r in 0..rounds {
+                            let mut pipe = conn.pipeline();
+                            for d in 0..depth {
+                                let id = ((r * depth + d) * threads + t) % keys;
+                                stmt = stmt.bind("id", HostValue::Int(id as i64));
+                                pipe.add_prepared(&stmt);
+                            }
+                            let begin = Instant::now();
+                            let results = pipe.run().expect("pipeline run");
+                            let per_stmt = (begin.elapsed().as_micros() as u64) / depth as u64;
+                            assert_eq!(results.len(), depth);
+                            for slot in results {
+                                let mut rows = slot.expect("slot").into_rows().expect("rows");
+                                assert!(rows.next());
+                                hist.record(per_stmt);
+                                ran += 1;
+                            }
+                        }
+                    } else {
+                        for i in 0..statements {
+                            let id = (i * threads + t) % keys;
+                            stmt = stmt.bind("id", HostValue::Int(id as i64));
+                            let begin = Instant::now();
+                            let n = stmt.query().expect("depth-1 query").len();
+                            hist.record(begin.elapsed().as_micros() as u64);
+                            assert_eq!(n, 1);
+                            ran += 1;
+                        }
+                    }
+                    executed.fetch_add(ran, Ordering::Relaxed);
+                    merged.lock().expect("histogram").merge(&hist);
+                })
+            })
+            .collect();
+        gate.wait();
+        let started = Instant::now();
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let ran = executed.load(Ordering::Relaxed);
+        let mut out = Histogram::default();
+        out.merge(&merged.lock().expect("histogram"));
+        (out, ran as f64 / elapsed, ran)
+    };
+
+    eprintln!("netload: pipeline phase 1 — {threads} connections, depth 1");
+    let (h1, rate1, ran1) = phase(false);
+    eprintln!("netload: pipeline phase 2 — {threads} connections, depth {depth}");
+    let (hd, rated, rand_) = phase(true);
+
+    println!(
+        "depth 1:      {ran1} statements -> {rate1:.1} stmt/s, \
+         p50 {} us, p99 {} us, p999 {} us",
+        h1.percentile(0.50),
+        h1.percentile(0.99),
+        h1.percentile(0.999)
+    );
+    println!(
+        "depth {depth}: {rand_} statements -> {rated:.1} stmt/s, \
+         p50 {} us, p99 {} us, p999 {} us (per statement)",
+        hd.percentile(0.50),
+        hd.percentile(0.99),
+        hd.percentile(0.999)
+    );
+    let speedup = rated / rate1.max(1e-9);
+    println!("pipelined throughput over depth-1: {speedup:.2}x");
+
+    write_bench_json(
+        json_path,
+        &[
+            ("bench", "\"netload\"".into()),
+            ("mode", "\"pipeline\"".into()),
+            ("connections", threads.to_string()),
+            ("depth", depth.to_string()),
+            ("depth1_stmt_per_sec", format!("{rate1:.1}")),
+            ("pipelined_stmt_per_sec", format!("{rated:.1}")),
+            ("speedup", format!("{speedup:.3}")),
+            ("depth1_p50_us", h1.percentile(0.50).to_string()),
+            ("depth1_p99_us", h1.percentile(0.99).to_string()),
+            ("pipelined_p50_us", hd.percentile(0.50).to_string()),
+            ("pipelined_p99_us", hd.percentile(0.99).to_string()),
+            ("pipelined_p999_us", hd.percentile(0.999).to_string()),
+        ],
+    );
+
+    if rated <= rate1 {
+        eprintln!("netload: FAILED — pipelining did not beat depth-1 throughput");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut addr: Option<String> = None;
     let mut threads = 8usize;
@@ -593,6 +1272,9 @@ fn main() {
     let mut writers = 2usize;
     let mut prepared = false;
     let mut replicas = 0usize;
+    let mut connections = 0usize;
+    let mut pipeline = 0usize;
+    let mut json_path = "BENCH_9.json".to_string();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -606,8 +1288,19 @@ fn main() {
             "--writers" => writers = num(args.next()),
             "--prepared" => prepared = true,
             "--replicas" => replicas = num(args.next()),
+            "--connections" => connections = num(args.next()),
+            "--pipeline" => pipeline = num(args.next()),
+            "--json" => json_path = args.next().unwrap_or_else(|| usage()),
             _ => usage(),
         }
+    }
+
+    if connections > 0 {
+        // Self-contained by default; with --addr the driver targets an
+        // already-running server, halving this process's fd budget —
+        // the route to 10k connections under a 20k fd limit.
+        run_connections(addr, connections, statements, rows, &json_path);
+        return;
     }
 
     if replicas > 0 {
@@ -660,6 +1353,10 @@ fn main() {
     }
     if prepared {
         run_prepared(&target, threads, statements, rows);
+        return;
+    }
+    if pipeline > 0 {
+        run_pipeline(&target, threads, pipeline, statements, rows, &json_path);
         return;
     }
 

@@ -43,8 +43,8 @@ use std::time::Duration;
 use tip_blade::{as_chronon, as_element, as_instant, as_period, as_span, TipBlade, TipTypes};
 use tip_core::{Chronon, Element, Instant, Period, Span};
 use transport::{
-    ConnectOptions, InProcessTransport, RemoteTransport, ReplicatedOptions, ReplicatedTransport,
-    Transport,
+    BatchStatement, ConnectOptions, InProcessTransport, RemoteTransport, ReplicatedOptions,
+    ReplicatedTransport, Transport,
 };
 
 pub use transport::promote_replica;
@@ -346,6 +346,25 @@ impl Connection {
     pub fn format(&self, rows: &Rows) -> String {
         self.db.format_result(&rows.result)
     }
+
+    /// Starts a statement pipeline: queue several statements with
+    /// [`Pipeline::add`] / [`Pipeline::add_prepared`], then ship them in
+    /// one batch with [`Pipeline::run`]. Over a remote transport all
+    /// queued statements go out in a single write and the responses are
+    /// drained afterwards, so a round of N point queries costs one
+    /// network round trip instead of N. In-process (and on servers that
+    /// predate pipelining) the statements simply run back-to-back —
+    /// same results, no batching win.
+    ///
+    /// Statements execute in submission order on the same session;
+    /// statement `i+1` runs after statement `i` finished, exactly as if
+    /// issued one at a time.
+    pub fn pipeline(&self) -> Pipeline<'_> {
+        Pipeline {
+            conn: self,
+            batch: Vec::new(),
+        }
+    }
 }
 
 /// A prepared statement with named-parameter binding.
@@ -414,6 +433,103 @@ impl Drop for PreparedStatement<'_> {
         // fallback paths.
         if let Some(id) = self.remote_id.take() {
             let _ = self.conn.transport.close_prepared(id);
+        }
+    }
+}
+
+/// A batch of statements submitted together; see [`Connection::pipeline`].
+pub struct Pipeline<'a> {
+    conn: &'a Connection,
+    batch: Vec<BatchStatement>,
+}
+
+impl Pipeline<'_> {
+    /// Queues a statement with named parameters.
+    pub fn add(&mut self, sql: &str, params: &[(&str, HostValue)]) -> &mut Self {
+        self.batch.push(BatchStatement {
+            sql: sql.to_owned(),
+            params: params
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), self.conn.lower_param(v)))
+                .collect(),
+            prepared_id: None,
+        });
+        self
+    }
+
+    /// Queues an execution of a prepared statement, snapshotting its
+    /// current bindings. The statement may be re-bound and queued again
+    /// in the same batch; each queued execution keeps the values it was
+    /// added with.
+    pub fn add_prepared(&mut self, stmt: &PreparedStatement<'_>) -> &mut Self {
+        self.batch.push(BatchStatement {
+            sql: stmt.sql.clone(),
+            params: stmt
+                .params
+                .iter()
+                .map(|(n, v)| (n.clone(), self.conn.lower_param(v)))
+                .collect(),
+            prepared_id: stmt.remote_id,
+        });
+        self
+    }
+
+    /// Number of statements queued so far.
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// `true` when nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// Ships the batch and drains one result per queued statement, in
+    /// submission order. The outer `Err` means the connection itself
+    /// failed (broken socket — remaining results unrecoverable); a
+    /// per-slot `Err` is an ordinary statement error (the server keeps
+    /// the connection and later slots still ran).
+    pub fn run(&mut self) -> DbResult<Vec<DbResult<PipelineOutcome>>> {
+        let batch = std::mem::take(&mut self.batch);
+        let outcomes = self.conn.transport.execute_batch(&batch)?;
+        Ok(outcomes
+            .into_iter()
+            .map(|slot| {
+                slot.map(|outcome| match outcome {
+                    StatementOutcome::Rows(r) => PipelineOutcome::Rows(self.conn.rows_from(r)),
+                    StatementOutcome::Affected(n) => PipelineOutcome::Affected(n),
+                    StatementOutcome::Done => PipelineOutcome::Done,
+                })
+            })
+            .collect())
+    }
+}
+
+/// The result of one pipelined statement.
+pub enum PipelineOutcome {
+    /// The statement returned rows.
+    Rows(Rows),
+    /// A DML statement reporting its affected-row count.
+    Affected(usize),
+    /// A statement with no result (DDL and friends).
+    Done,
+}
+
+impl PipelineOutcome {
+    /// Unwraps a row set, erroring on non-query outcomes.
+    pub fn into_rows(self) -> DbResult<Rows> {
+        match self {
+            PipelineOutcome::Rows(r) => Ok(r),
+            _ => Err(DbError::exec("statement returned no rows; use affected()")),
+        }
+    }
+
+    /// The affected-row count (0 for `Done`), erroring if rows came back.
+    pub fn affected(self) -> DbResult<usize> {
+        match self {
+            PipelineOutcome::Affected(n) => Ok(n),
+            PipelineOutcome::Done => Ok(0),
+            PipelineOutcome::Rows(_) => Err(DbError::exec("statement returned rows; use query()")),
         }
     }
 }

@@ -167,6 +167,92 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
     Ok((tag[0], body))
 }
 
+/// Incremental, nonblocking-friendly frame decoder: feed it whatever
+/// byte runs the socket yields — split mid-length-prefix, mid-body, or
+/// with several frames coalesced into one read — and pull complete
+/// frames out as they materialize. The reactor in `tip-server` and the
+/// multiplexed `netload` driver both sit on top of this.
+///
+/// The grammar matches [`read_frame`] exactly: a zero or oversized
+/// length prefix poisons the stream (the error is sticky; the
+/// connection must be abandoned).
+#[derive(Debug, Default)]
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames.
+    pos: usize,
+    poisoned: bool,
+}
+
+impl FrameAccumulator {
+    pub fn new() -> FrameAccumulator {
+        FrameAccumulator::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: reclaim consumed space once it dominates, so
+        // a long-lived connection doesn't grow its buffer forever.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pulls the next complete frame, if one is buffered.
+    ///
+    /// * `Ok(Some((tag, body)))` — a whole frame was available;
+    /// * `Ok(None)` — more bytes are needed;
+    /// * `Err(why)` — the stream is malformed (sticky).
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, String> {
+        if self.poisoned {
+            return Err("frame stream already poisoned".to_string());
+        }
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len4: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4-byte slice");
+        let len = u32::from_le_bytes(len4) as usize;
+        if len == 0 || len > MAX_FRAME {
+            self.poisoned = true;
+            return Err(format!("frame length {len} outside 1..={MAX_FRAME}"));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let tag = self.buf[self.pos + 4];
+        let body = self.buf[self.pos + 5..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some((tag, body)))
+    }
+
+    /// `true` while bytes of an incomplete frame sit in the buffer — a
+    /// peer that stalls in this state is mid-frame, not idle.
+    pub fn has_partial(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Bytes currently buffered and not yet consumed by a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes the accumulator, returning the unparsed tail — used
+    /// when a connection is handed from the reactor to a dedicated
+    /// thread (replication subscribers) mid-stream.
+    pub fn into_residual(self) -> Vec<u8> {
+        self.buf[self.pos..].to_vec()
+    }
+}
+
 // ---------------------------------------------------------------------
 // Decode helpers
 // ---------------------------------------------------------------------
@@ -1079,6 +1165,87 @@ mod tests {
             read_frame(&mut [].as_slice()).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
+    }
+
+    /// Three frames of varying sizes for reassembly tests.
+    fn sample_frames() -> (Vec<u8>, Vec<(u8, Vec<u8>)>) {
+        let frames = vec![
+            (req::HELLO, b"h".to_vec()),
+            (req::STMT, vec![0xAB; 300]),
+            (req::BYE, Vec::new()),
+        ];
+        let mut wire = Vec::new();
+        for (tag, body) in &frames {
+            write_frame(&mut wire, *tag, body).unwrap();
+        }
+        (wire, frames)
+    }
+
+    #[test]
+    fn accumulator_reassembles_at_every_byte_boundary() {
+        let (wire, frames) = sample_frames();
+        // Every split point: bytes [0, split) then [split, len).
+        for split in 0..=wire.len() {
+            let mut acc = FrameAccumulator::new();
+            acc.extend(&wire[..split]);
+            let mut got = Vec::new();
+            while let Some(f) = acc.next_frame().unwrap() {
+                got.push(f);
+            }
+            acc.extend(&wire[split..]);
+            while let Some(f) = acc.next_frame().unwrap() {
+                got.push(f);
+            }
+            assert_eq!(got, frames, "split at byte {split}");
+            assert!(!acc.has_partial());
+        }
+    }
+
+    #[test]
+    fn accumulator_handles_byte_at_a_time_and_coalesced() {
+        let (wire, frames) = sample_frames();
+        // One byte per extend.
+        let mut acc = FrameAccumulator::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            acc.extend(std::slice::from_ref(b));
+            while let Some(f) = acc.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        // All frames coalesced into one extend.
+        let mut acc = FrameAccumulator::new();
+        acc.extend(&wire);
+        let mut got = Vec::new();
+        while let Some(f) = acc.next_frame().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn accumulator_poisons_on_bad_length() {
+        for bad in [0u32, (MAX_FRAME + 1) as u32] {
+            let mut acc = FrameAccumulator::new();
+            acc.extend(&bad.to_le_bytes());
+            assert!(acc.next_frame().is_err());
+            // Sticky: even appending a valid frame cannot revive it.
+            let mut good = Vec::new();
+            write_frame(&mut good, req::BYE, &[]).unwrap();
+            acc.extend(&good);
+            assert!(acc.next_frame().is_err());
+        }
+    }
+
+    #[test]
+    fn accumulator_residual_carries_unparsed_tail() {
+        let (wire, _) = sample_frames();
+        let mut acc = FrameAccumulator::new();
+        acc.extend(&wire[..7]);
+        let first = acc.next_frame().unwrap().unwrap();
+        assert_eq!(first.0, req::HELLO);
+        assert_eq!(acc.into_residual(), wire[6..7].to_vec());
     }
 
     #[test]

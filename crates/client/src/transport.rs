@@ -84,8 +84,45 @@ pub trait Transport: Send + Sync {
         Ok(())
     }
 
+    /// Executes a batch of statements and returns one result slot per
+    /// statement, in submission order. Transports that can pipeline
+    /// (the remote path) send every request before reading any
+    /// response — one write for the whole batch — so a round trip is
+    /// paid once per batch instead of once per statement. The default
+    /// runs the batch serially; semantics are identical either way:
+    /// statement-level errors land in their slot and later statements
+    /// still run, while a transport fault aborts the whole call.
+    fn execute_batch(&self, batch: &[BatchStatement]) -> DbResult<Vec<DbResult<StatementOutcome>>> {
+        let mut results = Vec::with_capacity(batch.len());
+        for stmt in batch {
+            let params: Vec<(&str, Value)> = stmt
+                .params
+                .iter()
+                .map(|(n, v)| (n.as_str(), v.clone()))
+                .collect();
+            let result = match stmt.prepared_id {
+                Some(id) => self.execute_prepared(id, &stmt.sql, &params),
+                None => self.execute(&stmt.sql, &params),
+            };
+            results.push(result);
+        }
+        Ok(results)
+    }
+
     /// Human-readable endpoint ("in-process" or "host:port").
     fn endpoint(&self) -> String;
+}
+
+/// One statement in a batch submitted via [`Transport::execute_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchStatement {
+    /// Statement text; always carried so transports without remote
+    /// preparation (or pre-v3 peers) can fall back to plain execution.
+    pub sql: String,
+    /// Named parameters, pre-lowered to engine values.
+    pub params: Vec<(String, Value)>,
+    /// Server-side prepared-statement id, when one exists.
+    pub prepared_id: Option<u64>,
 }
 
 // ---------------------------------------------------------------------
@@ -437,6 +474,51 @@ impl Transport for RemoteTransport {
         let body = protocol::encode_execute_prepared(id, params, &|v| self.display(v));
         self.send(&mut stream, req::EXECUTE_PREPARED, &body)?;
         self.read_outcome(&mut stream)
+    }
+
+    /// True pipelining: every request frame is encoded into one buffer
+    /// and written with a single syscall; the server executes them in
+    /// order and the responses drain back to back. Statement-level
+    /// errors occupy their slot without disturbing later statements; a
+    /// transport fault (broken stream) aborts the drain, since frame
+    /// boundaries can no longer be trusted.
+    fn execute_batch(&self, batch: &[BatchStatement]) -> DbResult<Vec<DbResult<StatementOutcome>>> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.check_live()?;
+        let mut stream = self.stream.lock().expect("stream poisoned");
+        self.sync_now(&mut stream)?;
+        let mut wire = Vec::new();
+        for stmt in batch {
+            let params: Vec<(&str, Value)> = stmt
+                .params
+                .iter()
+                .map(|(n, v)| (n.as_str(), v.clone()))
+                .collect();
+            let (tag, body) = match stmt.prepared_id {
+                Some(id) if self.version >= 3 => (
+                    req::EXECUTE_PREPARED,
+                    protocol::encode_execute_prepared(id, &params, &|v| self.display(v)),
+                ),
+                _ => (
+                    req::STMT,
+                    protocol::encode_stmt(&stmt.sql, &params, &|v| self.display(v)),
+                ),
+            };
+            protocol::write_frame(&mut wire, tag, &body)
+                .map_err(|e| self.fail("batch encode", e))?;
+        }
+        io::Write::write_all(&mut *stream, &wire).map_err(|e| self.fail("batch send", e))?;
+        let mut results = Vec::with_capacity(batch.len());
+        for _ in batch {
+            match self.read_outcome(&mut stream) {
+                Ok(outcome) => results.push(Ok(outcome)),
+                Err(e) if self.is_broken() => return Err(e),
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        Ok(results)
     }
 
     fn close_prepared(&self, id: u64) -> DbResult<()> {

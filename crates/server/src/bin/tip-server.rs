@@ -1,11 +1,17 @@
 //! Stand-alone TIP server.
 //!
 //! ```text
-//! tip-server [--listen ADDR] [--max-connections N] [--demo]
+//! tip-server [--listen ADDR] [--max-connections N] [--workers N]
+//!            [--max-subscribers N] [--demo]
 //!            [--data-dir DIR] [--sync MODE] [--checkpoint-bytes N]
 //!            [--mvcc-retention N] [--replicate-from ADDR]
 //! tip-server --promote ADDR
 //! ```
+//!
+//! `--workers` sizes the statement-execution pool (0 = one per core);
+//! `--max-subscribers` caps replication subscribers, which hold
+//! dedicated streaming threads and do not count against
+//! `--max-connections`.
 //!
 //! `--demo` pre-populates the shared database with the synthetic
 //! medical workload so a `tip-browser-cli connect <addr>` in another
@@ -44,7 +50,8 @@ use tip_server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tip-server [--listen ADDR] [--max-connections N] [--demo] \
+        "usage: tip-server [--listen ADDR] [--max-connections N] [--workers N] \
+         [--max-subscribers N] [--demo] \
          [--data-dir DIR] [--sync off|every-commit|interval:MS] [--checkpoint-bytes N] \
          [--mvcc-retention N] [--replicate-from ADDR] | --promote ADDR"
     );
@@ -65,6 +72,18 @@ fn main() -> ExitCode {
             "--listen" => listen = args.next().unwrap_or_else(|| usage()),
             "--max-connections" => {
                 cfg.max_connections = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--workers" => {
+                cfg.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-subscribers" => {
+                cfg.max_subscribers = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
@@ -157,6 +176,10 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // One fd per admitted connection plus listener/wake/log slack; the
+    // default 1024 soft limit would cap admission far below the knob.
+    tip_server::net::raise_nofile_limit(cfg.max_connections as u64 + 512);
 
     let server = match Server::bind(listen.as_str(), &db, cfg) {
         Ok(s) => s,

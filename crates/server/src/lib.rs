@@ -1,33 +1,43 @@
-//! # tip-server — a concurrent wire-protocol server for TIP
+//! # tip-server — an event-driven wire-protocol server for TIP
 //!
 //! The paper's Figure 1 places client applications *across a network*
 //! from the TIP-enabled database server. This crate supplies that
-//! missing tier: a multi-threaded TCP server owning one shared
+//! missing tier: a readiness-driven TCP server owning one shared
 //! [`Database`], serving many concurrent sessions over the
 //! length-prefixed binary protocol defined in [`tip_client::protocol`].
 //!
 //! Design points:
 //!
-//! * **one thread per connection**, all sharing the `Arc<Database>` —
-//!   concurrency control is the engine's own catalog/storage locks;
+//! * **reactor + worker pool** — a single nonblocking event loop
+//!   ([`reactor`]) owns every socket and decodes frames into
+//!   per-connection statement queues; a fixed pool of workers sized to
+//!   cores executes statements and commits responses to per-connection
+//!   outboxes. Clients may **pipeline**: many in-flight statements per
+//!   connection, answered in order, flushed with one write per
+//!   readiness event;
 //! * **per-connection session state** — each connection gets its own
 //!   [`Session`], so NOW overrides and metrics are isolated exactly as
 //!   they are for in-process sessions;
-//! * **robustness** — read/write timeouts on every socket, a
-//!   max-connections limit answered with a typed BUSY reject, malformed
-//!   frames kill only the offending connection, and shutdown drains
-//!   in-flight statements before the process lets go of the database;
+//! * **admission control and backpressure** — connection slots are
+//!   reserved atomically (over-cap peers get a typed BUSY), statement
+//!   queues are bounded (reads pause at the high-water mark), and a
+//!   slow client whose outbox exceeds the write budget is *parked*
+//!   instead of pinning a worker;
+//! * **robustness** — malformed frames kill only the offending
+//!   connection, stalled handshakes and unread outboxes are swept on a
+//!   timeout, and shutdown drains queued statements before the process
+//!   lets go of the database;
 //! * **observability** — a `SERVER_METRICS` request aggregates every
 //!   live session's counters plus those of already-closed sessions via
-//!   [`MetricsSnapshot::absorb`].
+//!   [`MetricsSnapshot::absorb`]; [`Server::stats`] exposes the
+//!   reactor's own counters (accepts, rejects, parks, pipelining).
 
-use minidb::{
-    Database, DbError, DbResult, MetricsSnapshot, QueryMetrics, Session, StatementOutcome, Value,
-};
+use minidb::{Database, DbError, DbResult, MetricsSnapshot, QueryMetrics};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::{self, JoinHandle};
@@ -35,16 +45,28 @@ use std::time::{Duration, Instant};
 use tip_blade::TipTypes;
 use tip_client::protocol::{self, req, resp};
 
+mod conn;
+pub mod net;
+mod reactor;
 pub mod repl;
+mod worker;
+
+use conn::ControlQueue;
+use worker::RunQueue;
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Connections at or over this limit are rejected with BUSY.
+    /// Replication subscribers stop counting against it once detached
+    /// (see `max_subscribers`).
     pub max_connections: usize,
-    /// Socket read timeout once a frame has started arriving.
+    /// How long a connection may sit mid-frame (or mid-handshake)
+    /// before the stall sweep closes it. Idle connections at a frame
+    /// boundary are never timed out.
     pub read_timeout: Duration,
-    /// Socket write timeout for response frames.
+    /// How long an unread outbox may sit with pending bytes before the
+    /// stall sweep closes the connection.
     pub write_timeout: Duration,
     /// Rows per ROW_BATCH frame when streaming result sets.
     pub rows_per_batch: usize,
@@ -54,6 +76,21 @@ pub struct ServerConfig {
     /// Defaults to [`protocol::VERSION`]; set it to 2 to exercise the
     /// client's graceful fallback for pre-prepared-statement peers.
     pub max_protocol_version: u16,
+    /// Worker threads executing statements; 0 means auto (at least 2,
+    /// otherwise the machine's available parallelism).
+    pub workers: usize,
+    /// In-flight statements one connection may queue before the server
+    /// stops reading from it (pipelining depth bound).
+    pub max_pipeline: usize,
+    /// Outbox bytes a connection may accumulate before it is parked
+    /// until the client drains responses.
+    pub write_budget: usize,
+    /// Replication subscribers this node will feed concurrently; they
+    /// hold subscriber slots, not client-connection slots.
+    pub max_subscribers: usize,
+    /// How long shutdown waits for queued statements and outboxes to
+    /// drain before force-closing connections.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -65,12 +102,30 @@ impl Default for ServerConfig {
             rows_per_batch: 256,
             banner: "tip-server".to_string(),
             max_protocol_version: protocol::VERSION,
+            workers: 0,
+            max_pipeline: 128,
+            write_budget: 256 * 1024,
+            max_subscribers: 8,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
 
-/// How often idle connections and the accept loop wake up to check for
-/// shutdown.
+impl ServerConfig {
+    /// The worker-pool size `workers: 0` resolves to.
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        let cores = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        cores.max(2)
+    }
+}
+
+/// How often the replication subscriber loop wakes to check for
+/// shutdown or new WAL.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
 /// Handler invoked by an admin PROMOTE frame: performs the
@@ -98,7 +153,7 @@ type PromoteFn = Box<dyn Fn() -> DbResult<u64> + Send + Sync>;
 /// replica. A strict mode (register at SUBSCRIBE, fail writes instead
 /// of timing out) is a deliberate non-goal for now and is documented
 /// as such in DESIGN.md §10.
-struct ReplHub {
+pub(crate) struct ReplHub {
     /// conn_id → highest watermark acked by that subscriber.
     acked: StdMutex<HashMap<u64, u64>>,
     advanced: Condvar,
@@ -112,7 +167,7 @@ impl ReplHub {
         }
     }
 
-    fn note_ack(&self, conn_id: u64, watermark: u64) {
+    pub(crate) fn note_ack(&self, conn_id: u64, watermark: u64) {
         let mut m = self.acked.lock().unwrap();
         let slot = m.entry(conn_id).or_insert(0);
         *slot = (*slot).max(watermark);
@@ -153,26 +208,59 @@ impl ReplHub {
     }
 }
 
-struct Shared {
-    db: Arc<Database>,
-    types: TipTypes,
-    cfg: ServerConfig,
-    shutdown: AtomicBool,
+/// Reactor/worker counters, all monotonic except `subscribers`.
+pub(crate) struct StatsInner {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) busy_rejects: AtomicU64,
+    pub(crate) park_events: AtomicU64,
+    pub(crate) read_pauses: AtomicU64,
+    pub(crate) pipelined: AtomicU64,
+    /// Currently-attached replication subscribers.
+    pub(crate) subscribers: AtomicUsize,
+}
+
+/// A point-in-time snapshot of the server's own counters (distinct
+/// from the per-session query metrics).
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Connections accepted (including ones later rejected with BUSY).
+    pub accepted: u64,
+    /// Connections answered with BUSY because the cap was reached.
+    pub busy_rejects: u64,
+    /// Times a connection was parked for exceeding the write budget.
+    pub park_events: u64,
+    /// Times reading from a connection paused on a full statement queue.
+    pub read_pauses: u64,
+    /// Frames enqueued while the connection already had work in flight
+    /// — a direct measure of client pipelining.
+    pub pipelined: u64,
+    /// Replication subscribers currently attached.
+    pub subscribers: usize,
+}
+
+pub(crate) struct Shared {
+    pub(crate) db: Arc<Database>,
+    pub(crate) types: TipTypes,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
     /// Live connections' metric registries, keyed by connection id.
-    live: Mutex<HashMap<u64, Arc<QueryMetrics>>>,
+    pub(crate) live: Mutex<HashMap<u64, Arc<QueryMetrics>>>,
     /// Folded-in counters of connections that already closed.
     retired: Mutex<MetricsSnapshot>,
-    live_count: AtomicUsize,
-    next_conn_id: AtomicU64,
+    pub(crate) live_count: AtomicUsize,
+    pub(crate) next_conn_id: AtomicU64,
     /// Per-subscriber replication ack state (primary role).
-    repl: ReplHub,
+    pub(crate) repl: ReplHub,
     /// Promotion handler (replica role); `None` on a plain primary.
-    promote: StdMutex<Option<PromoteFn>>,
+    pub(crate) promote: StdMutex<Option<PromoteFn>>,
+    pub(crate) stats: StatsInner,
+    /// Detached replication-feed threads, joined at shutdown.
+    pub(crate) sub_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
     /// Server-wide counters: every closed session plus every live one.
-    fn server_metrics(&self) -> MetricsSnapshot {
+    pub(crate) fn server_metrics(&self) -> MetricsSnapshot {
         let mut total = self.retired.lock().clone();
         for metrics in self.live.lock().values() {
             total.absorb(&metrics.snapshot());
@@ -181,14 +269,25 @@ impl Shared {
     }
 }
 
+/// Removes a finished connection's metrics from the live table,
+/// folding its counters into the retired total. Connection-slot
+/// accounting is the caller's business (the reactor frees client slots
+/// at close; subscriber slots are freed when the feed thread exits).
+pub(crate) fn retire_metrics(conn_id: u64, shared: &Shared) {
+    if let Some(metrics) = shared.live.lock().remove(&conn_id) {
+        shared.retired.lock().absorb(&metrics.snapshot());
+    }
+}
+
 /// A running server. Dropping it (or calling [`Server::shutdown`])
-/// stops accepting, drains in-flight statements, and joins every
-/// worker thread.
+/// stops accepting, drains queued statements, and joins every thread.
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    runq: Arc<RunQueue>,
+    ctrl: Arc<ControlQueue>,
 }
 
 impl Server {
@@ -209,6 +308,11 @@ impl Server {
         listener
             .set_nonblocking(true)
             .map_err(|e| DbError::unavailable(format!("set_nonblocking failed: {e}")))?;
+        let (wake_tx, wake_rx) = UnixStream::pair()
+            .map_err(|e| DbError::unavailable(format!("wake pipe failed: {e}")))?;
+        wake_tx
+            .set_nonblocking(true)
+            .map_err(|e| DbError::unavailable(format!("wake pipe failed: {e}")))?;
 
         let shared = Arc::new(Shared {
             db: Arc::clone(db),
@@ -221,21 +325,54 @@ impl Server {
             next_conn_id: AtomicU64::new(1),
             repl: ReplHub::new(),
             promote: StdMutex::new(None),
+            stats: StatsInner {
+                accepted: AtomicU64::new(0),
+                busy_rejects: AtomicU64::new(0),
+                park_events: AtomicU64::new(0),
+                read_pauses: AtomicU64::new(0),
+                pipelined: AtomicU64::new(0),
+                subscribers: AtomicUsize::new(0),
+            },
+            sub_threads: Mutex::new(Vec::new()),
         });
-        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let runq = Arc::new(RunQueue::new());
+        let ctrl = Arc::new(ControlQueue::new(wake_tx));
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_workers = Arc::clone(&workers);
-        let accept_thread = thread::Builder::new()
-            .name("tip-server-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_shared, accept_workers))
+        let mut worker_threads = Vec::new();
+        for i in 0..shared.cfg.resolved_workers() {
+            let shared = Arc::clone(&shared);
+            let runq = Arc::clone(&runq);
+            let ctrl = Arc::clone(&ctrl);
+            let handle = thread::Builder::new()
+                .name(format!("tip-server-worker-{i}"))
+                .spawn(move || worker::worker_loop(shared, runq, ctrl))
+                .map_err(|e| DbError::unavailable(format!("spawn failed: {e}")))?;
+            worker_threads.push(handle);
+        }
+
+        let reactor_shared = Arc::clone(&shared);
+        let reactor_runq = Arc::clone(&runq);
+        let reactor_ctrl = Arc::clone(&ctrl);
+        let reactor_thread = thread::Builder::new()
+            .name("tip-server-reactor".to_string())
+            .spawn(move || {
+                reactor::run_reactor(
+                    listener,
+                    wake_rx,
+                    reactor_shared,
+                    reactor_runq,
+                    reactor_ctrl,
+                )
+            })
             .map_err(|e| DbError::unavailable(format!("spawn failed: {e}")))?;
 
         Ok(Server {
             shared,
             local_addr,
-            accept_thread: Some(accept_thread),
-            workers,
+            reactor_thread: Some(reactor_thread),
+            worker_threads,
+            runq,
+            ctrl,
         })
     }
 
@@ -244,7 +381,8 @@ impl Server {
         self.local_addr
     }
 
-    /// Number of connections currently being served.
+    /// Number of client connections currently being served (detached
+    /// replication subscribers excluded).
     pub fn connection_count(&self) -> usize {
         self.shared.live_count.load(Ordering::SeqCst)
     }
@@ -254,6 +392,20 @@ impl Server {
         self.shared.server_metrics()
     }
 
+    /// The reactor's own counters: admissions, rejects, backpressure
+    /// events, and observed pipelining.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.stats;
+        ServerStats {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            busy_rejects: s.busy_rejects.load(Ordering::Relaxed),
+            park_events: s.park_events.load(Ordering::Relaxed),
+            read_pauses: s.read_pauses.load(Ordering::Relaxed),
+            pipelined: s.pipelined.load(Ordering::Relaxed),
+            subscribers: s.subscribers.load(Ordering::SeqCst),
+        }
+    }
+
     /// Installs the handler an admin PROMOTE frame invokes. The handler
     /// drains this node's replication stream, opens the WAL for append,
     /// and returns the last commit sequence applied before takeover.
@@ -261,20 +413,25 @@ impl Server {
         *self.shared.promote.lock().unwrap() = Some(Box::new(f));
     }
 
-    /// Stops accepting, lets in-flight statements finish, and joins all
-    /// threads. Idempotent.
+    /// Stops accepting, drains queued statements (bounded by
+    /// `drain_timeout`), and joins all threads. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
+        self.ctrl.wake();
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
+        self.runq.stop();
+        for w in std::mem::take(&mut self.worker_threads) {
+            let _ = w.join();
+        }
         loop {
-            let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+            let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.sub_threads.lock());
             if drained.is_empty() {
                 break;
             }
-            for w in drained {
-                let _ = w.join();
+            for t in drained {
+                let _ = t.join();
             }
         }
     }
@@ -286,65 +443,13 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    shared: Arc<Shared>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                // Reap finished workers so the handle list stays small.
-                workers.lock().retain(|w| !w.is_finished());
-
-                if shared.live_count.load(Ordering::SeqCst) >= shared.cfg.max_connections {
-                    reject_busy(stream, &shared);
-                    continue;
-                }
-                shared.live_count.fetch_add(1, Ordering::SeqCst);
-                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(&shared);
-                let handle = thread::Builder::new()
-                    .name(format!("tip-server-conn-{conn_id}"))
-                    .spawn(move || {
-                        serve_connection(stream, conn_id, &conn_shared);
-                        retire_connection(conn_id, &conn_shared);
-                    });
-                match handle {
-                    Ok(h) => workers.lock().push(h),
-                    Err(_) => {
-                        shared.live_count.fetch_sub(1, Ordering::SeqCst);
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
-            Err(_) => thread::sleep(POLL_INTERVAL),
-        }
-    }
-}
-
-/// Removes a finished connection from the live table, folding its
-/// counters into the retired total.
-fn retire_connection(conn_id: u64, shared: &Shared) {
-    if let Some(metrics) = shared.live.lock().remove(&conn_id) {
-        shared.retired.lock().absorb(&metrics.snapshot());
-    }
-    shared.live_count.fetch_sub(1, Ordering::SeqCst);
-}
-
 /// Sends one frame as a single write (length, tag and body assembled
-/// first so the kernel sees whole frames).
+/// first so the kernel sees whole frames). Used by the blocking
+/// replication-feed path; client traffic goes through the outboxes.
 fn send(stream: &mut TcpStream, tag: u8, body: &[u8]) -> io::Result<()> {
     let mut frame = Vec::with_capacity(5 + body.len());
     protocol::write_frame(&mut frame, tag, body)?;
     stream.write_all(&frame)
-}
-
-/// Pre-negotiation error path (handshake failures): the peer's version
-/// is unknown, so the error encodes at the current layout. Post-
-/// handshake paths use [`send_error_v`] for version-aware narrowing.
-fn send_error(stream: &mut TcpStream, e: &DbError) -> io::Result<()> {
-    send(stream, resp::ERROR, &protocol::encode_error(e))
 }
 
 /// Version-aware error frame: codes newer than the negotiated protocol
@@ -353,310 +458,11 @@ fn send_error_v(stream: &mut TcpStream, version: u16, e: &DbError) -> io::Result
     send(stream, resp::ERROR, &protocol::encode_error_for(e, version))
 }
 
-/// Over-capacity reject: a typed BUSY frame, then close. The socket is
-/// made blocking first (it inherits the listener's non-blocking flag on
-/// some platforms).
-fn reject_busy(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-    // Drain the client's HELLO first: closing a socket with unread data
-    // RSTs the peer before it can read the BUSY frame.
-    let _ = protocol::read_frame(&mut stream);
-    let msg = format!(
-        "server busy: at its limit of {} connections",
-        shared.cfg.max_connections
-    );
-    let _ = send(&mut stream, resp::BUSY, &protocol::encode_busy(&msg));
-}
-
-/// Outcome of waiting for the next request frame.
-enum NextFrame {
-    Frame(u8, Vec<u8>),
-    /// Peer closed at a frame boundary, or the stream died.
-    Closed,
-    /// The server is shutting down; no new statement was started.
-    Shutdown,
-    /// The stream is malformed beyond recovery.
-    Malformed(String),
-}
-
-/// Waits for the next frame, polling in short intervals while idle so a
-/// shutdown request is noticed quickly, then switching to the full read
-/// timeout once the frame starts arriving.
-fn next_frame(stream: &mut TcpStream, shared: &Shared) -> NextFrame {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return NextFrame::Shutdown;
-        }
-        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-        let mut first = [0u8; 1];
-        match stream.peek(&mut first) {
-            Ok(0) => return NextFrame::Closed,
-            Ok(_) => break,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return NextFrame::Closed,
-        }
-    }
-    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-    match protocol::read_frame(stream) {
-        Ok((tag, body)) => NextFrame::Frame(tag, body),
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => NextFrame::Malformed(e.to_string()),
-        Err(_) => NextFrame::Closed,
-    }
-}
-
-/// Runs one connection to completion: handshake, then the request loop.
-/// Any protocol fault ends only this connection; the database and every
-/// other session are untouched.
-fn serve_connection(mut stream: TcpStream, conn_id: u64, shared: &Shared) {
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-
-    // --- handshake -----------------------------------------------------
-    let hello = match next_frame(&mut stream, shared) {
-        NextFrame::Frame(req::HELLO, body) => match protocol::decode_hello(&body) {
-            Ok(h) => h,
-            Err(e) => {
-                let _ = send_error(&mut stream, &e);
-                return;
-            }
-        },
-        NextFrame::Frame(_, _) | NextFrame::Malformed(_) => {
-            let _ = send_error(
-                &mut stream,
-                &DbError::unavailable("handshake failed: expected HELLO"),
-            );
-            return;
-        }
-        NextFrame::Closed | NextFrame::Shutdown => return,
-    };
-    // Version negotiation: speak the highest version both sides (and the
-    // configured cap) understand, refusing peers older than we can serve.
-    let ceiling = protocol::VERSION.min(shared.cfg.max_protocol_version);
-    let negotiated = hello.version.min(ceiling);
-    if negotiated < protocol::MIN_VERSION {
-        let _ = send_error(
-            &mut stream,
-            &DbError::unavailable(format!(
-                "unsupported protocol version {} (server speaks {}..={})",
-                hello.version,
-                protocol::MIN_VERSION,
-                ceiling
-            )),
-        );
-        return;
-    }
-
-    let mut session = shared.db.session();
-    session.set_now_unix(hello.now_unix);
-    shared.live.lock().insert(conn_id, session.metrics());
-
-    if send(
-        &mut stream,
-        resp::HELLO_OK,
-        &protocol::encode_hello_ok(negotiated, &shared.cfg.banner),
-    )
-    .is_err()
-    {
-        return;
-    }
-
-    let mut conn = Conn {
-        id: conn_id,
-        session,
-        version: negotiated,
-        prepared: HashMap::new(),
-        next_prepared_id: 1,
-    };
-
-    // --- request loop --------------------------------------------------
-    loop {
-        match next_frame(&mut stream, shared) {
-            NextFrame::Frame(tag, body) => {
-                if !dispatch(&mut stream, &mut conn, shared, tag, &body) {
-                    return;
-                }
-            }
-            NextFrame::Malformed(why) => {
-                let _ = send_error(
-                    &mut stream,
-                    &DbError::unavailable(format!("malformed frame: {why}")),
-                );
-                return;
-            }
-            NextFrame::Closed | NextFrame::Shutdown => return,
-        }
-    }
-}
-
-/// Per-connection state threaded through the request loop.
-struct Conn {
-    /// Connection id — keys this connection's replication-ack slot.
-    id: u64,
-    session: Session,
-    /// Negotiated protocol version for this connection.
-    version: u16,
-    /// Server-side prepared statements: id → validated SQL text. The
-    /// engine's plan cache does the heavy lifting; this table only maps
-    /// wire ids back to statement text.
-    prepared: HashMap<u64, String>,
-    next_prepared_id: u64,
-}
-
-/// Prepared statements one connection may hold open at once.
-const MAX_PREPARED_PER_CONN: usize = 256;
-
-/// Handles one request frame. Returns `false` when the connection must
-/// close (BYE, protocol violation, or a dead socket).
-fn dispatch(
-    stream: &mut TcpStream,
-    conn: &mut Conn,
-    shared: &Shared,
-    tag: u8,
-    body: &[u8],
-) -> bool {
-    match tag {
-        req::STMT => {
-            let stmt = match protocol::decode_stmt(body, &shared.types) {
-                Ok(s) => s,
-                Err(e) => {
-                    // Undecodable statement: the stream itself is suspect.
-                    let _ = send_error_v(stream, conn.version, &e);
-                    return false;
-                }
-            };
-            run_statement(stream, conn, shared, &stmt.sql, &stmt.params)
-        }
-        req::PREPARE if conn.version >= 3 => {
-            let sql = match protocol::decode_prepare(body) {
-                Ok(s) => s,
-                Err(e) => {
-                    let _ = send_error_v(stream, conn.version, &e);
-                    return false;
-                }
-            };
-            if conn.prepared.len() >= MAX_PREPARED_PER_CONN {
-                let e = DbError::unavailable(format!(
-                    "too many prepared statements (limit {MAX_PREPARED_PER_CONN}); close some first"
-                ));
-                return send_error_v(stream, conn.version, &e).is_ok();
-            }
-            // Validate the text now so EXECUTE_PREPARED never trips a
-            // parse error; planning stays lazy in the engine's cache.
-            match conn.session.prepare(&sql) {
-                // A bad statement is a statement-level error, not a
-                // protocol fault: the connection stays up.
-                Err(e) => send_error_v(stream, conn.version, &e).is_ok(),
-                Ok(_) => {
-                    let id = conn.next_prepared_id;
-                    conn.next_prepared_id += 1;
-                    conn.prepared.insert(id, sql);
-                    send(stream, resp::PREPARED_OK, &protocol::encode_prepared_ok(id)).is_ok()
-                }
-            }
-        }
-        req::EXECUTE_PREPARED if conn.version >= 3 => {
-            let (id, params) = match protocol::decode_execute_prepared(body, &shared.types) {
-                Ok(x) => x,
-                Err(e) => {
-                    let _ = send_error_v(stream, conn.version, &e);
-                    return false;
-                }
-            };
-            let Some(sql) = conn.prepared.get(&id).cloned() else {
-                let e = DbError::NotFound {
-                    kind: "prepared statement",
-                    name: id.to_string(),
-                };
-                return send_error_v(stream, conn.version, &e).is_ok();
-            };
-            run_statement(stream, conn, shared, &sql, &params)
-        }
-        req::CLOSE_PREPARED if conn.version >= 3 => {
-            match protocol::decode_close_prepared(body) {
-                Ok(id) => {
-                    // Idempotent: closing an unknown id is a no-op.
-                    conn.prepared.remove(&id);
-                    send(stream, resp::DONE, &[]).is_ok()
-                }
-                Err(e) => {
-                    let _ = send_error_v(stream, conn.version, &e);
-                    false
-                }
-            }
-        }
-        req::SET_NOW => match protocol::decode_set_now(body) {
-            Ok(now) => {
-                conn.session.set_now_unix(now);
-                send(stream, resp::DONE, &[]).is_ok()
-            }
-            Err(e) => {
-                let _ = send_error_v(stream, conn.version, &e);
-                false
-            }
-        },
-        req::SESSION_STATS => {
-            let mut snap = conn.session.metrics().snapshot();
-            overlay_node_state(&mut snap, shared);
-            let body = protocol::encode_metrics_for(&snap, conn.version);
-            send(stream, resp::METRICS, &body).is_ok()
-        }
-        req::SERVER_METRICS => {
-            let mut snap = shared.server_metrics();
-            overlay_node_state(&mut snap, shared);
-            let body = protocol::encode_metrics_for(&snap, conn.version);
-            send(stream, resp::METRICS, &body).is_ok()
-        }
-        req::SUBSCRIBE if conn.version >= 6 => {
-            match protocol::decode_subscribe(body) {
-                Ok((generation, offset)) => {
-                    // The connection becomes a one-way replication feed;
-                    // when the subscriber loop ends, so does the
-                    // connection.
-                    serve_subscriber(stream, conn, shared, generation, offset);
-                }
-                Err(e) => {
-                    let _ = send_error_v(stream, conn.version, &e);
-                }
-            }
-            false
-        }
-        req::PROMOTE if conn.version >= 6 => {
-            let handler = shared.promote.lock().unwrap();
-            match handler.as_ref() {
-                None => {
-                    let e = DbError::unavailable("this node is not a replica: nothing to promote");
-                    send_error_v(stream, conn.version, &e).is_ok()
-                }
-                Some(f) => match f() {
-                    Ok(_applied_seq) => send(stream, resp::DONE, &[]).is_ok(),
-                    Err(e) => send_error_v(stream, conn.version, &e).is_ok(),
-                },
-            }
-        }
-        req::BYE => false,
-        other => {
-            let _ = send_error_v(
-                stream,
-                conn.version,
-                &DbError::unavailable(format!("unexpected request tag {other:#04x}")),
-            );
-            false
-        }
-    }
-}
-
 /// Folds node-wide gauge state (WAL, MVCC, replication) into a metrics
 /// snapshot before it goes on the wire. On the primary the newest known
 /// applied sequence is its own durable frontier — clients use it as the
 /// read-your-writes floor when fanning reads across replicas.
-fn overlay_node_state(snap: &mut MetricsSnapshot, shared: &Shared) {
+pub(crate) fn overlay_node_state(snap: &mut MetricsSnapshot, shared: &Shared) {
     snap.overlay_wal(&shared.db.wal_stats());
     snap.overlay_mvcc(shared.db.mvcc_versions(), shared.db.snapshots_pinned());
     let mut r = shared.db.repl_stats().snapshot();
@@ -678,39 +484,12 @@ const REPL_CHUNK_MAX: usize = 1 << 20;
 /// every subscriber that has ever acked covers the current durable
 /// watermark. Bounded by [`REPL_ACK_TIMEOUT`] so a stalled replica
 /// degrades latency, not availability.
-fn wait_replicas_acked(shared: &Shared) {
+pub(crate) fn wait_replicas_acked(shared: &Shared) {
     if shared.repl.is_empty() {
         return;
     }
     if let Some(p) = shared.db.wal_progress() {
         shared.repl.wait_acked(p.seq, REPL_ACK_TIMEOUT);
-    }
-}
-
-/// Executes one statement and streams its outcome; shared by STMT and
-/// EXECUTE_PREPARED. Statement-level errors keep the connection up.
-fn run_statement(
-    stream: &mut TcpStream,
-    conn: &mut Conn,
-    shared: &Shared,
-    sql: &str,
-    params: &[(String, Value)],
-) -> bool {
-    let params: Vec<(&str, Value)> = params
-        .iter()
-        .map(|(n, v)| (n.as_str(), v.clone()))
-        .collect();
-    match conn.session.execute_with_params(sql, &params) {
-        Err(e) => send_error_v(stream, conn.version, &e).is_ok(),
-        Ok(StatementOutcome::Done) => {
-            wait_replicas_acked(shared);
-            send(stream, resp::DONE, &[]).is_ok()
-        }
-        Ok(StatementOutcome::Affected(n)) => {
-            wait_replicas_acked(shared);
-            send(stream, resp::AFFECTED, &protocol::encode_affected(n as u64)).is_ok()
-        }
-        Ok(StatementOutcome::Rows(result)) => stream_rows(stream, shared, &result),
     }
 }
 
@@ -749,11 +528,15 @@ fn try_subscriber_frame(stream: &mut TcpStream, shared: &Shared) -> SubFrame {
 
 /// Runs a replication subscriber to completion: catch-up (snapshot if
 /// the requested generation is gone), then continuous WAL tailing with
-/// heartbeats, draining REPL_ACKs between shipments. The connection is
-/// dedicated to the feed once SUBSCRIBE arrives.
-fn serve_subscriber(
+/// heartbeats, draining REPL_ACKs between shipments. The socket runs
+/// blocking on a dedicated thread — the feed is a long-lived
+/// sequential stream, a poor fit for the statement reactor, and
+/// subscribers hold their own slot class so they can't starve client
+/// admission.
+pub(crate) fn serve_subscriber(
     stream: &mut TcpStream,
-    conn: &Conn,
+    conn_id: u64,
+    version: u16,
     shared: &Shared,
     mut generation: u64,
     mut offset: u64,
@@ -770,7 +553,7 @@ fn serve_subscriber(
         match try_subscriber_frame(stream, shared) {
             SubFrame::Idle => {}
             SubFrame::Ack(watermark) => {
-                shared.repl.note_ack(conn.id, watermark);
+                shared.repl.note_ack(conn_id, watermark);
                 if let (Some(p), Some(min)) = (db.wal_progress(), shared.repl.min_acked()) {
                     stats.set_lag(p.seq.saturating_sub(min));
                 }
@@ -781,7 +564,7 @@ fn serve_subscriber(
         }
         match db.repl_log_read(generation, offset, REPL_CHUNK_MAX) {
             Err(e) => {
-                let _ = send_error_v(stream, conn.version, &e);
+                let _ = send_error_v(stream, version, &e);
                 break;
             }
             Ok(minidb::LogRead::Restart) => {
@@ -790,7 +573,7 @@ fn serve_subscriber(
                 let (snap_gen, bytes) = match db.repl_snapshot() {
                     Ok(x) => x,
                     Err(e) => {
-                        let _ = send_error_v(stream, conn.version, &e);
+                        let _ = send_error_v(stream, version, &e);
                         break;
                     }
                 };
@@ -849,67 +632,5 @@ fn serve_subscriber(
             }
         }
     }
-    shared.repl.unregister(conn.id);
-}
-
-/// Slack left under [`protocol::MAX_FRAME`] for the frame length
-/// prefix, the tag byte, and headroom against off-by-a-few drift.
-const FRAME_SLACK: usize = 1024;
-
-/// Streams a materialized result set: header, row batches, trailer.
-///
-/// Batches close on whichever bound hits first: `rows_per_batch` rows,
-/// or the byte budget that keeps every frame under
-/// [`protocol::MAX_FRAME`] — a result set of huge rows splits into many
-/// small-count batches instead of killing the connection with an
-/// oversized frame. A single row too large for any frame is a
-/// statement-level error (the client gets a typed ERROR mid-stream and
-/// the connection survives).
-fn stream_rows(stream: &mut TcpStream, shared: &Shared, result: &minidb::QueryResult) -> bool {
-    let display = |v: &Value| shared.db.with_catalog(|c| c.display_value(v));
-    let header = protocol::encode_rows_header(&result.columns, &shared.types);
-    if send(stream, resp::ROWS_HEADER, &header).is_err() {
-        return false;
-    }
-    let max_rows = shared.cfg.rows_per_batch.max(1);
-    let budget = protocol::MAX_FRAME - FRAME_SLACK;
-    let mut batch = protocol::RowBatchBuilder::new(budget);
-    for row in &result.rows {
-        match batch.push(row, &display) {
-            protocol::RowPush::Added => {}
-            protocol::RowPush::BatchFull => {
-                if send(stream, resp::ROW_BATCH, &batch.finish()).is_err() {
-                    return false;
-                }
-                batch = protocol::RowBatchBuilder::new(budget);
-                // A row that fails even a fresh batch is unshippable.
-                if let protocol::RowPush::RowTooBig(bytes) = batch.push(row, &display) {
-                    return row_too_big(stream, bytes);
-                }
-            }
-            protocol::RowPush::RowTooBig(bytes) => return row_too_big(stream, bytes),
-        }
-        if batch.rows() >= max_rows {
-            if send(stream, resp::ROW_BATCH, &batch.finish()).is_err() {
-                return false;
-            }
-            batch = protocol::RowBatchBuilder::new(budget);
-        }
-    }
-    if !batch.is_empty() && send(stream, resp::ROW_BATCH, &batch.finish()).is_err() {
-        return false;
-    }
-    // An empty result still sends header + trailer so the client sees
-    // column names.
-    send(stream, resp::ROWS_DONE, &[]).is_ok()
-}
-
-/// Mid-stream refusal of a row no frame can carry: a typed ERROR ends
-/// the result set, and the connection stays usable.
-fn row_too_big(stream: &mut TcpStream, bytes: usize) -> bool {
-    let e = DbError::exec(format!(
-        "row of {bytes} bytes exceeds the {} byte frame limit",
-        protocol::MAX_FRAME
-    ));
-    send_error(stream, &e).is_ok()
+    shared.repl.unregister(conn_id);
 }

@@ -1,0 +1,208 @@
+//! Backpressure: a stalled client must park its connection instead of
+//! occupying a worker, and pipelined statements behind the stall must
+//! still run — in order — once the client drains.
+
+use minidb::{Database, Value};
+use std::io::Read;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tip_blade::{TipBlade, TipTypes};
+use tip_client::protocol::{self, req, resp, Hello};
+use tip_client::Connection;
+use tip_server::{Server, ServerConfig};
+
+/// Rows big enough that the full result cannot fit in loopback socket
+/// buffers: the outbox must spill past the write budget and park.
+const BIG_ROWS: usize = 1500;
+const BIG_PAYLOAD: usize = 8000;
+
+fn big_server() -> (Server, Arc<Database>) {
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let cfg = ServerConfig {
+        workers: 1,
+        write_budget: 64 * 1024,
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", &db, cfg).unwrap();
+    let conn = Connection::connect(server.local_addr()).unwrap();
+    conn.execute("CREATE TABLE big (k INT, v CHAR(8000))", &[])
+        .unwrap();
+    conn.execute("CREATE TABLE one (n INT)", &[]).unwrap();
+    conn.execute("INSERT INTO one VALUES (7)", &[]).unwrap();
+    let payload = "x".repeat(BIG_PAYLOAD);
+    for k in 0..BIG_ROWS {
+        conn.execute(
+            "INSERT INTO big VALUES (:k, :v)",
+            &[
+                ("k", tip_client::HostValue::Int(k as i64)),
+                ("v", tip_client::HostValue::Str(payload.clone())),
+            ],
+        )
+        .unwrap();
+    }
+    (server, db)
+}
+
+fn hello(stream: &mut TcpStream) {
+    protocol::write_frame(
+        stream,
+        req::HELLO,
+        &protocol::encode_hello(&Hello {
+            version: protocol::VERSION,
+            now_unix: None,
+        }),
+    )
+    .unwrap();
+    let (tag, _) = protocol::read_frame(stream).unwrap();
+    assert_eq!(tag, resp::HELLO_OK);
+}
+
+#[test]
+fn slow_reader_parks_and_worker_stays_free() {
+    let (server, db) = big_server();
+    let types = db.with_catalog(TipTypes::from_catalog).unwrap();
+    let display = |_: &Value| String::new();
+
+    // Connection A: ask for ~12 MB of rows plus a pipelined follow-up,
+    // then stop reading entirely.
+    let mut slow = TcpStream::connect(server.local_addr()).unwrap();
+    slow.set_nodelay(true).unwrap();
+    hello(&mut slow);
+    let mut wire = Vec::new();
+    protocol::write_frame(
+        &mut wire,
+        req::STMT,
+        &protocol::encode_stmt("SELECT k, v FROM big", &[], &display),
+    )
+    .unwrap();
+    protocol::write_frame(
+        &mut wire,
+        req::STMT,
+        &protocol::encode_stmt("SELECT n FROM one", &[], &display),
+    )
+    .unwrap();
+    slow.write_all(&wire).unwrap();
+
+    // The single worker must park A once its outbox exceeds the write
+    // budget, not sit in a blocking send.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while server.stats().park_events == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "connection never parked; stats = {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // With A parked, the only worker must be free to serve other
+    // connections immediately.
+    let other = Connection::connect(server.local_addr()).unwrap();
+    for _ in 0..20 {
+        let mut rows = other.query("SELECT n FROM one", &[]).unwrap();
+        assert!(rows.next());
+        assert_eq!(rows.get_int(0).unwrap(), 7);
+    }
+
+    let stats = server.stats();
+    assert!(stats.park_events >= 1, "expected park events: {stats:?}");
+    assert!(
+        stats.pipelined >= 1,
+        "A's second statement should count as pipelined: {stats:?}"
+    );
+
+    // Now drain A: every big row arrives intact, then the pipelined
+    // statement's response — ordering preserved across the park.
+    let (tag, body) = protocol::read_frame(&mut slow).unwrap();
+    assert_eq!(tag, resp::ROWS_HEADER);
+    let cols = protocol::decode_rows_header(&body, &types).unwrap();
+    assert_eq!(cols.len(), 2);
+    let mut seen = 0usize;
+    loop {
+        let (tag, body) = protocol::read_frame(&mut slow).unwrap();
+        match tag {
+            resp::ROW_BATCH => {
+                for row in protocol::decode_row_batch(&body, 2, &types).unwrap() {
+                    match &row[1] {
+                        Value::Str(s) => assert_eq!(s.trim_end().len(), BIG_PAYLOAD),
+                        other => panic!("expected string payload, got {other:?}"),
+                    }
+                    seen += 1;
+                }
+            }
+            resp::ROWS_DONE => break,
+            other => panic!("unexpected tag {other:#04x}"),
+        }
+    }
+    assert_eq!(seen, BIG_ROWS);
+
+    let (tag, body) = protocol::read_frame(&mut slow).unwrap();
+    assert_eq!(tag, resp::ROWS_HEADER);
+    protocol::decode_rows_header(&body, &types).unwrap();
+    let (tag, body) = protocol::read_frame(&mut slow).unwrap();
+    assert_eq!(tag, resp::ROW_BATCH);
+    let rows = protocol::decode_row_batch(&body, 1, &types).unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(7)]]);
+    let (tag, _) = protocol::read_frame(&mut slow).unwrap();
+    assert_eq!(tag, resp::ROWS_DONE);
+
+    // Clean close.
+    protocol::write_frame(&mut slow, req::BYE, &[]).unwrap();
+    let mut rest = [0u8; 8];
+    assert_eq!(slow.read(&mut rest).unwrap(), 0);
+}
+
+#[test]
+fn pipeline_queue_cap_pauses_reads_without_losing_statements() {
+    // A tiny pipeline cap: flooding more statements than the queue
+    // holds must pause reading (backpressure), never drop or reorder.
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let cfg = ServerConfig {
+        workers: 1,
+        max_pipeline: 4,
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", &db, cfg).unwrap();
+    let setup = Connection::connect(server.local_addr()).unwrap();
+    setup.execute("CREATE TABLE t (n INT)", &[]).unwrap();
+
+    let display = |_: &Value| String::new();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    hello(&mut stream);
+
+    const N: usize = 64;
+    let mut wire = Vec::new();
+    for i in 0..N {
+        protocol::write_frame(
+            &mut wire,
+            req::STMT,
+            &protocol::encode_stmt(&format!("INSERT INTO t VALUES ({i})"), &[], &display),
+        )
+        .unwrap();
+    }
+    stream.write_all(&wire).unwrap();
+
+    // All 64 responses come back, in order, despite the 4-deep queue.
+    for _ in 0..N {
+        let (tag, body) = protocol::read_frame(&mut stream).unwrap();
+        assert_eq!(tag, resp::AFFECTED);
+        assert_eq!(protocol::decode_affected(&body).unwrap(), 1);
+    }
+
+    let mut rows = setup.query("SELECT n FROM t", &[]).unwrap();
+    let mut count = 0;
+    while rows.next() {
+        count += 1;
+    }
+    assert_eq!(count, N);
+    assert!(
+        server.stats().read_pauses >= 1,
+        "flood should have paused reads: {:?}",
+        server.stats()
+    );
+}

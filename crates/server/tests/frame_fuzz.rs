@@ -1,0 +1,162 @@
+//! Socket-level frame-reassembly fuzz: the same pipelined request
+//! stream (HELLO, PREPARE, EXECUTE_PREPARED, STMT, BYE) is delivered
+//! split at every byte boundary, byte-at-a-time, and fully coalesced.
+//! The nonblocking decoder must produce identical responses no matter
+//! how the kernel fragments reads.
+
+use minidb::{Database, Value};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use tip_blade::{TipBlade, TipTypes};
+use tip_client::protocol::{self, req, resp, Hello};
+use tip_client::Connection;
+use tip_server::{Server, ServerConfig};
+
+fn fuzz_server() -> (Server, Arc<Database>) {
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let server = Server::bind("127.0.0.1:0", &db, ServerConfig::default()).unwrap();
+    let conn = Connection::connect(server.local_addr()).unwrap();
+    conn.execute("CREATE TABLE kv (k INT, v CHAR(10))", &[])
+        .unwrap();
+    conn.execute("INSERT INTO kv VALUES (1, 'one')", &[])
+        .unwrap();
+    conn.execute("INSERT INTO kv VALUES (2, 'two')", &[])
+        .unwrap();
+    (server, db)
+}
+
+/// The canonical pipelined request stream: everything a client would
+/// send over the connection's whole life, as one byte string.
+fn request_stream() -> Vec<u8> {
+    let display = |_: &Value| String::new();
+    let mut wire = Vec::new();
+    protocol::write_frame(
+        &mut wire,
+        req::HELLO,
+        &protocol::encode_hello(&Hello {
+            version: protocol::VERSION,
+            now_unix: None,
+        }),
+    )
+    .unwrap();
+    protocol::write_frame(
+        &mut wire,
+        req::PREPARE,
+        &protocol::encode_prepare("SELECT v FROM kv WHERE k = :k"),
+    )
+    .unwrap();
+    protocol::write_frame(
+        &mut wire,
+        req::EXECUTE_PREPARED,
+        &protocol::encode_execute_prepared(1, &[("k", Value::Int(1))], &display),
+    )
+    .unwrap();
+    protocol::write_frame(
+        &mut wire,
+        req::STMT,
+        &protocol::encode_stmt(
+            "SELECT v FROM kv WHERE k = :k",
+            &[("k", Value::Int(2))],
+            &display,
+        ),
+    )
+    .unwrap();
+    protocol::write_frame(&mut wire, req::BYE, &[]).unwrap();
+    wire
+}
+
+/// Reads the full response stream and checks every frame: HELLO_OK,
+/// PREPARED_OK(1), then rows "one", then rows "two", then EOF.
+fn verify_responses(stream: &mut TcpStream, types: &TipTypes) {
+    let (tag, _) = protocol::read_frame(stream).unwrap();
+    assert_eq!(tag, resp::HELLO_OK, "expected HELLO_OK");
+
+    let (tag, body) = protocol::read_frame(stream).unwrap();
+    assert_eq!(tag, resp::PREPARED_OK, "expected PREPARED_OK");
+    assert_eq!(protocol::decode_prepared_ok(&body).unwrap(), 1);
+
+    for expect in ["one", "two"] {
+        let (tag, body) = protocol::read_frame(stream).unwrap();
+        assert_eq!(tag, resp::ROWS_HEADER, "expected ROWS_HEADER");
+        let cols = protocol::decode_rows_header(&body, types).unwrap();
+        assert_eq!(cols.len(), 1);
+
+        let mut got = Vec::new();
+        loop {
+            let (tag, body) = protocol::read_frame(stream).unwrap();
+            match tag {
+                resp::ROW_BATCH => {
+                    got.extend(protocol::decode_row_batch(&body, 1, types).unwrap());
+                }
+                resp::ROWS_DONE => break,
+                other => panic!("unexpected tag {other:#04x} in row stream"),
+            }
+        }
+        assert_eq!(got.len(), 1);
+        match &got[0][0] {
+            Value::Str(s) => assert_eq!(s.trim_end(), expect),
+            other => panic!("expected string row, got {other:?}"),
+        }
+    }
+
+    // BYE: the server closes cleanly, no further frames.
+    let mut rest = [0u8; 16];
+    assert_eq!(stream.read(&mut rest).unwrap(), 0, "expected EOF after BYE");
+}
+
+fn run_trial(addr: SocketAddr, wire: &[u8], cuts: &[usize], types: &TipTypes) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut prev = 0;
+    for &cut in cuts {
+        stream.write_all(&wire[prev..cut]).unwrap();
+        prev = cut;
+    }
+    stream.write_all(&wire[prev..]).unwrap();
+    verify_responses(&mut stream, types);
+}
+
+#[test]
+fn stream_split_at_every_byte_boundary() {
+    let (server, db) = fuzz_server();
+    let types = db.with_catalog(TipTypes::from_catalog).unwrap();
+    let wire = request_stream();
+
+    // Fully coalesced: one write carrying five frames.
+    run_trial(server.local_addr(), &wire, &[], &types);
+
+    // Every two-part split. Boundary cuts exercise coalesced trailing
+    // frames; mid-frame cuts exercise partial-header and partial-body
+    // resumption in the accumulator.
+    for cut in 1..wire.len() {
+        run_trial(server.local_addr(), &wire, &[cut], &types);
+    }
+}
+
+#[test]
+fn stream_delivered_byte_at_a_time() {
+    let (server, db) = fuzz_server();
+    let types = db.with_catalog(TipTypes::from_catalog).unwrap();
+    let wire = request_stream();
+    let cuts: Vec<usize> = (1..wire.len()).collect();
+    run_trial(server.local_addr(), &wire, &cuts, &types);
+}
+
+#[test]
+fn interleaved_split_points() {
+    // Three-part splits at staggered offsets: both cuts land inside
+    // different frames of the same stream.
+    let (server, db) = fuzz_server();
+    let types = db.with_catalog(TipTypes::from_catalog).unwrap();
+    let wire = request_stream();
+    let n = wire.len();
+    for first in [1, 2, 3, 5, n / 4, n / 3] {
+        for second in [n / 2, n / 2 + 1, 2 * n / 3, n - 2, n - 1] {
+            if first < second {
+                run_trial(server.local_addr(), &wire, &[first, second], &types);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end pipelining through the client API: N statements per
+//! round trip, results in submission order, statement errors isolated
+//! to their slot.
+
+use minidb::Database;
+use std::sync::Arc;
+use tip_blade::TipBlade;
+use tip_client::{Connection, HostValue};
+use tip_server::{Server, ServerConfig};
+
+fn kv_server() -> (Server, Arc<Database>) {
+    let db = Database::new();
+    db.install_blade(&TipBlade).unwrap();
+    let server = Server::bind("127.0.0.1:0", &db, ServerConfig::default()).unwrap();
+    let conn = Connection::connect(server.local_addr()).unwrap();
+    conn.execute("CREATE TABLE kv (k INT, v CHAR(16))", &[])
+        .unwrap();
+    for k in 0..10 {
+        conn.execute(
+            "INSERT INTO kv VALUES (:k, :v)",
+            &[
+                ("k", HostValue::Int(k)),
+                ("v", HostValue::Str(format!("val-{k}"))),
+            ],
+        )
+        .unwrap();
+    }
+    (server, db)
+}
+
+#[test]
+fn pipelined_prepared_executes_return_in_order() {
+    let (server, _db) = kv_server();
+    let conn = Connection::connect(server.local_addr()).unwrap();
+    let mut stmt = conn.prepare("SELECT v FROM kv WHERE k = :k");
+    assert!(stmt.is_server_prepared());
+
+    let mut pipe = conn.pipeline();
+    for k in 0..10 {
+        stmt = stmt.bind("k", HostValue::Int(k));
+        pipe.add_prepared(&stmt);
+    }
+    assert_eq!(pipe.len(), 10);
+    let results = pipe.run().unwrap();
+    assert_eq!(results.len(), 10);
+    for (k, slot) in results.into_iter().enumerate() {
+        let mut rows = slot.unwrap().into_rows().unwrap();
+        assert!(rows.next());
+        assert_eq!(rows.get_string(0).unwrap().trim_end(), format!("val-{k}"));
+        assert!(!rows.next());
+    }
+    assert!(pipe.is_empty(), "run() drains the batch");
+    assert!(
+        server.stats().pipelined >= 1,
+        "server should observe pipelined statements: {:?}",
+        server.stats()
+    );
+}
+
+#[test]
+fn mixed_batch_with_mid_pipeline_error() {
+    let (server, _db) = kv_server();
+    let conn = Connection::connect(server.local_addr()).unwrap();
+
+    let mut pipe = conn.pipeline();
+    pipe.add(
+        "INSERT INTO kv VALUES (:k, :v)",
+        &[
+            ("k", HostValue::Int(100)),
+            ("v", HostValue::Str("hundred".into())),
+        ],
+    );
+    pipe.add(
+        "SELECT v FROM kv WHERE k = :k",
+        &[("k", HostValue::Int(100))],
+    );
+    pipe.add("SELECT * FROM no_such_table", &[]);
+    pipe.add("SELECT v FROM kv WHERE k = :k", &[("k", HostValue::Int(3))]);
+
+    let mut results = pipe.run().unwrap().into_iter();
+
+    assert_eq!(results.next().unwrap().unwrap().affected().unwrap(), 1);
+
+    let mut rows = results.next().unwrap().unwrap().into_rows().unwrap();
+    assert!(rows.next());
+    assert_eq!(rows.get_string(0).unwrap().trim_end(), "hundred");
+
+    // Slot 3 fails — an ordinary statement error, not a dead socket —
+    // and slot 4 still ran afterwards on the same connection.
+    assert!(results.next().unwrap().is_err());
+
+    let mut rows = results.next().unwrap().unwrap().into_rows().unwrap();
+    assert!(rows.next());
+    assert_eq!(rows.get_string(0).unwrap().trim_end(), "val-3");
+
+    // The connection survives for one-at-a-time use.
+    let mut rows = conn.query("SELECT v FROM kv WHERE k = 100", &[]).unwrap();
+    assert!(rows.next());
+}
+
+#[test]
+fn pipeline_matches_serial_results() {
+    let (server, _db) = kv_server();
+    let conn = Connection::connect(server.local_addr()).unwrap();
+
+    let serial: Vec<String> = (0..10)
+        .map(|k| {
+            let mut rows = conn
+                .query("SELECT v FROM kv WHERE k = :k", &[("k", HostValue::Int(k))])
+                .unwrap();
+            assert!(rows.next());
+            rows.get_string(0).unwrap()
+        })
+        .collect();
+
+    let mut pipe = conn.pipeline();
+    for k in 0..10 {
+        pipe.add("SELECT v FROM kv WHERE k = :k", &[("k", HostValue::Int(k))]);
+    }
+    let piped: Vec<String> = pipe
+        .run()
+        .unwrap()
+        .into_iter()
+        .map(|slot| {
+            let mut rows = slot.unwrap().into_rows().unwrap();
+            assert!(rows.next());
+            rows.get_string(0).unwrap()
+        })
+        .collect();
+
+    assert_eq!(serial, piped);
+}
