@@ -632,5 +632,7 @@ pub(crate) fn serve_subscriber(
             }
         }
     }
-    shared.repl.unregister(conn_id);
+    // Hub unregistration happens in the caller's cleanup (the
+    // subscriber thread wrapper), which also covers exits taken
+    // before this function is ever reached.
 }

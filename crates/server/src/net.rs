@@ -44,15 +44,28 @@ mod sys {
     const EPOLL_CTL_MOD: i32 = 3;
     const EPOLL_CLOEXEC: i32 = 0o2000000;
 
-    // x86-64 packs epoll_event to match the kernel ABI; the packed
-    // repr is correct on every Linux target and merely unaligned
-    // elsewhere, which Rust handles via copy semantics.
-    #[repr(C, packed)]
+    // The kernel packs struct epoll_event only on x86/x86_64; every
+    // other Linux arch lays it out with natural alignment (16 bytes,
+    // 4 bytes of padding after `events`). The repr must match the
+    // kernel's per-arch layout or epoll_wait writes events at the
+    // wrong stride into `scratch` — so gate packing exactly the way
+    // libc does.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
     #[derive(Clone, Copy)]
     struct EpollEvent {
         events: u32,
         data: u64,
     }
+
+    const _: () = assert!(
+        std::mem::size_of::<EpollEvent>()
+            == if cfg!(any(target_arch = "x86", target_arch = "x86_64")) {
+                12
+            } else {
+                16
+            }
+    );
 
     extern "C" {
         fn epoll_create1(flags: i32) -> i32;

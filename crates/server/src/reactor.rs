@@ -329,7 +329,7 @@ fn on_readable(
             return false;
         }
         match (&io.stream).read(&mut buf) {
-            Ok(0) => return handle_eof(io, runq),
+            Ok(0) => return handle_eof(io, poller, runq),
             Ok(n) => {
                 io.acc.extend(&buf[..n]);
                 if parse_input(io, id, poller, shared, runq, ctrl) {
@@ -348,13 +348,18 @@ fn on_readable(
 
 /// EOF at the transport. Pre-handshake connections close immediately;
 /// ready connections finish their queued statements first.
-fn handle_eof(io: &mut ConnIo, runq: &Arc<RunQueue>) -> bool {
+fn handle_eof(io: &mut ConnIo, poller: &mut Poller, runq: &Arc<RunQueue>) -> bool {
     io.reading = false;
     io.input_done = true;
     match &io.phase {
         Phase::Handshake | Phase::Reject => true,
         Phase::Ready(conn) => {
-            enqueue_shut(conn, None, runq);
+            let conn = Arc::clone(conn);
+            // A half-closed socket stays EPOLLIN-ready forever under
+            // level triggering; without this drop the reactor would
+            // busy-spin until the queued statements drain.
+            set_interest(io, poller, io.interest & !EV_READ);
+            enqueue_shut(&conn, None, runq);
             false
         }
     }
@@ -386,6 +391,10 @@ fn parse_input(
                         io.close_after_flush = true;
                         io.reading = false;
                         io.input_done = true;
+                        // Any bytes the client sends after its HELLO
+                        // would otherwise keep EPOLLIN asserted and
+                        // spin the reactor while BUSY drains.
+                        set_interest(io, poller, io.interest & !EV_READ);
                         return flush_pre(io, poller);
                     }
                 }
@@ -526,6 +535,7 @@ fn pre_error(io: &mut ConnIo, poller: &mut Poller, e: &DbError) -> bool {
     io.close_after_flush = true;
     io.reading = false;
     io.input_done = true;
+    set_interest(io, poller, io.interest & !EV_READ);
     flush_pre(io, poller)
 }
 
@@ -636,6 +646,7 @@ fn handle_control(
             generation,
             offset,
         } => {
+            let mut handed_off = false;
             if let Some(io) = conns.remove(&id) {
                 let _ = poller.deregister(io.stream.as_raw_fd());
                 // Subscribers stop counting against the client cap the
@@ -645,7 +656,15 @@ fn handle_control(
                 if let Phase::Ready(conn) = io.phase {
                     let residual = io.acc.into_residual();
                     spawn_subscriber(io.stream, conn, residual, generation, offset, shared);
+                    handed_off = true;
                 }
+            }
+            if !handed_off {
+                // The connection died (sweep, hangup, dead socket)
+                // between the worker reserving its subscriber slot and
+                // this Detach draining; release the slot or the
+                // effective max_subscribers cap shrinks forever.
+                shared.stats.subscribers.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
@@ -786,6 +805,12 @@ fn spawn_subscriber(
         .name(format!("tip-server-sub-{id}"))
         .spawn(move || {
             subscriber_main(stream, conn, residual, generation, offset, &thread_shared);
+            // Single cleanup point for every subscriber_main exit —
+            // including the early returns before serve_subscriber. A
+            // residual REPL_ACK may have registered this conn in the
+            // hub; leaving it would stall every primary write for the
+            // full ack timeout.
+            thread_shared.repl.unregister(id);
             retire_metrics(id, &thread_shared);
             thread_shared
                 .stats

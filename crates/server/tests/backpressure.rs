@@ -18,14 +18,9 @@ use tip_server::{Server, ServerConfig};
 const BIG_ROWS: usize = 1500;
 const BIG_PAYLOAD: usize = 8000;
 
-fn big_server() -> (Server, Arc<Database>) {
+fn big_server_with(cfg: ServerConfig) -> (Server, Arc<Database>) {
     let db = Database::new();
     db.install_blade(&TipBlade).unwrap();
-    let cfg = ServerConfig {
-        workers: 1,
-        write_budget: 64 * 1024,
-        ..Default::default()
-    };
     let server = Server::bind("127.0.0.1:0", &db, cfg).unwrap();
     let conn = Connection::connect(server.local_addr()).unwrap();
     conn.execute("CREATE TABLE big (k INT, v CHAR(8000))", &[])
@@ -44,6 +39,14 @@ fn big_server() -> (Server, Arc<Database>) {
         .unwrap();
     }
     (server, db)
+}
+
+fn big_server() -> (Server, Arc<Database>) {
+    big_server_with(ServerConfig {
+        workers: 1,
+        write_budget: 64 * 1024,
+        ..Default::default()
+    })
 }
 
 fn hello(stream: &mut TcpStream) {
@@ -153,6 +156,50 @@ fn slow_reader_parks_and_worker_stays_free() {
     protocol::write_frame(&mut slow, req::BYE, &[]).unwrap();
     let mut rest = [0u8; 8];
     assert_eq!(slow.read(&mut rest).unwrap(), 0);
+}
+
+#[test]
+fn half_closed_unread_client_is_reclaimed_by_stall_sweep() {
+    // A client that pipelines a statement, half-closes its write side
+    // (shutdown(SHUT_WR)), and never reads the response must be closed
+    // by the write-stall sweep. Before the EOF path dropped its read
+    // interest, the level-triggered readiness spin refreshed
+    // last_activity forever, so the sweep never fired and the
+    // connection (and its multi-megabyte outbox) leaked.
+    let (server, _db) = big_server_with(ServerConfig {
+        workers: 1,
+        write_budget: 64 * 1024,
+        write_timeout: Duration::from_secs(2),
+        ..Default::default()
+    });
+
+    let mut slow = TcpStream::connect(server.local_addr()).unwrap();
+    slow.set_nodelay(true).unwrap();
+    hello(&mut slow);
+    let display = |_: &Value| String::new();
+    let mut wire = Vec::new();
+    protocol::write_frame(
+        &mut wire,
+        req::STMT,
+        &protocol::encode_stmt("SELECT k, v FROM big", &[], &display),
+    )
+    .unwrap();
+    slow.write_all(&wire).unwrap();
+    slow.shutdown(std::net::Shutdown::Write).unwrap();
+
+    // ~12 MB of unread rows cannot fit in loopback buffers, so the
+    // outbox stays pending and the sweep must doom the connection once
+    // write_timeout lapses. Generous deadline: timeout + sweep cadence
+    // + slack.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while server.connection_count() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "half-closed unread connection was never reclaimed; stats = {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
 }
 
 #[test]
