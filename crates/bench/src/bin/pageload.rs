@@ -1,0 +1,280 @@
+//! Buffer-pool load generator for the paged storage engine.
+//!
+//! ```text
+//! pageload [--rows N] [--page-size N] [--pool-pages N]
+//!          [--iters N] [--json PATH] [--data-dir DIR]
+//! ```
+//!
+//! Loads `N` closed-validity rows (history the moment they are
+//! written) into a durable database, then:
+//!
+//! 1. measures the full-scan p50 while every row is still resident
+//!    (hot), checkpoints — which spills them all to `pages.db` — and
+//!    measures the same scan again (cold, faulting through the
+//!    buffer pool), plus the `AS OF` history-read p50 over the same
+//!    cold data;
+//! 2. verifies the pool bound: resident pages never exceed
+//!    `--pool-pages`, and process RSS growth across the cold-fault
+//!    sweeps stays under ~2x the configured pool bound (the growth an
+//!    *unbounded* cache would show is the whole dataset) — exceeding
+//!    the bound exits nonzero;
+//! 3. runs a small-update round and checkpoints again, failing unless
+//!    the bytes that checkpoint wrote (dirty-page writebacks +
+//!    snapshot) are a small fraction of the database bytes.
+//!
+//! Results land in `BENCH_10.json` (override with `--json`).
+
+use minidb::{Database, DurabilityConfig, SyncMode, Value};
+use std::io::Write;
+use std::time::Instant;
+use tip_blade::TipBlade;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pageload [--rows N] [--page-size N] [--pool-pages N] \
+         [--iters N] [--json PATH] [--data-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+/// Resident set size of this process in bytes (`VmRSS` from
+/// `/proc/self/status`); `None` off Linux.
+fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// p50 of `iters` timed runs of `f`, in microseconds.
+fn p50_us(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_micros() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut rows = 40_000i64;
+    let mut page_size = 4096usize;
+    let mut pool_pages = 128usize;
+    let mut iters = 9usize;
+    let mut json_path = "BENCH_10.json".to_string();
+    let mut data_dir: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rows" => {
+                rows = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--page-size" => {
+                page_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--pool-pages" => {
+                pool_pages = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--json" => json_path = args.next().unwrap_or_else(|| usage()),
+            "--data-dir" => data_dir = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    let dir = match &data_dir {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("pageload-{}", std::process::id())),
+    };
+    if data_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let cfg = DurabilityConfig {
+        sync_mode: SyncMode::Off,
+        checkpoint_bytes: 0, // explicit checkpoints only
+        page_size,
+        pool_pages,
+        ..DurabilityConfig::default()
+    };
+    let pool_bound = (pool_pages * page_size) as u64;
+
+    let (db, _) =
+        Database::open_with(&dir, cfg, |db| db.install_blade(&TipBlade)).expect("open data dir");
+    let s = db.session();
+    s.execute("CREATE TABLE load (id INT, pad CHAR(64), during Period)")
+        .expect("create table");
+
+    // ----- load (everything stays resident: no checkpoint yet) ------
+    eprintln!("pageload: loading {rows} closed-validity rows ({page_size} B pages, {pool_pages}-frame pool)");
+    let load_started = Instant::now();
+    for i in 0..rows {
+        // A period closed decades before NOW: cold at the next spill.
+        s.execute_with_params(
+            "INSERT INTO load VALUES (:id, :pad, '[1999-01-01, 1999-06-30]')",
+            &[
+                ("id", Value::Int(i)),
+                (
+                    "pad",
+                    Value::Str("sixty-four-bytes-of-page-resident-pad".into()),
+                ),
+            ],
+        )
+        .expect("insert");
+    }
+    let load_s = load_started.elapsed().as_secs_f64();
+
+    let count_sql = "SELECT COUNT(id) FROM load";
+    let expect_count = |r: &minidb::QueryResult| {
+        assert_eq!(r.rows[0][0], Value::Int(rows), "full scan sees every row");
+    };
+
+    // Hot p50: every row is still in memory — the no-fault bound.
+    let hot_p50 = p50_us(iters, || {
+        let r = s.query(count_sql).expect("hot scan");
+        expect_count(&r);
+    });
+
+    // Checkpoint: spills every closed row to pages.db.
+    db.checkpoint().expect("spill checkpoint");
+    let store = db.paged_store().expect("durable db has a page store");
+    let (live_pages, _, _) = store.page_counts();
+    let db_bytes = std::fs::metadata(dir.join("pages.db"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    // Cold-fault p50: the dataset is several times the pool, so every
+    // full scan faults ~all pages back through the evicting pool. RSS
+    // is sampled around the sweeps: growth is what the fault traffic
+    // costs in resident memory.
+    let rss0 = rss_bytes();
+    let cold_p50 = p50_us(iters, || {
+        let r = s.query(count_sql).expect("cold scan");
+        expect_count(&r);
+    });
+    // AS OF pinned at the post-spill commit: a history read whose
+    // version holds cold page references, not resident rows.
+    let seq_cold = db.commit_seq();
+    let asof_sql = format!("SELECT COUNT(id) FROM load AS OF COMMIT {seq_cold}");
+    let asof_p50 = p50_us(iters, || {
+        let r = s.query(&asof_sql).expect("AS OF scan");
+        expect_count(&r);
+    });
+    let rss1 = rss_bytes();
+
+    let stats = db.bufpool_stats();
+    let multiple = live_pages as f64 / pool_pages as f64;
+    eprintln!(
+        "pageload: {live_pages} cold pages = {multiple:.1}x pool; \
+         hot p50 {hot_p50} us, cold-fault p50 {cold_p50} us, AS OF p50 {asof_p50} us"
+    );
+    eprintln!("pageload: pool stats {stats:?}");
+
+    // ----- small-update round: checkpoint must be O(dirty) -----------
+    let wb_before = db.bufpool_stats().writebacks;
+    for i in 0..16 {
+        s.execute(&format!("UPDATE load SET pad = 'touched' WHERE id = {i}"))
+            .expect("small update");
+    }
+    db.checkpoint().expect("post-update checkpoint");
+    let wb_delta = db.bufpool_stats().writebacks - wb_before;
+    let snap_bytes = std::fs::metadata(dir.join("snapshot.db"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let ckpt_bytes = wb_delta * page_size as u64 + snap_bytes;
+    eprintln!(
+        "pageload: small-update checkpoint wrote {wb_delta} pages + {snap_bytes} B snapshot \
+         = {ckpt_bytes} B vs {db_bytes} B database"
+    );
+
+    db.close().expect("clean close");
+    if data_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ----- JSON -------------------------------------------------------
+    let rss_growth = match (rss0, rss1) {
+        (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+        _ => None,
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"pageload\",\n  \
+         \"note\": \"closed-validity rows spilled to pages.db, full-scan + AS OF sweeps fault them through the evicting pool\",\n  \
+         \"rows\": {rows},\n  \"page_size\": {page_size},\n  \"pool_pages\": {pool_pages},\n  \
+         \"pool_bound_bytes\": {pool_bound},\n  \"cold_pages\": {live_pages},\n  \
+         \"dataset_over_pool\": {multiple:.2},\n  \"load_s\": {load_s:.3},\n  \
+         \"hot_scan_p50_us\": {hot_p50},\n  \"cold_fault_p50_us\": {cold_p50},\n  \
+         \"asof_p50_us\": {asof_p50},\n  \
+         \"pool_hits\": {},\n  \"pool_misses\": {},\n  \"pool_evictions\": {},\n  \
+         \"resident_pages\": {},\n  \
+         \"rss_growth_bytes\": {},\n  \
+         \"update_checkpoint_bytes\": {ckpt_bytes},\n  \"database_bytes\": {db_bytes}\n}}\n",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.pages,
+        rss_growth.map(|v| v.to_string()).unwrap_or_else(|| "null".into()),
+    );
+    let mut f = std::fs::File::create(&json_path).expect("create json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("pageload: wrote {json_path}");
+    print!("{json}");
+
+    // ----- gates ------------------------------------------------------
+    let mut failed = false;
+    if multiple < 4.0 {
+        eprintln!("pageload: FAIL — dataset only {multiple:.1}x the pool (need >= 4x)");
+        failed = true;
+    }
+    if stats.pages > pool_pages as u64 {
+        eprintln!(
+            "pageload: FAIL — {} resident pages exceed the {pool_pages}-frame pool",
+            stats.pages
+        );
+        failed = true;
+    }
+    if stats.evictions == 0 {
+        eprintln!("pageload: FAIL — a {multiple:.1}x dataset never evicted");
+        failed = true;
+    }
+    // RSS gate: the cold-fault sweeps walked the whole dataset; an
+    // unbounded cache would grow by ~database_bytes, a bounded pool by
+    // at most its frames (plus allocator slack).
+    if let Some(growth) = rss_growth {
+        let limit = 2 * pool_bound + 4 * 1024 * 1024;
+        if growth > limit {
+            eprintln!(
+                "pageload: FAIL — RSS grew {growth} B over the cold sweeps \
+                 (> 2x pool bound {pool_bound} B + slack)"
+            );
+            failed = true;
+        }
+    }
+    if ckpt_bytes * 4 > db_bytes {
+        eprintln!(
+            "pageload: FAIL — small-update checkpoint wrote {ckpt_bytes} B, \
+             not \u{226a} the {db_bytes} B database"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -38,9 +38,10 @@ pub const MAGIC: u32 = 0x5449_5031;
 /// METRICS; v5 appended the MVCC gauges and transaction counters; v6
 /// added replication (SUBSCRIBE / SNAPSHOT_CHUNK / WAL_CHUNK /
 /// REPL_ACK / PROMOTE), the `ReadOnly` error code, and the five `repl.*`
-/// METRICS fields. Servers negotiate down to a client's older version;
+/// METRICS fields; v7 appended the five `bufpool.*` buffer-pool fields
+/// to METRICS. Servers negotiate down to a client's older version;
 /// this constant is the highest version this build speaks.
-pub const VERSION: u16 = 6;
+pub const VERSION: u16 = 7;
 /// Oldest protocol version this build still accepts from a peer.
 pub const MIN_VERSION: u16 = 2;
 /// Upper bound on one frame (tag + body); anything larger is treated as
@@ -976,9 +977,12 @@ pub fn decode_error(mut buf: &[u8]) -> DbResult<DbError> {
 /// Counter fields carried by a METRICS frame at `version`: v2 stopped
 /// after `tables_pinned`; v3 appended the four plan-cache counters; v4
 /// appended the six WAL counters; v5 appended the two MVCC gauges and
-/// three transaction counters; v6 appended the five replication fields.
+/// three transaction counters; v6 appended the five replication fields;
+/// v7 appended the five buffer-pool fields.
 fn metric_field_count(version: u16) -> usize {
-    if version >= 6 {
+    if version >= 7 {
+        44
+    } else if version >= 6 {
         39
     } else if version >= 5 {
         34
@@ -1038,6 +1042,11 @@ pub fn encode_metrics_for(m: &MetricsSnapshot, version: u16) -> Vec<u8> {
         m.repl_apply_lag_seq,
         m.repl_reconnects,
         m.repl_last_seq,
+        m.bufpool_hits,
+        m.bufpool_misses,
+        m.bufpool_evictions,
+        m.bufpool_writebacks,
+        m.bufpool_pages,
     ];
     let n = metric_field_count(version);
     let mut out = Vec::with_capacity((n + 1) * 8 + LATENCY_BUCKETS * 8);
@@ -1101,6 +1110,11 @@ pub fn decode_metrics_for(mut buf: &[u8], version: u16) -> DbResult<MetricsSnaps
         &mut m.repl_apply_lag_seq,
         &mut m.repl_reconnects,
         &mut m.repl_last_seq,
+        &mut m.bufpool_hits,
+        &mut m.bufpool_misses,
+        &mut m.bufpool_evictions,
+        &mut m.bufpool_writebacks,
+        &mut m.bufpool_pages,
     ];
     for field in &mut fields[..n] {
         **field = buf.get_u64_le();
@@ -1500,6 +1514,35 @@ mod tests {
         // Cross-version frames are rejected in both directions.
         assert!(decode_metrics_for(&v6, 5).is_err());
         assert!(decode_metrics_for(&v5, 6).is_err());
+    }
+
+    #[test]
+    fn v6_metrics_layout_omits_bufpool_fields() {
+        let m = MetricsSnapshot {
+            selects: 3,
+            repl_last_seq: 12,
+            bufpool_hits: 100,
+            bufpool_misses: 20,
+            bufpool_evictions: 8,
+            bufpool_writebacks: 5,
+            bufpool_pages: 64,
+            ..Default::default()
+        };
+        let v6 = encode_metrics_for(&m, 6);
+        let v7 = encode_metrics_for(&m, 7);
+        assert_eq!(v7.len() - v6.len(), 5 * 8, "v7 appends five u64s");
+        // A v6 peer's decode accepts the narrow frame and leaves the
+        // buffer-pool fields zero...
+        let back = decode_metrics_for(&v6, 6).unwrap();
+        assert_eq!(back.repl_last_seq, 12);
+        assert_eq!(back.bufpool_hits, 0);
+        assert_eq!(back.bufpool_pages, 0);
+        // ...while a v7 round trip carries them whole.
+        let back = decode_metrics_for(&v7, 7).unwrap();
+        assert_eq!(back, m);
+        // Cross-version frames are rejected in both directions.
+        assert!(decode_metrics_for(&v7, 6).is_err());
+        assert!(decode_metrics_for(&v6, 7).is_err());
     }
 
     #[test]

@@ -168,7 +168,7 @@ fn open_impl<'a>(
             // Full scans on the batch path read columns straight out of
             // the table's version slots — no per-row materialization.
             let t = src.table(table)?;
-            let (count, cols) = t.scan_columns(project.as_deref());
+            let (count, cols) = t.scan_columns(project.as_deref())?;
             if let Some(p) = prof {
                 p.record_scan(AccessPath::FullScan, count as u64);
             }
@@ -525,16 +525,18 @@ fn materialize_scan(
                 .collect(),
         }
     };
-    let fetch = |rowids: Vec<usize>| -> Vec<Row> {
+    let fetch = |rowids: Vec<usize>| -> DbResult<Vec<Row>> {
         let mut rows = Vec::new();
         for rowid in rowids {
-            if let Some(r) = t.get(rowid) {
-                rows.push(project_row(r.clone()));
+            if let Some(r) = t.get(rowid)? {
+                rows.push(project_row((*r).clone()));
             }
         }
-        rows
+        Ok(rows)
     };
-    let full_scan = || -> Vec<Row> { t.scan().into_iter().map(|(_, r)| project_row(r)).collect() };
+    let full_scan = || -> DbResult<Vec<Row>> {
+        Ok(t.scan()?.into_iter().map(|(_, r)| project_row(r)).collect())
+    };
     // Probe keys may be deferred parameters whose value is only known
     // now; when the runtime value can't drive the planned probe, fall
     // back. The access path recorded is the one actually taken, not the
@@ -549,7 +551,7 @@ fn materialize_scan(
             let ix = t
                 .index_on(*col)
                 .ok_or_else(|| DbError::exec(format!("planned index on {table}.{col} vanished")))?;
-            Ok((fetch(ix.lookup_eq(&key)), AccessPath::IndexEq))
+            Ok((fetch(ix.lookup_eq(&key))?, AccessPath::IndexEq))
         }
     } else if let Some(rng) = index_range {
         let lo = match &rng.lo {
@@ -566,7 +568,7 @@ fn materialize_scan(
             // A NULL bound can't order against keys; the range conjuncts
             // stay in the filter as a recheck, so a full scan is still
             // exact.
-            Ok((full_scan(), AccessPath::FullScan))
+            Ok((full_scan()?, AccessPath::FullScan))
         } else {
             let ix = t.index_on(rng.column).ok_or_else(|| {
                 DbError::exec(format!("planned index on {table}.{} vanished", rng.column))
@@ -575,7 +577,7 @@ fn materialize_scan(
                 lo.as_ref().map(|(v, i)| (v, *i)),
                 hi.as_ref().map(|(v, i)| (v, *i)),
             );
-            Ok((fetch(hits), AccessPath::IndexRange))
+            Ok((fetch(hits)?, AccessPath::IndexRange))
         }
     } else if let Some((col, probe_expr)) = index_overlap {
         let probe = probe_expr.eval(ctx, &[])?;
@@ -583,18 +585,18 @@ fn materialize_scan(
             // A NULL (or otherwise non-UDT) probe can't be bucketed; the
             // overlaps conjunct stays in the filter, so a full scan is
             // still exact.
-            Ok((full_scan(), AccessPath::FullScan))
+            Ok((full_scan()?, AccessPath::FullScan))
         } else {
             let ix = t.interval_index_on(*col).ok_or_else(|| {
                 DbError::exec(format!("planned interval index on {table}.{col} vanished"))
             })?;
             Ok((
-                fetch(ix.lookup_overlaps_value(&probe)),
+                fetch(ix.lookup_overlaps_value(&probe))?,
                 AccessPath::IndexOverlap,
             ))
         }
     } else {
-        Ok((full_scan(), AccessPath::FullScan))
+        Ok((full_scan()?, AccessPath::FullScan))
     }
 }
 

@@ -486,6 +486,11 @@ impl QueryMetrics {
             repl_apply_lag_seq: 0,
             repl_reconnects: 0,
             repl_last_seq: 0,
+            bufpool_hits: 0,
+            bufpool_misses: 0,
+            bufpool_evictions: 0,
+            bufpool_writebacks: 0,
+            bufpool_pages: 0,
             latency_buckets: std::array::from_fn(|i| g(&self.latency_buckets[i])),
         }
     }
@@ -549,6 +554,15 @@ pub struct MetricsSnapshot {
     pub repl_reconnects: u64,
     /// Gauge: newest commit sequence known applied on this node.
     pub repl_last_seq: u64,
+    /// Buffer-pool counters, overlaid from the database's paged store
+    /// (see [`MetricsSnapshot::overlay_bufpool`]); all zero on
+    /// in-memory databases.
+    pub bufpool_hits: u64,
+    pub bufpool_misses: u64,
+    pub bufpool_evictions: u64,
+    pub bufpool_writebacks: u64,
+    /// Gauge: pages currently resident in the buffer pool.
+    pub bufpool_pages: u64,
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
 
@@ -610,6 +624,12 @@ impl MetricsSnapshot {
         self.repl_apply_lag_seq = self.repl_apply_lag_seq.max(other.repl_apply_lag_seq);
         self.repl_reconnects = self.repl_reconnects.max(other.repl_reconnects);
         self.repl_last_seq = self.repl_last_seq.max(other.repl_last_seq);
+        // One buffer pool per database: max, not sum.
+        self.bufpool_hits = self.bufpool_hits.max(other.bufpool_hits);
+        self.bufpool_misses = self.bufpool_misses.max(other.bufpool_misses);
+        self.bufpool_evictions = self.bufpool_evictions.max(other.bufpool_evictions);
+        self.bufpool_writebacks = self.bufpool_writebacks.max(other.bufpool_writebacks);
+        self.bufpool_pages = self.bufpool_pages.max(other.bufpool_pages);
         for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
             *a = a.saturating_add(*b);
         }
@@ -642,6 +662,16 @@ impl MetricsSnapshot {
         self.repl_apply_lag_seq = r.apply_lag_seq;
         self.repl_reconnects = r.reconnects;
         self.repl_last_seq = r.last_seq;
+    }
+
+    /// Copies the database's buffer-pool counters into this snapshot
+    /// (same idea as [`MetricsSnapshot::overlay_wal`]).
+    pub fn overlay_bufpool(&mut self, s: &crate::storage::pages::PoolStatsSnapshot) {
+        self.bufpool_hits = s.hits;
+        self.bufpool_misses = s.misses;
+        self.bufpool_evictions = s.evictions;
+        self.bufpool_writebacks = s.writebacks;
+        self.bufpool_pages = s.pages;
     }
 
     /// Total statements of any kind (errors not included).

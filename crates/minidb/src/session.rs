@@ -117,6 +117,9 @@ pub struct Database {
     /// Durability state, present only on databases opened from a data
     /// directory ([`Database::open`]). In-memory databases pay nothing.
     durability: OnceLock<Arc<Durability>>,
+    /// The paged cold-row store (`pages.db` behind the evicting buffer
+    /// pool), present only on databases opened from a data directory.
+    paged: OnceLock<Arc<storage::pages::PagedStore>>,
 }
 
 /// Database-wide MVCC commit state: the global commit counter, the
@@ -150,13 +153,18 @@ impl MvccState {
     /// override changes query semantics, not when commits happened.
     /// Callers hold `commit_lock`, so load-max-store does not race.
     fn next_instant(&self) -> i64 {
-        let now = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_secs() as i64)
-            .unwrap_or(0);
+        let now = Self::wall_instant();
         let t = now.max(self.last_instant.load(Ordering::Acquire));
         self.last_instant.store(t, Ordering::Release);
         t
+    }
+
+    /// The raw wall clock (unix seconds), without the monotone clamp.
+    fn wall_instant() -> i64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0)
     }
 }
 
@@ -226,6 +234,7 @@ impl Database {
             read_only: RwLock::new(None),
             repl: crate::repl::ReplStats::default(),
             durability: OnceLock::new(),
+            paged: OnceLock::new(),
         })
     }
 
@@ -280,6 +289,11 @@ impl Database {
         let started = Instant::now();
         let db = Database::new();
         install(&db)?;
+        // The page store must exist before recovery: a paged (v3)
+        // snapshot holds references into `pages.db` rather than row
+        // bytes, and loading it faults those pages back in.
+        let store = storage::pages::PagedStore::open(&dir, cfg.page_size, cfg.pool_pages)?;
+        let _ = db.paged.set(store);
         let (mut report, next_gen) = wal::recover::recover(&db, &dir)?;
         // Recovery applied records to the live tables directly,
         // bypassing version publication; publish the recovered state as
@@ -327,6 +341,12 @@ impl Database {
                 message: "durability is already attached".into(),
             });
         }
+        // The WAL-before-page rule: pages must be durable before the
+        // snapshot that references them hits disk (recovery faults
+        // snapshot cold refs straight out of `pages.db`).
+        if let Some(store) = self.paged.get() {
+            store.flush()?;
+        }
         let snap = self.save_snapshot()?;
         wal::recover::write_snapshot_file(dir, generation, &snap)?;
         let _ = std::fs::remove_file(dir.join(wal::recover::WAL_FILE_NEW));
@@ -338,6 +358,20 @@ impl Database {
             message: format!("create wal.log: {e}"),
         })?;
         let w = Wal::start(log, cfg.sync_mode);
+        if let Some(store) = self.paged.get() {
+            // Dirty-page writeback must not overtake the log: the pool
+            // forces the WAL through a page's LSN before writing it.
+            let wb = Arc::clone(&w);
+            store.set_flush_barrier(Arc::new(move |lsn| wb.flush_through(lsn)));
+            store.publish_epoch(
+                &self
+                    .with_storage(storage::cold_page_refs)
+                    .into_keys()
+                    .collect(),
+                self.commit_seq(),
+                0,
+            );
+        }
         w.stats().checkpoints.fetch_add(1, Ordering::Relaxed);
         self.mvcc_retention
             .store(cfg.mvcc_retention, Ordering::Relaxed);
@@ -368,9 +402,9 @@ impl Database {
             .unwrap_or_default()
     }
 
-    /// Writes a checkpoint: rotates the log, snapshots all tables, and
-    /// atomically replaces `snapshot.db`. A no-op on an in-memory or
-    /// closed database.
+    /// Writes a checkpoint: rotates the log, pages historical rows out
+    /// to `pages.db`, snapshots all tables, and atomically replaces
+    /// `snapshot.db`. A no-op on an in-memory or closed database.
     ///
     /// Protocol (order matters — see `wal::recover` for the crash
     /// matrix): the log rotates *first*, then the snapshot is taken.
@@ -378,6 +412,14 @@ impl Database {
     /// old-log record plus possibly a prefix of the new log; replaying
     /// the new log over it is idempotent (inserts address explicit
     /// rowids), so every crash window recovers to committed state.
+    ///
+    /// The paged store makes this incremental: row bytes already on a
+    /// cold page are *referenced* by the snapshot, not rewritten, so
+    /// checkpoint I/O is O(current + newly-spilled), not O(database).
+    /// Pages are flushed durable *before* the snapshot that references
+    /// them (the page half of the WAL rule), and the epoch publish
+    /// afterwards retires the fill page and reclaims pages no pin can
+    /// still reach.
     pub fn checkpoint(&self) -> DbResult<()> {
         let Some(d) = self.durability.get() else {
             return Ok(());
@@ -395,6 +437,12 @@ impl Database {
                 }
             })?;
         d.wal.rotate(Box::new(new_log))?;
+        if d.cfg.spill_cold {
+            self.spill_cold(MvccState::wall_instant())?;
+        }
+        if let Some(store) = self.paged.get() {
+            store.flush()?;
+        }
         let snap = self.save_snapshot()?;
         wal::recover::write_snapshot_file(&d.dir, next, &snap)?;
         std::fs::rename(&new_path, d.dir.join(wal::recover::WAL_FILE)).map_err(|e| {
@@ -405,7 +453,77 @@ impl Database {
         d.generation.store(next, Ordering::Release);
         d.log_rotations.fetch_add(1, Ordering::Release);
         d.wal.stats().checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.publish_page_epoch();
         Ok(())
+    }
+
+    /// Moves every closed-validity row of every table onto cold pages.
+    /// `now` is the instant that decides hot vs cold (a row whose
+    /// valid-time interval ended before `now` is historical). Returns
+    /// the number of rows spilled. A representation change only — the
+    /// row values are untouched, so nothing is WAL-logged; the pages
+    /// carry the current WAL sequence as their LSN so dirty writeback
+    /// cannot overtake the log. A no-op without a page store.
+    pub fn spill_cold(&self, now: i64) -> DbResult<usize> {
+        let Some(store) = self.paged.get() else {
+            return Ok(0);
+        };
+        let lsn = self
+            .durability
+            .get()
+            .map(|d| d.wal.progress().seq)
+            .unwrap_or(0);
+        let cat = self.catalog.read();
+        let cells = self.registry.read().shared_tables_sorted();
+        // Write-lock in sorted-name order — the same order statements
+        // use — and hold all guards through publication so no statement
+        // can publish a version that loses the spill.
+        let mut guards: Vec<_> = cells.iter().map(|(_, cell)| cell.write()).collect();
+        let mut published = Vec::new();
+        let mut spilled = 0;
+        for (guard, (_, cell)) in guards.iter_mut().zip(&cells) {
+            if guard.cold_attach().is_none() {
+                let att = storage::cold_attach_for(&cat, &guard.schema, store)?;
+                guard.attach_cold(att);
+            }
+            let n = guard.spill_cold(now, lsn)?;
+            if n > 0 {
+                spilled += n;
+                published.push((Arc::clone(cell), Arc::new((**guard).clone())));
+            }
+        }
+        self.publish_prepared(published);
+        drop(guards);
+        Ok(spilled)
+    }
+
+    /// Publishes the page-store epoch after a checkpoint: sweeps every
+    /// table's version chain down to the GC floor (so dropped versions
+    /// release their cold references), then hands the store the set of
+    /// pages the durable snapshot references together with the floor,
+    /// letting it reclaim pages no recovery and no live pin can reach.
+    fn publish_page_epoch(&self) {
+        let Some(store) = self.paged.get() else {
+            return;
+        };
+        let seq = self.commit_seq();
+        let retention = self.mvcc_retention.load(Ordering::Relaxed);
+        let floor = {
+            let pinned = self.mvcc.pinned.lock();
+            let oldest_pin = pinned.keys().next().copied().unwrap_or(u64::MAX);
+            oldest_pin.min(seq.saturating_sub(retention))
+        };
+        // Sweep quiet tables too: a version published long ago still
+        // pins its pages until some commit gc's the chain, which for an
+        // idle table would otherwise never happen.
+        for (_, cell) in self.registry.read().shared_tables_sorted() {
+            cell.gc(floor);
+        }
+        let refs = self
+            .with_storage(storage::cold_page_refs)
+            .into_keys()
+            .collect();
+        store.publish_epoch(&refs, seq, floor);
     }
 
     /// Threshold checkpoint: fires when the live log outgrows the
@@ -442,6 +560,12 @@ impl Database {
         let result = {
             let _serial = d.checkpoint_lock.lock();
             let next = d.generation.load(Ordering::Acquire) + 1;
+            if d.cfg.spill_cold {
+                self.spill_cold(MvccState::wall_instant())?;
+            }
+            if let Some(store) = self.paged.get() {
+                store.flush()?;
+            }
             let snap = self.save_snapshot()?;
             wal::recover::write_snapshot_file(&d.dir, next, &snap)?;
             d.generation.store(next, Ordering::Release);
@@ -626,6 +750,31 @@ impl Database {
         ]
     }
 
+    // ----- Buffer pool ------------------------------------------------
+
+    /// The paged cold-row store, when this database has one (durable
+    /// databases only).
+    pub fn paged_store(&self) -> Option<&Arc<storage::pages::PagedStore>> {
+        self.paged.get()
+    }
+
+    /// Buffer-pool counters (all zero on an in-memory database).
+    pub fn bufpool_stats(&self) -> storage::pages::PoolStatsSnapshot {
+        self.paged.get().map(|s| s.stats()).unwrap_or_default()
+    }
+
+    /// The buffer-pool counters as `SHOW STATS` rows.
+    pub(crate) fn bufpool_rows(&self) -> Vec<(String, u64)> {
+        let s = self.bufpool_stats();
+        vec![
+            ("bufpool.hits".to_owned(), s.hits),
+            ("bufpool.misses".to_owned(), s.misses),
+            ("bufpool.evictions".to_owned(), s.evictions),
+            ("bufpool.writebacks".to_owned(), s.writebacks),
+            ("bufpool.pages".to_owned(), s.pages),
+        ]
+    }
+
     // ----- Replication ------------------------------------------------
 
     /// Replication counters (shipping side on a primary, applying side
@@ -668,7 +817,24 @@ impl Database {
         })?;
         let _serial = d.checkpoint_lock.lock();
         match wal::recover::read_snapshot_file(&d.dir)? {
-            Some((generation, bytes)) => Ok((generation, bytes)),
+            Some((generation, bytes)) => {
+                if storage::snapshot_is_paged(&bytes) {
+                    // A paged (v3) snapshot references our local
+                    // `pages.db`, which the replica does not have.
+                    // Materialize the cold rows inline (v2) at the same
+                    // generation — self-contained bytes ship over the
+                    // wire.
+                    let store = self.paged.get().ok_or_else(|| DbError::Persist {
+                        message: "paged snapshot without a page store".into(),
+                    })?;
+                    let cat = self.catalog.read();
+                    let temp = storage::load_snapshot_with(&cat, &bytes, Some(store))?;
+                    let inline = storage::save_snapshot_with(&cat, &temp, true)?;
+                    Ok((generation, inline))
+                } else {
+                    Ok((generation, bytes))
+                }
+            }
             None => Err(DbError::Persist {
                 message: "no checkpoint snapshot on disk".into(),
             }),
@@ -878,7 +1044,13 @@ impl Database {
     /// blades must already be installed. Statements already running
     /// against pre-swap tables finish on the data they pinned.
     pub fn load_snapshot(&self, bytes: &[u8]) -> DbResult<()> {
-        let new_storage = storage::load_snapshot(&self.catalog.read(), bytes)?;
+        let store = self.paged.get();
+        let new_storage = storage::load_snapshot_with(&self.catalog.read(), bytes, store)?;
+        if let Some(store) = store {
+            // The loaded snapshot *is* the durable epoch: rebuild the
+            // page allocation state from its references.
+            store.adopt_refs(storage::cold_page_refs(&new_storage));
+        }
         *self.registry.write() = new_storage;
         // A wholesale world swap: clear the plan cache outright rather
         // than leaving pre-load plans (possibly against dropped tables)
@@ -1616,8 +1788,8 @@ impl Session {
             }
             Statement::ShowStats => {
                 // Session counters, then the database-wide WAL counters
-                // (all zero on an in-memory database), MVCC gauges, and
-                // replication counters.
+                // (all zero on an in-memory database), MVCC gauges,
+                // replication counters, and buffer-pool gauges.
                 let rows = self
                     .metrics
                     .snapshot()
@@ -1626,6 +1798,7 @@ impl Session {
                     .chain(self.db.wal_stats().rows())
                     .chain(self.db.mvcc_rows())
                     .chain(self.db.repl_stats().rows())
+                    .chain(self.db.bufpool_rows())
                     .map(|(metric, value)| {
                         vec![
                             Value::Str(metric),
@@ -1878,7 +2051,7 @@ impl Session {
         self.record_pin(&pinned);
         let catalog = self.db.catalog.read();
         let schema = pinned.table(table)?.schema.clone();
-        let snapshot = pinned.table(table)?.scan();
+        let snapshot = pinned.table(table)?.scan()?;
         let changes = eval_update_changes(
             &catalog,
             &pinned,
@@ -1899,7 +2072,7 @@ impl Session {
         })?;
         let affected = changes.len();
         for (rowid, new_row) in changes {
-            t.update(rowid, new_row);
+            t.update(rowid, new_row)?;
         }
         self.db.publish_pinned(&pinned);
         drop(pinned);
@@ -1920,7 +2093,7 @@ impl Session {
         self.record_pin(&pinned);
         let catalog = self.db.catalog.read();
         let schema = pinned.table(table)?.schema.clone();
-        let snapshot = pinned.table(table)?.scan();
+        let snapshot = pinned.table(table)?.scan()?;
         let victims = eval_delete_victims(
             &catalog,
             &pinned,
@@ -1939,7 +2112,7 @@ impl Session {
         })?;
         let mut affected = 0;
         for rowid in victims {
-            if t.delete(rowid) {
+            if t.delete(rowid)? {
                 affected += 1;
             }
         }
@@ -2210,7 +2383,7 @@ impl Session {
         let schema = txn.tables[&key].work.schema.clone();
         let catalog = self.db.catalog.read();
         let frozen = frozen_for_txn(set, txn)?;
-        let snapshot = txn.tables[&key].work.scan();
+        let snapshot = txn.tables[&key].work.scan()?;
         let changes = eval_update_changes(
             &catalog,
             &frozen,
@@ -2225,7 +2398,7 @@ impl Session {
         let affected = changes.len();
         let tt = txn.tables.get_mut(&key).expect("touched above");
         for (rowid, new_row) in changes {
-            tt.work.update(rowid, new_row.clone());
+            tt.work.update(rowid, new_row.clone())?;
             txn.ops.push(PendingOp::Update {
                 table: tt.name.clone(),
                 rowid: rowid as u64,
@@ -2249,7 +2422,7 @@ impl Session {
         let schema = txn.tables[&key].work.schema.clone();
         let catalog = self.db.catalog.read();
         let frozen = frozen_for_txn(set, txn)?;
-        let snapshot = txn.tables[&key].work.scan();
+        let snapshot = txn.tables[&key].work.scan()?;
         let victims = eval_delete_victims(
             &catalog,
             &frozen,
@@ -2262,7 +2435,7 @@ impl Session {
         let mut affected = 0;
         let tt = txn.tables.get_mut(&key).expect("touched above");
         for rowid in victims {
-            if tt.work.delete(rowid) {
+            if tt.work.delete(rowid)? {
                 affected += 1;
                 txn.ops.push(PendingOp::Delete {
                     table: tt.name.clone(),

@@ -1,0 +1,208 @@
+//! Disk manager: owns the single page file (`pages.db`).
+//!
+//! Page 0 is the file header (`TIPPAGE1` magic + page size); data pages
+//! start at 1, page `i` at byte offset `i * page_size`. Every read
+//! verifies the page CRC — a short read or CRC mismatch is a torn page
+//! and surfaces as a typed [`DbError::Persist`].
+
+use super::layout;
+use crate::error::{DbError, DbResult};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Name of the page file inside a data directory.
+pub const PAGE_FILE: &str = "pages.db";
+
+const FILE_MAGIC: &[u8; 8] = b"TIPPAGE1";
+
+fn io_err(what: &str, e: std::io::Error) -> DbError {
+    DbError::Persist {
+        message: format!("{what}: {e}"),
+    }
+}
+
+/// The page file plus its fixed page size.
+#[derive(Debug)]
+pub struct DiskManager {
+    file: File,
+    page_size: usize,
+}
+
+impl DiskManager {
+    /// Opens (creating if absent) the page file in `dir`. An existing
+    /// file must carry the magic and the same page size — the page size
+    /// is a property of the file, not of the process that opens it.
+    pub fn open(dir: &Path, page_size: usize) -> DbResult<DiskManager> {
+        layout::validate_page_size(page_size)?;
+        let path = dir.join(PAGE_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open page file", e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| io_err("stat page file", e))?
+            .len();
+        if len == 0 {
+            // Fresh file: write the header page.
+            let mut hdr = vec![0u8; page_size];
+            hdr[..8].copy_from_slice(FILE_MAGIC);
+            hdr[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
+            file.write_all(&hdr)
+                .map_err(|e| io_err("write page-file header", e))?;
+            file.sync_all().map_err(|e| io_err("sync page file", e))?;
+        } else {
+            let mut hdr = [0u8; 12];
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| io_err("seek page file", e))?;
+            file.read_exact(&mut hdr)
+                .map_err(|e| io_err("read page-file header", e))?;
+            if &hdr[..8] != FILE_MAGIC {
+                return Err(DbError::Persist {
+                    message: "bad page-file magic".into(),
+                });
+            }
+            let stored = u32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes")) as usize;
+            if stored != page_size {
+                return Err(DbError::Persist {
+                    message: format!(
+                        "page file uses {stored}-byte pages but {page_size} was configured"
+                    ),
+                });
+            }
+        }
+        Ok(DiskManager { file, page_size })
+    }
+
+    /// The file's fixed page size.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Reads page `page_no` into `buf`, verifying its CRC. A page that
+    /// was never written (or only partially written) fails here with a
+    /// typed torn-page error.
+    pub fn read_page(&mut self, page_no: u32, buf: &mut [u8]) -> DbResult<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        if page_no == 0 {
+            return Err(DbError::Persist {
+                message: "page 0 is the file header".into(),
+            });
+        }
+        self.file
+            .seek(SeekFrom::Start(page_no as u64 * self.page_size as u64))
+            .map_err(|e| io_err("seek page", e))?;
+        self.file.read_exact(buf).map_err(|e| DbError::Persist {
+            message: format!("torn page {page_no}: short read ({e})"),
+        })?;
+        if !layout::verify_crc(buf) {
+            return Err(DbError::Persist {
+                message: format!("torn page {page_no}: checksum mismatch"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes page `page_no` from `buf` (whose CRC the caller has
+    /// already sealed). Extends the file as needed.
+    pub fn write_page(&mut self, page_no: u32, buf: &[u8]) -> DbResult<()> {
+        debug_assert_eq!(buf.len(), self.page_size);
+        debug_assert!(page_no != 0, "page 0 is the file header");
+        self.file
+            .seek(SeekFrom::Start(page_no as u64 * self.page_size as u64))
+            .map_err(|e| io_err("seek page", e))?;
+        self.file
+            .write_all(buf)
+            .map_err(|e| io_err("write page", e))
+    }
+
+    /// Fsyncs the page file.
+    pub fn sync(&mut self) -> DbResult<()> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("sync page file", e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch() -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "minidb-disk-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_round_trip_and_reopen() {
+        let dir = scratch();
+        let ps = 512;
+        let mut page = vec![0u8; ps];
+        layout::init_page(&mut page, 0);
+        layout::insert_slot(&mut page, b"persisted").unwrap();
+        layout::set_page_lsn(&mut page, 9);
+        layout::seal_crc(&mut page);
+        {
+            let mut dm = DiskManager::open(&dir, ps).unwrap();
+            dm.write_page(3, &page).unwrap();
+            dm.sync().unwrap();
+        }
+        let mut dm = DiskManager::open(&dir, ps).unwrap();
+        let mut back = vec![0u8; ps];
+        dm.read_page(3, &mut back).unwrap();
+        assert_eq!(back, page);
+        // Pages 1 and 2 were never written: zero fill, caught as torn.
+        let err = dm.read_page(1, &mut back).unwrap_err();
+        assert!(matches!(err, DbError::Persist { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_page_is_typed_error() {
+        let dir = scratch();
+        let ps = 512;
+        let mut page = vec![0u8; ps];
+        layout::init_page(&mut page, 0);
+        layout::insert_slot(&mut page, b"abc").unwrap();
+        layout::seal_crc(&mut page);
+        {
+            let mut dm = DiskManager::open(&dir, ps).unwrap();
+            dm.write_page(1, &page).unwrap();
+        }
+        // Corrupt one byte mid-page on disk.
+        let path = dir.join(PAGE_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[ps + 40] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut dm = DiskManager::open(&dir, ps).unwrap();
+        let mut back = vec![0u8; ps];
+        let err = dm.read_page(1, &mut back).unwrap_err();
+        assert!(
+            matches!(&err, DbError::Persist { message } if message.contains("torn page")),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn page_size_mismatch_rejected() {
+        let dir = scratch();
+        DiskManager::open(&dir, 512).unwrap();
+        let err = DiskManager::open(&dir, 1024).unwrap_err();
+        assert!(matches!(err, DbError::Persist { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -68,6 +68,14 @@ pub struct DurabilityConfig {
     /// table chain keeps beyond the oldest pinned snapshot. Replicas
     /// want a wider window to absorb replication lag.
     pub mvcc_retention: u64,
+    /// Page size of `pages.db` (a property of the file once created).
+    pub page_size: usize,
+    /// Buffer pool capacity in frames; resident cold-page memory is
+    /// bounded by `pool_pages * page_size`.
+    pub pool_pages: usize,
+    /// Whether checkpoints page historical (valid-time ended) rows out
+    /// to `pages.db`. Off keeps every row resident, as before PR 10.
+    pub spill_cold: bool,
 }
 
 impl Default for DurabilityConfig {
@@ -76,6 +84,9 @@ impl Default for DurabilityConfig {
             sync_mode: SyncMode::EveryCommit,
             checkpoint_bytes: 16 * 1024 * 1024,
             mvcc_retention: 64,
+            page_size: crate::storage::pages::DEFAULT_PAGE_SIZE,
+            pool_pages: 1024,
+            spill_cold: true,
         }
     }
 }
@@ -216,6 +227,12 @@ struct WalShared {
     /// chunks. Replication subscribers read the log file up to this
     /// watermark; reset to the new file's length on rotation.
     flushed: u64,
+    /// Sequence through which commits are *fsynced* — independent of
+    /// the sync mode's durability promise; [`Wal::flush_through`] (the
+    /// WAL-before-page barrier) waits on this.
+    synced_seq: u64,
+    /// An explicit fsync was requested by [`Wal::flush_through`].
+    sync_pending: bool,
     shutdown: bool,
     /// Sticky I/O error: after the log breaks, every further logged
     /// statement fails loudly instead of diverging from disk.
@@ -278,6 +295,8 @@ impl Wal {
                 rotations_done: 0,
                 log_bytes: initial_len,
                 flushed: initial_len,
+                synced_seq: 0,
+                sync_pending: false,
                 shutdown: false,
                 io_error: None,
             }),
@@ -353,6 +372,35 @@ impl Wal {
             if s.durable_seq >= seq {
                 return Ok(());
             }
+            s = self.core.done.wait(s).unwrap();
+        }
+    }
+
+    /// Forces the log durable (written *and* fsynced) through commit
+    /// `seq`, regardless of sync mode — the WAL-before-page barrier: a
+    /// dirty page stamped with LSN `seq` may only reach `pages.db` once
+    /// the log through `seq` is on stable storage. Blocks until the
+    /// writer thread reports the fsync.
+    pub fn flush_through(&self, seq: u64) -> DbResult<()> {
+        let mut s = self.core.shared.lock().unwrap();
+        loop {
+            if let Some(e) = &s.io_error {
+                return Err(DbError::Persist {
+                    message: format!("WAL flush failed: {e}"),
+                });
+            }
+            if s.synced_seq >= seq {
+                return Ok(());
+            }
+            if s.shutdown {
+                return Err(DbError::Persist {
+                    message: "WAL is shut down".into(),
+                });
+            }
+            // Re-armed every lap: the writer may consume a request that
+            // predates our target sequence.
+            s.sync_pending = true;
+            self.core.work.notify_all();
             s = self.core.done.wait(s).unwrap();
         }
     }
@@ -457,10 +505,10 @@ fn writer_loop(wal: &Core, mut file: Box<dyn WalFile>) {
     let mut last_sync = Instant::now();
     let mut commits_since_sync: u64 = 0;
     loop {
-        let (chunk, batch, seq_hi, rotate, shutdown) = {
+        let (chunk, batch, seq_hi, rotate, shutdown, force_sync) = {
             let mut s = wal.shared.lock().unwrap();
             loop {
-                if !s.buf.is_empty() || s.rotate_to.is_some() || s.shutdown {
+                if !s.buf.is_empty() || s.rotate_to.is_some() || s.shutdown || s.sync_pending {
                     break;
                 }
                 s = match wal.mode {
@@ -470,7 +518,14 @@ fn writer_loop(wal: &Core, mut file: Box<dyn WalFile>) {
             }
             let chunk = std::mem::take(&mut s.buf);
             let batch = std::mem::take(&mut s.pending_commits);
-            (chunk, batch, s.next_seq, s.rotate_to.take(), s.shutdown)
+            (
+                chunk,
+                batch,
+                s.next_seq,
+                s.rotate_to.take(),
+                s.shutdown,
+                std::mem::take(&mut s.sync_pending),
+            )
         };
 
         let mut io_failed: Option<String> = None;
@@ -485,14 +540,16 @@ fn writer_loop(wal: &Core, mut file: Box<dyn WalFile>) {
         // (unless the mode is Off): records must not exist only in the
         // page cache when the file stops being the live log.
         let want_sync = io_failed.is_none()
-            && match wal.mode {
-                SyncMode::Off => false,
-                SyncMode::EveryCommit => commits_since_sync > 0,
-                SyncMode::Interval(d) => {
-                    commits_since_sync > 0
-                        && (last_sync.elapsed() >= d || rotate.is_some() || shutdown)
-                }
-            };
+            && (force_sync
+                || match wal.mode {
+                    SyncMode::Off => false,
+                    SyncMode::EveryCommit => commits_since_sync > 0,
+                    SyncMode::Interval(d) => {
+                        commits_since_sync > 0
+                            && (last_sync.elapsed() >= d || rotate.is_some() || shutdown)
+                    }
+                });
+        let mut synced = false;
         if want_sync {
             match file.sync() {
                 Ok(()) => {
@@ -502,6 +559,7 @@ fn writer_loop(wal: &Core, mut file: Box<dyn WalFile>) {
                         .fetch_max(commits_since_sync, Ordering::Relaxed);
                     commits_since_sync = 0;
                     last_sync = Instant::now();
+                    synced = true;
                 }
                 Err(e) => io_failed = Some(e.to_string()),
             }
@@ -516,6 +574,9 @@ fn writer_loop(wal: &Core, mut file: Box<dyn WalFile>) {
             // In EveryCommit mode durability means "fsynced"; in the
             // lossy modes an acknowledged commit is merely written.
             s.durable_seq = seq_hi;
+            if synced {
+                s.synced_seq = seq_hi;
+            }
             s.flushed += chunk.len() as u64;
             if let Some(new_file) = rotate {
                 s.flushed = new_file.len();
@@ -631,6 +692,23 @@ mod tests {
             old_s.bytes.len(),
             "rotation must seal the old log"
         );
+    }
+
+    #[test]
+    fn flush_through_forces_fsync_in_off_mode() {
+        let (file, state) = FailpointFile::new(b"H");
+        let wal = Wal::start(Box::new(file), SyncMode::Off);
+        let seq = wal.append_chunk(b"page-barrier".to_vec(), 1).unwrap();
+        wal.flush_through(seq).unwrap();
+        {
+            let s = state.lock().unwrap();
+            assert_eq!(&s.bytes[..], b"Hpage-barrier");
+            assert_eq!(s.synced_len, s.bytes.len(), "barrier must fsync");
+            assert!(s.syncs >= 1);
+        }
+        // Already-synced sequences return immediately.
+        wal.flush_through(seq).unwrap();
+        wal.close();
     }
 
     #[test]

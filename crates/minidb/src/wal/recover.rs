@@ -247,9 +247,9 @@ pub(crate) fn apply(
             match db.with_storage(|s| s.shared_table(&table)) {
                 Ok(shared) => {
                     let mut t = shared.write();
-                    if row.len() == t.schema.columns.len() {
-                        t.restore_insert_at(rowid as usize, row);
-                    } else {
+                    if row.len() != t.schema.columns.len()
+                        || t.restore_insert_at(rowid as usize, row).is_err()
+                    {
                         report.ops_skipped += 1;
                     }
                 }
@@ -260,7 +260,9 @@ pub(crate) fn apply(
             match db.with_storage(|s| s.shared_table(&table)) {
                 Ok(shared) => {
                     let mut t = shared.write();
-                    if row.len() != t.schema.columns.len() || !t.update(rowid as usize, row) {
+                    if row.len() != t.schema.columns.len()
+                        || !t.update(rowid as usize, row).unwrap_or(false)
+                    {
                         report.ops_skipped += 1;
                     }
                 }
@@ -272,7 +274,9 @@ pub(crate) fn apply(
                 // A false return is legal idempotent re-application
                 // (already deleted), not a skip.
                 Ok(shared) => {
-                    shared.write().delete(rowid as usize);
+                    if shared.write().delete(rowid as usize).is_err() {
+                        report.ops_skipped += 1;
+                    }
                 }
                 Err(_) => report.ops_skipped += 1,
             }

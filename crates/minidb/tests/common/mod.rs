@@ -1,0 +1,84 @@
+//! Shared test blade: a minimal interval-capable UDT so integration
+//! tests can exercise the hot/cold row classifier without depending on
+//! the TIP blade (which lives downstream of this crate).
+
+use minidb::catalog::{Blade, Catalog, UdtTypeDef};
+use minidb::{DbError, DbResult, UdtObject, UdtValue};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A closed validity interval `[lo, hi]` on an abstract second axis.
+/// SQL literal form: `'LO..HI'`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Validity(pub i64, pub i64);
+
+impl UdtObject for Validity {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn eq_udt(&self, other: &dyn UdtObject) -> bool {
+        other.as_any().downcast_ref::<Validity>() == Some(self)
+    }
+    fn cmp_udt(&self, other: &dyn UdtObject) -> Option<Ordering> {
+        other
+            .as_any()
+            .downcast_ref::<Validity>()
+            .map(|o| (self.0, self.1).cmp(&(o.0, o.1)))
+    }
+    fn hash_udt(&self) -> u64 {
+        (self.0 as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (self.1 as u64)
+    }
+}
+
+pub struct ValidityBlade;
+
+impl Blade for ValidityBlade {
+    fn name(&self) -> &str {
+        "validity-test"
+    }
+    fn version(&self) -> &str {
+        "1.0"
+    }
+    fn register(&self, catalog: &mut Catalog) -> DbResult<()> {
+        let id = catalog.next_type_id();
+        catalog.register_type(UdtTypeDef {
+            id,
+            name: "Validity".into(),
+            parse: Arc::new(move |s| {
+                let (lo, hi) = s
+                    .split_once("..")
+                    .ok_or_else(|| DbError::exec("Validity literal is LO..HI"))?;
+                let lo: i64 = lo
+                    .trim()
+                    .parse()
+                    .map_err(|e| DbError::exec(format!("{e}")))?;
+                let hi: i64 = hi
+                    .trim()
+                    .parse()
+                    .map_err(|e| DbError::exec(format!("{e}")))?;
+                Ok(UdtValue::new(id, Arc::new(Validity(lo, hi))))
+            }),
+            display: Arc::new(|u| {
+                let v = u.downcast::<Validity>().expect("Validity payload");
+                format!("{}..{}", v.0, v.1)
+            }),
+            encode: Arc::new(|u, out| {
+                let v = u.downcast::<Validity>().expect("Validity payload");
+                out.extend_from_slice(&v.0.to_le_bytes());
+                out.extend_from_slice(&v.1.to_le_bytes());
+            }),
+            decode: Arc::new(move |buf| {
+                if buf.len() < 16 {
+                    return Err(DbError::exec("short Validity payload"));
+                }
+                let lo = i64::from_le_bytes(buf[..8].try_into().unwrap());
+                let hi = i64::from_le_bytes(buf[8..16].try_into().unwrap());
+                *buf = &buf[16..];
+                Ok(UdtValue::new(id, Arc::new(Validity(lo, hi))))
+            }),
+            ordered: true,
+            interval_key: Some(Arc::new(|u| u.downcast::<Validity>().map(|v| (v.0, v.1)))),
+        })?;
+        Ok(())
+    }
+}

@@ -4,7 +4,8 @@
 //! tip-server [--listen ADDR] [--max-connections N] [--workers N]
 //!            [--max-subscribers N] [--demo]
 //!            [--data-dir DIR] [--sync MODE] [--checkpoint-bytes N]
-//!            [--mvcc-retention N] [--replicate-from ADDR]
+//!            [--mvcc-retention N] [--page-size N] [--pool-pages N]
+//!            [--replicate-from ADDR]
 //! tip-server --promote ADDR
 //! ```
 //!
@@ -23,7 +24,10 @@
 //! `interval:MILLIS`); `--checkpoint-bytes N` sets the log size that
 //! triggers a checkpoint (0 disables size-triggered checkpoints);
 //! `--mvcc-retention N` sets how many published commits stay readable
-//! for AS OF queries.
+//! for AS OF queries; `--page-size N` sets the cold-page size in bytes
+//! (512..=32768, a multiple of 8) and `--pool-pages N` bounds how many
+//! such pages the buffer pool keeps resident — together they cap the
+//! memory historical rows can occupy regardless of database size.
 //!
 //! `--replicate-from ADDR` starts this server as a read-only replica of
 //! the primary at `ADDR`: it streams the primary's WAL, serves reads
@@ -53,7 +57,8 @@ fn usage() -> ! {
         "usage: tip-server [--listen ADDR] [--max-connections N] [--workers N] \
          [--max-subscribers N] [--demo] \
          [--data-dir DIR] [--sync off|every-commit|interval:MS] [--checkpoint-bytes N] \
-         [--mvcc-retention N] [--replicate-from ADDR] | --promote ADDR"
+         [--mvcc-retention N] [--page-size N] [--pool-pages N] \
+         [--replicate-from ADDR] | --promote ADDR"
     );
     std::process::exit(2);
 }
@@ -118,6 +123,18 @@ fn main() -> ExitCode {
             }
             "--mvcc-retention" => {
                 durability.mvcc_retention = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--page-size" => {
+                durability.page_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--pool-pages" => {
+                durability.pool_pages = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())

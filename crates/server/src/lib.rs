@@ -470,6 +470,7 @@ pub(crate) fn overlay_node_state(snap: &mut MetricsSnapshot, shared: &Shared) {
         r.last_seq = r.last_seq.max(p.seq);
     }
     snap.overlay_repl(&r);
+    snap.overlay_bufpool(&shared.db.bufpool_stats());
 }
 
 /// How long a committing statement waits for every acking replica to

@@ -455,7 +455,7 @@ fn unknown_prepared_id_is_a_typed_error_and_closing_frees_the_id() {
         &ConnectOptions::default(),
     )
     .unwrap();
-    assert_eq!(t.protocol_version(), 6);
+    assert_eq!(t.protocol_version(), 7);
 
     match t.execute_prepared(999, "SELECT 1", &[]) {
         Err(DbError::NotFound { kind, name }) => {
